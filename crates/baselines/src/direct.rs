@@ -1,0 +1,174 @@
+//! Baseline: direct per-sensor IP polling.
+//!
+//! The strawman the paper's motivation attacks (§II.1–2): a client that
+//! "continuously collect\[s\] data directly from \[a\] large number of
+//! individual sensors", one TCP/UDP exchange per sensor per round, with a
+//! static list of sensor addresses (no discovery, no leases, no
+//! federation). B1 and B2 compare this against SenSORCER aggregation.
+
+use sensorcer_sensors::probe::SensorProbe;
+use sensorcer_sim::env::{Env, ServiceId};
+use sensorcer_sim::topology::{HostId, NetError};
+use sensorcer_sim::wire::ProtocolStack;
+
+/// Wire sizes of the minimal polling protocol: a read request and a
+/// response carrying one float, a timestamp and a status byte.
+pub const READ_REQUEST_BYTES: usize = 16;
+pub const READ_RESPONSE_BYTES: usize = 17;
+
+/// A bare sensor endpoint: answers read requests, nothing else.
+pub struct DirectSensorServer {
+    name: String,
+    probe: Box<dyn SensorProbe>,
+    reads: u64,
+}
+
+impl DirectSensorServer {
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Deploy a direct sensor endpoint on a mote host.
+pub fn deploy_direct_sensor(
+    env: &mut Env,
+    host: HostId,
+    name: &str,
+    probe: Box<dyn SensorProbe>,
+) -> ServiceId {
+    env.deploy(host, name, DirectSensorServer { name: name.to_string(), probe, reads: 0 })
+}
+
+/// The polling client: a static address list, polled one by one.
+pub struct DirectClient {
+    pub host: HostId,
+    pub stack: ProtocolStack,
+    /// Static topology: addresses configured by hand (§II.2's complaint).
+    pub sensors: Vec<ServiceId>,
+}
+
+impl DirectClient {
+    pub fn new(host: HostId, stack: ProtocolStack) -> DirectClient {
+        DirectClient { host, stack, sensors: Vec::new() }
+    }
+
+    /// Read one sensor.
+    pub fn read(&self, env: &mut Env, sensor: ServiceId) -> Result<f64, NetError> {
+        env.call(
+            self.host,
+            sensor,
+            self.stack,
+            READ_REQUEST_BYTES,
+            |env, s: &mut DirectSensorServer| {
+                s.reads += 1;
+                let value = s.probe.sample(env.now()).map(|m| m.value);
+                // Transmitting the response costs the mote energy.
+                s.probe.charge_tx(READ_RESPONSE_BYTES);
+                (value, READ_RESPONSE_BYTES)
+            },
+        )?
+        .map_err(|_| NetError::Timeout)
+    }
+
+    /// Poll every configured sensor sequentially (the client has one
+    /// socket loop); unreachable sensors cost the full timeout each.
+    pub fn read_all(&self, env: &mut Env) -> Vec<Result<f64, NetError>> {
+        self.sensors.iter().map(|s| self.read(env, *s)).collect()
+    }
+
+    /// Network-wide average computed client-side from a full poll. Errors
+    /// are skipped; `None` when nothing answered.
+    pub fn network_average(&self, env: &mut Env) -> Option<f64> {
+        let values: Vec<f64> = self.read_all(env).into_iter().flatten().collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorcer_sensors::prelude::*;
+    use sensorcer_sim::prelude::*;
+
+    fn setup(n: usize, values: &[f64]) -> (Env, DirectClient) {
+        let mut env = Env::with_seed(1);
+        let client_host = env.add_host("client", HostKind::Workstation);
+        let mut client = DirectClient::new(client_host, ProtocolStack::Tcp);
+        for i in 0..n {
+            let mote = env.add_host(format!("mote{i}"), HostKind::SensorMote);
+            let svc = deploy_direct_sensor(
+                &mut env,
+                mote,
+                &format!("s{i}"),
+                Box::new(ScriptedProbe::new(vec![values[i % values.len()]], Unit::Celsius)),
+            );
+            client.sensors.push(svc);
+        }
+        (env, client)
+    }
+
+    #[test]
+    fn polls_every_sensor() {
+        let (mut env, client) = setup(3, &[10.0, 20.0, 30.0]);
+        let readings = client.read_all(&mut env);
+        assert_eq!(readings.len(), 3);
+        assert_eq!(readings[0].as_ref().unwrap(), &10.0);
+        assert_eq!(client.network_average(&mut env), Some(20.0));
+    }
+
+    #[test]
+    fn dead_sensor_costs_timeout_and_is_skipped() {
+        let (mut env, client) = setup(3, &[10.0, 20.0, 30.0]);
+        let dead_host = env.service_host(client.sensors[1]).unwrap();
+        env.crash_host(dead_host);
+        let t0 = env.now();
+        let avg = client.network_average(&mut env).unwrap();
+        assert_eq!(avg, 20.0, "(10+30)/2");
+        assert!(
+            env.now() - t0 >= env.config.call_timeout,
+            "the static poller burns a timeout on the dead sensor"
+        );
+    }
+
+    #[test]
+    fn per_round_wire_bytes_scale_linearly() {
+        let (mut env, client) = setup(8, &[20.0]);
+        let before = env.metrics.get(metric_keys::BYTES_WIRE);
+        client.read_all(&mut env);
+        let one_round = env.metrics.delta(metric_keys::BYTES_WIRE, before);
+        let before = env.metrics.get(metric_keys::BYTES_WIRE);
+        client.read_all(&mut env);
+        client.read_all(&mut env);
+        let two_rounds = env.metrics.delta(metric_keys::BYTES_WIRE, before);
+        // Proportional up to stochastic radio retransmissions.
+        let ratio = two_rounds as f64 / one_round as f64;
+        assert!((1.8..=2.2).contains(&ratio), "ratio {ratio}");
+        // Every exchange pays headers many times the payload.
+        assert!(one_round as usize > 8 * (READ_REQUEST_BYTES + READ_RESPONSE_BYTES) * 3);
+    }
+
+    #[test]
+    fn polling_takes_time_proportional_to_sensor_count() {
+        let (mut env_small, small) = setup(4, &[20.0]);
+        let t0 = env_small.now();
+        small.read_all(&mut env_small);
+        let small_time = env_small.now() - t0;
+
+        let (mut env_big, big) = setup(16, &[20.0]);
+        let t0 = env_big.now();
+        big.read_all(&mut env_big);
+        let big_time = env_big.now() - t0;
+        assert!(
+            big_time.as_nanos() > small_time.as_nanos() * 3,
+            "sequential polling scales linearly: {small_time} vs {big_time}"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! B1 — header overhead (§II.1): host-time cost of one full polling /
+//! aggregation round per architecture and stack. The *virtual* byte
+//! tables this experiment is really about come from `harness b1`; the
+//! Criterion numbers here track the simulator's own cost so regressions
+//! in the substrate show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sensorcer_baselines::scenario::{direct_scenario, sensorcer_scenario};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b1_header_overhead");
+    // Fast, bounded sampling: the virtual-time tables come from the
+    // harness; these benches track simulator/runtime host cost.
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for n in [8usize, 32] {
+        g.bench_with_input(BenchmarkId::new("direct_round", n), &n, |b, &n| {
+            let mut s = direct_scenario(n, 42);
+            b.iter(|| {
+                let r = s.round();
+                assert!(r.value.is_some());
+                r.wire_bytes
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("csp_round", n), &n, |b, &n| {
+            let mut s = sensorcer_scenario(n, 42);
+            b.iter(|| {
+                let r = s.round();
+                assert!(r.value.is_some());
+                r.wire_bytes
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

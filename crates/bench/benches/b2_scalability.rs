@@ -1,0 +1,40 @@
+//! B2 — scalability (§VII): cost of one network-wide read as the sensor
+//! count grows, for flat and hierarchical composites. Virtual-latency
+//! tables come from `harness b2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sensorcer_bench::helpers::sensor_world;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b2_scalability");
+    // Fast, bounded sampling: the virtual-time tables come from the
+    // harness; these benches track simulator/runtime host cost.
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for n in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("flat_csp_read", n), &n, |b, &n| {
+            let mut w = sensor_world(n, 42);
+            let name = w.flat_composite("All");
+            b.iter(|| {
+                let (v, dt) = w.timed_read(&name);
+                v.expect("read");
+                dt
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("tree_csp_read", n), &n, |b, &n| {
+            let mut w = sensor_world(n, 42);
+            let root = w.composite_tree(8);
+            b.iter(|| {
+                let (v, dt) = w.timed_read(&root);
+                v.expect("read");
+                dt
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! B3 — provisioning (§V.B): full provision-to-first-read cycles across
+//! pool sizes and allocation policies. Virtual-latency tables come from
+//! `harness b3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sensorcer_bench::b3_provisioning::provision_to_first_read;
+use sensorcer_provision::policy::AllocationPolicy;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b3_provisioning");
+    // Fast, bounded sampling: the virtual-time tables come from the
+    // harness; these benches track simulator/runtime host cost.
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for nodes in [2usize, 16] {
+        for policy in AllocationPolicy::ALL {
+            let id = BenchmarkId::new(policy.name(), nodes);
+            g.bench_with_input(id, &nodes, |b, &nodes| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    provision_to_first_read(nodes, policy, seed)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! B4 — outage tolerance (§VII): one full crash → detect → re-provision →
+//! first-read cycle. The virtual outage-window tables come from
+//! `harness b4`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sensorcer_bench::b4_failover::{failover_window, stale_registration_window};
+use sensorcer_sim::time::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b4_failover");
+    // Fast, bounded sampling: the virtual-time tables come from the
+    // harness; these benches track simulator/runtime host cost.
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for hb_ms in [500u64, 5000] {
+        g.bench_with_input(BenchmarkId::new("failover_cycle", hb_ms), &hb_ms, |b, &hb_ms| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                failover_window(SimDuration::from_millis(hb_ms), seed)
+            });
+        });
+    }
+    g.bench_function("stale_registration_cycle", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            stale_registration_window(SimDuration::from_secs(5), seed)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

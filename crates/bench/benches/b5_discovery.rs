@@ -1,0 +1,50 @@
+//! B5 — discovery and lookup (§IV.B): multicast discovery plus template
+//! lookups against registries of increasing size. Virtual-latency tables
+//! come from `harness b5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sensorcer_bench::helpers::sensor_world;
+use sensorcer_registry::discovery::discover;
+use sensorcer_registry::ids::interfaces;
+use sensorcer_registry::item::ServiceTemplate;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b5_discovery");
+    // Fast, bounded sampling: the virtual-time tables come from the
+    // harness; these benches track simulator/runtime host cost.
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for n in [10usize, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("discover", n), &n, |b, &n| {
+            let mut w = sensor_world(n, 42);
+            b.iter(|| {
+                let found = discover(&mut w.env, w.client, "public");
+                assert_eq!(found.len(), 1);
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("lookup_by_name", n), &n, |b, &n| {
+            let mut w = sensor_world(n, 42);
+            let lus = w.lus;
+            let tpl = ServiceTemplate::by_name(format!("Sensor-{:03}", n / 2));
+            b.iter(|| {
+                let hit = lus.lookup_one(&mut w.env, w.client, &tpl).unwrap();
+                assert!(hit.is_some());
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("lookup_all_by_interface", n), &n, |b, &n| {
+            let mut w = sensor_world(n, 42);
+            let lus = w.lus;
+            let tpl = ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR);
+            b.iter(|| {
+                let all = lus.lookup(&mut w.env, w.client, &tpl, usize::MAX).unwrap();
+                assert_eq!(all.len(), n);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

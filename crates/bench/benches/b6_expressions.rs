@@ -1,0 +1,44 @@
+//! B6 — compute-expressions (§V.A): the Groovy-substitute's parse and
+//! evaluation throughput, plus the wire codec it competes with for
+//! per-read budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sensorcer_bench::var;
+use sensorcer_expr::{Program, Scope};
+use sensorcer_sim::wire::{WireDecode, WireEncode};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b6_expressions");
+    // Fast, bounded sampling: the virtual-time tables come from the
+    // harness; these benches track simulator/runtime host cost.
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for (name, src, vars) in sensorcer_bench::b6_expressions::expression_suite() {
+        g.bench_with_input(BenchmarkId::new("compile", name), &src, |b, src| {
+            b.iter(|| Program::compile(src).expect("compiles"));
+        });
+        let program = Program::compile(&src).expect("compiles");
+        g.bench_with_input(BenchmarkId::new("eval_cached", name), &program, |b, p| {
+            let mut scope = Scope::new();
+            for i in 0..vars {
+                scope.set(var(i), 20.0 + i as f64);
+            }
+            b.iter(|| p.eval(&mut scope).expect("evals"));
+        });
+    }
+    // The codec the context rides on.
+    g.bench_function("wire_roundtrip_string_vec", |b| {
+        let payload: Vec<String> = (0..32).map(|i| format!("Sensor-{i:03}")).collect();
+        b.iter(|| {
+            let mut wire = payload.to_wire();
+            let back = Vec::<String>::decode(&mut wire).expect("decodes");
+            assert_eq!(back.len(), 32);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

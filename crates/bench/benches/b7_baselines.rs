@@ -1,0 +1,39 @@
+//! B7 — related-work comparison (§III): one aggregation round per
+//! architecture over the shared workload. The virtual profile table
+//! (latency / bytes / idle / hotspot) comes from `harness b7`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sensorcer_baselines::scenario::{
+    direct_scenario, sensorcer_scenario, surrogate_scenario, three_level_scenario,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b7_baselines");
+    // Fast, bounded sampling: the virtual-time tables come from the
+    // harness; these benches track simulator/runtime host cost.
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    let n = 24;
+    g.bench_function("direct_polling_round", |b| {
+        let mut s = direct_scenario(n, 42);
+        b.iter(|| s.round());
+    });
+    g.bench_function("three_level_round", |b| {
+        let mut s = three_level_scenario(n, 42);
+        b.iter(|| s.round());
+    });
+    g.bench_function("surrogate_round", |b| {
+        let mut s = surrogate_scenario(n, 42);
+        b.iter(|| s.round());
+    });
+    g.bench_function("sensorcer_csp_round", |b| {
+        let mut s = sensorcer_scenario(n, 42);
+        b.iter(|| s.round());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! B8 — real-thread local mode: sequential vs. work-stealing parallel
+//! reads of composite trees. Unlike B1–B7 this one is *about* host time,
+//! so the Criterion numbers are the result (also summarized by
+//! `harness b8`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sensorcer_core::local::{synthetic_tree_with_work, LocalFederation};
+use sensorcer_runtime::ThreadPool;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b8_parallel_local");
+    // Fast, bounded sampling: the virtual-time tables come from the
+    // harness; these benches track simulator/runtime host cost.
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for (label, work_iters) in [("free_leaves", 0u32), ("busy_leaves_20us", 4_000)] {
+        g.bench_function(BenchmarkId::new("sequential", label), |b| {
+            let fed = LocalFederation::new(synthetic_tree_with_work(1, 64, 21.0, work_iters));
+            b.iter(|| fed.read_sequential().expect("read"));
+        });
+        for threads in [2usize, 4, 8] {
+            let id = BenchmarkId::new(format!("parallel_t{threads}"), label);
+            g.bench_function(id, |b| {
+                let pool = ThreadPool::new(threads);
+                let fed = LocalFederation::new(synthetic_tree_with_work(1, 64, 21.0, work_iters));
+                b.iter(|| fed.read_parallel(&pool).expect("read"));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! A1 — ablations of the reproduction's own design choices (DESIGN.md §5).
+//!
+//! Two switches the paper leaves implicit but that dominate the measured
+//! numbers:
+//!
+//! * **Binding cache** — a CSP reuses downloaded proxies (the Jini model)
+//!   vs. re-binding every child through the LUS on every read;
+//! * **Child-read concurrency** — the CSP's parallel fan-out vs. a
+//!   what-if sequential collection (reconstructed analytically from the
+//!   direct-polling measurements).
+
+use sensorcer_core::prelude::*;
+use sensorcer_exertion::ServicerBox;
+use sensorcer_sim::prelude::*;
+
+use crate::helpers::sensor_world;
+use crate::table::{fmt_bytes, fmt_us, Table};
+
+/// One configuration's steady-state read profile.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadProfile {
+    pub latency: SimDuration,
+    pub wire_bytes: u64,
+}
+
+/// Measure the flat-composite read with the binding cache on or off.
+/// Returns (cold first read, steady-state read).
+pub fn cache_profile(n: usize, cache: bool, seed: u64) -> (ReadProfile, ReadProfile) {
+    let mut w = sensor_world(n, seed);
+    let name = w.flat_composite("All");
+    let svc = w.env.find_service(&name).expect("deployed");
+    w.env
+        .with_service(svc, |_e, sb: &mut ServicerBox| {
+            sb.downcast_mut::<CompositeSensorProvider>()
+                .expect("composite")
+                .binding_cache_enabled = cache;
+        })
+        .expect("flag set");
+
+    let measure = |w: &mut crate::helpers::SensorWorld| {
+        let b0 = w.env.metrics.get(metric_keys::BYTES_WIRE);
+        let (v, dt) = w.timed_read(&name);
+        v.expect("read");
+        ReadProfile { latency: dt, wire_bytes: w.env.metrics.delta(metric_keys::BYTES_WIRE, b0) }
+    };
+    let cold = measure(&mut w);
+    // Steady state: average of several warm reads.
+    let mut total_lat = 0u64;
+    let mut total_bytes = 0u64;
+    let rounds = 5u64;
+    for _ in 0..rounds {
+        let p = measure(&mut w);
+        total_lat += p.latency.as_nanos();
+        total_bytes += p.wire_bytes;
+    }
+    (
+        cold,
+        ReadProfile {
+            latency: SimDuration::from_nanos(total_lat / rounds),
+            wire_bytes: total_bytes / rounds,
+        },
+    )
+}
+
+pub fn run_table(seed: u64) -> Table {
+    let mut t = Table::new(
+        "A1: binding-cache ablation — flat composite read over n sensors",
+        &["n", "cache", "cold read", "steady read", "steady bytes/read"],
+    );
+    for n in [8usize, 32, 128] {
+        for cache in [true, false] {
+            let (cold, steady) = cache_profile(n, cache, seed);
+            t.row(&[
+                n.to_string(),
+                if cache { "on" } else { "off" }.to_string(),
+                fmt_us(cold.latency.as_micros_f64()),
+                fmt_us(steady.latency.as_micros_f64()),
+                fmt_bytes(steady.wire_bytes),
+            ]);
+        }
+    }
+    t.note("cache off = every child read pays a LUS lookup (Jini without proxy reuse)");
+    t.note("cold reads are identical by construction; steady-state shows the cache's value");
+    t
+}
+
+pub fn run(seed: u64) -> String {
+    run_table(seed).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_reduces_steady_state_bytes() {
+        let (_, with_cache) = cache_profile(16, true, 3);
+        let (_, without) = cache_profile(16, false, 3);
+        assert!(
+            with_cache.wire_bytes < without.wire_bytes,
+            "cached {} vs uncached {}",
+            with_cache.wire_bytes,
+            without.wire_bytes
+        );
+    }
+
+    #[test]
+    fn cache_reduces_steady_state_latency() {
+        let (_, with_cache) = cache_profile(16, true, 3);
+        let (_, without) = cache_profile(16, false, 3);
+        assert!(
+            with_cache.latency <= without.latency,
+            "cached {} vs uncached {}",
+            with_cache.latency,
+            without.latency
+        );
+    }
+
+    #[test]
+    fn cold_read_costs_more_than_steady_with_cache() {
+        let (cold, steady) = cache_profile(16, true, 3);
+        assert!(cold.wire_bytes > steady.wire_bytes, "{} vs {}", cold.wire_bytes, steady.wire_bytes);
+    }
+}

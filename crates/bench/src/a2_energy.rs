@@ -1,0 +1,243 @@
+//! A2 — mote energy per delivered reading, by architecture.
+//!
+//! The sensor-network literature the paper leans on (its refs. 13, 15) is
+//! dominated by energy budgets, and §III.B's critique of the surrogate
+//! architecture is at heart an energy argument: a mote that streams
+//! continuously pays for samples nobody asked for. This experiment gives
+//! every architecture identical battery-powered probes, runs one hour of
+//! operation with one network-wide read per minute, and reports what the
+//! motes' batteries actually paid.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sensorcer_baselines::direct::{deploy_direct_sensor, DirectClient};
+use sensorcer_baselines::surrogate;
+use sensorcer_core::prelude::*;
+use sensorcer_registry::lease::LeasePolicy;
+use sensorcer_registry::lus::LookupService;
+use sensorcer_sensors::prelude::*;
+use sensorcer_sim::prelude::*;
+
+use crate::table::Table;
+
+/// A probe wrapper that keeps an external handle to the battery, so the
+/// experiment can read consumption after the probe was moved into a
+/// provider or streaming loop.
+struct SharedProbe {
+    inner: Rc<RefCell<SimulatedProbe>>,
+    teds: Teds,
+}
+
+impl SensorProbe for SharedProbe {
+    fn sample(&mut self, now: SimTime) -> Result<Measurement, ProbeError> {
+        self.inner.borrow_mut().sample(now)
+    }
+    fn teds(&self) -> &Teds {
+        &self.teds
+    }
+    fn battery_level(&self) -> f64 {
+        self.inner.borrow().battery_level()
+    }
+    fn charge_tx(&mut self, bytes: usize) {
+        self.inner.borrow_mut().charge_tx(bytes);
+    }
+}
+
+/// Identical mote hardware for every architecture: constant signal, a
+/// battery with measurable per-sample and per-byte costs.
+const CAPACITY_UJ: f64 = 1.0e9;
+const SAMPLE_COST_UJ: f64 = 50.0;
+const TX_COST_PER_BYTE_UJ: f64 = 2.0;
+
+fn make_probe(i: usize, seed: u64) -> (Box<dyn SensorProbe>, Rc<RefCell<SimulatedProbe>>) {
+    let inner = SimulatedProbe::new(
+        Teds::sunspot_temperature(format!("E-{i}")),
+        Signal::Constant(20.0 + i as f64 * 0.1),
+        SimRng::new(seed ^ i as u64),
+    )
+    .with_battery(Battery::new(CAPACITY_UJ, SAMPLE_COST_UJ, TX_COST_PER_BYTE_UJ));
+    let teds = inner.teds().clone();
+    let shared = Rc::new(RefCell::new(inner));
+    (Box::new(SharedProbe { inner: Rc::clone(&shared), teds }), shared)
+}
+
+fn consumed_uj(handles: &[Rc<RefCell<SimulatedProbe>>]) -> f64 {
+    handles.iter().map(|h| (1.0 - h.borrow().battery_level()) * CAPACITY_UJ).sum()
+}
+
+/// Result of one architecture's hour of operation.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyProfile {
+    pub readings_delivered: u64,
+    pub total_uj: f64,
+    pub uj_per_reading: f64,
+}
+
+/// One hour, one network read per minute.
+const ROUNDS: u64 = 60;
+const ROUND_GAP: SimDuration = SimDuration::from_secs(60);
+
+pub fn direct_energy(n: usize, seed: u64) -> EnergyProfile {
+    let mut env = Env::with_seed(seed);
+    let client_host = env.add_host("client", HostKind::Workstation);
+    let mut client = DirectClient::new(client_host, ProtocolStack::Tcp);
+    let mut handles = Vec::new();
+    for i in 0..n {
+        let mote = env.add_host(format!("m{i}"), HostKind::SensorMote);
+        let (probe, handle) = make_probe(i, seed);
+        client.sensors.push(deploy_direct_sensor(&mut env, mote, &format!("s{i}"), probe));
+        handles.push(handle);
+    }
+    let mut delivered = 0;
+    for _ in 0..ROUNDS {
+        delivered += client.read_all(&mut env).iter().filter(|r| r.is_ok()).count() as u64;
+        env.run_for(ROUND_GAP);
+    }
+    let total = consumed_uj(&handles);
+    EnergyProfile { readings_delivered: delivered, total_uj: total, uj_per_reading: total / delivered as f64 }
+}
+
+pub fn sensorcer_energy(n: usize, seed: u64) -> EnergyProfile {
+    let mut env = Env::with_seed(seed);
+    let lab = env.add_host("lab", HostKind::Server);
+    let client = env.add_host("client", HostKind::Workstation);
+    let lus = LookupService::deploy(
+        &mut env,
+        lab,
+        "LUS",
+        "public",
+        LeasePolicy {
+            max_duration: SimDuration::from_secs(360_000),
+            default_duration: SimDuration::from_secs(36_000),
+        },
+        SimDuration::from_secs(1),
+    );
+    let mut handles = Vec::new();
+    for i in 0..n {
+        let mote = env.add_host(format!("m{i}"), HostKind::SensorMote);
+        let (probe, handle) = make_probe(i, seed);
+        deploy_esp(
+            &mut env,
+            EspConfig {
+                lease: SimDuration::from_secs(36_000),
+                ..EspConfig::new(mote, format!("Sensor-{i:03}"), probe, lus)
+            },
+        );
+        handles.push(handle);
+    }
+    let mut cfg = CspConfig::new(lab, "All", lus);
+    cfg.lease = SimDuration::from_secs(36_000);
+    cfg.children = (0..n).map(|i| format!("Sensor-{i:03}")).collect();
+    deploy_csp(&mut env, cfg).expect("composite");
+    let accessor = sensorcer_exertion::ServiceAccessor::new(vec![lus]);
+
+    let mut delivered = 0;
+    for _ in 0..ROUNDS {
+        if client::get_value(&mut env, client, &accessor, "All").is_ok() {
+            delivered += n as u64; // one composite read delivers n readings
+        }
+        env.run_for(ROUND_GAP);
+    }
+    let total = consumed_uj(&handles);
+    EnergyProfile { readings_delivered: delivered, total_uj: total, uj_per_reading: total / delivered as f64 }
+}
+
+pub fn surrogate_energy(n: usize, seed: u64) -> EnergyProfile {
+    let mut env = Env::with_seed(seed);
+    let server = env.add_host("surrogate-host", HostKind::Server);
+    let client = env.add_host("client", HostKind::Workstation);
+    let host_svc = surrogate::deploy_surrogate_host(&mut env, server, "Surrogate Host");
+    let mut handles = Vec::new();
+    for i in 0..n {
+        let mote = env.add_host(format!("m{i}"), HostKind::SensorMote);
+        let (probe, handle) = make_probe(i, seed);
+        surrogate::attach_node(
+            &mut env,
+            mote,
+            &format!("node{i}"),
+            probe,
+            host_svc,
+            SimDuration::from_secs(1), // 1 Hz streaming, the architecture's habit
+        );
+        handles.push(handle);
+    }
+    env.run_for(SimDuration::from_secs(3)); // warm the cache
+    let mut delivered = 0;
+    for _ in 0..ROUNDS {
+        if let Ok(rs) = surrogate::query_fresh(&mut env, client, host_svc, SimDuration::from_secs(5)) {
+            delivered += rs.len() as u64;
+        }
+        env.run_for(ROUND_GAP);
+    }
+    let total = consumed_uj(&handles);
+    EnergyProfile { readings_delivered: delivered, total_uj: total, uj_per_reading: total / delivered as f64 }
+}
+
+pub fn run_table(seed: u64) -> Table {
+    let n = 8;
+    let mut t = Table::new(
+        format!("A2: mote energy over one hour, {n} motes, one network read per minute"),
+        &["architecture", "readings delivered", "total mote energy", "energy per reading"],
+    );
+    for (name, p) in [
+        ("direct-polling", direct_energy(n, seed)),
+        ("sensorcer-csp", sensorcer_energy(n, seed)),
+        ("surrogate (1 Hz stream)", surrogate_energy(n, seed)),
+    ] {
+        t.row(&[
+            name.to_string(),
+            p.readings_delivered.to_string(),
+            format!("{:.1}mJ", p.total_uj / 1000.0),
+            format!("{:.1}uJ", p.uj_per_reading),
+        ]);
+    }
+    t.note("identical batteries everywhere: 50uJ/sample + 2uJ/byte transmitted");
+    t.note("sensorcer responses are self-describing (~150B) vs direct's 17B binary record —");
+    t.note("  richer protocol, more mote tx energy per reading; both sample once per reading");
+    t.note("on-demand architectures sample only when asked; the surrogate's motes stream always");
+    t.note("the three-level stack wires sensors to TCI hosts (mains) — no mote energy by design");
+    t
+}
+
+pub fn run(seed: u64) -> String {
+    run_table(seed).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_demand_architectures_are_the_same_order_of_magnitude() {
+        let d = direct_energy(4, 5);
+        let s = sensorcer_energy(4, 5);
+        assert!(d.readings_delivered > 0 && s.readings_delivered > 0);
+        // Both sample once per delivered reading; they differ in response
+        // size — SenSORCER's self-describing context (~150 B: value, unit,
+        // timestamp, quality) costs the mote more tx energy than direct
+        // polling's 17-byte binary record. Same order, direct cheaper.
+        let ratio = d.uj_per_reading / s.uj_per_reading;
+        assert!((0.1..1.0).contains(&ratio), "direct {} vs sensorcer {}", d.uj_per_reading, s.uj_per_reading);
+    }
+
+    #[test]
+    fn streaming_costs_an_order_of_magnitude_more_energy() {
+        let s = sensorcer_energy(4, 5);
+        let sur = surrogate_energy(4, 5);
+        // The surrogate samples ~60x more often than it is asked.
+        assert!(
+            sur.total_uj > s.total_uj * 5.0,
+            "surrogate {} vs sensorcer {}",
+            sur.total_uj,
+            s.total_uj
+        );
+    }
+
+    #[test]
+    fn energy_is_actually_consumed() {
+        let p = direct_energy(2, 5);
+        assert!(p.total_uj > 0.0);
+        assert!(p.uj_per_reading > SAMPLE_COST_UJ, "tx must cost on top of sampling");
+    }
+}

@@ -1,0 +1,185 @@
+//! B1 — header overhead for tiny sensor readings (§II.1).
+//!
+//! The paper: "The data generated from a single sensor at any instance is
+//! very small. To transfer this small amount of data over the network,
+//! header overhead of the current IP protocol is relatively high."
+//!
+//! Two tables: (a) the raw per-stack arithmetic for one 17-byte reading
+//! exchange; (b) measured wire bytes per delivered reading for the polling
+//! architectures and for SenSORCER CSP aggregation, at several network
+//! sizes.
+
+use sensorcer_baselines::direct::{
+    deploy_direct_sensor, DirectClient, READ_REQUEST_BYTES, READ_RESPONSE_BYTES,
+};
+use sensorcer_sensors::prelude::*;
+use sensorcer_sim::prelude::*;
+
+use crate::helpers::{probe_value, sensor_world};
+use crate::table::{fmt_bytes, Table};
+
+/// Table (a): stack arithmetic for one reading exchange.
+pub fn stack_arithmetic() -> Table {
+    let mut t = Table::new(
+        "B1a: bytes on the wire for one 17-byte reading exchange, by protocol stack",
+        &["stack", "request", "response", "setup", "total", "overhead"],
+    );
+    for (name, stack) in [
+        ("TCP/IPv4", ProtocolStack::Tcp),
+        ("UDP/IPv4", ProtocolStack::Udp),
+        ("6LoWPAN-compact", ProtocolStack::Compact),
+    ] {
+        let req = stack.bytes_on_wire(READ_REQUEST_BYTES);
+        let resp = stack.bytes_on_wire(READ_RESPONSE_BYTES);
+        let setup = stack.setup_bytes();
+        let total = req + resp + setup;
+        let payload = READ_REQUEST_BYTES + READ_RESPONSE_BYTES;
+        let overhead = 100.0 * (total - payload) as f64 / total as f64;
+        t.row(&[
+            name.to_string(),
+            format!("{req}B"),
+            format!("{resp}B"),
+            format!("{setup}B"),
+            format!("{total}B"),
+            format!("{overhead:.1}%"),
+        ]);
+    }
+    t.note("payload is 16B request + 17B response; everything else is protocol header");
+    t
+}
+
+/// Measured byte profile of one architecture at size `n`:
+/// (total wire bytes per reading, client-uplink bytes per reading).
+///
+/// The client-uplink column is the paper's §II.4 "data flow reversal"
+/// concern: how much traffic the *data collector's* own access link must
+/// originate per reading it obtains.
+fn direct_bytes_per_reading(n: usize, stack: ProtocolStack, seed: u64) -> (f64, f64) {
+    let mut env = Env::with_seed(seed);
+    let client_host = env.add_host("client", HostKind::Workstation);
+    let mut client = DirectClient::new(client_host, stack);
+    for i in 0..n {
+        let mote = env.add_host(format!("m{i}"), HostKind::SensorMote);
+        client.sensors.push(deploy_direct_sensor(
+            &mut env,
+            mote,
+            &format!("s{i}"),
+            Box::new(ScriptedProbe::new(vec![probe_value(i)], Unit::Celsius)),
+        ));
+    }
+    let rounds = 5u64;
+    let before = env.metrics.get(metric_keys::BYTES_WIRE);
+    let before_client = env.metrics.get_host(client_host, metric_keys::BYTES_WIRE);
+    for _ in 0..rounds {
+        client.read_all(&mut env);
+    }
+    let readings = (rounds * n as u64) as f64;
+    (
+        env.metrics.delta(metric_keys::BYTES_WIRE, before) as f64 / readings,
+        (env.metrics.get_host(client_host, metric_keys::BYTES_WIRE) - before_client) as f64
+            / readings,
+    )
+}
+
+fn csp_bytes_per_reading(n: usize, seed: u64) -> (f64, f64) {
+    let mut w = sensor_world(n, seed);
+    let name = w.flat_composite("All");
+    // Warm round: binding lookups happen once (Jini proxy caching).
+    let (v, _) = w.timed_read(&name);
+    v.expect("warm read");
+    let rounds = 5u64;
+    let before = w.env.metrics.get(metric_keys::BYTES_WIRE);
+    let before_client = w.env.metrics.get_host(w.client, metric_keys::BYTES_WIRE);
+    for _ in 0..rounds {
+        let (v, _) = w.timed_read(&name);
+        v.expect("composite read");
+    }
+    let readings = (rounds * n as u64) as f64;
+    (
+        w.env.metrics.delta(metric_keys::BYTES_WIRE, before) as f64 / readings,
+        (w.env.metrics.get_host(w.client, metric_keys::BYTES_WIRE) - before_client) as f64
+            / readings,
+    )
+}
+
+/// Table (b): measured per-reading wire cost by architecture and size.
+pub fn measured(seed: u64) -> Table {
+    let mut t = Table::new(
+        "B1b: measured wire bytes per delivered reading (total / client uplink)",
+        &["n-sensors", "direct TCP", "direct UDP", "direct compact", "sensorcer CSP"],
+    );
+    for n in [1usize, 8, 32] {
+        let fmt = |(total, client): (f64, f64)| {
+            format!("{} / {}", fmt_bytes(total as u64), fmt_bytes(client as u64))
+        };
+        t.row(&[
+            n.to_string(),
+            fmt(direct_bytes_per_reading(n, ProtocolStack::Tcp, seed)),
+            fmt(direct_bytes_per_reading(n, ProtocolStack::Udp, seed)),
+            fmt(direct_bytes_per_reading(n, ProtocolStack::Compact, seed)),
+            fmt(csp_bytes_per_reading(n, seed)),
+        ]);
+    }
+    t.note("total: all hops; client uplink: bytes the collector's own link must originate (§II.4)");
+    t.note("paper expectation: TCP >> UDP > compact; aggregation amortizes the client hop to ~1/n");
+    t
+}
+
+/// Run both tables.
+pub fn run(seed: u64) -> String {
+    format!("{}\n{}", stack_arithmetic().render(), measured(seed).render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_overhead_dominates_small_readings() {
+        let t = stack_arithmetic();
+        let tcp = t.cell_f64(0, "overhead");
+        let udp = t.cell_f64(1, "overhead");
+        let compact = t.cell_f64(2, "overhead");
+        assert!(tcp > udp && udp > compact, "tcp {tcp} udp {udp} compact {compact}");
+        assert!(tcp > 90.0, "the paper's complaint in numbers: {tcp}% of bytes are headers");
+        assert!(compact < 60.0);
+    }
+
+    #[test]
+    fn direct_tcp_costs_more_than_udp_and_compact() {
+        let (tcp, _) = direct_bytes_per_reading(8, ProtocolStack::Tcp, 42);
+        let (udp, _) = direct_bytes_per_reading(8, ProtocolStack::Udp, 42);
+        let (compact, _) = direct_bytes_per_reading(8, ProtocolStack::Compact, 42);
+        assert!(tcp > udp, "tcp {tcp} vs udp {udp}");
+        assert!(udp > compact, "udp {udp} vs compact {compact}");
+    }
+
+    #[test]
+    fn csp_amortization_improves_with_scale() {
+        // Per-reading CSP cost falls as n grows (binding + client hop are
+        // shared), while direct polling stays flat.
+        let (small, _) = csp_bytes_per_reading(2, 42);
+        let (large, _) = csp_bytes_per_reading(32, 42);
+        assert!(large < small, "per-reading cost should fall: {small} -> {large}");
+    }
+
+    #[test]
+    fn aggregation_amortizes_the_client_uplink() {
+        // §II.4: with aggregation the collector's own link originates ~1/n
+        // of what per-sensor polling costs it.
+        let n = 32;
+        let (_, direct_up) = direct_bytes_per_reading(n, ProtocolStack::Tcp, 42);
+        let (_, csp_up) = csp_bytes_per_reading(n, 42);
+        assert!(
+            csp_up * 4.0 < direct_up,
+            "client uplink per reading: csp {csp_up} vs direct {direct_up}"
+        );
+    }
+
+    #[test]
+    fn full_report_renders() {
+        let s = run(42);
+        assert!(s.contains("B1a"));
+        assert!(s.contains("B1b"));
+    }
+}

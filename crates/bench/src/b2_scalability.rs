@@ -1,0 +1,128 @@
+//! B2 — scalability of a network-wide read (§VII).
+//!
+//! The paper: "the SenSORCER network scales very well … addition of new
+//! sensor services does not necessarily affect the performance of the
+//! system." We sweep the sensor count and compare the virtual latency of
+//! one network-wide average under three strategies: sequential direct
+//! polling, one flat CSP (parallel fan-out, hub-limited), and a CSP
+//! hierarchy of fan-out 8 (the logical sensor networking of Fig. 3 at
+//! scale).
+
+use sensorcer_baselines::direct::{deploy_direct_sensor, DirectClient};
+use sensorcer_sensors::prelude::*;
+use sensorcer_sim::prelude::*;
+
+use crate::helpers::{probe_value, sensor_world};
+use crate::table::{fmt_us, Table};
+
+fn direct_latency(n: usize, seed: u64) -> SimDuration {
+    let mut env = Env::with_seed(seed);
+    let client_host = env.add_host("client", HostKind::Workstation);
+    let mut client = DirectClient::new(client_host, ProtocolStack::Tcp);
+    for i in 0..n {
+        let mote = env.add_host(format!("m{i}"), HostKind::SensorMote);
+        client.sensors.push(deploy_direct_sensor(
+            &mut env,
+            mote,
+            &format!("s{i}"),
+            Box::new(ScriptedProbe::new(vec![probe_value(i)], Unit::Celsius)),
+        ));
+    }
+    let t0 = env.now();
+    client.read_all(&mut env);
+    env.now() - t0
+}
+
+fn flat_latency(n: usize, seed: u64) -> SimDuration {
+    let mut w = sensor_world(n, seed);
+    let name = w.flat_composite("All");
+    let (v, dt) = w.timed_read(&name);
+    v.expect("flat read");
+    dt
+}
+
+fn tree_latency(n: usize, fanout: usize, seed: u64) -> SimDuration {
+    let mut w = sensor_world(n, seed);
+    let root = w.composite_tree(fanout);
+    let (v, dt) = w.timed_read(&root);
+    v.expect("tree read");
+    dt
+}
+
+/// The B2 sweep.
+pub fn run_table(seed: u64) -> Table {
+    let mut t = Table::new(
+        "B2: virtual latency of one network-wide average vs. sensor count",
+        &["n-sensors", "direct sequential", "flat CSP", "CSP tree (fanout 8)"],
+    );
+    for n in [4usize, 16, 64, 256] {
+        t.row(&[
+            n.to_string(),
+            fmt_us(direct_latency(n, seed).as_micros_f64()),
+            fmt_us(flat_latency(n, seed).as_micros_f64()),
+            fmt_us(tree_latency(n, 8, seed).as_micros_f64()),
+        ]);
+    }
+    t.note("direct polling grows linearly (one RTT per sensor, sequential)");
+    t.note("flat CSP overlaps child reads; the hub's per-child CPU dominates at scale");
+    t.note("the hierarchy spreads hub cost across aggregation servers (paper's logical networks)");
+    t
+}
+
+pub fn run(seed: u64) -> String {
+    run_table(seed).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn federation_beats_sequential_polling() {
+        let n = 64;
+        let direct = direct_latency(n, 7);
+        let flat = flat_latency(n, 7);
+        assert!(
+            flat.as_nanos() * 3 < direct.as_nanos(),
+            "parallel federation should win >3x at n=64: direct {direct} flat {flat}"
+        );
+    }
+
+    #[test]
+    fn hierarchy_wins_at_scale() {
+        let n = 256;
+        let flat = flat_latency(n, 7);
+        let tree = tree_latency(n, 8, 7);
+        assert!(
+            tree < flat,
+            "fan-out-8 hierarchy should beat the flat hub at n=256: flat {flat} tree {tree}"
+        );
+    }
+
+    #[test]
+    fn flat_wins_when_small() {
+        // With few sensors the extra hierarchy levels are pure overhead.
+        let n = 4;
+        let flat = flat_latency(n, 7);
+        let tree = tree_latency(n, 2, 7);
+        assert!(
+            flat <= tree,
+            "at n=4 a flat composite should not lose: flat {flat} tree {tree}"
+        );
+    }
+
+    #[test]
+    fn direct_latency_is_roughly_linear() {
+        let l16 = direct_latency(16, 7).as_nanos() as f64;
+        let l64 = direct_latency(64, 7).as_nanos() as f64;
+        let ratio = l64 / l16;
+        assert!((3.0..5.5).contains(&ratio), "expected ~4x, got {ratio}");
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = run_table(7);
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.cell(3, "n-sensors"), "256");
+    }
+}

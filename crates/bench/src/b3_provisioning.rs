@@ -1,0 +1,157 @@
+//! B3 — dynamic provisioning cost (§V.B, §VII).
+//!
+//! "Dynamic network formation of sensors in SenSORCER dynamically
+//! allocates a CSP to the capable cybernode … with operational
+//! specifications provided by the requestor." We measure the virtual time
+//! from the provisioning request to the new composite's first successful
+//! read, sweeping the cybernode pool size and the allocation policy.
+
+use sensorcer_core::prelude::*;
+use sensorcer_provision::cybernode::Cybernode;
+use sensorcer_provision::factory::FactoryRegistry;
+use sensorcer_provision::monitor::ProvisionMonitor;
+use sensorcer_provision::policy::AllocationPolicy;
+use sensorcer_provision::qos::QosCapabilities;
+use sensorcer_registry::lease::LeasePolicy;
+use sensorcer_registry::lus::LookupService;
+use sensorcer_sensors::prelude::*;
+use sensorcer_sim::prelude::*;
+
+use crate::table::{fmt_us, Table};
+
+struct ProvisionWorld {
+    env: Env,
+    client: HostId,
+    monitor: sensorcer_provision::monitor::MonitorHandle,
+    accessor: sensorcer_exertion::ServiceAccessor,
+}
+
+fn provision_world(cybernodes: usize, policy: AllocationPolicy, seed: u64) -> ProvisionWorld {
+    let mut env = Env::with_seed(seed);
+    let lab = env.add_host("lab", HostKind::Server);
+    let client = env.add_host("client", HostKind::Workstation);
+    let lus = LookupService::deploy(
+        &mut env,
+        lab,
+        "LUS",
+        "public",
+        LeasePolicy {
+            max_duration: SimDuration::from_secs(360_000),
+            default_duration: SimDuration::from_secs(36_000),
+        },
+        SimDuration::from_secs(1),
+    );
+    let renewal =
+        sensorcer_registry::renewal::LeaseRenewalService::deploy(&mut env, lab, "Renewal");
+    let mut factories = FactoryRegistry::new();
+    factories.register(COMPOSITE_TYPE_KEY, composite_factory(lus, Some(renewal)));
+    let monitor = ProvisionMonitor::deploy(
+        &mut env,
+        lab,
+        "Monitor",
+        policy,
+        factories,
+        Some(lus),
+        SimDuration::from_secs(1),
+    );
+    for i in 0..cybernodes {
+        let h = env.add_host(format!("cyb{i}"), HostKind::Server);
+        let node =
+            Cybernode::deploy(&mut env, h, &format!("Cyb-{i}"), QosCapabilities::lab_server(), Some(lus));
+        env.with_service(monitor.service, |_e, m: &mut ProvisionMonitor| {
+            m.register_cybernode(node)
+        })
+        .expect("monitor up");
+    }
+    // One sensor to compose.
+    let mote = env.add_host("mote", HostKind::SensorMote);
+    deploy_esp(
+        &mut env,
+        EspConfig {
+            lease: SimDuration::from_secs(36_000),
+            ..EspConfig::new(
+                mote,
+                "Sensor-000",
+                Box::new(ScriptedProbe::new(vec![21.0], Unit::Celsius)),
+                lus,
+            )
+        },
+    );
+    let accessor = sensorcer_exertion::ServiceAccessor::new(vec![lus]);
+    ProvisionWorld { env, client, monitor, accessor }
+}
+
+/// Virtual time from request to first successful read of the provisioned
+/// composite.
+pub fn provision_to_first_read(
+    cybernodes: usize,
+    policy: AllocationPolicy,
+    seed: u64,
+) -> SimDuration {
+    let mut w = provision_world(cybernodes, policy, seed);
+    let spec = CompositeSpec::named("P").with_children(["Sensor-000"]);
+    let t0 = w.env.now();
+    provision_composite(&mut w.env, w.client, w.monitor, &spec).expect("provision");
+    client::get_value(&mut w.env, w.client, &w.accessor, "P").expect("first read");
+    w.env.now() - t0
+}
+
+pub fn run_table(seed: u64) -> Table {
+    let mut t = Table::new(
+        "B3: provisioning request -> first successful read, by pool size and policy",
+        &["cybernodes", "least-utilized", "round-robin", "best-fit"],
+    );
+    for nodes in [1usize, 4, 16, 64] {
+        let mut cells = vec![nodes.to_string()];
+        for policy in AllocationPolicy::ALL {
+            cells.push(fmt_us(
+                provision_to_first_read(nodes, policy, seed).as_micros_f64(),
+            ));
+        }
+        t.row(&cells);
+    }
+    t.note("cost grows with pool size: the monitor queries each node's utilization before placing");
+    t.note("policies differ in placement choice, not in match latency — columns stay close");
+    t
+}
+
+pub fn run(seed: u64) -> String {
+    run_table(seed).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provisioning_completes_quickly_on_small_pools() {
+        let dt = provision_to_first_read(2, AllocationPolicy::LeastUtilized, 5);
+        assert!(dt < SimDuration::from_secs(1), "{dt}");
+        assert!(dt > SimDuration::from_millis(20), "instantiation cost is modeled: {dt}");
+    }
+
+    #[test]
+    fn bigger_pools_cost_more_matching_time() {
+        let small = provision_to_first_read(1, AllocationPolicy::BestFit, 5);
+        let large = provision_to_first_read(64, AllocationPolicy::BestFit, 5);
+        assert!(large > small, "utilization queries scale with pool: {small} vs {large}");
+    }
+
+    #[test]
+    fn policies_agree_within_reason() {
+        let lu = provision_to_first_read(8, AllocationPolicy::LeastUtilized, 5).as_nanos() as f64;
+        let rr = provision_to_first_read(8, AllocationPolicy::RoundRobin, 5).as_nanos() as f64;
+        let bf = provision_to_first_read(8, AllocationPolicy::BestFit, 5).as_nanos() as f64;
+        for (name, v) in [("rr", rr), ("bf", bf)] {
+            let ratio = v / lu;
+            assert!((0.5..2.0).contains(&ratio), "{name} diverges: {ratio}");
+        }
+    }
+
+    #[test]
+    fn table_shape() {
+        let t = run_table(5);
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.headers.len(), 4);
+    }
+}

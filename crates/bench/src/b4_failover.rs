@@ -1,0 +1,238 @@
+//! B4 — outage tolerance (§VII).
+//!
+//! "The system handles very well several types of network and computer
+//! outages." Two measurable halves:
+//!
+//! * **Provisioned-service failover** — crash the cybernode hosting a
+//!   provisioned composite and measure the client-observed unavailability
+//!   window until the monitor re-provisions it elsewhere, sweeping the
+//!   monitor heartbeat.
+//! * **Stale-registration cleanup** — crash an ESP's mote and measure how
+//!   long its dead registration lingers in the LUS, sweeping the lease
+//!   duration (the "leasing keeps the sensor network healthy" claim).
+
+use sensorcer_core::prelude::*;
+use sensorcer_provision::cybernode::Cybernode;
+use sensorcer_provision::factory::FactoryRegistry;
+use sensorcer_provision::monitor::ProvisionMonitor;
+use sensorcer_provision::policy::AllocationPolicy;
+use sensorcer_provision::qos::QosCapabilities;
+use sensorcer_registry::item::ServiceTemplate;
+use sensorcer_registry::lease::LeasePolicy;
+use sensorcer_registry::lus::LookupService;
+use sensorcer_sensors::prelude::*;
+use sensorcer_sim::prelude::*;
+
+use crate::table::{fmt_us, Table};
+
+/// Crash the node hosting a provisioned composite; poll through the façade
+/// path until it answers again. Returns the unavailability window.
+pub fn failover_window(heartbeat: SimDuration, seed: u64) -> SimDuration {
+    let mut env = Env::with_seed(seed);
+    let lab = env.add_host("lab", HostKind::Server);
+    let client = env.add_host("client", HostKind::Workstation);
+    let lus = LookupService::deploy(
+        &mut env,
+        lab,
+        "LUS",
+        "public",
+        LeasePolicy {
+            max_duration: SimDuration::from_secs(360_000),
+            default_duration: SimDuration::from_secs(10),
+        },
+        SimDuration::from_millis(500),
+    );
+    let renewal =
+        sensorcer_registry::renewal::LeaseRenewalService::deploy(&mut env, lab, "Renewal");
+    let mut factories = FactoryRegistry::new();
+    factories.register(COMPOSITE_TYPE_KEY, composite_factory(lus, Some(renewal)));
+    let monitor = ProvisionMonitor::deploy(
+        &mut env,
+        lab,
+        "Monitor",
+        AllocationPolicy::LeastUtilized,
+        factories,
+        Some(lus),
+        heartbeat,
+    );
+    let mut node_hosts = Vec::new();
+    for i in 0..2 {
+        let h = env.add_host(format!("cyb{i}"), HostKind::Server);
+        let node =
+            Cybernode::deploy(&mut env, h, &format!("Cyb-{i}"), QosCapabilities::lab_server(), Some(lus));
+        env.with_service(monitor.service, |_e, m: &mut ProvisionMonitor| {
+            m.register_cybernode(node)
+        })
+        .expect("monitor");
+        node_hosts.push(h);
+    }
+    let mote = env.add_host("mote", HostKind::SensorMote);
+    deploy_esp(
+        &mut env,
+        EspConfig {
+            lease: SimDuration::from_secs(10),
+            renewal: Some(renewal),
+            ..EspConfig::new(
+                mote,
+                "Sensor-000",
+                Box::new(ScriptedProbe::new(vec![21.0], Unit::Celsius)),
+                lus,
+            )
+        },
+    );
+    let accessor = sensorcer_exertion::ServiceAccessor::new(vec![lus]);
+    // Short lease so the dead instance's registration lapses promptly.
+    let mut spec = CompositeSpec::named("HA").with_children(["Sensor-000"]);
+    spec.qos = sensorcer_provision::qos::QosRequirements::modest();
+    let mut os = spec.to_opstring();
+    os.elements[0] = os.elements[0]
+        .clone()
+        .with_config(sensorcer_core::provisioner::config_keys::LEASE_SECS, "5");
+    let placed = monitor.deploy_opstring(&mut env, client, os).expect("net").expect("placed");
+    let victim = placed[0].host;
+
+    // Confirm healthy, then kill the node.
+    client::get_value(&mut env, client, &accessor, "HA").expect("healthy");
+    let crash_at = env.now();
+    env.crash_host(victim);
+
+    // Poll until a read succeeds again, stepping virtual time.
+    loop {
+        env.run_for(SimDuration::from_millis(200));
+        if client::get_value(&mut env, client, &accessor, "HA").is_ok() {
+            break;
+        }
+        assert!(
+            env.now() - crash_at < SimDuration::from_secs(120),
+            "failover did not complete within 120 virtual seconds"
+        );
+    }
+    env.now() - crash_at
+}
+
+/// Crash an ESP's mote; measure how long its registration lingers.
+pub fn stale_registration_window(lease: SimDuration, seed: u64) -> SimDuration {
+    let mut env = Env::with_seed(seed);
+    let lab = env.add_host("lab", HostKind::Server);
+    let lus = LookupService::deploy(
+        &mut env,
+        lab,
+        "LUS",
+        "public",
+        LeasePolicy { max_duration: SimDuration::from_secs(360_000), default_duration: lease },
+        SimDuration::from_millis(500),
+    );
+    let renewal =
+        sensorcer_registry::renewal::LeaseRenewalService::deploy(&mut env, lab, "Renewal");
+    let mote = env.add_host("mote", HostKind::SensorMote);
+    deploy_esp(
+        &mut env,
+        EspConfig {
+            lease,
+            renewal: Some(renewal),
+            ..EspConfig::new(
+                mote,
+                "Doomed",
+                Box::new(ScriptedProbe::new(vec![21.0], Unit::Celsius)),
+                lus,
+            )
+        },
+    );
+    env.run_for(lease * 2); // steady state with renewals
+    let crash_at = env.now();
+    env.crash_host(mote);
+    loop {
+        env.run_for(SimDuration::from_millis(200));
+        let still_there = lus
+            .lookup_one(&mut env, lab, &ServiceTemplate::by_name("Doomed"))
+            .expect("lus reachable")
+            .is_some();
+        if !still_there {
+            break;
+        }
+        assert!(
+            env.now() - crash_at < lease * 4,
+            "stale registration should lapse within ~2 lease periods"
+        );
+    }
+    env.now() - crash_at
+}
+
+/// Failover-window distribution across independent seeds.
+pub fn failover_distribution(
+    heartbeat: SimDuration,
+    seeds: u64,
+    base_seed: u64,
+) -> sensorcer_sim::metrics::Summary {
+    let samples: Vec<f64> = (0..seeds)
+        .map(|i| failover_window(heartbeat, base_seed ^ (i * 0x9E3779B9)).as_micros_f64())
+        .collect();
+    sensorcer_sim::metrics::Summary::of(&samples).expect("non-empty")
+}
+
+pub fn run_table(seed: u64) -> (Table, Table) {
+    let mut a = Table::new(
+        "B4a: provisioned-composite failover window vs. monitor heartbeat (10 seeds)",
+        &["heartbeat", "p50 outage", "p90 outage", "max outage"],
+    );
+    for hb_ms in [500u64, 1_000, 5_000] {
+        let s = failover_distribution(SimDuration::from_millis(hb_ms), 10, seed);
+        a.row(&[
+            format!("{hb_ms}ms"),
+            fmt_us(s.p50),
+            fmt_us(s.p90),
+            fmt_us(s.max),
+        ]);
+    }
+    a.note("outage ≈ stale-lease lapse + heartbeat detection + re-instantiation + re-registration");
+    a.note("distribution over 10 independent seeds; crash instants vary with link jitter draws");
+
+    let mut b = Table::new(
+        "B4b: stale ESP registration lifetime vs. lease duration",
+        &["lease", "lingers for"],
+    );
+    for lease_s in [5u64, 30, 120] {
+        let w = stale_registration_window(SimDuration::from_secs(lease_s), seed);
+        b.row(&[format!("{lease_s}s"), fmt_us(w.as_micros_f64())]);
+    }
+    b.note("a dead provider stops renewing; its item survives at most one lease period");
+    (a, b)
+}
+
+pub fn run(seed: u64) -> String {
+    let (a, b) = run_table(seed);
+    format!("{}\n{}", a.render(), b.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failover_completes_and_scales_with_heartbeat() {
+        let fast = failover_window(SimDuration::from_millis(500), 3);
+        let slow = failover_window(SimDuration::from_secs(5), 3);
+        assert!(fast < slow, "faster heartbeat, faster recovery: {fast} vs {slow}");
+        assert!(slow < SimDuration::from_secs(30), "{slow}");
+    }
+
+    #[test]
+    fn failover_distribution_is_tight_and_ordered() {
+        let s = failover_distribution(SimDuration::from_secs(1), 6, 7);
+        assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.max);
+        // Recovery is lease-dominated: the spread across seeds is bounded
+        // (no pathological outliers past the lease + a few heartbeats).
+        assert!(s.max < 30e6, "max outage {}us", s.max);
+        assert!(s.min > 1e6, "recovery can't beat the stale-lease window: {}us", s.min);
+    }
+
+    #[test]
+    fn stale_window_tracks_lease_duration() {
+        let short = stale_registration_window(SimDuration::from_secs(5), 3);
+        let long = stale_registration_window(SimDuration::from_secs(60), 3);
+        assert!(short < long, "{short} vs {long}");
+        // Renewal at lease/2 means worst-case staleness is ~1 lease.
+        assert!(short <= SimDuration::from_secs(6), "{short}");
+        assert!(long <= SimDuration::from_secs(66), "{long}");
+    }
+}

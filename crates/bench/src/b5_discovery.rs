@@ -1,0 +1,155 @@
+//! B5 — plug-and-play discovery and lookup (§IV.B, §VII).
+//!
+//! "Plug-and-play of discoverable services with Jini lookup services
+//! allows any sensor service to appear and go away in the network
+//! dynamically." We measure multicast discovery latency, lookup latency by
+//! template kind as the registry grows, and listing consistency under
+//! join/leave churn.
+
+use sensorcer_registry::attributes::AttrMatch;
+use sensorcer_registry::discovery::discover;
+use sensorcer_registry::ids::interfaces;
+use sensorcer_registry::item::ServiceTemplate;
+use sensorcer_sim::prelude::*;
+
+use crate::helpers::sensor_world;
+use crate::table::{fmt_us, Table};
+
+/// Measure discovery and lookups on a registry of `n` sensors.
+fn measure(n: usize, seed: u64) -> (SimDuration, SimDuration, SimDuration, SimDuration) {
+    let mut w = sensor_world(n, seed);
+
+    let t0 = w.env.now();
+    let found = discover(&mut w.env, w.client, "public");
+    let discovery = w.env.now() - t0;
+    assert_eq!(found.len(), 1, "one LUS in the world");
+    let lus = found[0];
+
+    let mid = format!("Sensor-{:03}", n / 2);
+    let t0 = w.env.now();
+    let hit = lus.lookup_one(&mut w.env, w.client, &ServiceTemplate::by_name(&mid)).unwrap();
+    let by_name = w.env.now() - t0;
+    assert!(hit.is_some());
+
+    let t0 = w.env.now();
+    let all = lus
+        .lookup(
+            &mut w.env,
+            w.client,
+            &ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR),
+            usize::MAX,
+        )
+        .unwrap();
+    let by_interface = w.env.now() - t0;
+    assert_eq!(all.len(), n);
+
+    let t0 = w.env.now();
+    let located = lus
+        .lookup(
+            &mut w.env,
+            w.client,
+            &ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR).and_attr(
+                AttrMatch::Location { building: None, floor: None, room: None },
+            ),
+            usize::MAX,
+        )
+        .unwrap();
+    let by_attr = w.env.now() - t0;
+    // The bench world registers ESPs without a Location entry, so this
+    // template must match nothing — the point is the matching cost.
+    assert!(located.is_empty());
+
+    (discovery, by_name, by_interface, by_attr)
+}
+
+pub fn run_table(seed: u64) -> Table {
+    let mut t = Table::new(
+        "B5: discovery and lookup latency vs. registry size",
+        &["registered", "discover LUS", "lookup by name", "lookup all by interface", "lookup by attr"],
+    );
+    for n in [10usize, 100, 1000] {
+        let (d, name, iface, attr) = measure(n, seed);
+        t.row(&[
+            n.to_string(),
+            fmt_us(d.as_micros_f64()),
+            fmt_us(name.as_micros_f64()),
+            fmt_us(iface.as_micros_f64()),
+            fmt_us(attr.as_micros_f64()),
+        ]);
+    }
+    t.note("discovery is one multicast + one unicast announcement, independent of registry size");
+    t.note("'lookup all' returns n items — response bytes grow with the registry");
+    t
+}
+
+/// Churn: services joining and leaving under short leases, with the
+/// listing staying consistent. Returns (rounds survived, max listing error).
+pub fn churn_consistency(seed: u64) -> (usize, usize) {
+    let mut w = sensor_world(8, seed);
+    let mut max_err = 0usize;
+    let mut rounds = 0usize;
+    for round in 0..20 {
+        // Kill one mote, then bring it back two rounds later.
+        let victim_host = w
+            .env
+            .find_service(&format!("Sensor-{:03}", round % 8))
+            .and_then(|s| w.env.service_host(s));
+        if let Some(h) = victim_host {
+            w.env.crash_host(h);
+        }
+        w.env.run_for(SimDuration::from_secs(2));
+        if let Some(h) = victim_host {
+            w.env.restart_host(h);
+        }
+        w.env.run_for(SimDuration::from_secs(2));
+        // The registry must list between 7 and 8 sensors at all times
+        // (the victim's long lease keeps it listed even while down — a
+        // listing is a claim about registration, not liveness).
+        let found = w
+            .accessor
+            .list(&mut w.env, w.client, sensorcer_registry::ids::interfaces::SENSOR_DATA_ACCESSOR)
+            .len();
+        max_err = max_err.max(8usize.abs_diff(found));
+        rounds += 1;
+    }
+    (rounds, max_err)
+}
+
+pub fn run(seed: u64) -> String {
+    let mut out = run_table(seed).render();
+    let (rounds, err) = churn_consistency(seed);
+    out.push_str(&format!(
+        "churn: {rounds} crash/restart rounds, max listing deviation {err} entries\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovery_latency_is_size_independent() {
+        let (d10, ..) = measure(10, 9);
+        let (d1000, ..) = measure(1000, 9);
+        let ratio = d1000.as_nanos() as f64 / d10.as_nanos() as f64;
+        assert!((0.5..2.0).contains(&ratio), "discovery should not scale with registry: {ratio}");
+    }
+
+    #[test]
+    fn lookup_all_grows_with_registry() {
+        let (_, _, i10, _) = measure(10, 9);
+        let (_, _, i1000, _) = measure(1000, 9);
+        assert!(
+            i1000 > i10,
+            "returning 1000 items must cost more than 10: {i10} vs {i1000}"
+        );
+    }
+
+    #[test]
+    fn churn_never_loses_registrations() {
+        let (rounds, err) = churn_consistency(9);
+        assert_eq!(rounds, 20);
+        assert_eq!(err, 0, "long leases keep listings stable through crash/restart churn");
+    }
+}

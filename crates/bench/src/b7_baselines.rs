@@ -1,0 +1,133 @@
+//! B7 — comparison against the related-work architectures (§III).
+//!
+//! One workload — a repeated network-wide average over identical sensors —
+//! run against direct polling, the three-level TCI/SSP/ASP stack, the
+//! surrogate architecture and SenSORCER. Four angles per architecture:
+//! round latency, round wire bytes, idle (background) bytes per minute,
+//! and the traffic share of the hottest host (the paper's critique of the
+//! ASP/TCI concentration).
+
+use sensorcer_baselines::scenario::{all_scenarios, expected_average, Scenario};
+use sensorcer_sim::prelude::*;
+
+use crate::table::{fmt_bytes, fmt_us, Table};
+
+/// Measured profile of one architecture.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    pub name: &'static str,
+    pub value_ok: bool,
+    pub round_latency: SimDuration,
+    pub round_bytes: u64,
+    pub idle_bytes_per_min: u64,
+    /// Largest single-host share of total wire bytes, in percent.
+    pub hotspot_pct: f64,
+}
+
+/// Profile one scenario: warm round, measured round, idle minute.
+pub fn profile(mut s: Scenario) -> Profile {
+    let warm = s.round();
+    let measured = s.round();
+    let idle0 = s.total_wire_bytes();
+    s.idle(SimDuration::from_secs(60));
+    let idle_bytes = s.total_wire_bytes() - idle0;
+
+    let env = s.env_mut();
+    let per_host = env.metrics.hosts_for(metric_keys::BYTES_WIRE);
+    let total: u64 = per_host.iter().map(|(_, b)| *b).sum();
+    let hottest = per_host.iter().map(|(_, b)| *b).max().unwrap_or(0);
+    let hotspot_pct = if total == 0 { 0.0 } else { 100.0 * hottest as f64 / total as f64 };
+
+    Profile {
+        name: s.name,
+        value_ok: warm.value.is_some() && measured.value.is_some(),
+        round_latency: measured.latency,
+        round_bytes: measured.wire_bytes,
+        idle_bytes_per_min: idle_bytes,
+        hotspot_pct,
+    }
+}
+
+pub fn profiles(n: usize, seed: u64) -> Vec<Profile> {
+    all_scenarios(n, seed).into_iter().map(profile).collect()
+}
+
+pub fn run_table(n: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        format!("B7: network-wide average over {n} sensors, by architecture"),
+        &["architecture", "correct", "round latency", "round bytes", "idle bytes/min", "hotspot host"],
+    );
+    for p in profiles(n, seed) {
+        t.row(&[
+            p.name.to_string(),
+            if p.value_ok { "yes".into() } else { "NO".into() },
+            fmt_us(p.round_latency.as_micros_f64()),
+            fmt_bytes(p.round_bytes),
+            fmt_bytes(p.idle_bytes_per_min),
+            format!("{:.0}%", p.hotspot_pct),
+        ]);
+    }
+    t.note(format!("all architectures must compute the same average ({:.2})", expected_average(n)));
+    t.note("surrogate: cheap rounds, but motes stream continuously (idle column)");
+    t.note("three-level: traffic concentrates at the ASP/TCI hosts (paper's §III.A critique)");
+    t.note("sensorcer: on-demand federation — idle-quiet like polling, parallel-fast like a cache");
+    t
+}
+
+pub fn run(seed: u64) -> String {
+    run_table(24, seed).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_name<'a>(ps: &'a [Profile], name: &str) -> &'a Profile {
+        ps.iter().find(|p| p.name == name).unwrap()
+    }
+
+    #[test]
+    fn every_architecture_answers_correctly() {
+        let ps = profiles(12, 21);
+        for p in &ps {
+            assert!(p.value_ok, "{} failed to produce the average", p.name);
+        }
+    }
+
+    #[test]
+    fn sensorcer_round_faster_than_sequential_polling() {
+        let ps = profiles(24, 21);
+        let ours = by_name(&ps, "sensorcer-csp");
+        let direct = by_name(&ps, "direct-polling");
+        assert!(
+            ours.round_latency < direct.round_latency,
+            "{} vs {}",
+            ours.round_latency,
+            direct.round_latency
+        );
+    }
+
+    #[test]
+    fn surrogate_streams_in_idle_others_do_not() {
+        let ps = profiles(16, 21);
+        let surrogate = by_name(&ps, "surrogate");
+        let direct = by_name(&ps, "direct-polling");
+        let ours = by_name(&ps, "sensorcer-csp");
+        assert!(surrogate.idle_bytes_per_min > 1000, "{}", surrogate.idle_bytes_per_min);
+        assert_eq!(direct.idle_bytes_per_min, 0);
+        assert_eq!(ours.idle_bytes_per_min, 0, "no background chatter in the idle federation");
+    }
+
+    #[test]
+    fn three_level_concentrates_traffic_more_than_polling() {
+        let ps = profiles(24, 21);
+        let three = by_name(&ps, "three-level-jini");
+        // Multi-level re-transmission concentrates bytes at aggregation
+        // hosts; flag it as a hotspot profile.
+        assert!(
+            three.hotspot_pct > 25.0,
+            "ASP-style stacks hot-spot their access point: {:.0}%",
+            three.hotspot_pct
+        );
+    }
+}

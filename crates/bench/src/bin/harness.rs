@@ -1,0 +1,65 @@
+//! The experiment harness: regenerates every figure and claim table.
+//!
+//! ```text
+//! harness <experiment> [seed]
+//!   experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all
+//! ```
+
+use sensorcer_bench::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all"
+    );
+    std::process::exit(2);
+}
+
+fn run_one(which: &str, seed: u64) {
+    match which {
+        "fig1" => print!("{}", figs::fig1_architecture()),
+        "fig2" => {
+            let (out, _) = figs::fig2_deployment();
+            print!("{out}");
+        }
+        "fig3" => {
+            let o = figs::fig3_experiment();
+            print!("{}", o.transcript);
+            println!(
+                "check: subnet={:.3}  network={:.3}  (expected network = (subnet + coral)/2)",
+                o.subnet_value, o.network_value
+            );
+        }
+        "b1" => print!("{}", b1_overhead::run(seed)),
+        "b2" => print!("{}", b2_scalability::run(seed)),
+        "b3" => print!("{}", b3_provisioning::run(seed)),
+        "b4" => print!("{}", b4_failover::run(seed)),
+        "b5" => print!("{}", b5_discovery::run(seed)),
+        "b6" => print!("{}", b6_expressions::run(seed)),
+        "b7" => print!("{}", b7_baselines::run(seed)),
+        "b8" => print!("{}", b8_parallel::run()),
+        "a1" => print!("{}", a1_ablation::run(seed)),
+        "a2" => print!("{}", a2_energy::run(seed)),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or_else(|| usage());
+    let seed = args
+        .get(1)
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(DEFAULT_SEED);
+
+    if which == "all" {
+        for exp in ["fig1", "fig2", "fig3", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8", "a1", "a2"] {
+            run_one(exp, seed);
+            println!();
+        }
+    } else {
+        run_one(which, seed);
+    }
+}

@@ -1,0 +1,240 @@
+//! Reproductions of the paper's figures.
+//!
+//! * **F1** (Fig. 1) — the architecture component diagram, rendered as the
+//!   realized component inventory of this reproduction.
+//! * **F2** (Fig. 2) — the full service deployment as seen in the sensor
+//!   browser.
+//! * **F3** (Fig. 3 + §VI steps 1–6) — the logical sensor networking
+//!   experiment, end to end.
+
+use sensorcer_core::prelude::*;
+use sensorcer_sim::prelude::*;
+
+/// F1: the realized component inventory, mirroring Fig. 1's boxes.
+pub fn fig1_architecture() -> String {
+    let mut out = String::new();
+    out.push_str("== F1: SenSORCER architecture (realized components) ==\n");
+    out.push_str(
+        "\
+Elementary Sensor Service
+  Sensor Probe            -> sensorcer-sensors (SensorProbe; the only sensor-dependent part)
+  DataCollection          -> sensorcer-sensors::store (local measurement ring)
+  ESP                     -> sensorcer-core::esp (SensorDataAccessor via exertions)
+Composite Sensor Service
+  CSP                     -> sensorcer-core::csp (composes ESPs and CSPs; vars a, b, c, ...)
+  Sensor Computation      -> sensorcer-expr (runtime compute-expressions; Groovy substitute)
+SenSORCER Facade Services
+  Sensorcer Facade        -> sensorcer-core::facade (single entry point)
+  Sensor Network Manager  -> facade ops composeService/addExpression/removeService
+  Service Accessor        -> sensorcer-exertion::fmi::ServiceAccessor (LUS lookups)
+  Sensor Svc Provisioner  -> sensorcer-core::provisioner (Rio opstrings, QoS)
+  Sensor Browser          -> sensorcer-core::browser (MVC model + text views)
+Substrates
+  Jini                    -> sensorcer-registry (discovery, LUS, leases, events, txns)
+  Rio                     -> sensorcer-provision (cybernodes, monitor, policies)
+  SORCER                  -> sensorcer-exertion (contexts, tasks/jobs, FMI, jobber/spacer)
+  Network                 -> sensorcer-sim (virtual time, protocol stacks, faults)
+",
+    );
+    out
+}
+
+/// F2: stand the Fig. 2 world up and render the browser.
+pub fn fig2_deployment() -> (String, BrowserModel) {
+    let config = DeploymentConfig::fig2();
+    let mut env = Env::with_seed(config.seed);
+    let d = standard_deployment(&mut env, &config);
+    env.run_for(SimDuration::from_secs(10));
+
+    let mut model = BrowserModel::new();
+    model
+        .refresh_services(&mut env, d.workstation, d.facade)
+        .expect("facade reachable");
+    model
+        .select_service(&mut env, d.workstation, d.facade, "Neem-Sensor")
+        .expect("sensor deployed");
+    model.refresh_values(&mut env, d.workstation, d.facade);
+
+    let mut out = String::from("== F2: service browser after standard deployment ==\n");
+    out.push_str(&render_browser(&model));
+    (out, model)
+}
+
+/// Results of the F3 experiment, step by step.
+pub struct Fig3Outcome {
+    pub transcript: String,
+    /// Value read from Composite-Service (subnet average).
+    pub subnet_value: f64,
+    /// Value read from New-Composite (network average).
+    pub network_value: f64,
+    /// Individual sensor readings keyed by name.
+    pub sensors: Vec<(String, f64)>,
+    /// Which cybernode host New-Composite landed on.
+    pub provisioned_on: Option<String>,
+}
+
+/// F3: execute §VI steps 1–6 exactly and verify the arithmetic.
+pub fn fig3_experiment() -> Fig3Outcome {
+    let config = DeploymentConfig::fig2();
+    let mut env = Env::with_seed(config.seed);
+    let d = standard_deployment(&mut env, &config);
+    let mut t = String::from("== F3: logical sensor networking (paper §VI steps 1-6) ==\n");
+
+    // Step 0 (paper setup): Composite-Service exists on the network.
+    deploy_csp(
+        &mut env,
+        CspConfig {
+            renewal: Some(d.renewal),
+            ..CspConfig::new(d.lab, "Composite-Service", d.lus)
+        },
+    )
+    .expect("composite deploys");
+
+    // Step 1: form a sensor subnet with three elementary services.
+    let vars = d
+        .facade
+        .compose_service(
+            &mut env,
+            d.workstation,
+            "Composite-Service",
+            &["Neem-Sensor", "Jade-Sensor", "Diamond-Sensor"],
+        )
+        .expect("step 1");
+    t.push_str(&format!(
+        "step 1: composed subnet Composite-Service = [Neem, Jade, Diamond] -> vars {vars:?}\n"
+    ));
+
+    // Step 2: associate the average expression.
+    d.facade
+        .add_expression(&mut env, d.workstation, "Composite-Service", "(a + b + c)/3")
+        .expect("step 2");
+    t.push_str("step 2: expression '(a + b + c)/3' installed\n");
+
+    // Step 3: provision a new composite service onto the network.
+    d.facade
+        .create_service(&mut env, d.workstation, "New-Composite", &[], None)
+        .expect("step 3");
+    t.push_str("step 3: New-Composite provisioned onto a cybernode\n");
+
+    // Step 4: form the network = { subnet, Coral-Sensor }.
+    d.facade
+        .compose_service(
+            &mut env,
+            d.workstation,
+            "New-Composite",
+            &["Composite-Service", "Coral-Sensor"],
+        )
+        .expect("step 4");
+    t.push_str("step 4: composed network New-Composite = [Composite-Service, Coral-Sensor]\n");
+
+    // Step 5: associate the two-way average.
+    d.facade
+        .add_expression(&mut env, d.workstation, "New-Composite", "(a + b)/2")
+        .expect("step 5");
+    t.push_str("step 5: expression '(a + b)/2' installed\n");
+
+    // Step 6: read the sensor value from the newly created composite.
+    let mut sensors = Vec::new();
+    for name in ["Neem-Sensor", "Jade-Sensor", "Diamond-Sensor", "Coral-Sensor"] {
+        let r = d.facade.get_value(&mut env, d.workstation, name).expect("sensor read");
+        sensors.push((name.to_string(), r.value));
+    }
+    let subnet_value = d
+        .facade
+        .get_value(&mut env, d.workstation, "Composite-Service")
+        .expect("subnet read")
+        .value;
+    let network_value = d
+        .facade
+        .get_value(&mut env, d.workstation, "New-Composite")
+        .expect("step 6")
+        .value;
+    t.push_str(&format!("step 6: New-Composite value = {network_value:.3} °C\n\n"));
+
+    // Render the browser the way Fig. 3 shows it.
+    let mut model = BrowserModel::new();
+    model.refresh_services(&mut env, d.workstation, d.facade).expect("list");
+    model
+        .select_service(&mut env, d.workstation, d.facade, "New-Composite")
+        .expect("info");
+    model.refresh_values(&mut env, d.workstation, d.facade);
+    t.push_str(&render_browser(&model));
+
+    let provisioned_on = model
+        .services
+        .iter()
+        .find(|(n, _)| n == "New-Composite")
+        .map(|_| "cybernode (via Rio provisioning)".to_string());
+
+    Fig3Outcome { transcript: t, subnet_value, network_value, sensors, provisioned_on }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_lists_every_fig1_component() {
+        let s = fig1_architecture();
+        for needle in [
+            "Sensor Probe",
+            "DataCollection",
+            "ESP",
+            "CSP",
+            "Sensor Computation",
+            "Sensorcer Facade",
+            "Sensor Network Manager",
+            "Service Accessor",
+            "Sensor Browser",
+        ] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn f2_shows_the_papers_services() {
+        let (out, model) = fig2_deployment();
+        for needle in [
+            "Neem-Sensor",
+            "Jade-Sensor",
+            "Coral-Sensor",
+            "Diamond-Sensor",
+            "SenSORCER Facade",
+            "Cybernode-0",
+            "Cybernode-1",
+            "Monitor",
+            "Lookup Service",
+            "Transaction Manager",
+        ] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+        assert_eq!(model.of_type("ELEMENTARY").len(), 4);
+    }
+
+    #[test]
+    fn f3_arithmetic_holds_exactly() {
+        let o = fig3_experiment();
+        let by_name = |n: &str| o.sensors.iter().find(|(s, _)| s == n).unwrap().1;
+        // Step 6's check: the network value equals
+        // ((neem + jade + diamond)/3 + coral)/2 on the readings the
+        // composites actually collected. Sensors drift a little between
+        // reads, so allow the diurnal-walk tolerance.
+        let subnet_expect = (by_name("Neem-Sensor") + by_name("Jade-Sensor") + by_name("Diamond-Sensor")) / 3.0;
+        assert!(
+            (o.subnet_value - subnet_expect).abs() < 0.5,
+            "subnet {} vs {}",
+            o.subnet_value,
+            subnet_expect
+        );
+        let network_expect = (o.subnet_value + by_name("Coral-Sensor")) / 2.0;
+        assert!(
+            (o.network_value - network_expect).abs() < 0.5,
+            "network {} vs {}",
+            o.network_value,
+            network_expect
+        );
+        assert!(o.transcript.contains("New-Composite"));
+        assert!(o.provisioned_on.is_some());
+        assert!(o.transcript.contains("Compute Expression: (a + b)/2"));
+    }
+}

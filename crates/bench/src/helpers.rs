@@ -1,0 +1,146 @@
+//! Shared builders for the claim experiments.
+
+use sensorcer_core::prelude::*;
+use sensorcer_registry::lease::LeasePolicy;
+use sensorcer_registry::lus::{LookupService, LusHandle};
+use sensorcer_sensors::prelude::*;
+use sensorcer_sim::prelude::*;
+
+/// A minimal federated world: LUS on a lab server plus `n` constant-value
+/// ESPs on their own motes, leases long enough that benches never churn.
+pub struct SensorWorld {
+    pub env: Env,
+    pub lab: HostId,
+    pub client: HostId,
+    pub lus: LusHandle,
+    pub accessor: sensorcer_exertion::ServiceAccessor,
+    pub sensor_names: Vec<String>,
+}
+
+/// Constant probe value used by the sweep worlds.
+pub fn probe_value(i: usize) -> f64 {
+    20.0 + i as f64 * 0.1
+}
+
+/// Build a world with `n` sensors.
+pub fn sensor_world(n: usize, seed: u64) -> SensorWorld {
+    let mut env = Env::with_seed(seed);
+    let lab = env.add_host("lab", HostKind::Server);
+    let client = env.add_host("client", HostKind::Workstation);
+    env.topo.join_group(client, "public");
+    let lus = LookupService::deploy(
+        &mut env,
+        lab,
+        "Lookup Service",
+        "public",
+        LeasePolicy {
+            max_duration: SimDuration::from_secs(360_000),
+            default_duration: SimDuration::from_secs(36_000),
+        },
+        SimDuration::from_secs(1),
+    );
+    let mut sensor_names = Vec::new();
+    for i in 0..n {
+        let name = format!("Sensor-{i:03}");
+        let mote = env.add_host(format!("{name}-mote"), HostKind::SensorMote);
+        deploy_esp(
+            &mut env,
+            EspConfig {
+                lease: SimDuration::from_secs(36_000),
+                ..EspConfig::new(
+                    mote,
+                    name.clone(),
+                    Box::new(ScriptedProbe::new(vec![probe_value(i)], Unit::Celsius)),
+                    lus,
+                )
+            },
+        );
+        sensor_names.push(name);
+    }
+    let accessor = sensorcer_exertion::ServiceAccessor::new(vec![lus]);
+    SensorWorld { env, lab, client, lus, accessor, sensor_names }
+}
+
+impl SensorWorld {
+    /// Deploy one flat CSP over all sensors; returns its name.
+    pub fn flat_composite(&mut self, name: &str) -> String {
+        let mut cfg = CspConfig::new(self.lab, name, self.lus);
+        cfg.lease = SimDuration::from_secs(36_000);
+        cfg.children = self.sensor_names.clone();
+        deploy_csp(&mut self.env, cfg).expect("flat composite");
+        name.to_string()
+    }
+
+    /// Deploy a hierarchy of CSPs with the given fan-out over all sensors;
+    /// every internal CSP gets its own server host (distributing hub
+    /// cost). Returns the root composite's name.
+    pub fn composite_tree(&mut self, fanout: usize) -> String {
+        assert!(fanout >= 2);
+        let mut level: Vec<String> = self.sensor_names.clone();
+        let mut next_id = 0usize;
+        while level.len() > 1 {
+            let mut parents = Vec::new();
+            for chunk in level.chunks(fanout) {
+                let name = format!("Agg-{next_id:03}");
+                next_id += 1;
+                let host = self.env.add_host(format!("{name}-host"), HostKind::Server);
+                let mut cfg = CspConfig::new(host, name.clone(), self.lus);
+                cfg.lease = SimDuration::from_secs(36_000);
+                cfg.children = chunk.to_vec();
+                deploy_csp(&mut self.env, cfg).expect("tree composite");
+                parents.push(name);
+            }
+            level = parents;
+        }
+        level.pop().expect("non-empty tree")
+    }
+
+    /// Read a named sensor service, returning (value, virtual latency).
+    pub fn timed_read(&mut self, provider: &str) -> (Result<f64, String>, SimDuration) {
+        let t0 = self.env.now();
+        let r = client::get_value(&mut self.env, self.client, &self.accessor, provider)
+            .map(|r| r.value);
+        (r, self.env.now() - t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builds_and_reads() {
+        let mut w = sensor_world(4, 1);
+        let (v, dt) = w.timed_read("Sensor-002");
+        assert_eq!(v.unwrap(), probe_value(2));
+        assert!(dt > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn flat_composite_averages_everything() {
+        let mut w = sensor_world(5, 2);
+        let name = w.flat_composite("All");
+        let (v, _) = w.timed_read(&name);
+        let want = (0..5).map(probe_value).sum::<f64>() / 5.0;
+        assert!((v.unwrap() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composite_tree_matches_flat_average() {
+        let mut w = sensor_world(9, 3);
+        let root = w.composite_tree(3);
+        let (v, _) = w.timed_read(&root);
+        let want = (0..9).map(probe_value).sum::<f64>() / 9.0;
+        // Average of averages of equal-sized groups equals the average.
+        let got = v.expect("tree read");
+        assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+    }
+
+    #[test]
+    fn uneven_tree_still_reads() {
+        let mut w = sensor_world(10, 4);
+        let root = w.composite_tree(4);
+        let (v, _) = w.timed_read(&root);
+        assert!(v.is_ok());
+    }
+}

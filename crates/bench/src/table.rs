@@ -1,0 +1,166 @@
+//! Plain-text result tables, aligned for terminal output. Every
+//! experiment renders into one of these; `EXPERIMENTS.md` records the
+//! rendered output.
+
+/// A simple aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes rendered under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics if the arity differs from the headers (an
+    /// experiment bug worth failing loudly on).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in table '{}'",
+            self.title
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  * {note}\n"));
+        }
+        out
+    }
+
+    /// Cell accessor for assertions: (row, column by header name).
+    pub fn cell(&self, row: usize, header: &str) -> &str {
+        let col = self
+            .headers
+            .iter()
+            .position(|h| h == header)
+            .unwrap_or_else(|| panic!("no column '{header}' in '{}'", self.title));
+        &self.rows[row][col]
+    }
+
+    /// Parse a cell as f64 (stripping common unit suffixes).
+    pub fn cell_f64(&self, row: usize, header: &str) -> f64 {
+        let raw = self.cell(row, header);
+        let cleaned: String = raw
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        cleaned.parse().unwrap_or_else(|_| panic!("cell {raw:?} is not numeric"))
+    }
+}
+
+/// Format a microsecond count tersely.
+pub fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.2}s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.2}ms", us / 1e3)
+    } else {
+        format!("{us:.1}us")
+    }
+}
+
+/// Format a byte count tersely.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1_048_576 {
+        format!("{:.2}MiB", b as f64 / 1_048_576.0)
+    } else if b >= 1024 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["short".into(), "1".into()]);
+        t.row(&["a-much-longer-name".into(), "2".into()]);
+        t.note("a footnote");
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("a-much-longer-name  2"));
+        assert!(s.contains("* a footnote"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn cell_access_and_parsing() {
+        let mut t = Table::new("x", &["n", "latency"]);
+        t.row(&["4".into(), "12.5ms".into()]);
+        assert_eq!(t.cell(0, "n"), "4");
+        assert_eq!(t.cell_f64(0, "latency"), 12.5);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_us(500.0), "500.0us");
+        assert_eq!(fmt_us(1500.0), "1.50ms");
+        assert_eq!(fmt_us(2_500_000.0), "2.50s");
+        assert_eq!(fmt_bytes(100), "100B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 * 1_048_576), "3.00MiB");
+    }
+}

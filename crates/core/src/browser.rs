@@ -1,0 +1,324 @@
+//! The Sensor Browser — a text-mode reproduction of the zero-install
+//! service UI of Figs. 2–3.
+//!
+//! "The design of the browser follows the MVC pattern: its model contains
+//! the data of the sensor network configuration, views display the data in
+//! appropriate format" (§V.B). [`BrowserModel`] is the model (refreshed
+//! through the façade); the `render_*` functions are the views. The
+//! original is an Inca X Swing UI; text rendering preserves exactly the
+//! information content the figures show, which is what the F2/F3
+//! reproductions assert on.
+
+use sensorcer_sim::env::Env;
+use sensorcer_sim::topology::HostId;
+
+use crate::accessor::{SensorInfo, SensorReading};
+use crate::facade::FacadeHandle;
+
+/// The browser's model: one refreshable snapshot of the network.
+#[derive(Debug, Default, Clone)]
+pub struct BrowserModel {
+    /// (name, service type) rows of the service list.
+    pub services: Vec<(String, String)>,
+    /// Last fetched info panel.
+    pub info: Option<SensorInfo>,
+    /// Sensor values panel: (service name, reading or error).
+    pub values: Vec<(String, Result<SensorReading, String>)>,
+}
+
+impl BrowserModel {
+    pub fn new() -> BrowserModel {
+        BrowserModel::default()
+    }
+
+    /// Controller: refresh the service list through the façade.
+    pub fn refresh_services(
+        &mut self,
+        env: &mut Env,
+        from: HostId,
+        facade: FacadeHandle,
+    ) -> Result<(), String> {
+        self.services = facade.list_services(env, from)?;
+        Ok(())
+    }
+
+    /// Controller: fetch the info panel for one service.
+    pub fn select_service(
+        &mut self,
+        env: &mut Env,
+        from: HostId,
+        facade: FacadeHandle,
+        name: &str,
+    ) -> Result<(), String> {
+        self.info = Some(facade.get_info(env, from, name)?);
+        Ok(())
+    }
+
+    /// Controller: read every sensor-valued service into the values panel
+    /// (the "Sensor Value" section of Fig. 3 lists all sensors).
+    pub fn refresh_values(&mut self, env: &mut Env, from: HostId, facade: FacadeHandle) {
+        self.values.clear();
+        let sensors: Vec<String> = self
+            .services
+            .iter()
+            .filter(|(_, t)| t == "ELEMENTARY" || t == "COMPOSITE")
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in sensors {
+            let r = facade.get_value(env, from, &name);
+            self.values.push((name, r));
+        }
+    }
+
+    /// Subscribe the model to registry transitions: joins, departures and
+    /// attribute changes land in `mailbox`, and [`BrowserModel::pull_events`]
+    /// folds them into the service list incrementally — the browser stays
+    /// live without re-polling ("new services entering the network become
+    /// available immediately", §IV.B).
+    pub fn subscribe(
+        env: &mut Env,
+        from: HostId,
+        lus: sensorcer_registry::lus::LusHandle,
+        mailbox: &sensorcer_registry::events::MailboxHandle,
+    ) -> Result<sensorcer_registry::lease::Lease, sensorcer_sim::topology::NetError> {
+        use sensorcer_registry::events::Transition;
+        lus.notify(
+            env,
+            from,
+            sensorcer_registry::item::ServiceTemplate::any(),
+            vec![
+                Transition::NoMatchToMatch,
+                Transition::MatchToNoMatch,
+                Transition::MatchToMatch,
+            ],
+            mailbox.sink(),
+            None,
+        )
+    }
+
+    /// Drain the mailbox and fold the events into the service list.
+    /// Returns how many events were applied.
+    pub fn pull_events(
+        &mut self,
+        env: &mut Env,
+        from: HostId,
+        mailbox: &sensorcer_registry::events::MailboxHandle,
+    ) -> Result<usize, sensorcer_sim::topology::NetError> {
+        use sensorcer_registry::attributes::{name_of, service_type_of};
+        use sensorcer_registry::events::Transition;
+        let events = mailbox.pull(env, from)?;
+        let applied = events.len();
+        for ev in events {
+            match ev.transition {
+                Transition::NoMatchToMatch | Transition::MatchToMatch => {
+                    let Some(item) = &ev.item else { continue };
+                    let name = name_of(&item.attributes).unwrap_or("(unnamed)").to_string();
+                    let service_type =
+                        service_type_of(&item.attributes).unwrap_or("UNKNOWN").to_string();
+                    match self.services.iter_mut().find(|(n, _)| *n == name) {
+                        Some(row) => row.1 = service_type,
+                        None => {
+                            self.services.push((name, service_type));
+                            self.services.sort();
+                        }
+                    }
+                }
+                Transition::MatchToNoMatch => {
+                    if let Some(item) = &ev.item {
+                        if let Some(name) = name_of(&item.attributes) {
+                            self.services.retain(|(n, _)| n != name);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Names of services of a given type.
+    pub fn of_type(&self, service_type: &str) -> Vec<&str> {
+        self.services
+            .iter()
+            .filter(|(_, t)| t == service_type)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+/// View: the left-hand service tree of Fig. 2.
+pub fn render_services(model: &BrowserModel) -> String {
+    let mut out = String::from("Services\n");
+    for (name, service_type) in &model.services {
+        out.push_str(&format!("  [{service_type:<14}] {name}\n"));
+    }
+    out
+}
+
+/// View: the "Sensor Service Information" panel of Figs. 2–3.
+pub fn render_info(info: &SensorInfo) -> String {
+    let mut out = String::new();
+    out.push_str("Sensor Service Information\n");
+    out.push_str(&format!("  Sensor Name:: {}\n", info.name));
+    out.push_str(&format!("  Service Type:: {}\n", info.service_type));
+    out.push_str(&format!("  Service ID:: {}\n", info.uuid));
+    if !info.contained.is_empty() {
+        out.push_str(&format!("  Contained Services: {}\n", info.contained.join(", ")));
+    }
+    if let Some(expr) = &info.expression {
+        out.push_str(&format!("  Compute Expression: {expr}\n"));
+    }
+    out
+}
+
+/// View: the "Sensor Value" panel of Fig. 3.
+pub fn render_values(model: &BrowserModel) -> String {
+    let mut out = String::from("Sensor Value\n");
+    for (name, reading) in &model.values {
+        match reading {
+            Ok(r) => out.push_str(&format!(
+                "  {name:<20} {value:.2}{unit}{flag}\n",
+                name = name,
+                value = r.value,
+                unit = r.unit,
+                flag = if r.good { "" } else { " (suspect)" }
+            )),
+            Err(e) => out.push_str(&format!("  {name:<20} <error: {e}>\n")),
+        }
+    }
+    out
+}
+
+/// View: the whole browser window (service list + info + values).
+pub fn render_browser(model: &BrowserModel) -> String {
+    let mut out = String::new();
+    out.push_str(&render_services(model));
+    out.push('\n');
+    if let Some(info) = &model.info {
+        out.push_str(&render_info(info));
+        out.push('\n');
+    }
+    out.push_str(&render_values(model));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::{standard_deployment, DeploymentConfig};
+    use sensorcer_sim::prelude::Env;
+
+    #[test]
+    fn browser_reproduces_fig2_panels() {
+        let config = DeploymentConfig::fig2();
+        let mut env = Env::with_seed(config.seed);
+        let d = standard_deployment(&mut env, &config);
+
+        let mut model = BrowserModel::new();
+        model.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+        model
+            .select_service(&mut env, d.workstation, d.facade, "Neem-Sensor")
+            .unwrap();
+        model.refresh_values(&mut env, d.workstation, d.facade);
+
+        let screen = render_browser(&model);
+        for needle in [
+            "Services",
+            "Neem-Sensor",
+            "Jade-Sensor",
+            "Coral-Sensor",
+            "Diamond-Sensor",
+            "SenSORCER Facade",
+            "Cybernode-0",
+            "Sensor Service Information",
+            "Service Type:: ELEMENTARY",
+            "Sensor Value",
+        ] {
+            assert!(screen.contains(needle), "missing {needle:?} in:\n{screen}");
+        }
+    }
+
+    #[test]
+    fn values_panel_reads_every_sensor() {
+        let config = DeploymentConfig::fig2();
+        let mut env = Env::with_seed(config.seed);
+        let d = standard_deployment(&mut env, &config);
+        let mut model = BrowserModel::new();
+        model.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+        model.refresh_values(&mut env, d.workstation, d.facade);
+        assert_eq!(model.values.len(), 4);
+        assert!(model.values.iter().all(|(_, r)| r.is_ok()));
+        assert_eq!(model.of_type("ELEMENTARY").len(), 4);
+        assert_eq!(model.of_type("FACADE"), vec!["SenSORCER Facade"]);
+    }
+
+    #[test]
+    fn info_panel_matches_fig3_fields() {
+        let info = SensorInfo {
+            name: "Composite-Service".into(),
+            service_type: "COMPOSITE".into(),
+            uuid: "267c67a0-dd67-4b95-beb0-e6763e117b03".into(),
+            contained: vec!["Neem-Sensor".into(), "Jade-Sensor".into(), "Diamond-Sensor".into()],
+            expression: Some("(a + b + c)/3".into()),
+            unit: "°C".into(),
+            battery: 1.0,
+        };
+        let panel = render_info(&info);
+        assert!(panel.contains("Sensor Name:: Composite-Service"));
+        assert!(panel.contains("Service Type:: COMPOSITE"));
+        assert!(panel.contains("Service ID:: 267c67a0-dd67-4b95-beb0-e6763e117b03"));
+        assert!(panel.contains("Contained Services: Neem-Sensor, Jade-Sensor, Diamond-Sensor"));
+        assert!(panel.contains("Compute Expression: (a + b + c)/3"));
+    }
+
+    #[test]
+    fn live_subscription_tracks_joins_and_departures() {
+        let config = DeploymentConfig::fig2();
+        let mut env = Env::with_seed(config.seed);
+        let d = standard_deployment(&mut env, &config);
+
+        let mut model = BrowserModel::new();
+        model.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+        BrowserModel::subscribe(&mut env, d.workstation, d.lus, &d.mailbox).unwrap();
+
+        // A new sensor joins the network: the model learns about it from
+        // events alone — no refresh.
+        let mote = env.add_host("late-mote", sensorcer_sim::topology::HostKind::SensorMote);
+        crate::esp::deploy_esp(
+            &mut env,
+            crate::esp::EspConfig {
+                lease: sensorcer_sim::time::SimDuration::from_secs(5),
+                ..crate::esp::EspConfig::new(
+                    mote,
+                    "Latecomer",
+                    Box::new(sensorcer_sensors::probe::ScriptedProbe::new(
+                        vec![21.0],
+                        sensorcer_sensors::units::Unit::Celsius,
+                    )),
+                    d.lus,
+                )
+            },
+        );
+        let applied = model.pull_events(&mut env, d.workstation, &d.mailbox).unwrap();
+        assert!(applied >= 1);
+        assert!(model.services.iter().any(|(n, _)| n == "Latecomer"));
+
+        // Its short lease lapses: the departure event removes the row.
+        env.run_for(sensorcer_sim::time::SimDuration::from_secs(10));
+        model.pull_events(&mut env, d.workstation, &d.mailbox).unwrap();
+        assert!(!model.services.iter().any(|(n, _)| n == "Latecomer"));
+
+        // The event-driven model agrees with a full refresh.
+        let mut fresh = BrowserModel::new();
+        fresh.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+        assert_eq!(model.services, fresh.services);
+    }
+
+    #[test]
+    fn error_readings_render_without_panicking() {
+        let mut model = BrowserModel::new();
+        model.values.push(("Ghost".into(), Err("no provider".into())));
+        let panel = render_values(&model);
+        assert!(panel.contains("Ghost"));
+        assert!(panel.contains("no provider"));
+    }
+}

@@ -1,0 +1,1004 @@
+//! The Composite Sensor Provider.
+//!
+//! A CSP "composes both ESPs and CSPs, processes service requests,
+//! collects the sensor data from its component sensor services, and makes
+//! its values defined in terms of component values available via the
+//! `SensorDataAccessor` interface" (§V.B). Children are bound to
+//! dynamically created expression variables (`a`, `b`, `c`, … — exactly
+//! as Fig. 3 shows) and a user-supplied compute expression combines them;
+//! with no expression the CSP reports the component average.
+//!
+//! Because a CSP is itself a `SensorDataAccessor`, CSPs nest — "the CSP's
+//! ability to contain other CSPs makes logical sensor networking
+//! possible" — and reading the root of a composite tree federates reads
+//! across the whole logical network, in parallel.
+
+use sensorcer_exertion::prelude::*;
+use sensorcer_expr::{Program, Scope, Value};
+use sensorcer_registry::attributes::Entry;
+use sensorcer_registry::ids::{interfaces, SvcUuid};
+use sensorcer_registry::item::ServiceItem;
+use sensorcer_registry::lus::LusHandle;
+use sensorcer_registry::renewal::RenewalHandle;
+use sensorcer_registry::txn::TxnId;
+use sensorcer_sensors::calib::Calibration;
+use sensorcer_sim::env::{Env, ServiceId};
+use sensorcer_sim::time::SimDuration;
+use sensorcer_sim::topology::HostId;
+
+use crate::accessor::{mgmt, selectors, SensorInfo};
+
+/// One composed child service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Child {
+    /// Expression variable bound to this child (`a`, `b`, ...).
+    pub var: String,
+    /// The child's provider `Name` attribute.
+    pub service_name: String,
+    /// Optional equivalence group: when the named provider is not
+    /// available, "the request can be passed on to the equivalent
+    /// available service provider" (§V.A) — any provider registered with
+    /// this `equivalence-group` attribute.
+    pub group: Option<String>,
+}
+
+/// Variable name for child position `i`: `a`..`z`, then `v26`, `v27`, …
+pub fn variable_for(i: usize) -> String {
+    if i < 26 {
+        ((b'a' + i as u8) as char).to_string()
+    } else {
+        format!("v{i}")
+    }
+}
+
+/// Breadcrumb context path used to detect composition cycles at read time.
+const VISITED_PATH: &str = "composite/visited";
+
+/// Registration attribute key marking interchangeable providers (§V.A's
+/// "equivalent available service provider").
+pub const EQUIVALENCE_GROUP_KEY: &str = "equivalence-group";
+
+/// The provider state.
+pub struct CompositeSensorProvider {
+    name: String,
+    uuid: String,
+    host: HostId,
+    accessor: ServiceAccessor,
+    children: Vec<Child>,
+    expression: Option<Program>,
+    /// Output calibration applied to the computed composite value.
+    pub calibration: Calibration,
+    /// Binding-cache switch (on by default). Exists for the A1 ablation
+    /// bench: with it off, every child read pays a LUS lookup, the
+    /// original Jini-without-proxy-reuse behaviour.
+    pub binding_cache_enabled: bool,
+    reads_total: u64,
+    /// Cached child bindings (the Jini model: a downloaded proxy is reused
+    /// until it fails). Invalidated per child on network failure, so a
+    /// re-provisioned child is re-bound on the next read.
+    bindings: std::cell::RefCell<std::collections::BTreeMap<String, sensorcer_sim::env::ServiceId>>,
+}
+
+impl CompositeSensorProvider {
+    pub fn new(name: impl Into<String>, host: HostId, accessor: ServiceAccessor) -> Self {
+        CompositeSensorProvider {
+            name: name.into(),
+            uuid: String::new(),
+            host,
+            accessor,
+            children: Vec::new(),
+            expression: None,
+            calibration: Calibration::Identity,
+            binding_cache_enabled: true,
+            reads_total: 0,
+            bindings: std::cell::RefCell::new(std::collections::BTreeMap::new()),
+        }
+    }
+
+    pub fn children(&self) -> &[Child] {
+        &self.children
+    }
+
+    pub fn expression_source(&self) -> Option<&str> {
+        self.expression.as_ref().map(Program::source)
+    }
+
+    pub fn reads_total(&self) -> u64 {
+        self.reads_total
+    }
+
+    /// Add a child service by provider name; returns the variable bound to
+    /// it. "The variables that are used in the expression are created
+    /// dynamically, as the services are added into the composite provider"
+    /// (§VI).
+    pub fn add_service(&mut self, service_name: &str) -> Result<String, String> {
+        self.add_service_grouped(service_name, None)
+    }
+
+    /// Like [`CompositeSensorProvider::add_service`], with an equivalence
+    /// group to fall back to when the named provider is unavailable.
+    pub fn add_service_grouped(
+        &mut self,
+        service_name: &str,
+        group: Option<String>,
+    ) -> Result<String, String> {
+        if service_name == self.name {
+            return Err(format!("composite '{}' cannot contain itself", self.name));
+        }
+        if self.children.iter().any(|c| c.service_name == service_name) {
+            return Err(format!("'{service_name}' is already composed"));
+        }
+        let var = variable_for(self.children.len());
+        self.children.push(Child {
+            var: var.clone(),
+            service_name: service_name.to_string(),
+            group,
+        });
+        Ok(var)
+    }
+
+    /// Remove a child. Remaining children are re-lettered by position so
+    /// variables always run `a`, `b`, `c`, … without gaps; an installed
+    /// expression is re-validated and dropped if it no longer binds.
+    pub fn remove_service(&mut self, service_name: &str) -> Result<(), String> {
+        let pos = self
+            .children
+            .iter()
+            .position(|c| c.service_name == service_name)
+            .ok_or_else(|| format!("'{service_name}' is not composed here"))?;
+        self.children.remove(pos);
+        self.bindings.borrow_mut().remove(service_name);
+        for (i, child) in self.children.iter_mut().enumerate() {
+            child.var = variable_for(i);
+        }
+        if let Some(expr) = &self.expression {
+            let vars: Vec<&str> = self.children.iter().map(|c| c.var.as_str()).collect();
+            if !expr.missing_inputs(&vars).is_empty() {
+                self.expression = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Install the compute expression, checking every input variable is
+    /// bound to a composed child.
+    pub fn set_expression(&mut self, source: &str) -> Result<(), String> {
+        let program = Program::compile(source).map_err(|e| e.to_string())?;
+        let vars: Vec<&str> = self.children.iter().map(|c| c.var.as_str()).collect();
+        let missing = program.missing_inputs(&vars);
+        if !missing.is_empty() {
+            return Err(format!(
+                "expression references unbound variable(s): {} (bound: {})",
+                missing.join(", "),
+                vars.join(", ")
+            ));
+        }
+        self.expression = Some(program);
+        Ok(())
+    }
+
+    /// Collect all child values (in parallel across the federation) and
+    /// compute the composite value.
+    fn handle_get_value(&mut self, env: &mut Env, task: &mut Task) {
+        self.reads_total += 1;
+        if self.children.is_empty() {
+            task.fail(format!("composite '{}' has no composed services", self.name));
+            return;
+        }
+
+        // Cycle guard: refuse to read if this provider already appears in
+        // the visited breadcrumb of the incoming request.
+        let mut visited: Vec<Value> = match task.context.get(VISITED_PATH) {
+            Some(Value::List(xs)) => xs.clone(),
+            _ => Vec::new(),
+        };
+        if visited.iter().any(|v| matches!(v, Value::Str(s) if s == &self.name)) {
+            task.fail(format!("composition cycle detected at '{}'", self.name));
+            return;
+        }
+        visited.push(Value::Str(self.name.clone()));
+        let visited = Value::List(visited);
+
+        // Fan the child reads out in parallel — this is a small federation
+        // exerted for this request. Bindings are cached (the Jini proxy
+        // model): only an unknown or failed child costs a LUS lookup.
+        let accessor = &self.accessor;
+        let bindings = &self.bindings;
+        let cache_enabled = self.binding_cache_enabled;
+        let host = self.host;
+        let children = self.children.clone();
+        let branches: Vec<Box<dyn FnOnce(&mut Env) -> (String, Result<(f64, String, bool), String>) + '_>> =
+            children
+                .iter()
+                .map(|child| {
+                    let var = child.var.clone();
+                    let name = child.service_name.clone();
+                    let group = child.group.clone();
+                    let visited = visited.clone();
+                    Box::new(move |env: &mut Env| {
+                        let make_task = || {
+                            Task::new(
+                                format!("read {name}"),
+                                Signature::new(
+                                    interfaces::SENSOR_DATA_ACCESSOR,
+                                    selectors::GET_VALUE,
+                                )
+                                .on(&name),
+                                Context::new().with(VISITED_PATH, visited.clone()),
+                            )
+                        };
+                        let parse = |done: &Exertion| match done.status() {
+                            ExertionStatus::Done => {
+                                match done.context().get_f64(paths::SENSOR_VALUE) {
+                                    Some(v) => Ok((
+                                        v,
+                                        done.context()
+                                            .get_str(paths::SENSOR_UNIT)
+                                            .unwrap_or_default()
+                                            .to_string(),
+                                        done.context().get_str(paths::SENSOR_QUALITY)
+                                            != Some("suspect"),
+                                    )),
+                                    None => Err(format!("'{name}' returned no value")),
+                                }
+                            }
+                            ExertionStatus::Failed(e) => Err(format!("'{name}': {e}")),
+                            other => Err(format!("'{name}': unexpected status {other:?}")),
+                        };
+
+                        // Resolve the named provider: cached proxy first;
+                        // a stale proxy is dropped and the name re-bound
+                        // within this same read.
+                        let mut failure: Option<String> = None;
+                        let cached = if cache_enabled {
+                            bindings.borrow().get(&name).copied()
+                        } else {
+                            None
+                        };
+                        if let Some(svc) = cached {
+                            match exert_on(env, host, svc, make_task().into(), None) {
+                                Ok(done) => match parse(&done) {
+                                    Ok(v) => return (var, Ok(v)),
+                                    // Answered but failed (dead transducer,
+                                    // expression error in a nested CSP, ...)
+                                    // — a fresh bind would reach the same
+                                    // provider, so skip straight to the
+                                    // group fallback.
+                                    Err(e) => failure = Some(e),
+                                },
+                                Err(_) => {
+                                    // Stale proxy: drop and re-bind below.
+                                    bindings.borrow_mut().remove(&name);
+                                }
+                            }
+                        }
+                        if failure.is_none() {
+                            let bound = accessor.bind(
+                                env,
+                                host,
+                                interfaces::SENSOR_DATA_ACCESSOR,
+                                Some(&name),
+                            );
+                            match bound {
+                                Some(item) => {
+                                    if cache_enabled {
+                                        bindings.borrow_mut().insert(name.clone(), item.service);
+                                    }
+                                    match exert_on(env, host, item.service, make_task().into(), None)
+                                    {
+                                        Ok(done) => match parse(&done) {
+                                            Ok(v) => return (var, Ok(v)),
+                                            Err(e) => failure = Some(e),
+                                        },
+                                        Err(e) => {
+                                            bindings.borrow_mut().remove(&name);
+                                            failure = Some(format!(
+                                                "'{name}': provider unreachable: {e}"
+                                            ));
+                                        }
+                                    }
+                                }
+                                None => {
+                                    failure = Some(format!("'{name}': no provider found"))
+                                }
+                            }
+                        }
+
+                        // §V.A: "If for any reason, a particular sensor
+                        // service is not available, the request can be
+                        // passed on to the equivalent available service
+                        // provider" — whether the named provider is gone
+                        // *or* answered with a failure.
+                        if let Some(group) = group.as_deref() {
+                            let equivalent = accessor.bind_by_attr_excluding(
+                                env,
+                                host,
+                                interfaces::SENSOR_DATA_ACCESSOR,
+                                sensorcer_registry::attributes::AttrMatch::Custom {
+                                    key: Some(EQUIVALENCE_GROUP_KEY.into()),
+                                    value: Some(group.into()),
+                                },
+                                Some(&name),
+                            );
+                            if let Some(item) = equivalent {
+                                if let Ok(done) =
+                                    exert_on(env, host, item.service, make_task().into(), None)
+                                {
+                                    if let Ok(v) = parse(&done) {
+                                        // Deliberately not cached: the
+                                        // primary is retried next read.
+                                        return (var, Ok(v));
+                                    }
+                                }
+                            }
+                        }
+                        (var, Err(failure.unwrap_or_else(|| format!("'{name}': read failed"))))
+                    })
+                        as Box<
+                            dyn FnOnce(&mut Env) -> (String, Result<(f64, String, bool), String>)
+                                + '_,
+                        >
+                })
+                .collect();
+        let collected = env.parallel(branches);
+        // The hub pays CPU per child for demarshalling and bookkeeping —
+        // child reads overlap on the network, but aggregation work on this
+        // provider is serial. This is what makes very wide flat composites
+        // lose to hierarchies (B2).
+        env.consume(sensorcer_sim::time::SimDuration::from_micros(120) * collected.len() as u64);
+
+        let mut scope = Scope::new();
+        let mut unit = String::new();
+        let mut all_good = true;
+        let mut errors = Vec::new();
+        let mut values = Vec::new();
+        for (var, outcome) in collected {
+            match outcome {
+                Ok((v, u, good)) => {
+                    scope.set(var, v);
+                    values.push(v);
+                    all_good &= good;
+                    if unit.is_empty() {
+                        unit = u;
+                    }
+                }
+                Err(e) => errors.push(e),
+            }
+        }
+        if !errors.is_empty() {
+            task.fail(format!("component read failures: {}", errors.join("; ")));
+            return;
+        }
+
+        let computed = match &self.expression {
+            Some(program) => match program.eval(&mut scope) {
+                Ok(v) => match v.as_f64() {
+                    Some(x) => x,
+                    None => {
+                        task.fail(format!("expression produced non-numeric value: {v}"));
+                        return;
+                    }
+                },
+                Err(e) => {
+                    task.fail(format!("expression error: {e}"));
+                    return;
+                }
+            },
+            // Default aggregation when no expression is installed.
+            None => values.iter().sum::<f64>() / values.len() as f64,
+        };
+        let value = self.calibration.apply(computed);
+
+        task.context.put(paths::SENSOR_VALUE, value);
+        task.context.put(paths::RESULT, value);
+        task.context.put(paths::SENSOR_UNIT, unit.as_str());
+        task.context.put(paths::SENSOR_AT, env.now().as_nanos() as f64);
+        task.context
+            .put(paths::SENSOR_QUALITY, if all_good { "good" } else { "suspect" });
+        task.status = ExertionStatus::Done;
+    }
+
+    fn handle_get_info(&mut self, task: &mut Task) {
+        let info = SensorInfo {
+            name: self.name.clone(),
+            service_type: "COMPOSITE".into(),
+            uuid: self.uuid.clone(),
+            contained: self.children.iter().map(|c| c.service_name.clone()).collect(),
+            expression: self.expression_source().map(str::to_string),
+            unit: String::new(),
+            battery: 1.0,
+        };
+        info.write_to(&mut task.context);
+        task.status = ExertionStatus::Done;
+    }
+
+    fn handle_management(&mut self, task: &mut Task) {
+        let outcome = match task.signature.selector.as_str() {
+            mgmt::ADD_SERVICE => match task.context.get_str("arg/service") {
+                Some(name) => {
+                    let group = task.context.get_str("arg/group").map(str::to_string);
+                    self.add_service_grouped(name, group).map(|var| {
+                        task.context.put("mgmt/variable", var);
+                    })
+                }
+                None => Err("addService needs arg/service".into()),
+            },
+            mgmt::REMOVE_SERVICE => match task.context.get_str("arg/service") {
+                Some(name) => self.remove_service(name),
+                None => Err("removeService needs arg/service".into()),
+            },
+            mgmt::SET_EXPRESSION => match task.context.get_str("arg/expression") {
+                Some(src) => self.set_expression(src),
+                None => Err("setExpression needs arg/expression".into()),
+            },
+            other => Err(format!("'{}' has no management operation '{other}'", self.name)),
+        };
+        match outcome {
+            Ok(()) => task.status = ExertionStatus::Done,
+            Err(e) => task.fail(e),
+        }
+    }
+}
+
+impl Servicer for CompositeSensorProvider {
+    fn provider_name(&self) -> &str {
+        &self.name
+    }
+
+    fn service(&mut self, env: &mut Env, exertion: &mut Exertion, _txn: Option<TxnId>) {
+        let Exertion::Task(task) = exertion else {
+            if let Exertion::Job(job) = exertion {
+                job.status = ExertionStatus::Failed(format!(
+                    "composite provider '{}' executes tasks; jobs go to rendezvous peers",
+                    self.name
+                ));
+            }
+            return;
+        };
+        task.trace.push(format!("exerted by {}", self.name));
+        match task.signature.interface.as_str() {
+            i if i == interfaces::SENSOR_DATA_ACCESSOR => match task.signature.selector.as_str() {
+                selectors::GET_VALUE => self.handle_get_value(env, task),
+                selectors::GET_INFO => self.handle_get_info(task),
+                selectors::GET_HISTORY => task.fail(format!(
+                    "composite '{}' computes values on demand; ask its components for history",
+                    self.name
+                )),
+                other => task.fail(format!("'{}' has no operation '{other}'", self.name)),
+            },
+            i if i == interfaces::COMPOSITE_MANAGEMENT => self.handle_management(task),
+            other => task.fail(format!("'{}' does not implement {other}", self.name)),
+        }
+    }
+}
+
+impl std::fmt::Debug for CompositeSensorProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompositeSensorProvider")
+            .field("name", &self.name)
+            .field("children", &self.children)
+            .field("expression", &self.expression_source())
+            .finish()
+    }
+}
+
+/// Configuration for standing a CSP up.
+pub struct CspConfig {
+    pub host: HostId,
+    pub name: String,
+    pub lus: LusHandle,
+    pub renewal: Option<RenewalHandle>,
+    pub lease: SimDuration,
+    /// Children to compose at startup (provider names).
+    pub children: Vec<String>,
+    /// Compute expression to install at startup.
+    pub expression: Option<String>,
+}
+
+impl CspConfig {
+    pub fn new(host: HostId, name: impl Into<String>, lus: LusHandle) -> CspConfig {
+        CspConfig {
+            host,
+            name: name.into(),
+            lus,
+            renewal: None,
+            lease: SimDuration::from_secs(30),
+            children: Vec::new(),
+            expression: None,
+        }
+    }
+}
+
+/// Handle to a deployed CSP.
+#[derive(Clone, Copy, Debug)]
+pub struct CspHandle {
+    pub service: ServiceId,
+    pub host: HostId,
+}
+
+/// Deploy a CSP and register it (interfaces `SensorDataAccessor`,
+/// `CompositeManagement`, `Servicer`; type `COMPOSITE`).
+pub fn deploy_csp(env: &mut Env, config: CspConfig) -> Result<CspHandle, String> {
+    let accessor = ServiceAccessor::new(vec![config.lus]);
+    let mut csp = CompositeSensorProvider::new(config.name.clone(), config.host, accessor);
+    for child in &config.children {
+        csp.add_service(child)?;
+    }
+    if let Some(expr) = &config.expression {
+        csp.set_expression(expr)?;
+    }
+    let service = env.deploy(config.host, config.name.clone(), ServicerBox::new(csp));
+    let item = ServiceItem::new(
+        SvcUuid::NIL,
+        config.host,
+        service,
+        vec![
+            interfaces::SENSOR_DATA_ACCESSOR.into(),
+            interfaces::COMPOSITE_MANAGEMENT.into(),
+            interfaces::SERVICER.into(),
+        ],
+        vec![Entry::Name(config.name.clone()), Entry::ServiceType("COMPOSITE".into())],
+    );
+    let registration = config.lus.register(env, config.host, item, Some(config.lease));
+    if let Ok(reg) = registration {
+        let _ = env.with_service(service, |_env, sb: &mut ServicerBox| {
+            if let Some(csp) = sb.downcast_mut::<CompositeSensorProvider>() {
+                csp.uuid = reg.uuid.to_string();
+            }
+        });
+        if let Some(renewal) = config.renewal {
+            renewal.manage(env, config.host, config.lus, reg.lease, config.lease);
+        }
+    }
+    Ok(CspHandle { service, host: config.host })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accessor::client;
+    use crate::esp::{deploy_esp, EspConfig};
+    use sensorcer_registry::lease::LeasePolicy;
+    use sensorcer_registry::lus::LookupService;
+    use sensorcer_sensors::prelude::*;
+    use sensorcer_sim::prelude::*;
+
+    struct World {
+        env: Env,
+        client: HostId,
+        server: HostId,
+        lus: LusHandle,
+        accessor: ServiceAccessor,
+    }
+
+    fn setup() -> World {
+        let mut env = Env::with_seed(1);
+        let server = env.add_host("server", HostKind::Server);
+        let client = env.add_host("client", HostKind::Workstation);
+        let lus = LookupService::deploy(
+            &mut env,
+            server,
+            "LUS",
+            "public",
+            LeasePolicy::default(),
+            SimDuration::from_millis(500),
+        );
+        let accessor = ServiceAccessor::new(vec![lus]);
+        World { env, client, server, lus, accessor }
+    }
+
+    fn add_esp(w: &mut World, name: &str, value: f64) {
+        let mote = w.env.add_host(format!("{name}-mote"), HostKind::SensorMote);
+        deploy_esp(
+            &mut w.env,
+            EspConfig::new(
+                mote,
+                name,
+                Box::new(ScriptedProbe::new(vec![value], Unit::Celsius)),
+                w.lus,
+            ),
+        );
+    }
+
+    #[test]
+    fn paper_average_over_three_sensors() {
+        // §VI steps 1-2: subnet of three ESPs with "(a + b + c)/3".
+        let mut w = setup();
+        add_esp(&mut w, "Neem-Sensor", 20.0);
+        add_esp(&mut w, "Jade-Sensor", 22.0);
+        add_esp(&mut w, "Diamond-Sensor", 27.0);
+        let mut cfg = CspConfig::new(w.server, "Composite-Service", w.lus);
+        cfg.children =
+            vec!["Neem-Sensor".into(), "Jade-Sensor".into(), "Diamond-Sensor".into()];
+        cfg.expression = Some("(a + b + c)/3".into());
+        deploy_csp(&mut w.env, cfg).unwrap();
+
+        let r = client::get_value(&mut w.env, w.client, &w.accessor, "Composite-Service").unwrap();
+        assert_eq!(r.value, 23.0);
+        assert_eq!(r.unit, "°C");
+        assert!(r.good);
+    }
+
+    #[test]
+    fn nested_composites_like_fig3() {
+        // §VI steps 3-6: a network = { subnet, Coral } with "(a + b)/2".
+        let mut w = setup();
+        add_esp(&mut w, "Neem-Sensor", 20.0);
+        add_esp(&mut w, "Jade-Sensor", 22.0);
+        add_esp(&mut w, "Diamond-Sensor", 27.0);
+        add_esp(&mut w, "Coral-Sensor", 25.0);
+        let mut sub = CspConfig::new(w.server, "Composite-Service", w.lus);
+        sub.children = vec!["Neem-Sensor".into(), "Jade-Sensor".into(), "Diamond-Sensor".into()];
+        sub.expression = Some("(a + b + c)/3".into());
+        deploy_csp(&mut w.env, sub).unwrap();
+
+        let mut net = CspConfig::new(w.server, "New-Composite", w.lus);
+        net.children = vec!["Composite-Service".into(), "Coral-Sensor".into()];
+        net.expression = Some("(a + b)/2".into());
+        deploy_csp(&mut w.env, net).unwrap();
+
+        let r = client::get_value(&mut w.env, w.client, &w.accessor, "New-Composite").unwrap();
+        assert_eq!(r.value, (23.0 + 25.0) / 2.0);
+    }
+
+    #[test]
+    fn default_aggregation_is_average() {
+        let mut w = setup();
+        add_esp(&mut w, "A", 10.0);
+        add_esp(&mut w, "B", 20.0);
+        let mut cfg = CspConfig::new(w.server, "C", w.lus);
+        cfg.children = vec!["A".into(), "B".into()];
+        deploy_csp(&mut w.env, cfg).unwrap();
+        let r = client::get_value(&mut w.env, w.client, &w.accessor, "C").unwrap();
+        assert_eq!(r.value, 15.0);
+    }
+
+    #[test]
+    fn variables_assigned_in_add_order() {
+        assert_eq!(variable_for(0), "a");
+        assert_eq!(variable_for(2), "c");
+        assert_eq!(variable_for(25), "z");
+        assert_eq!(variable_for(26), "v26");
+
+        let mut w = setup();
+        let mut csp =
+            CompositeSensorProvider::new("C", w.server, w.accessor.clone());
+        assert_eq!(csp.add_service("X").unwrap(), "a");
+        assert_eq!(csp.add_service("Y").unwrap(), "b");
+        assert!(csp.add_service("Y").is_err(), "duplicates rejected");
+        assert!(csp.add_service("C").is_err(), "self-composition rejected");
+        let _ = &mut w;
+    }
+
+    #[test]
+    fn removal_reletters_and_drops_stale_expression() {
+        let w = setup();
+        let mut csp = CompositeSensorProvider::new("C", w.server, w.accessor.clone());
+        csp.add_service("X").unwrap();
+        csp.add_service("Y").unwrap();
+        csp.add_service("Z").unwrap();
+        csp.set_expression("(a + b + c)/3").unwrap();
+        csp.remove_service("Y").unwrap();
+        assert_eq!(
+            csp.children(),
+            &[
+                Child { var: "a".into(), service_name: "X".into(), group: None },
+                Child { var: "b".into(), service_name: "Z".into(), group: None }
+            ]
+        );
+        assert_eq!(csp.expression_source(), None, "expression using 'c' must drop");
+        csp.set_expression("a - b").unwrap();
+        assert!(csp.remove_service("Nope").is_err());
+    }
+
+    #[test]
+    fn expression_validation_against_bound_variables() {
+        let w = setup();
+        let mut csp = CompositeSensorProvider::new("C", w.server, w.accessor.clone());
+        csp.add_service("X").unwrap();
+        let err = csp.set_expression("(a + b)/2").unwrap_err();
+        assert!(err.contains('b'), "{err}");
+        assert!(csp.set_expression("a * 2").is_ok());
+        assert!(csp.set_expression("a +").is_err(), "syntax errors surface");
+    }
+
+    #[test]
+    fn failed_child_fails_composite_read() {
+        let mut w = setup();
+        add_esp(&mut w, "A", 10.0);
+        let mut cfg = CspConfig::new(w.server, "C", w.lus);
+        cfg.children = vec!["A".into(), "Ghost".into()];
+        deploy_csp(&mut w.env, cfg).unwrap();
+        let err = client::get_value(&mut w.env, w.client, &w.accessor, "C").unwrap_err();
+        assert!(err.contains("Ghost"), "{err}");
+    }
+
+    #[test]
+    fn empty_composite_fails_read() {
+        let mut w = setup();
+        deploy_csp(&mut w.env, CspConfig::new(w.server, "Empty", w.lus)).unwrap();
+        let err = client::get_value(&mut w.env, w.client, &w.accessor, "Empty").unwrap_err();
+        assert!(err.contains("no composed services"));
+    }
+
+    #[test]
+    fn composition_cycles_detected_at_read_time() {
+        let mut w = setup();
+        // A contains B, B contains A — constructed by direct management to
+        // bypass the self-composition guard.
+        let mut a = CspConfig::new(w.server, "A", w.lus);
+        a.children = vec!["B".into()];
+        deploy_csp(&mut w.env, a).unwrap();
+        let mut b = CspConfig::new(w.server, "B", w.lus);
+        b.children = vec!["A".into()];
+        deploy_csp(&mut w.env, b).unwrap();
+        let err = client::get_value(&mut w.env, w.client, &w.accessor, "A").unwrap_err();
+        // Either guard may fire: the visited breadcrumb ("cycle") or the
+        // call-layer re-entrancy detector ("busy").
+        assert!(err.contains("cycle") || err.contains("busy"), "{err}");
+    }
+
+    #[test]
+    fn management_via_exertions() {
+        let mut w = setup();
+        add_esp(&mut w, "X", 4.0);
+        add_esp(&mut w, "Y", 8.0);
+        deploy_csp(&mut w.env, CspConfig::new(w.server, "C", w.lus)).unwrap();
+
+        let ctx = client::manage(
+            &mut w.env,
+            w.client,
+            &w.accessor,
+            "C",
+            mgmt::ADD_SERVICE,
+            Context::new().with("arg/service", "X"),
+        )
+        .unwrap();
+        assert_eq!(ctx.get_str("mgmt/variable"), Some("a"));
+        client::manage(
+            &mut w.env,
+            w.client,
+            &w.accessor,
+            "C",
+            mgmt::ADD_SERVICE,
+            Context::new().with("arg/service", "Y"),
+        )
+        .unwrap();
+        client::manage(
+            &mut w.env,
+            w.client,
+            &w.accessor,
+            "C",
+            mgmt::SET_EXPRESSION,
+            Context::new().with("arg/expression", "max(a, b)"),
+        )
+        .unwrap();
+        let r = client::get_value(&mut w.env, w.client, &w.accessor, "C").unwrap();
+        assert_eq!(r.value, 8.0);
+
+        let info = client::get_info(&mut w.env, w.client, &w.accessor, "C").unwrap();
+        assert_eq!(info.service_type, "COMPOSITE");
+        assert_eq!(info.contained, vec!["X".to_string(), "Y".to_string()]);
+        assert_eq!(info.expression.as_deref(), Some("max(a, b)"));
+
+        // Bad management calls fail, not crash.
+        assert!(client::manage(
+            &mut w.env,
+            w.client,
+            &w.accessor,
+            "C",
+            mgmt::SET_EXPRESSION,
+            Context::new()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn suspect_child_marks_composite_suspect() {
+        let mut w = setup();
+        // One healthy ESP plus one whose reading will be suspect (dropout
+        // served from store).
+        add_esp(&mut w, "Good", 10.0);
+        let mote = w.env.add_host("sus-mote", HostKind::SensorMote);
+        let probe = SimulatedProbe::new(
+            Teds::sunspot_temperature("s"),
+            Signal::Constant(20.0),
+            SimRng::new(5),
+        );
+        deploy_esp(&mut w.env, EspConfig::new(mote, "Sus", Box::new(probe), w.lus));
+        // Prime the store, then swap to full dropout.
+        client::get_value(&mut w.env, w.client, &w.accessor, "Sus").unwrap();
+        let svc = w.env.find_service("Sus").unwrap();
+        w.env
+            .with_service(svc, |_e, sb: &mut ServicerBox| {
+                let esp = sb
+                    .downcast_mut::<crate::esp::ElementarySensorProvider>()
+                    .unwrap();
+                esp.probe = Box::new(
+                    SimulatedProbe::new(
+                        Teds::sunspot_temperature("s"),
+                        Signal::Constant(20.0),
+                        SimRng::new(5),
+                    )
+                    .with_faults(FaultInjector::new(FaultModel {
+                        dropout_prob: 1.0,
+                        ..Default::default()
+                    })),
+                );
+            })
+            .unwrap();
+
+        let mut cfg = CspConfig::new(w.server, "C", w.lus);
+        cfg.children = vec!["Good".into(), "Sus".into()];
+        deploy_csp(&mut w.env, cfg).unwrap();
+        let r = client::get_value(&mut w.env, w.client, &w.accessor, "C").unwrap();
+        assert!(!r.good, "one suspect component taints the composite");
+        assert_eq!(r.value, 15.0);
+    }
+
+    #[test]
+    fn output_calibration_applies() {
+        let mut w = setup();
+        add_esp(&mut w, "A", 10.0);
+        let handle = deploy_csp(
+            &mut w.env,
+            CspConfig { children: vec!["A".into()], ..CspConfig::new(w.server, "C", w.lus) },
+        )
+        .unwrap();
+        w.env
+            .with_service(handle.service, |_e, sb: &mut ServicerBox| {
+                sb.downcast_mut::<CompositeSensorProvider>().unwrap().calibration =
+                    Calibration::Linear { gain: 1.8, offset: 32.0 }; // °C → °F
+            })
+            .unwrap();
+        let r = client::get_value(&mut w.env, w.client, &w.accessor, "C").unwrap();
+        assert_eq!(r.value, 50.0);
+    }
+
+    #[test]
+    fn equivalent_provider_takes_over_when_named_child_dies() {
+        // §V.A: "If for any reason, a particular sensor service is not
+        // available, the request can be passed on to the equivalent
+        // available service provider."
+        let mut w = setup();
+        // Two interchangeable greenhouse sensors, short leases.
+        let mut motes = Vec::new();
+        for (name, value) in [("GH-Primary", 20.0), ("GH-Backup", 24.0)] {
+            let mote = w.env.add_host(format!("{name}-mote"), HostKind::SensorMote);
+            deploy_esp(
+                &mut w.env,
+                EspConfig {
+                    lease: SimDuration::from_secs(5),
+                    equivalence_group: Some("greenhouse".into()),
+                    ..EspConfig::new(
+                        mote,
+                        name,
+                        Box::new(ScriptedProbe::new(vec![value], Unit::Celsius)),
+                        w.lus,
+                    )
+                },
+            );
+            motes.push(mote);
+        }
+        // Keep the backup alive with its own renewal.
+        let renewal = sensorcer_registry::renewal::LeaseRenewalService::deploy(
+            &mut w.env,
+            w.server,
+            "Renewal",
+        );
+        // Re-register the backup with renewal so only the primary lapses.
+        let backup_svc = w.env.find_service("GH-Backup").unwrap();
+        let item = ServiceItem::new(
+            SvcUuid::NIL,
+            motes[1],
+            backup_svc,
+            vec![interfaces::SENSOR_DATA_ACCESSOR.into()],
+            vec![
+                Entry::Name("GH-Backup".into()),
+                Entry::Custom { key: EQUIVALENCE_GROUP_KEY.into(), value: "greenhouse".into() },
+            ],
+        );
+        let reg = w.lus.register(&mut w.env, motes[1], item, Some(SimDuration::from_secs(5))).unwrap();
+        renewal.manage(&mut w.env, motes[1], w.lus, reg.lease, SimDuration::from_secs(5));
+
+        // Composite pinned to the primary, with the group as fallback.
+        let handle = deploy_csp(&mut w.env, CspConfig::new(w.server, "GH", w.lus)).unwrap();
+        w.env
+            .with_service(handle.service, |_e, sb: &mut ServicerBox| {
+                let csp = sb.downcast_mut::<CompositeSensorProvider>().unwrap();
+                csp.add_service_grouped("GH-Primary", Some("greenhouse".into())).unwrap();
+            })
+            .unwrap();
+
+        // Healthy: reads the primary.
+        let r = client::get_value(&mut w.env, w.client, &w.accessor, "GH").unwrap();
+        assert_eq!(r.value, 20.0);
+
+        // Kill the primary and let its registration lapse.
+        w.env.crash_host(motes[0]);
+        w.env.run_for(SimDuration::from_secs(10));
+
+        // The request is passed on to the equivalent available provider.
+        let r = client::get_value(&mut w.env, w.client, &w.accessor, "GH").unwrap();
+        assert_eq!(r.value, 24.0, "backup must take over");
+    }
+
+    #[test]
+    fn failed_reading_from_live_provider_also_fails_over() {
+        // The named provider is reachable but its transducer is dead (it
+        // answers with a failure); the equivalent provider must take over.
+        let mut w = setup();
+        let m1 = w.env.add_host("p-mote", HostKind::SensorMote);
+        let dead = SimulatedProbe::new(
+            Teds::sunspot_temperature("dead"),
+            Signal::Constant(0.0),
+            SimRng::new(1),
+        )
+        .with_battery(Battery::new(1.0, 100.0, 0.0));
+        deploy_esp(
+            &mut w.env,
+            EspConfig {
+                equivalence_group: Some("pair".into()),
+                ..EspConfig::new(m1, "Pair-Primary", Box::new(dead), w.lus)
+            },
+        );
+        let m2 = w.env.add_host("b-mote", HostKind::SensorMote);
+        deploy_esp(
+            &mut w.env,
+            EspConfig {
+                equivalence_group: Some("pair".into()),
+                ..EspConfig::new(
+                    m2,
+                    "Pair-Backup",
+                    Box::new(ScriptedProbe::new(vec![42.0], Unit::Celsius)),
+                    w.lus,
+                )
+            },
+        );
+        let handle = deploy_csp(&mut w.env, CspConfig::new(w.server, "P", w.lus)).unwrap();
+        w.env
+            .with_service(handle.service, |_e, sb: &mut ServicerBox| {
+                sb.downcast_mut::<CompositeSensorProvider>()
+                    .unwrap()
+                    .add_service_grouped("Pair-Primary", Some("pair".into()))
+                    .unwrap();
+            })
+            .unwrap();
+        let r = client::get_value(&mut w.env, w.client, &w.accessor, "P").unwrap();
+        assert_eq!(r.value, 42.0, "backup answers even though the primary is reachable");
+    }
+
+    #[test]
+    fn without_a_group_the_dead_child_fails_the_read() {
+        let mut w = setup();
+        let mote = w.env.add_host("solo-mote", HostKind::SensorMote);
+        deploy_esp(
+            &mut w.env,
+            EspConfig {
+                lease: SimDuration::from_secs(5),
+                ..EspConfig::new(
+                    mote,
+                    "Solo",
+                    Box::new(ScriptedProbe::new(vec![20.0], Unit::Celsius)),
+                    w.lus,
+                )
+            },
+        );
+        let mut cfg = CspConfig::new(w.server, "C", w.lus);
+        cfg.children = vec!["Solo".into()];
+        deploy_csp(&mut w.env, cfg).unwrap();
+        assert!(client::get_value(&mut w.env, w.client, &w.accessor, "C").is_ok());
+        w.env.crash_host(mote);
+        w.env.run_for(SimDuration::from_secs(10));
+        assert!(client::get_value(&mut w.env, w.client, &w.accessor, "C").is_err());
+    }
+
+    #[test]
+    fn deploy_rejects_bad_startup_expression() {
+        let mut w = setup();
+        let mut cfg = CspConfig::new(w.server, "C", w.lus);
+        cfg.children = vec!["A".into()];
+        cfg.expression = Some("(a + b)/2".into());
+        assert!(deploy_csp(&mut w.env, cfg).is_err());
+    }
+}

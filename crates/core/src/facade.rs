@@ -1,0 +1,631 @@
+//! The SenSORCER Façade — "the single entry point of the SenSORCER
+//! system" (§V.B).
+//!
+//! The façade provides uniform access for the sensor browser: it carries a
+//! `ServiceAccessor` (LUS lookups), a **Sensor Network Manager** (create
+//! subnets/networks by composing services, add/remove nodes, install
+//! expressions) and a **Sensor Service Provisioner** (deploy new composite
+//! services onto cybernodes via the provision monitor). Like every peer it
+//! is a `Servicer`: the browser's buttons in Fig. 2 ("Get Sensor List",
+//! "Get Value", "Compose Service", "Add Expression", "Create Service")
+//! map one-to-one onto its selectors.
+
+use sensorcer_exertion::prelude::*;
+use sensorcer_expr::Value;
+use sensorcer_provision::monitor::MonitorHandle;
+use sensorcer_registry::attributes::{name_of, service_type_of, Entry};
+use sensorcer_registry::ids::{interfaces, SvcUuid};
+use sensorcer_registry::item::{ServiceItem, ServiceTemplate};
+use sensorcer_registry::lus::LusHandle;
+use sensorcer_registry::txn::TxnId;
+use sensorcer_sim::env::{Env, ServiceId};
+use sensorcer_sim::topology::HostId;
+
+use crate::accessor::{client, mgmt, SensorInfo, SensorReading};
+use crate::provisioner::{provision_composite, CompositeSpec};
+
+/// Façade operation selectors (the browser's buttons).
+pub mod ops {
+    pub const LIST_SERVICES: &str = "listServices";
+    pub const GET_VALUE: &str = "getValue";
+    pub const GET_INFO: &str = "getInfo";
+    pub const GET_HISTORY: &str = "getHistory";
+    pub const COMPOSE_SERVICE: &str = "composeService";
+    pub const ADD_EXPRESSION: &str = "addExpression";
+    pub const CREATE_SERVICE: &str = "createService";
+    pub const REMOVE_SERVICE: &str = "removeService";
+}
+
+/// One row of the browser's service list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceRow {
+    pub name: String,
+    pub service_type: String,
+    pub host: HostId,
+}
+
+/// The façade provider.
+pub struct SensorcerFacade {
+    name: String,
+    host: HostId,
+    accessor: ServiceAccessor,
+    monitor: Option<MonitorHandle>,
+    requests_total: u64,
+}
+
+impl SensorcerFacade {
+    pub fn new(
+        name: impl Into<String>,
+        host: HostId,
+        accessor: ServiceAccessor,
+        monitor: Option<MonitorHandle>,
+    ) -> Self {
+        SensorcerFacade { name: name.into(), host, accessor, monitor, requests_total: 0 }
+    }
+
+    /// Deploy a façade and register it with every LUS the accessor knows.
+    pub fn deploy(
+        env: &mut Env,
+        host: HostId,
+        name: &str,
+        accessor: ServiceAccessor,
+        monitor: Option<MonitorHandle>,
+    ) -> FacadeHandle {
+        let lus_list: Vec<LusHandle> = accessor.lus_handles().to_vec();
+        let facade = SensorcerFacade::new(name, host, accessor, monitor);
+        let service = env.deploy(host, name, ServicerBox::new(facade));
+        for lus in lus_list {
+            let item = ServiceItem::new(
+                SvcUuid::NIL,
+                host,
+                service,
+                vec![interfaces::SENSORCER_FACADE.into(), interfaces::SERVICER.into()],
+                vec![
+                    Entry::Name(name.to_string()),
+                    Entry::ServiceType("FACADE".into()),
+                    Entry::Comment("SenSORCER Facade".into()),
+                ],
+            );
+            let _ = lus.register(env, host, item, None);
+        }
+        FacadeHandle { service, host }
+    }
+
+    pub fn requests_total(&self) -> u64 {
+        self.requests_total
+    }
+
+    /// The network manager's service listing: everything registered, as
+    /// the browser's left panel shows it.
+    pub fn list_services(&self, env: &mut Env) -> Vec<ServiceRow> {
+        let mut rows = Vec::new();
+        for lus in self.accessor.lus_handles() {
+            if let Ok(items) = lus.lookup(env, self.host, &ServiceTemplate::any(), usize::MAX) {
+                for item in items {
+                    let name = name_of(&item.attributes).unwrap_or("(unnamed)").to_string();
+                    if rows.iter().any(|r: &ServiceRow| r.name == name) {
+                        continue;
+                    }
+                    rows.push(ServiceRow {
+                        name,
+                        service_type: service_type_of(&item.attributes)
+                            .unwrap_or("UNKNOWN")
+                            .to_string(),
+                        host: item.host,
+                    });
+                }
+            }
+        }
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
+    }
+
+    fn handle(&mut self, env: &mut Env, task: &mut Task) {
+        self.requests_total += 1;
+        let selector = task.signature.selector.clone();
+        let outcome: Result<(), String> = match selector.as_str() {
+            ops::LIST_SERVICES => {
+                let rows = self.list_services(env);
+                let list: Vec<Value> = rows
+                    .iter()
+                    .map(|r| {
+                        let mut m = std::collections::BTreeMap::new();
+                        m.insert("name".to_string(), Value::Str(r.name.clone()));
+                        m.insert("type".to_string(), Value::Str(r.service_type.clone()));
+                        Value::Map(m)
+                    })
+                    .collect();
+                task.context.put("services/list", Value::List(list));
+                Ok(())
+            }
+            ops::GET_VALUE => match task.context.get_str("arg/service").map(str::to_string) {
+                Some(name) => {
+                    client::get_value(env, self.host, &self.accessor, &name).map(|reading| {
+                        task.context.put(paths::SENSOR_VALUE, reading.value);
+                        task.context.put(paths::RESULT, reading.value);
+                        task.context.put(paths::SENSOR_UNIT, reading.unit.as_str());
+                        task.context.put(paths::SENSOR_AT, reading.at_ns as f64);
+                        task.context.put(
+                            paths::SENSOR_QUALITY,
+                            if reading.good { "good" } else { "suspect" },
+                        );
+                    })
+                }
+                None => Err("getValue needs arg/service".into()),
+            },
+            ops::GET_INFO => match task.context.get_str("arg/service").map(str::to_string) {
+                Some(name) => client::get_info(env, self.host, &self.accessor, &name)
+                    .map(|info| info.write_to(&mut task.context)),
+                None => Err("getInfo needs arg/service".into()),
+            },
+            ops::GET_HISTORY => match task.context.get_str("arg/service").map(str::to_string) {
+                Some(name) => {
+                    let count = task.context.get_f64("arg/count").unwrap_or(16.0) as usize;
+                    client::get_history(env, self.host, &self.accessor, &name, count).map(
+                        |values| {
+                            task.context.put(
+                                "history/values",
+                                Value::List(values.into_iter().map(Value::Float).collect()),
+                            );
+                        },
+                    )
+                }
+                None => Err("getHistory needs arg/service".into()),
+            },
+            ops::COMPOSE_SERVICE => {
+                let composite = task.context.get_str("arg/composite").map(str::to_string);
+                let children: Vec<String> = match task.context.get("arg/children") {
+                    Some(Value::List(xs)) => xs.iter().map(|v| v.to_string()).collect(),
+                    _ => Vec::new(),
+                };
+                match composite {
+                    Some(composite) if !children.is_empty() => {
+                        let mut vars = Vec::new();
+                        let mut result = Ok(());
+                        for child in &children {
+                            match client::manage(
+                                env,
+                                self.host,
+                                &self.accessor,
+                                &composite,
+                                mgmt::ADD_SERVICE,
+                                Context::new().with("arg/service", child.as_str()),
+                            ) {
+                                Ok(ctx) => vars.push(Value::Str(
+                                    ctx.get_str("mgmt/variable").unwrap_or("?").to_string(),
+                                )),
+                                Err(e) => {
+                                    result = Err(e);
+                                    break;
+                                }
+                            }
+                        }
+                        task.context.put("mgmt/variables", Value::List(vars));
+                        result
+                    }
+                    Some(_) => Err("composeService needs a non-empty arg/children list".into()),
+                    None => Err("composeService needs arg/composite".into()),
+                }
+            }
+            ops::ADD_EXPRESSION => {
+                let service = task.context.get_str("arg/service").map(str::to_string);
+                let expr = task.context.get_str("arg/expression").map(str::to_string);
+                match (service, expr) {
+                    (Some(service), Some(expr)) => client::manage(
+                        env,
+                        self.host,
+                        &self.accessor,
+                        &service,
+                        mgmt::SET_EXPRESSION,
+                        Context::new().with("arg/expression", expr.as_str()),
+                    )
+                    .map(|_| ()),
+                    _ => Err("addExpression needs arg/service and arg/expression".into()),
+                }
+            }
+            ops::REMOVE_SERVICE => {
+                let composite = task.context.get_str("arg/composite").map(str::to_string);
+                let service = task.context.get_str("arg/service").map(str::to_string);
+                match (composite, service) {
+                    (Some(composite), Some(service)) => client::manage(
+                        env,
+                        self.host,
+                        &self.accessor,
+                        &composite,
+                        mgmt::REMOVE_SERVICE,
+                        Context::new().with("arg/service", service.as_str()),
+                    )
+                    .map(|_| ()),
+                    _ => Err("removeService needs arg/composite and arg/service".into()),
+                }
+            }
+            ops::CREATE_SERVICE => {
+                let name = task.context.get_str("arg/name").map(str::to_string);
+                match (name, self.monitor) {
+                    (Some(name), Some(monitor)) => {
+                        let mut spec = CompositeSpec::named(name);
+                        if let Some(Value::List(xs)) = task.context.get("arg/children") {
+                            spec.children = xs.iter().map(|v| v.to_string()).collect();
+                        }
+                        if let Some(e) = task.context.get_str("arg/expression") {
+                            spec.expression = Some(e.to_string());
+                        }
+                        match provision_composite(env, self.host, monitor, &spec) {
+                            Ok(host) => {
+                                task.context.put("mgmt/provisioned-on", host.0 as i64);
+                                Ok(())
+                            }
+                            Err(e) => Err(e.to_string()),
+                        }
+                    }
+                    (None, _) => Err("createService needs arg/name".into()),
+                    (_, None) => Err("no provision monitor attached to this facade".into()),
+                }
+            }
+            other => Err(format!("facade has no operation '{other}'")),
+        };
+        match outcome {
+            Ok(()) => task.status = ExertionStatus::Done,
+            Err(e) => task.fail(e),
+        }
+    }
+}
+
+impl Servicer for SensorcerFacade {
+    fn provider_name(&self) -> &str {
+        &self.name
+    }
+
+    fn service(&mut self, env: &mut Env, exertion: &mut Exertion, _txn: Option<TxnId>) {
+        let Exertion::Task(task) = exertion else {
+            if let Exertion::Job(job) = exertion {
+                job.status =
+                    ExertionStatus::Failed("the facade executes tasks, not jobs".into());
+            }
+            return;
+        };
+        if task.signature.interface != interfaces::SENSORCER_FACADE {
+            task.fail(format!(
+                "facade implements {}, not {}",
+                interfaces::SENSORCER_FACADE,
+                task.signature.interface
+            ));
+            return;
+        }
+        task.trace.push(format!("exerted by {}", self.name));
+        self.handle(env, task);
+    }
+}
+
+impl std::fmt::Debug for SensorcerFacade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SensorcerFacade")
+            .field("name", &self.name)
+            .field("requests_total", &self.requests_total)
+            .finish()
+    }
+}
+
+/// Handle to a deployed façade.
+#[derive(Clone, Copy, Debug)]
+pub struct FacadeHandle {
+    pub service: ServiceId,
+    pub host: HostId,
+}
+
+impl FacadeHandle {
+    fn run(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        selector: &str,
+        args: Context,
+    ) -> Result<Context, String> {
+        let task = Task::new(
+            format!("facade {selector}"),
+            Signature::new(interfaces::SENSORCER_FACADE, selector),
+            args,
+        );
+        match exert_on(env, from, self.service, task.into(), None) {
+            Ok(done) => match done.status() {
+                ExertionStatus::Done => Ok(done.context().clone()),
+                ExertionStatus::Failed(e) => Err(e.clone()),
+                other => Err(format!("unexpected status {other:?}")),
+            },
+            Err(e) => Err(format!("facade unreachable: {e}")),
+        }
+    }
+
+    /// "Get Sensor List".
+    pub fn list_services(&self, env: &mut Env, from: HostId) -> Result<Vec<(String, String)>, String> {
+        let ctx = self.run(env, from, ops::LIST_SERVICES, Context::new())?;
+        match ctx.get("services/list") {
+            Some(Value::List(xs)) => Ok(xs
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Map(m) => Some((
+                        m.get("name").map(ToString::to_string).unwrap_or_default(),
+                        m.get("type").map(ToString::to_string).unwrap_or_default(),
+                    )),
+                    _ => None,
+                })
+                .collect()),
+            _ => Ok(Vec::new()),
+        }
+    }
+
+    /// "Get Value".
+    pub fn get_value(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        service: &str,
+    ) -> Result<SensorReading, String> {
+        let ctx = self.run(env, from, ops::GET_VALUE, Context::new().with("arg/service", service))?;
+        SensorReading::from_context(&ctx).ok_or_else(|| "no reading returned".to_string())
+    }
+
+    /// Recent stored measurements of a sensor service.
+    pub fn get_history(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        service: &str,
+        count: usize,
+    ) -> Result<Vec<f64>, String> {
+        let ctx = self.run(
+            env,
+            from,
+            ops::GET_HISTORY,
+            Context::new().with("arg/service", service).with("arg/count", count as i64),
+        )?;
+        match ctx.get("history/values") {
+            Some(Value::List(xs)) => Ok(xs.iter().filter_map(Value::as_f64).collect()),
+            _ => Ok(Vec::new()),
+        }
+    }
+
+    /// Sensor Service Information panel.
+    pub fn get_info(&self, env: &mut Env, from: HostId, service: &str) -> Result<SensorInfo, String> {
+        let ctx = self.run(env, from, ops::GET_INFO, Context::new().with("arg/service", service))?;
+        SensorInfo::from_context(&ctx).ok_or_else(|| "no info returned".to_string())
+    }
+
+    /// "Compose Service": add children into a composite. Returns the
+    /// variables assigned.
+    pub fn compose_service(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        composite: &str,
+        children: &[&str],
+    ) -> Result<Vec<String>, String> {
+        let list = Value::List(children.iter().map(|c| Value::Str(c.to_string())).collect());
+        let ctx = self.run(
+            env,
+            from,
+            ops::COMPOSE_SERVICE,
+            Context::new().with("arg/composite", composite).with("arg/children", list),
+        )?;
+        match ctx.get("mgmt/variables") {
+            Some(Value::List(xs)) => Ok(xs.iter().map(ToString::to_string).collect()),
+            _ => Ok(Vec::new()),
+        }
+    }
+
+    /// "Add Expression".
+    pub fn add_expression(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        service: &str,
+        expression: &str,
+    ) -> Result<(), String> {
+        self.run(
+            env,
+            from,
+            ops::ADD_EXPRESSION,
+            Context::new().with("arg/service", service).with("arg/expression", expression),
+        )
+        .map(|_| ())
+    }
+
+    /// "Create Service": provision a fresh composite onto a cybernode.
+    pub fn create_service(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        name: &str,
+        children: &[&str],
+        expression: Option<&str>,
+    ) -> Result<(), String> {
+        let mut args = Context::new().with("arg/name", name);
+        if !children.is_empty() {
+            args.put(
+                "arg/children",
+                Value::List(children.iter().map(|c| Value::Str(c.to_string())).collect()),
+            );
+        }
+        if let Some(e) = expression {
+            args.put("arg/expression", e);
+        }
+        self.run(env, from, ops::CREATE_SERVICE, args).map(|_| ())
+    }
+
+    /// Remove a child from a composite.
+    pub fn remove_service(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        composite: &str,
+        service: &str,
+    ) -> Result<(), String> {
+        self.run(
+            env,
+            from,
+            ops::REMOVE_SERVICE,
+            Context::new().with("arg/composite", composite).with("arg/service", service),
+        )
+        .map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csp::{deploy_csp, CspConfig};
+    use crate::esp::{deploy_esp, EspConfig};
+    use sensorcer_registry::lease::LeasePolicy;
+    use sensorcer_registry::lus::LookupService;
+    use sensorcer_sensors::prelude::*;
+    use sensorcer_sim::prelude::*;
+
+    struct World {
+        env: Env,
+        client: HostId,
+        lus: LusHandle,
+        facade: FacadeHandle,
+    }
+
+    fn setup() -> World {
+        let mut env = Env::with_seed(1);
+        let lab = env.add_host("lab", HostKind::Server);
+        let client = env.add_host("client", HostKind::Workstation);
+        let lus = LookupService::deploy(
+            &mut env,
+            lab,
+            "LUS",
+            "public",
+            LeasePolicy::default(),
+            SimDuration::from_millis(500),
+        );
+        let accessor = ServiceAccessor::new(vec![lus]);
+        let facade =
+            SensorcerFacade::deploy(&mut env, lab, "SenSORCER Facade", accessor, None);
+        World { env, client, lus, facade }
+    }
+
+    fn add_esp(w: &mut World, name: &str, value: f64) {
+        let mote = w.env.add_host(format!("{name}-mote"), HostKind::SensorMote);
+        deploy_esp(
+            &mut w.env,
+            EspConfig::new(
+                mote,
+                name,
+                Box::new(ScriptedProbe::new(vec![value], Unit::Celsius)),
+                w.lus,
+            ),
+        );
+    }
+
+    #[test]
+    fn list_services_shows_registered_world() {
+        let mut w = setup();
+        add_esp(&mut w, "Neem-Sensor", 20.0);
+        add_esp(&mut w, "Jade-Sensor", 21.0);
+        let rows = w.facade.list_services(&mut w.env, w.client).unwrap();
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"Neem-Sensor"));
+        assert!(names.contains(&"Jade-Sensor"));
+        assert!(names.contains(&"SenSORCER Facade"));
+        let types: Vec<&str> = rows.iter().map(|(_, t)| t.as_str()).collect();
+        assert!(types.contains(&"ELEMENTARY"));
+        assert!(types.contains(&"FACADE"));
+    }
+
+    #[test]
+    fn get_value_through_facade() {
+        let mut w = setup();
+        add_esp(&mut w, "Neem-Sensor", 21.5);
+        let r = w.facade.get_value(&mut w.env, w.client, "Neem-Sensor").unwrap();
+        assert_eq!(r.value, 21.5);
+        assert!(w.facade.get_value(&mut w.env, w.client, "Ghost").is_err());
+    }
+
+    #[test]
+    fn compose_and_expression_workflow() {
+        let mut w = setup();
+        add_esp(&mut w, "Neem-Sensor", 20.0);
+        add_esp(&mut w, "Jade-Sensor", 22.0);
+        add_esp(&mut w, "Diamond-Sensor", 27.0);
+        deploy_csp(
+            &mut w.env,
+            CspConfig::new(w.facade.host, "Composite-Service", w.lus),
+        )
+        .unwrap();
+
+        let vars = w
+            .facade
+            .compose_service(
+                &mut w.env,
+                w.client,
+                "Composite-Service",
+                &["Neem-Sensor", "Jade-Sensor", "Diamond-Sensor"],
+            )
+            .unwrap();
+        assert_eq!(vars, vec!["a", "b", "c"]);
+        w.facade
+            .add_expression(&mut w.env, w.client, "Composite-Service", "(a + b + c)/3")
+            .unwrap();
+        let r = w.facade.get_value(&mut w.env, w.client, "Composite-Service").unwrap();
+        assert_eq!(r.value, 23.0);
+
+        let info = w.facade.get_info(&mut w.env, w.client, "Composite-Service").unwrap();
+        assert_eq!(info.expression.as_deref(), Some("(a + b + c)/3"));
+        assert_eq!(info.contained.len(), 3);
+
+        // Remove one child; expression referencing it drops.
+        w.facade
+            .remove_service(&mut w.env, w.client, "Composite-Service", "Jade-Sensor")
+            .unwrap();
+        let info = w.facade.get_info(&mut w.env, w.client, "Composite-Service").unwrap();
+        assert_eq!(info.contained.len(), 2);
+        assert_eq!(info.expression, None);
+    }
+
+    #[test]
+    fn history_through_the_facade() {
+        let mut w = setup();
+        add_esp(&mut w, "H", 21.0);
+        // Three direct reads fill the ESP's local store.
+        for _ in 0..3 {
+            w.facade.get_value(&mut w.env, w.client, "H").unwrap();
+        }
+        let hist = w.facade.get_history(&mut w.env, w.client, "H", 10).unwrap();
+        assert_eq!(hist.len(), 3);
+        assert!(hist.iter().all(|v| *v == 21.0));
+        assert!(w.facade.get_history(&mut w.env, w.client, "Ghost", 5).is_err());
+    }
+
+    #[test]
+    fn create_service_without_monitor_fails() {
+        let mut w = setup();
+        let err = w
+            .facade
+            .create_service(&mut w.env, w.client, "X", &[], None)
+            .unwrap_err();
+        assert!(err.contains("monitor"), "{err}");
+    }
+
+    #[test]
+    fn facade_rejects_unknown_op_and_bad_args() {
+        let mut w = setup();
+        let err = w.facade.run(&mut w.env, w.client, "selfDestruct", Context::new()).unwrap_err();
+        assert!(err.contains("no operation"));
+        let err = w.facade.run(&mut w.env, w.client, ops::GET_VALUE, Context::new()).unwrap_err();
+        assert!(err.contains("arg/service"));
+        let err = w
+            .facade
+            .run(&mut w.env, w.client, ops::COMPOSE_SERVICE, Context::new().with("arg/composite", "X"))
+            .unwrap_err();
+        assert!(err.contains("children"));
+    }
+
+    #[test]
+    fn facade_unreachable_reports_cleanly() {
+        let mut w = setup();
+        w.env.crash_host(w.facade.host);
+        let err = w.facade.list_services(&mut w.env, w.client).unwrap_err();
+        assert!(err.contains("unreachable"), "{err}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Service contexts — the data a collaboration works on.
+//!
+//! "A *service context* represent\[s\] the metaprogram data … The service
+//! context describes the collaboration data that tasks and jobs work on"
+//! (§IV.D). A [`Context`] is a hierarchical map from slash-separated paths
+//! to dynamically typed [`Value`]s; requestors put inputs in, providers
+//! put results back, and the returned exertion carries the whole thing to
+//! the requestor.
+
+use std::collections::BTreeMap;
+
+use sensorcer_expr::Value;
+
+/// A hierarchical path→value data context.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Context {
+    entries: BTreeMap<String, Value>,
+}
+
+/// Conventional context paths used across the reproduction.
+pub mod paths {
+    /// Where a sensor reading's numeric value lands.
+    pub const SENSOR_VALUE: &str = "sensor/value";
+    /// Unit symbol of the reading.
+    pub const SENSOR_UNIT: &str = "sensor/unit";
+    /// Virtual timestamp (ns) of the reading.
+    pub const SENSOR_AT: &str = "sensor/at";
+    /// Reading quality ("good"/"suspect").
+    pub const SENSOR_QUALITY: &str = "sensor/quality";
+    /// Generic output slot for compute tasks.
+    pub const RESULT: &str = "result/value";
+    /// Error description when a provider fails a task.
+    pub const ERROR: &str = "error/message";
+}
+
+impl Context {
+    pub fn new() -> Context {
+        Context::default()
+    }
+
+    /// Insert/replace a value at `path`.
+    pub fn put(&mut self, path: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        self.entries.insert(path.into(), value.into());
+        self
+    }
+
+    /// Builder-style put.
+    pub fn with(mut self, path: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.put(path, value);
+        self
+    }
+
+    /// Value at `path`, if present.
+    pub fn get(&self, path: &str) -> Option<&Value> {
+        self.entries.get(path)
+    }
+
+    /// Numeric view of the value at `path`.
+    pub fn get_f64(&self, path: &str) -> Option<f64> {
+        self.entries.get(path).and_then(Value::as_f64)
+    }
+
+    /// String view of the value at `path`.
+    pub fn get_str(&self, path: &str) -> Option<&str> {
+        match self.entries.get(path) {
+            Some(Value::Str(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Remove a path, returning its value.
+    pub fn remove(&mut self, path: &str) -> Option<Value> {
+        self.entries.remove(path)
+    }
+
+    pub fn contains(&self, path: &str) -> bool {
+        self.entries.contains_key(path)
+    }
+
+    /// All paths in lexical order.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// (path, value) pairs in lexical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Copy every entry of `other` into this context under the prefix
+    /// `prefix/` — how a job folds child-task results into its own context.
+    pub fn merge_under(&mut self, prefix: &str, other: &Context) {
+        for (k, v) in &other.entries {
+            self.entries.insert(format!("{prefix}/{k}"), v.clone());
+        }
+    }
+
+    /// A sub-context of every entry below `prefix/`, with the prefix
+    /// stripped.
+    pub fn subcontext(&self, prefix: &str) -> Context {
+        let lead = format!("{prefix}/");
+        let mut out = Context::new();
+        for (k, v) in &self.entries {
+            if let Some(rest) = k.strip_prefix(&lead) {
+                out.entries.insert(rest.to_string(), v.clone());
+            }
+        }
+        out
+    }
+
+    /// Approximate wire size of the context (path bytes + value payloads),
+    /// used for honest message accounting.
+    pub fn wire_size(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, v)| 4 + k.len() + value_wire_size(v))
+            .sum::<usize>()
+            + 4
+    }
+}
+
+/// Approximate encoded size of a dynamic value.
+pub fn value_wire_size(v: &Value) -> usize {
+    match v {
+        Value::Null => 1,
+        Value::Bool(_) => 2,
+        Value::Int(_) | Value::Float(_) => 9,
+        Value::Str(s) => 5 + s.len(),
+        Value::List(xs) => 5 + xs.iter().map(value_wire_size).sum::<usize>(),
+        Value::Map(m) => 5 + m.iter().map(|(k, v)| 4 + k.len() + value_wire_size(v)).sum::<usize>(),
+    }
+}
+
+impl<P: Into<String>, V: Into<Value>> FromIterator<(P, V)> for Context {
+    fn from_iter<I: IntoIterator<Item = (P, V)>>(iter: I) -> Self {
+        let mut ctx = Context::new();
+        for (p, v) in iter {
+            ctx.put(p, v);
+        }
+        ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove() {
+        let mut ctx = Context::new();
+        ctx.put(paths::SENSOR_VALUE, 21.5).put(paths::SENSOR_UNIT, "°C");
+        assert_eq!(ctx.get_f64(paths::SENSOR_VALUE), Some(21.5));
+        assert_eq!(ctx.get_str(paths::SENSOR_UNIT), Some("°C"));
+        assert_eq!(ctx.len(), 2);
+        assert!(ctx.contains(paths::SENSOR_VALUE));
+        assert_eq!(ctx.remove(paths::SENSOR_VALUE), Some(Value::Float(21.5)));
+        assert!(!ctx.contains(paths::SENSOR_VALUE));
+        assert_eq!(ctx.get("missing"), None);
+    }
+
+    #[test]
+    fn typed_getters_reject_wrong_types() {
+        let ctx = Context::new().with("x", "text");
+        assert_eq!(ctx.get_f64("x"), None);
+        let ctx = Context::new().with("n", 5i64);
+        assert_eq!(ctx.get_str("n"), None);
+        assert_eq!(ctx.get_f64("n"), Some(5.0));
+    }
+
+    #[test]
+    fn merge_under_prefixes() {
+        let child = Context::new().with(paths::SENSOR_VALUE, 20.0);
+        let mut job = Context::new();
+        job.merge_under("Neem-Sensor", &child);
+        assert_eq!(job.get_f64("Neem-Sensor/sensor/value"), Some(20.0));
+    }
+
+    #[test]
+    fn subcontext_strips_prefix() {
+        let mut job = Context::new();
+        job.put("a/x", 1i64).put("a/y", 2i64).put("b/x", 3i64);
+        let sub = job.subcontext("a");
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.get_f64("x"), Some(1.0));
+        assert!(!sub.contains("b/x"));
+        // Round trip through merge/sub.
+        let mut back = Context::new();
+        back.merge_under("a", &sub);
+        assert_eq!(back.get_f64("a/x"), Some(1.0));
+    }
+
+    #[test]
+    fn paths_are_sorted_and_iter_consistent() {
+        let ctx = Context::new().with("b", 1i64).with("a", 2i64);
+        let ps: Vec<&str> = ctx.paths().collect();
+        assert_eq!(ps, vec!["a", "b"]);
+        let pairs: Vec<(&str, &Value)> = ctx.iter().collect();
+        assert_eq!(pairs[0].0, "a");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let ctx: Context = [("x", 1.0), ("y", 2.0)].into_iter().collect();
+        assert_eq!(ctx.len(), 2);
+        assert_eq!(ctx.get_f64("y"), Some(2.0));
+    }
+
+    #[test]
+    fn wire_size_grows_with_content() {
+        let empty = Context::new();
+        let small = Context::new().with("v", 1.0);
+        let big = small.clone().with("long/path/to/value", "some string content here");
+        assert!(empty.wire_size() < small.wire_size());
+        assert!(small.wire_size() < big.wire_size());
+    }
+
+    #[test]
+    fn value_sizes() {
+        assert_eq!(value_wire_size(&Value::Null), 1);
+        assert_eq!(value_wire_size(&Value::Int(1)), 9);
+        assert!(value_wire_size(&Value::from("abc")) > 3);
+        let list: Value = vec![1i64, 2, 3].into();
+        assert!(value_wire_size(&list) > 27);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for the exertion runtime: context algebra, wire-size
+//! accounting, and exertion-tree structure.
+
+use proptest::prelude::*;
+
+use sensorcer_exertion::prelude::*;
+use sensorcer_expr::Value;
+use sensorcer_sim::prelude::{Env, HostKind, SimDuration};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e9f64..1e9).prop_map(Value::Float),
+        "[ -~]{0,24}".prop_map(Value::Str),
+    ]
+}
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z]{1,8}", 1..4).prop_map(|segs| segs.join("/"))
+}
+
+proptest! {
+    /// merge_under followed by subcontext is the identity on the merged
+    /// entries.
+    #[test]
+    fn merge_then_subcontext_round_trips(
+        entries in prop::collection::btree_map(path_strategy(), value_strategy(), 0..16),
+        prefix in "[A-Za-z][A-Za-z0-9-]{0,12}",
+    ) {
+        let mut child = Context::new();
+        for (k, v) in &entries {
+            child.put(k.clone(), v.clone());
+        }
+        let mut parent = Context::new();
+        parent.merge_under(&prefix, &child);
+        let back = parent.subcontext(&prefix);
+        prop_assert_eq!(back, child);
+    }
+
+    /// Wire size is positive, monotone under insertion, and additive-ish
+    /// under merge.
+    #[test]
+    fn wire_size_laws(
+        entries in prop::collection::btree_map(path_strategy(), value_strategy(), 1..16),
+    ) {
+        let mut ctx = Context::new();
+        let mut prev = ctx.wire_size();
+        for (k, v) in &entries {
+            ctx.put(k.clone(), v.clone());
+            let now = ctx.wire_size();
+            prop_assert!(now >= prev, "inserting must not shrink the context");
+            prev = now;
+        }
+        prop_assert!(ctx.wire_size() > 0);
+    }
+
+    /// task_count and depth behave structurally for arbitrary balanced
+    /// job trees.
+    #[test]
+    fn exertion_tree_structure(depth in 0usize..4, fanout in 1usize..4) {
+        fn build(depth: usize, fanout: usize) -> Exertion {
+            if depth == 0 {
+                Task::new("leaf", Signature::new("I", "op"), Context::new()).into()
+            } else {
+                let mut job = Job::new("node", ControlStrategy::parallel());
+                for _ in 0..fanout {
+                    job = job.with(build(depth - 1, fanout));
+                }
+                job.into()
+            }
+        }
+        let tree = build(depth, fanout);
+        prop_assert_eq!(tree.task_count(), fanout.pow(depth as u32));
+        prop_assert_eq!(tree.depth(), depth + 1);
+        prop_assert!(tree.wire_size() > 0);
+    }
+
+    /// Context paths iterate sorted and contain exactly what was put.
+    #[test]
+    fn context_paths_sorted_and_complete(
+        entries in prop::collection::btree_map(path_strategy(), value_strategy(), 0..24),
+    ) {
+        let mut ctx = Context::new();
+        for (k, v) in &entries {
+            ctx.put(k.clone(), v.clone());
+        }
+        let paths: Vec<&str> = ctx.paths().collect();
+        let mut sorted = paths.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&paths, &sorted, "paths iterate in order");
+        prop_assert_eq!(paths.len(), entries.len());
+        for (k, v) in &entries {
+            prop_assert_eq!(ctx.get(k), Some(v));
+        }
+    }
+
+    /// Tuple-space conservation: every written entry is exactly one of
+    /// pending, taken (in results or consumed) or expired — regardless of
+    /// the interleaving of writes, takes and time.
+    #[test]
+    fn space_conserves_entries(
+        ops in prop::collection::vec(0u8..4, 1..40),
+        ttl_s in 2u64..20,
+    ) {
+        let mut env = Env::with_seed(42);
+        let h = env.add_host("h", HostKind::Server);
+        let space = ExertionSpace::deploy(&mut env, h, "space");
+        let mut written = 0u64;
+        let mut taken = 0u64;
+        for op in ops {
+            match op {
+                0 | 1 => {
+                    let task = Task::new(
+                        "t",
+                        Signature::new("I", "op"),
+                        Context::new().with("x", written as i64),
+                    );
+                    space
+                        .write_with_ttl(&mut env, h, task, SimDuration::from_secs(ttl_s))
+                        .unwrap();
+                    written += 1;
+                }
+                2 => {
+                    if space.take_matching(&mut env, h, "I").unwrap().is_some() {
+                        taken += 1;
+                    }
+                }
+                _ => env.run_for(SimDuration::from_secs(1)),
+            }
+        }
+        env.with_service(space.service, |_e, sp: &mut ExertionSpace| {
+            prop_assert_eq!(sp.writes_total(), written);
+            prop_assert_eq!(sp.takes_total(), taken);
+            prop_assert_eq!(
+                sp.pending_count() as u64 + taken + sp.expired_total(),
+                written,
+                "pending + taken + expired must equal writes"
+            );
+            Ok(())
+        })
+        .unwrap()?;
+    }
+
+    /// Signature display round-trips the interface/selector split.
+    #[test]
+    fn signature_display(iface in "[A-Za-z]{1,16}", sel in "[a-z]{1,16}", pin in prop::option::of("[A-Za-z-]{1,16}")) {
+        let mut sig = Signature::new(iface.clone(), sel.clone());
+        if let Some(p) = &pin {
+            sig = sig.on(p.clone());
+        }
+        let shown = sig.to_string();
+        let expected_prefix = format!("{}#{}", iface, sel);
+        prop_assert!(shown.starts_with(&expected_prefix));
+        prop_assert_eq!(shown.contains('@'), pin.is_some());
+    }
+}

@@ -1,0 +1,226 @@
+//! Abstract syntax of the expression language.
+
+use crate::value::Value;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Pow,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Human-readable operator text (for error messages).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Pow => "**",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// An expression tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant.
+    Lit(Value),
+    /// A variable reference.
+    Var(String),
+    /// A list literal `[a, b, c]`.
+    ListLit(Vec<Expr>),
+    /// A map literal `[k: v, ...]` (Groovy syntax; `[:]` is empty).
+    MapLit(Vec<(String, Expr)>),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `cond ? then : else`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `a ?: b` — `a` if truthy else `b` (Groovy elvis).
+    Elvis(Box<Expr>, Box<Expr>),
+    /// Function call `name(args...)`.
+    Call(String, Vec<Expr>),
+    /// Indexing `base[idx]`.
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// A statement: an assignment or a bare expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `name = expr` (optionally prefixed by `def`).
+    Assign(String, Expr),
+    Expr(Expr),
+}
+
+/// A parsed program: a `;`-separated statement list whose value is the
+/// value of its last statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Script {
+    pub stmts: Vec<Stmt>,
+}
+
+impl Expr {
+    /// Collect the free variable names referenced anywhere in the tree, in
+    /// first-occurrence order. The composite sensor provider uses this to
+    /// check an expression against its bound child variables.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        self.walk_vars(&mut seen);
+        seen
+    }
+
+    fn walk_vars(&self, seen: &mut Vec<String>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Var(name) => {
+                if !seen.iter().any(|s| s == name) {
+                    seen.push(name.clone());
+                }
+            }
+            Expr::ListLit(items) => {
+                for e in items {
+                    e.walk_vars(seen);
+                }
+            }
+            Expr::MapLit(pairs) => {
+                for (_, e) in pairs {
+                    e.walk_vars(seen);
+                }
+            }
+            Expr::Unary(_, e) => e.walk_vars(seen),
+            Expr::Binary(_, a, b) => {
+                a.walk_vars(seen);
+                b.walk_vars(seen);
+            }
+            Expr::Ternary(c, t, e) => {
+                c.walk_vars(seen);
+                t.walk_vars(seen);
+                e.walk_vars(seen);
+            }
+            Expr::Elvis(a, b) => {
+                a.walk_vars(seen);
+                b.walk_vars(seen);
+            }
+            Expr::Call(_, args) => {
+                for e in args {
+                    e.walk_vars(seen);
+                }
+            }
+            Expr::Index(b, i) => {
+                b.walk_vars(seen);
+                i.walk_vars(seen);
+            }
+        }
+    }
+
+    /// Number of nodes in the tree (used for complexity metrics in B6).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Expr::Lit(_) | Expr::Var(_) => 0,
+            Expr::ListLit(items) => items.iter().map(Expr::node_count).sum(),
+            Expr::MapLit(pairs) => pairs.iter().map(|(_, e)| e.node_count()).sum(),
+            Expr::Unary(_, e) => e.node_count(),
+            Expr::Binary(_, a, b) => a.node_count() + b.node_count(),
+            Expr::Ternary(c, t, e) => c.node_count() + t.node_count() + e.node_count(),
+            Expr::Elvis(a, b) => a.node_count() + b.node_count(),
+            Expr::Call(_, args) => args.iter().map(Expr::node_count).sum(),
+            Expr::Index(b, i) => b.node_count() + i.node_count(),
+        }
+    }
+}
+
+impl Script {
+    /// Free variables across all statements, excluding names assigned by an
+    /// earlier statement (those are locals, not inputs).
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut bound: Vec<String> = Vec::new();
+        let mut free: Vec<String> = Vec::new();
+        for stmt in &self.stmts {
+            let expr = match stmt {
+                Stmt::Assign(_, e) | Stmt::Expr(e) => e,
+            };
+            for v in expr.free_vars() {
+                if !bound.contains(&v) && !free.contains(&v) {
+                    free.push(v);
+                }
+            }
+            if let Stmt::Assign(name, _) = stmt {
+                if !bound.iter().any(|b| b == name) {
+                    bound.push(name.clone());
+                }
+            }
+        }
+        free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(s: &str) -> Expr {
+        Expr::Var(s.to_string())
+    }
+
+    #[test]
+    fn free_vars_deduplicate_in_order() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Binary(BinOp::Add, Box::new(var("b")), Box::new(var("a")))),
+            Box::new(var("b")),
+        );
+        assert_eq!(e.free_vars(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn script_free_vars_skip_locals() {
+        let script = Script {
+            stmts: vec![
+                Stmt::Assign("t".into(), Expr::Binary(BinOp::Add, Box::new(var("a")), Box::new(var("b")))),
+                Stmt::Expr(Expr::Binary(BinOp::Div, Box::new(var("t")), Box::new(var("c")))),
+            ],
+        };
+        assert_eq!(script.free_vars(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn node_count() {
+        let e = Expr::Binary(BinOp::Add, Box::new(var("a")), Box::new(Expr::Lit(Value::Int(1))));
+        assert_eq!(e.node_count(), 3);
+    }
+
+    #[test]
+    fn symbols() {
+        assert_eq!(BinOp::Pow.symbol(), "**");
+        assert_eq!(BinOp::Le.symbol(), "<=");
+    }
+}

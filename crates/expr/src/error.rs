@@ -1,0 +1,129 @@
+//! Error type shared by the lexer, parser and evaluator.
+
+use std::fmt;
+
+/// Where in the source text a problem occurred (byte offset plus 1-based
+/// line/column, computed at error-construction time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    pub offset: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Pos {
+    /// Compute line/column for a byte offset in `src`.
+    pub fn at(src: &str, offset: usize) -> Pos {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in src.char_indices() {
+            if i >= offset {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Pos { offset, line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Everything that can go wrong while compiling or running an expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprError {
+    /// Lexer met a character it cannot start a token with.
+    UnexpectedChar { ch: char, pos: Pos },
+    /// A string literal ran to end-of-input without its closing quote.
+    UnterminatedString { pos: Pos },
+    /// A numeric literal did not parse.
+    BadNumber { text: String, pos: Pos },
+    /// Parser met a token it did not expect.
+    UnexpectedToken { found: String, expected: &'static str, pos: Pos },
+    /// Input ended while a construct was still open.
+    UnexpectedEof { expected: &'static str },
+    /// A variable was referenced but never bound.
+    UndefinedVariable { name: String },
+    /// A function was called that is neither a builtin nor user-provided.
+    UndefinedFunction { name: String },
+    /// An operator was applied to operand types it does not support.
+    TypeMismatch { op: String, detail: String },
+    /// Division or modulo by zero.
+    DivisionByZero,
+    /// A builtin was called with the wrong number or kind of arguments.
+    BadArity { name: String, expected: String, got: usize },
+    /// Index out of bounds or bad key.
+    BadIndex { detail: String },
+    /// Evaluation exceeded the configured step budget (runaway expression).
+    BudgetExhausted { steps: u64 },
+    /// Assignment target was not a plain variable name.
+    BadAssignTarget,
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnexpectedChar { ch, pos } => {
+                write!(f, "unexpected character {ch:?} at {pos}")
+            }
+            ExprError::UnterminatedString { pos } => {
+                write!(f, "unterminated string starting at {pos}")
+            }
+            ExprError::BadNumber { text, pos } => {
+                write!(f, "malformed number {text:?} at {pos}")
+            }
+            ExprError::UnexpectedToken { found, expected, pos } => {
+                write!(f, "expected {expected}, found {found} at {pos}")
+            }
+            ExprError::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            ExprError::UndefinedVariable { name } => write!(f, "undefined variable '{name}'"),
+            ExprError::UndefinedFunction { name } => write!(f, "undefined function '{name}'"),
+            ExprError::TypeMismatch { op, detail } => {
+                write!(f, "type mismatch in {op}: {detail}")
+            }
+            ExprError::DivisionByZero => write!(f, "division by zero"),
+            ExprError::BadArity { name, expected, got } => {
+                write!(f, "{name}() expects {expected} argument(s), got {got}")
+            }
+            ExprError::BadIndex { detail } => write!(f, "bad index: {detail}"),
+            ExprError::BudgetExhausted { steps } => {
+                write!(f, "evaluation exceeded {steps} steps")
+            }
+            ExprError::BadAssignTarget => write!(f, "left side of '=' must be a variable name"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_computes_lines_and_columns() {
+        let src = "ab\ncd\nef";
+        assert_eq!(Pos::at(src, 0), Pos { offset: 0, line: 1, col: 1 });
+        assert_eq!(Pos::at(src, 1), Pos { offset: 1, line: 1, col: 2 });
+        assert_eq!(Pos::at(src, 3), Pos { offset: 3, line: 2, col: 1 });
+        assert_eq!(Pos::at(src, 7), Pos { offset: 7, line: 3, col: 2 });
+    }
+
+    #[test]
+    fn errors_render_human_readable() {
+        let e = ExprError::UndefinedVariable { name: "a".into() };
+        assert_eq!(e.to_string(), "undefined variable 'a'");
+        let e = ExprError::BadArity { name: "avg".into(), expected: "1+".into(), got: 0 };
+        assert!(e.to_string().contains("avg()"));
+    }
+}

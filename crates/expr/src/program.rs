@@ -1,0 +1,128 @@
+//! Compiled, reusable compute-expressions.
+//!
+//! A composite sensor provider stores its expression once and evaluates it
+//! on every read with fresh variable bindings. [`Program`] caches the
+//! parsed AST so the per-read cost is evaluation only (B6 measures the
+//! difference).
+
+use crate::ast::Script;
+use crate::error::ExprError;
+use crate::interp::{eval_script_with_budget, Scope, DEFAULT_STEP_BUDGET};
+use crate::parser::parse;
+use crate::value::Value;
+
+/// A parsed expression/script ready for repeated evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    source: String,
+    script: Script,
+}
+
+impl Program {
+    /// Parse `source` into a reusable program.
+    pub fn compile(source: &str) -> Result<Program, ExprError> {
+        let script = parse(source)?;
+        Ok(Program { source: source.to_string(), script })
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The parsed form.
+    pub fn script(&self) -> &Script {
+        &self.script
+    }
+
+    /// Input variables the program needs (free variables not assigned by
+    /// an earlier statement), in first-use order.
+    pub fn inputs(&self) -> Vec<String> {
+        self.script.free_vars()
+    }
+
+    /// Evaluate against a scope.
+    pub fn eval(&self, scope: &mut Scope) -> Result<Value, ExprError> {
+        eval_script_with_budget(&self.script, scope, DEFAULT_STEP_BUDGET)
+    }
+
+    /// Evaluate with named values only (builds a scope internally).
+    pub fn eval_with<I, K, V>(&self, bindings: I) -> Result<Value, ExprError>
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<Value>,
+    {
+        let mut scope = Scope::new();
+        for (k, v) in bindings {
+            scope.set(k, v);
+        }
+        self.eval(&mut scope)
+    }
+
+    /// Check that every input variable is covered by `available` names;
+    /// returns the missing ones. The CSP uses this to reject an expression
+    /// that references variables beyond its bound children.
+    pub fn missing_inputs(&self, available: &[&str]) -> Vec<String> {
+        self.inputs()
+            .into_iter()
+            .filter(|need| !available.contains(&need.as_str()))
+            .collect()
+    }
+}
+
+/// One-shot convenience: parse and evaluate in a single call.
+pub fn eval_str(source: &str) -> Result<Value, ExprError> {
+    Program::compile(source)?.eval(&mut Scope::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_once_eval_many() {
+        let p = Program::compile("(a + b + c)/3").unwrap();
+        assert_eq!(p.inputs(), vec!["a", "b", "c"]);
+        let v1 = p.eval_with([("a", 1.0), ("b", 2.0), ("c", 3.0)]).unwrap();
+        assert_eq!(v1, Value::Float(2.0));
+        let v2 = p.eval_with([("a", 10.0), ("b", 20.0), ("c", 30.0)]).unwrap();
+        assert_eq!(v2, Value::Float(20.0));
+    }
+
+    #[test]
+    fn missing_inputs_detected() {
+        let p = Program::compile("(a + b)/2").unwrap();
+        assert!(p.missing_inputs(&["a", "b"]).is_empty());
+        assert_eq!(p.missing_inputs(&["a"]), vec!["b".to_string()]);
+        assert_eq!(p.missing_inputs(&[]), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn locals_are_not_inputs() {
+        let p = Program::compile("t = a + b; t / n").unwrap();
+        assert_eq!(p.inputs(), vec!["a", "b", "n"]);
+    }
+
+    #[test]
+    fn eval_str_one_shot() {
+        assert_eq!(eval_str("6 * 7").unwrap(), Value::Int(42));
+        assert!(eval_str("6 *").is_err());
+        assert!(eval_str("x + 1").is_err(), "unbound variable");
+    }
+
+    #[test]
+    fn source_round_trip() {
+        let src = "max(a, b) - min(a, b)";
+        let p = Program::compile(src).unwrap();
+        assert_eq!(p.source(), src);
+        let v = p.eval_with([("a", 3i64), ("b", 9i64)]).unwrap();
+        assert_eq!(v, Value::Float(6.0));
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        assert!(Program::compile("(").is_err());
+        assert!(Program::compile("").is_err());
+    }
+}

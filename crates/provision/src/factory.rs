@@ -1,0 +1,145 @@
+//! Service factories — how a cybernode turns a service element into a
+//! running service instance.
+//!
+//! Rio's cybernode downloads and instantiates service beans; here, the
+//! deployer registers a [`ServiceFactory`] per `type_key` and the
+//! cybernode invokes it when the provision monitor places an element. The
+//! SenSORCER core registers its composite-sensor factory this way, which
+//! is what makes §VI step 3 ("provisioned a new composite service on to
+//! the network") work.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use sensorcer_sim::env::{Env, ServiceId};
+use sensorcer_sim::topology::HostId;
+
+use crate::opstring::ServiceElement;
+
+/// A successfully instantiated service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProvisionedService {
+    /// Sim-level handle of the new service object.
+    pub service: ServiceId,
+    /// Unique instance name (element name, suffixed for replicas).
+    pub instance: String,
+    /// The element this instance realizes.
+    pub element: String,
+    /// Where it runs.
+    pub host: HostId,
+}
+
+/// Instantiates service objects for one element type.
+pub trait ServiceFactory {
+    /// Create and deploy a service instance on `host`. Implementations
+    /// typically `env.deploy(...)` the object and register it with the
+    /// lookup service before returning its id.
+    fn create(
+        &self,
+        env: &mut Env,
+        host: HostId,
+        element: &ServiceElement,
+        instance: &str,
+    ) -> Result<ServiceId, String>;
+}
+
+/// Adapter: any closure is a factory.
+pub struct FnFactory<F>(pub F);
+
+impl<F> ServiceFactory for FnFactory<F>
+where
+    F: Fn(&mut Env, HostId, &ServiceElement, &str) -> Result<ServiceId, String>,
+{
+    fn create(
+        &self,
+        env: &mut Env,
+        host: HostId,
+        element: &ServiceElement,
+        instance: &str,
+    ) -> Result<ServiceId, String> {
+        (self.0)(env, host, element, instance)
+    }
+}
+
+/// Registry mapping `type_key` → factory. Cloneable (shared `Rc`s) so the
+/// monitor can hand it into cybernode calls.
+#[derive(Clone, Default)]
+pub struct FactoryRegistry {
+    factories: BTreeMap<String, Rc<dyn ServiceFactory>>,
+}
+
+impl FactoryRegistry {
+    pub fn new() -> FactoryRegistry {
+        FactoryRegistry::default()
+    }
+
+    /// Register a factory for `type_key`, replacing any previous one.
+    pub fn register(&mut self, type_key: impl Into<String>, factory: Rc<dyn ServiceFactory>) {
+        self.factories.insert(type_key.into(), factory);
+    }
+
+    /// Register a closure factory.
+    pub fn register_fn<F>(&mut self, type_key: impl Into<String>, f: F)
+    where
+        F: Fn(&mut Env, HostId, &ServiceElement, &str) -> Result<ServiceId, String> + 'static,
+    {
+        self.register(type_key, Rc::new(FnFactory(f)));
+    }
+
+    pub fn get(&self, type_key: &str) -> Option<Rc<dyn ServiceFactory>> {
+        self.factories.get(type_key).cloned()
+    }
+
+    pub fn keys(&self) -> Vec<&str> {
+        self.factories.keys().map(String::as_str).collect()
+    }
+}
+
+impl std::fmt::Debug for FactoryRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FactoryRegistry").field("keys", &self.keys()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorcer_sim::prelude::*;
+
+    struct Dummy;
+
+    #[test]
+    fn closure_factory_creates_services() {
+        let mut env = Env::with_seed(1);
+        let host = env.add_host("h", HostKind::Server);
+        let mut reg = FactoryRegistry::new();
+        reg.register_fn("dummy", |env, host, _el, instance| {
+            Ok(env.deploy(host, instance.to_string(), Dummy))
+        });
+        let el = ServiceElement::singleton("svc", "dummy");
+        let factory = reg.get("dummy").unwrap();
+        let id = factory.create(&mut env, host, &el, "svc-1").unwrap();
+        assert_eq!(env.service_name(id), Some("svc-1"));
+        assert!(reg.get("missing").is_none());
+        assert_eq!(reg.keys(), vec!["dummy"]);
+    }
+
+    #[test]
+    fn factory_errors_propagate() {
+        let mut env = Env::with_seed(2);
+        let host = env.add_host("h", HostKind::Server);
+        let mut reg = FactoryRegistry::new();
+        reg.register_fn("broken", |_env, _host, _el, _i| Err("nope".to_string()));
+        let el = ServiceElement::singleton("svc", "broken");
+        let err = reg.get("broken").unwrap().create(&mut env, host, &el, "svc-1").unwrap_err();
+        assert_eq!(err, "nope");
+    }
+
+    #[test]
+    fn registry_clone_shares_factories() {
+        let mut reg = FactoryRegistry::new();
+        reg.register_fn("a", |_e, _h, _el, _i| Err("x".into()));
+        let clone = reg.clone();
+        assert!(clone.get("a").is_some());
+    }
+}

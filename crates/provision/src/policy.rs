@@ -1,0 +1,151 @@
+//! Allocation policies — Rio's "pluggable load distribution … mechanisms
+//! to effectively make use of resources on the network" (§IV.C).
+
+use crate::qos::{QosCapabilities, QosRequirements};
+
+/// A placement candidate after feasibility filtering.
+#[derive(Clone, Debug)]
+pub struct Candidate<T> {
+    /// Opaque node identity carried through selection.
+    pub node: T,
+    pub caps: QosCapabilities,
+    pub reserved_mb: u32,
+}
+
+/// How the monitor picks among feasible cybernodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AllocationPolicy {
+    /// The node with the most free headroom (spreads load).
+    #[default]
+    LeastUtilized,
+    /// Cycle through feasible nodes in order (predictable spread).
+    RoundRobin,
+    /// The node whose remaining capacity most tightly fits the request
+    /// (packs load, keeps big nodes free).
+    BestFit,
+}
+
+impl AllocationPolicy {
+    pub const ALL: [AllocationPolicy; 3] =
+        [AllocationPolicy::LeastUtilized, AllocationPolicy::RoundRobin, AllocationPolicy::BestFit];
+
+    /// Human-readable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocationPolicy::LeastUtilized => "least-utilized",
+            AllocationPolicy::RoundRobin => "round-robin",
+            AllocationPolicy::BestFit => "best-fit",
+        }
+    }
+
+    /// Choose the index of the winning candidate, or `None` when the list
+    /// is empty. `rr_cursor` is the monitor's round-robin position, bumped
+    /// on use.
+    pub fn select<T>(
+        self,
+        req: &QosRequirements,
+        candidates: &[Candidate<T>],
+        rr_cursor: &mut usize,
+    ) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        match self {
+            AllocationPolicy::RoundRobin => {
+                let idx = *rr_cursor % candidates.len();
+                *rr_cursor = rr_cursor.wrapping_add(1);
+                Some(idx)
+            }
+            AllocationPolicy::LeastUtilized => index_by(candidates, req, |h| h, f64::gt),
+            AllocationPolicy::BestFit => index_by(candidates, req, |h| h, f64::lt),
+        }
+    }
+}
+
+/// Pick the candidate whose headroom wins under `better` (ties keep the
+/// earlier candidate, for determinism).
+fn index_by<T>(
+    candidates: &[Candidate<T>],
+    req: &QosRequirements,
+    key: impl Fn(f64) -> f64,
+    better: impl Fn(&f64, &f64) -> bool,
+) -> Option<usize> {
+    let mut best = 0;
+    let mut best_key = key(req.headroom(&candidates[0].caps, candidates[0].reserved_mb));
+    for (i, c) in candidates.iter().enumerate().skip(1) {
+        let k = key(req.headroom(&c.caps, c.reserved_mb));
+        if better(&k, &best_key) {
+            best = i;
+            best_key = k;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(name: &str, memory_mb: u32, reserved: u32) -> Candidate<String> {
+        Candidate {
+            node: name.to_string(),
+            caps: QosCapabilities { memory_mb, ..QosCapabilities::lab_server() },
+            reserved_mb: reserved,
+        }
+    }
+
+    fn req() -> QosRequirements {
+        QosRequirements { memory_mb: 100, ..Default::default() }
+    }
+
+    #[test]
+    fn least_utilized_prefers_headroom() {
+        let cands = vec![cand("busy", 8192, 8000), cand("fresh", 8192, 0)];
+        let mut rr = 0;
+        let idx = AllocationPolicy::LeastUtilized.select(&req(), &cands, &mut rr).unwrap();
+        assert_eq!(cands[idx].node, "fresh");
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest() {
+        let cands = vec![cand("huge", 8192, 0), cand("snug", 8192, 8000)];
+        let mut rr = 0;
+        let idx = AllocationPolicy::BestFit.select(&req(), &cands, &mut rr).unwrap();
+        assert_eq!(cands[idx].node, "snug");
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let cands = vec![cand("a", 1024, 0), cand("b", 1024, 0), cand("c", 1024, 0)];
+        let mut rr = 0;
+        let picks: Vec<String> = (0..6)
+            .map(|_| {
+                let i = AllocationPolicy::RoundRobin.select(&req(), &cands, &mut rr).unwrap();
+                cands[i].node.clone()
+            })
+            .collect();
+        assert_eq!(picks, vec!["a", "b", "c", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let mut rr = 0;
+        for p in AllocationPolicy::ALL {
+            assert_eq!(p.select::<String>(&req(), &[], &mut rr), None);
+        }
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        let cands = vec![cand("first", 1024, 0), cand("second", 1024, 0)];
+        let mut rr = 0;
+        let idx = AllocationPolicy::LeastUtilized.select(&req(), &cands, &mut rr).unwrap();
+        assert_eq!(cands[idx].node, "first");
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(AllocationPolicy::default().name(), "least-utilized");
+        assert_eq!(AllocationPolicy::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,159 @@
+//! Quality-of-service capability matching.
+//!
+//! Rio provisions a service onto "the compute resource available in the
+//! network that matches required QoS" (§IV.C). A cybernode advertises
+//! [`QosCapabilities`]; a service element states [`QosRequirements`]; the
+//! monitor matches and scores candidates.
+
+use std::collections::BTreeSet;
+
+/// What a cybernode offers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QosCapabilities {
+    pub cpu_cores: u32,
+    pub cpu_mhz: u32,
+    pub memory_mb: u32,
+    /// Platform tag ("x86_64", "arm", ...).
+    pub arch: String,
+    /// Free-form capability labels ("gpu", "rack-3", "edge", ...).
+    pub labels: BTreeSet<String>,
+}
+
+impl QosCapabilities {
+    /// A mid-range lab server (the paper's cybernodes ran on lab machines).
+    pub fn lab_server() -> QosCapabilities {
+        QosCapabilities {
+            cpu_cores: 4,
+            cpu_mhz: 2400,
+            memory_mb: 8192,
+            arch: "x86_64".into(),
+            labels: BTreeSet::new(),
+        }
+    }
+
+    /// A small edge box.
+    pub fn edge_box() -> QosCapabilities {
+        QosCapabilities {
+            cpu_cores: 1,
+            cpu_mhz: 800,
+            memory_mb: 512,
+            arch: "arm".into(),
+            labels: ["edge".to_string()].into_iter().collect(),
+        }
+    }
+
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.labels.insert(label.into());
+        self
+    }
+}
+
+/// What a service element demands.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct QosRequirements {
+    pub min_cores: u32,
+    pub min_mhz: u32,
+    /// Memory this service will reserve on the node.
+    pub memory_mb: u32,
+    /// Required platform, if any.
+    pub arch: Option<String>,
+    /// Labels the node must carry.
+    pub required_labels: BTreeSet<String>,
+}
+
+impl QosRequirements {
+    /// No constraints beyond a nominal memory reservation.
+    pub fn modest() -> QosRequirements {
+        QosRequirements { memory_mb: 64, ..Default::default() }
+    }
+
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.required_labels.insert(label.into());
+        self
+    }
+
+    /// Hard feasibility: can a node with `caps`, of which `reserved_mb` is
+    /// already spoken for, host this element?
+    pub fn satisfied_by(&self, caps: &QosCapabilities, reserved_mb: u32) -> bool {
+        if caps.cpu_cores < self.min_cores || caps.cpu_mhz < self.min_mhz {
+            return false;
+        }
+        if caps.memory_mb.saturating_sub(reserved_mb) < self.memory_mb {
+            return false;
+        }
+        if let Some(arch) = &self.arch {
+            if caps.arch != *arch {
+                return false;
+            }
+        }
+        self.required_labels.iter().all(|l| caps.labels.contains(l))
+    }
+
+    /// Soft score for ranking feasible nodes: headroom remaining after
+    /// placement, in `[0, 1]` (higher = more headroom). Used by the
+    /// best-fit policy (which prefers the *least* headroom) and the
+    /// least-utilized policy (most headroom).
+    pub fn headroom(&self, caps: &QosCapabilities, reserved_mb: u32) -> f64 {
+        let free = caps.memory_mb.saturating_sub(reserved_mb) as f64;
+        if caps.memory_mb == 0 {
+            return 0.0;
+        }
+        ((free - self.memory_mb as f64) / caps.memory_mb as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modest_fits_lab_server() {
+        let req = QosRequirements::modest();
+        assert!(req.satisfied_by(&QosCapabilities::lab_server(), 0));
+        assert!(req.satisfied_by(&QosCapabilities::edge_box(), 0));
+    }
+
+    #[test]
+    fn memory_reservation_counts() {
+        let req = QosRequirements { memory_mb: 512, ..Default::default() };
+        let caps = QosCapabilities::edge_box(); // 512 MB total
+        assert!(req.satisfied_by(&caps, 0));
+        assert!(!req.satisfied_by(&caps, 1), "one MB reserved leaves too little");
+    }
+
+    #[test]
+    fn arch_and_labels_are_hard_constraints() {
+        let req = QosRequirements { arch: Some("x86_64".into()), ..Default::default() };
+        assert!(req.satisfied_by(&QosCapabilities::lab_server(), 0));
+        assert!(!req.satisfied_by(&QosCapabilities::edge_box(), 0));
+
+        let req = QosRequirements::modest().with_label("edge");
+        assert!(req.satisfied_by(&QosCapabilities::edge_box(), 0));
+        assert!(!req.satisfied_by(&QosCapabilities::lab_server(), 0));
+        assert!(req.satisfied_by(&QosCapabilities::lab_server().with_label("edge"), 0));
+    }
+
+    #[test]
+    fn cpu_constraints() {
+        let req = QosRequirements { min_cores: 2, min_mhz: 1000, ..Default::default() };
+        assert!(req.satisfied_by(&QosCapabilities::lab_server(), 0));
+        assert!(!req.satisfied_by(&QosCapabilities::edge_box(), 0));
+    }
+
+    #[test]
+    fn headroom_orders_nodes() {
+        let req = QosRequirements { memory_mb: 100, ..Default::default() };
+        let caps = QosCapabilities::lab_server(); // 8192 MB
+        let fresh = req.headroom(&caps, 0);
+        let loaded = req.headroom(&caps, 6000);
+        assert!(fresh > loaded);
+        assert!((0.0..=1.0).contains(&fresh));
+        assert!((0.0..=1.0).contains(&loaded));
+    }
+
+    #[test]
+    fn headroom_floors_at_zero() {
+        let req = QosRequirements { memory_mb: 100_000, ..Default::default() };
+        assert_eq!(req.headroom(&QosCapabilities::edge_box(), 0), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for provisioning: QoS matching laws and allocation
+//! policy invariants.
+
+use proptest::prelude::*;
+
+use sensorcer_provision::policy::{AllocationPolicy, Candidate};
+use sensorcer_provision::qos::{QosCapabilities, QosRequirements};
+
+fn caps_strategy() -> impl Strategy<Value = QosCapabilities> {
+    (1u32..64, 100u32..4000, 64u32..65_536).prop_map(|(cores, mhz, mem)| QosCapabilities {
+        cpu_cores: cores,
+        cpu_mhz: mhz,
+        memory_mb: mem,
+        arch: "x86_64".into(),
+        labels: Default::default(),
+    })
+}
+
+fn req_strategy() -> impl Strategy<Value = QosRequirements> {
+    (0u32..32, 0u32..3000, 0u32..32_768).prop_map(|(cores, mhz, mem)| QosRequirements {
+        min_cores: cores,
+        min_mhz: mhz,
+        memory_mb: mem,
+        arch: None,
+        required_labels: Default::default(),
+    })
+}
+
+proptest! {
+    /// Monotonicity: if a requirement is satisfied with some reservation,
+    /// it is satisfied with any smaller reservation; and a strictly weaker
+    /// requirement is also satisfied.
+    #[test]
+    fn qos_satisfaction_monotone(caps in caps_strategy(), req in req_strategy(), reserved in 0u32..65_536) {
+        if req.satisfied_by(&caps, reserved) {
+            prop_assert!(req.satisfied_by(&caps, reserved.saturating_sub(1)));
+            let weaker = QosRequirements {
+                min_cores: req.min_cores.saturating_sub(1),
+                min_mhz: req.min_mhz.saturating_sub(100),
+                memory_mb: req.memory_mb.saturating_sub(1),
+                ..req.clone()
+            };
+            prop_assert!(weaker.satisfied_by(&caps, reserved));
+        }
+    }
+
+    /// Headroom is in [0, 1] and decreases as reservation grows.
+    #[test]
+    fn headroom_bounded_and_monotone(caps in caps_strategy(), req in req_strategy(), r1 in 0u32..65_536, r2 in 0u32..65_536) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let h_lo = req.headroom(&caps, lo);
+        let h_hi = req.headroom(&caps, hi);
+        prop_assert!((0.0..=1.0).contains(&h_lo));
+        prop_assert!((0.0..=1.0).contains(&h_hi));
+        prop_assert!(h_hi <= h_lo + 1e-12, "more reserved, less headroom");
+    }
+
+    /// Every policy returns a valid index on non-empty candidate lists and
+    /// None on empty ones.
+    #[test]
+    fn policies_return_valid_indices(
+        reservations in prop::collection::vec(0u32..8_192, 0..12),
+        req in req_strategy(),
+    ) {
+        let candidates: Vec<Candidate<usize>> = reservations
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| Candidate {
+                node: i,
+                caps: QosCapabilities::lab_server(),
+                reserved_mb: r,
+            })
+            .collect();
+        for policy in AllocationPolicy::ALL {
+            let mut cursor = 0;
+            match policy.select(&req, &candidates, &mut cursor) {
+                Some(idx) => prop_assert!(idx < candidates.len()),
+                None => prop_assert!(candidates.is_empty()),
+            }
+        }
+    }
+
+    /// Round robin visits every candidate exactly once per cycle.
+    #[test]
+    fn round_robin_is_fair(n in 1usize..12, cycles in 1usize..4) {
+        let candidates: Vec<Candidate<usize>> = (0..n)
+            .map(|i| Candidate { node: i, caps: QosCapabilities::lab_server(), reserved_mb: 0 })
+            .collect();
+        let req = QosRequirements::modest();
+        let mut cursor = 0;
+        let mut counts = vec![0usize; n];
+        for _ in 0..(n * cycles) {
+            let idx = AllocationPolicy::RoundRobin.select(&req, &candidates, &mut cursor).unwrap();
+            counts[idx] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c == cycles), "{counts:?}");
+    }
+
+    /// Least-utilized picks a candidate with maximal headroom; best-fit a
+    /// minimal one.
+    #[test]
+    fn extremal_policies_are_extremal(reservations in prop::collection::vec(0u32..8_192, 1..12)) {
+        let req = QosRequirements { memory_mb: 10, ..Default::default() };
+        let candidates: Vec<Candidate<usize>> = reservations
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| Candidate {
+                node: i,
+                caps: QosCapabilities::lab_server(),
+                reserved_mb: r,
+            })
+            .collect();
+        let headrooms: Vec<f64> =
+            candidates.iter().map(|c| req.headroom(&c.caps, c.reserved_mb)).collect();
+        let mut cursor = 0;
+        let lu = AllocationPolicy::LeastUtilized.select(&req, &candidates, &mut cursor).unwrap();
+        let bf = AllocationPolicy::BestFit.select(&req, &candidates, &mut cursor).unwrap();
+        let max = headrooms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = headrooms.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!((headrooms[lu] - max).abs() < 1e-12);
+        prop_assert!((headrooms[bf] - min).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Multicast discovery of lookup services (§IV.B).
+//!
+//! "The LUS itself is discovered through the discovery protocols by
+//! issuing multicast or unicast requests, as well as by receiving
+//! multicast announcements." A requestor multicasts a discovery request
+//! into a group; every reachable LUS host answers with a unicast
+//! announcement carrying its registrar handle.
+
+use sensorcer_sim::env::Env;
+use sensorcer_sim::topology::HostId;
+use sensorcer_sim::wire::ProtocolStack;
+
+use crate::lus::{LookupService, LusHandle};
+
+/// Size of a multicast discovery request packet (Jini's request carries
+/// the groups sought and a response port).
+const DISCOVERY_REQUEST_BYTES: usize = 72;
+/// Size of a unicast announcement (serialized registrar proxy stub).
+const ANNOUNCEMENT_BYTES: usize = 480;
+
+/// Discover every reachable LUS serving `group`, from host `from`.
+///
+/// Costs one multicast plus one unicast announcement per responding LUS,
+/// all accounted against the simulated network. Results are in host order
+/// (deterministic).
+pub fn discover(env: &mut Env, from: HostId, group: &str) -> Vec<LusHandle> {
+    let receivers = env.multicast(from, group, ProtocolStack::Udp, DISCOVERY_REQUEST_BYTES);
+    let mut found = Vec::new();
+    for host in receivers {
+        for svc in env.services_on(host) {
+            if !env.service_is::<LookupService>(svc) {
+                continue;
+            }
+            // Only LUSes serving the requested group answer.
+            let serves = env
+                .with_service(svc, |_env, lus: &mut LookupService| lus.group() == group)
+                .unwrap_or(false);
+            if !serves {
+                continue;
+            }
+            if env.send_oneway(host, from, ProtocolStack::Udp, ANNOUNCEMENT_BYTES).is_ok() {
+                found.push(LusHandle { service: svc, host });
+            }
+        }
+    }
+    found
+}
+
+/// Discover exactly one LUS (the common case for a small deployment);
+/// `None` when the group is empty or unreachable.
+pub fn discover_one(env: &mut Env, from: HostId, group: &str) -> Option<LusHandle> {
+    discover(env, from, group).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lease::LeasePolicy;
+    use sensorcer_sim::prelude::*;
+
+    fn deploy_lus(env: &mut Env, host: HostId, group: &str) -> LusHandle {
+        LookupService::deploy(
+            env,
+            host,
+            "LUS",
+            group,
+            LeasePolicy::default(),
+            SimDuration::from_millis(500),
+        )
+    }
+
+    #[test]
+    fn discovers_single_lus() {
+        let mut env = Env::with_seed(1);
+        let lab = env.add_host("lab", HostKind::Server);
+        let client = env.add_host("client", HostKind::Workstation);
+        env.topo.join_group(client, "public");
+        let lus = deploy_lus(&mut env, lab, "public");
+        let found = discover(&mut env, client, "public");
+        assert_eq!(found, vec![lus]);
+        assert_eq!(discover_one(&mut env, client, "public"), Some(lus));
+        assert!(env.metrics.get(metric_keys::MULTICASTS) >= 1);
+    }
+
+    #[test]
+    fn discovers_multiple_lus_in_host_order() {
+        let mut env = Env::with_seed(2);
+        let h1 = env.add_host("h1", HostKind::Server);
+        let h2 = env.add_host("h2", HostKind::Server);
+        let client = env.add_host("client", HostKind::Workstation);
+        let l1 = deploy_lus(&mut env, h1, "public");
+        let l2 = deploy_lus(&mut env, h2, "public");
+        let found = discover(&mut env, client, "public");
+        assert_eq!(found, vec![l1, l2]);
+    }
+
+    #[test]
+    fn group_isolation() {
+        let mut env = Env::with_seed(3);
+        let h1 = env.add_host("h1", HostKind::Server);
+        let h2 = env.add_host("h2", HostKind::Server);
+        let client = env.add_host("client", HostKind::Workstation);
+        let pub_lus = deploy_lus(&mut env, h1, "public");
+        let _edge_lus = deploy_lus(&mut env, h2, "edge");
+        assert_eq!(discover(&mut env, client, "public"), vec![pub_lus]);
+        assert_eq!(discover(&mut env, client, "nonexistent"), vec![]);
+    }
+
+    #[test]
+    fn crashed_lus_is_not_discovered() {
+        let mut env = Env::with_seed(4);
+        let lab = env.add_host("lab", HostKind::Server);
+        let client = env.add_host("client", HostKind::Workstation);
+        deploy_lus(&mut env, lab, "public");
+        env.crash_host(lab);
+        assert_eq!(discover(&mut env, client, "public"), vec![]);
+        env.restart_host(lab);
+        assert_eq!(discover(&mut env, client, "public").len(), 1, "plug-and-play return");
+    }
+
+    #[test]
+    fn partitioned_lus_is_not_discovered() {
+        let mut env = Env::with_seed(5);
+        let lab = env.add_host("lab", HostKind::Server);
+        let client = env.add_host("client", HostKind::Workstation);
+        deploy_lus(&mut env, lab, "public");
+        env.topo.partition(client, lab);
+        assert_eq!(discover(&mut env, client, "public"), vec![]);
+    }
+
+    #[test]
+    fn non_lus_services_in_group_are_ignored() {
+        let mut env = Env::with_seed(6);
+        let lab = env.add_host("lab", HostKind::Server);
+        let client = env.add_host("client", HostKind::Workstation);
+        struct NotALus;
+        env.deploy(lab, "impostor", NotALus);
+        env.topo.join_group(lab, "public");
+        assert_eq!(discover(&mut env, client, "public"), vec![]);
+    }
+
+    #[test]
+    fn discovery_takes_virtual_time() {
+        let mut env = Env::with_seed(7);
+        let lab = env.add_host("lab", HostKind::Server);
+        let client = env.add_host("client", HostKind::Workstation);
+        deploy_lus(&mut env, lab, "public");
+        let t0 = env.now();
+        discover(&mut env, client, "public");
+        assert!(env.now() > t0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Leases — the mechanism that "keeps the sensor network healthy and
+//! robust" (§IV.B).
+//!
+//! Every registration is granted for a bounded duration and must be
+//! renewed; a provider that dies simply stops renewing and its
+//! registration evaporates. [`LeaseTable`] is the bookkeeping shared by
+//! the lookup service, the event registrations and the tuple space.
+
+use std::collections::BTreeMap;
+
+use sensorcer_sim::time::{SimDuration, SimTime};
+
+/// Identifier of one granted lease.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LeaseId(pub u64);
+
+/// A granted lease as returned to the holder.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Lease {
+    pub id: LeaseId,
+    pub expires: SimTime,
+}
+
+impl Lease {
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        now >= self.expires
+    }
+
+    /// Remaining validity at `now` (zero if expired).
+    pub fn remaining(&self, now: SimTime) -> SimDuration {
+        self.expires.since(now)
+    }
+}
+
+/// Errors from lease operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LeaseError {
+    /// The lease is unknown (never granted, cancelled, or already expired
+    /// and reaped).
+    Unknown,
+    /// The lease exists but has passed its expiry (reap pending).
+    Expired,
+}
+
+impl std::fmt::Display for LeaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LeaseError::Unknown => f.write_str("unknown lease"),
+            LeaseError::Expired => f.write_str("lease expired"),
+        }
+    }
+}
+
+impl std::error::Error for LeaseError {}
+
+/// Policy limits for granted durations.
+#[derive(Clone, Copy, Debug)]
+pub struct LeasePolicy {
+    /// Longest duration a grant or renewal will be given.
+    pub max_duration: SimDuration,
+    /// Default when the requestor asks for "any".
+    pub default_duration: SimDuration,
+}
+
+impl Default for LeasePolicy {
+    fn default() -> Self {
+        LeasePolicy {
+            max_duration: SimDuration::from_secs(300),
+            default_duration: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Bookkeeping for granted leases of resources of type `T` (typically a
+/// key identifying the leased thing).
+#[derive(Debug)]
+pub struct LeaseTable<T> {
+    policy: LeasePolicy,
+    next: u64,
+    entries: BTreeMap<LeaseId, (SimTime, T)>,
+}
+
+impl<T> LeaseTable<T> {
+    pub fn new(policy: LeasePolicy) -> LeaseTable<T> {
+        LeaseTable { policy, next: 1, entries: BTreeMap::new() }
+    }
+
+    /// Grant a lease over `resource`. `requested` is clamped to the policy
+    /// maximum; `None` means the policy default.
+    pub fn grant(&mut self, now: SimTime, requested: Option<SimDuration>, resource: T) -> Lease {
+        let dur = requested
+            .unwrap_or(self.policy.default_duration)
+            .min(self.policy.max_duration);
+        let id = LeaseId(self.next);
+        self.next += 1;
+        let expires = now + dur;
+        self.entries.insert(id, (expires, resource));
+        Lease { id, expires }
+    }
+
+    /// Renew an existing, unexpired lease.
+    pub fn renew(
+        &mut self,
+        now: SimTime,
+        id: LeaseId,
+        requested: Option<SimDuration>,
+    ) -> Result<Lease, LeaseError> {
+        let entry = self.entries.get_mut(&id).ok_or(LeaseError::Unknown)?;
+        if now >= entry.0 {
+            return Err(LeaseError::Expired);
+        }
+        let dur = requested
+            .unwrap_or(self.policy.default_duration)
+            .min(self.policy.max_duration);
+        entry.0 = now + dur;
+        Ok(Lease { id, expires: entry.0 })
+    }
+
+    /// Cancel a lease, returning its resource.
+    pub fn cancel(&mut self, id: LeaseId) -> Result<T, LeaseError> {
+        self.entries.remove(&id).map(|(_, r)| r).ok_or(LeaseError::Unknown)
+    }
+
+    /// Remove every lease expired at `now`, returning the reaped resources.
+    pub fn reap(&mut self, now: SimTime) -> Vec<(LeaseId, T)> {
+        let dead: Vec<LeaseId> = self
+            .entries
+            .iter()
+            .filter(|(_, (exp, _))| now >= *exp)
+            .map(|(id, _)| *id)
+            .collect();
+        dead.into_iter()
+            .map(|id| {
+                let (_, r) = self.entries.remove(&id).expect("id collected above");
+                (id, r)
+            })
+            .collect()
+    }
+
+    /// Access the resource behind a live lease.
+    pub fn get(&self, now: SimTime, id: LeaseId) -> Result<&T, LeaseError> {
+        let (exp, r) = self.entries.get(&id).ok_or(LeaseError::Unknown)?;
+        if now >= *exp {
+            Err(LeaseError::Expired)
+        } else {
+            Ok(r)
+        }
+    }
+
+    /// Mutable access to the resource behind a live lease.
+    pub fn get_mut(&mut self, now: SimTime, id: LeaseId) -> Result<&mut T, LeaseError> {
+        let (exp, r) = self.entries.get_mut(&id).ok_or(LeaseError::Unknown)?;
+        if now >= *exp {
+            Err(LeaseError::Expired)
+        } else {
+            Ok(r)
+        }
+    }
+
+    /// All live resources at `now`, in grant order.
+    pub fn live(&self, now: SimTime) -> impl Iterator<Item = (LeaseId, &T)> {
+        self.entries
+            .iter()
+            .filter(move |(_, (exp, _))| now < *exp)
+            .map(|(id, (_, r))| (*id, r))
+    }
+
+    /// Count of entries, live or pending reap.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The earliest expiry among current entries (drives reaper timers).
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.entries.values().map(|(exp, _)| *exp).min()
+    }
+
+    pub fn policy(&self) -> LeasePolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    fn table() -> LeaseTable<&'static str> {
+        LeaseTable::new(LeasePolicy {
+            max_duration: SimDuration::from_secs(100),
+            default_duration: SimDuration::from_secs(10),
+        })
+    }
+
+    #[test]
+    fn grant_uses_default_and_clamps_to_max() {
+        let mut lt = table();
+        let l1 = lt.grant(t(0), None, "a");
+        assert_eq!(l1.expires, t(10));
+        let l2 = lt.grant(t(0), Some(SimDuration::from_secs(1_000)), "b");
+        assert_eq!(l2.expires, t(100));
+        assert_ne!(l1.id, l2.id);
+    }
+
+    #[test]
+    fn renewal_extends_from_now() {
+        let mut lt = table();
+        let l = lt.grant(t(0), None, "a");
+        let l2 = lt.renew(t(5), l.id, None).unwrap();
+        assert_eq!(l2.expires, t(15));
+        assert_eq!(l2.id, l.id);
+    }
+
+    #[test]
+    fn renewal_of_expired_lease_fails() {
+        let mut lt = table();
+        let l = lt.grant(t(0), None, "a");
+        assert_eq!(lt.renew(t(10), l.id, None), Err(LeaseError::Expired));
+        assert_eq!(lt.renew(t(99), LeaseId(999), None), Err(LeaseError::Unknown));
+    }
+
+    #[test]
+    fn cancel_returns_resource() {
+        let mut lt = table();
+        let l = lt.grant(t(0), None, "payload");
+        assert_eq!(lt.cancel(l.id), Ok("payload"));
+        assert_eq!(lt.cancel(l.id), Err(LeaseError::Unknown));
+    }
+
+    #[test]
+    fn reap_removes_only_expired() {
+        let mut lt = table();
+        let a = lt.grant(t(0), Some(SimDuration::from_secs(5)), "a");
+        let _b = lt.grant(t(0), Some(SimDuration::from_secs(50)), "b");
+        let reaped = lt.reap(t(10));
+        assert_eq!(reaped, vec![(a.id, "a")]);
+        assert_eq!(lt.len(), 1);
+        assert_eq!(lt.live(t(10)).count(), 1);
+    }
+
+    #[test]
+    fn get_respects_expiry() {
+        let mut lt = table();
+        let l = lt.grant(t(0), None, "a");
+        assert_eq!(lt.get(t(5), l.id), Ok(&"a"));
+        assert_eq!(lt.get(t(10), l.id), Err(LeaseError::Expired));
+        *lt.get_mut(t(5), l.id).unwrap() = "changed";
+        assert_eq!(lt.get(t(6), l.id), Ok(&"changed"));
+    }
+
+    #[test]
+    fn next_expiry_is_minimum() {
+        let mut lt = table();
+        assert_eq!(lt.next_expiry(), None);
+        lt.grant(t(0), Some(SimDuration::from_secs(30)), "a");
+        lt.grant(t(0), Some(SimDuration::from_secs(5)), "b");
+        assert_eq!(lt.next_expiry(), Some(t(5)));
+    }
+
+    #[test]
+    fn lease_helpers() {
+        let l = Lease { id: LeaseId(1), expires: t(10) };
+        assert!(!l.is_expired(t(9)));
+        assert!(l.is_expired(t(10)));
+        assert_eq!(l.remaining(t(4)), SimDuration::from_secs(6));
+        assert_eq!(l.remaining(t(40)), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,590 @@
+//! The lookup service (LUS) — Jini's service registry (§IV.B).
+//!
+//! Providers register [`ServiceItem`]s under leases; requestors locate
+//! services by [`ServiceTemplate`]; listeners get [`ServiceEvent`]s when
+//! the set of matching registrations changes. A reaper timer expires
+//! un-renewed registrations, which is what makes a SenSORCER network
+//! self-healing: "if the service gets disabled then the lease is not
+//! renewed and the service is deregistered from the LUS and thus leaves
+//! the network".
+
+use std::collections::BTreeMap;
+
+use sensorcer_sim::env::{Env, ServiceId};
+use sensorcer_sim::time::{SimDuration, SimTime};
+use sensorcer_sim::topology::{HostId, NetError};
+use sensorcer_sim::wire::{ProtocolStack, WireEncode};
+
+use crate::events::{EventSink, ServiceEvent, Transition};
+use crate::ids::SvcUuid;
+use crate::item::{ServiceItem, ServiceTemplate};
+use crate::lease::{Lease, LeaseError, LeaseId, LeasePolicy, LeaseTable};
+
+/// Result of registering a service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceRegistration {
+    pub uuid: SvcUuid,
+    pub lease: Lease,
+}
+
+/// One event-interest registration.
+struct EventReg {
+    template: ServiceTemplate,
+    transitions: Vec<Transition>,
+    sink: EventSink,
+    seq: u64,
+}
+
+/// The registry state. Deploy with [`LookupService::deploy`]; interact
+/// remotely through [`LusHandle`].
+pub struct LookupService {
+    pub host: HostId,
+    group: String,
+    items: BTreeMap<SvcUuid, ServiceItem>,
+    /// Maps registration leases to the uuid they keep alive.
+    reg_leases: LeaseTable<SvcUuid>,
+    event_regs: LeaseTable<EventReg>,
+    registrations_total: u64,
+}
+
+impl LookupService {
+    pub fn new(host: HostId, group: impl Into<String>, policy: LeasePolicy) -> LookupService {
+        LookupService {
+            host,
+            group: group.into(),
+            items: BTreeMap::new(),
+            reg_leases: LeaseTable::new(policy),
+            event_regs: LeaseTable::new(policy),
+            registrations_total: 0,
+        }
+    }
+
+    /// Deploy a LUS on `host`, join it to the discovery `group`, and start
+    /// its lease reaper (fires every `reap_every`).
+    pub fn deploy(
+        env: &mut Env,
+        host: HostId,
+        name: &str,
+        group: &str,
+        policy: LeasePolicy,
+        reap_every: SimDuration,
+    ) -> LusHandle {
+        let lus = LookupService::new(host, group, policy);
+        let service = env.deploy(host, name, lus);
+        env.topo.join_group(host, group);
+        env.schedule_every(reap_every, reap_every, move |env| {
+            // Keep reaping as long as the LUS is deployed.
+            env.with_service(service, |env, lus: &mut LookupService| lus.reap(env))
+                .is_ok()
+        });
+        // A Jini LUS registers itself in its own registry, so browsers see
+        // it in the service listing. Its lease is renewed by the reaper's
+        // host being itself — registered without expiry pressure (policy
+        // max) and re-registered by the reaper if it ever lapses.
+        let self_item = ServiceItem::new(
+            SvcUuid::NIL,
+            host,
+            service,
+            vec![crate::ids::interfaces::LOOKUP_SERVICE.into()],
+            vec![
+                crate::attributes::Entry::Name(name.to_string()),
+                crate::attributes::Entry::ServiceType("INFRASTRUCTURE".into()),
+            ],
+        );
+        let _ = env.with_service(service, |env, lus: &mut LookupService| {
+            let max = lus.reg_leases.policy().max_duration;
+            let reg = lus.register(env, self_item, Some(max));
+            // Keep the self-registration alive forever.
+            let lease = reg.lease.id;
+            env.schedule_every(max / 2, max / 2, move |env| {
+                env.with_service(service, |env, lus: &mut LookupService| {
+                    let now = env.now();
+                    lus.renew(now, lease, None).is_ok()
+                })
+                .unwrap_or(false)
+            });
+        });
+        LusHandle { service, host }
+    }
+
+    /// The discovery group this LUS serves.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+
+    /// Register (or re-register) a service item. A nil uuid is assigned a
+    /// fresh one — the Jini "assign me an id" flow.
+    pub fn register(
+        &mut self,
+        env: &mut Env,
+        mut item: ServiceItem,
+        duration: Option<SimDuration>,
+    ) -> ServiceRegistration {
+        let now = env.now();
+        if item.uuid.is_nil() {
+            item.uuid = SvcUuid::generate(env.rng());
+        }
+        let uuid = item.uuid;
+        let old = self.items.insert(uuid, item.clone());
+        let lease = self.reg_leases.grant(now, duration, uuid);
+        self.registrations_total += 1;
+        self.fire(env, now, uuid, old.as_ref(), Some(&item));
+        ServiceRegistration { uuid, lease }
+    }
+
+    /// Renew a registration lease.
+    pub fn renew(
+        &mut self,
+        now: SimTime,
+        lease: LeaseId,
+        duration: Option<SimDuration>,
+    ) -> Result<Lease, LeaseError> {
+        self.reg_leases.renew(now, lease, duration)
+    }
+
+    /// Cancel a registration, removing the item immediately.
+    pub fn cancel(&mut self, env: &mut Env, lease: LeaseId) -> Result<(), LeaseError> {
+        let uuid = self.reg_leases.cancel(lease)?;
+        let now = env.now();
+        if let Some(old) = self.items.remove(&uuid) {
+            self.fire(env, now, uuid, Some(&old), None);
+        }
+        Ok(())
+    }
+
+    /// Replace the attributes of a live registration (e.g. a provider
+    /// updating its `Comment`). Fires `MatchToMatch`/transition events.
+    pub fn modify_attributes(
+        &mut self,
+        env: &mut Env,
+        uuid: SvcUuid,
+        attributes: Vec<crate::attributes::Entry>,
+    ) -> bool {
+        let now = env.now();
+        match self.items.get_mut(&uuid) {
+            Some(item) => {
+                let old = item.clone();
+                item.attributes = attributes;
+                let new = item.clone();
+                self.fire(env, now, uuid, Some(&old), Some(&new));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All currently registered items matching `template`, up to `max`.
+    pub fn lookup(&self, template: &ServiceTemplate, max: usize) -> Vec<ServiceItem> {
+        self.items
+            .values()
+            .filter(|i| template.matches(i))
+            .take(max)
+            .cloned()
+            .collect()
+    }
+
+    /// First match, if any.
+    pub fn lookup_one(&self, template: &ServiceTemplate) -> Option<ServiceItem> {
+        self.items.values().find(|i| template.matches(i)).cloned()
+    }
+
+    /// Register interest in service transitions.
+    pub fn notify(
+        &mut self,
+        now: SimTime,
+        template: ServiceTemplate,
+        transitions: Vec<Transition>,
+        sink: EventSink,
+        duration: Option<SimDuration>,
+    ) -> Lease {
+        self.event_regs
+            .grant(now, duration, EventReg { template, transitions, sink, seq: 0 })
+    }
+
+    /// Cancel an event registration.
+    pub fn cancel_notify(&mut self, lease: LeaseId) -> Result<(), LeaseError> {
+        self.event_regs.cancel(lease).map(|_| ())
+    }
+
+    /// Expire overdue registrations and event interests, firing departure
+    /// events. Called by the reaper timer.
+    pub fn reap(&mut self, env: &mut Env) {
+        let now = env.now();
+        for (_, uuid) in self.reg_leases.reap(now) {
+            if let Some(old) = self.items.remove(&uuid) {
+                self.fire(env, now, uuid, Some(&old), None);
+            }
+        }
+        self.event_regs.reap(now);
+    }
+
+    /// Number of live registered services.
+    pub fn item_count(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Total registrations ever accepted.
+    pub fn registrations_total(&self) -> u64 {
+        self.registrations_total
+    }
+
+    fn fire(
+        &mut self,
+        env: &mut Env,
+        now: SimTime,
+        uuid: SvcUuid,
+        old: Option<&ServiceItem>,
+        new: Option<&ServiceItem>,
+    ) {
+        let host = self.host;
+        // Collect live event registrations; deliver outside the iteration
+        // to keep the borrow checker honest about `self`.
+        let live_ids: Vec<LeaseId> = self.event_regs.live(now).map(|(id, _)| id).collect();
+        for id in live_ids {
+            let Ok(reg) = self.event_regs.get_mut(now, id) else { continue };
+            let was = old.is_some_and(|i| reg.template.matches(i));
+            let is = new.is_some_and(|i| reg.template.matches(i));
+            let transition = match (was, is) {
+                (false, true) => Transition::NoMatchToMatch,
+                (true, false) => Transition::MatchToNoMatch,
+                (true, true) => Transition::MatchToMatch,
+                (false, false) => continue,
+            };
+            if !reg.transitions.contains(&transition) {
+                continue;
+            }
+            reg.seq += 1;
+            let event = ServiceEvent {
+                seq: reg.seq,
+                at: now,
+                uuid,
+                transition,
+                item: new.cloned().or_else(|| old.cloned()),
+            };
+            reg.sink.send(env, host, &event);
+        }
+    }
+}
+
+impl std::fmt::Debug for LookupService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LookupService")
+            .field("host", &self.host)
+            .field("group", &self.group)
+            .field("items", &self.items.len())
+            .field("event_regs", &self.event_regs.len())
+            .finish()
+    }
+}
+
+/// Client-side handle (the "discovered registrar"): wraps remote calls
+/// with honest wire accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LusHandle {
+    pub service: ServiceId,
+    pub host: HostId,
+}
+
+impl LusHandle {
+    /// Register a service item from `from`.
+    pub fn register(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        item: ServiceItem,
+        duration: Option<SimDuration>,
+    ) -> Result<ServiceRegistration, NetError> {
+        let req = item.encoded_len() + 16;
+        env.call(from, self.service, ProtocolStack::Tcp, req, |env, lus: &mut LookupService| {
+            let reg = lus.register(env, item, duration);
+            (reg, 40)
+        })
+    }
+
+    /// Renew a registration lease from `from`.
+    pub fn renew(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        lease: LeaseId,
+        duration: Option<SimDuration>,
+    ) -> Result<Result<Lease, LeaseError>, NetError> {
+        env.call(from, self.service, ProtocolStack::Tcp, 24, |env, lus: &mut LookupService| {
+            let now = env.now();
+            (lus.renew(now, lease, duration), 24)
+        })
+    }
+
+    /// Cancel a registration from `from`.
+    pub fn cancel(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        lease: LeaseId,
+    ) -> Result<Result<(), LeaseError>, NetError> {
+        env.call(from, self.service, ProtocolStack::Tcp, 16, |env, lus: &mut LookupService| {
+            (lus.cancel(env, lease), 8)
+        })
+    }
+
+    /// Remote lookup.
+    pub fn lookup(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        template: &ServiceTemplate,
+        max: usize,
+    ) -> Result<Vec<ServiceItem>, NetError> {
+        let req = template.encoded_len() + 8;
+        let template = template.clone();
+        env.call(from, self.service, ProtocolStack::Tcp, req, move |_env, lus: &mut LookupService| {
+            let found = lus.lookup(&template, max);
+            let resp: usize = found.iter().map(|i| i.encoded_len()).sum::<usize>().max(8);
+            (found, resp)
+        })
+    }
+
+    /// Remote single lookup.
+    pub fn lookup_one(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        template: &ServiceTemplate,
+    ) -> Result<Option<ServiceItem>, NetError> {
+        Ok(self.lookup(env, from, template, 1)?.into_iter().next())
+    }
+
+    /// Register an event listener.
+    pub fn notify(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        template: ServiceTemplate,
+        transitions: Vec<Transition>,
+        sink: EventSink,
+        duration: Option<SimDuration>,
+    ) -> Result<Lease, NetError> {
+        let req = template.encoded_len() + 24;
+        env.call(from, self.service, ProtocolStack::Tcp, req, move |env, lus: &mut LookupService| {
+            let now = env.now();
+            (lus.notify(now, template, transitions, sink, duration), 24)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Entry;
+    use crate::ids::interfaces;
+    use sensorcer_sim::prelude::*;
+
+    fn setup() -> (Env, HostId, HostId, LusHandle) {
+        let mut env = Env::with_seed(1);
+        let lab = env.add_host("lab", HostKind::Server);
+        let client = env.add_host("client", HostKind::Workstation);
+        let lus = LookupService::deploy(
+            &mut env,
+            lab,
+            "Lookup Service",
+            "public",
+            LeasePolicy::default(),
+            SimDuration::from_millis(500),
+        );
+        (env, lab, client, lus)
+    }
+
+    fn sensor_item(name: &str, host: HostId, svc: u64) -> ServiceItem {
+        ServiceItem::new(
+            SvcUuid::NIL,
+            host,
+            ServiceId(svc),
+            vec![interfaces::SENSOR_DATA_ACCESSOR.into()],
+            vec![Entry::Name(name.into()), Entry::ServiceType("ELEMENTARY".into())],
+        )
+    }
+
+    #[test]
+    fn register_assigns_uuid_and_lookup_finds() {
+        let (mut env, lab, client, lus) = setup();
+        let reg = lus
+            .register(&mut env, client, sensor_item("Neem-Sensor", lab, 9), None)
+            .unwrap();
+        assert!(!reg.uuid.is_nil());
+        let found = lus
+            .lookup(&mut env, client, &ServiceTemplate::by_name("Neem-Sensor"), 10)
+            .unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].uuid, reg.uuid);
+        assert_eq!(found[0].service, ServiceId(9));
+    }
+
+    #[test]
+    fn lookup_by_interface_and_max() {
+        let (mut env, lab, client, lus) = setup();
+        for (i, name) in ["Neem", "Jade", "Coral", "Diamond"].iter().enumerate() {
+            lus.register(&mut env, client, sensor_item(name, lab, i as u64), None)
+                .unwrap();
+        }
+        let tpl = ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR);
+        assert_eq!(lus.lookup(&mut env, client, &tpl, 100).unwrap().len(), 4);
+        assert_eq!(lus.lookup(&mut env, client, &tpl, 2).unwrap().len(), 2);
+        assert!(lus
+            .lookup_one(&mut env, client, &ServiceTemplate::by_name("Jade"))
+            .unwrap()
+            .is_some());
+        assert!(lus
+            .lookup_one(&mut env, client, &ServiceTemplate::by_name("Nope"))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn unrenewed_lease_expires_and_service_leaves() {
+        let (mut env, lab, client, lus) = setup();
+        lus.register(
+            &mut env,
+            client,
+            sensor_item("Neem", lab, 1),
+            Some(SimDuration::from_secs(5)),
+        )
+        .unwrap();
+        env.run_for(SimDuration::from_secs(4));
+        let tpl = ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR);
+        assert_eq!(lus.lookup(&mut env, client, &tpl, 10).unwrap().len(), 1);
+        env.run_for(SimDuration::from_secs(2));
+        assert_eq!(
+            lus.lookup(&mut env, client, &tpl, 10).unwrap().len(),
+            0,
+            "reaper must drop the expired registration"
+        );
+    }
+
+    #[test]
+    fn renewal_keeps_service_alive() {
+        let (mut env, lab, client, lus) = setup();
+        let reg = lus
+            .register(&mut env, client, sensor_item("Neem", lab, 1), Some(SimDuration::from_secs(5)))
+            .unwrap();
+        for _ in 0..5 {
+            env.run_for(SimDuration::from_secs(3));
+            lus.renew(&mut env, client, reg.lease.id, Some(SimDuration::from_secs(5)))
+                .unwrap()
+                .unwrap();
+        }
+        assert_eq!(
+            lus.lookup(&mut env, client, &ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR), 10)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn cancel_removes_immediately() {
+        let (mut env, lab, client, lus) = setup();
+        let reg = lus.register(&mut env, client, sensor_item("Neem", lab, 1), None).unwrap();
+        lus.cancel(&mut env, client, reg.lease.id).unwrap().unwrap();
+        assert_eq!(
+            lus.lookup(&mut env, client, &ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR), 10)
+                .unwrap()
+                .len(),
+            0
+        );
+        // Double cancel is an application-level error, not a crash.
+        assert!(lus.cancel(&mut env, client, reg.lease.id).unwrap().is_err());
+    }
+
+    #[test]
+    fn events_fire_on_join_and_leave() {
+        let (mut env, lab, client, lus) = setup();
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let seen2 = std::rc::Rc::clone(&seen);
+        let sink = EventSink {
+            host: client,
+            deliver: Box::new(move |_env, ev| seen2.borrow_mut().push(ev.transition)),
+        };
+        lus.notify(
+            &mut env,
+            client,
+            ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR),
+            vec![Transition::NoMatchToMatch, Transition::MatchToNoMatch],
+            sink,
+            Some(SimDuration::from_secs(300)),
+        )
+        .unwrap();
+
+        let reg = lus
+            .register(&mut env, client, sensor_item("Neem", lab, 1), Some(SimDuration::from_secs(3)))
+            .unwrap();
+        assert_eq!(*seen.borrow(), vec![Transition::NoMatchToMatch]);
+
+        // Let it expire: a departure event follows from the reaper.
+        env.run_for(SimDuration::from_secs(5));
+        assert_eq!(
+            *seen.borrow(),
+            vec![Transition::NoMatchToMatch, Transition::MatchToNoMatch]
+        );
+        let _ = reg;
+    }
+
+    #[test]
+    fn attribute_modification_fires_match_to_match() {
+        let (mut env, lab, client, lus) = setup();
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(0u32));
+        let seen2 = std::rc::Rc::clone(&seen);
+        lus.notify(
+            &mut env,
+            client,
+            ServiceTemplate::any(),
+            vec![Transition::MatchToMatch],
+            EventSink { host: client, deliver: Box::new(move |_e, _ev| *seen2.borrow_mut() += 1) },
+            None,
+        )
+        .unwrap();
+        let reg = lus.register(&mut env, client, sensor_item("Neem", lab, 1), None).unwrap();
+        env.with_service(lus.service, |env, l: &mut LookupService| {
+            assert!(l.modify_attributes(env, reg.uuid, vec![Entry::Name("Renamed".into())]));
+            assert!(!l.modify_attributes(env, SvcUuid(999), vec![]));
+        })
+        .unwrap();
+        assert_eq!(*seen.borrow(), 1);
+        let found = lus.lookup_one(&mut env, client, &ServiceTemplate::by_name("Renamed")).unwrap();
+        assert!(found.is_some());
+    }
+
+    #[test]
+    fn events_to_dead_listeners_are_dropped_silently() {
+        let (mut env, lab, client, lus) = setup();
+        lus.notify(
+            &mut env,
+            client,
+            ServiceTemplate::any(),
+            vec![Transition::NoMatchToMatch],
+            EventSink { host: client, deliver: Box::new(|_e, _ev| panic!("unreachable listener")) },
+            None,
+        )
+        .unwrap();
+        env.crash_host(client);
+        // Registration from the lab host itself still works; event delivery
+        // fails silently.
+        env.with_service(lus.service, |env, l: &mut LookupService| {
+            l.register(env, sensor_item("Neem", lab, 1), None);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn registry_stats() {
+        let (mut env, lab, client, lus) = setup();
+        lus.register(&mut env, client, sensor_item("A", lab, 1), None).unwrap();
+        lus.register(&mut env, client, sensor_item("B", lab, 2), None).unwrap();
+        env.with_service(lus.service, |_e, l: &mut LookupService| {
+            // The LUS registers itself, plus the two sensors.
+            assert_eq!(l.item_count(), 3);
+            assert_eq!(l.registrations_total(), 3);
+            assert_eq!(l.group(), "public");
+        })
+        .unwrap();
+    }
+}

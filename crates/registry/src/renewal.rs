@@ -1,0 +1,204 @@
+//! Lease renewal service (Jini infrastructure visible in the paper's
+//! Fig. 2 service listing).
+//!
+//! Constrained providers hand their leases to this service, which renews
+//! them on a timer "periodically by their service provider" (§IV.B) —
+//! here, by the renewal service acting for the provider. If the provider's
+//! host dies, the renewal stops (the service checks liveness before each
+//! renewal), the lease lapses, and the registration evaporates: exactly
+//! the self-cleaning behaviour the paper relies on for robustness.
+
+use sensorcer_sim::env::{Env, RepeatHandle, ServiceId};
+use sensorcer_sim::time::SimDuration;
+use sensorcer_sim::topology::HostId;
+
+use crate::lease::{Lease, LeaseId};
+use crate::lus::LusHandle;
+
+/// Statistics of a deployed renewal service.
+#[derive(Debug, Default)]
+pub struct LeaseRenewalService {
+    renewals_ok: u64,
+    renewals_failed: u64,
+    managed: u64,
+}
+
+impl LeaseRenewalService {
+    /// Deploy on `host`.
+    pub fn deploy(env: &mut Env, host: HostId, name: &str) -> RenewalHandle {
+        let service = env.deploy(host, name, LeaseRenewalService::default());
+        RenewalHandle { service, host }
+    }
+
+    pub fn renewals_ok(&self) -> u64 {
+        self.renewals_ok
+    }
+
+    pub fn renewals_failed(&self) -> u64 {
+        self.renewals_failed
+    }
+
+    pub fn managed(&self) -> u64 {
+        self.managed
+    }
+}
+
+/// Handle to a deployed renewal service.
+#[derive(Clone, Copy, Debug)]
+pub struct RenewalHandle {
+    pub service: ServiceId,
+    pub host: HostId,
+}
+
+impl RenewalHandle {
+    /// Keep `lease` (granted by `lus`) alive with renewals of `duration`,
+    /// on behalf of the provider running on `owner`. Renewals happen at
+    /// half the lease duration. While the owner host is down the renewal
+    /// is *skipped* (not abandoned): a brief outage shorter than the lease
+    /// leaves the registration intact and renewals resume on restart — the
+    /// paper's "when it is up the node is immediately available" — while a
+    /// longer outage lets the lease lapse naturally. Management ends when
+    /// the lease is gone (expired or cancelled at the LUS) or the returned
+    /// handle is cancelled.
+    pub fn manage(
+        &self,
+        env: &mut Env,
+        owner: HostId,
+        lus: LusHandle,
+        lease: Lease,
+        duration: SimDuration,
+    ) -> RepeatHandle {
+        let me = *self;
+        let lease_id: LeaseId = lease.id;
+        // Renew at a third of the lease so one missed tick (provider briefly
+        // down, LUS briefly unreachable) still leaves a covering renewal
+        // before expiry.
+        let interval = SimDuration::from_nanos((duration.as_nanos() / 3).max(1));
+        env.with_service(me.service, |_env, s: &mut LeaseRenewalService| s.managed += 1)
+            .ok();
+        let mut expires = lease.expires;
+        env.schedule_every(interval, interval, move |env| {
+            if !env.topo.is_alive(owner) {
+                let _ = env.with_service(me.service, |_env, s: &mut LeaseRenewalService| {
+                    s.renewals_failed += 1;
+                });
+                // Nothing left to manage once the lease has lapsed.
+                return env.now() < expires;
+            }
+            match lus.renew(env, me.host, lease_id, Some(duration)) {
+                Ok(Ok(renewed)) => {
+                    expires = renewed.expires;
+                    let _ = env.with_service(me.service, |_env, s: &mut LeaseRenewalService| {
+                        s.renewals_ok += 1;
+                    });
+                    true
+                }
+                // The LUS says the lease is gone: stop managing it.
+                Ok(Err(_)) => {
+                    let _ = env.with_service(me.service, |_env, s: &mut LeaseRenewalService| {
+                        s.renewals_failed += 1;
+                    });
+                    false
+                }
+                // The LUS was unreachable this tick: keep trying until the
+                // lease would have lapsed anyway.
+                Err(_) => {
+                    let _ = env.with_service(me.service, |_env, s: &mut LeaseRenewalService| {
+                        s.renewals_failed += 1;
+                    });
+                    env.now() < expires
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Entry;
+    use crate::ids::SvcUuid;
+    use crate::item::{ServiceItem, ServiceTemplate};
+    use crate::lease::LeasePolicy;
+    use crate::lus::LookupService;
+    use sensorcer_sim::prelude::*;
+
+    fn setup() -> (Env, HostId, HostId, LusHandle, RenewalHandle) {
+        let mut env = Env::with_seed(1);
+        let lab = env.add_host("lab", HostKind::Server);
+        let mote = env.add_host("mote", HostKind::SensorMote);
+        let lus = LookupService::deploy(
+            &mut env,
+            lab,
+            "LUS",
+            "public",
+            LeasePolicy::default(),
+            SimDuration::from_millis(500),
+        );
+        let renewal = LeaseRenewalService::deploy(&mut env, lab, "Lease Renewal Service");
+        (env, lab, mote, lus, renewal)
+    }
+
+    fn item(host: HostId) -> ServiceItem {
+        ServiceItem::new(SvcUuid::NIL, host, ServiceId(5), vec![], vec![Entry::Name("N".into())])
+    }
+
+    #[test]
+    fn managed_lease_outlives_its_duration() {
+        let (mut env, _lab, mote, lus, renewal) = setup();
+        let dur = SimDuration::from_secs(4);
+        let reg = lus.register(&mut env, mote, item(mote), Some(dur)).unwrap();
+        renewal.manage(&mut env, mote, lus, reg.lease, dur);
+        env.run_for(SimDuration::from_secs(60));
+        let found = lus.lookup(&mut env, mote, &ServiceTemplate::by_name("N"), 10).unwrap();
+        assert_eq!(found.len(), 1, "renewals must keep the item registered");
+        env.with_service(renewal.service, |_e, s: &mut LeaseRenewalService| {
+            assert!(s.renewals_ok() >= 10);
+            assert_eq!(s.managed(), 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn dead_owner_lapses_out_of_the_registry() {
+        let (mut env, _lab, mote, lus, renewal) = setup();
+        let dur = SimDuration::from_secs(4);
+        let reg = lus.register(&mut env, mote, item(mote), Some(dur)).unwrap();
+        renewal.manage(&mut env, mote, lus, reg.lease, dur);
+        env.run_for(SimDuration::from_secs(10));
+        env.crash_host(mote);
+        env.run_for(SimDuration::from_secs(10));
+        let found = lus.lookup(&mut env, _lab, &ServiceTemplate::by_name("N"), 10).unwrap();
+        assert_eq!(found.len(), 0, "dead provider's registration must evaporate");
+    }
+
+    #[test]
+    fn cancelled_management_lets_lease_lapse() {
+        let (mut env, lab, mote, lus, renewal) = setup();
+        let dur = SimDuration::from_secs(4);
+        let reg = lus.register(&mut env, mote, item(mote), Some(dur)).unwrap();
+        let handle = renewal.manage(&mut env, mote, lus, reg.lease, dur);
+        env.run_for(SimDuration::from_secs(10));
+        handle.cancel();
+        env.run_for(SimDuration::from_secs(10));
+        assert_eq!(lus.lookup(&mut env, lab, &ServiceTemplate::by_name("N"), 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn renewal_stops_after_lus_rejects() {
+        let (mut env, lab, mote, lus, renewal) = setup();
+        let dur = SimDuration::from_secs(4);
+        let reg = lus.register(&mut env, mote, item(mote), Some(dur)).unwrap();
+        renewal.manage(&mut env, mote, lus, reg.lease, dur);
+        // Cancel the registration out from under the renewal manager.
+        lus.cancel(&mut env, lab, reg.lease.id).unwrap().unwrap();
+        env.run_for(SimDuration::from_secs(20));
+        env.with_service(renewal.service, |_e, s: &mut LeaseRenewalService| {
+            assert!(s.renewals_failed() >= 1);
+            // After the first failure the repeat stops; failures don't grow
+            // without bound.
+            assert!(s.renewals_failed() <= 2, "failed {}", s.renewals_failed());
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the registry: lease-table invariants under random
+//! operation sequences, and template-matching laws.
+
+use proptest::prelude::*;
+
+use sensorcer_registry::attributes::{AttrMatch, Entry};
+use sensorcer_registry::ids::SvcUuid;
+use sensorcer_registry::item::{ServiceItem, ServiceTemplate};
+use sensorcer_registry::lease::{LeaseError, LeasePolicy, LeaseTable};
+use sensorcer_sim::env::ServiceId;
+use sensorcer_sim::time::{SimDuration, SimTime};
+use sensorcer_sim::topology::HostId;
+
+/// A randomized lease-table operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Grant { dur_s: u64 },
+    RenewNth { idx: usize },
+    CancelNth { idx: usize },
+    Advance { secs: u64 },
+    Reap,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..100).prop_map(|dur_s| Op::Grant { dur_s }),
+        (0usize..16).prop_map(|idx| Op::RenewNth { idx }),
+        (0usize..16).prop_map(|idx| Op::CancelNth { idx }),
+        (1u64..50).prop_map(|secs| Op::Advance { secs }),
+        Just(Op::Reap),
+    ]
+}
+
+proptest! {
+    /// Whatever the operation sequence, the table never lies: live leases
+    /// are exactly the granted-not-cancelled-not-expired ones, and
+    /// `next_expiry` is a true minimum.
+    #[test]
+    fn lease_table_invariants(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut table: LeaseTable<u32> = LeaseTable::new(LeasePolicy {
+            max_duration: SimDuration::from_secs(1_000),
+            default_duration: SimDuration::from_secs(10),
+        });
+        let mut now = SimTime::ZERO;
+        let mut granted: Vec<(sensorcer_registry::lease::LeaseId, SimTime)> = Vec::new();
+        let mut counter = 0u32;
+
+        for op in ops {
+            match op {
+                Op::Grant { dur_s } => {
+                    let lease = table.grant(now, Some(SimDuration::from_secs(dur_s)), counter);
+                    counter += 1;
+                    prop_assert!(lease.expires > now);
+                    prop_assert!(lease.expires <= now + SimDuration::from_secs(1_000));
+                    granted.push((lease.id, lease.expires));
+                }
+                Op::RenewNth { idx } => {
+                    if let Some((id, exp)) = granted.get(idx % granted.len().max(1)).copied() {
+                        match table.renew(now, id, None) {
+                            Ok(renewed) => {
+                                prop_assert!(now < exp || exp <= now, "no constraint violated");
+                                prop_assert!(renewed.expires >= now);
+                                granted.retain(|(i, _)| *i != id);
+                                granted.push((id, renewed.expires));
+                            }
+                            Err(LeaseError::Expired) => prop_assert!(now >= exp),
+                            Err(LeaseError::Unknown) => {
+                                prop_assert!(!granted.iter().any(|(i, _)| *i == id)
+                                    || table.get(now, id).is_err());
+                            }
+                        }
+                    }
+                }
+                Op::CancelNth { idx } => {
+                    if !granted.is_empty() {
+                        let (id, _) = granted[idx % granted.len()];
+                        let _ = table.cancel(id);
+                        granted.retain(|(i, _)| *i != id);
+                    }
+                }
+                Op::Advance { secs } => now += SimDuration::from_secs(secs),
+                Op::Reap => {
+                    let reaped = table.reap(now);
+                    for (id, _) in &reaped {
+                        prop_assert!(
+                            granted.iter().any(|(i, exp)| i == id && now >= *exp),
+                            "reaped a live or unknown lease"
+                        );
+                    }
+                    granted.retain(|(i, _)| !reaped.iter().any(|(r, _)| r == i));
+                }
+            }
+            // Core invariant: `live()` equals our model of unexpired,
+            // uncancelled grants.
+            let live: Vec<_> = table.live(now).map(|(id, _)| id).collect();
+            let mut model: Vec<_> = granted
+                .iter()
+                .filter(|(_, exp)| now < *exp)
+                .map(|(id, _)| *id)
+                .collect();
+            model.sort();
+            let mut live_sorted = live.clone();
+            live_sorted.sort();
+            prop_assert_eq!(live_sorted, model);
+            if let Some(next) = table.next_expiry() {
+                prop_assert!(granted.iter().any(|(_, exp)| *exp == next));
+            }
+        }
+    }
+
+    /// Matching laws: `by_id` matches exactly its item; adding constraints
+    /// never widens a template; `any()` matches everything.
+    #[test]
+    fn template_matching_laws(
+        names in prop::collection::vec("[A-Za-z]{1,12}", 1..12),
+        pick in 0usize..12,
+    ) {
+        let items: Vec<ServiceItem> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                ServiceItem::new(
+                    SvcUuid((i + 1) as u128),
+                    HostId(0),
+                    ServiceId(i as u64),
+                    vec!["SensorDataAccessor".into()],
+                    vec![Entry::Name(n.clone())],
+                )
+            })
+            .collect();
+
+        let target = &items[pick % items.len()];
+        let by_id = ServiceTemplate::by_id(target.uuid);
+        for item in &items {
+            prop_assert_eq!(by_id.matches(item), item.uuid == target.uuid);
+            prop_assert!(ServiceTemplate::any().matches(item));
+        }
+
+        // Narrowing: template T ∧ extra-attr matches a subset of T.
+        let base = ServiceTemplate::by_interface("SensorDataAccessor");
+        let narrowed = base.clone().and_attr(AttrMatch::name(names[0].clone()));
+        for item in &items {
+            if narrowed.matches(item) {
+                prop_assert!(base.matches(item), "narrowing must not widen");
+            }
+        }
+    }
+
+    /// Wire round trip for arbitrary service items.
+    #[test]
+    fn service_item_codec(
+        name in "[ -~]{0,32}",
+        uuid in any::<u128>(),
+        host in any::<u32>(),
+        ifaces in prop::collection::vec("[A-Za-z]{1,16}", 0..5),
+    ) {
+        use sensorcer_sim::wire::{WireDecode, WireEncode};
+        let item = ServiceItem::new(
+            SvcUuid(uuid),
+            HostId(host),
+            ServiceId(7),
+            ifaces.iter().map(|s| s.as_str().into()).collect(),
+            vec![Entry::Name(name), Entry::ServiceType("ELEMENTARY".into())],
+        );
+        let mut wire = item.to_wire();
+        prop_assert_eq!(ServiceItem::decode(&mut wire).unwrap(), item);
+    }
+}

@@ -1,0 +1,20 @@
+//! # sensorcer-runtime
+//!
+//! Real-thread parallel execution for the *local* (embedded,
+//! non-simulated) deployment mode of the SenSORCER reproduction. Provides
+//! a work-stealing [`ThreadPool`] (crossbeam deques + parking) whose
+//! [`ThreadPool::par_map`] lets a composite sensor provider fan its child
+//! reads out over actual OS threads — the HPC counterpart of the
+//! simulator's virtual-time `Flow::Parallel`.
+//!
+//! ```
+//! use sensorcer_runtime::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.par_map((0..100u64).collect(), |i| i * i);
+//! assert_eq!(squares[7], 49);
+//! ```
+
+pub mod pool;
+
+pub use pool::ThreadPool;

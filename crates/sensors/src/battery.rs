@@ -1,0 +1,128 @@
+//! Energy budget of a sensor mote.
+//!
+//! Sensor-network research the paper cites (refs. 13 and 15) is dominated by
+//! energy concerns. The battery model makes the trade-off measurable in
+//! this reproduction: sampling and transmitting draw charge, an exhausted
+//! mote stops answering, and the aggregation benches can report energy per
+//! delivered reading.
+
+/// Battery state of a mote.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Battery {
+    /// Remaining charge in microjoules.
+    charge_uj: f64,
+    /// Initial capacity in microjoules.
+    capacity_uj: f64,
+    /// Cost of taking one sample.
+    pub sample_cost_uj: f64,
+    /// Cost of transmitting one byte.
+    pub tx_cost_per_byte_uj: f64,
+}
+
+impl Battery {
+    /// A pair of AA cells (~2 × 10 kJ usable), with SunSPOT-class costs:
+    /// ~50 µJ per sample, ~2 µJ per transmitted byte.
+    pub fn aa_pair() -> Battery {
+        Battery::new(2.0e10, 50.0, 2.0)
+    }
+
+    /// An effectively infinite supply (mains-powered or benches that should
+    /// not hit energy limits).
+    pub fn mains() -> Battery {
+        Battery::new(f64::INFINITY, 0.0, 0.0)
+    }
+
+    pub fn new(capacity_uj: f64, sample_cost_uj: f64, tx_cost_per_byte_uj: f64) -> Battery {
+        Battery { charge_uj: capacity_uj, capacity_uj, sample_cost_uj, tx_cost_per_byte_uj }
+    }
+
+    /// Remaining fraction in `[0, 1]`.
+    pub fn level(&self) -> f64 {
+        if self.capacity_uj.is_infinite() {
+            1.0
+        } else if self.capacity_uj <= 0.0 {
+            0.0
+        } else {
+            (self.charge_uj / self.capacity_uj).clamp(0.0, 1.0)
+        }
+    }
+
+    pub fn is_dead(&self) -> bool {
+        self.charge_uj <= 0.0
+    }
+
+    /// Total energy drawn so far, in microjoules.
+    pub fn consumed_uj(&self) -> f64 {
+        if self.capacity_uj.is_infinite() {
+            0.0
+        } else {
+            self.capacity_uj - self.charge_uj.max(0.0)
+        }
+    }
+
+    /// Draw the cost of one sample. Returns false (and draws nothing more)
+    /// once dead.
+    pub fn draw_sample(&mut self) -> bool {
+        self.draw(self.sample_cost_uj)
+    }
+
+    /// Draw the cost of transmitting `bytes`.
+    pub fn draw_tx(&mut self, bytes: usize) -> bool {
+        self.draw(self.tx_cost_per_byte_uj * bytes as f64)
+    }
+
+    fn draw(&mut self, uj: f64) -> bool {
+        if self.is_dead() {
+            return false;
+        }
+        self.charge_uj -= uj;
+        !self.is_dead()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_battery_is_full() {
+        let b = Battery::aa_pair();
+        assert_eq!(b.level(), 1.0);
+        assert!(!b.is_dead());
+        assert_eq!(b.consumed_uj(), 0.0);
+    }
+
+    #[test]
+    fn sampling_drains() {
+        let mut b = Battery::new(100.0, 40.0, 1.0);
+        assert!(b.draw_sample());
+        assert!(b.draw_sample());
+        assert!(!b.is_dead());
+        // Third sample crosses zero.
+        assert!(!b.draw_sample());
+        assert!(b.is_dead());
+        assert_eq!(b.level(), 0.0);
+        // Dead battery draws nothing further.
+        assert!(!b.draw_sample());
+        assert!((b.consumed_uj() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transmit_cost_scales_with_bytes() {
+        let mut b = Battery::new(1000.0, 0.0, 2.0);
+        assert!(b.draw_tx(100));
+        assert!((b.consumed_uj() - 200.0).abs() < 1e-9);
+        assert!((b.level() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mains_never_dies() {
+        let mut b = Battery::mains();
+        for _ in 0..1_000 {
+            assert!(b.draw_sample());
+            assert!(b.draw_tx(10_000));
+        }
+        assert_eq!(b.level(), 1.0);
+        assert!(!b.is_dead());
+    }
+}

@@ -1,0 +1,153 @@
+//! Calibration curves.
+//!
+//! A sensor probe "is dependent on … data calibration" (§V.B); the probe
+//! applies a [`Calibration`] to convert raw transducer output into
+//! engineering units. Composite providers additionally calibrate their
+//! aggregated results, so the curve type is shared.
+
+/// A mapping from raw sensor output to calibrated engineering value.
+#[derive(Clone, Debug, PartialEq)]
+#[derive(Default)]
+pub enum Calibration {
+    /// `y = x` — already in engineering units.
+    #[default]
+    Identity,
+    /// `y = gain·x + offset`.
+    Linear { gain: f64, offset: f64 },
+    /// `y = Σ coeffs[i]·xⁱ` (coefficients in ascending power order).
+    Polynomial { coeffs: Vec<f64> },
+    /// Piecewise-linear interpolation through `(raw, engineering)` points
+    /// sorted by raw value; extrapolates linearly beyond the ends.
+    PiecewiseLinear { points: Vec<(f64, f64)> },
+}
+
+impl Calibration {
+    /// Apply the curve.
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            Calibration::Identity => x,
+            Calibration::Linear { gain, offset } => gain * x + offset,
+            Calibration::Polynomial { coeffs } => {
+                // Horner's rule.
+                coeffs.iter().rev().fold(0.0, |acc, c| acc * x + c)
+            }
+            Calibration::PiecewiseLinear { points } => {
+                if points.is_empty() {
+                    return x;
+                }
+                if points.len() == 1 {
+                    return points[0].1;
+                }
+                // Find the segment containing x (or the end segments for
+                // extrapolation).
+                let seg = match points.iter().position(|&(px, _)| px >= x) {
+                    Some(0) => (points[0], points[1]),
+                    Some(i) => (points[i - 1], points[i]),
+                    None => (points[points.len() - 2], points[points.len() - 1]),
+                };
+                let ((x0, y0), (x1, y1)) = seg;
+                if (x1 - x0).abs() < f64::EPSILON {
+                    return y0;
+                }
+                y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+            }
+        }
+    }
+
+    /// Validate the curve definition: piecewise points must be sorted by
+    /// raw value with no duplicates; polynomials must have coefficients.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Calibration::PiecewiseLinear { points } => {
+                if points.is_empty() {
+                    return Err("piecewise calibration needs at least one point".into());
+                }
+                for w in points.windows(2) {
+                    if w[1].0 <= w[0].0 {
+                        return Err(format!(
+                            "piecewise points must be strictly increasing in raw value \
+                             ({} then {})",
+                            w[0].0, w[1].0
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            Calibration::Polynomial { coeffs } if coeffs.is_empty() => {
+                Err("polynomial calibration needs at least one coefficient".into())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_linear() {
+        assert_eq!(Calibration::Identity.apply(3.5), 3.5);
+        let c = Calibration::Linear { gain: 2.0, offset: 1.0 };
+        assert_eq!(c.apply(4.0), 9.0);
+    }
+
+    #[test]
+    fn polynomial_horner() {
+        // y = 1 + 2x + 3x²
+        let c = Calibration::Polynomial { coeffs: vec![1.0, 2.0, 3.0] };
+        assert_eq!(c.apply(0.0), 1.0);
+        assert_eq!(c.apply(2.0), 1.0 + 4.0 + 12.0);
+    }
+
+    #[test]
+    fn piecewise_interpolates_and_extrapolates() {
+        let c = Calibration::PiecewiseLinear {
+            points: vec![(0.0, 0.0), (10.0, 100.0), (20.0, 150.0)],
+        };
+        assert_eq!(c.apply(5.0), 50.0);
+        assert_eq!(c.apply(15.0), 125.0);
+        assert_eq!(c.apply(10.0), 100.0);
+        // Extrapolation continues the end segments.
+        assert_eq!(c.apply(-10.0), -100.0);
+        assert_eq!(c.apply(30.0), 200.0);
+    }
+
+    #[test]
+    fn piecewise_degenerate_cases() {
+        let single = Calibration::PiecewiseLinear { points: vec![(1.0, 7.0)] };
+        assert_eq!(single.apply(99.0), 7.0);
+        let empty = Calibration::PiecewiseLinear { points: vec![] };
+        assert_eq!(empty.apply(3.0), 3.0, "empty curve degrades to identity");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Calibration::Identity.validate().is_ok());
+        assert!(Calibration::PiecewiseLinear { points: vec![] }.validate().is_err());
+        assert!(Calibration::PiecewiseLinear { points: vec![(0.0, 0.0), (0.0, 1.0)] }
+            .validate()
+            .is_err());
+        assert!(Calibration::PiecewiseLinear { points: vec![(1.0, 0.0), (0.0, 1.0)] }
+            .validate()
+            .is_err());
+        assert!(Calibration::Polynomial { coeffs: vec![] }.validate().is_err());
+        assert!(Calibration::Polynomial { coeffs: vec![1.0] }.validate().is_ok());
+    }
+
+    #[test]
+    fn piecewise_is_monotone_for_monotone_points() {
+        let c = Calibration::PiecewiseLinear {
+            points: vec![(0.0, 0.0), (1.0, 2.0), (2.0, 3.0), (3.0, 10.0)],
+        };
+        let mut prev = f64::NEG_INFINITY;
+        let mut x = -1.0;
+        while x <= 4.0 {
+            let y = c.apply(x);
+            assert!(y >= prev, "non-monotone at {x}");
+            prev = y;
+            x += 0.01;
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Local measurement store.
+//!
+//! §III.B argues that "the service provided by the single sensor should be
+//! capable of storing data to the local store" because sensors produce
+//! data faster than consumers poll. The elementary sensor provider keeps a
+//! bounded ring of recent measurements so `getHistory`-style requests are
+//! served locally instead of re-sampling.
+
+use std::collections::VecDeque;
+
+use sensorcer_sim::time::SimTime;
+
+use crate::units::Measurement;
+
+/// Bounded FIFO of recent measurements (oldest evicted first).
+#[derive(Debug, Clone)]
+pub struct RingStore {
+    buf: VecDeque<Measurement>,
+    capacity: usize,
+    total_recorded: u64,
+}
+
+impl RingStore {
+    /// Create a store holding up to `capacity` measurements.
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> RingStore {
+        assert!(capacity > 0, "ring store capacity must be positive");
+        RingStore { buf: VecDeque::with_capacity(capacity), capacity, total_recorded: 0 }
+    }
+
+    /// Record a measurement, evicting the oldest if full.
+    pub fn push(&mut self, m: Measurement) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(m);
+        self.total_recorded += 1;
+    }
+
+    /// Most recent measurement, if any.
+    pub fn latest(&self) -> Option<&Measurement> {
+        self.buf.back()
+    }
+
+    /// Number of measurements currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total measurements ever recorded (including evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// The most recent `n` measurements, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<Measurement> {
+        let skip = self.buf.len().saturating_sub(n);
+        self.buf.iter().skip(skip).copied().collect()
+    }
+
+    /// Measurements taken at or after `since`, oldest first.
+    pub fn since(&self, since: SimTime) -> Vec<Measurement> {
+        self.buf.iter().filter(|m| m.at >= since).copied().collect()
+    }
+
+    /// Mean of all held good-quality values, if any exist.
+    pub fn mean_good(&self) -> Option<f64> {
+        let good: Vec<f64> = self.buf.iter().filter(|m| m.is_good()).map(|m| m.value).collect();
+        if good.is_empty() {
+            None
+        } else {
+            Some(good.iter().sum::<f64>() / good.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Quality, Unit};
+    use sensorcer_sim::time::SimDuration;
+
+    fn m(v: f64, secs: u64) -> Measurement {
+        Measurement::good(v, Unit::Celsius, SimTime::ZERO + SimDuration::from_secs(secs))
+    }
+
+    #[test]
+    fn push_and_latest() {
+        let mut s = RingStore::new(3);
+        assert!(s.is_empty());
+        assert!(s.latest().is_none());
+        s.push(m(1.0, 1));
+        s.push(m(2.0, 2));
+        assert_eq!(s.latest().unwrap().value, 2.0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn eviction_keeps_newest() {
+        let mut s = RingStore::new(3);
+        for i in 1..=5 {
+            s.push(m(i as f64, i));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.total_recorded(), 5);
+        let vals: Vec<f64> = s.recent(10).iter().map(|x| x.value).collect();
+        assert_eq!(vals, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn recent_returns_tail_in_order() {
+        let mut s = RingStore::new(10);
+        for i in 1..=6 {
+            s.push(m(i as f64, i));
+        }
+        let vals: Vec<f64> = s.recent(2).iter().map(|x| x.value).collect();
+        assert_eq!(vals, vec![5.0, 6.0]);
+        assert_eq!(s.recent(0), vec![]);
+    }
+
+    #[test]
+    fn since_filters_by_time() {
+        let mut s = RingStore::new(10);
+        for i in 1..=5 {
+            s.push(m(i as f64, i));
+        }
+        let cut = SimTime::ZERO + SimDuration::from_secs(3);
+        let vals: Vec<f64> = s.since(cut).iter().map(|x| x.value).collect();
+        assert_eq!(vals, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn mean_good_ignores_suspect() {
+        let mut s = RingStore::new(10);
+        s.push(m(10.0, 1));
+        s.push(Measurement { quality: Quality::Suspect, ..m(1000.0, 2) });
+        s.push(m(20.0, 3));
+        assert_eq!(s.mean_good(), Some(15.0));
+        let empty = RingStore::new(2);
+        assert_eq!(empty.mean_good(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = RingStore::new(0);
+    }
+}

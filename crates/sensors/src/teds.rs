@@ -1,0 +1,100 @@
+//! Transducer Electronic Data Sheets.
+//!
+//! §II.3 of the paper singles out IEEE 1451 as the (poorly adopted)
+//! standard for self-describing sensors. The reproduction carries an IEEE
+//! 1451-style TEDS on every probe so higher layers can describe, validate
+//! and range-check readings without knowing the sensor technology —
+//! exactly the "inclusive of various sensor technologies transparently"
+//! goal.
+
+use crate::units::Unit;
+
+/// IEEE 1451-style metadata describing one transducer channel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Teds {
+    pub manufacturer: String,
+    pub model: String,
+    pub serial: String,
+    /// Physical quantity produced.
+    pub unit: Unit,
+    /// Lower bound of the measurable range.
+    pub range_min: f64,
+    /// Upper bound of the measurable range.
+    pub range_max: f64,
+    /// Smallest distinguishable change in the output.
+    pub resolution: f64,
+    /// Minimum interval between samples the transducer supports, in
+    /// nanoseconds of virtual time.
+    pub min_sample_interval_ns: u64,
+    /// Free-form technology tag ("sunspot", "1wire", "modbus", ...). The
+    /// probe is the only component that interprets it.
+    pub technology: String,
+}
+
+impl Teds {
+    /// A TEDS for the SunSPOT built-in temperature sensor used in the
+    /// paper's experiment (§VI).
+    pub fn sunspot_temperature(serial: impl Into<String>) -> Teds {
+        Teds {
+            manufacturer: "Sun Microsystems".into(),
+            model: "SPOT eDemo ADT7411".into(),
+            serial: serial.into(),
+            unit: Unit::Celsius,
+            range_min: -40.0,
+            range_max: 105.0,
+            resolution: 0.25,
+            min_sample_interval_ns: 10_000_000, // 10 ms
+            technology: "sunspot".into(),
+        }
+    }
+
+    /// Whether a raw value is physically plausible for this channel.
+    pub fn in_range(&self, value: f64) -> bool {
+        value >= self.range_min && value <= self.range_max
+    }
+
+    /// Clamp a value into the measurable range (sensors rail, they do not
+    /// report beyond their range).
+    pub fn clamp(&self, value: f64) -> f64 {
+        value.clamp(self.range_min, self.range_max)
+    }
+
+    /// Quantize to the channel resolution (ADC granularity).
+    pub fn quantize(&self, value: f64) -> f64 {
+        if self.resolution <= 0.0 {
+            return value;
+        }
+        (value / self.resolution).round() * self.resolution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sunspot_defaults() {
+        let t = Teds::sunspot_temperature("SN-1");
+        assert_eq!(t.unit, Unit::Celsius);
+        assert!(t.in_range(21.5));
+        assert!(!t.in_range(-100.0));
+        assert_eq!(t.serial, "SN-1");
+    }
+
+    #[test]
+    fn clamp_rails() {
+        let t = Teds::sunspot_temperature("x");
+        assert_eq!(t.clamp(500.0), 105.0);
+        assert_eq!(t.clamp(-500.0), -40.0);
+        assert_eq!(t.clamp(20.0), 20.0);
+    }
+
+    #[test]
+    fn quantize_snaps_to_resolution() {
+        let t = Teds::sunspot_temperature("x");
+        assert_eq!(t.quantize(21.6), 21.5);
+        assert_eq!(t.quantize(21.63), 21.75);
+        let exact = Teds { resolution: 0.0, ..t };
+        assert_eq!(exact.quantize(21.6), 21.6);
+    }
+}

@@ -1,0 +1,962 @@
+//! The simulation world.
+//!
+//! An [`Env`] owns the virtual clock, the timer queue, the network
+//! [`Topology`], the [`Metrics`] sink and every deployed service object.
+//! Middleware built on top of it (registry, provisioning, exertions,
+//! sensor providers) interacts exclusively through:
+//!
+//! * [`Env::call`] — a synchronous remote invocation that checks
+//!   reachability, charges wire bytes/latency per [`ProtocolStack`], and
+//!   then runs a closure against the target service object;
+//! * [`Env::multicast`] — a one-to-group transmission (discovery);
+//! * [`Env::schedule`] / [`Env::schedule_every`] — timers that drive
+//!   leases, renewals, sampling and monitors;
+//! * fault injection (`crash_host`, `partition`, …).
+//!
+//! The model is a *synchronous-call discrete-event simulation*: a remote
+//! call executes its handler inline while the clock advances by the
+//! simulated propagation and processing time. Concurrent branches are
+//! expressed with [`Env::parallel`], which runs each branch from a common
+//! start time and merges to the latest completion (fork/max-merge). This
+//! keeps the whole middleware deterministic and single-threaded while still
+//! producing honest virtual-time and bytes-on-wire measurements.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::rc::Rc;
+
+use crate::metrics::{keys, Metrics};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{HostId, HostKind, NetError, Topology};
+use crate::wire::ProtocolStack;
+
+/// Identifier of a deployed service object.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ServiceId(pub u64);
+
+impl std::fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "svc{}", self.0)
+    }
+}
+
+/// Identifier of a scheduled timer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+/// Tunables of the simulation kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct EnvConfig {
+    /// RNG seed; everything stochastic derives from it.
+    pub seed: u64,
+    /// How long a requestor waits before declaring a call dead when the
+    /// destination is unreachable or an unreliable packet is lost.
+    pub call_timeout: SimDuration,
+    /// Retransmission budget for reliable stacks before giving up.
+    pub max_retransmits: u32,
+    /// Simulated per-call processing cost on the callee (scheduling,
+    /// dispatch, marshalling) added on top of wire time.
+    pub dispatch_cost: SimDuration,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            seed: 0xC0FFEE,
+            call_timeout: SimDuration::from_secs(2),
+            max_retransmits: 8,
+            dispatch_cost: SimDuration::from_micros(50),
+        }
+    }
+}
+
+struct ServiceSlot {
+    host: HostId,
+    name: String,
+    obj: Rc<RefCell<dyn Any>>,
+}
+
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    id: TimerId,
+    callback: Box<dyn FnOnce(&mut Env)>,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Earlier deadline first; FIFO among equal deadlines via `seq`.
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Handle to a repeating timer; dropping it does *not* cancel the timer,
+/// call [`RepeatHandle::cancel`] explicitly.
+#[derive(Clone, Debug)]
+pub struct RepeatHandle(Rc<std::cell::Cell<bool>>);
+
+impl RepeatHandle {
+    /// Stop future firings (the current firing, if in progress, completes).
+    pub fn cancel(&self) {
+        self.0.set(false);
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.0.get()
+    }
+}
+
+/// The simulation world. See the module docs for the interaction model.
+pub struct Env {
+    pub config: EnvConfig,
+    pub topo: Topology,
+    pub metrics: Metrics,
+    clock: SimTime,
+    rng: SimRng,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    cancelled: std::collections::HashSet<TimerId>,
+    next_timer_seq: u64,
+    services: BTreeMap<ServiceId, ServiceSlot>,
+    next_service: u64,
+}
+
+impl Env {
+    pub fn new(config: EnvConfig) -> Self {
+        Env {
+            rng: SimRng::new(config.seed),
+            config,
+            topo: Topology::new(),
+            metrics: Metrics::new(),
+            clock: SimTime::ZERO,
+            timers: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            next_timer_seq: 0,
+            services: BTreeMap::new(),
+            next_service: 0,
+        }
+    }
+
+    /// A world with default configuration and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Env::new(EnvConfig { seed, ..EnvConfig::default() })
+    }
+
+    // ------------------------------------------------------------------
+    // Clock and randomness
+    // ------------------------------------------------------------------
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Advance the clock by a simulated processing cost.
+    #[inline]
+    pub fn consume(&mut self, d: SimDuration) {
+        self.clock += d;
+    }
+
+    /// Mutable access to the deterministic RNG.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Fork an independent RNG stream (e.g. for a sensor probe).
+    pub fn fork_rng(&mut self) -> SimRng {
+        self.rng.fork()
+    }
+
+    // ------------------------------------------------------------------
+    // Hosts and faults
+    // ------------------------------------------------------------------
+
+    /// Add a host to the topology.
+    pub fn add_host(&mut self, name: impl Into<String>, kind: HostKind) -> HostId {
+        self.topo.add_host(name, kind)
+    }
+
+    /// Crash a host: it stops responding; its services stay deployed and
+    /// come back verbatim on [`Env::restart_host`] (the paper's "when it is
+    /// up the node is immediately available" behaviour).
+    pub fn crash_host(&mut self, host: HostId) {
+        if let Some(h) = self.topo.host_mut(host) {
+            h.alive = false;
+        }
+    }
+
+    /// Bring a crashed host back.
+    pub fn restart_host(&mut self, host: HostId) {
+        if let Some(h) = self.topo.host_mut(host) {
+            h.alive = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Service deployment
+    // ------------------------------------------------------------------
+
+    /// Deploy a service object on a host and return its id.
+    pub fn deploy<T: Any>(&mut self, host: HostId, name: impl Into<String>, obj: T) -> ServiceId {
+        self.deploy_shared(host, name, Rc::new(RefCell::new(obj)))
+    }
+
+    /// Deploy a pre-wrapped (possibly externally shared) service object.
+    pub fn deploy_shared<T: Any>(
+        &mut self,
+        host: HostId,
+        name: impl Into<String>,
+        obj: Rc<RefCell<T>>,
+    ) -> ServiceId {
+        let id = ServiceId(self.next_service);
+        self.next_service += 1;
+        self.services.insert(id, ServiceSlot { host, name: name.into(), obj });
+        id
+    }
+
+    /// Remove a service. Returns true if it was deployed.
+    pub fn undeploy(&mut self, id: ServiceId) -> bool {
+        self.services.remove(&id).is_some()
+    }
+
+    /// The host a service runs on.
+    pub fn service_host(&self, id: ServiceId) -> Option<HostId> {
+        self.services.get(&id).map(|s| s.host)
+    }
+
+    /// The deployment name of a service.
+    pub fn service_name(&self, id: ServiceId) -> Option<&str> {
+        self.services.get(&id).map(|s| s.name.as_str())
+    }
+
+    /// Ids of all services deployed on `host`, in id order.
+    pub fn services_on(&self, host: HostId) -> Vec<ServiceId> {
+        self.services
+            .iter()
+            .filter(|(_, s)| s.host == host)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Find a deployed service by its deployment name.
+    pub fn find_service(&self, name: &str) -> Option<ServiceId> {
+        self.services
+            .iter()
+            .find(|(_, s)| s.name == name)
+            .map(|(id, _)| *id)
+    }
+
+    /// Whether the service is deployed *and* its host is alive.
+    pub fn is_service_up(&self, id: ServiceId) -> bool {
+        self.services
+            .get(&id)
+            .is_some_and(|s| self.topo.is_alive(s.host))
+    }
+
+    /// Whether the deployed service object is of concrete type `T`.
+    pub fn service_is<T: Any>(&self, id: ServiceId) -> bool {
+        self.services
+            .get(&id)
+            .is_some_and(|s| s.obj.borrow().downcast_ref::<T>().is_some())
+    }
+
+    /// Run a closure against a service object with **no** network
+    /// accounting. This is the local (same-process) access path and the
+    /// escape hatch for tests.
+    pub fn with_service<T: Any, R>(
+        &mut self,
+        id: ServiceId,
+        f: impl FnOnce(&mut Env, &mut T) -> R,
+    ) -> Result<R, NetError> {
+        let slot = self.services.get(&id).ok_or(NetError::NoSuchService)?;
+        let obj = Rc::clone(&slot.obj);
+        let mut borrow = obj.borrow_mut();
+        let typed = borrow
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("service {id} is not a {}", std::any::type_name::<T>()));
+        Ok(f(self, typed))
+    }
+
+    // ------------------------------------------------------------------
+    // Remote calls
+    // ------------------------------------------------------------------
+
+    /// Account a one-way transfer of `payload` bytes from `from` to `to`
+    /// over `stack`, advancing the clock by the transfer time. Returns the
+    /// transfer duration, or an error when the loss model defeats delivery.
+    fn transfer(
+        &mut self,
+        from: HostId,
+        to: HostId,
+        stack: ProtocolStack,
+        payload: usize,
+    ) -> Result<SimDuration, NetError> {
+        let link = self.topo.link(from, to);
+        let packets = stack.packets_for(payload);
+        let wire = stack.bytes_on_wire(payload);
+
+        self.metrics.add_host(from, keys::BYTES_PAYLOAD, payload as u64);
+        self.metrics.add_host(from, keys::BYTES_WIRE, wire as u64);
+        self.metrics.add_host(from, keys::PACKETS, packets as u64);
+
+        let mut extra = SimDuration::ZERO;
+        for _ in 0..packets {
+            let mut attempts = 0u32;
+            while self.rng.chance(link.loss) {
+                self.metrics.add(keys::PACKETS_LOST, 1);
+                if !stack.is_reliable() {
+                    // Fire-and-forget: the requestor only notices at its
+                    // timeout.
+                    self.clock += self.config.call_timeout;
+                    return Err(NetError::Lost);
+                }
+                attempts += 1;
+                if attempts > self.config.max_retransmits {
+                    self.clock += self.config.call_timeout;
+                    return Err(NetError::Timeout);
+                }
+                // Retransmission: another copy of the packet on the wire
+                // after an RTO-ish back-off.
+                self.metrics.add(keys::RETRANSMITS, 1);
+                self.metrics
+                    .add_host(from, keys::BYTES_WIRE, stack.header_bytes() as u64 + 64);
+                extra += link.base_latency * 2u64.pow(attempts.min(6));
+            }
+        }
+
+        let delay = link.delay(wire, &mut self.rng) + extra;
+        self.clock += delay;
+        Ok(delay)
+    }
+
+    /// A synchronous remote invocation.
+    ///
+    /// Checks reachability, transfers `req_bytes` from the caller's host to
+    /// the service's host, runs `f` against the service object (which may
+    /// itself advance the clock, e.g. by making nested calls), then
+    /// transfers the response bytes back. `f` returns the result value and
+    /// the response payload size.
+    ///
+    /// On unreachability the caller's clock advances by the configured
+    /// call timeout before the error returns — exactly the cost a real
+    /// requestor pays to find out.
+    pub fn call<T: Any, R>(
+        &mut self,
+        from: HostId,
+        to: ServiceId,
+        stack: ProtocolStack,
+        req_bytes: usize,
+        f: impl FnOnce(&mut Env, &mut T) -> (R, usize),
+    ) -> Result<R, NetError> {
+        let slot = match self.services.get(&to) {
+            Some(s) => s,
+            None => {
+                // Host may well be up: a connection is refused quickly.
+                self.clock += SimDuration::from_micros(500);
+                self.metrics.add(keys::CALLS_FAILED, 1);
+                return Err(NetError::NoSuchService);
+            }
+        };
+        let dest = slot.host;
+        let obj = Rc::clone(&slot.obj);
+
+        if let Err(e) = self.topo.check_path(from, dest) {
+            self.clock += self.config.call_timeout;
+            self.metrics.add(keys::CALLS_FAILED, 1);
+            return Err(e);
+        }
+
+        // Connection management overhead (charged once per exchange).
+        let setup = stack.setup_bytes();
+        if setup > 0 {
+            self.metrics.add_host(from, keys::BYTES_WIRE, setup as u64);
+        }
+
+        if let Err(e) = self.transfer(from, dest, stack, req_bytes) {
+            self.metrics.add(keys::CALLS_FAILED, 1);
+            return Err(e);
+        }
+
+        self.clock += self.config.dispatch_cost;
+
+        let (value, resp_bytes) = {
+            let mut borrow = match obj.try_borrow_mut() {
+                Ok(b) => b,
+                Err(_) => {
+                    // Re-entrant call: this service is already executing a
+                    // request somewhere up the current call chain — a call
+                    // cycle. Surface it as an error instead of panicking.
+                    self.metrics.add(keys::CALLS_FAILED, 1);
+                    return Err(NetError::Busy);
+                }
+            };
+            let typed = borrow.downcast_mut::<T>().unwrap_or_else(|| {
+                panic!("service {to} is not a {}", std::any::type_name::<T>())
+            });
+            f(self, typed)
+        };
+
+        if let Err(e) = self.transfer(dest, from, stack, resp_bytes) {
+            self.metrics.add(keys::CALLS_FAILED, 1);
+            return Err(e);
+        }
+
+        self.metrics.add(keys::CALLS_OK, 1);
+        Ok(value)
+    }
+
+    /// Account a one-way message (no reply expected) from `from` to `to`,
+    /// such as a remote-event delivery. Checks the path, charges bytes and
+    /// latency, and returns the transfer time.
+    pub fn send_oneway(
+        &mut self,
+        from: HostId,
+        to: HostId,
+        stack: ProtocolStack,
+        payload: usize,
+    ) -> Result<SimDuration, NetError> {
+        self.topo.check_path(from, to)?;
+        self.transfer(from, to, stack, payload)
+    }
+
+    /// One-to-group transmission (e.g. a multicast discovery request):
+    /// one send, delivered independently to every *other* group member
+    /// whose path from `from` is currently intact and passes the loss
+    /// model. Returns the hosts that received the packet.
+    pub fn multicast(
+        &mut self,
+        from: HostId,
+        group: &str,
+        stack: ProtocolStack,
+        payload: usize,
+    ) -> Vec<HostId> {
+        self.metrics.add(keys::MULTICASTS, 1);
+        let wire = stack.bytes_on_wire(payload);
+        self.metrics.add_host(from, keys::BYTES_PAYLOAD, payload as u64);
+        self.metrics.add_host(from, keys::BYTES_WIRE, wire as u64);
+        self.metrics
+            .add_host(from, keys::PACKETS, stack.packets_for(payload) as u64);
+
+        let members = self.topo.group_members(group);
+        let mut delivered = Vec::new();
+        let mut max_delay = SimDuration::ZERO;
+        for m in members {
+            if m == from || self.topo.check_path(from, m).is_err() {
+                continue;
+            }
+            let link = self.topo.link(from, m);
+            if self.rng.chance(link.loss) {
+                self.metrics.add(keys::PACKETS_LOST, 1);
+                continue;
+            }
+            max_delay = max_delay.max(link.delay(wire, &mut self.rng));
+            delivered.push(m);
+        }
+        self.clock += max_delay;
+        delivered
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Schedule `f` to run at absolute time `at` (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Env) + 'static) -> TimerId {
+        let seq = self.next_timer_seq;
+        self.next_timer_seq += 1;
+        let id = TimerId(seq);
+        let at = at.max(self.clock);
+        self.timers.push(Reverse(TimerEntry { at, seq, id, callback: Box::new(f) }));
+        id
+    }
+
+    /// Schedule `f` to run `after` from now.
+    pub fn schedule(&mut self, after: SimDuration, f: impl FnOnce(&mut Env) + 'static) -> TimerId {
+        let at = self.clock + after;
+        self.schedule_at(at, f)
+    }
+
+    /// Cancel a pending one-shot timer. No effect if already fired.
+    pub fn cancel(&mut self, id: TimerId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Schedule `f` to run every `interval`, starting after `first_after`.
+    /// The closure keeps firing until it returns `false` or the returned
+    /// handle is cancelled.
+    pub fn schedule_every(
+        &mut self,
+        first_after: SimDuration,
+        interval: SimDuration,
+        f: impl FnMut(&mut Env) -> bool + 'static,
+    ) -> RepeatHandle {
+        assert!(!interval.is_zero(), "repeating timer needs a nonzero interval");
+        let alive = Rc::new(std::cell::Cell::new(true));
+        let handle = RepeatHandle(Rc::clone(&alive));
+        let f = Rc::new(RefCell::new(f));
+        fn arm(
+            env: &mut Env,
+            after: SimDuration,
+            interval: SimDuration,
+            alive: Rc<std::cell::Cell<bool>>,
+            f: Rc<RefCell<dyn FnMut(&mut Env) -> bool>>,
+        ) {
+            env.schedule(after, move |env| {
+                if !alive.get() {
+                    return;
+                }
+                let keep = (f.borrow_mut())(env);
+                if keep && alive.get() {
+                    arm(env, interval, interval, alive, f);
+                } else {
+                    alive.set(false);
+                }
+            });
+        }
+        arm(self, first_after, interval, alive, f);
+        handle
+    }
+
+    /// Number of pending (non-cancelled) timers.
+    pub fn pending_timers(&self) -> usize {
+        self.timers
+            .iter()
+            .filter(|Reverse(t)| !self.cancelled.contains(&t.id))
+            .count()
+    }
+
+    /// Fire the next pending timer, if any, advancing the clock to its
+    /// deadline. Returns whether a timer fired.
+    pub fn step(&mut self) -> bool {
+        while let Some(Reverse(entry)) = self.timers.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            // Synchronous-call DES: handlers can push the clock past later
+            // deadlines, in which case those fire "late" at the current
+            // clock — never earlier than their scheduled time.
+            self.clock = self.clock.max(entry.at);
+            (entry.callback)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Process every timer due up to `t`, then set the clock to at least `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        loop {
+            let due = matches!(self.timers.peek(), Some(Reverse(e)) if e.at <= t);
+            if !due {
+                break;
+            }
+            self.step();
+        }
+        self.clock = self.clock.max(t);
+    }
+
+    /// Process timers for the next `d` of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.clock + d;
+        self.run_until(t);
+    }
+
+    /// Run until no timers remain or the clock passes `limit`.
+    pub fn run_until_idle(&mut self, limit: SimTime) {
+        while self.clock < limit {
+            let next_at = match self.timers.peek() {
+                Some(Reverse(e)) => e.at,
+                None => break,
+            };
+            if next_at > limit {
+                break;
+            }
+            self.step();
+        }
+        if self.clock < limit && self.timers.is_empty() {
+            // Nothing left to do; stay at the current instant.
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Simulated parallelism
+    // ------------------------------------------------------------------
+
+    /// Run `branches` as if they executed concurrently from the current
+    /// instant: each branch starts at the same time, and the clock ends at
+    /// the *latest* branch completion (fork/max-merge). Results are in
+    /// branch order.
+    pub fn parallel<T>(&mut self, branches: Vec<Box<dyn FnOnce(&mut Env) -> T + '_>>) -> Vec<T> {
+        let t0 = self.clock;
+        let mut end = t0;
+        let mut out = Vec::with_capacity(branches.len());
+        for branch in branches {
+            self.clock = t0;
+            out.push(branch(self));
+            end = end.max(self.clock);
+        }
+        self.clock = end;
+        out
+    }
+}
+
+impl std::fmt::Debug for Env {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Env")
+            .field("now", &self.clock)
+            .field("hosts", &self.topo.host_count())
+            .field("services", &self.services.len())
+            .field("pending_timers", &self.timers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        hits: u32,
+    }
+
+    fn two_host_env() -> (Env, HostId, HostId) {
+        let mut env = Env::with_seed(1);
+        let a = env.add_host("a", HostKind::Workstation);
+        let b = env.add_host("b", HostKind::Server);
+        (env, a, b)
+    }
+
+    #[test]
+    fn deploy_and_call() {
+        let (mut env, a, b) = two_host_env();
+        let svc = env.deploy(b, "echo", Echo { hits: 0 });
+        let before = env.now();
+        let n = env
+            .call(a, svc, ProtocolStack::Tcp, 100, |_env, e: &mut Echo| {
+                e.hits += 1;
+                (e.hits, 8)
+            })
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(env.now() > before, "a call takes virtual time");
+        assert_eq!(env.metrics.get(keys::CALLS_OK), 1);
+        assert!(env.metrics.get(keys::BYTES_WIRE) > 108);
+    }
+
+    #[test]
+    fn call_to_missing_service_fails_fast() {
+        let (mut env, a, _) = two_host_env();
+        let err = env
+            .call(a, ServiceId(42), ProtocolStack::Udp, 10, |_e, _x: &mut Echo| ((), 0))
+            .unwrap_err();
+        assert_eq!(err, NetError::NoSuchService);
+        assert_eq!(env.metrics.get(keys::CALLS_FAILED), 1);
+    }
+
+    #[test]
+    fn call_to_crashed_host_times_out() {
+        let (mut env, a, b) = two_host_env();
+        let svc = env.deploy(b, "echo", Echo { hits: 0 });
+        env.crash_host(b);
+        let t0 = env.now();
+        let err = env
+            .call(a, svc, ProtocolStack::Tcp, 10, |_e, _x: &mut Echo| ((), 0))
+            .unwrap_err();
+        assert_eq!(err, NetError::HostDown);
+        assert_eq!(env.now() - t0, env.config.call_timeout);
+        env.restart_host(b);
+        assert!(env
+            .call(a, svc, ProtocolStack::Tcp, 10, |_e, x: &mut Echo| (x.hits, 0))
+            .is_ok());
+    }
+
+    #[test]
+    fn partition_blocks_calls() {
+        let (mut env, a, b) = two_host_env();
+        let svc = env.deploy(b, "echo", Echo { hits: 0 });
+        env.topo.partition(a, b);
+        let err = env
+            .call(a, svc, ProtocolStack::Udp, 10, |_e, _x: &mut Echo| ((), 0))
+            .unwrap_err();
+        assert_eq!(err, NetError::Partitioned);
+        env.topo.heal(a, b);
+        assert!(env
+            .call(a, svc, ProtocolStack::Udp, 10, |_e, _x: &mut Echo| ((), 0))
+            .is_ok());
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut env = Env::with_seed(2);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(vec![]));
+        for (delay_ms, tag) in [(30u64, 3u32), (10, 1), (20, 2)] {
+            let log = Rc::clone(&log);
+            env.schedule(SimDuration::from_millis(delay_ms), move |_env| {
+                log.borrow_mut().push(tag);
+            });
+        }
+        env.run_for(SimDuration::from_millis(100));
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_deadline_timers_fire_fifo() {
+        let mut env = Env::with_seed(2);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(vec![]));
+        for tag in 0..5u32 {
+            let log = Rc::clone(&log);
+            env.schedule(SimDuration::from_millis(10), move |_env| {
+                log.borrow_mut().push(tag);
+            });
+        }
+        env.run_for(SimDuration::from_millis(10));
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mut env = Env::with_seed(3);
+        let fired = Rc::new(std::cell::Cell::new(false));
+        let f2 = Rc::clone(&fired);
+        let id = env.schedule(SimDuration::from_millis(5), move |_env| f2.set(true));
+        env.cancel(id);
+        env.run_for(SimDuration::from_millis(50));
+        assert!(!fired.get());
+        assert_eq!(env.pending_timers(), 0);
+    }
+
+    #[test]
+    fn repeating_timer_fires_until_cancelled() {
+        let mut env = Env::with_seed(4);
+        let count = Rc::new(std::cell::Cell::new(0u32));
+        let c2 = Rc::clone(&count);
+        let handle = env.schedule_every(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(10),
+            move |_env| {
+                c2.set(c2.get() + 1);
+                true
+            },
+        );
+        env.run_for(SimDuration::from_millis(55));
+        assert_eq!(count.get(), 5);
+        handle.cancel();
+        env.run_for(SimDuration::from_millis(100));
+        assert_eq!(count.get(), 5, "no firings after cancel");
+        assert!(!handle.is_active());
+    }
+
+    #[test]
+    fn repeating_timer_stops_when_closure_returns_false() {
+        let mut env = Env::with_seed(5);
+        let count = Rc::new(std::cell::Cell::new(0u32));
+        let c2 = Rc::clone(&count);
+        let handle = env.schedule_every(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(1),
+            move |_env| {
+                c2.set(c2.get() + 1);
+                c2.get() < 3
+            },
+        );
+        env.run_for(SimDuration::from_millis(100));
+        assert_eq!(count.get(), 3);
+        assert!(!handle.is_active());
+    }
+
+    #[test]
+    fn parallel_merges_to_latest_branch() {
+        let mut env = Env::with_seed(6);
+        let t0 = env.now();
+        let results = env.parallel::<u64>(vec![
+            Box::new(|env| {
+                env.consume(SimDuration::from_millis(10));
+                1
+            }),
+            Box::new(|env| {
+                env.consume(SimDuration::from_millis(30));
+                2
+            }),
+            Box::new(|env| {
+                env.consume(SimDuration::from_millis(20));
+                3
+            }),
+        ]);
+        assert_eq!(results, vec![1, 2, 3]);
+        assert_eq!(env.now() - t0, SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn multicast_reaches_group_members_only() {
+        let mut env = Env::with_seed(7);
+        let a = env.add_host("a", HostKind::Server);
+        let b = env.add_host("b", HostKind::Server);
+        let c = env.add_host("c", HostKind::Server);
+        let d = env.add_host("d", HostKind::Server);
+        for h in [a, b, c] {
+            env.topo.join_group(h, "public");
+        }
+        env.crash_host(c);
+        let got = env.multicast(a, "public", ProtocolStack::Udp, 64);
+        assert_eq!(got, vec![b], "sender, non-members and dead hosts excluded");
+        let _ = d;
+        assert_eq!(env.metrics.get(keys::MULTICASTS), 1);
+    }
+
+    #[test]
+    fn with_service_is_free_of_network_cost() {
+        let (mut env, _a, b) = two_host_env();
+        let svc = env.deploy(b, "echo", Echo { hits: 0 });
+        let t0 = env.now();
+        env.with_service(svc, |_env, e: &mut Echo| e.hits += 10).unwrap();
+        assert_eq!(env.now(), t0);
+        let hits = env.with_service(svc, |_env, e: &mut Echo| e.hits).unwrap();
+        assert_eq!(hits, 10);
+    }
+
+    #[test]
+    fn undeploy_then_call_fails() {
+        let (mut env, a, b) = two_host_env();
+        let svc = env.deploy(b, "echo", Echo { hits: 0 });
+        assert!(env.undeploy(svc));
+        assert!(!env.undeploy(svc));
+        let err = env
+            .call(a, svc, ProtocolStack::Udp, 1, |_e, _x: &mut Echo| ((), 0))
+            .unwrap_err();
+        assert_eq!(err, NetError::NoSuchService);
+    }
+
+    #[test]
+    fn service_queries() {
+        let (mut env, _a, b) = two_host_env();
+        let s1 = env.deploy(b, "one", Echo { hits: 0 });
+        let s2 = env.deploy(b, "two", Echo { hits: 0 });
+        assert_eq!(env.services_on(b), vec![s1, s2]);
+        assert_eq!(env.find_service("two"), Some(s2));
+        assert_eq!(env.find_service("none"), None);
+        assert_eq!(env.service_host(s1), Some(b));
+        assert_eq!(env.service_name(s2), Some("two"));
+        assert!(env.is_service_up(s1));
+        env.crash_host(b);
+        assert!(!env.is_service_up(s1));
+    }
+
+    #[test]
+    fn lossy_udp_calls_eventually_fail() {
+        let (mut env, a, b) = two_host_env();
+        let svc = env.deploy(b, "echo", Echo { hits: 0 });
+        env.topo.set_link(
+            a,
+            b,
+            crate::topology::LinkModel { loss: 1.0, ..crate::topology::LinkModel::lan() },
+        );
+        let err = env
+            .call(a, svc, ProtocolStack::Udp, 10, |_e, _x: &mut Echo| ((), 0))
+            .unwrap_err();
+        assert_eq!(err, NetError::Lost);
+        assert!(env.metrics.get(keys::PACKETS_LOST) >= 1);
+    }
+
+    #[test]
+    fn lossy_tcp_calls_retransmit_and_succeed() {
+        let (mut env, a, b) = two_host_env();
+        let svc = env.deploy(b, "echo", Echo { hits: 0 });
+        env.topo.set_link(
+            a,
+            b,
+            crate::topology::LinkModel { loss: 0.3, ..crate::topology::LinkModel::lan() },
+        );
+        let mut ok = 0;
+        for _ in 0..50 {
+            if env
+                .call(a, svc, ProtocolStack::Tcp, 32, |_e, x: &mut Echo| {
+                    x.hits += 1;
+                    ((), 8)
+                })
+                .is_ok()
+            {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 45, "TCP should survive 30% loss: {ok}/50");
+        assert!(env.metrics.get(keys::RETRANSMITS) > 0);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut env = Env::with_seed(8);
+        env.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        assert_eq!(env.now().as_secs_f64(), 10.0);
+    }
+
+    #[test]
+    fn run_until_idle_stops_at_queue_exhaustion_or_limit() {
+        let mut env = Env::with_seed(9);
+        let count = Rc::new(std::cell::Cell::new(0u32));
+        for i in 1..=5u64 {
+            let c = Rc::clone(&count);
+            env.schedule(SimDuration::from_secs(i), move |_env| c.set(c.get() + 1));
+        }
+        // Limit cuts the run short: only timers at 1s and 2s fire.
+        env.run_until_idle(SimTime::ZERO + SimDuration::from_millis(2500));
+        assert_eq!(count.get(), 2);
+        // No limit pressure: the rest drain and the clock stops at the
+        // last firing, not at the limit.
+        env.run_until_idle(SimTime::ZERO + SimDuration::from_secs(100));
+        assert_eq!(count.get(), 5);
+        assert_eq!(env.now(), SimTime::ZERO + SimDuration::from_secs(5));
+        assert_eq!(env.pending_timers(), 0);
+    }
+
+    #[test]
+    fn send_oneway_accounts_and_respects_faults() {
+        let (mut env, a, b) = two_host_env();
+        let before = env.metrics.get(keys::BYTES_WIRE);
+        let dt = env.send_oneway(a, b, ProtocolStack::Udp, 100).unwrap();
+        assert!(dt > SimDuration::ZERO);
+        assert!(env.metrics.delta(keys::BYTES_WIRE, before) > 100);
+        env.crash_host(b);
+        assert_eq!(
+            env.send_oneway(a, b, ProtocolStack::Udp, 100).unwrap_err(),
+            NetError::HostDown
+        );
+        env.restart_host(b);
+        env.topo.partition(a, b);
+        assert_eq!(
+            env.send_oneway(a, b, ProtocolStack::Udp, 100).unwrap_err(),
+            NetError::Partitioned
+        );
+    }
+
+    #[test]
+    fn reentrant_call_reports_busy_not_panic() {
+        let mut env = Env::with_seed(10);
+        let h = env.add_host("h", HostKind::Server);
+        struct Selfish {
+            me: Option<ServiceId>,
+        }
+        let svc = env.deploy(h, "selfish", Selfish { me: None });
+        env.with_service(svc, |_e, s: &mut Selfish| s.me = Some(svc)).unwrap();
+        let result = env.call(h, svc, ProtocolStack::Tcp, 8, |env, s: &mut Selfish| {
+            // Call back into ourselves while borrowed: must error cleanly.
+            let me = s.me.expect("set above");
+            let inner = env.call(h, me, ProtocolStack::Tcp, 8, |_e, _s: &mut Selfish| ((), 0));
+            (inner, 8)
+        });
+        assert_eq!(result.unwrap().unwrap_err(), NetError::Busy);
+    }
+}

@@ -1,0 +1,219 @@
+//! Measurement plumbing: counters and histograms.
+//!
+//! The benchmark harness reads everything it reports from here. Counters
+//! are keyed by a free-form category string (e.g. `"bytes.payload"`,
+//! `"packets.udp"`) plus optional per-host attribution, so experiments can
+//! ask questions like "how many bytes crossed the TCI's link?" (B7).
+
+use std::collections::BTreeMap;
+
+use crate::topology::HostId;
+
+/// Monotonic counters and recorded samples for one simulation run.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    per_host: BTreeMap<(HostId, String), u64>,
+    samples: BTreeMap<String, Vec<f64>>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Add `n` to the counter `key`.
+    pub fn add(&mut self, key: &str, n: u64) {
+        *self.counters.entry(key.to_string()).or_insert(0) += n;
+    }
+
+    /// Add `n` to the counter `key` attributed to `host` (and to the global
+    /// counter of the same name).
+    pub fn add_host(&mut self, host: HostId, key: &str, n: u64) {
+        self.add(key, n);
+        *self.per_host.entry((host, key.to_string())).or_insert(0) += n;
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Current per-host value of a counter.
+    pub fn get_host(&self, host: HostId, key: &str) -> u64 {
+        self.per_host.get(&(host, key.to_string())).copied().unwrap_or(0)
+    }
+
+    /// Record one sample into the named series (latencies, sizes, ...).
+    pub fn record(&mut self, key: &str, value: f64) {
+        self.samples.entry(key.to_string()).or_default().push(value);
+    }
+
+    /// Summary statistics over a recorded series, if any samples exist.
+    pub fn summary(&self, key: &str) -> Option<Summary> {
+        let xs = self.samples.get(key)?;
+        Summary::of(xs)
+    }
+
+    /// All counter keys with their values, in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Per-host counters for a key, in host order.
+    pub fn hosts_for(&self, key: &str) -> Vec<(HostId, u64)> {
+        self.per_host
+            .iter()
+            .filter(|((_, k), _)| k == key)
+            .map(|((h, _), v)| (*h, *v))
+            .collect()
+    }
+
+    /// Reset everything (used between benchmark phases sharing an Env).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.per_host.clear();
+        self.samples.clear();
+    }
+
+    /// Difference of a counter against a previous snapshot value.
+    pub fn delta(&self, key: &str, before: u64) -> u64 {
+        self.get(key).saturating_sub(before)
+    }
+}
+
+/// Order statistics of a sample series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Compute a summary; returns `None` for an empty slice.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("metrics must not record NaN"));
+        let q = |p: f64| -> f64 {
+            // Nearest-rank percentile.
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        Some(Summary {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
+        })
+    }
+}
+
+/// Well-known counter keys used by the simulation kernel. Middleware crates
+/// add their own keys on top.
+pub mod keys {
+    /// Application payload bytes handed to the network.
+    pub const BYTES_PAYLOAD: &str = "net.bytes.payload";
+    /// Total bytes on the wire including all protocol headers.
+    pub const BYTES_WIRE: &str = "net.bytes.wire";
+    /// Data packets transmitted (after fragmentation).
+    pub const PACKETS: &str = "net.packets";
+    /// Logical request/response calls completed successfully.
+    pub const CALLS_OK: &str = "net.calls.ok";
+    /// Logical calls that failed (loss, partition, crash, timeout).
+    pub const CALLS_FAILED: &str = "net.calls.failed";
+    /// Packets dropped by the loss model.
+    pub const PACKETS_LOST: &str = "net.packets.lost";
+    /// Retransmitted packets (reliable stacks only).
+    pub const RETRANSMITS: &str = "net.retransmits";
+    /// Multicast transmissions.
+    pub const MULTICASTS: &str = "net.multicasts";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.add("x", 3);
+        m.add("x", 4);
+        assert_eq!(m.get("x"), 7);
+        assert_eq!(m.get("missing"), 0);
+    }
+
+    #[test]
+    fn per_host_attribution_feeds_global() {
+        let mut m = Metrics::new();
+        let h1 = HostId(1);
+        let h2 = HostId(2);
+        m.add_host(h1, "bytes", 10);
+        m.add_host(h2, "bytes", 5);
+        assert_eq!(m.get("bytes"), 15);
+        assert_eq!(m.get_host(h1, "bytes"), 10);
+        assert_eq!(m.get_host(h2, "bytes"), 5);
+        assert_eq!(m.hosts_for("bytes"), vec![(h1, 10), (h2, 5)]);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p99, 99.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        let m = Metrics::new();
+        assert!(m.summary("nothing").is_none());
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p99, 7.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn record_and_summarize_via_metrics() {
+        let mut m = Metrics::new();
+        for v in [5.0, 1.0, 3.0] {
+            m.record("lat", v);
+        }
+        let s = m.summary("lat").unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn clear_and_delta() {
+        let mut m = Metrics::new();
+        m.add("x", 9);
+        let before = m.get("x");
+        m.add("x", 6);
+        assert_eq!(m.delta("x", before), 6);
+        m.clear();
+        assert_eq!(m.get("x"), 0);
+    }
+}

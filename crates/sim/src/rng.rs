@@ -1,0 +1,228 @@
+//! Deterministic randomness for the simulation.
+//!
+//! Every stochastic choice in the simulator — latency jitter, packet loss,
+//! sensor noise, failure schedules — draws from a single [`SimRng`] seeded
+//! by the experiment configuration, so a run is exactly reproducible from
+//! its seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// Seedable random source used throughout the simulation.
+///
+/// Wraps [`StdRng`] and adds the handful of distributions the simulator
+/// needs (normal deviates via Box–Muller, exponential inter-arrival times,
+/// multiplicative jitter) so no extra dependency is required.
+pub struct SimRng {
+    inner: StdRng,
+    /// Spare normal deviate from the last Box–Muller draw.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derive an independent child generator. Used to give subsystems
+    /// (e.g. each sensor probe) their own stream so adding one consumer
+    /// does not perturb the draws seen by the others.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.inner.gen())
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`. Returns `lo` when the range is empty.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            lo
+        } else {
+            self.inner.gen_range(lo..hi)
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `hi <= lo`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform index in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Standard normal deviate (mean 0, sd 1) via Box–Muller, caching the
+    /// spare value so consecutive calls cost one transcendental pair per two
+    /// draws.
+    pub fn std_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Box–Muller on two uniforms; reject u1 == 0 to keep ln finite.
+        let mut u1 = self.unit();
+        while u1 <= f64::EPSILON {
+            u1 = self.unit();
+        }
+        let u2 = self.unit();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.std_normal()
+    }
+
+    /// Exponential deviate with the given mean (inter-arrival times).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let mut u = self.unit();
+        while u <= f64::EPSILON {
+            u = self.unit();
+        }
+        -mean * u.ln()
+    }
+
+    /// Apply symmetric multiplicative jitter to a duration: the result is
+    /// uniform in `[d·(1-frac), d·(1+frac)]`. `frac = 0` returns `d`.
+    pub fn jitter(&mut self, d: SimDuration, frac: f64) -> SimDuration {
+        if frac <= 0.0 || d.is_zero() {
+            return d;
+        }
+        let k = self.range_f64(1.0 - frac, 1.0 + frac);
+        d.mul_f64(k.max(0.0))
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+impl std::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRng").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "independent streams should rarely collide");
+    }
+
+    #[test]
+    fn normal_moments_roughly_right() {
+        let mut rng = SimRng::new(7);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let mut rng = SimRng::new(9);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(3);
+        assert!(!rng.chance(0.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut rng = SimRng::new(5);
+        let base = SimDuration::from_millis(100);
+        for _ in 0..1000 {
+            let j = rng.jitter(base, 0.25);
+            assert!(j >= SimDuration::from_millis(75), "{j:?}");
+            assert!(j <= SimDuration::from_millis(125), "{j:?}");
+        }
+        assert_eq!(rng.jitter(base, 0.0), base);
+    }
+
+    #[test]
+    fn fork_is_independent_of_parent_consumption() {
+        let mut a = SimRng::new(11);
+        let mut fork1 = a.fork();
+        // Re-create the parent and fork at the same point: the fork streams match.
+        let mut b = SimRng::new(11);
+        let mut fork2 = b.fork();
+        for _ in 0..16 {
+            assert_eq!(fork1.next_u64(), fork2.next_u64());
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SimRng::new(13);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "50 elements should move");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the simulation substrate: wire-codec round trips,
+//! protocol-stack arithmetic, timer ordering, and metric summaries.
+
+use proptest::prelude::*;
+
+use sensorcer_sim::metrics::Summary;
+use sensorcer_sim::prelude::*;
+use sensorcer_sim::wire::{WireDecode, WireEncode};
+
+proptest! {
+    #[test]
+    fn codec_round_trips_nested_values(
+        xs in prop::collection::vec(any::<u64>(), 0..64),
+        opt in prop::option::of(any::<i64>()),
+        s in ".{0,48}",
+        pair in (any::<u32>(), any::<bool>()),
+    ) {
+        let mut wire = xs.to_wire();
+        prop_assert_eq!(Vec::<u64>::decode(&mut wire).unwrap(), xs);
+        let mut wire = opt.to_wire();
+        prop_assert_eq!(Option::<i64>::decode(&mut wire).unwrap(), opt);
+        let mut wire = s.to_wire();
+        prop_assert_eq!(String::decode(&mut wire).unwrap(), s);
+        let mut wire = pair.to_wire();
+        prop_assert_eq!(<(u32, bool)>::decode(&mut wire).unwrap(), pair);
+    }
+
+    #[test]
+    fn encoded_len_always_matches_encoding(xs in prop::collection::vec(".{0,16}", 0..16)) {
+        let owned: Vec<String> = xs;
+        prop_assert_eq!(owned.to_wire().len(), owned.encoded_len());
+    }
+
+    /// Truncating any valid encoding must produce an error, never a panic
+    /// or a bogus value that consumes the wrong amount.
+    #[test]
+    fn truncated_decode_errors_not_panics(
+        xs in prop::collection::vec(any::<u64>(), 1..16),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let wire = xs.to_wire();
+        let cut = ((wire.len() as f64) * cut_frac) as usize;
+        if cut < wire.len() {
+            let mut short = wire.slice(0..cut);
+            // Either a clean error, or (if the cut landed on a prefix of
+            // fewer whole elements) a shorter, valid prefix decode.
+            match Vec::<u64>::decode(&mut short) {
+                Err(_) => {}
+                Ok(prefix) => prop_assert!(prefix.len() <= xs.len()),
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_on_wire_exceeds_payload(payload in 0usize..100_000) {
+        for stack in [ProtocolStack::Tcp, ProtocolStack::Udp, ProtocolStack::Compact] {
+            let wire = stack.bytes_on_wire(payload);
+            prop_assert!(wire > payload, "{stack:?} {payload}");
+            prop_assert_eq!(wire, payload + stack.packets_for(payload) * stack.header_bytes());
+            // Fragmentation is exact.
+            prop_assert!(stack.packets_for(payload) >= 1);
+            prop_assert!(stack.packets_for(payload) <= payload / stack.mtu() + 1);
+        }
+    }
+
+    #[test]
+    fn overhead_ratio_decreases_with_payload(a in 1usize..1000, b in 1usize..1000) {
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        prop_assume!(small < large);
+        // Within a single packet, more payload means proportionally less
+        // header overhead.
+        let stack = ProtocolStack::Udp;
+        prop_assume!(large <= stack.mtu());
+        prop_assert!(stack.overhead_ratio(large) <= stack.overhead_ratio(small));
+    }
+
+    /// Timers always fire in deadline order regardless of insertion order.
+    #[test]
+    fn timers_fire_sorted(delays in prop::collection::vec(0u64..10_000, 1..40)) {
+        let mut env = Env::with_seed(1);
+        let fired: std::rc::Rc<std::cell::RefCell<Vec<u64>>> = Default::default();
+        for &d in &delays {
+            let fired = std::rc::Rc::clone(&fired);
+            env.schedule(SimDuration::from_millis(d), move |_env| {
+                fired.borrow_mut().push(d);
+            });
+        }
+        env.run_for(SimDuration::from_secs(11));
+        let got = fired.borrow().clone();
+        let mut want = delays.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn summary_invariants(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert_eq!(s.count, xs.len());
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+    }
+
+    /// A call between two live, connected hosts always succeeds on
+    /// loss-free links, and the clock strictly advances.
+    #[test]
+    fn lossless_calls_always_complete(req in 0usize..10_000, resp in 0usize..10_000) {
+        let mut env = Env::with_seed(3);
+        let a = env.add_host("a", HostKind::Server);
+        let b = env.add_host("b", HostKind::Server);
+        struct S;
+        let svc = env.deploy(b, "s", S);
+        let t0 = env.now();
+        let out = env.call(a, svc, ProtocolStack::Tcp, req, move |_e, _s: &mut S| ((), resp));
+        prop_assert!(out.is_ok());
+        prop_assert!(env.now() > t0);
+    }
+
+    /// Jitter always stays within the configured band.
+    #[test]
+    fn jitter_banded(base_ms in 1u64..1_000, frac in 0.0f64..0.9, seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let base = SimDuration::from_millis(base_ms);
+        for _ in 0..32 {
+            let j = rng.jitter(base, frac);
+            prop_assert!(j >= base.mul_f64(1.0 - frac - 1e-9));
+            prop_assert!(j <= base.mul_f64(1.0 + frac + 1e-9));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Reproduction of the paper's Fig. 2: the full service deployment as the
+//! zero-install sensor browser shows it — Jini infrastructure services,
+//! Rio cybernodes and monitor, four elementary temperature sensors, and
+//! the SenSORCER façade.
+//!
+//! ```text
+//! cargo run --example fig2_browser
+//! ```
+
+fn main() {
+    let (screen, model) = sensorcer_bench_free::fig2();
+    print!("{screen}");
+    println!(
+        "\n{} services listed; {} elementary sensors reporting values",
+        model.services.len(),
+        model.values.iter().filter(|(_, r)| r.is_ok()).count()
+    );
+}
+
+/// A tiny local shim so the example has no dependency on the bench crate:
+/// it recreates F2 from the public API directly.
+mod sensorcer_bench_free {
+    use sensorcer_core::prelude::*;
+    use sensorcer_sim::prelude::*;
+
+    pub fn fig2() -> (String, BrowserModel) {
+        let config = DeploymentConfig::fig2();
+        let mut env = Env::with_seed(config.seed);
+        let d = standard_deployment(&mut env, &config);
+        env.run_for(SimDuration::from_secs(10));
+
+        let mut model = BrowserModel::new();
+        model
+            .refresh_services(&mut env, d.workstation, d.facade)
+            .expect("facade reachable");
+        model
+            .select_service(&mut env, d.workstation, d.facade, "Neem-Sensor")
+            .expect("sensor deployed");
+        model.refresh_values(&mut env, d.workstation, d.facade);
+        (render_browser(&model), model)
+    }
+}

@@ -1,0 +1,91 @@
+//! Reproduction of the paper's Fig. 3 / §VI experiment, steps 1–6:
+//!
+//! 1. form a sensor subnet (Composite-Service) from Neem, Jade and
+//!    Diamond;
+//! 2. attach the expression `(a + b + c)/3`;
+//! 3. provision a new composite (New-Composite) onto a cybernode via Rio;
+//! 4. form the sensor network = { subnet, Coral-Sensor };
+//! 5. attach the expression `(a + b)/2`;
+//! 6. read the Sensor Value from the newly created composite.
+//!
+//! ```text
+//! cargo run --example fig3_logical_network
+//! ```
+
+use sensorcer_core::prelude::*;
+use sensorcer_sim::prelude::*;
+
+fn main() {
+    let config = DeploymentConfig::fig2();
+    let mut env = Env::with_seed(config.seed);
+    let d = standard_deployment(&mut env, &config);
+
+    deploy_csp(
+        &mut env,
+        CspConfig {
+            renewal: Some(d.renewal),
+            ..CspConfig::new(d.lab, "Composite-Service", d.lus)
+        },
+    )
+    .expect("composite deploys");
+
+    // Step 1
+    let vars = d
+        .facade
+        .compose_service(
+            &mut env,
+            d.workstation,
+            "Composite-Service",
+            &["Neem-Sensor", "Jade-Sensor", "Diamond-Sensor"],
+        )
+        .expect("step 1");
+    println!("step 1: subnet composed, variables {vars:?}");
+
+    // Step 2
+    d.facade
+        .add_expression(&mut env, d.workstation, "Composite-Service", "(a + b + c)/3")
+        .expect("step 2");
+    println!("step 2: expression (a + b + c)/3 attached");
+
+    // Step 3 — Rio provisioning through the façade's Sensor Service
+    // Provisioner: the monitor matches QoS and instantiates the composite
+    // on a cybernode.
+    d.facade
+        .create_service(&mut env, d.workstation, "New-Composite", &[], None)
+        .expect("step 3");
+    println!("step 3: New-Composite provisioned onto a cybernode");
+
+    // Step 4
+    d.facade
+        .compose_service(
+            &mut env,
+            d.workstation,
+            "New-Composite",
+            &["Composite-Service", "Coral-Sensor"],
+        )
+        .expect("step 4");
+    println!("step 4: network composed = [Composite-Service, Coral-Sensor]");
+
+    // Step 5
+    d.facade
+        .add_expression(&mut env, d.workstation, "New-Composite", "(a + b)/2")
+        .expect("step 5");
+    println!("step 5: expression (a + b)/2 attached");
+
+    // Step 6
+    let value = d
+        .facade
+        .get_value(&mut env, d.workstation, "New-Composite")
+        .expect("step 6");
+    println!("step 6: New-Composite = {:.3}{}", value.value, value.unit);
+
+    // Render the browser the way Fig. 3 shows it: info panel of the
+    // provisioned service plus the Sensor Value section.
+    let mut model = BrowserModel::new();
+    model.refresh_services(&mut env, d.workstation, d.facade).expect("list");
+    model
+        .select_service(&mut env, d.workstation, d.facade, "New-Composite")
+        .expect("info");
+    model.refresh_values(&mut env, d.workstation, d.facade);
+    println!("\n{}", render_browser(&model));
+}

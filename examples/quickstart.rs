@@ -1,0 +1,76 @@
+//! Quickstart: stand up a SenSORCER federation, read sensors, compose a
+//! logical network with a runtime expression, and read the composite —
+//! the paper's Measure–Compute–Communicate loop in ~60 lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sensorcer_core::prelude::*;
+use sensorcer_sim::prelude::*;
+
+fn main() {
+    // 1. A deterministic world with the paper's Fig. 2 deployment: Jini
+    //    infrastructure, Rio provisioning, four SunSPOT temperature
+    //    sensors and the SenSORCER façade.
+    let config = DeploymentConfig::fig2();
+    let mut env = Env::with_seed(config.seed);
+    let d = standard_deployment(&mut env, &config);
+    println!("deployment up at virtual time {}", env.now());
+
+    // 2. Measure: read each elementary sensor through the façade (exactly
+    //    the browser's "Get Value" button).
+    for name in &config.sensor_names {
+        let r = d.facade.get_value(&mut env, d.workstation, name).expect("sensor answers");
+        println!("  {name:<16} {:.2}{}", r.value, r.unit);
+    }
+
+    // 3. Compute: create a composite, compose three sensors into it and
+    //    attach the paper's expression "(a + b + c)/3".
+    deploy_csp(
+        &mut env,
+        CspConfig {
+            renewal: Some(d.renewal),
+            ..CspConfig::new(d.lab, "Composite-Service", d.lus)
+        },
+    )
+    .expect("composite deploys");
+    let vars = d
+        .facade
+        .compose_service(
+            &mut env,
+            d.workstation,
+            "Composite-Service",
+            &["Neem-Sensor", "Jade-Sensor", "Diamond-Sensor"],
+        )
+        .expect("compose");
+    println!("composed subnet; children bound to variables {vars:?}");
+    d.facade
+        .add_expression(&mut env, d.workstation, "Composite-Service", "(a + b + c)/3")
+        .expect("expression installs");
+
+    // 4. Communicate: one federated read fans out to all three sensors in
+    //    parallel, evaluates the expression, and returns the result.
+    let avg = d
+        .facade
+        .get_value(&mut env, d.workstation, "Composite-Service")
+        .expect("composite answers");
+    println!("subnet average: {:.2}{}", avg.value, avg.unit);
+
+    // 5. The network self-describes: ask for the composite's info panel.
+    let info = d
+        .facade
+        .get_info(&mut env, d.workstation, "Composite-Service")
+        .expect("info");
+    println!(
+        "info: type={} children={:?} expression={:?}",
+        info.service_type, info.contained, info.expression
+    );
+
+    println!(
+        "\nwire traffic so far: {} bytes across {} calls, all in {} of virtual time",
+        env.metrics.get(sensorcer_sim::metrics::keys::BYTES_WIRE),
+        env.metrics.get(sensorcer_sim::metrics::keys::CALLS_OK),
+        env.now()
+    );
+}

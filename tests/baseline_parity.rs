@@ -1,0 +1,63 @@
+//! Cross-architecture parity: the four aggregation architectures must
+//! agree on the answer while differing, in the documented directions, on
+//! cost (the precondition for every B7 claim).
+
+use sensorcer_suite::baselines::scenario::{all_scenarios, expected_average};
+use sensorcer_suite::sim::prelude::SimDuration;
+
+#[test]
+fn all_architectures_agree_on_the_average() {
+    for n in [4usize, 16, 48] {
+        let want = expected_average(n);
+        for mut s in all_scenarios(n, 1234) {
+            let r = s.round();
+            let got = r.value.unwrap_or_else(|| panic!("{} produced nothing at n={n}", s.name));
+            assert!((got - want).abs() < 1e-9, "{} at n={n}: {got} != {want}", s.name);
+        }
+    }
+}
+
+#[test]
+fn repeated_rounds_stay_correct_and_bounded() {
+    for mut s in all_scenarios(16, 99) {
+        let first = s.round();
+        for i in 0..10 {
+            let r = s.round();
+            assert!(r.value.is_some(), "{} round {i}", s.name);
+            // Steady state: no round costs more than 3x the first
+            // (guards against leak-style growth in any architecture).
+            assert!(
+                r.wire_bytes < first.wire_bytes * 3 + 1000,
+                "{} round {i}: {} vs first {}",
+                s.name,
+                r.wire_bytes,
+                first.wire_bytes
+            );
+        }
+    }
+}
+
+#[test]
+fn cost_orderings_match_the_papers_story() {
+    let n = 24;
+    let mut profiles = Vec::new();
+    for mut s in all_scenarios(n, 7) {
+        let _warm = s.round();
+        let r = s.round();
+        let idle0 = s.total_wire_bytes();
+        s.idle(SimDuration::from_secs(30));
+        let idle = s.total_wire_bytes() - idle0;
+        profiles.push((s.name, r.latency, r.wire_bytes, idle));
+    }
+    let get = |name: &str| profiles.iter().find(|(n, ..)| *n == name).copied().unwrap();
+    let direct = get("direct-polling");
+    let ours = get("sensorcer-csp");
+    let surrogate = get("surrogate");
+
+    // Latency: parallel federation beats sequential polling.
+    assert!(ours.1 < direct.1, "sensorcer {} vs direct {}", ours.1, direct.1);
+    // Idle: only the surrogate architecture streams continuously.
+    assert!(surrogate.3 > 0);
+    assert_eq!(direct.3, 0);
+    assert_eq!(ours.3, 0);
+}

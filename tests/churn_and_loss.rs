@@ -1,0 +1,138 @@
+//! The network under stress: lossy radio links, crash/restart churn, and
+//! discovery under partitions — the conditions §II.2 ("adverse weather")
+//! and §VII (plug-and-play) describe.
+
+use sensorcer_suite::core::prelude::*;
+use sensorcer_suite::registry::discovery::discover;
+use sensorcer_suite::sim::prelude::*;
+
+fn world() -> (Env, Deployment, DeploymentConfig) {
+    let config = DeploymentConfig::fig2();
+    let mut env = Env::with_seed(config.seed);
+    let d = standard_deployment(&mut env, &config);
+    (env, d, config)
+}
+
+#[test]
+fn reads_succeed_over_lossy_radio_links() {
+    let (mut env, d, config) = world();
+    // Degrade every mote link to 10% loss — a rainy day in the orchard.
+    for &mote in &d.mote_hosts {
+        for host in [d.lab, d.workstation] {
+            env.topo.set_link(mote, host, LinkModel { loss: 0.10, ..LinkModel::mote_radio() });
+        }
+    }
+    let mut ok = 0;
+    let mut total = 0;
+    for _ in 0..10 {
+        for name in &config.sensor_names {
+            total += 1;
+            if d.facade.get_value(&mut env, d.workstation, name).is_ok() {
+                ok += 1;
+            }
+        }
+        env.run_for(SimDuration::from_secs(1));
+    }
+    // TCP retransmission should carry nearly everything through.
+    assert!(ok as f64 >= total as f64 * 0.9, "{ok}/{total} reads survived 10% loss");
+    assert!(env.metrics.get(metric_keys::RETRANSMITS) > 0, "loss must actually have occurred");
+}
+
+#[test]
+fn crash_restart_churn_keeps_the_network_consistent() {
+    let (mut env, d, config) = world();
+    for round in 0..10 {
+        let victim = d.mote_hosts[round % d.mote_hosts.len()];
+        env.crash_host(victim);
+        env.run_for(SimDuration::from_secs(3));
+        env.restart_host(victim);
+        env.run_for(SimDuration::from_secs(3));
+
+        // Leases are 30 s and the outage 3 s: every registration survives,
+        // and after restart every sensor answers again.
+        let mut model = BrowserModel::new();
+        model.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+        assert_eq!(
+            model.of_type("ELEMENTARY").len(),
+            config.sensor_names.len(),
+            "round {round}"
+        );
+        for name in &config.sensor_names {
+            assert!(
+                d.facade.get_value(&mut env, d.workstation, name).is_ok(),
+                "round {round}: {name} must answer after restart"
+            );
+        }
+    }
+}
+
+#[test]
+fn discovery_heals_after_partition() {
+    let (mut env, d, _config) = world();
+    assert_eq!(discover(&mut env, d.workstation, "public").len(), 1);
+    env.topo.partition(d.workstation, d.lab);
+    assert_eq!(
+        discover(&mut env, d.workstation, "public").len(),
+        0,
+        "no LUS reachable during the partition"
+    );
+    env.topo.heal(d.workstation, d.lab);
+    assert_eq!(discover(&mut env, d.workstation, "public").len(), 1);
+}
+
+#[test]
+fn composite_read_with_flapping_children() {
+    let (mut env, d, _config) = world();
+    d.facade
+        .create_service(
+            &mut env,
+            d.workstation,
+            "Flappy",
+            &["Neem-Sensor", "Jade-Sensor"],
+            Some("(a + b)/2"),
+        )
+        .unwrap();
+    let mut successes = 0;
+    for round in 0..20 {
+        // Flap Neem's mote in and out of the network.
+        if round % 2 == 0 {
+            env.topo.isolate(d.mote_hosts[0]);
+        } else {
+            env.topo.reconnect(d.mote_hosts[0]);
+        }
+        env.run_for(SimDuration::from_millis(300));
+        if d.facade.get_value(&mut env, d.workstation, "Flappy").is_ok() {
+            successes += 1;
+        }
+    }
+    // Reads succeed exactly on reconnected rounds — failure is honest, not
+    // silent garbage.
+    assert!((8..=12).contains(&successes), "{successes}/20");
+}
+
+#[test]
+fn facade_failure_is_not_a_data_plane_failure() {
+    // The façade is an entry point, not a broker: direct federated access
+    // keeps working when it dies (the paper's P2P claim in §VIII).
+    let (mut env, d, _config) = world();
+    env.crash_host(d.lab); // takes the façade AND the LUS down
+    // Requestors that already hold a binding can still reach providers.
+    let esp = d.esps[0];
+    let direct = sensorcer_suite::exertion::exert_on(
+        &mut env,
+        d.workstation,
+        esp.service,
+        sensorcer_suite::exertion::Task::new(
+            "direct",
+            sensorcer_suite::exertion::Signature::new(
+                sensorcer_suite::registry::ids::interfaces::SENSOR_DATA_ACCESSOR,
+                "getValue",
+            ),
+            sensorcer_suite::exertion::Context::new(),
+        )
+        .into(),
+        None,
+    )
+    .unwrap();
+    assert!(direct.status().is_done(), "{:?}", direct.status());
+}

@@ -1,0 +1,88 @@
+//! F2 integration test: the full Fig. 2 deployment comes up with every
+//! service the paper's browser screenshot shows, and stays healthy.
+
+use sensorcer_suite::core::prelude::*;
+use sensorcer_suite::sim::prelude::*;
+
+#[test]
+fn fig2_world_matches_the_papers_browser() {
+    let config = DeploymentConfig::fig2();
+    let mut env = Env::with_seed(config.seed);
+    let d = standard_deployment(&mut env, &config);
+
+    let mut model = BrowserModel::new();
+    model.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+
+    // The notable services of Fig. 2: Jini infrastructure, Rio
+    // provisioning, four elementary sensors, the façade.
+    for expected in [
+        "Lookup Service",
+        "Transaction Manager",
+        "Lease Renewal Service",
+        "Event Mailbox",
+        "Monitor",
+        "Cybernode-0",
+        "Cybernode-1",
+        "Neem-Sensor",
+        "Jade-Sensor",
+        "Coral-Sensor",
+        "Diamond-Sensor",
+        "SenSORCER Facade",
+    ] {
+        assert!(
+            model.services.iter().any(|(n, _)| n == expected),
+            "missing service {expected}; have {:?}",
+            model.services
+        );
+    }
+
+    // The info panel carries the fields the screenshot shows.
+    model.select_service(&mut env, d.workstation, d.facade, "Neem-Sensor").unwrap();
+    let info = model.info.clone().unwrap();
+    assert_eq!(info.service_type, "ELEMENTARY");
+    assert!(!info.uuid.is_empty(), "Service ID is displayed in Fig. 2");
+
+    // Every sensor reports a plausible lab temperature.
+    model.refresh_values(&mut env, d.workstation, d.facade);
+    assert_eq!(model.values.len(), 4);
+    for (name, reading) in &model.values {
+        let r = reading.as_ref().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!((15.0..30.0).contains(&r.value), "{name}: {}", r.value);
+        assert_eq!(r.unit, "°C");
+    }
+}
+
+#[test]
+fn fig2_world_is_deterministic_across_runs() {
+    let build = || {
+        let config = DeploymentConfig::fig2();
+        let mut env = Env::with_seed(config.seed);
+        let d = standard_deployment(&mut env, &config);
+        let mut out = Vec::new();
+        for name in &config.sensor_names {
+            out.push(d.facade.get_value(&mut env, d.workstation, name).unwrap().value);
+        }
+        (out, env.now())
+    };
+    let (a, ta) = build();
+    let (b, tb) = build();
+    assert_eq!(a, b, "same seed, same readings");
+    assert_eq!(ta, tb, "same seed, same virtual clock");
+}
+
+#[test]
+fn fig2_world_stays_healthy_for_a_virtual_day() {
+    let config = DeploymentConfig::fig2();
+    let mut env = Env::with_seed(config.seed);
+    let d = standard_deployment(&mut env, &config);
+    for hour in 0..24 {
+        env.run_for(SimDuration::from_secs(3600));
+        let r = d.facade.get_value(&mut env, d.workstation, "Neem-Sensor");
+        assert!(r.is_ok(), "hour {hour}: {r:?}");
+    }
+    // Lease renewals did real work over the day.
+    env.with_service(d.renewal.service, |_e, s: &mut sensorcer_suite::registry::renewal::LeaseRenewalService| {
+        assert!(s.renewals_ok() > 1000, "renewals: {}", s.renewals_ok());
+    })
+    .unwrap();
+}

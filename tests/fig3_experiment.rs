@@ -1,0 +1,137 @@
+//! F3 integration test: the paper's §VI experiment, steps 1–6, with the
+//! arithmetic verified end to end.
+
+use sensorcer_suite::core::prelude::*;
+use sensorcer_suite::sim::prelude::*;
+
+struct World {
+    env: Env,
+    d: Deployment,
+}
+
+fn world() -> World {
+    let config = DeploymentConfig::fig2();
+    let mut env = Env::with_seed(config.seed);
+    let d = standard_deployment(&mut env, &config);
+    deploy_csp(
+        &mut env,
+        CspConfig { renewal: Some(d.renewal), ..CspConfig::new(d.lab, "Composite-Service", d.lus) },
+    )
+    .unwrap();
+    World { env, d }
+}
+
+#[test]
+fn steps_one_through_six() {
+    let World { mut env, d } = world();
+
+    // Step 1: subnet of three elementary services; variables are created
+    // dynamically in composition order, exactly like Fig. 3.
+    let vars = d
+        .facade
+        .compose_service(
+            &mut env,
+            d.workstation,
+            "Composite-Service",
+            &["Neem-Sensor", "Jade-Sensor", "Diamond-Sensor"],
+        )
+        .unwrap();
+    assert_eq!(vars, vec!["a", "b", "c"]);
+
+    // Step 2.
+    d.facade
+        .add_expression(&mut env, d.workstation, "Composite-Service", "(a + b + c)/3")
+        .unwrap();
+
+    // Step 3: provision New-Composite via Rio.
+    d.facade
+        .create_service(&mut env, d.workstation, "New-Composite", &[], None)
+        .unwrap();
+    // It must run on a cybernode host, not the lab server.
+    let placed = env
+        .find_service("New-Composite")
+        .and_then(|s| env.service_host(s))
+        .expect("provisioned service deployed");
+    assert!(d.cybernode_hosts.contains(&placed), "placed on {placed:?}");
+
+    // Step 4: the network = { subnet, Coral }. Fig. 3: 'a' binds to the
+    // composite, 'b' to Coral.
+    let vars = d
+        .facade
+        .compose_service(
+            &mut env,
+            d.workstation,
+            "New-Composite",
+            &["Composite-Service", "Coral-Sensor"],
+        )
+        .unwrap();
+    assert_eq!(vars, vec!["a", "b"]);
+
+    // Step 5.
+    d.facade
+        .add_expression(&mut env, d.workstation, "New-Composite", "(a + b)/2")
+        .unwrap();
+
+    // Step 6: read the value and check the arithmetic against near-in-time
+    // component reads (sensors drift slightly between reads).
+    let network = d.facade.get_value(&mut env, d.workstation, "New-Composite").unwrap();
+    let subnet = d.facade.get_value(&mut env, d.workstation, "Composite-Service").unwrap();
+    let coral = d.facade.get_value(&mut env, d.workstation, "Coral-Sensor").unwrap();
+    let expect = (subnet.value + coral.value) / 2.0;
+    assert!(
+        (network.value - expect).abs() < 0.5,
+        "network {} vs (subnet {} + coral {})/2 = {}",
+        network.value,
+        subnet.value,
+        coral.value,
+        expect
+    );
+
+    // The info panel shows what Fig. 3 shows.
+    let info = d.facade.get_info(&mut env, d.workstation, "New-Composite").unwrap();
+    assert_eq!(info.service_type, "COMPOSITE");
+    assert_eq!(info.contained, vec!["Composite-Service".to_string(), "Coral-Sensor".to_string()]);
+    assert_eq!(info.expression.as_deref(), Some("(a + b)/2"));
+    assert!(!info.uuid.is_empty());
+}
+
+#[test]
+fn nested_reads_are_federated_not_cached() {
+    // Two consecutive network reads must reflect fresh sensor samples:
+    // the composite federates on every request.
+    let World { mut env, d } = world();
+    d.facade
+        .compose_service(&mut env, d.workstation, "Composite-Service", &["Neem-Sensor"])
+        .unwrap();
+    let r1 = d.facade.get_value(&mut env, d.workstation, "Composite-Service").unwrap();
+    env.run_for(SimDuration::from_secs(7200)); // let the diurnal signal move
+    let r2 = d.facade.get_value(&mut env, d.workstation, "Composite-Service").unwrap();
+    assert_ne!(r1.value, r2.value, "fresh federation per read");
+    assert!(r2.at_ns > r1.at_ns);
+}
+
+#[test]
+fn removing_a_sensor_from_the_network_reletters_variables() {
+    let World { mut env, d } = world();
+    d.facade
+        .compose_service(
+            &mut env,
+            d.workstation,
+            "Composite-Service",
+            &["Neem-Sensor", "Jade-Sensor", "Diamond-Sensor"],
+        )
+        .unwrap();
+    d.facade
+        .remove_service(&mut env, d.workstation, "Composite-Service", "Jade-Sensor")
+        .unwrap();
+    let info = d.facade.get_info(&mut env, d.workstation, "Composite-Service").unwrap();
+    assert_eq!(
+        info.contained,
+        vec!["Neem-Sensor".to_string(), "Diamond-Sensor".to_string()]
+    );
+    // Re-attach a two-variable expression: 'b' now binds Diamond.
+    d.facade
+        .add_expression(&mut env, d.workstation, "Composite-Service", "b - a")
+        .unwrap();
+    assert!(d.facade.get_value(&mut env, d.workstation, "Composite-Service").is_ok());
+}

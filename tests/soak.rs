@@ -1,0 +1,103 @@
+//! Soak test: a virtual day of continuous operation with periodic reads,
+//! management changes, provisioning and failures — watching for the slow
+//! leaks a demo never shows (timer accumulation, registry growth,
+//! unbounded event queues).
+
+use sensorcer_suite::core::prelude::*;
+use sensorcer_suite::sim::prelude::*;
+
+#[test]
+fn one_virtual_day_of_operations_leaks_nothing() {
+    let config = DeploymentConfig::fig2();
+    let mut env = Env::with_seed(config.seed);
+    let d = standard_deployment(&mut env, &config);
+
+    d.facade
+        .create_service(
+            &mut env,
+            d.workstation,
+            "Day-Composite",
+            &["Neem-Sensor", "Jade-Sensor"],
+            Some("(a + b)/2"),
+        )
+        .unwrap();
+
+    // Baseline timer count after the world settles.
+    env.run_for(SimDuration::from_secs(60));
+    let timers_baseline = env.pending_timers();
+
+    let mut reads_ok = 0u64;
+    let mut reads_failed = 0u64;
+    for hour in 0..24 {
+        // Hourly routine: read everything, poke management, cause trouble.
+        for name in &config.sensor_names {
+            match d.facade.get_value(&mut env, d.workstation, name) {
+                Ok(_) => reads_ok += 1,
+                Err(_) => reads_failed += 1,
+            }
+        }
+        match d.facade.get_value(&mut env, d.workstation, "Day-Composite") {
+            Ok(_) => reads_ok += 1,
+            Err(_) => reads_failed += 1,
+        }
+
+        // Every 6 hours: crash and restore a mote (outlasting nothing —
+        // shorter than the lease, so registrations survive).
+        if hour % 6 == 3 {
+            let victim = d.mote_hosts[hour % d.mote_hosts.len()];
+            env.crash_host(victim);
+            env.run_for(SimDuration::from_secs(5));
+            env.restart_host(victim);
+        }
+
+        // Every 8 hours: churn the composite's expression.
+        if hour % 8 == 5 {
+            d.facade
+                .add_expression(
+                    &mut env,
+                    d.workstation,
+                    "Day-Composite",
+                    if hour % 16 == 5 { "max(a, b)" } else { "(a + b)/2" },
+                )
+                .unwrap();
+        }
+
+        env.run_for(SimDuration::from_secs(3600));
+
+        // Leak checks, every hour.
+        let timers = env.pending_timers();
+        assert!(
+            timers <= timers_baseline + 4,
+            "hour {hour}: timer leak? baseline {timers_baseline}, now {timers}"
+        );
+    }
+
+    // The day's tally: reads overwhelmingly succeed (brief crash windows
+    // may eat a few), and the composite still answers correctly.
+    assert!(reads_ok >= 110, "{reads_ok} ok / {reads_failed} failed");
+    assert!(reads_failed <= 10, "{reads_failed} failures in a day is too many");
+    let r = d.facade.get_value(&mut env, d.workstation, "Day-Composite").unwrap();
+    assert!((15.0..30.0).contains(&r.value));
+
+    // Registry holds exactly the expected registrations — nothing
+    // accumulated, nothing lost.
+    let mut model = BrowserModel::new();
+    model.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+    assert_eq!(model.of_type("ELEMENTARY").len(), 4);
+    assert_eq!(model.of_type("COMPOSITE").len(), 1);
+
+    // Lease renewals ran all day without runaway failure counts.
+    env.with_service(
+        d.renewal.service,
+        |_e, s: &mut sensorcer_suite::registry::renewal::LeaseRenewalService| {
+            assert!(s.renewals_ok() > 5_000, "renewals: {}", s.renewals_ok());
+            assert!(
+                s.renewals_failed() < s.renewals_ok() / 10,
+                "failed {} vs ok {}",
+                s.renewals_failed(),
+                s.renewals_ok()
+            );
+        },
+    )
+    .unwrap();
+}
