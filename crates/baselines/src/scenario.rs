@@ -129,8 +129,9 @@ pub fn surrogate_scenario(n: usize, seed: u64) -> Scenario {
             SimDuration::from_secs(1),
         );
     }
-    // Warm the cache so the first query sees data.
-    env.run_for(SimDuration::from_secs(3));
+    // Warm the cache so the first query sees data. Several periods, so a
+    // single lost radio frame cannot leave a node unrepresented.
+    env.run_for(SimDuration::from_secs(5));
     Scenario {
         name: "surrogate",
         env,

@@ -4,7 +4,7 @@
 //! Criterion numbers here track the simulator's own cost so regressions
 //! in the substrate show up.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensorcer_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sensorcer_baselines::scenario::{direct_scenario, sensorcer_scenario};
 

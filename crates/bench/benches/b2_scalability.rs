@@ -2,7 +2,7 @@
 //! count grows, for flat and hierarchical composites. Virtual-latency
 //! tables come from `harness b2`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensorcer_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sensorcer_bench::helpers::sensor_world;
 

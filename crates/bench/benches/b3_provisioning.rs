@@ -2,7 +2,7 @@
 //! pool sizes and allocation policies. Virtual-latency tables come from
 //! `harness b3`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensorcer_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sensorcer_bench::b3_provisioning::provision_to_first_read;
 use sensorcer_provision::policy::AllocationPolicy;

@@ -2,7 +2,7 @@
 //! first-read cycle. The virtual outage-window tables come from
 //! `harness b4`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensorcer_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sensorcer_bench::b4_failover::{failover_window, stale_registration_window};
 use sensorcer_sim::time::SimDuration;

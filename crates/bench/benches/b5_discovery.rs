@@ -2,7 +2,7 @@
 //! lookups against registries of increasing size. Virtual-latency tables
 //! come from `harness b5`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensorcer_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sensorcer_bench::helpers::sensor_world;
 use sensorcer_registry::discovery::discover;

@@ -2,10 +2,10 @@
 //! evaluation throughput, plus the wire codec it competes with for
 //! per-read budget.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensorcer_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sensorcer_bench::var;
-use sensorcer_expr::{Program, Scope};
+use sensorcer_expr::{Program, Scope, SlotFrame, Value};
 use sensorcer_sim::wire::{WireDecode, WireEncode};
 
 fn bench(c: &mut Criterion) {
@@ -26,6 +26,28 @@ fn bench(c: &mut Criterion) {
                 scope.set(var(i), 20.0 + i as f64);
             }
             b.iter(|| p.eval(&mut scope).expect("evals"));
+        });
+        // What the CSP used to pay per read: a scope rebuilt from scratch
+        // for every evaluation.
+        g.bench_with_input(BenchmarkId::new("eval_rebound", name), &program, |b, p| {
+            b.iter(|| {
+                let mut scope = Scope::new();
+                for i in 0..vars {
+                    scope.set(var(i), 20.0 + i as f64);
+                }
+                p.eval(&mut scope).expect("evals")
+            });
+        });
+        // The CSP's per-read path now: slot-compiled bind, reused frame.
+        g.bench_with_input(BenchmarkId::new("eval_bind", name), &program, |b, p| {
+            let names: Vec<String> = (0..vars).map(var).collect();
+            let bindings: Vec<(&str, Value)> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.as_str(), Value::Float(20.0 + i as f64)))
+                .collect();
+            let mut frame = SlotFrame::new();
+            b.iter(|| p.bind_in(&bindings, &mut frame).expect("evals"));
         });
     }
     // The codec the context rides on.

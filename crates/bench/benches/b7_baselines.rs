@@ -2,7 +2,7 @@
 //! architecture over the shared workload. The virtual profile table
 //! (latency / bytes / idle / hotspot) comes from `harness b7`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sensorcer_bench::microbench::{criterion_group, criterion_main, Criterion};
 
 use sensorcer_baselines::scenario::{
     direct_scenario, sensorcer_scenario, surrogate_scenario, three_level_scenario,

@@ -3,7 +3,7 @@
 //! so the Criterion numbers are the result (also summarized by
 //! `harness b8`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensorcer_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sensorcer_core::local::{synthetic_tree_with_work, LocalFederation};
 use sensorcer_runtime::ThreadPool;

@@ -3,13 +3,16 @@
 //! ```text
 //! harness <experiment> [seed]
 //!   experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all
+//! harness smoke [out.json]
+//!   fast bounded pass over the read hot paths; writes BENCH_1.json
 //! ```
 
 use sensorcer_bench::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all"
+        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]   (default out: {})",
+        smoke::DEFAULT_OUT
     );
     std::process::exit(2);
 }
@@ -49,10 +52,28 @@ fn run_one(which: &str, seed: u64) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or_else(|| usage());
-    let seed = args
-        .get(1)
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(DEFAULT_SEED);
+
+    // `smoke` takes an output path, not a seed — handle it before the
+    // integer parse below.
+    if which == "smoke" {
+        let out = args.get(1).map(String::as_str).unwrap_or(smoke::DEFAULT_OUT);
+        match smoke::run(out) {
+            Ok(transcript) => print!("{transcript}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let seed = match args.get(1) {
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("seed must be an integer, got '{s}'");
+            usage();
+        }),
+        None => DEFAULT_SEED,
+    };
 
     if which == "all" {
         for exp in ["fig1", "fig2", "fig3", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8", "a1", "a2"] {

@@ -33,6 +33,8 @@ pub mod b7_baselines;
 pub mod b8_parallel;
 pub mod figs;
 pub mod helpers;
+pub mod microbench;
+pub mod smoke;
 pub mod table;
 
 /// Expression-variable name for index `i` (`a`…`z`, then `v26`…), shared

@@ -1,0 +1,139 @@
+//! Smoke benchmark: one fast, bounded pass over the federated-read hot
+//! paths — composite fan-out (B2), registry lookup (B5) and expression
+//! evaluation (B6) — writing the results as JSON so CI can track the
+//! numbers commit over commit (`scripts/ci.sh` runs `harness smoke` and
+//! keeps `BENCH_1.json` at the repo root).
+//!
+//! The sampling budget is deliberately tiny (~a few seconds total): this
+//! is a trend detector, not a measurement-grade run. For real numbers use
+//! `cargo bench` on the individual `b*` benches.
+
+use std::time::Duration;
+
+use crate::helpers::sensor_world;
+use crate::microbench::{results_to_json, BenchmarkId, Criterion};
+use crate::var;
+use sensorcer_expr::{Program, Scope, SlotFrame, Value};
+use sensorcer_registry::ids::interfaces;
+use sensorcer_registry::item::ServiceTemplate;
+
+/// Where `harness smoke` writes by default.
+pub const DEFAULT_OUT: &str = "BENCH_1.json";
+
+/// Run the smoke pass and write JSON to `out_path`. Returns the
+/// transcript, or an error message if the output file could not be
+/// written (the harness exits nonzero on `Err` so CI notices).
+pub fn run(out_path: &str) -> Result<String, String> {
+    let mut c = Criterion::from_env();
+    let mut out = String::new();
+
+    // B2: one federated read through a flat and a hierarchical composite.
+    {
+        let mut g = c.benchmark_group("smoke_b2");
+        g.sample_size(5);
+        g.warm_up_time(Duration::from_millis(50));
+        g.measurement_time(Duration::from_millis(250));
+        for n in [16usize, 64] {
+            g.bench_with_input(BenchmarkId::new("flat_csp_read", n), &n, |b, &n| {
+                let mut w = sensor_world(n, 42);
+                let name = w.flat_composite("All");
+                b.iter(|| w.timed_read(&name).0.expect("read"));
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("tree_csp_read", 64usize), &64usize, |b, &n| {
+            let mut w = sensor_world(n, 42);
+            let root = w.composite_tree(8);
+            b.iter(|| w.timed_read(&root).0.expect("read"));
+        });
+        g.finish();
+    }
+
+    // B5: template lookups against a populated registry.
+    {
+        let mut g = c.benchmark_group("smoke_b5");
+        g.sample_size(5);
+        g.warm_up_time(Duration::from_millis(50));
+        g.measurement_time(Duration::from_millis(250));
+        for n in [100usize, 1000] {
+            g.bench_with_input(BenchmarkId::new("lookup_by_name", n), &n, |b, &n| {
+                let mut w = sensor_world(n, 42);
+                let lus = w.lus;
+                let tpl = ServiceTemplate::by_name(format!("Sensor-{:03}", n / 2));
+                b.iter(|| {
+                    lus.lookup_one(&mut w.env, w.client, &tpl).unwrap().expect("hit")
+                });
+            });
+            g.bench_with_input(BenchmarkId::new("lookup_all_by_interface", n), &n, |b, &n| {
+                let mut w = sensor_world(n, 42);
+                let lus = w.lus;
+                let tpl = ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR);
+                b.iter(|| {
+                    let all = lus.lookup(&mut w.env, w.client, &tpl, usize::MAX).unwrap();
+                    assert_eq!(all.len(), n);
+                });
+            });
+        }
+        g.finish();
+    }
+
+    // B6: expression compile and the two per-read evaluation patterns.
+    {
+        let mut g = c.benchmark_group("smoke_b6");
+        g.sample_size(5);
+        g.warm_up_time(Duration::from_millis(50));
+        g.measurement_time(Duration::from_millis(250));
+        for (name, src, vars) in crate::b6_expressions::expression_suite() {
+            g.bench_with_input(BenchmarkId::new("compile", name), &src, |b, src| {
+                b.iter(|| Program::compile(src).expect("compiles"));
+            });
+            let program = Program::compile(&src).expect("compiles");
+            g.bench_with_input(BenchmarkId::new("eval_rebound", name), &program, |b, p| {
+                b.iter(|| {
+                    let mut scope = Scope::new();
+                    for i in 0..vars {
+                        scope.set(var(i), 20.0 + i as f64);
+                    }
+                    p.eval(&mut scope).expect("evals")
+                });
+            });
+            g.bench_with_input(BenchmarkId::new("eval_bind", name), &program, |b, p| {
+                let names: Vec<String> = (0..vars).map(var).collect();
+                let bindings: Vec<(&str, Value)> = names
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| (n.as_str(), Value::Float(20.0 + i as f64)))
+                    .collect();
+                let mut frame = SlotFrame::new();
+                b.iter(|| p.bind_in(&bindings, &mut frame).expect("evals"));
+            });
+        }
+        g.finish();
+    }
+
+    let json = results_to_json(c.results());
+    std::fs::write(out_path, &json)
+        .map_err(|e| format!("smoke: failed to write {out_path}: {e}"))?;
+    out.push_str(&format!("smoke: wrote {} results to {out_path}\n", c.results().len()));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expression_rows_present_in_output() {
+        // Keep the test budget tiny: exercise only the JSON plumbing with
+        // a throwaway path.
+        let dir = std::env::temp_dir().join("sensorcer-smoke-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_smoke.json");
+        let transcript = run(path.to_str().unwrap()).expect("smoke run");
+        assert!(transcript.contains("wrote"), "{transcript}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("smoke_b6"));
+        assert!(body.contains("eval_bind/paper-avg3"));
+        assert!(body.contains("lookup_by_name/100"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -13,8 +13,10 @@
 //! possible" — and reading the root of a composite tree federates reads
 //! across the whole logical network, in parallel.
 
+use std::sync::Arc;
+
 use sensorcer_exertion::prelude::*;
-use sensorcer_expr::{Program, Scope, Value};
+use sensorcer_expr::{Program, SlotFrame, Value};
 use sensorcer_registry::attributes::Entry;
 use sensorcer_registry::ids::{interfaces, SvcUuid};
 use sensorcer_registry::item::ServiceItem;
@@ -54,6 +56,24 @@ pub fn variable_for(i: usize) -> String {
 /// Breadcrumb context path used to detect composition cycles at read time.
 const VISITED_PATH: &str = "composite/visited";
 
+/// Immutable per-child read plan, precomputed when the composition
+/// changes (`addService`/`removeService`) so the per-read fan-out does
+/// not re-derive names, signatures or task labels for every child on
+/// every read. Shared into the read closures via `Arc`.
+#[derive(Debug)]
+struct ReadPlan {
+    /// Expression variable this child's value binds to.
+    var: Arc<str>,
+    /// The child's provider `Name` attribute.
+    service_name: Arc<str>,
+    /// Equivalence group for failover, if any.
+    group: Option<Arc<str>>,
+    /// Prebuilt `SensorDataAccessor#getValue@<name>` signature.
+    signature: Signature,
+    /// Prebuilt task label (`read <name>`).
+    task_name: String,
+}
+
 /// Registration attribute key marking interchangeable providers (§V.A's
 /// "equivalent available service provider").
 pub const EQUIVALENCE_GROUP_KEY: &str = "equivalence-group";
@@ -65,7 +85,11 @@ pub struct CompositeSensorProvider {
     host: HostId,
     accessor: ServiceAccessor,
     children: Vec<Child>,
+    /// Per-child read plans, rebuilt whenever `children` changes.
+    plans: Vec<Arc<ReadPlan>>,
     expression: Option<Program>,
+    /// Reusable slot frame for expression evaluation (no per-read scope).
+    frame: SlotFrame,
     /// Output calibration applied to the computed composite value.
     pub calibration: Calibration,
     /// Binding-cache switch (on by default). Exists for the A1 ablation
@@ -87,7 +111,9 @@ impl CompositeSensorProvider {
             host,
             accessor,
             children: Vec::new(),
+            plans: Vec::new(),
             expression: None,
+            frame: SlotFrame::new(),
             calibration: Calibration::Identity,
             binding_cache_enabled: true,
             reads_total: 0,
@@ -134,7 +160,30 @@ impl CompositeSensorProvider {
             service_name: service_name.to_string(),
             group,
         });
+        self.rebuild_plans();
         Ok(var)
+    }
+
+    /// Recompute the per-child read plans from `children`. Called on every
+    /// composition change so reads find everything precomputed.
+    fn rebuild_plans(&mut self) {
+        self.plans = self
+            .children
+            .iter()
+            .map(|child| {
+                Arc::new(ReadPlan {
+                    var: child.var.as_str().into(),
+                    service_name: child.service_name.as_str().into(),
+                    group: child.group.as_deref().map(Arc::from),
+                    signature: Signature::new(
+                        interfaces::SENSOR_DATA_ACCESSOR,
+                        selectors::GET_VALUE,
+                    )
+                    .on(&child.service_name),
+                    task_name: format!("read {}", child.service_name),
+                })
+            })
+            .collect();
     }
 
     /// Remove a child. Remaining children are re-lettered by position so
@@ -151,6 +200,7 @@ impl CompositeSensorProvider {
         for (i, child) in self.children.iter_mut().enumerate() {
             child.var = variable_for(i);
         }
+        self.rebuild_plans();
         if let Some(expr) = &self.expression {
             let vars: Vec<&str> = self.children.iter().map(|c| c.var.as_str()).collect();
             if !expr.missing_inputs(&vars).is_empty() {
@@ -197,34 +247,33 @@ impl CompositeSensorProvider {
             return;
         }
         visited.push(Value::Str(self.name.clone()));
-        let visited = Value::List(visited);
+        // One breadcrumb list, shared by reference across every child
+        // closure — a deep copy is made only where a task context needs an
+        // owned value.
+        let visited = Arc::new(Value::List(visited));
 
         // Fan the child reads out in parallel — this is a small federation
-        // exerted for this request. Bindings are cached (the Jini proxy
-        // model): only an unknown or failed child costs a LUS lookup.
+        // exerted for this request. Each branch captures its precomputed
+        // `Arc<ReadPlan>`; nothing per-child is cloned or formatted here.
+        // Bindings are cached (the Jini proxy model): only an unknown or
+        // failed child costs a LUS lookup.
         let accessor = &self.accessor;
         let bindings = &self.bindings;
         let cache_enabled = self.binding_cache_enabled;
         let host = self.host;
-        let children = self.children.clone();
-        let branches: Vec<Box<dyn FnOnce(&mut Env) -> (String, Result<(f64, String, bool), String>) + '_>> =
-            children
+        let branches: Vec<Box<dyn FnOnce(&mut Env) -> (Arc<str>, Result<(f64, String, bool), String>) + '_>> =
+            self.plans
                 .iter()
-                .map(|child| {
-                    let var = child.var.clone();
-                    let name = child.service_name.clone();
-                    let group = child.group.clone();
-                    let visited = visited.clone();
+                .map(|plan| {
+                    let plan = Arc::clone(plan);
+                    let visited = Arc::clone(&visited);
                     Box::new(move |env: &mut Env| {
+                        let name: &str = &plan.service_name;
                         let make_task = || {
                             Task::new(
-                                format!("read {name}"),
-                                Signature::new(
-                                    interfaces::SENSOR_DATA_ACCESSOR,
-                                    selectors::GET_VALUE,
-                                )
-                                .on(&name),
-                                Context::new().with(VISITED_PATH, visited.clone()),
+                                plan.task_name.clone(),
+                                plan.signature.clone(),
+                                Context::new().with(VISITED_PATH, (*visited).clone()),
                             )
                         };
                         let parse = |done: &Exertion| match done.status() {
@@ -251,14 +300,14 @@ impl CompositeSensorProvider {
                         // within this same read.
                         let mut failure: Option<String> = None;
                         let cached = if cache_enabled {
-                            bindings.borrow().get(&name).copied()
+                            bindings.borrow().get(name).copied()
                         } else {
                             None
                         };
                         if let Some(svc) = cached {
                             match exert_on(env, host, svc, make_task().into(), None) {
                                 Ok(done) => match parse(&done) {
-                                    Ok(v) => return (var, Ok(v)),
+                                    Ok(v) => return (plan.var.clone(), Ok(v)),
                                     // Answered but failed (dead transducer,
                                     // expression error in a nested CSP, ...)
                                     // — a fresh bind would reach the same
@@ -268,7 +317,7 @@ impl CompositeSensorProvider {
                                 },
                                 Err(_) => {
                                     // Stale proxy: drop and re-bind below.
-                                    bindings.borrow_mut().remove(&name);
+                                    bindings.borrow_mut().remove(name);
                                 }
                             }
                         }
@@ -277,21 +326,23 @@ impl CompositeSensorProvider {
                                 env,
                                 host,
                                 interfaces::SENSOR_DATA_ACCESSOR,
-                                Some(&name),
+                                Some(name),
                             );
                             match bound {
                                 Some(item) => {
                                     if cache_enabled {
-                                        bindings.borrow_mut().insert(name.clone(), item.service);
+                                        bindings
+                                            .borrow_mut()
+                                            .insert(name.to_string(), item.service);
                                     }
                                     match exert_on(env, host, item.service, make_task().into(), None)
                                     {
                                         Ok(done) => match parse(&done) {
-                                            Ok(v) => return (var, Ok(v)),
+                                            Ok(v) => return (plan.var.clone(), Ok(v)),
                                             Err(e) => failure = Some(e),
                                         },
                                         Err(e) => {
-                                            bindings.borrow_mut().remove(&name);
+                                            bindings.borrow_mut().remove(name);
                                             failure = Some(format!(
                                                 "'{name}': provider unreachable: {e}"
                                             ));
@@ -309,7 +360,7 @@ impl CompositeSensorProvider {
                         // passed on to the equivalent available service
                         // provider" — whether the named provider is gone
                         // *or* answered with a failure.
-                        if let Some(group) = group.as_deref() {
+                        if let Some(group) = plan.group.as_deref() {
                             let equivalent = accessor.bind_by_attr_excluding(
                                 env,
                                 host,
@@ -318,7 +369,7 @@ impl CompositeSensorProvider {
                                     key: Some(EQUIVALENCE_GROUP_KEY.into()),
                                     value: Some(group.into()),
                                 },
-                                Some(&name),
+                                Some(name),
                             );
                             if let Some(item) = equivalent {
                                 if let Ok(done) =
@@ -327,15 +378,18 @@ impl CompositeSensorProvider {
                                     if let Ok(v) = parse(&done) {
                                         // Deliberately not cached: the
                                         // primary is retried next read.
-                                        return (var, Ok(v));
+                                        return (plan.var.clone(), Ok(v));
                                     }
                                 }
                             }
                         }
-                        (var, Err(failure.unwrap_or_else(|| format!("'{name}': read failed"))))
+                        (
+                            plan.var.clone(),
+                            Err(failure.unwrap_or_else(|| format!("'{name}': read failed"))),
+                        )
                     })
                         as Box<
-                            dyn FnOnce(&mut Env) -> (String, Result<(f64, String, bool), String>)
+                            dyn FnOnce(&mut Env) -> (Arc<str>, Result<(f64, String, bool), String>)
                                 + '_,
                         >
                 })
@@ -347,16 +401,14 @@ impl CompositeSensorProvider {
         // lose to hierarchies (B2).
         env.consume(sensorcer_sim::time::SimDuration::from_micros(120) * collected.len() as u64);
 
-        let mut scope = Scope::new();
         let mut unit = String::new();
         let mut all_good = true;
         let mut errors = Vec::new();
-        let mut values = Vec::new();
+        let mut readings: Vec<(Arc<str>, f64)> = Vec::with_capacity(collected.len());
         for (var, outcome) in collected {
             match outcome {
                 Ok((v, u, good)) => {
-                    scope.set(var, v);
-                    values.push(v);
+                    readings.push((var, v));
                     all_good &= good;
                     if unit.is_empty() {
                         unit = u;
@@ -371,21 +423,29 @@ impl CompositeSensorProvider {
         }
 
         let computed = match &self.expression {
-            Some(program) => match program.eval(&mut scope) {
-                Ok(v) => match v.as_f64() {
-                    Some(x) => x,
-                    None => {
-                        task.fail(format!("expression produced non-numeric value: {v}"));
+            Some(program) => {
+                let pairs: Vec<(&str, Value)> = readings
+                    .iter()
+                    .map(|(var, v)| (&**var, Value::Float(*v)))
+                    .collect();
+                match program.bind_in(&pairs, &mut self.frame) {
+                    Ok(v) => match v.as_f64() {
+                        Some(x) => x,
+                        None => {
+                            task.fail(format!("expression produced non-numeric value: {v}"));
+                            return;
+                        }
+                    },
+                    Err(e) => {
+                        task.fail(format!("expression error: {e}"));
                         return;
                     }
-                },
-                Err(e) => {
-                    task.fail(format!("expression error: {e}"));
-                    return;
                 }
-            },
+            }
             // Default aggregation when no expression is installed.
-            None => values.iter().sum::<f64>() / values.len() as f64,
+            None => {
+                readings.iter().map(|(_, v)| v).sum::<f64>() / readings.len() as f64
+            }
         };
         let value = self.calibration.apply(computed);
 

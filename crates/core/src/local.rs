@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sensorcer_runtime::sync::Mutex;
 use sensorcer_expr::{Program, Scope};
 use sensorcer_runtime::ThreadPool;
 use sensorcer_sensors::probe::{ProbeError, SensorProbe};

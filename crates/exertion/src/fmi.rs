@@ -62,7 +62,7 @@ impl ServiceAccessor {
     ) -> Option<ServiceItem> {
         let tpl = Self::template_for(interface, provider_name);
         for lus in &self.lus {
-            if let Ok(Some(item)) = lus.lookup_one(env, from, &tpl) {
+            if let Ok(Some(item)) = lus.lookup_first_excluding(env, from, &tpl, None) {
                 return Some(item);
             }
         }
@@ -94,13 +94,8 @@ impl ServiceAccessor {
     ) -> Option<ServiceItem> {
         let tpl = ServiceTemplate::by_interface(interface).and_attr(attr);
         for lus in &self.lus {
-            if let Ok(items) = lus.lookup(env, from, &tpl, 16) {
-                for item in items {
-                    if exclude.is_some() && item.name() == exclude {
-                        continue;
-                    }
-                    return Some(item);
-                }
+            if let Ok(Some(item)) = lus.lookup_first_excluding(env, from, &tpl, exclude) {
+                return Some(item);
             }
         }
         None

@@ -49,6 +49,12 @@ impl Scope {
     pub fn var_names(&self) -> Vec<&str> {
         self.vars.keys().map(String::as_str).collect()
     }
+
+    /// Whether any user functions are registered (they force the
+    /// tree-walking path — see [`crate::program::Program::eval`]).
+    pub fn has_fns(&self) -> bool {
+        !self.fns.is_empty()
+    }
 }
 
 impl std::fmt::Debug for Scope {

@@ -28,6 +28,7 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod compiled;
 pub mod error;
 pub mod interp;
 pub mod lexer;
@@ -36,6 +37,7 @@ pub mod program;
 pub mod value;
 
 pub use ast::{BinOp, Expr, Script, Stmt, UnOp};
+pub use compiled::{CompiledScript, SlotFrame};
 pub use error::{ExprError, Pos};
 pub use interp::{eval_expr, eval_script, eval_script_with_budget, Scope};
 pub use parser::{parse, parse_expr};

@@ -6,6 +6,7 @@
 //! difference).
 
 use crate::ast::Script;
+use crate::compiled::{CompiledScript, SlotFrame};
 use crate::error::ExprError;
 use crate::interp::{eval_script_with_budget, Scope, DEFAULT_STEP_BUDGET};
 use crate::parser::parse;
@@ -16,13 +17,15 @@ use crate::value::Value;
 pub struct Program {
     source: String,
     script: Script,
+    compiled: CompiledScript,
 }
 
 impl Program {
     /// Parse `source` into a reusable program.
     pub fn compile(source: &str) -> Result<Program, ExprError> {
         let script = parse(source)?;
-        Ok(Program { source: source.to_string(), script })
+        let compiled = CompiledScript::lower(&script);
+        Ok(Program { source: source.to_string(), script, compiled })
     }
 
     /// The original source text.
@@ -35,13 +38,24 @@ impl Program {
         &self.script
     }
 
+    /// The slot-compiled form (what [`Program::bind`] evaluates).
+    pub fn compiled(&self) -> &CompiledScript {
+        &self.compiled
+    }
+
     /// Input variables the program needs (free variables not assigned by
     /// an earlier statement), in first-use order.
     pub fn inputs(&self) -> Vec<String> {
         self.script.free_vars()
     }
 
-    /// Evaluate against a scope.
+    /// Evaluate against a scope, on the tree-walking interpreter.
+    ///
+    /// This is the general path: it honors user functions (which may
+    /// shadow builtins) and leaves assignments visible in the scope. A
+    /// caller that rebinds plain values on every read should prefer
+    /// [`Program::bind`] / [`Program::bind_in`], which skip the scope
+    /// entirely and run the slot-compiled form.
     pub fn eval(&self, scope: &mut Scope) -> Result<Value, ExprError> {
         eval_script_with_budget(&self.script, scope, DEFAULT_STEP_BUDGET)
     }
@@ -53,11 +67,59 @@ impl Program {
         K: Into<String>,
         V: Into<Value>,
     {
-        let mut scope = Scope::new();
+        let mut frame = SlotFrame::new();
+        let slots = frame.reset(self.compiled.n_slots());
         for (k, v) in bindings {
-            scope.set(k, v);
+            let k: String = k.into();
+            if let Some(i) = self.compiled.slot_of(&k) {
+                slots[i] = Some(v.into());
+            }
         }
-        self.eval(&mut scope)
+        self.compiled.eval_slots(slots, DEFAULT_STEP_BUDGET)
+    }
+
+    /// Evaluate with the given input bindings on the compiled fast path.
+    ///
+    /// This is the composite sensor provider's per-read entry point: the
+    /// program is compiled once, and every read binds fresh child values
+    /// into a flat slot frame — no `BTreeMap` scope, no per-variable
+    /// allocation. Names that the program never mentions are ignored;
+    /// inputs left unbound error only if evaluation actually reads them.
+    pub fn bind(&self, bindings: &[(&str, Value)]) -> Result<Value, ExprError> {
+        self.bind_in(bindings, &mut SlotFrame::new())
+    }
+
+    /// Like [`Program::bind`], reusing a caller-held [`SlotFrame`] so
+    /// repeated reads allocate nothing.
+    pub fn bind_in(
+        &self,
+        bindings: &[(&str, Value)],
+        frame: &mut SlotFrame,
+    ) -> Result<Value, ExprError> {
+        self.bind_pairs(bindings, frame)
+    }
+
+    fn bind_pairs(
+        &self,
+        bindings: &[(&str, Value)],
+        frame: &mut SlotFrame,
+    ) -> Result<Value, ExprError> {
+        let slots = frame.reset(self.compiled.n_slots());
+        let names = self.compiled.slot_names();
+        for (i, (name, v)) in bindings.iter().enumerate() {
+            // Callers that bind inputs in declaration order (the CSP does)
+            // hit the aligned slot directly; anything else falls back to a
+            // name scan.
+            let slot = if i < names.len() && names[i] == *name {
+                Some(i)
+            } else {
+                self.compiled.slot_of(name)
+            };
+            if let Some(s) = slot {
+                slots[s] = Some(v.clone());
+            }
+        }
+        self.compiled.eval_slots(slots, DEFAULT_STEP_BUDGET)
     }
 
     /// Check that every input variable is covered by `available` names;

@@ -1,74 +1,108 @@
 //! Property tests for the expression language: total parsing (no panics),
 //! deterministic evaluation, algebraic identities, and budget behaviour.
+//! Driven by the deterministic harness in `sensorcer_sim::check`.
 
-use proptest::prelude::*;
+use sensorcer_sim::check::run_cases;
 
 use sensorcer_expr::{eval_script_with_budget, parse, Program, Scope, Value};
 
-proptest! {
-    /// The front end is total: arbitrary input never panics, it parses or
-    /// errors.
-    #[test]
-    fn parser_never_panics(src in ".{0,200}") {
+/// The front end is total: arbitrary input never panics, it parses or
+/// errors.
+#[test]
+fn parser_never_panics() {
+    run_cases("parser_never_panics", 512, |g| {
+        let src = g.ascii_string(200);
         let _ = parse(&src);
-    }
+    });
+}
 
-    /// Same source + same bindings = same value (the CSP relies on this).
-    #[test]
-    fn evaluation_is_deterministic(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+/// Same source + same bindings = same value (the CSP relies on this).
+#[test]
+fn evaluation_is_deterministic() {
+    run_cases("evaluation_is_deterministic", 128, |g| {
+        let a = g.f64_in(-1e6, 1e6);
+        let b = g.f64_in(-1e6, 1e6);
         let p = Program::compile("(a + b) * (a - b) + max(a, b)").unwrap();
         let v1 = p.eval_with([("a", a), ("b", b)]).unwrap();
         let v2 = p.eval_with([("a", a), ("b", b)]).unwrap();
-        prop_assert_eq!(v1, v2);
-    }
+        assert_eq!(v1, v2);
+    });
+}
 
-    /// Operator precedence: the parser agrees with explicit parentheses.
-    #[test]
-    fn precedence_matches_parentheses(a in -100i64..100, b in -100i64..100, c in -100i64..100) {
-        let flat = Program::compile("a + b * c - a").unwrap()
-            .eval_with([("a", a), ("b", b), ("c", c)]).unwrap();
-        let parens = Program::compile("(a + (b * c)) - a").unwrap()
-            .eval_with([("a", a), ("b", b), ("c", c)]).unwrap();
-        prop_assert_eq!(flat, parens);
-    }
+/// Operator precedence: the parser agrees with explicit parentheses.
+#[test]
+fn precedence_matches_parentheses() {
+    run_cases("precedence_matches_parentheses", 128, |g| {
+        let a = g.i64_in(-100, 100);
+        let b = g.i64_in(-100, 100);
+        let c = g.i64_in(-100, 100);
+        let flat = Program::compile("a + b * c - a")
+            .unwrap()
+            .eval_with([("a", a), ("b", b), ("c", c)])
+            .unwrap();
+        let parens = Program::compile("(a + (b * c)) - a")
+            .unwrap()
+            .eval_with([("a", a), ("b", b), ("c", c)])
+            .unwrap();
+        assert_eq!(flat, parens);
+    });
+}
 
-    /// Addition commutes and multiplication distributes for integers.
-    #[test]
-    fn integer_algebra(a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000) {
+/// Addition commutes and multiplication distributes for integers.
+#[test]
+fn integer_algebra() {
+    run_cases("integer_algebra", 128, |g| {
+        let a = g.i64_in(-1000, 1000);
+        let b = g.i64_in(-1000, 1000);
+        let c = g.i64_in(-1000, 1000);
         let ev = |src: &str| {
             Program::compile(src).unwrap().eval_with([("a", a), ("b", b), ("c", c)]).unwrap()
         };
-        prop_assert_eq!(ev("a + b"), ev("b + a"));
-        prop_assert_eq!(ev("a * (b + c)"), ev("a*b + a*c"));
-        prop_assert_eq!(ev("-(a)"), Value::Int(-a));
-    }
+        assert_eq!(ev("a + b"), ev("b + a"));
+        assert_eq!(ev("a * (b + c)"), ev("a*b + a*c"));
+        assert_eq!(ev("-(a)"), Value::Int(-a));
+    });
+}
 
-    /// Builtins agree with std: min/max/abs.
-    #[test]
-    fn builtins_match_std(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+/// Builtins agree with std: min/max/abs.
+#[test]
+fn builtins_match_std() {
+    run_cases("builtins_match_std", 128, |g| {
+        let a = g.f64_in(-1e9, 1e9);
+        let b = g.f64_in(-1e9, 1e9);
         let ev = |src: &str| {
-            Program::compile(src).unwrap()
-                .eval_with([("a", a), ("b", b)]).unwrap().as_f64().unwrap()
+            Program::compile(src)
+                .unwrap()
+                .eval_with([("a", a), ("b", b)])
+                .unwrap()
+                .as_f64()
+                .unwrap()
         };
-        prop_assert_eq!(ev("min(a, b)"), a.min(b));
-        prop_assert_eq!(ev("max(a, b)"), a.max(b));
-        prop_assert_eq!(ev("abs(a)"), a.abs());
-    }
+        assert_eq!(ev("min(a, b)"), a.min(b));
+        assert_eq!(ev("max(a, b)"), a.max(b));
+        assert_eq!(ev("abs(a)"), a.abs());
+    });
+}
 
-    /// avg over a literal list equals the arithmetic mean.
-    #[test]
-    fn avg_matches_mean(xs in prop::collection::vec(-1e4f64..1e4, 1..20)) {
+/// avg over a literal list equals the arithmetic mean.
+#[test]
+fn avg_matches_mean() {
+    run_cases("avg_matches_mean", 96, |g| {
+        let xs = g.vec_of(1, 19, |g| g.f64_in(-1e4, 1e4));
         let list = xs.iter().map(|x| format!("{x:?}")).collect::<Vec<_>>().join(", ");
         let src = format!("avg([{list}])");
         let v = Program::compile(&src).unwrap().eval(&mut Scope::new()).unwrap();
         let want = xs.iter().sum::<f64>() / xs.len() as f64;
-        prop_assert!((v.as_f64().unwrap() - want).abs() < 1e-6, "{v} vs {want}");
-    }
+        assert!((v.as_f64().unwrap() - want).abs() < 1e-6, "{v} vs {want}");
+    });
+}
 
-    /// Budget monotonicity: succeeding under budget B implies succeeding
-    /// under any larger budget with the same value.
-    #[test]
-    fn budget_is_monotone(n in 1usize..20) {
+/// Budget monotonicity: succeeding under budget B implies succeeding
+/// under any larger budget with the same value.
+#[test]
+fn budget_is_monotone() {
+    run_cases("budget_is_monotone", 32, |g| {
+        let n = g.usize_in(1, 20);
         let src = (0..n).map(|i| i.to_string()).collect::<Vec<_>>().join(" + ");
         let script = parse(&src).unwrap();
         // Find the minimal budget by scanning.
@@ -77,50 +111,59 @@ proptest! {
             .expect("some budget suffices");
         let small = eval_script_with_budget(&script, &mut Scope::new(), need).unwrap();
         let large = eval_script_with_budget(&script, &mut Scope::new(), need * 10).unwrap();
-        prop_assert_eq!(small, large);
-        prop_assert!(
+        assert_eq!(small, large);
+        assert!(
             eval_script_with_budget(&script, &mut Scope::new(), need - 1).is_err(),
             "need was minimal"
         );
-    }
+    });
+}
 
-    /// String round trip: concatenation length is additive in chars.
-    #[test]
-    fn string_concat_lengths(a in "[a-z]{0,20}", b in "[a-z]{0,20}") {
+/// String round trip: concatenation length is additive in chars.
+#[test]
+fn string_concat_lengths() {
+    run_cases("string_concat_lengths", 128, |g| {
+        let a: String = (0..g.usize_in(0, 21)).map(|_| (g.u64_in(0, 26) as u8 + b'a') as char).collect();
+        let b: String = (0..g.usize_in(0, 21)).map(|_| (g.u64_in(0, 26) as u8 + b'a') as char).collect();
         let p = Program::compile("len(a + b)").unwrap();
         let v = p.eval_with([("a", a.as_str()), ("b", b.as_str())]).unwrap();
-        prop_assert_eq!(v, Value::Int((a.len() + b.len()) as i64));
-    }
+        assert_eq!(v, Value::Int((a.len() + b.len()) as i64));
+    });
+}
 
-    /// Free-variable analysis is complete: evaluation succeeds with
-    /// exactly the reported inputs bound, and fails if one is missing.
-    #[test]
-    fn inputs_are_necessary_and_sufficient(n in 1usize..8) {
+/// Free-variable analysis is complete: evaluation succeeds with
+/// exactly the reported inputs bound, and fails if one is missing.
+#[test]
+fn inputs_are_necessary_and_sufficient() {
+    run_cases("inputs_are_necessary_and_sufficient", 32, |g| {
+        let n = g.usize_in(1, 8);
         let vars: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
         let src = vars.join(" + ");
         let p = Program::compile(&src).unwrap();
-        prop_assert_eq!(p.inputs(), vars.clone());
+        assert_eq!(p.inputs(), vars.clone());
         // Sufficient:
         let bound: Vec<(String, f64)> = vars.iter().map(|v| (v.clone(), 1.0)).collect();
-        prop_assert!(p.eval_with(bound).is_ok());
+        assert!(p.eval_with(bound).is_ok());
         // Necessary: drop the last binding.
         let partial: Vec<(String, f64)> =
             vars.iter().take(n - 1).map(|v| (v.clone(), 1.0)).collect();
-        prop_assert!(p.eval_with(partial).is_err());
-    }
+        assert!(p.eval_with(partial).is_err());
+    });
+}
 
-    /// Comparison operators form a coherent order on integers.
-    #[test]
-    fn comparisons_coherent(a in -1000i64..1000, b in -1000i64..1000) {
-        let ev = |src: &str| {
-            Program::compile(src).unwrap().eval_with([("a", a), ("b", b)]).unwrap()
-        };
+/// Comparison operators form a coherent order on integers.
+#[test]
+fn comparisons_coherent() {
+    run_cases("comparisons_coherent", 128, |g| {
+        let a = g.i64_in(-1000, 1000);
+        let b = g.i64_in(-1000, 1000);
+        let ev = |src: &str| Program::compile(src).unwrap().eval_with([("a", a), ("b", b)]).unwrap();
         let lt = ev("a < b") == Value::Bool(true);
         let eq = ev("a == b") == Value::Bool(true);
         let gt = ev("a > b") == Value::Bool(true);
-        prop_assert_eq!([lt, eq, gt].iter().filter(|x| **x).count(), 1, "trichotomy");
-        prop_assert_eq!(ev("a <= b"), Value::Bool(lt || eq));
-        prop_assert_eq!(ev("a >= b"), Value::Bool(gt || eq));
-        prop_assert_eq!(ev("a != b"), Value::Bool(!eq));
-    }
+        assert_eq!([lt, eq, gt].iter().filter(|x| **x).count(), 1, "trichotomy");
+        assert_eq!(ev("a <= b"), Value::Bool(lt || eq));
+        assert_eq!(ev("a >= b"), Value::Bool(gt || eq));
+        assert_eq!(ev("a != b"), Value::Bool(!eq));
+    });
 }

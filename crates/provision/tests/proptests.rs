@@ -1,67 +1,78 @@
 //! Property tests for provisioning: QoS matching laws and allocation
-//! policy invariants.
+//! policy invariants. Driven by the deterministic harness in
+//! `sensorcer_sim::check`.
 
-use proptest::prelude::*;
+use sensorcer_sim::check::{run_cases, Gen};
 
 use sensorcer_provision::policy::{AllocationPolicy, Candidate};
 use sensorcer_provision::qos::{QosCapabilities, QosRequirements};
 
-fn caps_strategy() -> impl Strategy<Value = QosCapabilities> {
-    (1u32..64, 100u32..4000, 64u32..65_536).prop_map(|(cores, mhz, mem)| QosCapabilities {
-        cpu_cores: cores,
-        cpu_mhz: mhz,
-        memory_mb: mem,
+fn gen_caps(g: &mut Gen) -> QosCapabilities {
+    QosCapabilities {
+        cpu_cores: g.u64_in(1, 64) as u32,
+        cpu_mhz: g.u64_in(100, 4000) as u32,
+        memory_mb: g.u64_in(64, 65_536) as u32,
         arch: "x86_64".into(),
         labels: Default::default(),
-    })
+    }
 }
 
-fn req_strategy() -> impl Strategy<Value = QosRequirements> {
-    (0u32..32, 0u32..3000, 0u32..32_768).prop_map(|(cores, mhz, mem)| QosRequirements {
-        min_cores: cores,
-        min_mhz: mhz,
-        memory_mb: mem,
+fn gen_req(g: &mut Gen) -> QosRequirements {
+    QosRequirements {
+        min_cores: g.u64_in(0, 32) as u32,
+        min_mhz: g.u64_in(0, 3000) as u32,
+        memory_mb: g.u64_in(0, 32_768) as u32,
         arch: None,
         required_labels: Default::default(),
-    })
+    }
 }
 
-proptest! {
-    /// Monotonicity: if a requirement is satisfied with some reservation,
-    /// it is satisfied with any smaller reservation; and a strictly weaker
-    /// requirement is also satisfied.
-    #[test]
-    fn qos_satisfaction_monotone(caps in caps_strategy(), req in req_strategy(), reserved in 0u32..65_536) {
+/// Monotonicity: if a requirement is satisfied with some reservation,
+/// it is satisfied with any smaller reservation; and a strictly weaker
+/// requirement is also satisfied.
+#[test]
+fn qos_satisfaction_monotone() {
+    run_cases("qos_satisfaction_monotone", 256, |g| {
+        let caps = gen_caps(g);
+        let req = gen_req(g);
+        let reserved = g.u64_in(0, 65_536) as u32;
         if req.satisfied_by(&caps, reserved) {
-            prop_assert!(req.satisfied_by(&caps, reserved.saturating_sub(1)));
+            assert!(req.satisfied_by(&caps, reserved.saturating_sub(1)));
             let weaker = QosRequirements {
                 min_cores: req.min_cores.saturating_sub(1),
                 min_mhz: req.min_mhz.saturating_sub(100),
                 memory_mb: req.memory_mb.saturating_sub(1),
                 ..req.clone()
             };
-            prop_assert!(weaker.satisfied_by(&caps, reserved));
+            assert!(weaker.satisfied_by(&caps, reserved));
         }
-    }
+    });
+}
 
-    /// Headroom is in [0, 1] and decreases as reservation grows.
-    #[test]
-    fn headroom_bounded_and_monotone(caps in caps_strategy(), req in req_strategy(), r1 in 0u32..65_536, r2 in 0u32..65_536) {
+/// Headroom is in [0, 1] and decreases as reservation grows.
+#[test]
+fn headroom_bounded_and_monotone() {
+    run_cases("headroom_bounded_and_monotone", 256, |g| {
+        let caps = gen_caps(g);
+        let req = gen_req(g);
+        let r1 = g.u64_in(0, 65_536) as u32;
+        let r2 = g.u64_in(0, 65_536) as u32;
         let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
         let h_lo = req.headroom(&caps, lo);
         let h_hi = req.headroom(&caps, hi);
-        prop_assert!((0.0..=1.0).contains(&h_lo));
-        prop_assert!((0.0..=1.0).contains(&h_hi));
-        prop_assert!(h_hi <= h_lo + 1e-12, "more reserved, less headroom");
-    }
+        assert!((0.0..=1.0).contains(&h_lo));
+        assert!((0.0..=1.0).contains(&h_hi));
+        assert!(h_hi <= h_lo + 1e-12, "more reserved, less headroom");
+    });
+}
 
-    /// Every policy returns a valid index on non-empty candidate lists and
-    /// None on empty ones.
-    #[test]
-    fn policies_return_valid_indices(
-        reservations in prop::collection::vec(0u32..8_192, 0..12),
-        req in req_strategy(),
-    ) {
+/// Every policy returns a valid index on non-empty candidate lists and
+/// None on empty ones.
+#[test]
+fn policies_return_valid_indices() {
+    run_cases("policies_return_valid_indices", 128, |g| {
+        let reservations = g.vec_of(0, 12, |g| g.u64_in(0, 8_192) as u32);
+        let req = gen_req(g);
         let candidates: Vec<Candidate<usize>> = reservations
             .iter()
             .enumerate()
@@ -74,15 +85,19 @@ proptest! {
         for policy in AllocationPolicy::ALL {
             let mut cursor = 0;
             match policy.select(&req, &candidates, &mut cursor) {
-                Some(idx) => prop_assert!(idx < candidates.len()),
-                None => prop_assert!(candidates.is_empty()),
+                Some(idx) => assert!(idx < candidates.len()),
+                None => assert!(candidates.is_empty()),
             }
         }
-    }
+    });
+}
 
-    /// Round robin visits every candidate exactly once per cycle.
-    #[test]
-    fn round_robin_is_fair(n in 1usize..12, cycles in 1usize..4) {
+/// Round robin visits every candidate exactly once per cycle.
+#[test]
+fn round_robin_is_fair() {
+    run_cases("round_robin_is_fair", 64, |g| {
+        let n = g.usize_in(1, 12);
+        let cycles = g.usize_in(1, 4);
         let candidates: Vec<Candidate<usize>> = (0..n)
             .map(|i| Candidate { node: i, caps: QosCapabilities::lab_server(), reserved_mb: 0 })
             .collect();
@@ -93,13 +108,16 @@ proptest! {
             let idx = AllocationPolicy::RoundRobin.select(&req, &candidates, &mut cursor).unwrap();
             counts[idx] += 1;
         }
-        prop_assert!(counts.iter().all(|&c| c == cycles), "{counts:?}");
-    }
+        assert!(counts.iter().all(|&c| c == cycles), "{counts:?}");
+    });
+}
 
-    /// Least-utilized picks a candidate with maximal headroom; best-fit a
-    /// minimal one.
-    #[test]
-    fn extremal_policies_are_extremal(reservations in prop::collection::vec(0u32..8_192, 1..12)) {
+/// Least-utilized picks a candidate with maximal headroom; best-fit a
+/// minimal one.
+#[test]
+fn extremal_policies_are_extremal() {
+    run_cases("extremal_policies_are_extremal", 128, |g| {
+        let reservations = g.vec_of(1, 12, |g| g.u64_in(0, 8_192) as u32);
         let req = QosRequirements { memory_mb: 10, ..Default::default() };
         let candidates: Vec<Candidate<usize>> = reservations
             .iter()
@@ -117,7 +135,7 @@ proptest! {
         let bf = AllocationPolicy::BestFit.select(&req, &candidates, &mut cursor).unwrap();
         let max = headrooms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = headrooms.iter().cloned().fold(f64::INFINITY, f64::min);
-        prop_assert!((headrooms[lu] - max).abs() < 1e-12);
-        prop_assert!((headrooms[bf] - min).abs() < 1e-12);
-    }
+        assert!((headrooms[lu] - max).abs() < 1e-12);
+        assert!((headrooms[bf] - min).abs() < 1e-12);
+    });
 }

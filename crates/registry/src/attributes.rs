@@ -7,7 +7,7 @@
 //! metadata and UI descriptors. [`Entry`] reproduces those; [`AttrMatch`]
 //! is the template form with per-field wildcards (Jini's `null` fields).
 
-use bytes::{Bytes, BytesMut};
+use sensorcer_sim::wire::{Bytes, BytesMut};
 use sensorcer_sim::wire::{WireDecode, WireEncode, WireError};
 
 /// A concrete attribute on a service item.

@@ -1,6 +1,6 @@
 //! Identifiers used across the registry.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use sensorcer_sim::wire::{Bytes, BytesMut};
 use sensorcer_sim::rng::SimRng;
 use sensorcer_sim::wire::{WireDecode, WireEncode, WireError};
 
@@ -52,7 +52,6 @@ impl WireEncode for SvcUuid {
 
 impl WireDecode for SvcUuid {
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
-        use bytes::Buf;
         if buf.remaining() < 16 {
             return Err(WireError::Truncated { needed: 16, available: buf.remaining() });
         }

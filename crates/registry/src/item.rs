@@ -1,6 +1,6 @@
 //! Service items and lookup templates.
 
-use bytes::{Bytes, BytesMut};
+use sensorcer_sim::wire::{Bytes, BytesMut};
 use sensorcer_sim::env::ServiceId;
 use sensorcer_sim::topology::HostId;
 use sensorcer_sim::wire::{WireDecode, WireEncode, WireError};
@@ -109,6 +109,15 @@ impl ServiceTemplate {
     pub fn and_attr(mut self, m: AttrMatch) -> ServiceTemplate {
         self.attributes.push(m);
         self
+    }
+
+    /// The first exact-name constraint among the attribute matchers, if
+    /// any — the constraint a name index can serve.
+    pub fn exact_name(&self) -> Option<&str> {
+        self.attributes.iter().find_map(|a| match a {
+            AttrMatch::Name(Some(n)) => Some(n.as_str()),
+            _ => None,
+        })
     }
 
     /// Jini matching semantics.

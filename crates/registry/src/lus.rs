@@ -8,7 +8,8 @@
 //! renewed and the service is deregistered from the LUS and thus leaves
 //! the network".
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use sensorcer_sim::env::{Env, ServiceId};
 use sensorcer_sim::time::{SimDuration, SimTime};
@@ -16,7 +17,7 @@ use sensorcer_sim::topology::{HostId, NetError};
 use sensorcer_sim::wire::{ProtocolStack, WireEncode};
 
 use crate::events::{EventSink, ServiceEvent, Transition};
-use crate::ids::SvcUuid;
+use crate::ids::{InterfaceId, SvcUuid};
 use crate::item::{ServiceItem, ServiceTemplate};
 use crate::lease::{Lease, LeaseError, LeaseId, LeasePolicy, LeaseTable};
 
@@ -37,10 +38,21 @@ struct EventReg {
 
 /// The registry state. Deploy with [`LookupService::deploy`]; interact
 /// remotely through [`LusHandle`].
+///
+/// Items are held behind [`Arc`] and mirrored into two secondary indexes
+/// (interface → uuid set, name → uuid set), so the hot lookup path
+/// narrows to a candidate set instead of scanning every registration and
+/// hands out cheap handles instead of deep clones. The indexes iterate in
+/// uuid order, which keeps result sets byte-identical to a linear scan of
+/// the uuid-keyed item map.
 pub struct LookupService {
     pub host: HostId,
     group: String,
-    items: BTreeMap<SvcUuid, ServiceItem>,
+    items: BTreeMap<SvcUuid, Arc<ServiceItem>>,
+    /// Interface name → uuids of the items implementing it.
+    by_interface: BTreeMap<InterfaceId, BTreeSet<SvcUuid>>,
+    /// Exact `Name` attribute → uuids carrying it.
+    by_name: BTreeMap<String, BTreeSet<SvcUuid>>,
     /// Maps registration leases to the uuid they keep alive.
     reg_leases: LeaseTable<SvcUuid>,
     event_regs: LeaseTable<EventReg>,
@@ -53,9 +65,39 @@ impl LookupService {
             host,
             group: group.into(),
             items: BTreeMap::new(),
+            by_interface: BTreeMap::new(),
+            by_name: BTreeMap::new(),
             reg_leases: LeaseTable::new(policy),
             event_regs: LeaseTable::new(policy),
             registrations_total: 0,
+        }
+    }
+
+    fn index_item(&mut self, item: &ServiceItem) {
+        for iface in &item.interfaces {
+            self.by_interface.entry(iface.clone()).or_default().insert(item.uuid);
+        }
+        if let Some(name) = item.name() {
+            self.by_name.entry(name.to_string()).or_default().insert(item.uuid);
+        }
+    }
+
+    fn unindex_item(&mut self, item: &ServiceItem) {
+        for iface in &item.interfaces {
+            if let Some(set) = self.by_interface.get_mut(iface) {
+                set.remove(&item.uuid);
+                if set.is_empty() {
+                    self.by_interface.remove(iface);
+                }
+            }
+        }
+        if let Some(name) = item.name() {
+            if let Some(set) = self.by_name.get_mut(name) {
+                set.remove(&item.uuid);
+                if set.is_empty() {
+                    self.by_name.remove(name);
+                }
+            }
         }
     }
 
@@ -125,10 +167,15 @@ impl LookupService {
             item.uuid = SvcUuid::generate(env.rng());
         }
         let uuid = item.uuid;
-        let old = self.items.insert(uuid, item.clone());
+        let item = Arc::new(item);
+        let old = self.items.insert(uuid, Arc::clone(&item));
+        if let Some(old) = &old {
+            self.unindex_item(old);
+        }
+        self.index_item(&item);
         let lease = self.reg_leases.grant(now, duration, uuid);
         self.registrations_total += 1;
-        self.fire(env, now, uuid, old.as_ref(), Some(&item));
+        self.fire(env, now, uuid, old.as_deref(), Some(&item));
         ServiceRegistration { uuid, lease }
     }
 
@@ -147,6 +194,7 @@ impl LookupService {
         let uuid = self.reg_leases.cancel(lease)?;
         let now = env.now();
         if let Some(old) = self.items.remove(&uuid) {
+            self.unindex_item(&old);
             self.fire(env, now, uuid, Some(&old), None);
         }
         Ok(())
@@ -154,6 +202,10 @@ impl LookupService {
 
     /// Replace the attributes of a live registration (e.g. a provider
     /// updating its `Comment`). Fires `MatchToMatch`/transition events.
+    ///
+    /// The pre-modification snapshot exists only while at least one live
+    /// event registration might observe the transition; without listeners
+    /// the attributes are swapped in place.
     pub fn modify_attributes(
         &mut self,
         env: &mut Env,
@@ -161,31 +213,150 @@ impl LookupService {
         attributes: Vec<crate::attributes::Entry>,
     ) -> bool {
         let now = env.now();
-        match self.items.get_mut(&uuid) {
-            Some(item) => {
-                let old = item.clone();
-                item.attributes = attributes;
-                let new = item.clone();
-                self.fire(env, now, uuid, Some(&old), Some(&new));
-                true
+        let Some(existing) = self.items.get(&uuid) else { return false };
+        let has_listeners = self.event_regs.live(now).next().is_some();
+        if has_listeners {
+            let old = Arc::clone(existing);
+            let mut item = (*old).clone();
+            item.attributes = attributes;
+            let new = Arc::new(item);
+            self.items.insert(uuid, Arc::clone(&new));
+            self.reindex_name(uuid, old.name(), new.name());
+            self.fire(env, now, uuid, Some(&old), Some(&new));
+        } else {
+            let old_name = existing.name().map(str::to_string);
+            let item = self.items.get_mut(&uuid).expect("checked above");
+            // Clones the item only if a lookup result still shares it.
+            Arc::make_mut(item).attributes = attributes;
+            let new_name = self.items[&uuid].name().map(str::to_string);
+            self.reindex_name(uuid, old_name.as_deref(), new_name.as_deref());
+        }
+        true
+    }
+
+    fn reindex_name(&mut self, uuid: SvcUuid, old: Option<&str>, new: Option<&str>) {
+        if old == new {
+            return;
+        }
+        if let Some(name) = old {
+            if let Some(set) = self.by_name.get_mut(name) {
+                set.remove(&uuid);
+                if set.is_empty() {
+                    self.by_name.remove(name);
+                }
             }
-            None => false,
+        }
+        if let Some(name) = new {
+            self.by_name.entry(name.to_string()).or_default().insert(uuid);
+        }
+    }
+
+    /// Visit every registered item matching `template` in uuid order, up
+    /// to `max`, without cloning anything. The visitor returns `true` to
+    /// keep scanning, `false` to stop early.
+    ///
+    /// The indexes only narrow the candidate set — every candidate still
+    /// passes through [`ServiceTemplate::matches`], and candidate sets
+    /// iterate in uuid order, so the visited sequence is exactly what a
+    /// linear scan of the item map would produce.
+    pub fn lookup_visit(
+        &self,
+        template: &ServiceTemplate,
+        max: usize,
+        mut visit: impl FnMut(&Arc<ServiceItem>) -> bool,
+    ) {
+        if max == 0 {
+            return;
+        }
+        let mut seen = 0usize;
+        let mut emit = |item: &Arc<ServiceItem>| -> bool {
+            if !template.matches(item) {
+                return true;
+            }
+            seen += 1;
+            visit(item) && seen < max
+        };
+
+        // Explicit ids: direct map hits, in uuid order for scan parity.
+        if !template.ids.is_empty() {
+            let mut ids = template.ids.clone();
+            ids.sort_unstable();
+            ids.dedup();
+            for id in ids {
+                if let Some(item) = self.items.get(&id) {
+                    if !emit(item) {
+                        return;
+                    }
+                }
+            }
+            return;
+        }
+
+        // Interface constraints: intersect by scanning the smallest
+        // posting set. An interface nobody implements means no matches.
+        let mut candidates: Option<&BTreeSet<SvcUuid>> = None;
+        for iface in &template.interfaces {
+            match self.by_interface.get(iface) {
+                None => return,
+                Some(set) => {
+                    if candidates.is_none_or(|c| set.len() < c.len()) {
+                        candidates = Some(set);
+                    }
+                }
+            }
+        }
+        // Otherwise an exact-name constraint selects via the name index.
+        if candidates.is_none() {
+            if let Some(name) = template.exact_name() {
+                match self.by_name.get(name) {
+                    None => return,
+                    Some(set) => candidates = Some(set),
+                }
+            }
+        }
+
+        match candidates {
+            // A posting set only helps if it actually narrows the scan: a
+            // per-uuid map probe costs more than walking one entry, so if
+            // the set covers most of the registry (e.g. an interface every
+            // service implements) the sequential scan wins.
+            Some(set) if set.len() * 2 < self.items.len() => {
+                for uuid in set {
+                    if !emit(&self.items[uuid]) {
+                        return;
+                    }
+                }
+            }
+            _ => {
+                for item in self.items.values() {
+                    if !emit(item) {
+                        return;
+                    }
+                }
+            }
         }
     }
 
     /// All currently registered items matching `template`, up to `max`.
-    pub fn lookup(&self, template: &ServiceTemplate, max: usize) -> Vec<ServiceItem> {
-        self.items
-            .values()
-            .filter(|i| template.matches(i))
-            .take(max)
-            .cloned()
-            .collect()
+    /// Returns shared handles; clone the inner item only at a wire
+    /// boundary.
+    pub fn lookup(&self, template: &ServiceTemplate, max: usize) -> Vec<Arc<ServiceItem>> {
+        let mut out = Vec::new();
+        self.lookup_visit(template, max, |item| {
+            out.push(Arc::clone(item));
+            true
+        });
+        out
     }
 
     /// First match, if any.
-    pub fn lookup_one(&self, template: &ServiceTemplate) -> Option<ServiceItem> {
-        self.items.values().find(|i| template.matches(i)).cloned()
+    pub fn lookup_one(&self, template: &ServiceTemplate) -> Option<Arc<ServiceItem>> {
+        let mut hit = None;
+        self.lookup_visit(template, 1, |item| {
+            hit = Some(Arc::clone(item));
+            false
+        });
+        hit
     }
 
     /// Register interest in service transitions.
@@ -212,6 +383,7 @@ impl LookupService {
         let now = env.now();
         for (_, uuid) in self.reg_leases.reap(now) {
             if let Some(old) = self.items.remove(&uuid) {
+                self.unindex_item(&old);
                 self.fire(env, now, uuid, Some(&old), None);
             }
         }
@@ -327,7 +499,8 @@ impl LusHandle {
         })
     }
 
-    /// Remote lookup.
+    /// Remote lookup. Matched items are cloned exactly once, here at the
+    /// simulated wire boundary.
     pub fn lookup(
         &self,
         env: &mut Env,
@@ -338,9 +511,14 @@ impl LusHandle {
         let req = template.encoded_len() + 8;
         let template = template.clone();
         env.call(from, self.service, ProtocolStack::Tcp, req, move |_env, lus: &mut LookupService| {
-            let found = lus.lookup(&template, max);
-            let resp: usize = found.iter().map(|i| i.encoded_len()).sum::<usize>().max(8);
-            (found, resp)
+            let mut found = Vec::new();
+            let mut resp = 0usize;
+            lus.lookup_visit(&template, max, |item| {
+                resp += item.encoded_len();
+                found.push((**item).clone());
+                true
+            });
+            (found, resp.max(8))
         })
     }
 
@@ -351,7 +529,34 @@ impl LusHandle {
         from: HostId,
         template: &ServiceTemplate,
     ) -> Result<Option<ServiceItem>, NetError> {
-        Ok(self.lookup(env, from, template, 1)?.into_iter().next())
+        self.lookup_first_excluding(env, from, template, None)
+    }
+
+    /// Remote lookup of the first match whose name is not `exclude`. The
+    /// registry visits candidates in place and clones only the one item
+    /// that is returned.
+    pub fn lookup_first_excluding(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        template: &ServiceTemplate,
+        exclude: Option<&str>,
+    ) -> Result<Option<ServiceItem>, NetError> {
+        let req = template.encoded_len() + 8;
+        let template = template.clone();
+        let exclude = exclude.map(str::to_string);
+        env.call(from, self.service, ProtocolStack::Tcp, req, move |_env, lus: &mut LookupService| {
+            let mut hit: Option<ServiceItem> = None;
+            lus.lookup_visit(&template, usize::MAX, |item| {
+                if exclude.as_deref().is_some_and(|x| item.name() == Some(x)) {
+                    return true;
+                }
+                hit = Some((**item).clone());
+                false
+            });
+            let resp = hit.as_ref().map_or(8, |i| i.encoded_len());
+            (hit, resp)
+        })
     }
 
     /// Register an event listener.

@@ -1,0 +1,179 @@
+//! Work-distribution queues with the `crossbeam-deque` API shape.
+//!
+//! [`Injector`] is the global submission queue, each worker thread owns a
+//! [`Worker`] queue, and [`Stealer`] handles let other threads take work
+//! from it. The implementation is mutex-guarded `VecDeque`s rather than
+//! lock-free ring buffers: the pool's jobs are composite sensor reads
+//! (microseconds to milliseconds each), so queue transfer cost is noise —
+//! what matters is that the API and the stealing discipline match what the
+//! pool's scheduling logic expects.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Outcome of a steal attempt.
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was taken.
+    Success(T),
+    /// The attempt lost a race and should be retried.
+    Retry,
+}
+
+fn locked<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A worker thread's own FIFO queue.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    pub fn new_fifo() -> Self {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Take the next task in FIFO order.
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.queue).pop_front()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// A handle other threads use to steal from this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// A handle for taking tasks from another thread's [`Worker`] queue.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal the task at the back of the victim's queue (the victim pops
+    /// from the front, so contention concentrates only when one task
+    /// remains).
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_back() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// The global submission queue shared by all pool clients.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Move a batch of tasks into `dest`'s local queue and return one of
+    /// them directly. Takes at most half the backlog (minimum one) so that
+    /// concurrent workers draining the injector still share the load.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut global = locked(&self.queue);
+        let first = match global.pop_front() {
+            Some(task) => task,
+            None => return Steal::Empty,
+        };
+        let extra = global.len() / 2;
+        if extra > 0 {
+            let mut local = locked(&dest.queue);
+            for _ in 0..extra {
+                match global.pop_front() {
+                    Some(task) => local.push_back(task),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_fifo_and_steals_from_back() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(1));
+        assert!(matches!(s.steal(), Steal::Success(3)));
+        assert_eq!(w.pop(), Some(2));
+        assert!(matches!(s.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn injector_batch_splits_backlog() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        let got = match inj.steal_batch_and_pop(&w) {
+            Steal::Success(t) => t,
+            _ => panic!("non-empty injector must yield a task"),
+        };
+        assert_eq!(got, 0);
+        // Half of the remaining 9 tasks moved over, order preserved.
+        assert_eq!(w.pop(), Some(1));
+        assert!(!inj.is_empty());
+        assert_eq!(inj.len(), 5);
+    }
+
+    #[test]
+    fn injector_empty_reports_empty() {
+        let inj: Injector<u8> = Injector::new();
+        assert!(matches!(inj.steal(), Steal::Empty));
+        assert!(matches!(inj.steal_batch_and_pop(&Worker::new_fifo()), Steal::Empty));
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Real-thread parallel execution for the *local* (embedded,
 //! non-simulated) deployment mode of the SenSORCER reproduction. Provides
-//! a work-stealing [`ThreadPool`] (crossbeam deques + parking) whose
+//! a work-stealing [`ThreadPool`] (per-worker deques + parking) whose
 //! [`ThreadPool::par_map`] lets a composite sensor provider fan its child
 //! reads out over actual OS threads — the HPC counterpart of the
 //! simulator's virtual-time `Flow::Parallel`.
@@ -15,6 +15,8 @@
 //! assert_eq!(squares[7], 49);
 //! ```
 
+pub mod deque;
 pub mod pool;
+pub mod sync;
 
 pub use pool::ThreadPool;

@@ -3,16 +3,16 @@
 //! The simulated deployment mode runs everything on virtual time, but the
 //! *local* (embedded) deployment mode of `sensorcer-core` executes
 //! composite reads on real threads. This pool is its engine: one
-//! [`crossbeam_deque::Worker`] per thread with an [`Injector`] for
-//! external submissions, stealing between threads when a local queue runs
-//! dry, and parking idle workers so an idle pool costs nothing.
+//! [`Worker`] queue per thread with an [`Injector`] for external
+//! submissions, stealing between threads when a local queue runs dry, and
+//! parking idle workers so an idle pool costs nothing.
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam_deque::{Injector, Stealer, Worker};
-use parking_lot::{Condvar, Mutex};
+use crate::deque::{Injector, Steal, Stealer, Worker};
+use crate::sync::{Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send>;
 
@@ -35,9 +35,9 @@ impl Shared {
         loop {
             // Drain a batch from the injector into the local queue.
             match self.injector.steal_batch_and_pop(local) {
-                crossbeam_deque::Steal::Success(job) => return Some(job),
-                crossbeam_deque::Steal::Retry => continue,
-                crossbeam_deque::Steal::Empty => break,
+                Steal::Success(job) => return Some(job),
+                Steal::Retry => continue,
+                Steal::Empty => break,
             }
         }
         self.steal_any(index)
@@ -50,9 +50,9 @@ impl Shared {
     fn steal_any(&self, skip: usize) -> Option<Job> {
         loop {
             match self.injector.steal() {
-                crossbeam_deque::Steal::Success(job) => return Some(job),
-                crossbeam_deque::Steal::Retry => continue,
-                crossbeam_deque::Steal::Empty => break,
+                Steal::Success(job) => return Some(job),
+                Steal::Retry => continue,
+                Steal::Empty => break,
             }
         }
         let n = self.stealers.len();
@@ -60,9 +60,9 @@ impl Shared {
             let victim = (skip + 1 + k) % n;
             loop {
                 match self.stealers[victim].steal() {
-                    crossbeam_deque::Steal::Success(job) => return Some(job),
-                    crossbeam_deque::Steal::Retry => continue,
-                    crossbeam_deque::Steal::Empty => break,
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
                 }
             }
         }

@@ -1,30 +1,33 @@
 //! Property tests for the work-stealing pool: par_map correctness under
-//! arbitrary shapes, thread counts and nesting.
+//! arbitrary shapes, thread counts and nesting. Driven by the
+//! deterministic harness in `sensorcer_sim::check`.
 
-use proptest::prelude::*;
+use sensorcer_sim::check::run_cases;
 
 use sensorcer_runtime::ThreadPool;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// par_map equals the sequential map for arbitrary inputs and pool
-    /// sizes, preserving order.
-    #[test]
-    fn par_map_matches_sequential(
-        items in prop::collection::vec(any::<i64>(), 0..200),
-        threads in 1usize..8,
-    ) {
+/// par_map equals the sequential map for arbitrary inputs and pool
+/// sizes, preserving order.
+#[test]
+fn par_map_matches_sequential() {
+    run_cases("par_map_matches_sequential", 24, |g| {
+        let items = g.vec_of(0, 200, |g| g.i64());
+        let threads = g.usize_in(1, 8);
         let pool = ThreadPool::new(threads);
         let expected: Vec<i64> = items.iter().map(|x| x.wrapping_mul(3).wrapping_add(1)).collect();
         let got = pool.par_map(items, |x| x.wrapping_mul(3).wrapping_add(1));
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    /// Nested par_map (a map whose closure maps again on the same pool)
-    /// terminates and is correct for arbitrary small shapes.
-    #[test]
-    fn nested_par_map_correct(outer in 1usize..12, inner in 1usize..12, threads in 1usize..4) {
+/// Nested par_map (a map whose closure maps again on the same pool)
+/// terminates and is correct for arbitrary small shapes.
+#[test]
+fn nested_par_map_correct() {
+    run_cases("nested_par_map_correct", 16, |g| {
+        let outer = g.usize_in(1, 12);
+        let inner = g.usize_in(1, 12);
+        let threads = g.usize_in(1, 4);
         let pool = std::sync::Arc::new(ThreadPool::new(threads));
         let p2 = std::sync::Arc::clone(&pool);
         let got = pool.par_map((0..outer as u64).collect(), move |i| {
@@ -35,22 +38,29 @@ proptest! {
         let want: Vec<u64> = (0..outer as u64)
             .map(|i| (0..inner as u64).map(|j| i * 100 + j).sum())
             .collect();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    /// Borrowed captures: the closure reads caller-stack data safely.
-    #[test]
-    fn par_map_borrows_are_sound(base in prop::collection::vec(any::<u32>(), 1..64)) {
+/// Borrowed captures: the closure reads caller-stack data safely.
+#[test]
+fn par_map_borrows_are_sound() {
+    run_cases("par_map_borrows_are_sound", 24, |g| {
+        let base = g.vec_of(1, 64, |g| g.u64() as u32);
         let pool = ThreadPool::new(4);
         let idx: Vec<usize> = (0..base.len()).collect();
         let got = pool.par_map(idx, |i| base[i]);
-        prop_assert_eq!(got, base);
-    }
+        assert_eq!(got, base);
+    });
+}
 
-    /// spawn + wait_idle runs every job exactly once.
-    #[test]
-    fn spawn_runs_everything(n in 0usize..300, threads in 1usize..6) {
+/// spawn + wait_idle runs every job exactly once.
+#[test]
+fn spawn_runs_everything() {
+    run_cases("spawn_runs_everything", 16, |g| {
         use std::sync::atomic::{AtomicU64, Ordering};
+        let n = g.usize_in(0, 300);
+        let threads = g.usize_in(1, 6);
         let pool = ThreadPool::new(threads);
         let counter = std::sync::Arc::new(AtomicU64::new(0));
         for _ in 0..n {
@@ -60,6 +70,6 @@ proptest! {
             });
         }
         pool.wait_idle();
-        prop_assert_eq!(counter.load(Ordering::SeqCst), n as u64);
-    }
+        assert_eq!(counter.load(Ordering::SeqCst), n as u64);
+    });
 }

@@ -1,38 +1,47 @@
 //! Property tests for the sensor substrate: calibration laws, store
-//! bounds, probe determinism and battery accounting.
+//! bounds, probe determinism and battery accounting. Driven by the
+//! deterministic harness in `sensorcer_sim::check`.
 
-use proptest::prelude::*;
+use sensorcer_sim::check::run_cases;
 
 use sensorcer_sensors::prelude::*;
 use sensorcer_sim::rng::SimRng;
 use sensorcer_sim::time::{SimDuration, SimTime};
 
-proptest! {
-    /// Linear calibration is exactly affine.
-    #[test]
-    fn linear_calibration_is_affine(gain in -100.0f64..100.0, offset in -100.0f64..100.0, x in -1e4f64..1e4) {
+/// Linear calibration is exactly affine.
+#[test]
+fn linear_calibration_is_affine() {
+    run_cases("linear_calibration_is_affine", 256, |g| {
+        let gain = g.f64_in(-100.0, 100.0);
+        let offset = g.f64_in(-100.0, 100.0);
+        let x = g.f64_in(-1e4, 1e4);
         let c = Calibration::Linear { gain, offset };
-        prop_assert!((c.apply(x) - (gain * x + offset)).abs() < 1e-9);
-    }
+        assert!((c.apply(x) - (gain * x + offset)).abs() < 1e-9);
+    });
+}
 
-    /// Piecewise-linear interpolation through sorted points is monotone
-    /// when the outputs are monotone, and exact at the knots.
-    #[test]
-    fn piecewise_exact_at_knots_and_monotone(
-        mut raw in prop::collection::vec(-1e3f64..1e3, 2..10),
-        mut eng in prop::collection::vec(-1e3f64..1e3, 2..10),
-    ) {
+/// Piecewise-linear interpolation through sorted points is monotone
+/// when the outputs are monotone, and exact at the knots.
+#[test]
+fn piecewise_exact_at_knots_and_monotone() {
+    run_cases("piecewise_exact_at_knots_and_monotone", 128, |g| {
+        let mut raw = g.vec_of(2, 9, |g| g.f64_in(-1e3, 1e3));
+        let mut eng = g.vec_of(2, 9, |g| g.f64_in(-1e3, 1e3));
         raw.sort_by(|a, b| a.partial_cmp(b).unwrap());
         raw.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
-        prop_assume!(raw.len() >= 2);
+        if raw.len() < 2 {
+            return;
+        }
         eng.sort_by(|a, b| a.partial_cmp(b).unwrap());
         eng.truncate(raw.len());
-        prop_assume!(eng.len() == raw.len());
+        if eng.len() != raw.len() {
+            return;
+        }
         let points: Vec<(f64, f64)> = raw.iter().copied().zip(eng.iter().copied()).collect();
         let c = Calibration::PiecewiseLinear { points: points.clone() };
-        prop_assert!(c.validate().is_ok());
+        assert!(c.validate().is_ok());
         for &(x, y) in &points {
-            prop_assert!((c.apply(x) - y).abs() < 1e-6, "knot ({x}, {y}) -> {}", c.apply(x));
+            assert!((c.apply(x) - y).abs() < 1e-6, "knot ({x}, {y}) -> {}", c.apply(x));
         }
         // Monotone outputs => monotone curve between the knots.
         let lo = raw[0];
@@ -42,35 +51,41 @@ proptest! {
         for i in 0..=steps {
             let x = lo + (hi - lo) * i as f64 / steps as f64;
             let y = c.apply(x);
-            prop_assert!(y >= prev - 1e-6, "non-monotone at {x}");
+            assert!(y >= prev - 1e-6, "non-monotone at {x}");
             prev = y;
         }
-    }
+    });
+}
 
-    /// The ring store never exceeds capacity and keeps the newest items.
-    #[test]
-    fn ring_store_bounds(cap in 1usize..64, n in 0usize..200) {
+/// The ring store never exceeds capacity and keeps the newest items.
+#[test]
+fn ring_store_bounds() {
+    run_cases("ring_store_bounds", 128, |g| {
+        let cap = g.usize_in(1, 64);
+        let n = g.usize_in(0, 200);
         let mut store = RingStore::new(cap);
         for i in 0..n {
             store.push(Measurement::good(i as f64, Unit::Celsius, SimTime(i as u64)));
         }
-        prop_assert!(store.len() <= cap);
-        prop_assert_eq!(store.len(), n.min(cap));
-        prop_assert_eq!(store.total_recorded(), n as u64);
+        assert!(store.len() <= cap);
+        assert_eq!(store.len(), n.min(cap));
+        assert_eq!(store.total_recorded(), n as u64);
         if n > 0 {
-            prop_assert_eq!(store.latest().unwrap().value, (n - 1) as f64);
+            assert_eq!(store.latest().unwrap().value, (n - 1) as f64);
             let recent = store.recent(cap);
             // Oldest-first and contiguous.
             for w in recent.windows(2) {
-                prop_assert_eq!(w[1].value, w[0].value + 1.0);
+                assert_eq!(w[1].value, w[0].value + 1.0);
             }
         }
-    }
+    });
+}
 
-    /// Identical probes with identical seeds yield identical streams; a
-    /// different seed diverges (noise is real).
-    #[test]
-    fn probe_determinism(seed in any::<u64>()) {
+/// Identical probes with identical seeds yield identical streams.
+#[test]
+fn probe_determinism() {
+    run_cases("probe_determinism", 32, |g| {
+        let seed = g.u64();
         let run = |s: u64| -> Vec<f64> {
             let mut p = SimulatedProbe::new(
                 Teds::sunspot_temperature("p"),
@@ -82,52 +97,59 @@ proptest! {
                 .map(|i| p.sample(SimTime::ZERO + SimDuration::from_secs(i)).unwrap().value)
                 .collect()
         };
-        prop_assert_eq!(run(seed), run(seed));
-    }
+        assert_eq!(run(seed), run(seed));
+    });
+}
 
-    /// Battery conservation: consumed + remaining == capacity, and level
-    /// is monotonically non-increasing under draws.
-    #[test]
-    fn battery_accounting(
-        capacity in 100.0f64..1e6,
-        sample_cost in 0.0f64..100.0,
-        draws in prop::collection::vec(0usize..512, 0..32),
-    ) {
+/// Battery conservation: consumed + remaining == capacity, and level
+/// is monotonically non-increasing under draws.
+#[test]
+fn battery_accounting() {
+    run_cases("battery_accounting", 128, |g| {
+        let capacity = g.f64_in(100.0, 1e6);
+        let sample_cost = g.f64_in(0.0, 100.0);
+        let draws = g.vec_of(0, 32, |g| g.usize_in(0, 512));
         let mut b = Battery::new(capacity, sample_cost, 1.0);
         let mut prev_level = b.level();
         for &tx in &draws {
             b.draw_sample();
             b.draw_tx(tx);
             let level = b.level();
-            prop_assert!(level <= prev_level + 1e-12);
-            prop_assert!((0.0..=1.0).contains(&level));
+            assert!(level <= prev_level + 1e-12);
+            assert!((0.0..=1.0).contains(&level));
             prev_level = level;
         }
-        prop_assert!(b.consumed_uj() <= capacity + 1e-6);
-    }
+        assert!(b.consumed_uj() <= capacity + 1e-6);
+    });
+}
 
-    /// TEDS quantize+clamp is idempotent and stays in range.
-    #[test]
-    fn teds_rail_and_grid(x in -1e3f64..1e3) {
+/// TEDS quantize+clamp is idempotent and stays in range.
+#[test]
+fn teds_rail_and_grid() {
+    run_cases("teds_rail_and_grid", 256, |g| {
+        let x = g.f64_in(-1e3, 1e3);
         let t = Teds::sunspot_temperature("q");
         let once = t.clamp(t.quantize(x));
         let twice = t.clamp(t.quantize(once));
-        prop_assert!((once - twice).abs() < 1e-9, "idempotent");
-        prop_assert!(t.in_range(once));
-    }
+        assert!((once - twice).abs() < 1e-9, "idempotent");
+        assert!(t.in_range(once));
+    });
+}
 
-    /// Fault injection conserves samples: every sample is delivered
-    /// (clean, stuck or spiked) or dropped — and with all probabilities
-    /// zero, always delivered clean.
-    #[test]
-    fn fault_injector_totality(values in prop::collection::vec(-100.0f64..100.0, 1..64), seed in any::<u64>()) {
+/// Fault injection conserves samples: with all probabilities zero,
+/// every sample is delivered clean.
+#[test]
+fn fault_injector_totality() {
+    run_cases("fault_injector_totality", 64, |g| {
+        let values = g.vec_of(1, 64, |g| g.f64_in(-100.0, 100.0));
+        let seed = g.u64();
         let mut clean = FaultInjector::none();
         let mut rng = SimRng::new(seed);
         for &v in &values {
             match clean.inject(v, &mut rng) {
-                FaultOutcome::Clean(got) => prop_assert_eq!(got, v),
-                other => prop_assert!(false, "no-fault injector produced {other:?}"),
+                FaultOutcome::Clean(got) => assert_eq!(got, v),
+                other => panic!("no-fault injector produced {other:?}"),
             }
         }
-    }
+    });
 }

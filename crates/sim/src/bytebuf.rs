@@ -1,0 +1,216 @@
+//! Minimal owned byte buffers backing the wire codec.
+//!
+//! The codec needs exactly two shapes: an append-only builder with
+//! big-endian `put_*` primitives ([`BytesMut`]) and a consuming reader with
+//! matching `get_*` primitives and cheap prefix splitting ([`Bytes`]).
+//! Keeping them in-repo removes the external `bytes` dependency while
+//! preserving the call sites' API.
+
+/// Growable, append-only byte buffer used while encoding.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+macro_rules! impl_put {
+    ($name:ident, $ty:ty) => {
+        #[inline]
+        pub fn $name(&mut self, v: $ty) {
+            self.buf.extend_from_slice(&v.to_be_bytes());
+        }
+    };
+}
+
+impl BytesMut {
+    #[inline]
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(cap) }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    impl_put!(put_u8, u8);
+    impl_put!(put_u16, u16);
+    impl_put!(put_u32, u32);
+    impl_put!(put_u64, u64);
+    impl_put!(put_u128, u128);
+    impl_put!(put_i64, i64);
+
+    #[inline]
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    #[inline]
+    pub fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    #[inline]
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Finish building and hand the bytes over to a reader.
+    #[inline]
+    pub fn freeze(self) -> Bytes {
+        Bytes { buf: self.buf, pos: 0 }
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Immutable byte sequence consumed from the front while decoding.
+///
+/// A cursor over an owned `Vec<u8>`: `get_*`/`split_to` advance the cursor
+/// without shifting or reallocating the underlying storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+macro_rules! impl_get {
+    ($name:ident, $ty:ty, $n:expr) => {
+        /// Read the next value big-endian. Panics if fewer than the needed
+        /// bytes remain (callers bounds-check via `remaining` first).
+        #[inline]
+        pub fn $name(&mut self) -> $ty {
+            let mut raw = [0u8; $n];
+            raw.copy_from_slice(&self.buf[self.pos..self.pos + $n]);
+            self.pos += $n;
+            <$ty>::from_be_bytes(raw)
+        }
+    };
+}
+
+impl Bytes {
+    /// Wrap a static byte slice (test fixtures).
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Bytes { buf: src.to_vec(), pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Total length counted from the unconsumed front (matches `remaining`
+    /// for a freshly frozen buffer, which is how call sites use it).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.remaining()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    impl_get!(get_u8, u8, 1);
+    impl_get!(get_u16, u16, 2);
+    impl_get!(get_u32, u32, 4);
+    impl_get!(get_u64, u64, 8);
+    impl_get!(get_u128, u128, 16);
+    impl_get!(get_i64, i64, 8);
+
+    #[inline]
+    pub fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.get_u64().to_be_bytes())
+    }
+
+    /// Consume and return the next `n` bytes as their own buffer.
+    /// Panics if fewer than `n` remain.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.remaining(), "split_to past end of buffer");
+        let out = self.buf[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        Bytes { buf: out, pos: 0 }
+    }
+
+    /// A copy of a sub-range of the unconsumed bytes.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        let base = self.pos;
+        Bytes { buf: self.buf[base + range.start..base + range.end].to_vec(), pos: 0 }
+    }
+
+    /// Copy the unconsumed bytes out.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf[self.pos..].to_vec()
+    }
+
+    /// View of the unconsumed bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(buf: Vec<u8>) -> Self {
+        Bytes { buf, pos: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u8(7);
+        b.put_u16(0xBEEF);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(u64::MAX - 1);
+        b.put_u128(0x0123_4567_89AB_CDEF_0123_4567_89AB_CDEF);
+        b.put_i64(-42);
+        b.put_f64(3.5);
+        b.put_slice(b"hi");
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0xBEEF);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), u64::MAX - 1);
+        assert_eq!(r.get_u128(), 0x0123_4567_89AB_CDEF_0123_4567_89AB_CDEF);
+        assert_eq!(r.get_i64(), -42);
+        assert_eq!(r.get_f64(), 3.5);
+        assert_eq!(r.split_to(2).to_vec(), b"hi");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn split_and_slice_track_cursor() {
+        let mut r = Bytes::from_static(&[1, 2, 3, 4, 5]);
+        assert_eq!(r.get_u8(), 1);
+        assert_eq!(r.slice(0..2).to_vec(), vec![2, 3]);
+        let front = r.split_to(2);
+        assert_eq!(front.to_vec(), vec![2, 3]);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.to_vec(), vec![4, 5]);
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut b = BytesMut::new();
+        b.put_u32(0x0102_0304);
+        assert_eq!(b.as_slice(), &[1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,177 @@
+//! A small deterministic property-testing harness built on [`SimRng`].
+//!
+//! The workspace's property suites used to lean on an external generator;
+//! this module replaces it with the simulator's own seeded PRNG so
+//! `cargo test` needs no network access and every failure is reproducible
+//! from the printed case seed. [`run_cases`] runs a closure over a fixed
+//! number of independently seeded [`Gen`] instances; generation helpers
+//! cover the shapes the suites need (bounded ints, floats, strings,
+//! vectors, one-of picks).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::SimRng;
+
+/// Deterministic random-input generator for one test case.
+pub struct Gen {
+    rng: SimRng,
+}
+
+impl Gen {
+    pub fn new(seed: u64) -> Self {
+        Gen { rng: SimRng::new(seed) }
+    }
+
+    /// Direct access to the underlying stream for custom draws.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.range_u64(lo, hi)
+    }
+
+    pub fn u128(&mut self) -> u128 {
+        ((self.rng.next_u64() as u128) << 64) | self.rng.next_u64() as u128
+    }
+
+    pub fn i64(&mut self) -> i64 {
+        self.rng.next_u64() as i64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi);
+        lo.wrapping_add(self.rng.range_u64(0, hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.range_f64(lo, hi)
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.rng.chance(0.5)
+    }
+
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.chance(p)
+    }
+
+    /// ASCII string over `[' ', '~']` with length in `[0, max_len]`.
+    pub fn ascii_string(&mut self, max_len: usize) -> String {
+        let len = self.usize_in(0, max_len + 1);
+        (0..len).map(|_| self.u64_in(0x20, 0x7F) as u8 as char).collect()
+    }
+
+    /// Alphabetic string with length in `[min_len, max_len]`.
+    pub fn alpha_string(&mut self, min_len: usize, max_len: usize) -> String {
+        let len = self.usize_in(min_len, max_len + 1);
+        (0..len)
+            .map(|_| {
+                let i = self.u64_in(0, 52);
+                if i < 26 { (b'A' + i as u8) as char } else { (b'a' + (i - 26) as u8) as char }
+            })
+            .collect()
+    }
+
+    /// Vector with length in `[min_len, max_len]`, elements from `f`.
+    pub fn vec_of<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_in(min_len, max_len + 1);
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.rng.index(xs.len())]
+    }
+}
+
+/// Base seed mixing so differently named suites explore different inputs.
+fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Run `cases` independent deterministic cases of property `f`. On a
+/// failure the panic is re-raised annotated with the case index and seed,
+/// so `Gen::new(seed)` reproduces it exactly.
+pub fn run_cases(name: &str, cases: u64, mut f: impl FnMut(&mut Gen)) {
+    for case in 0..cases {
+        let seed = seed_for(name, case);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut g = Gen::new(seed);
+            f(&mut g);
+        }));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic".to_string());
+            panic!("property '{name}' failed at case {case} (seed {seed:#x}): {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        run_cases("det", 5, |g| first.push(g.u64()));
+        let mut second = Vec::new();
+        run_cases("det", 5, |g| second.push(g.u64()));
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 5);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        run_cases("bounds", 50, |g| {
+            let v = g.i64_in(-10, 10);
+            assert!((-10..10).contains(&v));
+            let u = g.usize_in(3, 7);
+            assert!((3..7).contains(&u));
+            let f = g.f64_in(-1.5, 2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let s = g.alpha_string(1, 12);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic()));
+            let xs = g.vec_of(0, 4, |g| g.bool());
+            assert!(xs.len() <= 4);
+        });
+    }
+
+    #[test]
+    fn failure_reports_case_and_seed() {
+        let caught = std::panic::catch_unwind(|| {
+            run_cases("always-fails", 3, |_g| panic!("boom"));
+        });
+        let msg = *caught.unwrap_err().downcast::<String>().expect("string panic");
+        assert!(msg.contains("always-fails"), "{msg}");
+        assert!(msg.contains("case 0"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+}

@@ -38,6 +38,8 @@
 // simulated parallel branches) trip this lint; the types are the API.
 #![allow(clippy::type_complexity)]
 
+pub mod bytebuf;
+pub mod check;
 pub mod env;
 pub mod metrics;
 pub mod rng;

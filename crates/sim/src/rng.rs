@@ -5,18 +5,63 @@
 //! by the experiment configuration, so a run is exactly reproducible from
 //! its seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::time::SimDuration;
+
+/// xoshiro256++ core state. Seeded through SplitMix64 so that any 64-bit
+/// seed (including 0) expands to a full-entropy 256-bit state.
+#[derive(Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Xoshiro256pp {
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        Xoshiro256pp {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
 
 /// Seedable random source used throughout the simulation.
 ///
-/// Wraps [`StdRng`] and adds the handful of distributions the simulator
-/// needs (normal deviates via Box–Muller, exponential inter-arrival times,
-/// multiplicative jitter) so no extra dependency is required.
+/// Wraps an in-repo xoshiro256++ generator and adds the handful of
+/// distributions the simulator needs (normal deviates via Box–Muller,
+/// exponential inter-arrival times, multiplicative jitter) so no extra
+/// dependency is required.
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256pp,
     /// Spare normal deviate from the last Box–Muller draw.
     spare_normal: Option<f64>,
 }
@@ -25,7 +70,7 @@ impl SimRng {
     /// Create a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::from_seed(seed),
             spare_normal: None,
         }
     }
@@ -34,13 +79,14 @@ impl SimRng {
     /// (e.g. each sensor probe) their own stream so adding one consumer
     /// does not perturb the draws seen by the others.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::new(self.inner.gen())
+        SimRng::new(self.inner.next_u64())
     }
 
     /// Uniform in `[0, 1)`.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`. Returns `lo` when the range is empty.
@@ -49,20 +95,24 @@ impl SimRng {
         if hi <= lo {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            lo + self.unit() * (hi - lo)
         }
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if `hi <= lo`.
     #[inline]
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "range_u64: empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Lemire's multiply-shift range reduction (bias < 2^-64 per draw,
+        // far below anything the simulation statistics can observe).
+        lo + (((self.inner.next_u64() as u128) * (span as u128)) >> 64) as u64
     }
 
     /// Uniform index in `[0, n)`. Panics if `n == 0`.
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -73,14 +123,14 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
     /// Raw 64-bit draw.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        self.inner.next_u64()
     }
 
     /// Standard normal deviate (mean 0, sd 1) via Box–Muller, caching the

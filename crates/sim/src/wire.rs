@@ -12,7 +12,7 @@
 //! used by the middleware crates to size their messages honestly instead of
 //! guessing.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+pub use crate::bytebuf::{Bytes, BytesMut};
 
 /// Maximum transmission unit of the simulated links, in payload bytes per
 /// packet (Ethernet-class default).

@@ -1,43 +1,46 @@
 //! Property tests for the simulation substrate: wire-codec round trips,
 //! protocol-stack arithmetic, timer ordering, and metric summaries.
+//! Driven by the in-repo deterministic harness in `sensorcer_sim::check`.
 
-use proptest::prelude::*;
-
+use sensorcer_sim::check::run_cases;
 use sensorcer_sim::metrics::Summary;
 use sensorcer_sim::prelude::*;
 use sensorcer_sim::wire::{WireDecode, WireEncode};
 
-proptest! {
-    #[test]
-    fn codec_round_trips_nested_values(
-        xs in prop::collection::vec(any::<u64>(), 0..64),
-        opt in prop::option::of(any::<i64>()),
-        s in ".{0,48}",
-        pair in (any::<u32>(), any::<bool>()),
-    ) {
+#[test]
+fn codec_round_trips_nested_values() {
+    run_cases("codec_round_trips_nested_values", 128, |g| {
+        let xs = g.vec_of(0, 64, |g| g.u64());
+        let opt = if g.bool() { Some(g.i64()) } else { None };
+        let s = g.ascii_string(48);
+        let pair = (g.u64() as u32, g.bool());
+
         let mut wire = xs.to_wire();
-        prop_assert_eq!(Vec::<u64>::decode(&mut wire).unwrap(), xs);
+        assert_eq!(Vec::<u64>::decode(&mut wire).unwrap(), xs);
         let mut wire = opt.to_wire();
-        prop_assert_eq!(Option::<i64>::decode(&mut wire).unwrap(), opt);
+        assert_eq!(Option::<i64>::decode(&mut wire).unwrap(), opt);
         let mut wire = s.to_wire();
-        prop_assert_eq!(String::decode(&mut wire).unwrap(), s);
+        assert_eq!(String::decode(&mut wire).unwrap(), s);
         let mut wire = pair.to_wire();
-        prop_assert_eq!(<(u32, bool)>::decode(&mut wire).unwrap(), pair);
-    }
+        assert_eq!(<(u32, bool)>::decode(&mut wire).unwrap(), pair);
+    });
+}
 
-    #[test]
-    fn encoded_len_always_matches_encoding(xs in prop::collection::vec(".{0,16}", 0..16)) {
-        let owned: Vec<String> = xs;
-        prop_assert_eq!(owned.to_wire().len(), owned.encoded_len());
-    }
+#[test]
+fn encoded_len_always_matches_encoding() {
+    run_cases("encoded_len_always_matches_encoding", 128, |g| {
+        let owned: Vec<String> = g.vec_of(0, 16, |g| g.ascii_string(16));
+        assert_eq!(owned.to_wire().len(), owned.encoded_len());
+    });
+}
 
-    /// Truncating any valid encoding must produce an error, never a panic
-    /// or a bogus value that consumes the wrong amount.
-    #[test]
-    fn truncated_decode_errors_not_panics(
-        xs in prop::collection::vec(any::<u64>(), 1..16),
-        cut_frac in 0.0f64..1.0,
-    ) {
+/// Truncating any valid encoding must produce an error, never a panic
+/// or a bogus value that consumes the wrong amount.
+#[test]
+fn truncated_decode_errors_not_panics() {
+    run_cases("truncated_decode_errors_not_panics", 128, |g| {
+        let xs = g.vec_of(1, 16, |g| g.u64());
+        let cut_frac = g.f64_in(0.0, 1.0);
         let wire = xs.to_wire();
         let cut = ((wire.len() as f64) * cut_frac) as usize;
         if cut < wire.len() {
@@ -46,37 +49,51 @@ proptest! {
             // fewer whole elements) a shorter, valid prefix decode.
             match Vec::<u64>::decode(&mut short) {
                 Err(_) => {}
-                Ok(prefix) => prop_assert!(prefix.len() <= xs.len()),
+                Ok(prefix) => assert!(prefix.len() <= xs.len()),
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn bytes_on_wire_exceeds_payload(payload in 0usize..100_000) {
+#[test]
+fn bytes_on_wire_exceeds_payload() {
+    run_cases("bytes_on_wire_exceeds_payload", 256, |g| {
+        let payload = g.usize_in(0, 100_000);
         for stack in [ProtocolStack::Tcp, ProtocolStack::Udp, ProtocolStack::Compact] {
             let wire = stack.bytes_on_wire(payload);
-            prop_assert!(wire > payload, "{stack:?} {payload}");
-            prop_assert_eq!(wire, payload + stack.packets_for(payload) * stack.header_bytes());
+            assert!(wire > payload, "{stack:?} {payload}");
+            assert_eq!(wire, payload + stack.packets_for(payload) * stack.header_bytes());
             // Fragmentation is exact.
-            prop_assert!(stack.packets_for(payload) >= 1);
-            prop_assert!(stack.packets_for(payload) <= payload / stack.mtu() + 1);
+            assert!(stack.packets_for(payload) >= 1);
+            assert!(stack.packets_for(payload) <= payload / stack.mtu() + 1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn overhead_ratio_decreases_with_payload(a in 1usize..1000, b in 1usize..1000) {
+#[test]
+fn overhead_ratio_decreases_with_payload() {
+    run_cases("overhead_ratio_decreases_with_payload", 256, |g| {
+        let a = g.usize_in(1, 1000);
+        let b = g.usize_in(1, 1000);
         let (small, large) = if a <= b { (a, b) } else { (b, a) };
-        prop_assume!(small < large);
+        if small == large {
+            return;
+        }
         // Within a single packet, more payload means proportionally less
         // header overhead.
         let stack = ProtocolStack::Udp;
-        prop_assume!(large <= stack.mtu());
-        prop_assert!(stack.overhead_ratio(large) <= stack.overhead_ratio(small));
-    }
+        if large > stack.mtu() {
+            return;
+        }
+        assert!(stack.overhead_ratio(large) <= stack.overhead_ratio(small));
+    });
+}
 
-    /// Timers always fire in deadline order regardless of insertion order.
-    #[test]
-    fn timers_fire_sorted(delays in prop::collection::vec(0u64..10_000, 1..40)) {
+/// Timers always fire in deadline order regardless of insertion order.
+#[test]
+fn timers_fire_sorted() {
+    run_cases("timers_fire_sorted", 32, |g| {
+        let delays = g.vec_of(1, 40, |g| g.u64_in(0, 10_000));
         let mut env = Env::with_seed(1);
         let fired: std::rc::Rc<std::cell::RefCell<Vec<u64>>> = Default::default();
         for &d in &delays {
@@ -89,21 +106,28 @@ proptest! {
         let got = fired.borrow().clone();
         let mut want = delays.clone();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    #[test]
-    fn summary_invariants(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+#[test]
+fn summary_invariants() {
+    run_cases("summary_invariants", 128, |g| {
+        let xs = g.vec_of(1, 200, |g| g.f64_in(-1e6, 1e6));
         let s = Summary::of(&xs).unwrap();
-        prop_assert_eq!(s.count, xs.len());
-        prop_assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
-        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
-    }
+        assert_eq!(s.count, xs.len());
+        assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+    });
+}
 
-    /// A call between two live, connected hosts always succeeds on
-    /// loss-free links, and the clock strictly advances.
-    #[test]
-    fn lossless_calls_always_complete(req in 0usize..10_000, resp in 0usize..10_000) {
+/// A call between two live, connected hosts always succeeds on
+/// loss-free links, and the clock strictly advances.
+#[test]
+fn lossless_calls_always_complete() {
+    run_cases("lossless_calls_always_complete", 48, |g| {
+        let req = g.usize_in(0, 10_000);
+        let resp = g.usize_in(0, 10_000);
         let mut env = Env::with_seed(3);
         let a = env.add_host("a", HostKind::Server);
         let b = env.add_host("b", HostKind::Server);
@@ -111,19 +135,23 @@ proptest! {
         let svc = env.deploy(b, "s", S);
         let t0 = env.now();
         let out = env.call(a, svc, ProtocolStack::Tcp, req, move |_e, _s: &mut S| ((), resp));
-        prop_assert!(out.is_ok());
-        prop_assert!(env.now() > t0);
-    }
+        assert!(out.is_ok());
+        assert!(env.now() > t0);
+    });
+}
 
-    /// Jitter always stays within the configured band.
-    #[test]
-    fn jitter_banded(base_ms in 1u64..1_000, frac in 0.0f64..0.9, seed in any::<u64>()) {
-        let mut rng = SimRng::new(seed);
+/// Jitter always stays within the configured band.
+#[test]
+fn jitter_banded() {
+    run_cases("jitter_banded", 128, |g| {
+        let base_ms = g.u64_in(1, 1_000);
+        let frac = g.f64_in(0.0, 0.9);
+        let mut rng = SimRng::new(g.u64());
         let base = SimDuration::from_millis(base_ms);
         for _ in 0..32 {
             let j = rng.jitter(base, frac);
-            prop_assert!(j >= base.mul_f64(1.0 - frac - 1e-9));
-            prop_assert!(j <= base.mul_f64(1.0 + frac + 1e-9));
+            assert!(j >= base.mul_f64(1.0 - frac - 1e-9));
+            assert!(j <= base.mul_f64(1.0 + frac + 1e-9));
         }
-    }
+    });
 }

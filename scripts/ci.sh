@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# CI entry point.
+#
+#   scripts/ci.sh           tier-1: release build + full test suite
+#   scripts/ci.sh --smoke   tier-1, then the smoke bench pass writing
+#                           BENCH_1.json at the repo root
+#
+# Everything runs offline against the vendored workspace; no network,
+# no external tools beyond cargo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+smoke=0
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) smoke=1 ;;
+        *) echo "usage: scripts/ci.sh [--smoke]" >&2; exit 2 ;;
+    esac
+done
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q --workspace
+
+if [ "$smoke" -eq 1 ]; then
+    echo "== smoke bench (writes BENCH_1.json) =="
+    cargo run --release -p sensorcer-bench --bin harness -- smoke
+fi
+
+echo "ci: ok"

@@ -1,8 +1,9 @@
 //! Cross-crate property tests: invariants that must hold for arbitrary
 //! inputs, spanning the expression language, the composite algebra, the
-//! wire codec and the simulated/local execution modes.
+//! wire codec and the simulated/local execution modes. Driven by the
+//! deterministic harness in `sensorcer_sim::check`.
 
-use proptest::prelude::*;
+use sensorcer_suite::sim::check::run_cases;
 
 use sensorcer_suite::core::local::{LocalFederation, LocalNode};
 use sensorcer_suite::expr::{Program, Value};
@@ -10,41 +11,54 @@ use sensorcer_suite::sensors::probe::ScriptedProbe;
 use sensorcer_suite::sensors::units::Unit;
 use sensorcer_suite::sim::wire::{WireDecode, WireEncode};
 
-proptest! {
-    /// The paper's average expression equals arithmetic for any readings.
-    #[test]
-    fn paper_average_is_exact(a in -100.0f64..150.0, b in -100.0f64..150.0, c in -100.0f64..150.0) {
+/// The paper's average expression equals arithmetic for any readings.
+#[test]
+fn paper_average_is_exact() {
+    run_cases("paper_average_is_exact", 256, |g| {
+        let a = g.f64_in(-100.0, 150.0);
+        let b = g.f64_in(-100.0, 150.0);
+        let c = g.f64_in(-100.0, 150.0);
         let p = Program::compile("(a + b + c)/3").unwrap();
         let v = p.eval_with([("a", a), ("b", b), ("c", c)]).unwrap();
         let got = v.as_f64().unwrap();
-        prop_assert!((got - (a + b + c) / 3.0).abs() < 1e-9);
-    }
+        assert!((got - (a + b + c) / 3.0).abs() < 1e-9);
+    });
+}
 
-    /// Integer expression arithmetic matches i64 (wrapping) semantics for
-    /// + - *.
-    #[test]
-    fn integer_ops_match_rust(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+/// Integer expression arithmetic matches i64 semantics for + - *.
+#[test]
+fn integer_ops_match_rust() {
+    run_cases("integer_ops_match_rust", 256, |g| {
+        let a = g.i64_in(-10_000, 10_000);
+        let b = g.i64_in(-10_000, 10_000);
         for (op, want) in [("+", a + b), ("-", a - b), ("*", a * b)] {
             let p = Program::compile(&format!("a {op} b")).unwrap();
             let v = p.eval_with([("a", a), ("b", b)]).unwrap();
-            prop_assert_eq!(v, Value::Int(want));
+            assert_eq!(v, Value::Int(want));
         }
-    }
+    });
+}
 
-    /// Division never panics: it yields a value or DivisionByZero.
-    #[test]
-    fn division_total(a in -1000i64..1000, b in -1000i64..1000) {
+/// Division never panics: it yields a value or DivisionByZero.
+#[test]
+fn division_total() {
+    run_cases("division_total", 256, |g| {
+        let a = g.i64_in(-1000, 1000);
+        let b = g.i64_in(-1000, 1000);
         let p = Program::compile("a / b").unwrap();
         match p.eval_with([("a", a), ("b", b)]) {
-            Ok(v) => prop_assert!(v.as_f64().is_some()),
-            Err(e) => prop_assert!(b == 0 && e.to_string().contains("division")),
+            Ok(v) => assert!(v.as_f64().is_some()),
+            Err(e) => assert!(b == 0 && e.to_string().contains("division")),
         }
-    }
+    });
+}
 
-    /// A composite with the default (average) aggregation over constant
-    /// leaves reads the true mean — sequentially and in parallel.
-    #[test]
-    fn local_composite_average(values in prop::collection::vec(-50.0f64..100.0, 1..24)) {
+/// A composite with the default (average) aggregation over constant
+/// leaves reads the true mean — sequentially and in parallel.
+#[test]
+fn local_composite_average() {
+    run_cases("local_composite_average", 48, |g| {
+        let values = g.vec_of(1, 24, |g| g.f64_in(-50.0, 100.0));
         let children: Vec<_> = values
             .iter()
             .enumerate()
@@ -59,43 +73,60 @@ proptest! {
         let tree = LocalNode::composite("avg", children, None).unwrap();
         let fed = LocalFederation::new(tree);
         let seq = fed.read_sequential().unwrap();
-        prop_assert!((seq - want).abs() < 1e-9, "{} vs {}", seq, want);
+        assert!((seq - want).abs() < 1e-9, "{} vs {}", seq, want);
 
         let pool = sensorcer_suite::runtime::ThreadPool::new(4);
         let par = fed.read_parallel(&pool).unwrap();
-        prop_assert!((par - want).abs() < 1e-9, "{} vs {}", par, want);
-    }
+        assert!((par - want).abs() < 1e-9, "{} vs {}", par, want);
+    });
+}
 
-    /// Wire codec round-trips arbitrary strings and numeric vectors.
-    #[test]
-    fn wire_round_trip_strings(s in ".{0,64}") {
+/// Wire codec round-trips arbitrary strings and numeric vectors.
+#[test]
+fn wire_round_trip_strings() {
+    run_cases("wire_round_trip_strings", 256, |g| {
+        let s = g.ascii_string(64);
         let mut wire = s.to_wire();
-        prop_assert_eq!(String::decode(&mut wire).unwrap(), s);
-    }
+        assert_eq!(String::decode(&mut wire).unwrap(), s);
+    });
+}
 
-    #[test]
-    fn wire_round_trip_f64_vec(xs in prop::collection::vec(any::<f64>().prop_filter("finite", |x| x.is_finite()), 0..32)) {
+#[test]
+fn wire_round_trip_f64_vec() {
+    run_cases("wire_round_trip_f64_vec", 256, |g| {
+        let xs = g.vec_of(0, 32, |g| g.f64_in(-1e12, 1e12));
         let mut wire = xs.to_wire();
         let back = Vec::<f64>::decode(&mut wire).unwrap();
-        prop_assert_eq!(back, xs);
-    }
+        assert_eq!(back, xs);
+    });
+}
 
-    /// Parse → display → parse fixed point for expression values the CSP
-    /// info panel shows (the expression source survives installation).
-    #[test]
-    fn expression_source_is_preserved(n in 2usize..8) {
+/// Parse → display → parse fixed point for expression values the CSP
+/// info panel shows (the expression source survives installation).
+#[test]
+fn expression_source_is_preserved() {
+    run_cases("expression_source_is_preserved", 64, |g| {
+        let n = g.usize_in(2, 8);
         let vars: Vec<String> = (0..n).map(sensorcer_suite::core::csp::variable_for).collect();
         let src = format!("({}) / {n}", vars.join(" + "));
         let p = Program::compile(&src).unwrap();
-        prop_assert_eq!(p.source(), src.as_str());
-        prop_assert_eq!(p.inputs(), vars);
-    }
+        assert_eq!(p.source(), src.as_str());
+        assert_eq!(p.inputs(), vars);
+    });
+}
 
-    /// Elvis and ternary agree where both apply.
-    #[test]
-    fn elvis_matches_ternary(x in -100i64..100, fallback in -100i64..100) {
-        let elvis = Program::compile("x ?: f").unwrap().eval_with([("x", x), ("f", fallback)]).unwrap();
-        let ternary = Program::compile("x != 0 ? x : f").unwrap().eval_with([("x", x), ("f", fallback)]).unwrap();
-        prop_assert_eq!(elvis, ternary);
-    }
+/// Elvis and ternary agree where both apply.
+#[test]
+fn elvis_matches_ternary() {
+    run_cases("elvis_matches_ternary", 256, |g| {
+        let x = g.i64_in(-100, 100);
+        let fallback = g.i64_in(-100, 100);
+        let elvis =
+            Program::compile("x ?: f").unwrap().eval_with([("x", x), ("f", fallback)]).unwrap();
+        let ternary = Program::compile("x != 0 ? x : f")
+            .unwrap()
+            .eval_with([("x", x), ("f", fallback)])
+            .unwrap();
+        assert_eq!(elvis, ternary);
+    });
 }
