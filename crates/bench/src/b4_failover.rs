@@ -10,6 +10,11 @@
 //! * **Stale-registration cleanup** — crash an ESP's mote and measure how
 //!   long its dead registration lingers in the LUS, sweeping the lease
 //!   duration (the "leasing keeps the sensor network healthy" claim).
+//! * **Degraded-mode read availability** — partition one child of a
+//!   composite for a fixed window and count how many client reads each
+//!   [`DegradationPolicy`] × retry-budget combination still answers
+//!   (B4c). Strict forfeits every read that touches the outage;
+//!   `Quorum`/`LastKnownGood` substitute and flag instead.
 
 use sensorcer_core::prelude::*;
 use sensorcer_provision::cybernode::Cybernode;
@@ -170,6 +175,110 @@ pub fn failover_distribution(
     sensorcer_sim::metrics::Summary::of(&samples).expect("non-empty")
 }
 
+/// Read a 3-child composite every 2 s through a 60 s window during which
+/// one child is partitioned away for the first 30 s. Returns
+/// `(reads, ok, degraded)` — the raw material for the B4c table.
+pub fn degraded_read_availability(
+    policy: DegradationPolicy,
+    retry: sensorcer_exertion::RetryPolicy,
+    seed: u64,
+) -> (u64, u64, u64) {
+    let mut env = Env::with_seed(seed);
+    let lab = env.add_host("lab", HostKind::Server);
+    let client = env.add_host("client", HostKind::Workstation);
+    let lus = LookupService::deploy(
+        &mut env,
+        lab,
+        "LUS",
+        "public",
+        LeasePolicy {
+            max_duration: SimDuration::from_secs(360_000),
+            default_duration: SimDuration::from_secs(36_000),
+        },
+        SimDuration::from_millis(500),
+    );
+    let mut motes = Vec::new();
+    for i in 0..3u64 {
+        let mote = env.add_host(format!("m{i}"), HostKind::SensorMote);
+        deploy_esp(
+            &mut env,
+            EspConfig {
+                lease: SimDuration::from_secs(36_000),
+                ..EspConfig::new(
+                    mote,
+                    format!("S{i}"),
+                    Box::new(ScriptedProbe::new(vec![20.0 + i as f64], Unit::Celsius)),
+                    lus,
+                )
+            },
+        );
+        motes.push(mote);
+    }
+    let mut cfg = CspConfig::new(lab, "DR", lus);
+    cfg.lease = SimDuration::from_secs(36_000);
+    cfg.children = (0..3).map(|i| format!("S{i}")).collect();
+    cfg.degradation = policy;
+    cfg.retry = retry;
+    deploy_csp(&mut env, cfg).expect("composite");
+    let accessor = sensorcer_exertion::ServiceAccessor::new(vec![lus]);
+    client::get_value(&mut env, client, &accessor, "DR").expect("priming read");
+
+    // One child out for the first half of the window, then healed.
+    let victim = motes[2];
+    env.topo.partition(lab, victim);
+    let heal_at = env.now() + SimDuration::from_secs(30);
+    env.schedule_at(heal_at, move |env| env.topo.heal(lab, victim));
+
+    let end = env.now() + SimDuration::from_secs(60);
+    let (mut reads, mut ok, mut degraded) = (0u64, 0u64, 0u64);
+    while env.now() < end {
+        reads += 1;
+        if let Ok((_, d)) = client::get_value_detailed(&mut env, client, &accessor, "DR") {
+            ok += 1;
+            if d.is_degraded() {
+                degraded += 1;
+            }
+        }
+        env.run_for(SimDuration::from_secs(2));
+    }
+    (reads, ok, degraded)
+}
+
+/// B4c table: policy × retry budget → read availability.
+pub fn degraded_read_table(seed: u64) -> Table {
+    let mut c = Table::new(
+        "B4c: composite read availability through a 30s child outage (60s window, reads every 2s)",
+        &["policy", "retry", "reads", "ok", "degraded", "availability"],
+    );
+    let policies = [
+        ("strict", DegradationPolicy::Strict),
+        ("quorum(2)", DegradationPolicy::Quorum(2)),
+        ("last-known-good", DegradationPolicy::LastKnownGood {
+            max_age: SimDuration::from_secs(300),
+        }),
+    ];
+    let retries = [
+        ("none", sensorcer_exertion::RetryPolicy::none()),
+        ("transient", sensorcer_exertion::RetryPolicy::transient()),
+    ];
+    for (pname, policy) in policies {
+        for (rname, retry) in retries {
+            let (reads, ok, degraded) = degraded_read_availability(policy, retry, seed);
+            c.row(&[
+                pname.to_string(),
+                rname.to_string(),
+                reads.to_string(),
+                ok.to_string(),
+                degraded.to_string(),
+                format!("{:.0}%", 100.0 * ok as f64 / reads.max(1) as f64),
+            ]);
+        }
+    }
+    c.note("strict forfeits every read touching the outage; quorum/LKG answer degraded and flagged");
+    c.note("retries stretch each failing read (~10s budget) but only rescue reads the heal overtakes");
+    c
+}
+
 pub fn run_table(seed: u64) -> (Table, Table) {
     let mut a = Table::new(
         "B4a: provisioned-composite failover window vs. monitor heartbeat (10 seeds)",
@@ -201,7 +310,8 @@ pub fn run_table(seed: u64) -> (Table, Table) {
 
 pub fn run(seed: u64) -> String {
     let (a, b) = run_table(seed);
-    format!("{}\n{}", a.render(), b.render())
+    let c = degraded_read_table(seed);
+    format!("{}\n{}\n{}", a.render(), b.render(), c.render())
 }
 
 #[cfg(test)]
@@ -224,6 +334,34 @@ mod tests {
         // (no pathological outliers past the lease + a few heartbeats).
         assert!(s.max < 30e6, "max outage {}us", s.max);
         assert!(s.min > 1e6, "recovery can't beat the stale-lease window: {}us", s.min);
+    }
+
+    #[test]
+    fn degraded_policies_beat_strict_through_an_outage() {
+        let (reads_s, ok_s, deg_s) = degraded_read_availability(
+            DegradationPolicy::Strict,
+            sensorcer_exertion::RetryPolicy::none(),
+            9,
+        );
+        let (reads_q, ok_q, deg_q) = degraded_read_availability(
+            DegradationPolicy::Quorum(2),
+            sensorcer_exertion::RetryPolicy::none(),
+            9,
+        );
+        let (reads_k, ok_k, deg_k) = degraded_read_availability(
+            DegradationPolicy::LastKnownGood { max_age: SimDuration::from_secs(300) },
+            sensorcer_exertion::RetryPolicy::none(),
+            9,
+        );
+        // Strict loses the outage window outright and never degrades.
+        assert!(ok_s < reads_s, "strict must forfeit reads: {ok_s}/{reads_s}");
+        assert_eq!(deg_s, 0);
+        // Quorum and LKG answer everything, flagging the outage reads.
+        assert_eq!(ok_q, reads_q, "quorum answers every read");
+        assert_eq!(ok_k, reads_k, "last-known-good answers every read");
+        assert!(deg_q > 0 && deg_k > 0, "outage reads must be flagged: {deg_q}, {deg_k}");
+        // And degraded reads stop once the child heals.
+        assert!(deg_q < reads_q && deg_k < reads_k);
     }
 
     #[test]

@@ -5,14 +5,18 @@
 //!   experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all
 //! harness smoke [out.json]
 //!   fast bounded pass over the read hot paths; writes BENCH_1.json
+//! harness chaos [seed] [out.json]
+//!   seeded fault-injection soak over degraded-mode federated reads;
+//!   writes CHAOS_1.json and exits nonzero on any invariant violation
 //! ```
 
 use sensorcer_bench::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]   (default out: {})",
-        smoke::DEFAULT_OUT
+        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: {})\n       harness chaos [seed] [out.json]   (default out: {})",
+        smoke::DEFAULT_OUT,
+        chaos::DEFAULT_OUT
     );
     std::process::exit(2);
 }
@@ -61,6 +65,26 @@ fn main() {
             Ok(transcript) => print!("{transcript}"),
             Err(e) => {
                 eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // `chaos` takes an optional seed then an output path.
+    if which == "chaos" {
+        let seed = match args.get(1) {
+            Some(s) => s.parse().unwrap_or_else(|_| {
+                eprintln!("seed must be an integer, got '{s}'");
+                usage();
+            }),
+            None => DEFAULT_SEED,
+        };
+        let out = args.get(2).map(String::as_str).unwrap_or(chaos::DEFAULT_OUT);
+        match chaos::run(seed, out) {
+            Ok(transcript) => print!("{transcript}"),
+            Err(e) => {
+                eprint!("{e}");
                 std::process::exit(1);
             }
         }

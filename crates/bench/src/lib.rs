@@ -31,6 +31,7 @@ pub mod b5_discovery;
 pub mod b6_expressions;
 pub mod b7_baselines;
 pub mod b8_parallel;
+pub mod chaos;
 pub mod figs;
 pub mod helpers;
 pub mod microbench;

@@ -112,6 +112,48 @@ impl SensorReading {
     }
 }
 
+/// Which composite children degraded in a read — substituted from a
+/// last-known-good cache, or missing entirely (skipped by the default
+/// aggregate under a quorum policy). Empty on a clean read.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct DegradedInfo {
+    /// Children whose reading came from the last-known-good cache.
+    pub substituted: Vec<String>,
+    /// Children with no reading at all.
+    pub missing: Vec<String>,
+}
+
+impl DegradedInfo {
+    /// Did anything degrade?
+    pub fn is_degraded(&self) -> bool {
+        !self.substituted.is_empty() || !self.missing.is_empty()
+    }
+
+    /// Extract the degraded-children lists from a `getValue` result
+    /// context (absent paths mean a clean read).
+    pub fn from_context(ctx: &Context) -> DegradedInfo {
+        let split = |path: &str| -> Vec<String> {
+            ctx.get_str(path)
+                .map(|s| s.split(',').map(str::to_string).collect())
+                .unwrap_or_default()
+        };
+        DegradedInfo {
+            substituted: split(paths::SENSOR_SUBSTITUTED),
+            missing: split(paths::SENSOR_MISSING),
+        }
+    }
+
+    /// Write the non-empty lists into a result context (provider side).
+    pub fn write_to(&self, ctx: &mut Context) {
+        if !self.substituted.is_empty() {
+            ctx.put(paths::SENSOR_SUBSTITUTED, self.substituted.join(","));
+        }
+        if !self.missing.is_empty() {
+            ctx.put(paths::SENSOR_MISSING, self.missing.join(","));
+        }
+    }
+}
+
 /// Typed requestor-side wrappers: build the exertion, submit it with
 /// [`exert`], parse the returned context.
 pub mod client {
@@ -124,6 +166,18 @@ pub mod client {
         accessor: &ServiceAccessor,
         provider: &str,
     ) -> Result<SensorReading, String> {
+        get_value_detailed(env, from, accessor, provider).map(|(r, _)| r)
+    }
+
+    /// Read the value of the named sensor service, along with which
+    /// composite children (if any) were substituted or missing in a
+    /// degraded read.
+    pub fn get_value_detailed(
+        env: &mut Env,
+        from: HostId,
+        accessor: &ServiceAccessor,
+        provider: &str,
+    ) -> Result<(SensorReading, DegradedInfo), String> {
         let task = Task::new(
             format!("read {provider}"),
             Signature::new(interfaces::SENSOR_DATA_ACCESSOR, selectors::GET_VALUE).on(provider),
@@ -132,6 +186,7 @@ pub mod client {
         let done = exert(env, from, task.into(), accessor, None);
         match done.status() {
             ExertionStatus::Done => SensorReading::from_context(done.context())
+                .map(|r| (r, DegradedInfo::from_context(done.context())))
                 .ok_or_else(|| "provider returned no reading".to_string()),
             ExertionStatus::Failed(e) => Err(e.clone()),
             other => Err(format!("unexpected exertion status {other:?}")),
@@ -265,5 +320,28 @@ mod tests {
         assert!(!SensorReading::from_context(&suspect).unwrap().good);
 
         assert!(SensorReading::from_context(&Context::new()).is_none());
+    }
+
+    #[test]
+    fn degraded_info_round_trips_and_detects_cleanliness() {
+        let clean = DegradedInfo::from_context(&Context::new());
+        assert!(!clean.is_degraded());
+        assert_eq!(clean, DegradedInfo::default());
+
+        let info = DegradedInfo {
+            substituted: vec!["S1".into(), "S4".into()],
+            missing: vec!["S2".into()],
+        };
+        assert!(info.is_degraded());
+        let mut ctx = Context::new();
+        info.write_to(&mut ctx);
+        assert_eq!(ctx.get_str(paths::SENSOR_SUBSTITUTED), Some("S1,S4"));
+        let back = DegradedInfo::from_context(&ctx);
+        assert_eq!(back, info);
+
+        // Empty lists leave the context untouched.
+        let mut ctx = Context::new();
+        DegradedInfo::default().write_to(&mut ctx);
+        assert!(ctx.is_empty());
     }
 }

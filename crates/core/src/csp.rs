@@ -25,10 +25,50 @@ use sensorcer_registry::renewal::RenewalHandle;
 use sensorcer_registry::txn::TxnId;
 use sensorcer_sensors::calib::Calibration;
 use sensorcer_sim::env::{Env, ServiceId};
-use sensorcer_sim::time::SimDuration;
+use sensorcer_sim::time::{SimDuration, SimTime};
 use sensorcer_sim::topology::HostId;
 
 use crate::accessor::{mgmt, selectors, SensorInfo};
+
+/// Metric keys bumped by composite reads.
+pub mod keys {
+    /// Equivalence-group failovers attempted after a primary failure.
+    pub const FAILOVER_ATTEMPTS: &str = "csp.failover.attempts";
+    /// Failovers that produced a usable reading.
+    pub const FAILOVER_SUCCESS: &str = "csp.failover.success";
+    /// Reads that completed only by degrading (substituted/missing children).
+    pub const DEGRADED_READS: &str = "csp.reads.degraded";
+    /// Children substituted from the last-known-good cache.
+    pub const SUBSTITUTED_CHILDREN: &str = "csp.children.substituted";
+}
+
+/// What a composite does when a child read still fails after retry and
+/// equivalence-group failover.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DegradationPolicy {
+    /// All-or-nothing: any failed child fails the whole read (the
+    /// historical behaviour, and the default).
+    #[default]
+    Strict,
+    /// The read succeeds while at least `n` children deliver fresh
+    /// readings; the rest are substituted from last-known-good values
+    /// where available (or skipped by the default aggregate). The result
+    /// is flagged `suspect` — never silently clean.
+    Quorum(usize),
+    /// Every failed child is substituted by its last delivered value, as
+    /// long as that value is no older than `max_age`; the result is
+    /// flagged `suspect`. A child with no recent-enough value fails the
+    /// read.
+    LastKnownGood { max_age: SimDuration },
+}
+
+/// One cached child reading for degraded-mode substitution.
+#[derive(Clone, Debug)]
+struct LastGood {
+    value: f64,
+    unit: String,
+    at: SimTime,
+}
 
 /// One composed child service.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -96,6 +136,14 @@ pub struct CompositeSensorProvider {
     /// bench: with it off, every child read pays a LUS lookup, the
     /// original Jini-without-proxy-reuse behaviour.
     pub binding_cache_enabled: bool,
+    /// What to do when a child read fails after retry + failover.
+    pub degradation: DegradationPolicy,
+    /// Retry budget applied to each child dispatch (primary bindings;
+    /// the group-fallback hop stays single-shot to bound read latency).
+    pub retry: RetryPolicy,
+    /// Last clean reading per child, for degraded-mode substitution.
+    /// Only mutated after the parallel fan-out returns.
+    last_good: std::collections::BTreeMap<String, LastGood>,
     reads_total: u64,
     /// Cached child bindings (the Jini model: a downloaded proxy is reused
     /// until it fails). Invalidated per child on network failure, so a
@@ -116,6 +164,9 @@ impl CompositeSensorProvider {
             frame: SlotFrame::new(),
             calibration: Calibration::Identity,
             binding_cache_enabled: true,
+            degradation: DegradationPolicy::Strict,
+            retry: RetryPolicy::none(),
+            last_good: std::collections::BTreeMap::new(),
             reads_total: 0,
             bindings: std::cell::RefCell::new(std::collections::BTreeMap::new()),
         }
@@ -261,6 +312,7 @@ impl CompositeSensorProvider {
         let bindings = &self.bindings;
         let cache_enabled = self.binding_cache_enabled;
         let host = self.host;
+        let retry = self.retry;
         let branches: Vec<Box<dyn FnOnce(&mut Env) -> (Arc<str>, Result<(f64, String, bool), String>) + '_>> =
             self.plans
                 .iter()
@@ -276,7 +328,7 @@ impl CompositeSensorProvider {
                                 Context::new().with(VISITED_PATH, (*visited).clone()),
                             )
                         };
-                        let parse = |done: &Exertion| match done.status() {
+                        let parse = |done: &Exertion, who: &str| match done.status() {
                             ExertionStatus::Done => {
                                 match done.context().get_f64(paths::SENSOR_VALUE) {
                                     Some(v) => Ok((
@@ -288,11 +340,11 @@ impl CompositeSensorProvider {
                                         done.context().get_str(paths::SENSOR_QUALITY)
                                             != Some("suspect"),
                                     )),
-                                    None => Err(format!("'{name}' returned no value")),
+                                    None => Err(format!("'{who}' returned no value")),
                                 }
                             }
-                            ExertionStatus::Failed(e) => Err(format!("'{name}': {e}")),
-                            other => Err(format!("'{name}': unexpected status {other:?}")),
+                            ExertionStatus::Failed(e) => Err(format!("'{who}': {e}")),
+                            other => Err(format!("'{who}': unexpected status {other:?}")),
                         };
 
                         // Resolve the named provider: cached proxy first;
@@ -305,8 +357,9 @@ impl CompositeSensorProvider {
                             None
                         };
                         if let Some(svc) = cached {
-                            match exert_on(env, host, svc, make_task().into(), None) {
-                                Ok(done) => match parse(&done) {
+                            match exert_on_retry(env, host, svc, make_task().into(), None, &retry)
+                            {
+                                Ok(done) => match parse(&done, name) {
                                     Ok(v) => return (plan.var.clone(), Ok(v)),
                                     // Answered but failed (dead transducer,
                                     // expression error in a nested CSP, ...)
@@ -335,9 +388,15 @@ impl CompositeSensorProvider {
                                             .borrow_mut()
                                             .insert(name.to_string(), item.service);
                                     }
-                                    match exert_on(env, host, item.service, make_task().into(), None)
-                                    {
-                                        Ok(done) => match parse(&done) {
+                                    match exert_on_retry(
+                                        env,
+                                        host,
+                                        item.service,
+                                        make_task().into(),
+                                        None,
+                                        &retry,
+                                    ) {
+                                        Ok(done) => match parse(&done, name) {
                                             Ok(v) => return (plan.var.clone(), Ok(v)),
                                             Err(e) => failure = Some(e),
                                         },
@@ -361,6 +420,10 @@ impl CompositeSensorProvider {
                         // provider" — whether the named provider is gone
                         // *or* answered with a failure.
                         if let Some(group) = plan.group.as_deref() {
+                            env.metrics.add(keys::FAILOVER_ATTEMPTS, 1);
+                            let primary = failure
+                                .take()
+                                .unwrap_or_else(|| format!("'{name}': read failed"));
                             let equivalent = accessor.bind_by_attr_excluding(
                                 env,
                                 host,
@@ -371,15 +434,45 @@ impl CompositeSensorProvider {
                                 },
                                 Some(name),
                             );
-                            if let Some(item) = equivalent {
-                                if let Ok(done) =
-                                    exert_on(env, host, item.service, make_task().into(), None)
-                                {
-                                    if let Ok(v) = parse(&done) {
-                                        // Deliberately not cached: the
-                                        // primary is retried next read.
-                                        return (plan.var.clone(), Ok(v));
+                            match equivalent {
+                                Some(item) => {
+                                    let eq =
+                                        item.name().unwrap_or("equivalent").to_string();
+                                    // The failover hop stays single-shot: the
+                                    // retry budget was already spent on the
+                                    // primary.
+                                    match exert_on(
+                                        env,
+                                        host,
+                                        item.service,
+                                        make_task().into(),
+                                        None,
+                                    ) {
+                                        Ok(done) => match parse(&done, &eq) {
+                                            Ok(v) => {
+                                                env.metrics
+                                                    .add(keys::FAILOVER_SUCCESS, 1);
+                                                // Deliberately not cached: the
+                                                // primary is retried next read.
+                                                return (plan.var.clone(), Ok(v));
+                                            }
+                                            Err(e) => {
+                                                failure = Some(format!(
+                                                    "{primary}; equivalent {e}"
+                                                ));
+                                            }
+                                        },
+                                        Err(e) => {
+                                            failure = Some(format!(
+                                                "{primary}; equivalent '{eq}' unreachable: {e}"
+                                            ));
+                                        }
                                     }
+                                }
+                                None => {
+                                    failure = Some(format!(
+                                        "{primary}; no equivalent provider in group '{group}' available"
+                                    ));
                                 }
                             }
                         }
@@ -403,23 +496,102 @@ impl CompositeSensorProvider {
 
         let mut unit = String::new();
         let mut all_good = true;
-        let mut errors = Vec::new();
+        let mut errors: Vec<(usize, Arc<str>, String)> = Vec::new();
         let mut readings: Vec<(Arc<str>, f64)> = Vec::with_capacity(collected.len());
-        for (var, outcome) in collected {
+        let now = env.now();
+        for (idx, (var, outcome)) in collected.into_iter().enumerate() {
             match outcome {
                 Ok((v, u, good)) => {
+                    if good {
+                        // Fresh clean reading — remember it for future
+                        // degraded reads of this child.
+                        self.last_good.insert(
+                            self.plans[idx].service_name.to_string(),
+                            LastGood { value: v, unit: u.clone(), at: now },
+                        );
+                    }
                     readings.push((var, v));
                     all_good &= good;
                     if unit.is_empty() {
                         unit = u;
                     }
                 }
-                Err(e) => errors.push(e),
+                Err(e) => errors.push((idx, var, e)),
             }
         }
+
+        // Children that still failed after retry and failover: what happens
+        // next is the composite's degradation policy. Substitutions are
+        // surfaced in the result context — a degraded read is never
+        // silently clean.
+        let mut substituted: Vec<String> = Vec::new();
+        let mut missing: Vec<String> = Vec::new();
         if !errors.is_empty() {
-            task.fail(format!("component read failures: {}", errors.join("; ")));
-            return;
+            match self.degradation {
+                DegradationPolicy::Strict => {
+                    let msgs: Vec<&str> =
+                        errors.iter().map(|(_, _, e)| e.as_str()).collect();
+                    task.fail(format!("component read failures: {}", msgs.join("; ")));
+                    return;
+                }
+                DegradationPolicy::Quorum(n) => {
+                    if readings.len() < n {
+                        let msgs: Vec<&str> =
+                            errors.iter().map(|(_, _, e)| e.as_str()).collect();
+                        task.fail(format!(
+                            "quorum not met: {} of {} children answered (need {}); {}",
+                            readings.len(),
+                            self.plans.len(),
+                            n,
+                            msgs.join("; ")
+                        ));
+                        return;
+                    }
+                    for (idx, var, _) in &errors {
+                        let child = self.plans[*idx].service_name.to_string();
+                        match self.last_good.get(&child) {
+                            Some(lg) => {
+                                readings.push((var.clone(), lg.value));
+                                if unit.is_empty() {
+                                    unit = lg.unit.clone();
+                                }
+                                substituted.push(child);
+                            }
+                            None => missing.push(child),
+                        }
+                    }
+                }
+                DegradationPolicy::LastKnownGood { max_age } => {
+                    for (idx, var, e) in &errors {
+                        let child = self.plans[*idx].service_name.to_string();
+                        match self.last_good.get(&child) {
+                            Some(lg) if now - lg.at <= max_age => {
+                                readings.push((var.clone(), lg.value));
+                                if unit.is_empty() {
+                                    unit = lg.unit.clone();
+                                }
+                                substituted.push(child);
+                            }
+                            _ => {
+                                task.fail(format!(
+                                    "failed child has no recent last-known-good value: {e}"
+                                ));
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+            if !missing.is_empty() && self.expression.is_some() {
+                task.fail(format!(
+                    "degraded read cannot bind expression variables for missing children: {}",
+                    missing.join(", ")
+                ));
+                return;
+            }
+            all_good = false;
+            env.metrics.add(keys::DEGRADED_READS, 1);
+            env.metrics.add(keys::SUBSTITUTED_CHILDREN, substituted.len() as u64);
         }
 
         let computed = match &self.expression {
@@ -455,6 +627,12 @@ impl CompositeSensorProvider {
         task.context.put(paths::SENSOR_AT, env.now().as_nanos() as f64);
         task.context
             .put(paths::SENSOR_QUALITY, if all_good { "good" } else { "suspect" });
+        if !substituted.is_empty() {
+            task.context.put(paths::SENSOR_SUBSTITUTED, substituted.join(","));
+        }
+        if !missing.is_empty() {
+            task.context.put(paths::SENSOR_MISSING, missing.join(","));
+        }
         task.status = ExertionStatus::Done;
     }
 
@@ -553,6 +731,10 @@ pub struct CspConfig {
     pub children: Vec<String>,
     /// Compute expression to install at startup.
     pub expression: Option<String>,
+    /// What a failed child does to the composite read (default: Strict).
+    pub degradation: DegradationPolicy,
+    /// Retry budget for child dispatches (default: none — fail fast).
+    pub retry: RetryPolicy,
 }
 
 impl CspConfig {
@@ -565,6 +747,8 @@ impl CspConfig {
             lease: SimDuration::from_secs(30),
             children: Vec::new(),
             expression: None,
+            degradation: DegradationPolicy::Strict,
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -581,6 +765,8 @@ pub struct CspHandle {
 pub fn deploy_csp(env: &mut Env, config: CspConfig) -> Result<CspHandle, String> {
     let accessor = ServiceAccessor::new(vec![config.lus]);
     let mut csp = CompositeSensorProvider::new(config.name.clone(), config.host, accessor);
+    csp.degradation = config.degradation;
+    csp.retry = config.retry;
     for child in &config.children {
         csp.add_service(child)?;
     }
@@ -647,7 +833,7 @@ mod tests {
         World { env, client, server, lus, accessor }
     }
 
-    fn add_esp(w: &mut World, name: &str, value: f64) {
+    fn add_esp(w: &mut World, name: &str, value: f64) -> HostId {
         let mote = w.env.add_host(format!("{name}-mote"), HostKind::SensorMote);
         deploy_esp(
             &mut w.env,
@@ -658,6 +844,7 @@ mod tests {
                 w.lus,
             ),
         );
+        mote
     }
 
     #[test]
@@ -1060,5 +1247,284 @@ mod tests {
         cfg.children = vec!["A".into()];
         cfg.expression = Some("(a + b)/2".into());
         assert!(deploy_csp(&mut w.env, cfg).is_err());
+    }
+
+    #[test]
+    fn failover_failure_reports_both_errors_and_counts_attempts() {
+        // Both the primary and its only equivalent answer with failures:
+        // the composite error must name both, and the failover metrics
+        // must show an attempt without a success.
+        let mut w = setup();
+        for name in ["Dead-A", "Dead-B"] {
+            let mote = w.env.add_host(format!("{name}-mote"), HostKind::SensorMote);
+            let probe = SimulatedProbe::new(
+                Teds::sunspot_temperature(name),
+                Signal::Constant(0.0),
+                SimRng::new(1),
+            )
+            .with_battery(Battery::new(1.0, 100.0, 0.0));
+            deploy_esp(
+                &mut w.env,
+                EspConfig {
+                    equivalence_group: Some("dead-pair".into()),
+                    ..EspConfig::new(mote, name, Box::new(probe), w.lus)
+                },
+            );
+        }
+        let handle = deploy_csp(&mut w.env, CspConfig::new(w.server, "DP", w.lus)).unwrap();
+        w.env
+            .with_service(handle.service, |_e, sb: &mut ServicerBox| {
+                sb.downcast_mut::<CompositeSensorProvider>()
+                    .unwrap()
+                    .add_service_grouped("Dead-A", Some("dead-pair".into()))
+                    .unwrap();
+            })
+            .unwrap();
+
+        let err = client::get_value(&mut w.env, w.client, &w.accessor, "DP").unwrap_err();
+        assert!(err.contains("'Dead-A'"), "primary error must be named: {err}");
+        assert!(
+            err.contains("equivalent") && err.contains("'Dead-B'"),
+            "equivalent's own error must be included: {err}"
+        );
+        assert_eq!(w.env.metrics.get(keys::FAILOVER_ATTEMPTS), 1);
+        assert_eq!(w.env.metrics.get(keys::FAILOVER_SUCCESS), 0);
+
+        // And a successful failover counts a success: a second pair whose
+        // backup is alive.
+        let m3 = w.env.add_host("live-mote", HostKind::SensorMote);
+        deploy_esp(
+            &mut w.env,
+            EspConfig {
+                equivalence_group: Some("live-pair".into()),
+                ..EspConfig::new(
+                    m3,
+                    "Live-Backup",
+                    Box::new(ScriptedProbe::new(vec![7.0], Unit::Celsius)),
+                    w.lus,
+                )
+            },
+        );
+        let m4 = w.env.add_host("dead-c-mote", HostKind::SensorMote);
+        let probe = SimulatedProbe::new(
+            Teds::sunspot_temperature("dead-c"),
+            Signal::Constant(0.0),
+            SimRng::new(1),
+        )
+        .with_battery(Battery::new(1.0, 100.0, 0.0));
+        deploy_esp(
+            &mut w.env,
+            EspConfig {
+                equivalence_group: Some("live-pair".into()),
+                ..EspConfig::new(m4, "Dead-C", Box::new(probe), w.lus)
+            },
+        );
+        let handle = deploy_csp(&mut w.env, CspConfig::new(w.server, "LP", w.lus)).unwrap();
+        w.env
+            .with_service(handle.service, |_e, sb: &mut ServicerBox| {
+                sb.downcast_mut::<CompositeSensorProvider>()
+                    .unwrap()
+                    .add_service_grouped("Dead-C", Some("live-pair".into()))
+                    .unwrap();
+            })
+            .unwrap();
+        let r = client::get_value(&mut w.env, w.client, &w.accessor, "LP").unwrap();
+        assert_eq!(r.value, 7.0);
+        assert_eq!(w.env.metrics.get(keys::FAILOVER_SUCCESS), 1);
+    }
+
+    #[test]
+    fn no_equivalent_available_is_said_so() {
+        let mut w = setup();
+        let mote = w.env.add_host("only-mote", HostKind::SensorMote);
+        deploy_esp(
+            &mut w.env,
+            EspConfig {
+                lease: SimDuration::from_secs(5),
+                equivalence_group: Some("lonely".into()),
+                ..EspConfig::new(
+                    mote,
+                    "Only",
+                    Box::new(ScriptedProbe::new(vec![1.0], Unit::Celsius)),
+                    w.lus,
+                )
+            },
+        );
+        let handle = deploy_csp(&mut w.env, CspConfig::new(w.server, "L", w.lus)).unwrap();
+        w.env
+            .with_service(handle.service, |_e, sb: &mut ServicerBox| {
+                sb.downcast_mut::<CompositeSensorProvider>()
+                    .unwrap()
+                    .add_service_grouped("Only", Some("lonely".into()))
+                    .unwrap();
+            })
+            .unwrap();
+        w.env.crash_host(mote);
+        w.env.run_for(SimDuration::from_secs(10));
+        let err = client::get_value(&mut w.env, w.client, &w.accessor, "L").unwrap_err();
+        assert!(
+            err.contains("no equivalent provider in group 'lonely'"),
+            "absence of an equivalent must be explicit: {err}"
+        );
+    }
+
+    #[test]
+    fn quorum_read_survives_an_unreachable_child_and_flags_it() {
+        let mut w = setup();
+        add_esp(&mut w, "S0", 10.0);
+        add_esp(&mut w, "S1", 20.0);
+        let s2_mote = add_esp(&mut w, "S2", 30.0);
+        let mut cfg = CspConfig::new(w.server, "Q", w.lus);
+        cfg.children = vec!["S0".into(), "S1".into(), "S2".into()];
+        cfg.degradation = DegradationPolicy::Quorum(2);
+        deploy_csp(&mut w.env, cfg).unwrap();
+
+        // Prime: clean read populates the last-known-good cache.
+        let (r, d) =
+            client::get_value_detailed(&mut w.env, w.client, &w.accessor, "Q").unwrap();
+        assert_eq!(r.value, 20.0);
+        assert!(r.good && !d.is_degraded());
+
+        // Cut S2 off; quorum 2-of-3 still holds and S2's last value
+        // substitutes, so the average is unchanged — but flagged.
+        w.env.topo.partition(w.server, s2_mote);
+        w.env.run_for(SimDuration::from_secs(5));
+        let (r, d) =
+            client::get_value_detailed(&mut w.env, w.client, &w.accessor, "Q").unwrap();
+        assert_eq!(r.value, 20.0, "last-known-good 30.0 substitutes for S2");
+        assert!(!r.good, "degraded read must be flagged suspect");
+        assert_eq!(d.substituted, vec!["S2".to_string()]);
+        assert!(d.missing.is_empty());
+        assert!(w.env.metrics.get(keys::DEGRADED_READS) >= 1);
+        assert!(w.env.metrics.get(keys::SUBSTITUTED_CHILDREN) >= 1);
+
+        // Heal: the composite reconverges to clean on the next read.
+        w.env.topo.heal(w.server, s2_mote);
+        w.env.run_for(SimDuration::from_secs(5));
+        let (r, d) =
+            client::get_value_detailed(&mut w.env, w.client, &w.accessor, "Q").unwrap();
+        assert!(r.good && !d.is_degraded(), "post-heal reads reconverge to clean");
+        assert_eq!(r.value, 20.0);
+    }
+
+    #[test]
+    fn quorum_not_met_fails_with_counts() {
+        let mut w = setup();
+        add_esp(&mut w, "S0", 10.0);
+        let mote = add_esp(&mut w, "S1", 20.0);
+        let mut cfg = CspConfig::new(w.server, "Q", w.lus);
+        cfg.children = vec!["S0".into(), "S1".into()];
+        cfg.degradation = DegradationPolicy::Quorum(2);
+        deploy_csp(&mut w.env, cfg).unwrap();
+        client::get_value(&mut w.env, w.client, &w.accessor, "Q").unwrap();
+
+        w.env.crash_host(mote);
+        w.env.run_for(SimDuration::from_secs(5));
+        let err = client::get_value(&mut w.env, w.client, &w.accessor, "Q").unwrap_err();
+        assert!(err.contains("quorum not met: 1 of 2"), "{err}");
+        assert!(err.contains("'S1'"), "failing child still named: {err}");
+    }
+
+    #[test]
+    fn quorum_without_cached_value_reports_child_missing() {
+        // A child that dies before ever delivering has no last-known-good
+        // value: the read still succeeds (quorum held) but the child is
+        // reported missing and skipped by the default average.
+        let mut w = setup();
+        add_esp(&mut w, "S0", 10.0);
+        add_esp(&mut w, "S1", 20.0);
+        let mote = add_esp(&mut w, "S2", 99.0);
+        let mut cfg = CspConfig::new(w.server, "Q", w.lus);
+        cfg.children = vec!["S0".into(), "S1".into(), "S2".into()];
+        cfg.degradation = DegradationPolicy::Quorum(2);
+        deploy_csp(&mut w.env, cfg).unwrap();
+
+        // S2 dies before the composite ever reads it.
+        w.env.crash_host(mote);
+        w.env.run_for(SimDuration::from_secs(5));
+        let (r, d) =
+            client::get_value_detailed(&mut w.env, w.client, &w.accessor, "Q").unwrap();
+        assert_eq!(r.value, 15.0, "average skips the missing child");
+        assert!(!r.good);
+        assert!(d.substituted.is_empty());
+        assert_eq!(d.missing, vec!["S2".to_string()]);
+    }
+
+    #[test]
+    fn last_known_good_substitutes_within_max_age_only() {
+        let mut w = setup();
+        add_esp(&mut w, "S0", 10.0);
+        let mote = add_esp(&mut w, "S1", 30.0);
+        let mut cfg = CspConfig::new(w.server, "K", w.lus);
+        cfg.children = vec!["S0".into(), "S1".into()];
+        // Long lease: the test waits out the LKG max_age, and the
+        // composite itself must stay registered that long.
+        cfg.lease = SimDuration::from_secs(300);
+        cfg.degradation =
+            DegradationPolicy::LastKnownGood { max_age: SimDuration::from_secs(120) };
+        deploy_csp(&mut w.env, cfg).unwrap();
+        client::get_value(&mut w.env, w.client, &w.accessor, "K").unwrap();
+
+        w.env.crash_host(mote);
+        w.env.run_for(SimDuration::from_secs(5));
+        // Within max_age: substituted, flagged.
+        let (r, d) =
+            client::get_value_detailed(&mut w.env, w.client, &w.accessor, "K").unwrap();
+        assert_eq!(r.value, 20.0);
+        assert!(!r.good);
+        assert_eq!(d.substituted, vec!["S1".to_string()]);
+
+        // Stale: the cached value ages out and the read fails.
+        w.env.run_for(SimDuration::from_secs(200));
+        let err = client::get_value(&mut w.env, w.client, &w.accessor, "K").unwrap_err();
+        assert!(err.contains("last-known-good"), "{err}");
+    }
+
+    #[test]
+    fn strict_stays_all_or_nothing_even_with_retry() {
+        // Strict + retry budget: the read still fails when a child is
+        // gone for good — retries only cover transient faults.
+        let mut w = setup();
+        add_esp(&mut w, "S0", 10.0);
+        let mote = add_esp(&mut w, "S1", 20.0);
+        let mut cfg = CspConfig::new(w.server, "ST", w.lus);
+        cfg.children = vec!["S0".into(), "S1".into()];
+        cfg.retry = RetryPolicy::transient();
+        deploy_csp(&mut w.env, cfg).unwrap();
+        client::get_value(&mut w.env, w.client, &w.accessor, "ST").unwrap();
+
+        w.env.crash_host(mote);
+        w.env.run_for(SimDuration::from_secs(5));
+        let err = client::get_value(&mut w.env, w.client, &w.accessor, "ST").unwrap_err();
+        assert!(err.contains("component read failures"), "{err}");
+    }
+
+    #[test]
+    fn retry_budget_rides_out_a_transient_partition() {
+        // The child's mote is partitioned from the composite when the
+        // read starts, but a heal is already scheduled inside the retry
+        // budget: with retries the read comes back clean — not degraded,
+        // not failed.
+        let mut w = setup();
+        add_esp(&mut w, "S0", 10.0);
+        let mote = add_esp(&mut w, "S1", 20.0);
+        let mut cfg = CspConfig::new(w.server, "R", w.lus);
+        cfg.children = vec!["S0".into(), "S1".into()];
+        cfg.retry = RetryPolicy {
+            attempts: 4,
+            backoff: SimDuration::from_secs(2),
+            deadline: SimDuration::from_secs(30),
+        };
+        deploy_csp(&mut w.env, cfg).unwrap();
+        client::get_value(&mut w.env, w.client, &w.accessor, "R").unwrap();
+
+        let server = w.server;
+        w.env.topo.partition(server, mote);
+        let at = w.env.now() + SimDuration::from_secs(5);
+        w.env.schedule_at(at, move |env| env.topo.heal(server, mote));
+        let (r, d) =
+            client::get_value_detailed(&mut w.env, w.client, &w.accessor, "R").unwrap();
+        assert_eq!(r.value, 15.0);
+        assert!(r.good && !d.is_degraded(), "retried read is clean, not degraded");
     }
 }

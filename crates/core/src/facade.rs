@@ -140,16 +140,21 @@ impl SensorcerFacade {
             }
             ops::GET_VALUE => match task.context.get_str("arg/service").map(str::to_string) {
                 Some(name) => {
-                    client::get_value(env, self.host, &self.accessor, &name).map(|reading| {
-                        task.context.put(paths::SENSOR_VALUE, reading.value);
-                        task.context.put(paths::RESULT, reading.value);
-                        task.context.put(paths::SENSOR_UNIT, reading.unit.as_str());
-                        task.context.put(paths::SENSOR_AT, reading.at_ns as f64);
-                        task.context.put(
-                            paths::SENSOR_QUALITY,
-                            if reading.good { "good" } else { "suspect" },
-                        );
-                    })
+                    client::get_value_detailed(env, self.host, &self.accessor, &name).map(
+                        |(reading, degraded)| {
+                            task.context.put(paths::SENSOR_VALUE, reading.value);
+                            task.context.put(paths::RESULT, reading.value);
+                            task.context.put(paths::SENSOR_UNIT, reading.unit.as_str());
+                            task.context.put(paths::SENSOR_AT, reading.at_ns as f64);
+                            task.context.put(
+                                paths::SENSOR_QUALITY,
+                                if reading.good { "good" } else { "suspect" },
+                            );
+                            // Degraded-read detail rides along so browser
+                            // clients can see *which* children substituted.
+                            degraded.write_to(&mut task.context);
+                        },
+                    )
                 }
                 None => Err("getValue needs arg/service".into()),
             },
@@ -361,8 +366,20 @@ impl FacadeHandle {
         from: HostId,
         service: &str,
     ) -> Result<SensorReading, String> {
+        self.get_value_detailed(env, from, service).map(|(r, _)| r)
+    }
+
+    /// "Get Value", plus which composite children (if any) degraded.
+    pub fn get_value_detailed(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        service: &str,
+    ) -> Result<(SensorReading, crate::accessor::DegradedInfo), String> {
         let ctx = self.run(env, from, ops::GET_VALUE, Context::new().with("arg/service", service))?;
-        SensorReading::from_context(&ctx).ok_or_else(|| "no reading returned".to_string())
+        SensorReading::from_context(&ctx)
+            .map(|r| (r, crate::accessor::DegradedInfo::from_context(&ctx)))
+            .ok_or_else(|| "no reading returned".to_string())
     }
 
     /// Recent stored measurements of a sensor service.

@@ -51,12 +51,13 @@ pub mod provisioner;
 
 /// One-stop imports.
 pub mod prelude {
-    pub use crate::accessor::{client, mgmt, selectors, SensorInfo, SensorReading};
+    pub use crate::accessor::{client, mgmt, selectors, DegradedInfo, SensorInfo, SensorReading};
     pub use crate::browser::{
         render_browser, render_info, render_services, render_values, BrowserModel,
     };
     pub use crate::csp::{
         deploy_csp, variable_for, Child, CompositeSensorProvider, CspConfig, CspHandle,
+        DegradationPolicy,
     };
     pub use crate::deploy::{standard_deployment, Deployment, DeploymentConfig};
     pub use crate::esp::{deploy_esp, ElementarySensorProvider, EspConfig, EspHandle};

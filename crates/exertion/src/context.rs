@@ -31,6 +31,12 @@ pub mod paths {
     pub const RESULT: &str = "result/value";
     /// Error description when a provider fails a task.
     pub const ERROR: &str = "error/message";
+    /// Comma-joined names of composite children whose readings were
+    /// substituted from a last-known-good cache (degraded-mode reads).
+    pub const SENSOR_SUBSTITUTED: &str = "sensor/degraded/substituted";
+    /// Comma-joined names of composite children with no reading at all in
+    /// a degraded-mode read (skipped by the default aggregate).
+    pub const SENSOR_MISSING: &str = "sensor/degraded/missing";
 }
 
 impl Context {

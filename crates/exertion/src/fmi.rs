@@ -20,7 +20,8 @@ use sensorcer_sim::time::SimDuration;
 use sensorcer_sim::topology::HostId;
 
 use crate::exertion::{Access, Exertion, ExertionStatus, Flow, Job, Task};
-use crate::servicer::{exert_on, Servicer, ServicerBox};
+use crate::retry::{exert_on_retry, RetryPolicy};
+use crate::servicer::{Servicer, ServicerBox};
 use crate::space::SpaceHandle;
 
 /// Finds service providers for signatures: "A Service Accessor finds
@@ -126,6 +127,7 @@ struct Coordinator<'a> {
     space: Option<SpaceHandle>,
     poll: SimDuration,
     max_wait: SimDuration,
+    retry: RetryPolicy,
     tasks_dispatched: &'a Cell<u64>,
 }
 
@@ -317,7 +319,7 @@ impl Coordinator<'_> {
             task,
             Task::new("placeholder", crate::exertion::Signature::new("", ""), Default::default()),
         );
-        match exert_on(env, self.host, item.service, sent.into(), txn) {
+        match exert_on_retry(env, self.host, item.service, sent.into(), txn, &self.retry) {
             Ok(Exertion::Task(done)) => *task = done,
             Ok(Exertion::Job(_)) => unreachable!("sent a task, received a job"),
             Err(e) => task.fail(format!("provider unreachable: {e}")),
@@ -331,6 +333,9 @@ pub struct Jobber {
     name: String,
     host: HostId,
     accessor: ServiceAccessor,
+    /// Retry budget applied to each provider dispatch. Defaults to
+    /// [`RetryPolicy::none`] (fail-fast, the historical behaviour).
+    pub retry: RetryPolicy,
     jobs_coordinated: u64,
     tasks_dispatched: Cell<u64>,
 }
@@ -341,6 +346,7 @@ impl Jobber {
             name: name.into(),
             host,
             accessor,
+            retry: RetryPolicy::none(),
             jobs_coordinated: 0,
             tasks_dispatched: Cell::new(0),
         }
@@ -387,6 +393,7 @@ impl Jobber {
             space: None,
             poll: SimDuration::from_millis(50),
             max_wait: SimDuration::from_secs(30),
+            retry: self.retry,
             tasks_dispatched: &self.tasks_dispatched,
         }
     }
@@ -415,6 +422,9 @@ pub struct Spacer {
     pub poll: SimDuration,
     /// How long the spacer waits before failing un-taken tasks.
     pub max_wait: SimDuration,
+    /// Retry budget applied to direct provider dispatches (child jobs
+    /// coordinated inline). Defaults to fail-fast.
+    pub retry: RetryPolicy,
     jobs_coordinated: u64,
     tasks_dispatched: Cell<u64>,
 }
@@ -433,6 +443,7 @@ impl Spacer {
             space,
             poll: SimDuration::from_millis(50),
             max_wait: SimDuration::from_secs(30),
+            retry: RetryPolicy::none(),
             jobs_coordinated: 0,
             tasks_dispatched: Cell::new(0),
         }
@@ -489,6 +500,7 @@ impl Servicer for Spacer {
             space: Some(self.space),
             poll: self.poll,
             max_wait: self.max_wait,
+            retry: self.retry,
             tasks_dispatched: &self.tasks_dispatched,
         };
         coordinator.run_exertion(env, exertion, txn);
@@ -505,6 +517,20 @@ pub fn exert(
     accessor: &ServiceAccessor,
     txn: Option<TxnId>,
 ) -> Exertion {
+    exert_with_retry(env, from, exertion, accessor, txn, &RetryPolicy::none())
+}
+
+/// [`exert`] under a retry budget: every network dispatch — the hop to the
+/// rendezvous peer and each bare-task provider invocation — retries
+/// transient errors within `retry`'s bounds.
+pub fn exert_with_retry(
+    env: &mut Env,
+    from: HostId,
+    exertion: Exertion,
+    accessor: &ServiceAccessor,
+    txn: Option<TxnId>,
+    retry: &RetryPolicy,
+) -> Exertion {
     match &exertion {
         Exertion::Task(_) => {
             // Elementary request: bind and invoke directly.
@@ -515,6 +541,7 @@ pub fn exert(
                 space: None,
                 poll: SimDuration::from_millis(50),
                 max_wait: SimDuration::from_secs(30),
+                retry: *retry,
                 tasks_dispatched: &counter,
             };
             let mut ex = exertion;
@@ -535,7 +562,7 @@ pub fn exert(
                 }
                 return ex;
             };
-            match exert_on(env, from, peer.service, exertion, txn) {
+            match exert_on_retry(env, from, peer.service, exertion, txn, retry) {
                 Ok(done) => done,
                 Err(e) => {
                     // The rendezvous peer vanished mid-exertion.

@@ -48,6 +48,7 @@
 pub mod context;
 pub mod exertion;
 pub mod fmi;
+pub mod retry;
 pub mod servicer;
 pub mod space;
 
@@ -57,7 +58,8 @@ pub mod prelude {
     pub use crate::exertion::{
         Access, ControlStrategy, Exertion, ExertionStatus, Flow, Job, Signature, Task,
     };
-    pub use crate::fmi::{exert, Jobber, ServiceAccessor, Spacer};
+    pub use crate::fmi::{exert, exert_with_retry, Jobber, ServiceAccessor, Spacer};
+    pub use crate::retry::{exert_on_retry, RetryPolicy};
     pub use crate::servicer::{exert_on, Servicer, ServicerBox, Tasker};
     pub use crate::space::{attach_worker, EntryId, ExertionSpace, SpaceHandle};
 }

@@ -1,0 +1,240 @@
+//! Retry budgets for exertion dispatch.
+//!
+//! A transient `NetError` — a dropped packet, a partition that a scheduled
+//! heal is about to close, a host mid-restart — should not fail a whole
+//! federated read. A [`RetryPolicy`] bounds how hard the dispatch path
+//! tries: up to `attempts` total tries, exponential backoff between them
+//! (waited against *sim* time, so lease renewals, monitors and scheduled
+//! heals run during the wait), all within a `deadline` of virtual time.
+//!
+//! [`exert_on_retry`] wraps [`exert_on`](crate::servicer::exert_on)
+//! without changing it: raw `exert_on` stays a single network hop, so
+//! callers that want fail-fast semantics (and every existing test) keep
+//! them bit-for-bit.
+
+use sensorcer_registry::txn::TxnId;
+use sensorcer_sim::env::{Env, ServiceId};
+use sensorcer_sim::time::SimDuration;
+use sensorcer_sim::topology::{HostId, NetError};
+
+use crate::exertion::Exertion;
+use crate::servicer::exert_on;
+
+/// Metric keys bumped by [`exert_on_retry`].
+pub mod keys {
+    /// Re-dispatches performed after a transient failure.
+    pub const RETRY_ATTEMPTS: &str = "exertion.retry.attempts";
+    /// Dispatches that succeeded only thanks to a retry.
+    pub const RETRY_SUCCESS: &str = "exertion.retry.success";
+    /// Dispatches that exhausted their budget on a transient error.
+    pub const RETRY_EXHAUSTED: &str = "exertion.retry.exhausted";
+}
+
+/// Bounded-retry budget for one dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries, including the first (`1` = no retry).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub backoff: SimDuration,
+    /// Virtual-time budget: no retry starts after `deadline` has elapsed
+    /// since the first try.
+    pub deadline: SimDuration,
+}
+
+impl RetryPolicy {
+    /// No retries: one try, fail-fast. The default everywhere.
+    pub const fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            backoff: SimDuration::ZERO,
+            deadline: SimDuration::from_nanos(u64::MAX),
+        }
+    }
+
+    /// A budget sized for transient faults: 4 tries, 100 ms initial
+    /// backoff (so 100/200/400 ms waits), all within 10 s.
+    pub fn transient() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            backoff: SimDuration::from_millis(100),
+            deadline: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Whether this policy never retries.
+    pub fn is_none(&self) -> bool {
+        self.attempts <= 1
+    }
+
+    /// Whether an error class is worth retrying. Lost packets, timeouts,
+    /// partitions and crashed hosts can all clear up; a missing host or
+    /// service, or a re-entrant call cycle, cannot.
+    pub fn retryable(e: NetError) -> bool {
+        matches!(
+            e,
+            NetError::Lost | NetError::Timeout | NetError::Partitioned | NetError::HostDown
+        )
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// [`exert_on`] under a retry budget. Transient errors are retried with
+/// exponential backoff waited against sim time (timers fire during the
+/// wait, so a scheduled heal or restart can land mid-read); permanent
+/// errors and exhausted budgets return the *last* error seen.
+pub fn exert_on_retry(
+    env: &mut Env,
+    from: HostId,
+    provider: ServiceId,
+    exertion: Exertion,
+    txn: Option<TxnId>,
+    policy: &RetryPolicy,
+) -> Result<Exertion, NetError> {
+    if policy.is_none() {
+        return exert_on(env, from, provider, exertion, txn);
+    }
+    let start = env.now();
+    let mut attempt: u32 = 0;
+    loop {
+        match exert_on(env, from, provider, exertion.clone(), txn) {
+            Ok(done) => {
+                if attempt > 0 {
+                    env.metrics.add(keys::RETRY_SUCCESS, 1);
+                }
+                return Ok(done);
+            }
+            Err(e) => {
+                attempt += 1;
+                let out_of_budget =
+                    attempt >= policy.attempts || env.now() - start >= policy.deadline;
+                if !RetryPolicy::retryable(e) || out_of_budget {
+                    if RetryPolicy::retryable(e) {
+                        env.metrics.add(keys::RETRY_EXHAUSTED, 1);
+                    }
+                    return Err(e);
+                }
+                env.metrics.add(keys::RETRY_ATTEMPTS, 1);
+                env.debug_with(|| {
+                    format!("retry: attempt {attempt} against {provider} after {e}")
+                });
+                // Exponential backoff against sim time; scheduled events
+                // (heals, restarts, renewals) fire during the wait.
+                env.run_for(policy.backoff * 2u64.pow(attempt - 1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{paths, Context};
+    use crate::exertion::{Signature, Task};
+    use crate::servicer::{ServicerBox, Tasker};
+    use sensorcer_sim::prelude::*;
+
+    fn adder_world() -> (Env, HostId, HostId, ServiceId) {
+        let mut env = Env::with_seed(21);
+        let host = env.add_host("h", HostKind::Server);
+        let client = env.add_host("c", HostKind::Workstation);
+        let tasker = Tasker::new("Adder", "Arithmetic").on("add", |_env, ctx| {
+            let a = ctx.get_f64("arg/a").ok_or("missing arg/a")?;
+            let b = ctx.get_f64("arg/b").ok_or("missing arg/b")?;
+            ctx.put(paths::RESULT, a + b);
+            Ok(())
+        });
+        let svc = env.deploy(host, "Adder", ServicerBox::new(tasker));
+        (env, host, client, svc)
+    }
+
+    fn add_task() -> Exertion {
+        Task::new(
+            "add",
+            Signature::new("Arithmetic", "add"),
+            Context::new().with("arg/a", 2.0).with("arg/b", 3.0),
+        )
+        .into()
+    }
+
+    #[test]
+    fn retry_rides_out_a_scheduled_heal() {
+        let (mut env, host, client, svc) = adder_world();
+        env.topo.partition(client, host);
+        env.schedule(SimDuration::from_millis(150), move |env| {
+            env.topo.heal(client, host);
+        });
+        let done = exert_on_retry(&mut env, client, svc, add_task(), None, &RetryPolicy::transient())
+            .expect("read survives the partition window");
+        assert!(done.status().is_done());
+        assert_eq!(done.context().get_f64(paths::RESULT), Some(5.0));
+        assert!(env.metrics.get(keys::RETRY_ATTEMPTS) >= 1);
+        assert_eq!(env.metrics.get(keys::RETRY_SUCCESS), 1);
+        assert_eq!(env.metrics.get(keys::RETRY_EXHAUSTED), 0);
+    }
+
+    #[test]
+    fn permanent_errors_fail_immediately_without_retries() {
+        let (mut env, _host, client, _svc) = adder_world();
+        let err = exert_on_retry(
+            &mut env,
+            client,
+            ServiceId(999),
+            add_task(),
+            None,
+            &RetryPolicy::transient(),
+        )
+        .unwrap_err();
+        assert_eq!(err, NetError::NoSuchService);
+        assert_eq!(env.metrics.get(keys::RETRY_ATTEMPTS), 0);
+        assert_eq!(env.metrics.get(keys::RETRY_EXHAUSTED), 0);
+    }
+
+    #[test]
+    fn budget_exhausts_against_a_permanent_partition() {
+        let (mut env, host, client, svc) = adder_world();
+        env.topo.partition(client, host);
+        let err = exert_on_retry(&mut env, client, svc, add_task(), None, &RetryPolicy::transient())
+            .unwrap_err();
+        assert_eq!(err, NetError::Partitioned);
+        assert_eq!(env.metrics.get(keys::RETRY_ATTEMPTS), 3, "attempts - 1 retries");
+        assert_eq!(env.metrics.get(keys::RETRY_EXHAUSTED), 1);
+        assert_eq!(env.metrics.get(keys::RETRY_SUCCESS), 0);
+    }
+
+    #[test]
+    fn deadline_cuts_the_budget_short() {
+        let (mut env, host, client, svc) = adder_world();
+        env.topo.partition(client, host);
+        // Each failed try costs call_timeout (2 s), so a 1 s deadline is
+        // already spent after the first failure.
+        let policy = RetryPolicy {
+            attempts: 10,
+            backoff: SimDuration::from_millis(10),
+            deadline: SimDuration::from_secs(1),
+        };
+        let err = exert_on_retry(&mut env, client, svc, add_task(), None, &policy).unwrap_err();
+        assert_eq!(err, NetError::Partitioned);
+        assert_eq!(env.metrics.get(keys::RETRY_ATTEMPTS), 0, "deadline beat the attempts");
+        assert_eq!(env.metrics.get(keys::RETRY_EXHAUSTED), 1);
+    }
+
+    #[test]
+    fn none_policy_is_a_single_fail_fast_hop() {
+        let (mut env, host, client, svc) = adder_world();
+        env.topo.partition(client, host);
+        let t0 = env.now();
+        let err =
+            exert_on_retry(&mut env, client, svc, add_task(), None, &RetryPolicy::none())
+                .unwrap_err();
+        assert_eq!(err, NetError::Partitioned);
+        assert_eq!(env.now() - t0, env.config.call_timeout, "exactly one try's cost");
+        assert_eq!(env.metrics.get(keys::RETRY_ATTEMPTS), 0);
+        assert!(RetryPolicy::default().is_none());
+    }
+}

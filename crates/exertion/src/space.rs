@@ -16,6 +16,12 @@ use sensorcer_sim::wire::ProtocolStack;
 use crate::exertion::{Exertion, Task};
 use crate::servicer::{exert_on, ServicerBox};
 
+/// Metric keys bumped by space workers.
+pub mod keys {
+    /// Worker polls that could not reach the space (per worker host).
+    pub const SPACE_UNREACHABLE: &str = "exertion.space.unreachable";
+}
+
 /// Identifier of a task entry in the space.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EntryId(pub u64);
@@ -240,8 +246,16 @@ pub fn attach_worker(
                 true
             }
             Ok(None) => true,
-            // Space unreachable this round; retry later.
-            Err(_) => true,
+            Err(e) => {
+                // Space unreachable this round; retry later — but leave a
+                // trail so a soak run can see a stalled worker instead of
+                // a silently idle one.
+                env.metrics.add_host(host, keys::SPACE_UNREACHABLE, 1);
+                env.debug_with(|| {
+                    format!("space-worker on {host} ({interface}): space unreachable: {e}")
+                });
+                true
+            }
         }
     })
 }
@@ -375,6 +389,40 @@ mod tests {
         env.run_for(SimDuration::from_secs(2));
         let done = space.take_result(&mut env, space_host, id).unwrap().expect("after restart");
         assert!(done.status.is_done());
+    }
+
+    #[test]
+    fn unreachable_space_counts_and_traces_instead_of_silence() {
+        let mut env = Env::with_seed(9);
+        let space_host = env.add_host("space", HostKind::Server);
+        let worker_host = env.add_host("worker", HostKind::Server);
+        let space = ExertionSpace::deploy(&mut env, space_host, "space");
+        let provider = env.deploy(worker_host, "Doubler", doubler("Doubler"));
+        attach_worker(&mut env, provider, space, SimDuration::from_millis(50));
+
+        let lines: std::rc::Rc<std::cell::RefCell<Vec<String>>> = Default::default();
+        let l2 = std::rc::Rc::clone(&lines);
+        env.set_debug_sink(move |_, msg| l2.borrow_mut().push(msg.to_string()));
+
+        // Worker host is fine, but the space's host is unreachable: every
+        // poll fails and must leave a metric + trace trail.
+        env.topo.partition(worker_host, space_host);
+        env.run_for(SimDuration::from_secs(1));
+        let stalls = env.metrics.get_host(worker_host, keys::SPACE_UNREACHABLE);
+        assert!(stalls > 0, "stalled polls must be counted");
+        assert_eq!(env.metrics.get(keys::SPACE_UNREACHABLE), stalls, "global mirror");
+        assert!(
+            lines.borrow().iter().any(|l| l.contains("space unreachable")),
+            "stalled polls must be traceable: {:?}",
+            lines.borrow()
+        );
+
+        // Healed: the worker resumes and the counter stops climbing.
+        env.topo.heal(worker_host, space_host);
+        let id = space.write(&mut env, space_host, double_task("t", 2.0)).unwrap();
+        env.run_for(SimDuration::from_secs(1));
+        assert_eq!(env.metrics.get_host(worker_host, keys::SPACE_UNREACHABLE), stalls);
+        assert!(space.take_result(&mut env, space_host, id).unwrap().is_some());
     }
 
     #[test]

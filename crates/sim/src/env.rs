@@ -132,6 +132,10 @@ pub struct Env {
     next_timer_seq: u64,
     services: BTreeMap<ServiceId, ServiceSlot>,
     next_service: u64,
+    /// Optional debug-trace sink: receives timestamped one-line messages
+    /// from instrumented middleware (retry loops, chaos events, stalled
+    /// workers). Absent by default so the hot paths pay only a null check.
+    debug_sink: Option<Box<dyn FnMut(SimTime, &str)>>,
 }
 
 impl Env {
@@ -147,6 +151,7 @@ impl Env {
             next_timer_seq: 0,
             services: BTreeMap::new(),
             next_service: 0,
+            debug_sink: None,
         }
     }
 
@@ -180,6 +185,44 @@ impl Env {
     /// Fork an independent RNG stream (e.g. for a sensor probe).
     pub fn fork_rng(&mut self) -> SimRng {
         self.rng.fork()
+    }
+
+    // ------------------------------------------------------------------
+    // Debug tracing
+    // ------------------------------------------------------------------
+
+    /// Install a sink that receives timestamped debug lines from
+    /// instrumented middleware. Replaces any previous sink.
+    pub fn set_debug_sink(&mut self, sink: impl FnMut(SimTime, &str) + 'static) {
+        self.debug_sink = Some(Box::new(sink));
+    }
+
+    /// Remove the debug sink (tracing becomes free again).
+    pub fn clear_debug_sink(&mut self) {
+        self.debug_sink = None;
+    }
+
+    /// Whether a debug sink is installed. Gate expensive message
+    /// construction behind this.
+    #[inline]
+    pub fn debug_enabled(&self) -> bool {
+        self.debug_sink.is_some()
+    }
+
+    /// Emit a debug line to the sink, if one is installed.
+    pub fn debug(&mut self, msg: &str) {
+        if let Some(sink) = self.debug_sink.as_mut() {
+            sink(self.clock, msg);
+        }
+    }
+
+    /// Emit a lazily-built debug line; `f` only runs when a sink is
+    /// installed.
+    pub fn debug_with(&mut self, f: impl FnOnce() -> String) {
+        if self.debug_sink.is_some() {
+            let msg = f();
+            self.debug(&msg);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -940,6 +983,27 @@ mod tests {
             env.send_oneway(a, b, ProtocolStack::Udp, 100).unwrap_err(),
             NetError::Partitioned
         );
+    }
+
+    #[test]
+    fn debug_sink_receives_timestamped_lines_only_while_installed() {
+        let mut env = Env::with_seed(11);
+        let lines: Rc<RefCell<Vec<(SimTime, String)>>> = Rc::new(RefCell::new(vec![]));
+        assert!(!env.debug_enabled());
+        env.debug("dropped: no sink");
+        let l2 = Rc::clone(&lines);
+        env.set_debug_sink(move |at, msg| l2.borrow_mut().push((at, msg.to_string())));
+        assert!(env.debug_enabled());
+        env.consume(SimDuration::from_millis(5));
+        env.debug("first");
+        env.debug_with(|| format!("second at {}", 5));
+        env.clear_debug_sink();
+        env.debug("dropped: cleared");
+        let got = lines.borrow();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, SimTime::ZERO + SimDuration::from_millis(5));
+        assert_eq!(got[0].1, "first");
+        assert_eq!(got[1].1, "second at 5");
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![allow(clippy::type_complexity)]
 
 pub mod bytebuf;
+pub mod chaos;
 pub mod check;
 pub mod env;
 pub mod metrics;
@@ -49,6 +50,7 @@ pub mod wire;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
+    pub use crate::chaos::{ChaosConfig, ChaosCounts, ChaosEvent, ChaosSchedule};
     pub use crate::env::{Env, EnvConfig, RepeatHandle, ServiceId, TimerId};
     pub use crate::metrics::{keys as metric_keys, Metrics, Summary};
     pub use crate::rng::SimRng;

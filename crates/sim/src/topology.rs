@@ -45,7 +45,7 @@ pub struct Host {
 }
 
 /// Link characteristics between a pair of host classes.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkModel {
     /// One-way propagation + forwarding delay, independent of size.
     pub base_latency: SimDuration,
@@ -141,6 +141,11 @@ pub struct Topology {
     hosts: Vec<Host>,
     /// Severed unordered host pairs (stored with the smaller id first).
     partitions: BTreeSet<(HostId, HostId)>,
+    /// Hosts severed from everything (a "pulled cable"). Kept separate from
+    /// `partitions` so healing a pair while one end is isolated does not
+    /// resurrect the path, and `reconnect` does not erase explicit pairwise
+    /// partitions installed independently.
+    isolated: BTreeSet<HostId>,
     /// Optional per-pair link overrides; falls back to kind-based defaults.
     link_overrides: BTreeMap<(HostId, HostId), LinkModel>,
 }
@@ -225,26 +230,34 @@ impl Topology {
 
     /// Sever one host from every other host (a "pulled cable").
     pub fn isolate(&mut self, a: HostId) {
-        let ids: Vec<HostId> = self.hosts.iter().map(|h| h.id).collect();
-        for b in ids {
-            if b != a {
-                self.partition(a, b);
-            }
-        }
+        self.isolated.insert(a);
     }
 
-    /// Heal all partitions involving `a`.
+    /// Undo an [`isolate`](Self::isolate). Explicit pairwise partitions
+    /// involving `a` remain in force until individually healed.
     pub fn reconnect(&mut self, a: HostId) {
-        self.partitions.retain(|&(x, y)| x != a && y != a);
+        self.isolated.remove(&a);
+    }
+
+    pub fn is_isolated(&self, a: HostId) -> bool {
+        self.isolated.contains(&a)
     }
 
     pub fn is_partitioned(&self, a: HostId, b: HostId) -> bool {
-        a != b && self.partitions.contains(&Self::pair(a, b))
+        a != b
+            && (self.isolated.contains(&a)
+                || self.isolated.contains(&b)
+                || self.partitions.contains(&Self::pair(a, b)))
     }
 
     /// Install a specific link model for a host pair (both directions).
     pub fn set_link(&mut self, a: HostId, b: HostId, link: LinkModel) {
         self.link_overrides.insert(Self::pair(a, b), link);
+    }
+
+    /// Remove a per-pair link override, reverting to kind-based defaults.
+    pub fn clear_link(&mut self, a: HostId, b: HostId) {
+        self.link_overrides.remove(&Self::pair(a, b));
     }
 
     /// The link model used between two hosts: an explicit override if set,
@@ -347,6 +360,88 @@ mod tests {
         assert!(!t.is_partitioned(b, c));
         t.reconnect(a);
         assert!(t.check_path(a, b).is_ok() && t.check_path(a, c).is_ok());
+    }
+
+    #[test]
+    fn heal_while_isolated_does_not_resurrect_path() {
+        let (mut t, a, b, c) = topo3();
+        t.partition(a, b);
+        t.isolate(a);
+        // Healing the pair while the host is still unplugged must not bring
+        // the path back.
+        t.heal(a, b);
+        assert!(t.is_partitioned(a, b));
+        assert_eq!(t.check_path(a, b), Err(NetError::Partitioned));
+        assert!(t.is_partitioned(a, c), "isolation covers every peer");
+        t.reconnect(a);
+        assert!(t.check_path(a, b).is_ok());
+        assert!(t.check_path(a, c).is_ok());
+    }
+
+    #[test]
+    fn reconnect_preserves_explicit_partitions() {
+        let (mut t, a, b, c) = topo3();
+        t.partition(a, b);
+        t.isolate(a);
+        t.reconnect(a);
+        assert!(!t.is_isolated(a));
+        assert!(
+            t.is_partitioned(a, b),
+            "pairwise partition installed independently must survive reconnect"
+        );
+        assert!(t.check_path(a, c).is_ok());
+        t.heal(a, b);
+        assert!(t.check_path(a, b).is_ok());
+    }
+
+    #[test]
+    fn reconnect_restores_group_membership_reachability() {
+        let (mut t, a, b, c) = topo3();
+        t.join_group(a, "public");
+        t.join_group(b, "public");
+        t.join_group(c, "public");
+        t.isolate(c);
+        // Group membership itself is not forgotten while unplugged…
+        assert_eq!(t.group_members("public"), vec![a, b, c]);
+        // …but the paths to the other members are down.
+        assert_eq!(t.check_path(c, a), Err(NetError::Partitioned));
+        assert_eq!(t.check_path(b, c), Err(NetError::Partitioned));
+        t.reconnect(c);
+        for &m in &t.group_members("public") {
+            if m != c {
+                assert!(t.check_path(c, m).is_ok());
+                assert!(t.check_path(m, c).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn check_path_is_symmetric_for_partitions_and_isolation() {
+        let (mut t, a, b, c) = topo3();
+        t.partition(b, c);
+        assert_eq!(t.check_path(b, c), t.check_path(c, b));
+        t.isolate(a);
+        assert_eq!(t.check_path(a, b), t.check_path(b, a));
+        assert_eq!(t.check_path(a, b), Err(NetError::Partitioned));
+        t.reconnect(a);
+        t.heal(c, b);
+        for &(x, y) in &[(a, b), (a, c), (b, c)] {
+            assert_eq!(t.check_path(x, y), t.check_path(y, x));
+            assert!(t.check_path(x, y).is_ok());
+        }
+    }
+
+    #[test]
+    fn clear_link_reverts_to_kind_defaults() {
+        let (mut t, a, b, _) = topo3();
+        let slow = LinkModel {
+            base_latency: SimDuration::from_secs(1),
+            ..LinkModel::lan()
+        };
+        t.set_link(a, b, slow);
+        assert_eq!(t.link(a, b).base_latency, SimDuration::from_secs(1));
+        t.clear_link(b, a);
+        assert_eq!(t.link(a, b).base_latency, LinkModel::lan().base_latency);
     }
 
     #[test]

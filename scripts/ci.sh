@@ -4,6 +4,10 @@
 #   scripts/ci.sh           tier-1: release build + full test suite
 #   scripts/ci.sh --smoke   tier-1, then the smoke bench pass writing
 #                           BENCH_1.json at the repo root
+#   scripts/ci.sh --soak    tier-1, then the seeded chaos soak writing
+#                           CHAOS_1.json at the repo root (bounded,
+#                           deterministic; exits nonzero on any
+#                           degraded-read invariant violation)
 #
 # Everything runs offline against the vendored workspace; no network,
 # no external tools beyond cargo.
@@ -12,10 +16,12 @@ set -eu
 cd "$(dirname "$0")/.."
 
 smoke=0
+soak=0
 for arg in "$@"; do
     case "$arg" in
         --smoke) smoke=1 ;;
-        *) echo "usage: scripts/ci.sh [--smoke]" >&2; exit 2 ;;
+        --soak) soak=1 ;;
+        *) echo "usage: scripts/ci.sh [--smoke] [--soak]" >&2; exit 2 ;;
     esac
 done
 
@@ -28,6 +34,11 @@ cargo test -q --workspace
 if [ "$smoke" -eq 1 ]; then
     echo "== smoke bench (writes BENCH_1.json) =="
     cargo run --release -p sensorcer-bench --bin harness -- smoke
+fi
+
+if [ "$soak" -eq 1 ]; then
+    echo "== chaos soak (writes CHAOS_1.json) =="
+    cargo run --release -p sensorcer-bench --bin harness -- chaos
 fi
 
 echo "ci: ok"

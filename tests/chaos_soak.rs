@@ -1,0 +1,39 @@
+//! Chaos soak regression gate: the deterministic fault-injection harness
+//! must pass — no invariant violations, full post-heal reconvergence —
+//! for a set of fixed seeds, every run, bit-for-bit.
+//!
+//! Each soak drives hundreds of composite reads (thousands of federated
+//! child dispatches) through a world where motes are partitioned,
+//! isolated, crashed and slowed on a seeded schedule, while the
+//! `Quorum(4)` and `LastKnownGood` composites keep answering in degraded
+//! mode. See `sensorcer_bench::chaos` for the invariants.
+
+use sensorcer_bench::chaos::{run_soak, SoakConfig};
+
+/// The fixed seeds CI pins. Three distinct fault mixes; all must pass.
+const SEEDS: [u64; 3] = [1, 42, 0x5E2509];
+
+#[test]
+fn chaos_soak_passes_for_all_pinned_seeds() {
+    for seed in SEEDS {
+        let report = run_soak(&SoakConfig::new(seed));
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed} violated invariants: {:#?}",
+            report.violations
+        );
+        assert!(report.reconverged, "seed {seed} did not reconverge post-heal");
+        assert!(report.injected.total() > 0, "seed {seed} injected no faults");
+        assert!(
+            report.reads_total > 100,
+            "seed {seed} soak too short: {} reads",
+            report.reads_total
+        );
+    }
+}
+
+#[test]
+fn chaos_soak_is_reproducible() {
+    let cfg = SoakConfig::new(SEEDS[1]);
+    assert_eq!(run_soak(&cfg), run_soak(&cfg), "same seed, same world, same report");
+}
