@@ -183,6 +183,52 @@ pub fn degraded_read_availability(
     retry: sensorcer_exertion::RetryPolicy,
     seed: u64,
 ) -> (u64, u64, u64) {
+    degraded_read_run(policy, retry, seed).0
+}
+
+/// Per-mote accounting of the same outage window: who burned the retry
+/// budget, whose reads were substituted away. The telemetry registry
+/// attributes every retry to the servicer's host and name, so the table
+/// localises the outage instead of reporting one global counter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MoteRetryRow {
+    pub service: String,
+    pub retry_attempts: u64,
+    pub retry_exhausted: u64,
+    /// Times this child's reading was substituted by the composite.
+    pub substituted: u64,
+}
+
+/// Run the B4c outage and break the retry traffic down by mote.
+pub fn retry_attribution(
+    policy: DegradationPolicy,
+    retry: sensorcer_exertion::RetryPolicy,
+    seed: u64,
+) -> Vec<MoteRetryRow> {
+    use sensorcer_exertion::retry::keys as retry_keys;
+    let (_, env, motes) = degraded_read_run(policy, retry, seed);
+    motes
+        .iter()
+        .enumerate()
+        .map(|(i, &mote)| {
+            let service = format!("S{i}");
+            MoteRetryRow {
+                retry_attempts: env.metrics.get_host(mote, retry_keys::RETRY_ATTEMPTS),
+                retry_exhausted: env.metrics.get_host(mote, retry_keys::RETRY_EXHAUSTED),
+                substituted: env
+                    .metrics
+                    .get_labeled(sensorcer_core::csp::keys::SUBSTITUTED_CHILDREN, &service),
+                service,
+            }
+        })
+        .collect()
+}
+
+fn degraded_read_run(
+    policy: DegradationPolicy,
+    retry: sensorcer_exertion::RetryPolicy,
+    seed: u64,
+) -> ((u64, u64, u64), Env, Vec<HostId>) {
     let mut env = Env::with_seed(seed);
     let lab = env.add_host("lab", HostKind::Server);
     let client = env.add_host("client", HostKind::Workstation);
@@ -241,7 +287,7 @@ pub fn degraded_read_availability(
         }
         env.run_for(SimDuration::from_secs(2));
     }
-    (reads, ok, degraded)
+    ((reads, ok, degraded), env, motes)
 }
 
 /// B4c table: policy × retry budget → read availability.
@@ -279,6 +325,31 @@ pub fn degraded_read_table(seed: u64) -> Table {
     c
 }
 
+/// B4d table: the same outage, attributed per mote — retries land on the
+/// partitioned child's host, substitutions name the victim's service.
+pub fn retry_attribution_table(seed: u64) -> Table {
+    let mut t = Table::new(
+        "B4d: per-mote retry/substitution attribution through the 30s outage of m2 \
+         (quorum(2), transient retries)",
+        &["mote", "retry attempts", "retry exhausted", "substituted"],
+    );
+    let rows = retry_attribution(
+        DegradationPolicy::Quorum(2),
+        sensorcer_exertion::RetryPolicy::transient(),
+        seed,
+    );
+    for r in &rows {
+        t.row(&[
+            r.service.clone(),
+            r.retry_attempts.to_string(),
+            r.retry_exhausted.to_string(),
+            r.substituted.to_string(),
+        ]);
+    }
+    t.note("per-host counters localise the outage: healthy motes stay at zero");
+    t
+}
+
 pub fn run_table(seed: u64) -> (Table, Table) {
     let mut a = Table::new(
         "B4a: provisioned-composite failover window vs. monitor heartbeat (10 seeds)",
@@ -311,7 +382,8 @@ pub fn run_table(seed: u64) -> (Table, Table) {
 pub fn run(seed: u64) -> String {
     let (a, b) = run_table(seed);
     let c = degraded_read_table(seed);
-    format!("{}\n{}\n{}", a.render(), b.render(), c.render())
+    let d = retry_attribution_table(seed);
+    format!("{}\n{}\n{}\n{}", a.render(), b.render(), c.render(), d.render())
 }
 
 #[cfg(test)]
@@ -362,6 +434,24 @@ mod tests {
         assert!(deg_q > 0 && deg_k > 0, "outage reads must be flagged: {deg_q}, {deg_k}");
         // And degraded reads stop once the child heals.
         assert!(deg_q < reads_q && deg_k < reads_k);
+    }
+
+    #[test]
+    fn retries_localise_to_the_partitioned_mote() {
+        let rows = retry_attribution(
+            DegradationPolicy::Quorum(2),
+            sensorcer_exertion::RetryPolicy::transient(),
+            9,
+        );
+        assert_eq!(rows.len(), 3);
+        let victim = &rows[2]; // m2 is the partitioned child
+        assert!(victim.retry_attempts > 0, "outage must burn retries: {victim:?}");
+        assert!(victim.substituted > 0, "quorum must substitute the victim: {victim:?}");
+        for healthy in &rows[..2] {
+            assert_eq!(healthy.retry_attempts, 0, "healthy mote retried: {healthy:?}");
+            assert_eq!(healthy.retry_exhausted, 0, "{healthy:?}");
+            assert_eq!(healthy.substituted, 0, "{healthy:?}");
+        }
     }
 
     #[test]

@@ -8,15 +8,20 @@
 //! harness chaos [seed] [out.json]
 //!   seeded fault-injection soak over degraded-mode federated reads;
 //!   writes CHAOS_1.json and exits nonzero on any invariant violation
+//! harness trace [seed] [out.json]
+//!   the same soak with the flight recorder on; validates the trace
+//!   (unique ids, no orphans, every degraded read explainable) and
+//!   writes TRACE_1.json
 //! ```
 
 use sensorcer_bench::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: {})\n       harness chaos [seed] [out.json]   (default out: {})",
+        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: {})\n       harness chaos [seed] [out.json]   (default out: {})\n       harness trace [seed] [out.json]   (default out: {})",
         smoke::DEFAULT_OUT,
-        chaos::DEFAULT_OUT
+        chaos::DEFAULT_OUT,
+        trace::DEFAULT_OUT
     );
     std::process::exit(2);
 }
@@ -71,8 +76,8 @@ fn main() {
         return;
     }
 
-    // `chaos` takes an optional seed then an output path.
-    if which == "chaos" {
+    // `chaos` and `trace` take an optional seed then an output path.
+    if which == "chaos" || which == "trace" {
         let seed = match args.get(1) {
             Some(s) => s.parse().unwrap_or_else(|_| {
                 eprintln!("seed must be an integer, got '{s}'");
@@ -80,8 +85,14 @@ fn main() {
             }),
             None => DEFAULT_SEED,
         };
-        let out = args.get(2).map(String::as_str).unwrap_or(chaos::DEFAULT_OUT);
-        match chaos::run(seed, out) {
+        let (runner, default_out): (fn(u64, &str) -> Result<String, String>, &str) =
+            if which == "chaos" {
+                (chaos::run, chaos::DEFAULT_OUT)
+            } else {
+                (trace::run, trace::DEFAULT_OUT)
+            };
+        let out = args.get(2).map(String::as_str).unwrap_or(default_out);
+        match runner(seed, out) {
             Ok(transcript) => print!("{transcript}"),
             Err(e) => {
                 eprint!("{e}");

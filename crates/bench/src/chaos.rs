@@ -50,6 +50,9 @@ pub struct SoakConfig {
     /// Post-heal rounds that must all come back clean.
     pub tail_reads: usize,
     pub chaos: ChaosConfig,
+    /// Flight-recorder capacity; `None` (the default) runs untraced, so
+    /// the instrumented read path stays a null check.
+    pub trace_capacity: Option<usize>,
 }
 
 impl SoakConfig {
@@ -59,6 +62,7 @@ impl SoakConfig {
             read_period: SimDuration::from_secs(2),
             tail_reads: 20,
             chaos: ChaosConfig::default(),
+            trace_capacity: None,
         }
     }
 }
@@ -156,9 +160,56 @@ impl SoakReport {
     }
 }
 
+/// One top-level federated read with a `soak.read` root span: every
+/// dispatch, retry, failover and substitution below it nests under this
+/// span, which is what makes a degraded read explainable from its trace.
+/// With tracing off this is exactly `client::get_value_detailed`.
+fn traced_read(
+    env: &mut Env,
+    from: HostId,
+    accessor: &sensorcer_exertion::ServiceAccessor,
+    name: &str,
+) -> Result<(sensorcer_core::accessor::SensorReading, sensorcer_core::accessor::DegradedInfo), String>
+{
+    let span = if env.tracing_enabled() {
+        env.span_start("soak.read", name, from)
+    } else {
+        SpanId::INVALID
+    };
+    let result = client::get_value_detailed(env, from, accessor, name);
+    if span.is_valid() {
+        match &result {
+            Ok((_, d)) if d.is_degraded() => {
+                if !d.substituted.is_empty() {
+                    env.span_field(span, "substituted", d.substituted.join(","));
+                }
+                if !d.missing.is_empty() {
+                    env.span_field(span, "missing", d.missing.join(","));
+                }
+                env.span_end(span, Outcome::Degraded);
+            }
+            Ok(_) => env.span_end(span, Outcome::Ok),
+            Err(e) => {
+                env.span_field(span, "error", e.as_str());
+                env.span_end(span, Outcome::Error);
+            }
+        }
+    }
+    result
+}
+
 /// Run one soak to completion.
 pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
+    run_soak_traced(cfg).0
+}
+
+/// Like [`run_soak`], returning the flight recorder too when
+/// `cfg.trace_capacity` is set — the substrate of `harness trace`.
+pub fn run_soak_traced(cfg: &SoakConfig) -> (SoakReport, Option<FlightRecorder>) {
     let mut env = Env::with_seed(cfg.seed);
+    if let Some(capacity) = cfg.trace_capacity {
+        env.enable_tracing(capacity);
+    }
     let lab = env.add_host("lab", HostKind::Server);
     let client = env.add_host("client", HostKind::Workstation);
     env.topo.join_group(client, "public");
@@ -233,7 +284,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     // caches before any fault lands.
     env.run_for(SimDuration::from_secs(1));
     for name in [QUORUM_COMPOSITE, LKG_COMPOSITE] {
-        match client::get_value_detailed(&mut env, client, &accessor, name) {
+        match traced_read(&mut env, client, &accessor, name) {
             Ok((r, d)) if r.good && !d.is_degraded() => {}
             Ok(_) => violations.push(format!("priming read of {name} was degraded")),
             Err(e) => violations.push(format!("priming read of {name} failed: {e}")),
@@ -266,7 +317,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         let quiet = !events.iter().any(|&(at, _)| at >= t && at <= t + quiet_guard);
 
         reads_total += 2;
-        match client::get_value_detailed(&mut env, client, &accessor, QUORUM_COMPOSITE) {
+        match traced_read(&mut env, client, &accessor, QUORUM_COMPOSITE) {
             Ok((r, d)) => {
                 reads_ok += 1;
                 if d.is_degraded() {
@@ -290,7 +341,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
                 }
             }
         }
-        match client::get_value_detailed(&mut env, client, &accessor, LKG_COMPOSITE) {
+        match traced_read(&mut env, client, &accessor, LKG_COMPOSITE) {
             Ok((r, d)) => {
                 reads_ok += 1;
                 if d.is_degraded() {
@@ -326,7 +377,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         env.run_for(cfg.read_period);
         for name in [QUORUM_COMPOSITE, LKG_COMPOSITE] {
             reads_total += 1;
-            match client::get_value_detailed(&mut env, client, &accessor, name) {
+            match traced_read(&mut env, client, &accessor, name) {
                 Ok((r, d)) if r.good && !d.is_degraded() => reads_ok += 1,
                 Ok(_) => {
                     reads_ok += 1;
@@ -345,7 +396,8 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         violations.push("post-heal reads did not reconverge to clean".into());
     }
 
-    SoakReport {
+    let recorder = env.disable_tracing();
+    let report = SoakReport {
         seed: cfg.seed,
         rounds,
         reads_total,
@@ -358,7 +410,8 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         events_applied: env.metrics.get(chaos_keys::CHAOS_EVENTS),
         violations,
         reconverged,
-    }
+    };
+    (report, recorder)
 }
 
 /// `harness chaos` entry point: soak one seed, write the JSON summary to

@@ -37,6 +37,7 @@ pub mod helpers;
 pub mod microbench;
 pub mod smoke;
 pub mod table;
+pub mod trace;
 
 /// Expression-variable name for index `i` (`a`…`z`, then `v26`…), shared
 /// with the CSP's convention.

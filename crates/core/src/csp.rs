@@ -27,6 +27,7 @@ use sensorcer_sensors::calib::Calibration;
 use sensorcer_sim::env::{Env, ServiceId};
 use sensorcer_sim::time::{SimDuration, SimTime};
 use sensorcer_sim::topology::HostId;
+use sensorcer_sim::trace::{Outcome, SpanId};
 
 use crate::accessor::{mgmt, selectors, SensorInfo};
 
@@ -40,6 +41,8 @@ pub mod keys {
     pub const DEGRADED_READS: &str = "csp.reads.degraded";
     /// Children substituted from the last-known-good cache.
     pub const SUBSTITUTED_CHILDREN: &str = "csp.children.substituted";
+    /// Children skipped entirely — failed with no cached value to lend.
+    pub const MISSING_CHILDREN: &str = "csp.children.missing";
 }
 
 /// What a composite does when a child read still fails after retry and
@@ -280,7 +283,46 @@ impl CompositeSensorProvider {
 
     /// Collect all child values (in parallel across the federation) and
     /// compute the composite value.
+    /// Traced wrapper: a `csp.read` span covers the whole fan-out, with
+    /// the degradation verdict attached after the inner read settles.
     fn handle_get_value(&mut self, env: &mut Env, task: &mut Task) {
+        let span = if env.tracing_enabled() {
+            let label = self.name.clone();
+            let s = env.span_start("csp.read", &label, self.host);
+            env.span_field(s, "children", self.plans.len());
+            s
+        } else {
+            SpanId::INVALID
+        };
+        self.get_value_inner(env, task);
+        if span.is_valid() {
+            match task.status.clone() {
+                ExertionStatus::Failed(e) => {
+                    env.span_field(span, "error", e);
+                    env.span_end(span, Outcome::Error);
+                }
+                _ => {
+                    let substituted =
+                        task.context.get_str(paths::SENSOR_SUBSTITUTED).map(str::to_string);
+                    let missing =
+                        task.context.get_str(paths::SENSOR_MISSING).map(str::to_string);
+                    let degraded = substituted.is_some() || missing.is_some();
+                    if let Some(s) = substituted {
+                        env.span_field(span, "substituted", s);
+                    }
+                    if let Some(m) = missing {
+                        env.span_field(span, "missing", m);
+                    }
+                    env.span_end(
+                        span,
+                        if degraded { Outcome::Degraded } else { Outcome::Ok },
+                    );
+                }
+            }
+        }
+    }
+
+    fn get_value_inner(&mut self, env: &mut Env, task: &mut Task) {
         self.reads_total += 1;
         if self.children.is_empty() {
             task.fail(format!("composite '{}' has no composed services", self.name));
@@ -320,7 +362,11 @@ impl CompositeSensorProvider {
                     let plan = Arc::clone(plan);
                     let visited = Arc::clone(&visited);
                     Box::new(move |env: &mut Env| {
+                        // One `csp.child` span per fan-out branch; the
+                        // dispatch spans and retry events nest under it.
+                        let span = env.span_start("csp.child", &plan.service_name, host);
                         let name: &str = &plan.service_name;
+                        let run = |env: &mut Env| -> Result<(f64, String, bool), String> {
                         let make_task = || {
                             Task::new(
                                 plan.task_name.clone(),
@@ -360,7 +406,7 @@ impl CompositeSensorProvider {
                             match exert_on_retry(env, host, svc, make_task().into(), None, &retry)
                             {
                                 Ok(done) => match parse(&done, name) {
-                                    Ok(v) => return (plan.var.clone(), Ok(v)),
+                                    Ok(v) => return Ok(v),
                                     // Answered but failed (dead transducer,
                                     // expression error in a nested CSP, ...)
                                     // — a fresh bind would reach the same
@@ -397,7 +443,7 @@ impl CompositeSensorProvider {
                                         &retry,
                                     ) {
                                         Ok(done) => match parse(&done, name) {
-                                            Ok(v) => return (plan.var.clone(), Ok(v)),
+                                            Ok(v) => return Ok(v),
                                             Err(e) => failure = Some(e),
                                         },
                                         Err(e) => {
@@ -421,6 +467,13 @@ impl CompositeSensorProvider {
                         // *or* answered with a failure.
                         if let Some(group) = plan.group.as_deref() {
                             env.metrics.add(keys::FAILOVER_ATTEMPTS, 1);
+                            if span.is_valid() {
+                                env.span_event(
+                                    span,
+                                    "failover.attempt",
+                                    vec![("group", group.into())],
+                                );
+                            }
                             let primary = failure
                                 .take()
                                 .unwrap_or_else(|| format!("'{name}': read failed"));
@@ -452,9 +505,19 @@ impl CompositeSensorProvider {
                                             Ok(v) => {
                                                 env.metrics
                                                     .add(keys::FAILOVER_SUCCESS, 1);
+                                                if span.is_valid() {
+                                                    env.span_event(
+                                                        span,
+                                                        "failover.success",
+                                                        vec![(
+                                                            "equivalent",
+                                                            eq.as_str().into(),
+                                                        )],
+                                                    );
+                                                }
                                                 // Deliberately not cached: the
                                                 // primary is retried next read.
-                                                return (plan.var.clone(), Ok(v));
+                                                return Ok(v);
                                             }
                                             Err(e) => {
                                                 failure = Some(format!(
@@ -476,10 +539,24 @@ impl CompositeSensorProvider {
                                 }
                             }
                         }
-                        (
-                            plan.var.clone(),
-                            Err(failure.unwrap_or_else(|| format!("'{name}': read failed"))),
-                        )
+                        Err(failure.unwrap_or_else(|| format!("'{name}': read failed")))
+                        };
+                        let outcome = run(env);
+                        match &outcome {
+                            Ok((_, _, good)) => {
+                                if span.is_valid() && !*good {
+                                    env.span_field(span, "quality", "suspect");
+                                }
+                                env.span_end(span, Outcome::Ok);
+                            }
+                            Err(e) => {
+                                if span.is_valid() {
+                                    env.span_field(span, "error", e.as_str());
+                                }
+                                env.span_end(span, Outcome::Error);
+                            }
+                        }
+                        (plan.var.clone(), outcome)
                     })
                         as Box<
                             dyn FnOnce(&mut Env) -> (Arc<str>, Result<(f64, String, bool), String>)
@@ -555,9 +632,37 @@ impl CompositeSensorProvider {
                                 if unit.is_empty() {
                                     unit = lg.unit.clone();
                                 }
+                                let age = now - lg.at;
+                                let cur = env.current_span();
+                                if cur.is_valid() {
+                                    env.span_event(
+                                        cur,
+                                        "degradation.substitute",
+                                        vec![
+                                            ("child", child.as_str().into()),
+                                            ("age_ns", age.as_nanos().into()),
+                                        ],
+                                    );
+                                }
+                                env.metrics.add_labeled(
+                                    keys::SUBSTITUTED_CHILDREN,
+                                    &child,
+                                    1,
+                                );
                                 substituted.push(child);
                             }
-                            None => missing.push(child),
+                            None => {
+                                let cur = env.current_span();
+                                if cur.is_valid() {
+                                    env.span_event(
+                                        cur,
+                                        "degradation.missing",
+                                        vec![("child", child.as_str().into())],
+                                    );
+                                }
+                                env.metrics.add_labeled(keys::MISSING_CHILDREN, &child, 1);
+                                missing.push(child);
+                            }
                         }
                     }
                 }
@@ -570,6 +675,23 @@ impl CompositeSensorProvider {
                                 if unit.is_empty() {
                                     unit = lg.unit.clone();
                                 }
+                                let age = now - lg.at;
+                                let cur = env.current_span();
+                                if cur.is_valid() {
+                                    env.span_event(
+                                        cur,
+                                        "degradation.substitute",
+                                        vec![
+                                            ("child", child.as_str().into()),
+                                            ("age_ns", age.as_nanos().into()),
+                                        ],
+                                    );
+                                }
+                                env.metrics.add_labeled(
+                                    keys::SUBSTITUTED_CHILDREN,
+                                    &child,
+                                    1,
+                                );
                                 substituted.push(child);
                             }
                             _ => {
@@ -594,6 +716,16 @@ impl CompositeSensorProvider {
             env.metrics.add(keys::SUBSTITUTED_CHILDREN, substituted.len() as u64);
         }
 
+        // The expression evaluation gets its own span: a read that fails
+        // *here* failed on the hub, after every child already answered.
+        let eval_span = match (&self.expression, env.tracing_enabled()) {
+            (Some(program), true) => {
+                let s = env.span_start("csp.eval", program.source(), self.host);
+                env.span_field(s, "inputs", readings.len());
+                s
+            }
+            _ => SpanId::INVALID,
+        };
         let computed = match &self.expression {
             Some(program) => {
                 let pairs: Vec<(&str, Value)> = readings
@@ -604,12 +736,22 @@ impl CompositeSensorProvider {
                     Ok(v) => match v.as_f64() {
                         Some(x) => x,
                         None => {
-                            task.fail(format!("expression produced non-numeric value: {v}"));
+                            let msg = format!("expression produced non-numeric value: {v}");
+                            if eval_span.is_valid() {
+                                env.span_field(eval_span, "error", msg.as_str());
+                            }
+                            env.span_end(eval_span, Outcome::Error);
+                            task.fail(msg);
                             return;
                         }
                     },
                     Err(e) => {
-                        task.fail(format!("expression error: {e}"));
+                        let msg = format!("expression error: {e}");
+                        if eval_span.is_valid() {
+                            env.span_field(eval_span, "error", msg.as_str());
+                        }
+                        env.span_end(eval_span, Outcome::Error);
+                        task.fail(msg);
                         return;
                     }
                 }
@@ -619,6 +761,7 @@ impl CompositeSensorProvider {
                 readings.iter().map(|(_, v)| v).sum::<f64>() / readings.len() as f64
             }
         };
+        env.span_end(eval_span, Outcome::Ok);
         let value = self.calibration.apply(computed);
 
         task.context.put(paths::SENSOR_VALUE, value);

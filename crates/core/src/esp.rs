@@ -22,10 +22,22 @@ use sensorcer_sim::topology::HostId;
 
 use crate::accessor::{selectors, SensorInfo};
 
+/// Per-host gauge keys written by sensor providers; read back by the
+/// facade's `network_health` snapshot.
+pub mod gauges {
+    /// Sim-time (ns) of the last successfully served `getValue`.
+    pub const LAST_READ_NS: &str = "sensor.last_read_ns";
+    /// Battery level [0, 1] observed at the last served read.
+    pub const BATTERY: &str = "sensor.battery";
+}
+
 /// The provider state.
 pub struct ElementarySensorProvider {
     name: String,
     uuid: String,
+    /// Host this provider was deployed on; filled by [`deploy_esp`] so
+    /// reads can stamp per-host health gauges.
+    host: Option<HostId>,
     /// Crate-visible so tests and fault-injection benches can swap the
     /// probe behind a live provider ("replace the sensor in the field").
     pub(crate) probe: Box<dyn SensorProbe>,
@@ -38,6 +50,7 @@ impl ElementarySensorProvider {
         ElementarySensorProvider {
             name: name.into(),
             uuid: String::new(),
+            host: None,
             probe,
             store: RingStore::new(256),
             reads_total: 0,
@@ -91,6 +104,11 @@ impl ElementarySensorProvider {
                 }
             }
             Err(ProbeError::BatteryDead) => task.fail("sensor battery exhausted"),
+        }
+        if let (Some(host), true) = (self.host, matches!(task.status, ExertionStatus::Done)) {
+            let now_ns = env.now().as_nanos() as f64;
+            env.metrics.set_host_gauge(host, gauges::LAST_READ_NS, now_ns);
+            env.metrics.set_host_gauge(host, gauges::BATTERY, self.probe.battery_level());
         }
     }
 
@@ -230,7 +248,8 @@ pub struct EspHandle {
 /// (interfaces `SensorDataAccessor` + `Servicer`, type `ELEMENTARY`),
 /// arrange lease renewal, and start background sampling if configured.
 pub fn deploy_esp(env: &mut Env, config: EspConfig) -> EspHandle {
-    let esp = ElementarySensorProvider::new(config.name.clone(), config.probe);
+    let mut esp = ElementarySensorProvider::new(config.name.clone(), config.probe);
+    esp.host = Some(config.host);
     let service = env.deploy(config.host, config.name.clone(), ServicerBox::new(esp));
 
     let mut attributes = vec![

@@ -34,6 +34,7 @@ pub mod ops {
     pub const ADD_EXPRESSION: &str = "addExpression";
     pub const CREATE_SERVICE: &str = "createService";
     pub const REMOVE_SERVICE: &str = "removeService";
+    pub const NETWORK_HEALTH: &str = "networkHealth";
 }
 
 /// One row of the browser's service list.
@@ -42,6 +43,31 @@ pub struct ServiceRow {
     pub name: String,
     pub service_type: String,
     pub host: HostId,
+}
+
+/// One host's row in the federation health snapshot — what the paper's
+/// sensor browser would render next to each node: is the mote up, what is
+/// registered there, how stale its last reading is, and how much degraded
+/// traffic it has caused.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostHealth {
+    pub host: HostId,
+    pub name: String,
+    pub kind: String,
+    /// Whether the simulated host is up right now.
+    pub alive: bool,
+    /// Service names currently registered (lease still live) on this host.
+    pub services: Vec<String>,
+    /// Age of the last successfully served read, if any reads were served.
+    pub last_read_age_ns: Option<u64>,
+    /// Battery level observed at the last served read (ESP hosts only).
+    pub battery: Option<f64>,
+    /// Retry traffic attributed to providers on this host.
+    pub retry_attempts: u64,
+    pub retry_exhausted: u64,
+    /// Times this host's providers were substituted from a last-known-good
+    /// cache during a degraded composite read.
+    pub substituted: u64,
 }
 
 /// The façade provider.
@@ -120,6 +146,58 @@ impl SensorcerFacade {
         rows
     }
 
+    /// Per-host health snapshot across the whole federation: liveness,
+    /// registered services, last-read age, battery, and how much retry /
+    /// substitution traffic each host has caused. One row per host, in
+    /// host-id order.
+    pub fn network_health(&self, env: &mut Env) -> Vec<HostHealth> {
+        // Registration state first (needs &mut Env for the LUS calls).
+        let mut services_by_host: std::collections::BTreeMap<HostId, Vec<String>> =
+            std::collections::BTreeMap::new();
+        for lus in self.accessor.lus_handles() {
+            if let Ok(items) = lus.lookup(env, self.host, &ServiceTemplate::any(), usize::MAX) {
+                for item in items {
+                    let name = name_of(&item.attributes).unwrap_or("(unnamed)").to_string();
+                    let names = services_by_host.entry(item.host).or_default();
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+            }
+        }
+        let now_ns = env.now().as_nanos();
+        let mut rows = Vec::with_capacity(env.topo.host_count());
+        for h in env.topo.hosts() {
+            let services = services_by_host.get(&h.id).cloned().unwrap_or_default();
+            let substituted = services
+                .iter()
+                .map(|s| {
+                    env.metrics.get_labeled(crate::csp::keys::SUBSTITUTED_CHILDREN, s)
+                })
+                .sum();
+            rows.push(HostHealth {
+                host: h.id,
+                name: h.name.clone(),
+                kind: format!("{:?}", h.kind),
+                alive: h.alive,
+                services,
+                last_read_age_ns: env
+                    .metrics
+                    .host_gauge(h.id, crate::esp::gauges::LAST_READ_NS)
+                    .map(|t| now_ns.saturating_sub(t as u64)),
+                battery: env.metrics.host_gauge(h.id, crate::esp::gauges::BATTERY),
+                retry_attempts: env
+                    .metrics
+                    .get_host(h.id, sensorcer_exertion::retry::keys::RETRY_ATTEMPTS),
+                retry_exhausted: env
+                    .metrics
+                    .get_host(h.id, sensorcer_exertion::retry::keys::RETRY_EXHAUSTED),
+                substituted,
+            });
+        }
+        rows
+    }
+
     fn handle(&mut self, env: &mut Env, task: &mut Task) {
         self.requests_total += 1;
         let selector = task.signature.selector.clone();
@@ -136,6 +214,49 @@ impl SensorcerFacade {
                     })
                     .collect();
                 task.context.put("services/list", Value::List(list));
+                Ok(())
+            }
+            ops::NETWORK_HEALTH => {
+                let rows = self.network_health(env);
+                let list: Vec<Value> = rows
+                    .iter()
+                    .map(|r| {
+                        let mut m = std::collections::BTreeMap::new();
+                        m.insert("host".to_string(), Value::Int(r.host.0 as i64));
+                        m.insert("name".to_string(), Value::Str(r.name.clone()));
+                        m.insert("kind".to_string(), Value::Str(r.kind.clone()));
+                        m.insert("alive".to_string(), Value::Bool(r.alive));
+                        m.insert(
+                            "services".to_string(),
+                            Value::List(
+                                r.services.iter().cloned().map(Value::Str).collect(),
+                            ),
+                        );
+                        if let Some(age) = r.last_read_age_ns {
+                            m.insert(
+                                "last_read_age_ns".to_string(),
+                                Value::Int(age as i64),
+                            );
+                        }
+                        if let Some(b) = r.battery {
+                            m.insert("battery".to_string(), Value::Float(b));
+                        }
+                        m.insert(
+                            "retry_attempts".to_string(),
+                            Value::Int(r.retry_attempts as i64),
+                        );
+                        m.insert(
+                            "retry_exhausted".to_string(),
+                            Value::Int(r.retry_exhausted as i64),
+                        );
+                        m.insert(
+                            "substituted".to_string(),
+                            Value::Int(r.substituted as i64),
+                        );
+                        Value::Map(m)
+                    })
+                    .collect();
+                task.context.put("health/hosts", Value::List(list));
                 Ok(())
             }
             ops::GET_VALUE => match task.context.get_str("arg/service").map(str::to_string) {
@@ -357,6 +478,57 @@ impl FacadeHandle {
                 .collect()),
             _ => Ok(Vec::new()),
         }
+    }
+
+    /// Federation health snapshot, one row per host (the browser-side view
+    /// of [`SensorcerFacade::network_health`]).
+    pub fn network_health(
+        &self,
+        env: &mut Env,
+        from: HostId,
+    ) -> Result<Vec<HostHealth>, String> {
+        let ctx = self.run(env, from, ops::NETWORK_HEALTH, Context::new())?;
+        let Some(Value::List(xs)) = ctx.get("health/hosts") else {
+            return Ok(Vec::new());
+        };
+        Ok(xs
+            .iter()
+            .filter_map(|v| {
+                let Value::Map(m) = v else { return None };
+                let int = |key: &str| match m.get(key) {
+                    Some(Value::Int(i)) => Some(*i),
+                    _ => None,
+                };
+                let s = |key: &str| match m.get(key) {
+                    Some(Value::Str(s)) => s.clone(),
+                    _ => String::new(),
+                };
+                Some(HostHealth {
+                    host: HostId(int("host")? as u32),
+                    name: s("name"),
+                    kind: s("kind"),
+                    alive: matches!(m.get("alive"), Some(Value::Bool(true))),
+                    services: match m.get("services") {
+                        Some(Value::List(svcs)) => svcs
+                            .iter()
+                            .filter_map(|v| match v {
+                                Value::Str(s) => Some(s.clone()),
+                                _ => None,
+                            })
+                            .collect(),
+                        _ => Vec::new(),
+                    },
+                    last_read_age_ns: int("last_read_age_ns").map(|i| i as u64),
+                    battery: match m.get("battery") {
+                        Some(Value::Float(b)) => Some(*b),
+                        _ => None,
+                    },
+                    retry_attempts: int("retry_attempts").unwrap_or(0) as u64,
+                    retry_exhausted: int("retry_exhausted").unwrap_or(0) as u64,
+                    substituted: int("substituted").unwrap_or(0) as u64,
+                })
+            })
+            .collect())
     }
 
     /// "Get Value".
@@ -612,6 +784,39 @@ mod tests {
         assert_eq!(hist.len(), 3);
         assert!(hist.iter().all(|v| *v == 21.0));
         assert!(w.facade.get_history(&mut w.env, w.client, "Ghost", 5).is_err());
+    }
+
+    #[test]
+    fn network_health_reports_liveness_staleness_and_degradation() {
+        let mut w = setup();
+        add_esp(&mut w, "Neem-Sensor", 20.0);
+        add_esp(&mut w, "Jade-Sensor", 22.0);
+        w.facade.get_value(&mut w.env, w.client, "Neem-Sensor").unwrap();
+        w.env.run_for(SimDuration::from_secs(2));
+
+        let rows = w.facade.network_health(&mut w.env, w.client).unwrap();
+        assert_eq!(rows.len(), w.env.topo.host_count(), "one row per host");
+        let by_name = |rows: &[HostHealth], n: &str| -> HostHealth {
+            rows.iter().find(|r| r.name == n).unwrap().clone()
+        };
+
+        let neem = by_name(&rows, "Neem-Sensor-mote");
+        assert!(neem.alive);
+        assert_eq!(neem.kind, "SensorMote");
+        assert_eq!(neem.services, vec!["Neem-Sensor".to_string()]);
+        let age = neem.last_read_age_ns.expect("read was served from this mote");
+        assert!(age >= SimDuration::from_secs(2).as_nanos(), "age counts from the read");
+        assert!(neem.battery.unwrap_or(0.0) > 0.0);
+
+        let jade = by_name(&rows, "Jade-Sensor-mote");
+        assert_eq!(jade.last_read_age_ns, None, "never read");
+
+        // Kill a mote: the next snapshot reflects it (liveness is live
+        // topology state; the lapsed registration follows the lease).
+        let dead = neem.host;
+        w.env.crash_host(dead);
+        let rows = w.facade.network_health(&mut w.env, w.client).unwrap();
+        assert!(!by_name(&rows, "Neem-Sensor-mote").alive);
     }
 
     #[test]

@@ -523,7 +523,48 @@ pub fn exert(
 /// [`exert`] under a retry budget: every network dispatch — the hop to the
 /// rendezvous peer and each bare-task provider invocation — retries
 /// transient errors within `retry`'s bounds.
+///
+/// When the flight recorder is on, each submission opens an `exert` root
+/// span (unless a span is already open, in which case it nests), so the
+/// whole federation formed for this exertion shares one trace.
 pub fn exert_with_retry(
+    env: &mut Env,
+    from: HostId,
+    exertion: Exertion,
+    accessor: &ServiceAccessor,
+    txn: Option<TxnId>,
+    retry: &RetryPolicy,
+) -> Exertion {
+    let span = if env.tracing_enabled() {
+        let s = env.span_start("exert", exertion.name(), from);
+        env.span_field(
+            s,
+            "kind",
+            match &exertion {
+                Exertion::Task(_) => "task",
+                Exertion::Job(_) => "job",
+            },
+        );
+        s
+    } else {
+        sensorcer_sim::trace::SpanId::INVALID
+    };
+    let done = exert_inner(env, from, exertion, accessor, txn, retry);
+    if span.is_valid() {
+        let outcome = match done.status() {
+            ExertionStatus::Failed(msg) => {
+                let msg = msg.clone();
+                env.span_field(span, "error", msg);
+                sensorcer_sim::trace::Outcome::Error
+            }
+            _ => sensorcer_sim::trace::Outcome::Ok,
+        };
+        env.span_end(span, outcome);
+    }
+    done
+}
+
+fn exert_inner(
     env: &mut Env,
     from: HostId,
     exertion: Exertion,

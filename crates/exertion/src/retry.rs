@@ -99,13 +99,21 @@ pub fn exert_on_retry(
     if policy.is_none() {
         return exert_on(env, from, provider, exertion, txn);
     }
+    // Attribute retry traffic to the provider under pressure: its host (so
+    // availability can be broken down by mote) and its registered name (so
+    // it can be broken down by servicer). The global counters are bumped by
+    // `add_host`, so totals are unchanged.
+    let provider_host = env.service_host(provider).unwrap_or(from);
+    let provider_name: Option<String> = env.service_name(provider).map(str::to_string);
+    let label = provider_name.as_deref().unwrap_or("?");
     let start = env.now();
     let mut attempt: u32 = 0;
     loop {
         match exert_on(env, from, provider, exertion.clone(), txn) {
             Ok(done) => {
                 if attempt > 0 {
-                    env.metrics.add(keys::RETRY_SUCCESS, 1);
+                    env.metrics.add_host(provider_host, keys::RETRY_SUCCESS, 1);
+                    env.metrics.add_labeled(keys::RETRY_SUCCESS, label, 1);
                 }
                 return Ok(done);
             }
@@ -115,11 +123,32 @@ pub fn exert_on_retry(
                     attempt >= policy.attempts || env.now() - start >= policy.deadline;
                 if !RetryPolicy::retryable(e) || out_of_budget {
                     if RetryPolicy::retryable(e) {
-                        env.metrics.add(keys::RETRY_EXHAUSTED, 1);
+                        env.metrics.add_host(provider_host, keys::RETRY_EXHAUSTED, 1);
+                        env.metrics.add_labeled(keys::RETRY_EXHAUSTED, label, 1);
+                        let cur = env.current_span();
+                        if cur.is_valid() {
+                            env.span_event(
+                                cur,
+                                "retry.exhausted",
+                                vec![
+                                    ("attempts", attempt.into()),
+                                    ("error", e.to_string().into()),
+                                ],
+                            );
+                        }
                     }
                     return Err(e);
                 }
-                env.metrics.add(keys::RETRY_ATTEMPTS, 1);
+                env.metrics.add_host(provider_host, keys::RETRY_ATTEMPTS, 1);
+                env.metrics.add_labeled(keys::RETRY_ATTEMPTS, label, 1);
+                let cur = env.current_span();
+                if cur.is_valid() {
+                    env.span_event(
+                        cur,
+                        "retry.attempt",
+                        vec![("attempt", attempt.into()), ("error", e.to_string().into())],
+                    );
+                }
                 env.debug_with(|| {
                     format!("retry: attempt {attempt} against {provider} after {e}")
                 });
@@ -205,6 +234,35 @@ mod tests {
         assert_eq!(env.metrics.get(keys::RETRY_ATTEMPTS), 3, "attempts - 1 retries");
         assert_eq!(env.metrics.get(keys::RETRY_EXHAUSTED), 1);
         assert_eq!(env.metrics.get(keys::RETRY_SUCCESS), 0);
+    }
+
+    #[test]
+    fn retries_are_attributed_per_host_and_per_servicer() {
+        let (mut env, host, client, svc) = adder_world();
+        env.topo.partition(client, host);
+        env.enable_tracing(64);
+        let root = env.span_start("read", "test", client);
+        let err = exert_on_retry(&mut env, client, svc, add_task(), None, &RetryPolicy::transient())
+            .unwrap_err();
+        env.span_end(root, Outcome::Error);
+        assert_eq!(err, NetError::Partitioned);
+        // Global totals unchanged from the unattributed counters...
+        assert_eq!(env.metrics.get(keys::RETRY_ATTEMPTS), 3);
+        assert_eq!(env.metrics.get(keys::RETRY_EXHAUSTED), 1);
+        // ...and now broken down by the provider's host and name.
+        assert_eq!(env.metrics.get_host(host, keys::RETRY_ATTEMPTS), 3);
+        assert_eq!(env.metrics.get_host(host, keys::RETRY_EXHAUSTED), 1);
+        assert_eq!(env.metrics.get_labeled(keys::RETRY_ATTEMPTS, "Adder"), 3);
+        assert_eq!(env.metrics.get_labeled(keys::RETRY_EXHAUSTED, "Adder"), 1);
+        assert_eq!(env.metrics.get_labeled(keys::RETRY_ATTEMPTS, "Other"), 0);
+        // Each attempt (and the final exhaustion) shows on the open span.
+        let rec = env.disable_tracing().unwrap();
+        let root_span = rec.spans().find(|s| s.name == "read").expect("root span");
+        assert_eq!(
+            root_span.events.iter().filter(|e| e.name == "retry.attempt").count(),
+            3
+        );
+        assert!(root_span.has_event("retry.exhausted"));
     }
 
     #[test]

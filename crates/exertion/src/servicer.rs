@@ -77,6 +77,10 @@ impl std::fmt::Debug for ServicerBox {
 
 /// Send an exertion to a deployed [`ServicerBox`] across the simulated
 /// network and return the exerted result — the FMI hop.
+///
+/// When the flight recorder is on, each hop is an `fmi.dispatch` span
+/// labelled with the provider's registered name and carrying the request
+/// and response wire sizes.
 pub fn exert_on(
     env: &mut Env,
     from: HostId,
@@ -85,11 +89,36 @@ pub fn exert_on(
     txn: Option<TxnId>,
 ) -> Result<Exertion, NetError> {
     let req = exertion.wire_size();
-    env.call(from, provider, ProtocolStack::Tcp, req, move |env, sb: &mut ServicerBox| {
-        sb.service(env, &mut exertion, txn);
-        let resp = exertion.wire_size();
-        (exertion, resp)
-    })
+    let span = env.span_start_for("fmi.dispatch", provider, from);
+    if span.is_valid() {
+        env.span_field(span, "from_host", from.0);
+        env.span_field(span, "bytes.req", req as u64);
+    }
+    let result =
+        env.call(from, provider, ProtocolStack::Tcp, req, move |env, sb: &mut ServicerBox| {
+            sb.service(env, &mut exertion, txn);
+            let resp = exertion.wire_size();
+            (exertion, resp)
+        });
+    if span.is_valid() {
+        match &result {
+            Ok(exerted) => {
+                env.span_field(span, "bytes.resp", exerted.wire_size() as u64);
+                let outcome = if exerted.status().is_failed() {
+                    env.span_field(span, "status", "failed");
+                    sensorcer_sim::trace::Outcome::Error
+                } else {
+                    sensorcer_sim::trace::Outcome::Ok
+                };
+                env.span_end(span, outcome);
+            }
+            Err(e) => {
+                env.span_field(span, "error", e.to_string());
+                env.span_end(span, sensorcer_sim::trace::Outcome::Error);
+            }
+        }
+    }
+    result
 }
 
 /// Handler signature for one selector of a [`Tasker`].

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use sensorcer_sim::env::{Env, ServiceId};
 use sensorcer_sim::time::{SimDuration, SimTime};
 use sensorcer_sim::topology::{HostId, NetError};
+use sensorcer_sim::trace::{Outcome, SpanId};
 use sensorcer_sim::wire::ProtocolStack;
 
 use sensorcer_registry::attributes::Entry;
@@ -214,6 +215,30 @@ impl ProvisionMonitor {
         env: &mut Env,
         opstring: OperationalString,
     ) -> Result<Vec<ProvisionedService>, ProvisionError> {
+        let span = if env.tracing_enabled() {
+            let label = opstring.name.clone();
+            let s = env.span_start("provision.deploy", &label, self.host);
+            env.span_field(s, "elements", opstring.elements.len());
+            s
+        } else {
+            SpanId::INVALID
+        };
+        let result = self.deploy_opstring_inner(env, opstring);
+        if span.is_valid() {
+            match &result {
+                Ok(placed) => env.span_field(span, "placed", placed.len()),
+                Err(e) => env.span_field(span, "error", e.to_string()),
+            }
+        }
+        env.span_end(span, if result.is_ok() { Outcome::Ok } else { Outcome::Error });
+        result
+    }
+
+    fn deploy_opstring_inner(
+        &mut self,
+        env: &mut Env,
+        opstring: OperationalString,
+    ) -> Result<Vec<ProvisionedService>, ProvisionError> {
         opstring.validate().map_err(ProvisionError::Invalid)?;
         if self.deployments.contains_key(&opstring.name) {
             return Err(ProvisionError::AlreadyDeployed(opstring.name));
@@ -359,10 +384,24 @@ impl ProvisionMonitor {
             // per-node cap.
             for rec in dead {
                 let Some(element) = dep.element(&rec.element).cloned() else { continue };
+                // Each re-placement is a `provision.failover` span: the
+                // failed host, and where the instance landed (or pending).
+                let span = if env.tracing_enabled() {
+                    let s = env.span_start("provision.failover", &rec.instance, self.host);
+                    env.span_field(s, "opstring", name.as_str());
+                    env.span_field(s, "from_host", rec.node.host.0 as u64);
+                    s
+                } else {
+                    SpanId::INVALID
+                };
                 let _ = rec.node.terminate(env, self.host, &rec.instance);
                 match self.place(env, &name, &element, &rec.instance) {
                     Some(p) => {
                         self.failovers_total += 1;
+                        if span.is_valid() {
+                            env.span_field(span, "to_host", p.host.0 as u64);
+                        }
+                        env.span_end(span, Outcome::Ok);
                         self.events.push(ProvisionEvent {
                             at: env.now(),
                             opstring: name.clone(),
@@ -381,6 +420,10 @@ impl ProvisionMonitor {
                         });
                     }
                     None => {
+                        if span.is_valid() {
+                            env.span_field(span, "pending", true);
+                        }
+                        env.span_end(span, Outcome::Degraded);
                         self.events.push(ProvisionEvent {
                             at: env.now(),
                             opstring: name.clone(),

@@ -15,6 +15,14 @@ use sensorcer_sim::wire::ProtocolStack;
 use crate::ids::SvcUuid;
 use crate::item::ServiceItem;
 
+/// Metric keys bumped by event delivery.
+pub mod keys {
+    /// Events dropped because the listener's host was unreachable.
+    pub const EVENTS_DROPPED: &str = "registry.events.dropped";
+    /// Events delivered to a reachable listener.
+    pub const EVENTS_DELIVERED: &str = "registry.events.delivered";
+}
+
 /// How a service's relationship to a template changed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum Transition {
@@ -57,15 +65,35 @@ pub struct EventSink {
 }
 
 impl EventSink {
-    /// Deliver an event across the simulated network; silently dropped if
-    /// the listener is unreachable (Jini events are best-effort).
+    /// Deliver an event across the simulated network. Jini events are
+    /// best-effort: an unreachable listener loses the event — but never
+    /// silently. The drop is counted (globally and against the listener's
+    /// host) and surfaces as an `event.dropped` trace event on whatever
+    /// span is open, so a missed notification is diagnosable after the
+    /// fact.
     pub fn send(&mut self, env: &mut Env, from: HostId, event: &ServiceEvent) -> bool {
         match env.send_oneway(from, self.host, ProtocolStack::Tcp, event_wire_size(event)) {
             Ok(_) => {
+                env.metrics.add(keys::EVENTS_DELIVERED, 1);
                 (self.deliver)(env, event);
                 true
             }
-            Err(_) => false,
+            Err(e) => {
+                env.metrics.add_host(self.host, keys::EVENTS_DROPPED, 1);
+                let cur = env.current_span();
+                if cur.is_valid() {
+                    env.span_event(
+                        cur,
+                        "event.dropped",
+                        vec![
+                            ("listener_host", (self.host.0 as u64).into()),
+                            ("seq", event.seq.into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
+                }
+                false
+            }
         }
     }
 }
@@ -196,6 +224,32 @@ mod tests {
         env.crash_host(b);
         let mut sink = EventSink { host: b, deliver: Box::new(|_e, _ev| panic!("must not deliver")) };
         assert!(!sink.send(&mut env, a, &event(1)));
+    }
+
+    #[test]
+    fn dropped_events_are_counted_and_traced() {
+        let mut env = Env::with_seed(7);
+        let a = env.add_host("a", HostKind::Server);
+        let b = env.add_host("b", HostKind::Server);
+        env.crash_host(b);
+        env.enable_tracing(16);
+        let root = env.span_start("notify", "test", a);
+        let mut sink = EventSink { host: b, deliver: Box::new(|_e, _ev| panic!("must not deliver")) };
+        assert!(!sink.send(&mut env, a, &event(1)));
+        env.span_end(root, Outcome::Ok);
+
+        assert_eq!(env.metrics.get(keys::EVENTS_DROPPED), 1);
+        assert_eq!(env.metrics.get_host(b, keys::EVENTS_DROPPED), 1);
+        assert_eq!(env.metrics.get(keys::EVENTS_DELIVERED), 0);
+        let rec = env.disable_tracing().unwrap();
+        let span = rec.spans().find(|s| s.name == "notify").unwrap();
+        assert!(span.has_event("event.dropped"));
+
+        // A reachable listener counts a delivery, not a drop.
+        let mut ok_sink = EventSink { host: a, deliver: Box::new(|_e, _ev| {}) };
+        assert!(ok_sink.send(&mut env, a, &event(2)));
+        assert_eq!(env.metrics.get(keys::EVENTS_DELIVERED), 1);
+        assert_eq!(env.metrics.get(keys::EVENTS_DROPPED), 1);
     }
 
     #[test]

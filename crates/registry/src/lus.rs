@@ -14,12 +14,19 @@ use std::sync::Arc;
 use sensorcer_sim::env::{Env, ServiceId};
 use sensorcer_sim::time::{SimDuration, SimTime};
 use sensorcer_sim::topology::{HostId, NetError};
+use sensorcer_sim::trace::{Outcome, SpanId};
 use sensorcer_sim::wire::{ProtocolStack, WireEncode};
 
 use crate::events::{EventSink, ServiceEvent, Transition};
 use crate::ids::{InterfaceId, SvcUuid};
 use crate::item::{ServiceItem, ServiceTemplate};
 use crate::lease::{Lease, LeaseError, LeaseId, LeasePolicy, LeaseTable};
+
+/// Metric keys bumped by the registry lifecycle.
+pub mod keys {
+    /// Registrations expired by the reaper (per LUS host and globally).
+    pub const LEASES_REAPED: &str = "registry.leases.reaped";
+}
 
 /// Result of registering a service.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -162,6 +169,12 @@ impl LookupService {
         mut item: ServiceItem,
         duration: Option<SimDuration>,
     ) -> ServiceRegistration {
+        let span = if env.tracing_enabled() {
+            let label = item.name().unwrap_or("(unnamed)").to_string();
+            env.span_start("lus.register", &label, self.host)
+        } else {
+            SpanId::INVALID
+        };
         let now = env.now();
         if item.uuid.is_nil() {
             item.uuid = SvcUuid::generate(env.rng());
@@ -176,6 +189,11 @@ impl LookupService {
         let lease = self.reg_leases.grant(now, duration, uuid);
         self.registrations_total += 1;
         self.fire(env, now, uuid, old.as_deref(), Some(&item));
+        if span.is_valid() {
+            env.span_field(span, "uuid", uuid.to_string());
+            env.span_field(span, "replaced", old.is_some());
+        }
+        env.span_end(span, Outcome::Ok);
         ServiceRegistration { uuid, lease }
     }
 
@@ -378,15 +396,30 @@ impl LookupService {
     }
 
     /// Expire overdue registrations and event interests, firing departure
-    /// events. Called by the reaper timer.
+    /// events. Called by the reaper timer. Expiries are counted (globally
+    /// and against this LUS host) and, with tracing on, grouped under a
+    /// `lus.reap` span so a service's silent departure from the network is
+    /// attributable to a lapsed lease.
     pub fn reap(&mut self, env: &mut Env) {
         let now = env.now();
-        for (_, uuid) in self.reg_leases.reap(now) {
+        let reaped = self.reg_leases.reap(now);
+        let span = if !reaped.is_empty() && env.tracing_enabled() {
+            let s = env.span_start("lus.reap", &self.group, self.host);
+            env.span_field(s, "expired", reaped.len());
+            s
+        } else {
+            SpanId::INVALID
+        };
+        if !reaped.is_empty() {
+            env.metrics.add_host(self.host, keys::LEASES_REAPED, reaped.len() as u64);
+        }
+        for (_, uuid) in reaped {
             if let Some(old) = self.items.remove(&uuid) {
                 self.unindex_item(&old);
                 self.fire(env, now, uuid, Some(&old), None);
             }
         }
+        env.span_end(span, Outcome::Ok);
         self.event_regs.reap(now);
     }
 

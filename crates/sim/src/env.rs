@@ -27,6 +27,8 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::rc::Rc;
 
+use sensorcer_trace::{FieldValue, FlightRecorder, Outcome, SpanId};
+
 use crate::metrics::{keys, Metrics};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -136,6 +138,9 @@ pub struct Env {
     /// from instrumented middleware (retry loops, chaos events, stalled
     /// workers). Absent by default so the hot paths pay only a null check.
     debug_sink: Option<Box<dyn FnMut(SimTime, &str)>>,
+    /// Optional flight recorder for structured spans. Like the debug sink,
+    /// absent by default so uninstrumented runs pay only a null check.
+    recorder: Option<FlightRecorder>,
 }
 
 impl Env {
@@ -152,6 +157,7 @@ impl Env {
             services: BTreeMap::new(),
             next_service: 0,
             debug_sink: None,
+            recorder: None,
         }
     }
 
@@ -222,6 +228,100 @@ impl Env {
         if self.debug_sink.is_some() {
             let msg = f();
             self.debug(&msg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Span tracing (the flight recorder)
+    // ------------------------------------------------------------------
+
+    /// Install a [`FlightRecorder`] holding at most `capacity` closed
+    /// spans. Replaces any previous recorder.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.recorder = Some(FlightRecorder::new(capacity));
+    }
+
+    /// Remove and return the recorder (tracing becomes free again).
+    pub fn disable_tracing(&mut self) -> Option<FlightRecorder> {
+        self.recorder.take()
+    }
+
+    /// Whether a flight recorder is installed. Gate expensive label
+    /// construction behind this; the span ops themselves already no-op
+    /// on [`SpanId::INVALID`].
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Read-only access to the installed recorder.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Open a span as a child of the innermost open span (or as a new
+    /// trace root). Returns [`SpanId::INVALID`] — on which every other
+    /// span operation is a no-op — when tracing is disabled.
+    pub fn span_start(&mut self, name: &'static str, label: &str, host: HostId) -> SpanId {
+        match self.recorder.as_mut() {
+            Some(r) => r.span_start(name, label, host.0 as u64, self.clock.as_nanos()),
+            None => SpanId::INVALID,
+        }
+    }
+
+    /// Like [`span_start`](Self::span_start), but labelled and hosted
+    /// from a deployed service's slot — the hot dispatch path uses this
+    /// to avoid copying the provider name just to satisfy the borrow
+    /// checker.
+    pub fn span_start_for(
+        &mut self,
+        name: &'static str,
+        provider: ServiceId,
+        fallback_host: HostId,
+    ) -> SpanId {
+        match self.recorder.as_mut() {
+            Some(r) => {
+                let (label, host) = match self.services.get(&provider) {
+                    Some(s) => (s.name.as_str(), s.host),
+                    None => ("?", fallback_host),
+                };
+                r.span_start(name, label, host.0 as u64, self.clock.as_nanos())
+            }
+            None => SpanId::INVALID,
+        }
+    }
+
+    /// Attach a structured field to an open span.
+    pub fn span_field(&mut self, id: SpanId, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(r) = self.recorder.as_mut() {
+            r.span_field(id, key, value.into());
+        }
+    }
+
+    /// Record a point-in-time event on an open span.
+    pub fn span_event(
+        &mut self,
+        id: SpanId,
+        name: &'static str,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        if let Some(r) = self.recorder.as_mut() {
+            let now = self.clock.as_nanos();
+            r.span_event(id, now, name, fields);
+        }
+    }
+
+    /// The innermost open span (e.g. to annotate the enclosing operation
+    /// from a lower layer), or `INVALID` when none.
+    pub fn current_span(&self) -> SpanId {
+        self.recorder.as_ref().map_or(SpanId::INVALID, |r| r.current())
+    }
+
+    /// Close an open span with its outcome.
+    pub fn span_end(&mut self, id: SpanId, outcome: Outcome) {
+        if let Some(r) = self.recorder.as_mut() {
+            let now = self.clock.as_nanos();
+            r.span_end(id, now, outcome);
         }
     }
 
@@ -1004,6 +1104,49 @@ mod tests {
         assert_eq!(got[0].0, SimTime::ZERO + SimDuration::from_millis(5));
         assert_eq!(got[0].1, "first");
         assert_eq!(got[1].1, "second at 5");
+    }
+
+    #[test]
+    fn spans_are_noops_until_tracing_enabled() {
+        let mut env = Env::with_seed(5);
+        let h = env.add_host("h", HostKind::Server);
+        assert!(!env.tracing_enabled());
+        let s = env.span_start("op", "x", h);
+        assert!(!s.is_valid());
+        env.span_field(s, "k", 1u64);
+        env.span_event(s, "e", vec![]);
+        env.span_end(s, Outcome::Ok);
+        assert!(env.recorder().is_none());
+        assert_eq!(env.current_span(), SpanId::INVALID);
+    }
+
+    #[test]
+    fn spans_carry_sim_time_and_nest_across_consume() {
+        let mut env = Env::with_seed(5);
+        let h = env.add_host("h", HostKind::Server);
+        env.enable_tracing(64);
+        env.consume(SimDuration::from_millis(1));
+        let root = env.span_start("read", "root", h);
+        env.consume(SimDuration::from_millis(2));
+        let kid = env.span_start("dispatch", "svc", h);
+        assert_eq!(env.current_span(), kid);
+        env.span_event(kid, "retry.attempt", vec![("attempt", 1u64.into())]);
+        env.consume(SimDuration::from_millis(3));
+        env.span_end(kid, Outcome::Error);
+        assert_eq!(env.current_span(), root);
+        env.span_end(root, Outcome::Ok);
+
+        let rec = env.disable_tracing().expect("recorder installed");
+        assert!(!env.tracing_enabled());
+        let spans: Vec<_> = rec.spans().collect();
+        assert_eq!(spans.len(), 2);
+        let (k, r) = (spans[0], spans[1]);
+        assert_eq!(k.parent, Some(r.id));
+        assert_eq!(k.start_ns, 3_000_000);
+        assert_eq!(k.end_ns, 6_000_000);
+        assert_eq!(r.start_ns, 1_000_000);
+        assert!(k.has_event("retry.attempt"));
+        assert!(rec.validate(true).is_empty());
     }
 
     #[test]

@@ -48,8 +48,16 @@ pub mod time;
 pub mod topology;
 pub mod wire;
 
+/// Re-export of the tracing/telemetry primitives this substrate records
+/// into (span ids, the flight recorder, bucketed histograms).
+pub use sensorcer_trace as trace;
+
 /// One-stop imports for downstream crates.
 pub mod prelude {
+    pub use sensorcer_trace::{
+        FieldValue, FlightRecorder, Histogram, Outcome, Span, SpanEvent, SpanId, TraceId,
+    };
+
     pub use crate::chaos::{ChaosConfig, ChaosCounts, ChaosEvent, ChaosSchedule};
     pub use crate::env::{Env, EnvConfig, RepeatHandle, ServiceId, TimerId};
     pub use crate::metrics::{keys as metric_keys, Metrics, Summary};

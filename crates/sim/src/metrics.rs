@@ -1,20 +1,32 @@
-//! Measurement plumbing: counters and histograms.
+//! Measurement plumbing: the telemetry registry.
 //!
 //! The benchmark harness reads everything it reports from here. Counters
 //! are keyed by a free-form category string (e.g. `"bytes.payload"`,
 //! `"packets.udp"`) plus optional per-host attribution, so experiments can
 //! ask questions like "how many bytes crossed the TCI's link?" (B7).
+//! Sample series go into log-linear bucketed [`Histogram`]s whose memory is
+//! bounded by the number of distinct buckets, not the sample count — a
+//! week-long soak records latencies without growing. Gauges (global and
+//! per-host) carry last-written values like a mote's last successful read
+//! time, and labeled counters attribute a metric by a free-form dimension
+//! (per-servicer retry counts, per-child substitutions).
 
 use std::collections::BTreeMap;
 
+use sensorcer_trace::Histogram;
+
 use crate::topology::HostId;
 
-/// Monotonic counters and recorded samples for one simulation run.
+/// Monotonic counters, gauges, and bounded sample histograms for one
+/// simulation run.
 #[derive(Debug, Default)]
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
     per_host: BTreeMap<(HostId, String), u64>,
-    samples: BTreeMap<String, Vec<f64>>,
+    labeled: BTreeMap<(String, String), u64>,
+    gauges: BTreeMap<String, f64>,
+    host_gauges: BTreeMap<(HostId, String), f64>,
+    samples: BTreeMap<String, Histogram>,
 }
 
 impl Metrics {
@@ -44,15 +56,62 @@ impl Metrics {
         self.per_host.get(&(host, key.to_string())).copied().unwrap_or(0)
     }
 
+    /// Add `n` to the counter `key` under a free-form `label` dimension
+    /// (e.g. a servicer name). Labeled counts are a breakdown of their own;
+    /// they do not feed the global counter.
+    pub fn add_labeled(&mut self, key: &str, label: &str, n: u64) {
+        *self.labeled.entry((key.to_string(), label.to_string())).or_insert(0) += n;
+    }
+
+    /// Current value of a labeled counter.
+    pub fn get_labeled(&self, key: &str, label: &str) -> u64 {
+        self.labeled.get(&(key.to_string(), label.to_string())).copied().unwrap_or(0)
+    }
+
+    /// All labels recorded for a key with their counts, in label order.
+    pub fn labels_for(&self, key: &str) -> Vec<(String, u64)> {
+        self.labeled
+            .iter()
+            .filter(|((k, _), _)| k == key)
+            .map(|((_, l), v)| (l.clone(), *v))
+            .collect()
+    }
+
+    /// Set a last-written-wins gauge.
+    pub fn set_gauge(&mut self, key: &str, value: f64) {
+        self.gauges.insert(key.to_string(), value);
+    }
+
+    /// Read a gauge, if ever set.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Set a per-host gauge (e.g. `sensor.last_read_ns` on a mote).
+    pub fn set_host_gauge(&mut self, host: HostId, key: &str, value: f64) {
+        self.host_gauges.insert((host, key.to_string()), value);
+    }
+
+    /// Read a per-host gauge, if ever set.
+    pub fn host_gauge(&self, host: HostId, key: &str) -> Option<f64> {
+        self.host_gauges.get(&(host, key.to_string())).copied()
+    }
+
     /// Record one sample into the named series (latencies, sizes, ...).
+    /// Storage is a bounded bucketed histogram: a soak can record forever.
     pub fn record(&mut self, key: &str, value: f64) {
-        self.samples.entry(key.to_string()).or_default().push(value);
+        self.samples.entry(key.to_string()).or_default().record(value);
     }
 
     /// Summary statistics over a recorded series, if any samples exist.
     pub fn summary(&self, key: &str) -> Option<Summary> {
-        let xs = self.samples.get(key)?;
-        Summary::of(xs)
+        let h = self.samples.get(key)?;
+        Summary::of_histogram(h)
+    }
+
+    /// Direct access to a recorded series' histogram.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.samples.get(key)
     }
 
     /// All counter keys with their values, in key order.
@@ -73,6 +132,9 @@ impl Metrics {
     pub fn clear(&mut self) {
         self.counters.clear();
         self.per_host.clear();
+        self.labeled.clear();
+        self.gauges.clear();
+        self.host_gauges.clear();
         self.samples.clear();
     }
 
@@ -115,6 +177,24 @@ impl Summary {
             p50: q(0.50),
             p90: q(0.90),
             p99: q(0.99),
+        })
+    }
+
+    /// Summary from a bucketed histogram; count/mean/min/max are exact,
+    /// percentiles are bucket-resolution (< 0.8% relative error, exact for
+    /// integer samples up to 255).
+    pub fn of_histogram(h: &Histogram) -> Option<Summary> {
+        if h.is_empty() {
+            return None;
+        }
+        Some(Summary {
+            count: h.count() as usize,
+            mean: h.mean(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p99: h.quantile(0.99),
         })
     }
 }
@@ -204,6 +284,52 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 5.0);
         assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn samples_are_bounded_by_buckets_not_count() {
+        let mut m = Metrics::new();
+        for i in 0..200_000u64 {
+            m.record("lat", (i % 500) as f64);
+        }
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count(), 200_000);
+        assert!(h.bucket_count() < 1_000, "{}", h.bucket_count());
+        let s = m.summary("lat").unwrap();
+        assert_eq!(s.count, 200_000);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 499.0);
+    }
+
+    #[test]
+    fn labeled_counters_break_down_by_dimension() {
+        let mut m = Metrics::new();
+        m.add_labeled("retries", "S0", 2);
+        m.add_labeled("retries", "S1", 1);
+        m.add_labeled("retries", "S0", 1);
+        assert_eq!(m.get_labeled("retries", "S0"), 3);
+        assert_eq!(m.get_labeled("retries", "S1"), 1);
+        assert_eq!(m.get_labeled("retries", "S9"), 0);
+        assert_eq!(
+            m.labels_for("retries"),
+            vec![("S0".to_string(), 3), ("S1".to_string(), 1)]
+        );
+        // Labeled counts are a breakdown, not a feed into the global.
+        assert_eq!(m.get("retries"), 0);
+    }
+
+    #[test]
+    fn gauges_are_last_written_wins() {
+        let mut m = Metrics::new();
+        let h = HostId(4);
+        assert!(m.gauge("g").is_none());
+        m.set_gauge("g", 1.5);
+        m.set_gauge("g", 2.5);
+        assert_eq!(m.gauge("g"), Some(2.5));
+        m.set_host_gauge(h, "last_read", 10.0);
+        m.set_host_gauge(h, "last_read", 99.0);
+        assert_eq!(m.host_gauge(h, "last_read"), Some(99.0));
+        assert!(m.host_gauge(HostId(5), "last_read").is_none());
     }
 
     #[test]

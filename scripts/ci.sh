@@ -8,6 +8,11 @@
 #                           CHAOS_1.json at the repo root (bounded,
 #                           deterministic; exits nonzero on any
 #                           degraded-read invariant violation)
+#   scripts/ci.sh --trace   tier-1, then the traced soak writing
+#                           TRACE_1.json at the repo root (exits nonzero
+#                           on orphan/unclosed/duplicate spans or any
+#                           unexplained degraded read), plus a shape
+#                           check on the exported file
 #
 # Everything runs offline against the vendored workspace; no network,
 # no external tools beyond cargo.
@@ -17,11 +22,13 @@ cd "$(dirname "$0")/.."
 
 smoke=0
 soak=0
+trace=0
 for arg in "$@"; do
     case "$arg" in
         --smoke) smoke=1 ;;
         --soak) soak=1 ;;
-        *) echo "usage: scripts/ci.sh [--smoke] [--soak]" >&2; exit 2 ;;
+        --trace) trace=1 ;;
+        *) echo "usage: scripts/ci.sh [--smoke] [--soak] [--trace]" >&2; exit 2 ;;
     esac
 done
 
@@ -39,6 +46,23 @@ fi
 if [ "$soak" -eq 1 ]; then
     echo "== chaos soak (writes CHAOS_1.json) =="
     cargo run --release -p sensorcer-bench --bin harness -- chaos
+fi
+
+if [ "$trace" -eq 1 ]; then
+    echo "== trace harness (writes TRACE_1.json) =="
+    cargo run --release -p sensorcer-bench --bin harness -- trace
+    # Shape check: the export is a span array with ids and names; an
+    # empty or truncated file must fail even if the harness passed.
+    for needle in '"spans"' '"id"' '"name"' '"outcome"'; do
+        grep -q "$needle" TRACE_1.json || {
+            echo "TRACE_1.json missing $needle" >&2
+            exit 1
+        }
+    done
+    [ "$(wc -c < TRACE_1.json)" -gt 1000 ] || {
+        echo "TRACE_1.json suspiciously small" >&2
+        exit 1
+    }
 fi
 
 echo "ci: ok"

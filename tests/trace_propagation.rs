@@ -1,0 +1,185 @@
+//! Trace propagation through a degraded federated read (§VII outage
+//! tolerance, seen through the flight recorder).
+//!
+//! A `Quorum(2)` composite over three ESPs loses one child to a
+//! partition. The resulting read must leave a complete, self-explaining
+//! span tree behind:
+//!
+//! * one `csp.read` parent, ended `degraded`, naming the substituted
+//!   child in its fields and carrying the `degradation.substitute` event;
+//! * one `csp.child` span per ESP underneath it — the healthy two ok,
+//!   the partitioned one ended `error`;
+//! * the failed child's subtree records its `retry.attempt`s before
+//!   giving up, so the retry budget is visible per read, not only as a
+//!   global counter;
+//! * and the whole recorder exports bit-for-bit identically when the
+//!   same seed is run again.
+
+use std::collections::BTreeMap;
+
+use sensorcer_suite::core::csp::DegradationPolicy;
+use sensorcer_suite::core::prelude::*;
+use sensorcer_suite::exertion::RetryPolicy;
+use sensorcer_suite::registry::lease::LeasePolicy;
+use sensorcer_suite::registry::lus::LookupService;
+use sensorcer_suite::sensors::prelude::*;
+use sensorcer_suite::sim::prelude::*;
+
+/// Deterministic fault mixes to pin; same seeds as the chaos gate.
+const SEEDS: [u64; 3] = [1, 42, 0x5E2509];
+
+/// Build the three-ESP quorum world, prime the last-known-good cache,
+/// partition `S2`'s mote, issue one degraded read, and hand back the
+/// recorder.
+fn degraded_read_recorder(seed: u64) -> FlightRecorder {
+    let mut env = Env::with_seed(seed);
+    env.enable_tracing(4096);
+    let lab = env.add_host("lab", HostKind::Server);
+    let workstation = env.add_host("client", HostKind::Workstation);
+    let lus = LookupService::deploy(
+        &mut env,
+        lab,
+        "LUS",
+        "public",
+        LeasePolicy {
+            max_duration: SimDuration::from_secs(360_000),
+            default_duration: SimDuration::from_secs(36_000),
+        },
+        SimDuration::from_millis(500),
+    );
+    let mut motes = Vec::new();
+    for i in 0..3u64 {
+        let mote = env.add_host(format!("m{i}"), HostKind::SensorMote);
+        deploy_esp(
+            &mut env,
+            EspConfig {
+                lease: SimDuration::from_secs(36_000),
+                ..EspConfig::new(
+                    mote,
+                    format!("S{i}"),
+                    Box::new(ScriptedProbe::new(vec![20.0 + i as f64], Unit::Celsius)),
+                    lus,
+                )
+            },
+        );
+        motes.push(mote);
+    }
+    let mut cfg = CspConfig::new(lab, "Quorum-Read", lus);
+    cfg.lease = SimDuration::from_secs(36_000);
+    cfg.children = (0..3).map(|i| format!("S{i}")).collect();
+    cfg.degradation = DegradationPolicy::Quorum(2);
+    cfg.retry = RetryPolicy::transient();
+    deploy_csp(&mut env, cfg).expect("composite");
+
+    let accessor = sensorcer_suite::exertion::ServiceAccessor::new(vec![lus]);
+    client::get_value(&mut env, workstation, &accessor, "Quorum-Read").expect("priming read");
+
+    env.topo.partition(lab, motes[2]);
+    env.run_for(SimDuration::from_secs(2));
+    let (reading, degraded) =
+        client::get_value_detailed(&mut env, workstation, &accessor, "Quorum-Read")
+            .expect("quorum must still answer with one child gone");
+    assert!(degraded.is_degraded(), "read with a partitioned child must be degraded");
+    assert!(
+        degraded.substituted.iter().any(|s| s == "S2"),
+        "S2 must be substituted from last-known-good: {degraded:?}"
+    );
+    assert!(!reading.good, "degraded reads are flagged suspect");
+
+    env.disable_tracing().expect("recorder was enabled")
+}
+
+/// All spans in `root`'s subtree (inclusive), by recorder order.
+fn subtree<'a>(
+    spans: &[&'a Span],
+    kids: &BTreeMap<u64, Vec<usize>>,
+    root: usize,
+) -> Vec<&'a Span> {
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    while let Some(i) = stack.pop() {
+        out.push(spans[i]);
+        if let Some(children) = kids.get(&spans[i].id.0) {
+            stack.extend(children.iter().copied());
+        }
+    }
+    out
+}
+
+#[test]
+fn degraded_quorum_read_leaves_a_complete_span_tree() {
+    for seed in SEEDS {
+        let rec = degraded_read_recorder(seed);
+        assert_eq!(rec.validate(true), Vec::<String>::new(), "seed {seed}: broken trace");
+
+        let spans: Vec<&Span> = rec.spans().collect();
+        let kids = rec.children_index();
+
+        // Two composite reads happened (priming + degraded); exactly one
+        // ended degraded.
+        let reads: Vec<usize> = spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.name == "csp.read")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(reads.len(), 2, "seed {seed}: priming + degraded read");
+        let degraded_reads: Vec<usize> = reads
+            .iter()
+            .copied()
+            .filter(|&i| spans[i].outcome == Outcome::Degraded)
+            .collect();
+        assert_eq!(degraded_reads.len(), 1, "seed {seed}");
+        let parent = degraded_reads[0];
+        assert_eq!(&*spans[parent].label, "Quorum-Read");
+
+        // The parent names the substituted child and carries the
+        // substitution event itself.
+        let substituted = spans[parent]
+            .field("substituted")
+            .and_then(|v| v.as_str())
+            .expect("substituted field");
+        assert!(substituted.contains("S2"), "seed {seed}: {substituted}");
+        assert!(spans[parent].has_event("degradation.substitute"), "seed {seed}");
+
+        // One csp.child per ESP directly under the degraded read.
+        let children: Vec<&Span> = kids
+            .get(&spans[parent].id.0)
+            .map(|c| c.iter().map(|&i| spans[i]).collect())
+            .unwrap_or_default();
+        let mut child_labels: Vec<&str> = children
+            .iter()
+            .filter(|s| s.name == "csp.child")
+            .map(|s| &*s.label)
+            .collect();
+        child_labels.sort_unstable();
+        assert_eq!(child_labels, ["S0", "S1", "S2"], "seed {seed}");
+
+        for child in children.iter().filter(|s| s.name == "csp.child") {
+            let idx = spans.iter().position(|s| s.id == child.id).unwrap();
+            let below = subtree(&spans, &kids, idx);
+            if &*child.label == "S2" {
+                // The partitioned child fails after burning its retry
+                // budget — both facts must be readable from its subtree.
+                assert_eq!(child.outcome, Outcome::Error, "seed {seed}");
+                assert!(child.field("error").is_some(), "seed {seed}");
+                assert!(
+                    below.iter().any(|s| s.has_event("retry.attempt")),
+                    "seed {seed}: no retry.attempt in S2's subtree"
+                );
+            } else {
+                assert_eq!(child.outcome, Outcome::Ok, "seed {seed}: {}", child.label);
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_export_is_bit_for_bit_reproducible() {
+    for seed in SEEDS {
+        let a = degraded_read_recorder(seed).to_json();
+        let b = degraded_read_recorder(seed).to_json();
+        assert_eq!(a, b, "seed {seed}: same seed must export the identical trace");
+        assert!(a.contains("csp.read"));
+    }
+}
