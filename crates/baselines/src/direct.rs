@@ -40,7 +40,15 @@ pub fn deploy_direct_sensor(
     name: &str,
     probe: Box<dyn SensorProbe>,
 ) -> ServiceId {
-    env.deploy(host, name, DirectSensorServer { name: name.to_string(), probe, reads: 0 })
+    env.deploy(
+        host,
+        name,
+        DirectSensorServer {
+            name: name.to_string(),
+            probe,
+            reads: 0,
+        },
+    )
 }
 
 /// The polling client: a static address list, polled one by one.
@@ -53,7 +61,11 @@ pub struct DirectClient {
 
 impl DirectClient {
     pub fn new(host: HostId, stack: ProtocolStack) -> DirectClient {
-        DirectClient { host, stack, sensors: Vec::new() }
+        DirectClient {
+            host,
+            stack,
+            sensors: Vec::new(),
+        }
     }
 
     /// Read one sensor.
@@ -108,7 +120,10 @@ mod tests {
                 &mut env,
                 mote,
                 &format!("s{i}"),
-                Box::new(ScriptedProbe::new(vec![values[i % values.len()]], Unit::Celsius)),
+                Box::new(ScriptedProbe::new(
+                    vec![values[i % values.len()]],
+                    Unit::Celsius,
+                )),
             );
             client.sensors.push(svc);
         }

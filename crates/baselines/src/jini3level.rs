@@ -57,7 +57,15 @@ pub fn deploy_tci(
     name: &str,
     probes: Vec<(String, Box<dyn SensorProbe>)>,
 ) -> ServiceId {
-    env.deploy(host, name, Tci { name: name.to_string(), probes, reads_served: 0 })
+    env.deploy(
+        host,
+        name,
+        Tci {
+            name: name.to_string(),
+            probes,
+            reads_served: 0,
+        },
+    )
 }
 
 /// Level 2: an SSP collects from its TCIs and structures the data.
@@ -131,7 +139,15 @@ impl Asp {
 
 /// Deploy the ASP over the given SSPs.
 pub fn deploy_asp(env: &mut Env, host: HostId, name: &str, ssps: Vec<ServiceId>) -> ServiceId {
-    env.deploy(host, name, Asp { host, ssps, queries: 0 })
+    env.deploy(
+        host,
+        name,
+        Asp {
+            host,
+            ssps,
+            queries: 0,
+        },
+    )
 }
 
 /// Client-side: fetch all readings through the ASP (the only access
@@ -142,11 +158,17 @@ pub fn query_all(
     from: HostId,
     asp: ServiceId,
 ) -> Result<Vec<(String, f64)>, NetError> {
-    env.call(from, asp, ProtocolStack::Tcp, REQUEST_BYTES, |env, a: &mut Asp| {
-        let rs = a.collect(env);
-        let bytes = rs.as_ref().map_or(8, |r| r.len() * RECORD_BYTES);
-        (rs, bytes.max(8))
-    })?
+    env.call(
+        from,
+        asp,
+        ProtocolStack::Tcp,
+        REQUEST_BYTES,
+        |env, a: &mut Asp| {
+            let rs = a.collect(env);
+            let bytes = rs.as_ref().map_or(8, |r| r.len() * RECORD_BYTES);
+            (rs, bytes.max(8))
+        },
+    )?
 }
 
 /// Network-wide average, computed client-side over a full `query_all`.
@@ -174,7 +196,10 @@ pub fn deploy_three_level(
     for (s, tcis) in layout.iter().enumerate() {
         let mut tci_ids = Vec::new();
         for (t, &count) in tcis.iter().enumerate() {
-            let tci_host = env.add_host(format!("tci-{s}-{t}"), sensorcer_sim::topology::HostKind::Server);
+            let tci_host = env.add_host(
+                format!("tci-{s}-{t}"),
+                sensorcer_sim::topology::HostKind::Server,
+            );
             let probes: Vec<(String, Box<dyn SensorProbe>)> = (0..count)
                 .map(|_| {
                     let p = make_probe(env, sensor_idx);
@@ -185,7 +210,10 @@ pub fn deploy_three_level(
                 .collect();
             tci_ids.push(deploy_tci(env, tci_host, &format!("TCI-{s}-{t}"), probes));
         }
-        let ssp_host = env.add_host(format!("ssp-{s}"), sensorcer_sim::topology::HostKind::Server);
+        let ssp_host = env.add_host(
+            format!("ssp-{s}"),
+            sensorcer_sim::topology::HostKind::Server,
+        );
         all_tcis.extend(tci_ids.clone());
         ssps.push(deploy_ssp(env, ssp_host, &format!("SSP-{s}"), tci_ids));
     }
@@ -215,7 +243,10 @@ mod tests {
         });
         let readings = query_all(&mut env, client, asp).unwrap();
         assert_eq!(readings.len(), 6);
-        assert_eq!(network_average(&mut env, client, asp), Some((10.0 + 60.0) * 6.0 / 2.0 / 6.0));
+        assert_eq!(
+            network_average(&mut env, client, asp),
+            Some((10.0 + 60.0) * 6.0 / 2.0 / 6.0)
+        );
     }
 
     #[test]
@@ -225,7 +256,10 @@ mod tests {
         let (asp, _) = deploy_three_level(&mut env, &[vec![2]], |_e, _i| probe(20.0));
         let asp_host = env.service_host(asp).unwrap();
         env.crash_host(asp_host);
-        assert!(query_all(&mut env, client, asp).is_err(), "no ASP, no data — by design");
+        assert!(
+            query_all(&mut env, client, asp).is_err(),
+            "no ASP, no data — by design"
+        );
     }
 
     #[test]
@@ -259,7 +293,10 @@ mod tests {
             .map(|(_, b)| *b)
             .max()
             .unwrap_or(0);
-        assert!(asp_bytes > others, "ASP {asp_bytes} should exceed max other {others}");
+        assert!(
+            asp_bytes > others,
+            "ASP {asp_bytes} should exceed max other {others}"
+        );
     }
 
     #[test]

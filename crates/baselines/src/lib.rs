@@ -13,6 +13,7 @@
 //!   runs the same aggregation question against all of the above *and*
 //!   SenSORCER itself, for the B7 comparison benches.
 
+#![forbid(unsafe_code)]
 // Boxed-closure callback signatures (event sinks, 2PC participants,
 // simulated parallel branches) trip this lint; the types are the API.
 #![allow(clippy::type_complexity)]

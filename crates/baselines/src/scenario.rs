@@ -83,9 +83,18 @@ pub fn direct_scenario(n: usize, seed: u64) -> Scenario {
     let mut client = DirectClient::new(client_host, ProtocolStack::Tcp);
     for i in 0..n {
         let mote = env.add_host(format!("mote{i}"), HostKind::SensorMote);
-        client.sensors.push(deploy_direct_sensor(&mut env, mote, &format!("s{i}"), make_probe(i)));
+        client.sensors.push(deploy_direct_sensor(
+            &mut env,
+            mote,
+            &format!("s{i}"),
+            make_probe(i),
+        ));
     }
-    Scenario { name: "direct-polling", env, run: Box::new(move |env| client.network_average(env)) }
+    Scenario {
+        name: "direct-polling",
+        env,
+        run: Box::new(move |env| client.network_average(env)),
+    }
 }
 
 /// Three-level TCI/SSP/ASP stack; sensors split across two SSPs with
@@ -171,6 +180,7 @@ pub fn sensorcer_scenario(n: usize, seed: u64) -> Scenario {
     let mut cfg = CspConfig::new(lab, "Network-Average", lus);
     cfg.lease = SimDuration::from_secs(3_600);
     cfg.children = (0..n).map(|i| format!("Sensor-{i:03}")).collect();
+    // lint:allow(unwrap): static scenario composite is known-valid
     deploy_csp(&mut env, cfg).expect("valid composite");
     let accessor = sensorcer_exertion::ServiceAccessor::new(vec![lus]);
     Scenario {
@@ -210,7 +220,11 @@ mod tests {
                 "{}: got {got}, want {want}",
                 s.name
             );
-            assert!(r.latency > SimDuration::ZERO, "{}: rounds take time", s.name);
+            assert!(
+                r.latency > SimDuration::ZERO,
+                "{}: rounds take time",
+                s.name
+            );
             assert!(r.wire_bytes > 0, "{}: rounds cost bytes", s.name);
         }
     }

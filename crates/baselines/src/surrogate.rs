@@ -65,9 +65,13 @@ pub fn attach_node(
             // A crashed mote streams nothing but resumes when restarted.
             return true;
         }
-        let Ok(m) = probe.sample(env.now()) else { return true };
+        let Ok(m) = probe.sample(env.now()) else {
+            return true;
+        };
         probe.charge_tx(SAMPLE_BYTES);
-        let Some(surrogate_host) = env.service_host(surrogate) else { return false };
+        let Some(surrogate_host) = env.service_host(surrogate) else {
+            return false;
+        };
         if env
             .send_oneway(mote, surrogate_host, ProtocolStack::Compact, SAMPLE_BYTES)
             .is_ok()
@@ -91,17 +95,23 @@ pub fn query_fresh(
     surrogate: ServiceId,
     max_age: SimDuration,
 ) -> Result<Vec<(String, f64)>, NetError> {
-    env.call(from, surrogate, ProtocolStack::Tcp, QUERY_BYTES, move |env, s: &mut SurrogateHost| {
-        let now = env.now();
-        let fresh: Vec<(String, f64)> = s
-            .latest
-            .iter()
-            .filter(|(_, (_, at))| now.since(*at) <= max_age)
-            .map(|(n, (v, _))| (n.clone(), *v))
-            .collect();
-        let bytes = (fresh.len() * RECORD_BYTES).max(8);
-        (fresh, bytes)
-    })
+    env.call(
+        from,
+        surrogate,
+        ProtocolStack::Tcp,
+        QUERY_BYTES,
+        move |env, s: &mut SurrogateHost| {
+            let now = env.now();
+            let fresh: Vec<(String, f64)> = s
+                .latest
+                .iter()
+                .filter(|(_, (_, at))| now.since(*at) <= max_age)
+                .map(|(n, (v, _))| (n.clone(), *v))
+                .collect();
+            let bytes = (fresh.len() * RECORD_BYTES).max(8);
+            (fresh, bytes)
+        },
+    )
 }
 
 /// Network-wide average over fresh cached data.
@@ -137,7 +147,10 @@ mod tests {
                 &mut env,
                 mote,
                 &format!("node{i}"),
-                Box::new(ScriptedProbe::new(vec![10.0 * (i + 1) as f64], Unit::Celsius)),
+                Box::new(ScriptedProbe::new(
+                    vec![10.0 * (i + 1) as f64],
+                    Unit::Celsius,
+                )),
                 surrogate,
                 SimDuration::from_secs(1),
             );
@@ -150,8 +163,7 @@ mod tests {
     fn nodes_stream_and_queries_see_fresh_data() {
         let (mut env, client, surrogate, _motes) = setup(3);
         env.run_for(SimDuration::from_secs(5));
-        let readings =
-            query_fresh(&mut env, client, surrogate, SimDuration::from_secs(3)).unwrap();
+        let readings = query_fresh(&mut env, client, surrogate, SimDuration::from_secs(3)).unwrap();
         assert_eq!(readings.len(), 3);
         let avg = network_average(&mut env, client, surrogate, SimDuration::from_secs(3));
         assert_eq!(avg, Some(20.0));
@@ -163,8 +175,7 @@ mod tests {
         env.run_for(SimDuration::from_secs(3));
         env.crash_host(motes[0]);
         env.run_for(SimDuration::from_secs(10));
-        let readings =
-            query_fresh(&mut env, client, surrogate, SimDuration::from_secs(3)).unwrap();
+        let readings = query_fresh(&mut env, client, surrogate, SimDuration::from_secs(3)).unwrap();
         assert_eq!(readings.len(), 1, "only the live node is fresh");
         assert_eq!(readings[0].0, "node1");
     }
@@ -177,8 +188,7 @@ mod tests {
         env.run_for(SimDuration::from_secs(10));
         env.restart_host(motes[0]);
         env.run_for(SimDuration::from_secs(3));
-        let readings =
-            query_fresh(&mut env, client, surrogate, SimDuration::from_secs(2)).unwrap();
+        let readings = query_fresh(&mut env, client, surrogate, SimDuration::from_secs(2)).unwrap();
         assert_eq!(readings.len(), 1);
     }
 
@@ -190,7 +200,10 @@ mod tests {
         let burned = env.metrics.delta(metric_keys::BYTES_WIRE, before);
         // ~4 nodes × ~55 effective samples × 30 bytes/frame (periods drift
         // slightly past 1 s because the radio hop consumes virtual time).
-        assert!(burned > 5_000, "continuous streaming: {burned} bytes with zero queries");
+        assert!(
+            burned > 5_000,
+            "continuous streaming: {burned} bytes with zero queries"
+        );
         env.with_service(surrogate, |_e, s: &mut SurrogateHost| {
             assert!(s.samples_received() > 150);
             assert_eq!(s.node_count(), 4);

@@ -15,13 +15,17 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_secs(1));
     for hb_ms in [500u64, 5000] {
-        g.bench_with_input(BenchmarkId::new("failover_cycle", hb_ms), &hb_ms, |b, &hb_ms| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                failover_window(SimDuration::from_millis(hb_ms), seed)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("failover_cycle", hb_ms),
+            &hb_ms,
+            |b, &hb_ms| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    failover_window(SimDuration::from_millis(hb_ms), seed)
+                });
+            },
+        );
     }
     g.bench_function("stale_registration_cycle", |b| {
         let mut seed = 0u64;

@@ -33,15 +33,19 @@ fn bench(c: &mut Criterion) {
                 assert!(hit.is_some());
             });
         });
-        g.bench_with_input(BenchmarkId::new("lookup_all_by_interface", n), &n, |b, &n| {
-            let mut w = sensor_world(n, 42);
-            let lus = w.lus;
-            let tpl = ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR);
-            b.iter(|| {
-                let all = lus.lookup(&mut w.env, w.client, &tpl, usize::MAX).unwrap();
-                assert_eq!(all.len(), n);
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("lookup_all_by_interface", n),
+            &n,
+            |b, &n| {
+                let mut w = sensor_world(n, 42);
+                let lus = w.lus;
+                let tpl = ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR);
+                b.iter(|| {
+                    let all = lus.lookup(&mut w.env, w.client, &tpl, usize::MAX).unwrap();
+                    assert_eq!(all.len(), n);
+                });
+            },
+        );
     }
     g.finish();
 }

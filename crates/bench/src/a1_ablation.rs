@@ -41,7 +41,10 @@ pub fn cache_profile(n: usize, cache: bool, seed: u64) -> (ReadProfile, ReadProf
         let b0 = w.env.metrics.get(metric_keys::BYTES_WIRE);
         let (v, dt) = w.timed_read(&name);
         v.expect("read");
-        ReadProfile { latency: dt, wire_bytes: w.env.metrics.delta(metric_keys::BYTES_WIRE, b0) }
+        ReadProfile {
+            latency: dt,
+            wire_bytes: w.env.metrics.delta(metric_keys::BYTES_WIRE, b0),
+        }
     };
     let cold = measure(&mut w);
     // Steady state: average of several warm reads.
@@ -65,7 +68,13 @@ pub fn cache_profile(n: usize, cache: bool, seed: u64) -> (ReadProfile, ReadProf
 pub fn run_table(seed: u64) -> Table {
     let mut t = Table::new(
         "A1: binding-cache ablation — flat composite read over n sensors",
-        &["n", "cache", "cold read", "steady read", "steady bytes/read"],
+        &[
+            "n",
+            "cache",
+            "cold read",
+            "steady read",
+            "steady bytes/read",
+        ],
     );
     for n in [8usize, 32, 128] {
         for cache in [true, false] {
@@ -119,6 +128,11 @@ mod tests {
     #[test]
     fn cold_read_costs_more_than_steady_with_cache() {
         let (cold, steady) = cache_profile(16, true, 3);
-        assert!(cold.wire_bytes > steady.wire_bytes, "{} vs {}", cold.wire_bytes, steady.wire_bytes);
+        assert!(
+            cold.wire_bytes > steady.wire_bytes,
+            "{} vs {}",
+            cold.wire_bytes,
+            steady.wire_bytes
+        );
     }
 }

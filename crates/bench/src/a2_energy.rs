@@ -56,14 +56,27 @@ fn make_probe(i: usize, seed: u64) -> (Box<dyn SensorProbe>, Rc<RefCell<Simulate
         Signal::Constant(20.0 + i as f64 * 0.1),
         SimRng::new(seed ^ i as u64),
     )
-    .with_battery(Battery::new(CAPACITY_UJ, SAMPLE_COST_UJ, TX_COST_PER_BYTE_UJ));
+    .with_battery(Battery::new(
+        CAPACITY_UJ,
+        SAMPLE_COST_UJ,
+        TX_COST_PER_BYTE_UJ,
+    ));
     let teds = inner.teds().clone();
     let shared = Rc::new(RefCell::new(inner));
-    (Box::new(SharedProbe { inner: Rc::clone(&shared), teds }), shared)
+    (
+        Box::new(SharedProbe {
+            inner: Rc::clone(&shared),
+            teds,
+        }),
+        shared,
+    )
 }
 
 fn consumed_uj(handles: &[Rc<RefCell<SimulatedProbe>>]) -> f64 {
-    handles.iter().map(|h| (1.0 - h.borrow().battery_level()) * CAPACITY_UJ).sum()
+    handles
+        .iter()
+        .map(|h| (1.0 - h.borrow().battery_level()) * CAPACITY_UJ)
+        .sum()
 }
 
 /// Result of one architecture's hour of operation.
@@ -86,16 +99,29 @@ pub fn direct_energy(n: usize, seed: u64) -> EnergyProfile {
     for i in 0..n {
         let mote = env.add_host(format!("m{i}"), HostKind::SensorMote);
         let (probe, handle) = make_probe(i, seed);
-        client.sensors.push(deploy_direct_sensor(&mut env, mote, &format!("s{i}"), probe));
+        client.sensors.push(deploy_direct_sensor(
+            &mut env,
+            mote,
+            &format!("s{i}"),
+            probe,
+        ));
         handles.push(handle);
     }
     let mut delivered = 0;
     for _ in 0..ROUNDS {
-        delivered += client.read_all(&mut env).iter().filter(|r| r.is_ok()).count() as u64;
+        delivered += client
+            .read_all(&mut env)
+            .iter()
+            .filter(|r| r.is_ok())
+            .count() as u64;
         env.run_for(ROUND_GAP);
     }
     let total = consumed_uj(&handles);
-    EnergyProfile { readings_delivered: delivered, total_uj: total, uj_per_reading: total / delivered as f64 }
+    EnergyProfile {
+        readings_delivered: delivered,
+        total_uj: total,
+        uj_per_reading: total / delivered as f64,
+    }
 }
 
 pub fn sensorcer_energy(n: usize, seed: u64) -> EnergyProfile {
@@ -140,7 +166,11 @@ pub fn sensorcer_energy(n: usize, seed: u64) -> EnergyProfile {
         env.run_for(ROUND_GAP);
     }
     let total = consumed_uj(&handles);
-    EnergyProfile { readings_delivered: delivered, total_uj: total, uj_per_reading: total / delivered as f64 }
+    EnergyProfile {
+        readings_delivered: delivered,
+        total_uj: total,
+        uj_per_reading: total / delivered as f64,
+    }
 }
 
 pub fn surrogate_energy(n: usize, seed: u64) -> EnergyProfile {
@@ -165,20 +195,31 @@ pub fn surrogate_energy(n: usize, seed: u64) -> EnergyProfile {
     env.run_for(SimDuration::from_secs(3)); // warm the cache
     let mut delivered = 0;
     for _ in 0..ROUNDS {
-        if let Ok(rs) = surrogate::query_fresh(&mut env, client, host_svc, SimDuration::from_secs(5)) {
+        if let Ok(rs) =
+            surrogate::query_fresh(&mut env, client, host_svc, SimDuration::from_secs(5))
+        {
             delivered += rs.len() as u64;
         }
         env.run_for(ROUND_GAP);
     }
     let total = consumed_uj(&handles);
-    EnergyProfile { readings_delivered: delivered, total_uj: total, uj_per_reading: total / delivered as f64 }
+    EnergyProfile {
+        readings_delivered: delivered,
+        total_uj: total,
+        uj_per_reading: total / delivered as f64,
+    }
 }
 
 pub fn run_table(seed: u64) -> Table {
     let n = 8;
     let mut t = Table::new(
         format!("A2: mote energy over one hour, {n} motes, one network read per minute"),
-        &["architecture", "readings delivered", "total mote energy", "energy per reading"],
+        &[
+            "architecture",
+            "readings delivered",
+            "total mote energy",
+            "energy per reading",
+        ],
     );
     for (name, p) in [
         ("direct-polling", direct_energy(n, seed)),
@@ -218,7 +259,12 @@ mod tests {
         // timestamp, quality) costs the mote more tx energy than direct
         // polling's 17-byte binary record. Same order, direct cheaper.
         let ratio = d.uj_per_reading / s.uj_per_reading;
-        assert!((0.1..1.0).contains(&ratio), "direct {} vs sensorcer {}", d.uj_per_reading, s.uj_per_reading);
+        assert!(
+            (0.1..1.0).contains(&ratio),
+            "direct {} vs sensorcer {}",
+            d.uj_per_reading,
+            s.uj_per_reading
+        );
     }
 
     #[test]
@@ -238,6 +284,9 @@ mod tests {
     fn energy_is_actually_consumed() {
         let p = direct_energy(2, 5);
         assert!(p.total_uj > 0.0);
-        assert!(p.uj_per_reading > SAMPLE_COST_UJ, "tx must cost on top of sampling");
+        assert!(
+            p.uj_per_reading > SAMPLE_COST_UJ,
+            "tx must cost on top of sampling"
+        );
     }
 }

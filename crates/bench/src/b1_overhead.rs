@@ -106,7 +106,13 @@ fn csp_bytes_per_reading(n: usize, seed: u64) -> (f64, f64) {
 pub fn measured(seed: u64) -> Table {
     let mut t = Table::new(
         "B1b: measured wire bytes per delivered reading (total / client uplink)",
-        &["n-sensors", "direct TCP", "direct UDP", "direct compact", "sensorcer CSP"],
+        &[
+            "n-sensors",
+            "direct TCP",
+            "direct UDP",
+            "direct compact",
+            "sensorcer CSP",
+        ],
     );
     for n in [1usize, 8, 32] {
         let fmt = |(total, client): (f64, f64)| {
@@ -127,7 +133,11 @@ pub fn measured(seed: u64) -> Table {
 
 /// Run both tables.
 pub fn run(seed: u64) -> String {
-    format!("{}\n{}", stack_arithmetic().render(), measured(seed).render())
+    format!(
+        "{}\n{}",
+        stack_arithmetic().render(),
+        measured(seed).render()
+    )
 }
 
 #[cfg(test)]
@@ -140,8 +150,14 @@ mod tests {
         let tcp = t.cell_f64(0, "overhead");
         let udp = t.cell_f64(1, "overhead");
         let compact = t.cell_f64(2, "overhead");
-        assert!(tcp > udp && udp > compact, "tcp {tcp} udp {udp} compact {compact}");
-        assert!(tcp > 90.0, "the paper's complaint in numbers: {tcp}% of bytes are headers");
+        assert!(
+            tcp > udp && udp > compact,
+            "tcp {tcp} udp {udp} compact {compact}"
+        );
+        assert!(
+            tcp > 90.0,
+            "the paper's complaint in numbers: {tcp}% of bytes are headers"
+        );
         assert!(compact < 60.0);
     }
 
@@ -160,7 +176,10 @@ mod tests {
         // shared), while direct polling stays flat.
         let (small, _) = csp_bytes_per_reading(2, 42);
         let (large, _) = csp_bytes_per_reading(32, 42);
-        assert!(large < small, "per-reading cost should fall: {small} -> {large}");
+        assert!(
+            large < small,
+            "per-reading cost should fall: {small} -> {large}"
+        );
     }
 
     #[test]

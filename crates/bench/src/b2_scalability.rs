@@ -53,7 +53,12 @@ fn tree_latency(n: usize, fanout: usize, seed: u64) -> SimDuration {
 pub fn run_table(seed: u64) -> Table {
     let mut t = Table::new(
         "B2: virtual latency of one network-wide average vs. sensor count",
-        &["n-sensors", "direct sequential", "flat CSP", "CSP tree (fanout 8)"],
+        &[
+            "n-sensors",
+            "direct sequential",
+            "flat CSP",
+            "CSP tree (fanout 8)",
+        ],
     );
     for n in [4usize, 16, 64, 256] {
         t.row(&[

@@ -56,8 +56,13 @@ fn provision_world(cybernodes: usize, policy: AllocationPolicy, seed: u64) -> Pr
     );
     for i in 0..cybernodes {
         let h = env.add_host(format!("cyb{i}"), HostKind::Server);
-        let node =
-            Cybernode::deploy(&mut env, h, &format!("Cyb-{i}"), QosCapabilities::lab_server(), Some(lus));
+        let node = Cybernode::deploy(
+            &mut env,
+            h,
+            &format!("Cyb-{i}"),
+            QosCapabilities::lab_server(),
+            Some(lus),
+        );
         env.with_service(monitor.service, |_e, m: &mut ProvisionMonitor| {
             m.register_cybernode(node)
         })
@@ -78,7 +83,12 @@ fn provision_world(cybernodes: usize, policy: AllocationPolicy, seed: u64) -> Pr
         },
     );
     let accessor = sensorcer_exertion::ServiceAccessor::new(vec![lus]);
-    ProvisionWorld { env, client, monitor, accessor }
+    ProvisionWorld {
+        env,
+        client,
+        monitor,
+        accessor,
+    }
 }
 
 /// Virtual time from request to first successful read of the provisioned
@@ -127,14 +137,20 @@ mod tests {
     fn provisioning_completes_quickly_on_small_pools() {
         let dt = provision_to_first_read(2, AllocationPolicy::LeastUtilized, 5);
         assert!(dt < SimDuration::from_secs(1), "{dt}");
-        assert!(dt > SimDuration::from_millis(20), "instantiation cost is modeled: {dt}");
+        assert!(
+            dt > SimDuration::from_millis(20),
+            "instantiation cost is modeled: {dt}"
+        );
     }
 
     #[test]
     fn bigger_pools_cost_more_matching_time() {
         let small = provision_to_first_read(1, AllocationPolicy::BestFit, 5);
         let large = provision_to_first_read(64, AllocationPolicy::BestFit, 5);
-        assert!(large > small, "utilization queries scale with pool: {small} vs {large}");
+        assert!(
+            large > small,
+            "utilization queries scale with pool: {small} vs {large}"
+        );
     }
 
     #[test]

@@ -63,8 +63,13 @@ pub fn failover_window(heartbeat: SimDuration, seed: u64) -> SimDuration {
     let mut node_hosts = Vec::new();
     for i in 0..2 {
         let h = env.add_host(format!("cyb{i}"), HostKind::Server);
-        let node =
-            Cybernode::deploy(&mut env, h, &format!("Cyb-{i}"), QosCapabilities::lab_server(), Some(lus));
+        let node = Cybernode::deploy(
+            &mut env,
+            h,
+            &format!("Cyb-{i}"),
+            QosCapabilities::lab_server(),
+            Some(lus),
+        );
         env.with_service(monitor.service, |_e, m: &mut ProvisionMonitor| {
             m.register_cybernode(node)
         })
@@ -93,7 +98,10 @@ pub fn failover_window(heartbeat: SimDuration, seed: u64) -> SimDuration {
     os.elements[0] = os.elements[0]
         .clone()
         .with_config(sensorcer_core::provisioner::config_keys::LEASE_SECS, "5");
-    let placed = monitor.deploy_opstring(&mut env, client, os).expect("net").expect("placed");
+    let placed = monitor
+        .deploy_opstring(&mut env, client, os)
+        .expect("net")
+        .expect("placed");
     let victim = placed[0].host;
 
     // Confirm healthy, then kill the node.
@@ -124,7 +132,10 @@ pub fn stale_registration_window(lease: SimDuration, seed: u64) -> SimDuration {
         lab,
         "LUS",
         "public",
-        LeasePolicy { max_duration: SimDuration::from_secs(360_000), default_duration: lease },
+        LeasePolicy {
+            max_duration: SimDuration::from_secs(360_000),
+            default_duration: lease,
+        },
         SimDuration::from_millis(500),
     );
     let renewal =
@@ -299,9 +310,12 @@ pub fn degraded_read_table(seed: u64) -> Table {
     let policies = [
         ("strict", DegradationPolicy::Strict),
         ("quorum(2)", DegradationPolicy::Quorum(2)),
-        ("last-known-good", DegradationPolicy::LastKnownGood {
-            max_age: SimDuration::from_secs(300),
-        }),
+        (
+            "last-known-good",
+            DegradationPolicy::LastKnownGood {
+                max_age: SimDuration::from_secs(300),
+            },
+        ),
     ];
     let retries = [
         ("none", sensorcer_exertion::RetryPolicy::none()),
@@ -320,8 +334,12 @@ pub fn degraded_read_table(seed: u64) -> Table {
             ]);
         }
     }
-    c.note("strict forfeits every read touching the outage; quorum/LKG answer degraded and flagged");
-    c.note("retries stretch each failing read (~10s budget) but only rescue reads the heal overtakes");
+    c.note(
+        "strict forfeits every read touching the outage; quorum/LKG answer degraded and flagged",
+    );
+    c.note(
+        "retries stretch each failing read (~10s budget) but only rescue reads the heal overtakes",
+    );
     c
 }
 
@@ -383,7 +401,13 @@ pub fn run(seed: u64) -> String {
     let (a, b) = run_table(seed);
     let c = degraded_read_table(seed);
     let d = retry_attribution_table(seed);
-    format!("{}\n{}\n{}\n{}", a.render(), b.render(), c.render(), d.render())
+    format!(
+        "{}\n{}\n{}\n{}",
+        a.render(),
+        b.render(),
+        c.render(),
+        d.render()
+    )
 }
 
 #[cfg(test)]
@@ -394,7 +418,10 @@ mod tests {
     fn failover_completes_and_scales_with_heartbeat() {
         let fast = failover_window(SimDuration::from_millis(500), 3);
         let slow = failover_window(SimDuration::from_secs(5), 3);
-        assert!(fast < slow, "faster heartbeat, faster recovery: {fast} vs {slow}");
+        assert!(
+            fast < slow,
+            "faster heartbeat, faster recovery: {fast} vs {slow}"
+        );
         assert!(slow < SimDuration::from_secs(30), "{slow}");
     }
 
@@ -405,7 +432,11 @@ mod tests {
         // Recovery is lease-dominated: the spread across seeds is bounded
         // (no pathological outliers past the lease + a few heartbeats).
         assert!(s.max < 30e6, "max outage {}us", s.max);
-        assert!(s.min > 1e6, "recovery can't beat the stale-lease window: {}us", s.min);
+        assert!(
+            s.min > 1e6,
+            "recovery can't beat the stale-lease window: {}us",
+            s.min
+        );
     }
 
     #[test]
@@ -421,17 +452,25 @@ mod tests {
             9,
         );
         let (reads_k, ok_k, deg_k) = degraded_read_availability(
-            DegradationPolicy::LastKnownGood { max_age: SimDuration::from_secs(300) },
+            DegradationPolicy::LastKnownGood {
+                max_age: SimDuration::from_secs(300),
+            },
             sensorcer_exertion::RetryPolicy::none(),
             9,
         );
         // Strict loses the outage window outright and never degrades.
-        assert!(ok_s < reads_s, "strict must forfeit reads: {ok_s}/{reads_s}");
+        assert!(
+            ok_s < reads_s,
+            "strict must forfeit reads: {ok_s}/{reads_s}"
+        );
         assert_eq!(deg_s, 0);
         // Quorum and LKG answer everything, flagging the outage reads.
         assert_eq!(ok_q, reads_q, "quorum answers every read");
         assert_eq!(ok_k, reads_k, "last-known-good answers every read");
-        assert!(deg_q > 0 && deg_k > 0, "outage reads must be flagged: {deg_q}, {deg_k}");
+        assert!(
+            deg_q > 0 && deg_k > 0,
+            "outage reads must be flagged: {deg_q}, {deg_k}"
+        );
         // And degraded reads stop once the child heals.
         assert!(deg_q < reads_q && deg_k < reads_k);
     }
@@ -445,10 +484,19 @@ mod tests {
         );
         assert_eq!(rows.len(), 3);
         let victim = &rows[2]; // m2 is the partitioned child
-        assert!(victim.retry_attempts > 0, "outage must burn retries: {victim:?}");
-        assert!(victim.substituted > 0, "quorum must substitute the victim: {victim:?}");
+        assert!(
+            victim.retry_attempts > 0,
+            "outage must burn retries: {victim:?}"
+        );
+        assert!(
+            victim.substituted > 0,
+            "quorum must substitute the victim: {victim:?}"
+        );
         for healthy in &rows[..2] {
-            assert_eq!(healthy.retry_attempts, 0, "healthy mote retried: {healthy:?}");
+            assert_eq!(
+                healthy.retry_attempts, 0,
+                "healthy mote retried: {healthy:?}"
+            );
             assert_eq!(healthy.retry_exhausted, 0, "{healthy:?}");
             assert_eq!(healthy.substituted, 0, "{healthy:?}");
         }

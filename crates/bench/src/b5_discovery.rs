@@ -27,7 +27,9 @@ fn measure(n: usize, seed: u64) -> (SimDuration, SimDuration, SimDuration, SimDu
 
     let mid = format!("Sensor-{:03}", n / 2);
     let t0 = w.env.now();
-    let hit = lus.lookup_one(&mut w.env, w.client, &ServiceTemplate::by_name(&mid)).unwrap();
+    let hit = lus
+        .lookup_one(&mut w.env, w.client, &ServiceTemplate::by_name(&mid))
+        .unwrap();
     let by_name = w.env.now() - t0;
     assert!(hit.is_some());
 
@@ -49,7 +51,11 @@ fn measure(n: usize, seed: u64) -> (SimDuration, SimDuration, SimDuration, SimDu
             &mut w.env,
             w.client,
             &ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR).and_attr(
-                AttrMatch::Location { building: None, floor: None, room: None },
+                AttrMatch::Location {
+                    building: None,
+                    floor: None,
+                    room: None,
+                },
             ),
             usize::MAX,
         )
@@ -65,7 +71,13 @@ fn measure(n: usize, seed: u64) -> (SimDuration, SimDuration, SimDuration, SimDu
 pub fn run_table(seed: u64) -> Table {
     let mut t = Table::new(
         "B5: discovery and lookup latency vs. registry size",
-        &["registered", "discover LUS", "lookup by name", "lookup all by interface", "lookup by attr"],
+        &[
+            "registered",
+            "discover LUS",
+            "lookup by name",
+            "lookup all by interface",
+            "lookup by attr",
+        ],
     );
     for n in [10usize, 100, 1000] {
         let (d, name, iface, attr) = measure(n, seed);
@@ -107,7 +119,11 @@ pub fn churn_consistency(seed: u64) -> (usize, usize) {
         // listing is a claim about registration, not liveness).
         let found = w
             .accessor
-            .list(&mut w.env, w.client, sensorcer_registry::ids::interfaces::SENSOR_DATA_ACCESSOR)
+            .list(
+                &mut w.env,
+                w.client,
+                sensorcer_registry::ids::interfaces::SENSOR_DATA_ACCESSOR,
+            )
             .len();
         max_err = max_err.max(8usize.abs_diff(found));
         rounds += 1;
@@ -133,7 +149,10 @@ mod tests {
         let (d10, ..) = measure(10, 9);
         let (d1000, ..) = measure(1000, 9);
         let ratio = d1000.as_nanos() as f64 / d10.as_nanos() as f64;
-        assert!((0.5..2.0).contains(&ratio), "discovery should not scale with registry: {ratio}");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "discovery should not scale with registry: {ratio}"
+        );
     }
 
     #[test]
@@ -150,6 +169,9 @@ mod tests {
     fn churn_never_loses_registrations() {
         let (rounds, err) = churn_consistency(9);
         assert_eq!(rounds, 20);
-        assert_eq!(err, 0, "long leases keep listings stable through crash/restart churn");
+        assert_eq!(
+            err, 0,
+            "long leases keep listings stable through crash/restart churn"
+        );
     }
 }

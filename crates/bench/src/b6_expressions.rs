@@ -63,7 +63,12 @@ pub fn host_costs(source: &str, vars: usize, iters: u32) -> (f64, f64) {
 pub fn host_table() -> Table {
     let mut t = Table::new(
         "B6a: expression cost per evaluation (host CPU time)",
-        &["expression", "ast nodes", "compile+eval", "eval-only (cached AST)"],
+        &[
+            "expression",
+            "ast nodes",
+            "compile+eval",
+            "eval-only (cached AST)",
+        ],
     );
     for (name, source, vars) in expression_suite() {
         let nodes = sensorcer_expr::parse(&source)
@@ -71,7 +76,9 @@ pub fn host_table() -> Table {
             .stmts
             .iter()
             .map(|s| match s {
-                sensorcer_expr::Stmt::Assign(_, e) | sensorcer_expr::Stmt::Expr(e) => e.node_count(),
+                sensorcer_expr::Stmt::Assign(_, e) | sensorcer_expr::Stmt::Expr(e) => {
+                    e.node_count()
+                }
             })
             .sum::<usize>();
         let (ce, eo) = host_costs(&source, vars, 2_000);
@@ -93,7 +100,10 @@ pub fn depth_latency(depth: usize, seed: u64) -> SimDuration {
     let mut below = "Sensor-000".to_string();
     for level in 0..depth {
         let name = format!("L{level}");
-        let host = w.env.add_host(format!("{name}-host"), sensorcer_sim::topology::HostKind::Server);
+        let host = w.env.add_host(
+            format!("{name}-host"),
+            sensorcer_sim::topology::HostKind::Server,
+        );
         let mut cfg = sensorcer_core::csp::CspConfig::new(host, name.clone(), w.lus);
         cfg.lease = SimDuration::from_secs(36_000);
         cfg.children = vec![below.clone()];
@@ -113,7 +123,10 @@ pub fn depth_table(seed: u64) -> Table {
         &["depth", "read latency"],
     );
     for depth in [1usize, 2, 4, 8] {
-        t.row(&[depth.to_string(), fmt_us(depth_latency(depth, seed).as_micros_f64())]);
+        t.row(&[
+            depth.to_string(),
+            fmt_us(depth_latency(depth, seed).as_micros_f64()),
+        ]);
     }
     t.note("each nesting level adds one LUS bind + one provider hop — linear in depth");
     t.note("the constant floor is the radio hop to the mote, shared by every depth");

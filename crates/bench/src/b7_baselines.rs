@@ -36,7 +36,11 @@ pub fn profile(mut s: Scenario) -> Profile {
     let per_host = env.metrics.hosts_for(metric_keys::BYTES_WIRE);
     let total: u64 = per_host.iter().map(|(_, b)| *b).sum();
     let hottest = per_host.iter().map(|(_, b)| *b).max().unwrap_or(0);
-    let hotspot_pct = if total == 0 { 0.0 } else { 100.0 * hottest as f64 / total as f64 };
+    let hotspot_pct = if total == 0 {
+        0.0
+    } else {
+        100.0 * hottest as f64 / total as f64
+    };
 
     Profile {
         name: s.name,
@@ -55,19 +59,33 @@ pub fn profiles(n: usize, seed: u64) -> Vec<Profile> {
 pub fn run_table(n: usize, seed: u64) -> Table {
     let mut t = Table::new(
         format!("B7: network-wide average over {n} sensors, by architecture"),
-        &["architecture", "correct", "round latency", "round bytes", "idle bytes/min", "hotspot host"],
+        &[
+            "architecture",
+            "correct",
+            "round latency",
+            "round bytes",
+            "idle bytes/min",
+            "hotspot host",
+        ],
     );
     for p in profiles(n, seed) {
         t.row(&[
             p.name.to_string(),
-            if p.value_ok { "yes".into() } else { "NO".into() },
+            if p.value_ok {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
             fmt_us(p.round_latency.as_micros_f64()),
             fmt_bytes(p.round_bytes),
             fmt_bytes(p.idle_bytes_per_min),
             format!("{:.0}%", p.hotspot_pct),
         ]);
     }
-    t.note(format!("all architectures must compute the same average ({:.2})", expected_average(n)));
+    t.note(format!(
+        "all architectures must compute the same average ({:.2})",
+        expected_average(n)
+    ));
     t.note("surrogate: cheap rounds, but motes stream continuously (idle column)");
     t.note("three-level: traffic concentrates at the ASP/TCI hosts (paper's §III.A critique)");
     t.note("sensorcer: on-demand federation — idle-quiet like polling, parallel-fast like a cache");
@@ -113,9 +131,16 @@ mod tests {
         let surrogate = by_name(&ps, "surrogate");
         let direct = by_name(&ps, "direct-polling");
         let ours = by_name(&ps, "sensorcer-csp");
-        assert!(surrogate.idle_bytes_per_min > 1000, "{}", surrogate.idle_bytes_per_min);
+        assert!(
+            surrogate.idle_bytes_per_min > 1000,
+            "{}",
+            surrogate.idle_bytes_per_min
+        );
         assert_eq!(direct.idle_bytes_per_min, 0);
-        assert_eq!(ours.idle_bytes_per_min, 0, "no background chatter in the idle federation");
+        assert_eq!(
+            ours.idle_bytes_per_min, 0,
+            "no background chatter in the idle federation"
+        );
     }
 
     #[test]

@@ -42,11 +42,22 @@ pub fn read_costs(
 pub fn run_table() -> Table {
     let mut t = Table::new(
         "B8: local-mode composite read, sequential vs. work-stealing parallel (host time)",
-        &["tree", "leaf acquisition", "threads", "sequential/read", "parallel/read", "speedup"],
+        &[
+            "tree",
+            "leaf acquisition",
+            "threads",
+            "sequential/read",
+            "parallel/read",
+            "speedup",
+        ],
     );
     // Free leaves (scheduling-bound: parallelism cannot help) vs. leaves
     // with realistic acquisition work (compute-bound: parallelism pays).
-    for (label, work_iters) in [("free", 0u32), ("~20us/leaf", 4_000), ("~100us/leaf", 20_000)] {
+    for (label, work_iters) in [
+        ("free", 0u32),
+        ("~20us/leaf", 4_000),
+        ("~100us/leaf", 20_000),
+    ] {
         for threads in [2usize, 4, 8] {
             let (seq, par) = read_costs(1, 64, threads, work_iters, 50);
             t.row(&[
@@ -59,10 +70,14 @@ pub fn run_table() -> Table {
             ]);
         }
     }
-    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     t.note("free leaves are scheduling-bound: fan-out overhead dominates, sequential wins");
     t.note("with real acquisition work the pool wins, bounded by available cores");
-    t.note(format!("this machine exposes {cpus} core(s); speedup is capped at that"));
+    t.note(format!(
+        "this machine exposes {cpus} core(s); speedup is capped at that"
+    ));
     t.note("run with --release for meaningful absolute numbers");
     t
 }
@@ -95,13 +110,21 @@ mod tests {
         // With substantial per-leaf work the pool must beat sequential —
         // but only when the machine actually has more than one core to
         // run on (CI containers often expose just one).
-        let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let (seq, par) = read_costs(1, 64, 8, 20_000, 10);
         if cpus >= 2 {
-            assert!(par < seq, "parallel {par}ns vs sequential {seq}ns on {cpus} cores");
+            assert!(
+                par < seq,
+                "parallel {par}ns vs sequential {seq}ns on {cpus} cores"
+            );
         } else {
             // Single core: parallel must at least not collapse.
-            assert!(par < seq * 3.0, "parallel {par}ns vs sequential {seq}ns on 1 core");
+            assert!(
+                par < seq * 3.0,
+                "parallel {par}ns vs sequential {seq}ns on 1 core"
+            );
         }
     }
 

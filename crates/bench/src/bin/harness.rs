@@ -12,16 +12,27 @@
 //!   the same soak with the flight recorder on; validates the trace
 //!   (unique ids, no orphans, every degraded read explainable) and
 //!   writes TRACE_1.json
+//! harness verify [seed] [out.json]
+//!   DPOR-lite schedule exploration over the clean federation scenarios
+//!   (happens-before + lifecycle state machines checked per schedule)
+//!   plus the buggy-reaper mutation check; writes VERIFY_1.json
+//! harness lint
+//!   in-repo source lints over crates/*/src (banned unwrap/expect,
+//!   wall-clock time in sim code, pub fields on state-machine types)
 //! ```
 
 use sensorcer_bench::*;
 
+/// A seeded harness pass that writes a JSON report to its second arg.
+type SeededRunner = fn(u64, &str) -> Result<String, String>;
+
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: {})\n       harness chaos [seed] [out.json]   (default out: {})\n       harness trace [seed] [out.json]   (default out: {})",
+        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: {})\n       harness chaos [seed] [out.json]   (default out: {})\n       harness trace [seed] [out.json]   (default out: {})\n       harness verify [seed] [out.json]  (default out: {})\n       harness lint",
         smoke::DEFAULT_OUT,
         chaos::DEFAULT_OUT,
-        trace::DEFAULT_OUT
+        trace::DEFAULT_OUT,
+        verify::DEFAULT_OUT
     );
     std::process::exit(2);
 }
@@ -65,7 +76,10 @@ fn main() {
     // `smoke` takes an output path, not a seed — handle it before the
     // integer parse below.
     if which == "smoke" {
-        let out = args.get(1).map(String::as_str).unwrap_or(smoke::DEFAULT_OUT);
+        let out = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or(smoke::DEFAULT_OUT);
         match smoke::run(out) {
             Ok(transcript) => print!("{transcript}"),
             Err(e) => {
@@ -76,8 +90,34 @@ fn main() {
         return;
     }
 
-    // `chaos` and `trace` take an optional seed then an output path.
-    if which == "chaos" || which == "trace" {
+    // `lint` takes no arguments: scan crates/*/src from the repo root.
+    if which == "lint" {
+        let root = std::env::current_dir().unwrap_or_else(|e| {
+            eprintln!("cannot resolve working directory: {e}");
+            std::process::exit(1);
+        });
+        match sensorcer_verify::lint::lint_tree(&root) {
+            Ok(findings) if findings.is_empty() => {
+                println!("lint: clean");
+            }
+            Ok(findings) => {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!("lint: {} banned pattern(s)", findings.len());
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("lint: {e} (run from the repo root)");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // `chaos`, `trace` and `verify` take an optional seed then an output
+    // path.
+    if which == "chaos" || which == "trace" || which == "verify" {
         let seed = match args.get(1) {
             Some(s) => s.parse().unwrap_or_else(|_| {
                 eprintln!("seed must be an integer, got '{s}'");
@@ -85,12 +125,11 @@ fn main() {
             }),
             None => DEFAULT_SEED,
         };
-        let (runner, default_out): (fn(u64, &str) -> Result<String, String>, &str) =
-            if which == "chaos" {
-                (chaos::run, chaos::DEFAULT_OUT)
-            } else {
-                (trace::run, trace::DEFAULT_OUT)
-            };
+        let (runner, default_out): (SeededRunner, &str) = match which {
+            "chaos" => (chaos::run, chaos::DEFAULT_OUT),
+            "trace" => (trace::run, trace::DEFAULT_OUT),
+            _ => (verify::run, verify::DEFAULT_OUT),
+        };
         let out = args.get(2).map(String::as_str).unwrap_or(default_out);
         match runner(seed, out) {
             Ok(transcript) => print!("{transcript}"),
@@ -111,7 +150,9 @@ fn main() {
     };
 
     if which == "all" {
-        for exp in ["fig1", "fig2", "fig3", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8", "a1", "a2"] {
+        for exp in [
+            "fig1", "fig2", "fig3", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8", "a1", "a2",
+        ] {
             run_one(exp, seed);
             println!();
         }

@@ -169,8 +169,13 @@ fn traced_read(
     from: HostId,
     accessor: &sensorcer_exertion::ServiceAccessor,
     name: &str,
-) -> Result<(sensorcer_core::accessor::SensorReading, sensorcer_core::accessor::DegradedInfo), String>
-{
+) -> Result<
+    (
+        sensorcer_core::accessor::SensorReading,
+        sensorcer_core::accessor::DegradedInfo,
+    ),
+    String,
+> {
     let span = if env.tracing_enabled() {
         env.span_start("soak.read", name, from)
     } else {
@@ -241,7 +246,10 @@ pub fn run_soak_traced(cfg: &SoakConfig) -> (SoakReport, Option<FlightRecorder>)
                 ..EspConfig::new(
                     mote,
                     name,
-                    Box::new(ScriptedProbe::new(vec![10.0 * (i + 1) as f64], Unit::Celsius)),
+                    Box::new(ScriptedProbe::new(
+                        vec![10.0 * (i + 1) as f64],
+                        Unit::Celsius,
+                    )),
                     lus,
                 )
             },
@@ -258,22 +266,27 @@ pub fn run_soak_traced(cfg: &SoakConfig) -> (SoakReport, Option<FlightRecorder>)
 
     let mut k = CspConfig::new(lab, LKG_COMPOSITE, lus);
     k.lease = SimDuration::from_secs(36_000);
-    k.degradation = DegradationPolicy::LastKnownGood { max_age: SimDuration::from_secs(3600) };
+    k.degradation = DegradationPolicy::LastKnownGood {
+        max_age: SimDuration::from_secs(3600),
+    };
     k.retry = retry_policy;
     let k = deploy_csp(&mut env, k).expect("lkg composite");
 
     // Children join with their equivalence groups so a failed child can
     // fail over to its pair partner before degrading.
     for (handle, n) in [(q, 6usize), (k, 3usize)] {
-        env.with_service(handle.service, |_e, sb: &mut sensorcer_exertion::ServicerBox| {
-            let csp = sb
-                .downcast_mut::<sensorcer_core::csp::CompositeSensorProvider>()
-                .expect("composite");
-            for i in 0..n {
-                csp.add_service_grouped(&format!("S{i}"), Some(groups[i].to_string()))
-                    .expect("grouped child");
-            }
-        })
+        env.with_service(
+            handle.service,
+            |_e, sb: &mut sensorcer_exertion::ServicerBox| {
+                let csp = sb
+                    .downcast_mut::<sensorcer_core::csp::CompositeSensorProvider>()
+                    .expect("composite");
+                for (i, group) in groups.iter().enumerate().take(n) {
+                    csp.add_service_grouped(&format!("S{i}"), Some((*group).to_string()))
+                        .expect("grouped child");
+                }
+            },
+        )
         .expect("composite reachable");
     }
 
@@ -312,9 +325,13 @@ pub fn run_soak_traced(cfg: &SoakConfig) -> (SoakReport, Option<FlightRecorder>)
     while env.now() < horizon_end {
         rounds += 1;
         let t = env.now();
-        let reachable =
-            motes.iter().filter(|&&m| env.topo.check_path(lab, m).is_ok()).count();
-        let quiet = !events.iter().any(|&(at, _)| at >= t && at <= t + quiet_guard);
+        let reachable = motes
+            .iter()
+            .filter(|&&m| env.topo.check_path(lab, m).is_ok())
+            .count();
+        let quiet = !events
+            .iter()
+            .any(|&(at, _)| at >= t && at <= t + quiet_guard);
 
         reads_total += 2;
         match traced_read(&mut env, client, &accessor, QUORUM_COMPOSITE) {
@@ -367,7 +384,9 @@ pub fn run_soak_traced(cfg: &SoakConfig) -> (SoakReport, Option<FlightRecorder>)
     // now the topology must be fully healed.
     for &m in &motes {
         if env.topo.check_path(lab, m).is_err() {
-            violations.push(format!("topology not clean after horizon: mote {m} unreachable"));
+            violations.push(format!(
+                "topology not clean after horizon: mote {m} unreachable"
+            ));
         }
     }
 
@@ -440,7 +459,10 @@ mod tests {
     #[test]
     fn soak_is_deterministic_per_seed() {
         let cfg = SoakConfig {
-            chaos: ChaosConfig { horizon: SimDuration::from_secs(180), ..Default::default() },
+            chaos: ChaosConfig {
+                horizon: SimDuration::from_secs(180),
+                ..Default::default()
+            },
             tail_reads: 5,
             ..SoakConfig::new(0xD00D)
         };
@@ -452,14 +474,23 @@ mod tests {
     #[test]
     fn short_soak_passes_and_actually_injects() {
         let cfg = SoakConfig {
-            chaos: ChaosConfig { horizon: SimDuration::from_secs(180), ..Default::default() },
+            chaos: ChaosConfig {
+                horizon: SimDuration::from_secs(180),
+                ..Default::default()
+            },
             tail_reads: 5,
             ..SoakConfig::new(7)
         };
         let r = run_soak(&cfg);
         assert!(r.passed(), "violations: {:#?}", r.violations);
-        assert!(r.injected.total() > 0, "a soak without faults proves nothing");
-        assert!(r.events_applied >= r.injected.total(), "inverses also apply");
+        assert!(
+            r.injected.total() > 0,
+            "a soak without faults proves nothing"
+        );
+        assert!(
+            r.events_applied >= r.injected.total(),
+            "inverses also apply"
+        );
         assert!(r.reads_total > 50);
         assert_eq!(r.reads_total, r.reads_ok + r.reads_failed);
     }
@@ -467,7 +498,10 @@ mod tests {
     #[test]
     fn report_json_shape() {
         let cfg = SoakConfig {
-            chaos: ChaosConfig { horizon: SimDuration::from_secs(120), ..Default::default() },
+            chaos: ChaosConfig {
+                horizon: SimDuration::from_secs(120),
+                ..Default::default()
+            },
             tail_reads: 2,
             ..SoakConfig::new(3)
         };

@@ -106,7 +106,12 @@ pub fn fig3_experiment() -> Fig3Outcome {
 
     // Step 2: associate the average expression.
     d.facade
-        .add_expression(&mut env, d.workstation, "Composite-Service", "(a + b + c)/3")
+        .add_expression(
+            &mut env,
+            d.workstation,
+            "Composite-Service",
+            "(a + b + c)/3",
+        )
         .expect("step 2");
     t.push_str("step 2: expression '(a + b + c)/3' installed\n");
 
@@ -135,8 +140,16 @@ pub fn fig3_experiment() -> Fig3Outcome {
 
     // Step 6: read the sensor value from the newly created composite.
     let mut sensors = Vec::new();
-    for name in ["Neem-Sensor", "Jade-Sensor", "Diamond-Sensor", "Coral-Sensor"] {
-        let r = d.facade.get_value(&mut env, d.workstation, name).expect("sensor read");
+    for name in [
+        "Neem-Sensor",
+        "Jade-Sensor",
+        "Diamond-Sensor",
+        "Coral-Sensor",
+    ] {
+        let r = d
+            .facade
+            .get_value(&mut env, d.workstation, name)
+            .expect("sensor read");
         sensors.push((name.to_string(), r.value));
     }
     let subnet_value = d
@@ -149,11 +162,15 @@ pub fn fig3_experiment() -> Fig3Outcome {
         .get_value(&mut env, d.workstation, "New-Composite")
         .expect("step 6")
         .value;
-    t.push_str(&format!("step 6: New-Composite value = {network_value:.3} °C\n\n"));
+    t.push_str(&format!(
+        "step 6: New-Composite value = {network_value:.3} °C\n\n"
+    ));
 
     // Render the browser the way Fig. 3 shows it.
     let mut model = BrowserModel::new();
-    model.refresh_services(&mut env, d.workstation, d.facade).expect("list");
+    model
+        .refresh_services(&mut env, d.workstation, d.facade)
+        .expect("list");
     model
         .select_service(&mut env, d.workstation, d.facade, "New-Composite")
         .expect("info");
@@ -166,7 +183,13 @@ pub fn fig3_experiment() -> Fig3Outcome {
         .find(|(n, _)| n == "New-Composite")
         .map(|_| "cybernode (via Rio provisioning)".to_string());
 
-    Fig3Outcome { transcript: t, subnet_value, network_value, sensors, provisioned_on }
+    Fig3Outcome {
+        transcript: t,
+        subnet_value,
+        network_value,
+        sensors,
+        provisioned_on,
+    }
 }
 
 #[cfg(test)]
@@ -219,7 +242,8 @@ mod tests {
         // ((neem + jade + diamond)/3 + coral)/2 on the readings the
         // composites actually collected. Sensors drift a little between
         // reads, so allow the diurnal-walk tolerance.
-        let subnet_expect = (by_name("Neem-Sensor") + by_name("Jade-Sensor") + by_name("Diamond-Sensor")) / 3.0;
+        let subnet_expect =
+            (by_name("Neem-Sensor") + by_name("Jade-Sensor") + by_name("Diamond-Sensor")) / 3.0;
         assert!(
             (o.subnet_value - subnet_expect).abs() < 0.5,
             "subnet {} vs {}",

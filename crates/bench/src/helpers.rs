@@ -58,7 +58,14 @@ pub fn sensor_world(n: usize, seed: u64) -> SensorWorld {
         sensor_names.push(name);
     }
     let accessor = sensorcer_exertion::ServiceAccessor::new(vec![lus]);
-    SensorWorld { env, lab, client, lus, accessor, sensor_names }
+    SensorWorld {
+        env,
+        lab,
+        client,
+        lus,
+        accessor,
+        sensor_names,
+    }
 }
 
 impl SensorWorld {

@@ -21,6 +21,7 @@
 //! `EXPERIMENTS.md`; the unit tests in each module pin the *shape* of the
 //! result (who wins, what grows) so regressions fail loudly.
 
+#![forbid(unsafe_code)]
 pub mod a1_ablation;
 pub mod a2_energy;
 pub mod b1_overhead;
@@ -38,6 +39,7 @@ pub mod microbench;
 pub mod smoke;
 pub mod table;
 pub mod trace;
+pub mod verify;
 
 /// Expression-variable name for index `i` (`a`…`z`, then `v26`…), shared
 /// with the CSP's convention.

@@ -32,13 +32,17 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { name: s.to_string() }
+        BenchmarkId {
+            name: s.to_string(),
+        }
     }
 }
 
@@ -68,7 +72,9 @@ pub struct Criterion {
 
 impl Criterion {
     pub fn from_env() -> Self {
-        Criterion { results: Vec::new() }
+        Criterion {
+            results: Vec::new(),
+        }
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
@@ -93,7 +99,9 @@ impl Criterion {
         if let Ok(path) = std::env::var("MICROBENCH_JSON") {
             if !path.is_empty() {
                 match std::fs::write(&path, results_to_json(&self.results)) {
-                    Ok(()) => eprintln!("microbench: wrote {} results to {path}", self.results.len()),
+                    Ok(()) => {
+                        eprintln!("microbench: wrote {} results to {path}", self.results.len())
+                    }
                     Err(e) => eprintln!("microbench: failed to write {path}: {e}"),
                 }
             }
@@ -193,7 +201,13 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(sample_size: usize, warm_up: Duration, measurement: Duration) -> Self {
-        Bencher { sample_size, warm_up, measurement, sample_ns: None, iters_per_sample: 1 }
+        Bencher {
+            sample_size,
+            warm_up,
+            measurement,
+            sample_ns: None,
+            iters_per_sample: 1,
+        }
     }
 
     /// Measure `routine`: warm up, choose a batch size, then time
@@ -210,8 +224,7 @@ impl Bencher {
             (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
 
         // Size batches so the samples together fill the measurement budget.
-        let target_sample_ns =
-            self.measurement.as_nanos() as f64 / self.sample_size.max(1) as f64;
+        let target_sample_ns = self.measurement.as_nanos() as f64 / self.sample_size.max(1) as f64;
         let iters = ((target_sample_ns / per_iter_ns).round() as u64).max(1);
         self.iters_per_sample = iters;
 

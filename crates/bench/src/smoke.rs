@@ -40,11 +40,15 @@ pub fn run(out_path: &str) -> Result<String, String> {
                 b.iter(|| w.timed_read(&name).0.expect("read"));
             });
         }
-        g.bench_with_input(BenchmarkId::new("tree_csp_read", 64usize), &64usize, |b, &n| {
-            let mut w = sensor_world(n, 42);
-            let root = w.composite_tree(8);
-            b.iter(|| w.timed_read(&root).0.expect("read"));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("tree_csp_read", 64usize),
+            &64usize,
+            |b, &n| {
+                let mut w = sensor_world(n, 42);
+                let root = w.composite_tree(8);
+                b.iter(|| w.timed_read(&root).0.expect("read"));
+            },
+        );
         g.finish();
     }
 
@@ -60,18 +64,24 @@ pub fn run(out_path: &str) -> Result<String, String> {
                 let lus = w.lus;
                 let tpl = ServiceTemplate::by_name(format!("Sensor-{:03}", n / 2));
                 b.iter(|| {
-                    lus.lookup_one(&mut w.env, w.client, &tpl).unwrap().expect("hit")
+                    lus.lookup_one(&mut w.env, w.client, &tpl)
+                        .unwrap()
+                        .expect("hit")
                 });
             });
-            g.bench_with_input(BenchmarkId::new("lookup_all_by_interface", n), &n, |b, &n| {
-                let mut w = sensor_world(n, 42);
-                let lus = w.lus;
-                let tpl = ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR);
-                b.iter(|| {
-                    let all = lus.lookup(&mut w.env, w.client, &tpl, usize::MAX).unwrap();
-                    assert_eq!(all.len(), n);
-                });
-            });
+            g.bench_with_input(
+                BenchmarkId::new("lookup_all_by_interface", n),
+                &n,
+                |b, &n| {
+                    let mut w = sensor_world(n, 42);
+                    let lus = w.lus;
+                    let tpl = ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR);
+                    b.iter(|| {
+                        let all = lus.lookup(&mut w.env, w.client, &tpl, usize::MAX).unwrap();
+                        assert_eq!(all.len(), n);
+                    });
+                },
+            );
         }
         g.finish();
     }
@@ -113,7 +123,10 @@ pub fn run(out_path: &str) -> Result<String, String> {
     let json = results_to_json(c.results());
     std::fs::write(out_path, &json)
         .map_err(|e| format!("smoke: failed to write {out_path}: {e}"))?;
-    out.push_str(&format!("smoke: wrote {} results to {out_path}\n", c.results().len()));
+    out.push_str(&format!(
+        "smoke: wrote {} results to {out_path}\n",
+        c.results().len()
+    ));
     Ok(out)
 }
 

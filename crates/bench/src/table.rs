@@ -97,7 +97,9 @@ impl Table {
             .chars()
             .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
             .collect();
-        cleaned.parse().unwrap_or_else(|_| panic!("cell {raw:?} is not numeric"))
+        cleaned
+            .parse()
+            .unwrap_or_else(|_| panic!("cell {raw:?} is not numeric"))
     }
 }
 

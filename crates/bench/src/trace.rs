@@ -116,15 +116,28 @@ pub fn check(recorder: &FlightRecorder) -> TraceCheck {
         }
     }
 
-    TraceCheck { spans: spans.len(), events, roots, degraded_roots, error_roots, problems }
+    TraceCheck {
+        spans: spans.len(),
+        events,
+        roots,
+        degraded_roots,
+        error_roots,
+        problems,
+    }
 }
 
 /// Soak one seed with the recorder on. Same world and schedule as
 /// `harness chaos` — the report is identical to the untraced run's.
 pub fn run_traced_soak(seed: u64) -> (SoakReport, FlightRecorder) {
-    let cfg = SoakConfig { trace_capacity: Some(TRACE_CAPACITY), ..SoakConfig::new(seed) };
+    let cfg = SoakConfig {
+        trace_capacity: Some(TRACE_CAPACITY),
+        ..SoakConfig::new(seed)
+    };
     let (report, recorder) = run_soak_traced(&cfg);
-    (report, recorder.expect("trace_capacity was set, recorder must exist"))
+    (
+        report,
+        recorder.expect("trace_capacity was set, recorder must exist"),
+    )
 }
 
 /// `harness trace` entry point: traced soak, health checks, JSON export.
@@ -176,7 +189,10 @@ mod tests {
 
     fn quick_cfg(seed: u64) -> SoakConfig {
         SoakConfig {
-            chaos: ChaosConfig { horizon: SimDuration::from_secs(180), ..Default::default() },
+            chaos: ChaosConfig {
+                horizon: SimDuration::from_secs(180),
+                ..Default::default()
+            },
             tail_reads: 5,
             trace_capacity: Some(TRACE_CAPACITY),
             ..SoakConfig::new(seed)
@@ -210,11 +226,14 @@ mod tests {
         // The recorder must be a pure observer: flipping it on cannot
         // change a single read, retry, or fault outcome.
         let traced = quick_cfg(0xD00D);
-        let untraced = SoakConfig { trace_capacity: None, ..traced };
+        let untraced = SoakConfig {
+            trace_capacity: None,
+            ..traced
+        };
         let (with_trace, rec) = run_soak_traced(&traced);
         let without = crate::chaos::run_soak(&untraced);
         assert_eq!(with_trace, without, "tracing perturbed the simulation");
-        assert!(rec.unwrap().len() > 0);
+        assert!(!rec.unwrap().is_empty());
     }
 
     #[test]
@@ -240,8 +259,10 @@ mod tests {
             let verdict = check(&rec);
             assert!(verdict.passed(), "seed {seed}: {:#?}", verdict.problems);
             assert!(verdict.spans > 100, "seed {seed}: suspiciously few spans");
-            let soak_roots =
-                rec.spans().filter(|s| s.name == "soak.read" && s.parent.is_none()).count();
+            let soak_roots = rec
+                .spans()
+                .filter(|s| s.name == "soak.read" && s.parent.is_none())
+                .count();
             // +2: the priming reads are traced but not counted in the report.
             assert_eq!(
                 soak_roots as u64,
@@ -258,8 +279,14 @@ mod tests {
     #[test]
     #[ignore]
     fn trace_overhead_measurement() {
-        let traced_cfg = SoakConfig { trace_capacity: Some(TRACE_CAPACITY), ..SoakConfig::new(7) };
-        let untraced_cfg = SoakConfig { trace_capacity: None, ..traced_cfg };
+        let traced_cfg = SoakConfig {
+            trace_capacity: Some(TRACE_CAPACITY),
+            ..SoakConfig::new(7)
+        };
+        let untraced_cfg = SoakConfig {
+            trace_capacity: None,
+            ..traced_cfg
+        };
         let reps = 50;
         // Warm both paths once, then time.
         run_soak_traced(&traced_cfg);
@@ -286,7 +313,7 @@ mod tests {
     #[ignore]
     fn b2_trace_overhead_measurement() {
         let reps = 100;
-        let mut time_reads = |tracing: bool| {
+        let time_reads = |tracing: bool| {
             let mut w = crate::helpers::sensor_world(256, 7);
             let name = w.flat_composite("All");
             if tracing {
@@ -320,6 +347,9 @@ mod tests {
             assert!(v.passed(), "storm seed {seed}: {:#?}", v.problems);
             non_ok_roots += v.degraded_roots + v.error_roots;
         }
-        assert!(non_ok_roots > 0, "no storm seed produced a degraded/failed read");
+        assert!(
+            non_ok_roots > 0,
+            "no storm seed produced a degraded/failed read"
+        );
     }
 }

@@ -61,9 +61,7 @@ impl SensorInfo {
             service_type: ctx.get_str("info/type")?.to_string(),
             uuid: ctx.get_str("info/uuid").unwrap_or_default().to_string(),
             contained: match ctx.get("info/contained") {
-                Some(sensorcer_expr::Value::List(xs)) => {
-                    xs.iter().map(|v| v.to_string()).collect()
-                }
+                Some(sensorcer_expr::Value::List(xs)) => xs.iter().map(|v| v.to_string()).collect(),
                 _ => Vec::new(),
             },
             expression: ctx.get_str("info/expression").map(str::to_string),
@@ -79,9 +77,7 @@ impl SensorInfo {
         ctx.put("info/uuid", self.uuid.as_str());
         ctx.put(
             "info/contained",
-            sensorcer_expr::Value::List(
-                self.contained.iter().map(|s| s.as_str().into()).collect(),
-            ),
+            sensorcer_expr::Value::List(self.contained.iter().map(|s| s.as_str().into()).collect()),
         );
         if let Some(e) = &self.expression {
             ctx.put("info/expression", e.as_str());
@@ -105,7 +101,10 @@ impl SensorReading {
     pub fn from_context(ctx: &Context) -> Option<SensorReading> {
         Some(SensorReading {
             value: ctx.get_f64(paths::SENSOR_VALUE)?,
-            unit: ctx.get_str(paths::SENSOR_UNIT).unwrap_or_default().to_string(),
+            unit: ctx
+                .get_str(paths::SENSOR_UNIT)
+                .unwrap_or_default()
+                .to_string(),
             at_ns: ctx.get_f64(paths::SENSOR_AT).unwrap_or(0.0) as u64,
             good: ctx.get_str(paths::SENSOR_QUALITY) != Some("suspect"),
         })
@@ -230,9 +229,10 @@ pub mod client {
         let done = exert(env, from, task.into(), accessor, None);
         match done.status() {
             ExertionStatus::Done => match done.context().get("history/values") {
-                Some(sensorcer_expr::Value::List(xs)) => {
-                    Ok(xs.iter().filter_map(sensorcer_expr::Value::as_f64).collect())
-                }
+                Some(sensorcer_expr::Value::List(xs)) => Ok(xs
+                    .iter()
+                    .filter_map(sensorcer_expr::Value::as_f64)
+                    .collect()),
                 _ => Ok(Vec::new()),
             },
             ExertionStatus::Failed(e) => Err(e.clone()),

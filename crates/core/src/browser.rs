@@ -113,8 +113,9 @@ impl BrowserModel {
                 Transition::NoMatchToMatch | Transition::MatchToMatch => {
                     let Some(item) = &ev.item else { continue };
                     let name = name_of(&item.attributes).unwrap_or("(unnamed)").to_string();
-                    let service_type =
-                        service_type_of(&item.attributes).unwrap_or("UNKNOWN").to_string();
+                    let service_type = service_type_of(&item.attributes)
+                        .unwrap_or("UNKNOWN")
+                        .to_string();
                     match self.services.iter_mut().find(|(n, _)| *n == name) {
                         Some(row) => row.1 = service_type,
                         None => {
@@ -162,7 +163,10 @@ pub fn render_info(info: &SensorInfo) -> String {
     out.push_str(&format!("  Service Type:: {}\n", info.service_type));
     out.push_str(&format!("  Service ID:: {}\n", info.uuid));
     if !info.contained.is_empty() {
-        out.push_str(&format!("  Contained Services: {}\n", info.contained.join(", ")));
+        out.push_str(&format!(
+            "  Contained Services: {}\n",
+            info.contained.join(", ")
+        ));
     }
     if let Some(expr) = &info.expression {
         out.push_str(&format!("  Compute Expression: {expr}\n"));
@@ -214,7 +218,9 @@ mod tests {
         let d = standard_deployment(&mut env, &config);
 
         let mut model = BrowserModel::new();
-        model.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+        model
+            .refresh_services(&mut env, d.workstation, d.facade)
+            .unwrap();
         model
             .select_service(&mut env, d.workstation, d.facade, "Neem-Sensor")
             .unwrap();
@@ -243,7 +249,9 @@ mod tests {
         let mut env = Env::with_seed(config.seed);
         let d = standard_deployment(&mut env, &config);
         let mut model = BrowserModel::new();
-        model.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+        model
+            .refresh_services(&mut env, d.workstation, d.facade)
+            .unwrap();
         model.refresh_values(&mut env, d.workstation, d.facade);
         assert_eq!(model.values.len(), 4);
         assert!(model.values.iter().all(|(_, r)| r.is_ok()));
@@ -257,7 +265,11 @@ mod tests {
             name: "Composite-Service".into(),
             service_type: "COMPOSITE".into(),
             uuid: "267c67a0-dd67-4b95-beb0-e6763e117b03".into(),
-            contained: vec!["Neem-Sensor".into(), "Jade-Sensor".into(), "Diamond-Sensor".into()],
+            contained: vec![
+                "Neem-Sensor".into(),
+                "Jade-Sensor".into(),
+                "Diamond-Sensor".into(),
+            ],
             expression: Some("(a + b + c)/3".into()),
             unit: "°C".into(),
             battery: 1.0,
@@ -277,7 +289,9 @@ mod tests {
         let d = standard_deployment(&mut env, &config);
 
         let mut model = BrowserModel::new();
-        model.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+        model
+            .refresh_services(&mut env, d.workstation, d.facade)
+            .unwrap();
         BrowserModel::subscribe(&mut env, d.workstation, d.lus, &d.mailbox).unwrap();
 
         // A new sensor joins the network: the model learns about it from
@@ -298,25 +312,33 @@ mod tests {
                 )
             },
         );
-        let applied = model.pull_events(&mut env, d.workstation, &d.mailbox).unwrap();
+        let applied = model
+            .pull_events(&mut env, d.workstation, &d.mailbox)
+            .unwrap();
         assert!(applied >= 1);
         assert!(model.services.iter().any(|(n, _)| n == "Latecomer"));
 
         // Its short lease lapses: the departure event removes the row.
         env.run_for(sensorcer_sim::time::SimDuration::from_secs(10));
-        model.pull_events(&mut env, d.workstation, &d.mailbox).unwrap();
+        model
+            .pull_events(&mut env, d.workstation, &d.mailbox)
+            .unwrap();
         assert!(!model.services.iter().any(|(n, _)| n == "Latecomer"));
 
         // The event-driven model agrees with a full refresh.
         let mut fresh = BrowserModel::new();
-        fresh.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+        fresh
+            .refresh_services(&mut env, d.workstation, d.facade)
+            .unwrap();
         assert_eq!(model.services, fresh.services);
     }
 
     #[test]
     fn error_readings_render_without_panicking() {
         let mut model = BrowserModel::new();
-        model.values.push(("Ghost".into(), Err("no provider".into())));
+        model
+            .values
+            .push(("Ghost".into(), Err("no provider".into())));
         let panel = render_values(&model);
         assert!(panel.contains("Ghost"));
         assert!(panel.contains("no provider"));

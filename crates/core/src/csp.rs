@@ -302,10 +302,14 @@ impl CompositeSensorProvider {
                     env.span_end(span, Outcome::Error);
                 }
                 _ => {
-                    let substituted =
-                        task.context.get_str(paths::SENSOR_SUBSTITUTED).map(str::to_string);
-                    let missing =
-                        task.context.get_str(paths::SENSOR_MISSING).map(str::to_string);
+                    let substituted = task
+                        .context
+                        .get_str(paths::SENSOR_SUBSTITUTED)
+                        .map(str::to_string);
+                    let missing = task
+                        .context
+                        .get_str(paths::SENSOR_MISSING)
+                        .map(str::to_string);
                     let degraded = substituted.is_some() || missing.is_some();
                     if let Some(s) = substituted {
                         env.span_field(span, "substituted", s);
@@ -315,7 +319,11 @@ impl CompositeSensorProvider {
                     }
                     env.span_end(
                         span,
-                        if degraded { Outcome::Degraded } else { Outcome::Ok },
+                        if degraded {
+                            Outcome::Degraded
+                        } else {
+                            Outcome::Ok
+                        },
                     );
                 }
             }
@@ -325,7 +333,10 @@ impl CompositeSensorProvider {
     fn get_value_inner(&mut self, env: &mut Env, task: &mut Task) {
         self.reads_total += 1;
         if self.children.is_empty() {
-            task.fail(format!("composite '{}' has no composed services", self.name));
+            task.fail(format!(
+                "composite '{}' has no composed services",
+                self.name
+            ));
             return;
         }
 
@@ -335,7 +346,10 @@ impl CompositeSensorProvider {
             Some(Value::List(xs)) => xs.clone(),
             _ => Vec::new(),
         };
-        if visited.iter().any(|v| matches!(v, Value::Str(s) if s == &self.name)) {
+        if visited
+            .iter()
+            .any(|v| matches!(v, Value::Str(s) if s == &self.name))
+        {
             task.fail(format!("composition cycle detected at '{}'", self.name));
             return;
         }
@@ -584,7 +598,11 @@ impl CompositeSensorProvider {
                         // degraded reads of this child.
                         self.last_good.insert(
                             self.plans[idx].service_name.to_string(),
-                            LastGood { value: v, unit: u.clone(), at: now },
+                            LastGood {
+                                value: v,
+                                unit: u.clone(),
+                                at: now,
+                            },
                         );
                     }
                     readings.push((var, v));
@@ -606,15 +624,13 @@ impl CompositeSensorProvider {
         if !errors.is_empty() {
             match self.degradation {
                 DegradationPolicy::Strict => {
-                    let msgs: Vec<&str> =
-                        errors.iter().map(|(_, _, e)| e.as_str()).collect();
+                    let msgs: Vec<&str> = errors.iter().map(|(_, _, e)| e.as_str()).collect();
                     task.fail(format!("component read failures: {}", msgs.join("; ")));
                     return;
                 }
                 DegradationPolicy::Quorum(n) => {
                     if readings.len() < n {
-                        let msgs: Vec<&str> =
-                            errors.iter().map(|(_, _, e)| e.as_str()).collect();
+                        let msgs: Vec<&str> = errors.iter().map(|(_, _, e)| e.as_str()).collect();
                         task.fail(format!(
                             "quorum not met: {} of {} children answered (need {}); {}",
                             readings.len(),
@@ -644,11 +660,8 @@ impl CompositeSensorProvider {
                                         ],
                                     );
                                 }
-                                env.metrics.add_labeled(
-                                    keys::SUBSTITUTED_CHILDREN,
-                                    &child,
-                                    1,
-                                );
+                                env.metrics
+                                    .add_labeled(keys::SUBSTITUTED_CHILDREN, &child, 1);
                                 substituted.push(child);
                             }
                             None => {
@@ -687,11 +700,8 @@ impl CompositeSensorProvider {
                                         ],
                                     );
                                 }
-                                env.metrics.add_labeled(
-                                    keys::SUBSTITUTED_CHILDREN,
-                                    &child,
-                                    1,
-                                );
+                                env.metrics
+                                    .add_labeled(keys::SUBSTITUTED_CHILDREN, &child, 1);
                                 substituted.push(child);
                             }
                             _ => {
@@ -713,7 +723,8 @@ impl CompositeSensorProvider {
             }
             all_good = false;
             env.metrics.add(keys::DEGRADED_READS, 1);
-            env.metrics.add(keys::SUBSTITUTED_CHILDREN, substituted.len() as u64);
+            env.metrics
+                .add(keys::SUBSTITUTED_CHILDREN, substituted.len() as u64);
         }
 
         // The expression evaluation gets its own span: a read that fails
@@ -757,9 +768,7 @@ impl CompositeSensorProvider {
                 }
             }
             // Default aggregation when no expression is installed.
-            None => {
-                readings.iter().map(|(_, v)| v).sum::<f64>() / readings.len() as f64
-            }
+            None => readings.iter().map(|(_, v)| v).sum::<f64>() / readings.len() as f64,
         };
         env.span_end(eval_span, Outcome::Ok);
         let value = self.calibration.apply(computed);
@@ -767,11 +776,15 @@ impl CompositeSensorProvider {
         task.context.put(paths::SENSOR_VALUE, value);
         task.context.put(paths::RESULT, value);
         task.context.put(paths::SENSOR_UNIT, unit.as_str());
-        task.context.put(paths::SENSOR_AT, env.now().as_nanos() as f64);
         task.context
-            .put(paths::SENSOR_QUALITY, if all_good { "good" } else { "suspect" });
+            .put(paths::SENSOR_AT, env.now().as_nanos() as f64);
+        task.context.put(
+            paths::SENSOR_QUALITY,
+            if all_good { "good" } else { "suspect" },
+        );
         if !substituted.is_empty() {
-            task.context.put(paths::SENSOR_SUBSTITUTED, substituted.join(","));
+            task.context
+                .put(paths::SENSOR_SUBSTITUTED, substituted.join(","));
         }
         if !missing.is_empty() {
             task.context.put(paths::SENSOR_MISSING, missing.join(","));
@@ -784,7 +797,11 @@ impl CompositeSensorProvider {
             name: self.name.clone(),
             service_type: "COMPOSITE".into(),
             uuid: self.uuid.clone(),
-            contained: self.children.iter().map(|c| c.service_name.clone()).collect(),
+            contained: self
+                .children
+                .iter()
+                .map(|c| c.service_name.clone())
+                .collect(),
             expression: self.expression_source().map(str::to_string),
             unit: String::new(),
             battery: 1.0,
@@ -812,7 +829,10 @@ impl CompositeSensorProvider {
                 Some(src) => self.set_expression(src),
                 None => Err("setExpression needs arg/expression".into()),
             },
-            other => Err(format!("'{}' has no management operation '{other}'", self.name)),
+            other => Err(format!(
+                "'{}' has no management operation '{other}'",
+                self.name
+            )),
         };
         match outcome {
             Ok(()) => task.status = ExertionStatus::Done,
@@ -926,9 +946,14 @@ pub fn deploy_csp(env: &mut Env, config: CspConfig) -> Result<CspHandle, String>
             interfaces::COMPOSITE_MANAGEMENT.into(),
             interfaces::SERVICER.into(),
         ],
-        vec![Entry::Name(config.name.clone()), Entry::ServiceType("COMPOSITE".into())],
+        vec![
+            Entry::Name(config.name.clone()),
+            Entry::ServiceType("COMPOSITE".into()),
+        ],
     );
-    let registration = config.lus.register(env, config.host, item, Some(config.lease));
+    let registration = config
+        .lus
+        .register(env, config.host, item, Some(config.lease));
     if let Ok(reg) = registration {
         let _ = env.with_service(service, |_env, sb: &mut ServicerBox| {
             if let Some(csp) = sb.downcast_mut::<CompositeSensorProvider>() {
@@ -939,7 +964,10 @@ pub fn deploy_csp(env: &mut Env, config: CspConfig) -> Result<CspHandle, String>
             renewal.manage(env, config.host, config.lus, reg.lease, config.lease);
         }
     }
-    Ok(CspHandle { service, host: config.host })
+    Ok(CspHandle {
+        service,
+        host: config.host,
+    })
 }
 
 #[cfg(test)]
@@ -973,7 +1001,13 @@ mod tests {
             SimDuration::from_millis(500),
         );
         let accessor = ServiceAccessor::new(vec![lus]);
-        World { env, client, server, lus, accessor }
+        World {
+            env,
+            client,
+            server,
+            lus,
+            accessor,
+        }
     }
 
     fn add_esp(w: &mut World, name: &str, value: f64) -> HostId {
@@ -998,8 +1032,11 @@ mod tests {
         add_esp(&mut w, "Jade-Sensor", 22.0);
         add_esp(&mut w, "Diamond-Sensor", 27.0);
         let mut cfg = CspConfig::new(w.server, "Composite-Service", w.lus);
-        cfg.children =
-            vec!["Neem-Sensor".into(), "Jade-Sensor".into(), "Diamond-Sensor".into()];
+        cfg.children = vec![
+            "Neem-Sensor".into(),
+            "Jade-Sensor".into(),
+            "Diamond-Sensor".into(),
+        ];
         cfg.expression = Some("(a + b + c)/3".into());
         deploy_csp(&mut w.env, cfg).unwrap();
 
@@ -1018,7 +1055,11 @@ mod tests {
         add_esp(&mut w, "Diamond-Sensor", 27.0);
         add_esp(&mut w, "Coral-Sensor", 25.0);
         let mut sub = CspConfig::new(w.server, "Composite-Service", w.lus);
-        sub.children = vec!["Neem-Sensor".into(), "Jade-Sensor".into(), "Diamond-Sensor".into()];
+        sub.children = vec![
+            "Neem-Sensor".into(),
+            "Jade-Sensor".into(),
+            "Diamond-Sensor".into(),
+        ];
         sub.expression = Some("(a + b + c)/3".into());
         deploy_csp(&mut w.env, sub).unwrap();
 
@@ -1051,8 +1092,7 @@ mod tests {
         assert_eq!(variable_for(26), "v26");
 
         let mut w = setup();
-        let mut csp =
-            CompositeSensorProvider::new("C", w.server, w.accessor.clone());
+        let mut csp = CompositeSensorProvider::new("C", w.server, w.accessor.clone());
         assert_eq!(csp.add_service("X").unwrap(), "a");
         assert_eq!(csp.add_service("Y").unwrap(), "b");
         assert!(csp.add_service("Y").is_err(), "duplicates rejected");
@@ -1072,11 +1112,23 @@ mod tests {
         assert_eq!(
             csp.children(),
             &[
-                Child { var: "a".into(), service_name: "X".into(), group: None },
-                Child { var: "b".into(), service_name: "Z".into(), group: None }
+                Child {
+                    var: "a".into(),
+                    service_name: "X".into(),
+                    group: None
+                },
+                Child {
+                    var: "b".into(),
+                    service_name: "Z".into(),
+                    group: None
+                }
             ]
         );
-        assert_eq!(csp.expression_source(), None, "expression using 'c' must drop");
+        assert_eq!(
+            csp.expression_source(),
+            None,
+            "expression using 'c' must drop"
+        );
         csp.set_expression("a - b").unwrap();
         assert!(csp.remove_service("Nope").is_err());
     }
@@ -1195,7 +1247,10 @@ mod tests {
             Signal::Constant(20.0),
             SimRng::new(5),
         );
-        deploy_esp(&mut w.env, EspConfig::new(mote, "Sus", Box::new(probe), w.lus));
+        deploy_esp(
+            &mut w.env,
+            EspConfig::new(mote, "Sus", Box::new(probe), w.lus),
+        );
         // Prime the store, then swap to full dropout.
         client::get_value(&mut w.env, w.client, &w.accessor, "Sus").unwrap();
         let svc = w.env.find_service("Sus").unwrap();
@@ -1232,13 +1287,20 @@ mod tests {
         add_esp(&mut w, "A", 10.0);
         let handle = deploy_csp(
             &mut w.env,
-            CspConfig { children: vec!["A".into()], ..CspConfig::new(w.server, "C", w.lus) },
+            CspConfig {
+                children: vec!["A".into()],
+                ..CspConfig::new(w.server, "C", w.lus)
+            },
         )
         .unwrap();
         w.env
             .with_service(handle.service, |_e, sb: &mut ServicerBox| {
-                sb.downcast_mut::<CompositeSensorProvider>().unwrap().calibration =
-                    Calibration::Linear { gain: 1.8, offset: 32.0 }; // °C → °F
+                sb.downcast_mut::<CompositeSensorProvider>()
+                    .unwrap()
+                    .calibration = Calibration::Linear {
+                    gain: 1.8,
+                    offset: 32.0,
+                }; // °C → °F
             })
             .unwrap();
         let r = client::get_value(&mut w.env, w.client, &w.accessor, "C").unwrap();
@@ -1272,9 +1334,7 @@ mod tests {
         }
         // Keep the backup alive with its own renewal.
         let renewal = sensorcer_registry::renewal::LeaseRenewalService::deploy(
-            &mut w.env,
-            w.server,
-            "Renewal",
+            &mut w.env, w.server, "Renewal",
         );
         // Re-register the backup with renewal so only the primary lapses.
         let backup_svc = w.env.find_service("GH-Backup").unwrap();
@@ -1285,18 +1345,31 @@ mod tests {
             vec![interfaces::SENSOR_DATA_ACCESSOR.into()],
             vec![
                 Entry::Name("GH-Backup".into()),
-                Entry::Custom { key: EQUIVALENCE_GROUP_KEY.into(), value: "greenhouse".into() },
+                Entry::Custom {
+                    key: EQUIVALENCE_GROUP_KEY.into(),
+                    value: "greenhouse".into(),
+                },
             ],
         );
-        let reg = w.lus.register(&mut w.env, motes[1], item, Some(SimDuration::from_secs(5))).unwrap();
-        renewal.manage(&mut w.env, motes[1], w.lus, reg.lease, SimDuration::from_secs(5));
+        let reg = w
+            .lus
+            .register(&mut w.env, motes[1], item, Some(SimDuration::from_secs(5)))
+            .unwrap();
+        renewal.manage(
+            &mut w.env,
+            motes[1],
+            w.lus,
+            reg.lease,
+            SimDuration::from_secs(5),
+        );
 
         // Composite pinned to the primary, with the group as fallback.
         let handle = deploy_csp(&mut w.env, CspConfig::new(w.server, "GH", w.lus)).unwrap();
         w.env
             .with_service(handle.service, |_e, sb: &mut ServicerBox| {
                 let csp = sb.downcast_mut::<CompositeSensorProvider>().unwrap();
-                csp.add_service_grouped("GH-Primary", Some("greenhouse".into())).unwrap();
+                csp.add_service_grouped("GH-Primary", Some("greenhouse".into()))
+                    .unwrap();
             })
             .unwrap();
 
@@ -1355,7 +1428,10 @@ mod tests {
             })
             .unwrap();
         let r = client::get_value(&mut w.env, w.client, &w.accessor, "P").unwrap();
-        assert_eq!(r.value, 42.0, "backup answers even though the primary is reachable");
+        assert_eq!(
+            r.value, 42.0,
+            "backup answers even though the primary is reachable"
+        );
     }
 
     #[test]
@@ -1425,7 +1501,10 @@ mod tests {
             .unwrap();
 
         let err = client::get_value(&mut w.env, w.client, &w.accessor, "DP").unwrap_err();
-        assert!(err.contains("'Dead-A'"), "primary error must be named: {err}");
+        assert!(
+            err.contains("'Dead-A'"),
+            "primary error must be named: {err}"
+        );
         assert!(
             err.contains("equivalent") && err.contains("'Dead-B'"),
             "equivalent's own error must be included: {err}"
@@ -1523,8 +1602,7 @@ mod tests {
         deploy_csp(&mut w.env, cfg).unwrap();
 
         // Prime: clean read populates the last-known-good cache.
-        let (r, d) =
-            client::get_value_detailed(&mut w.env, w.client, &w.accessor, "Q").unwrap();
+        let (r, d) = client::get_value_detailed(&mut w.env, w.client, &w.accessor, "Q").unwrap();
         assert_eq!(r.value, 20.0);
         assert!(r.good && !d.is_degraded());
 
@@ -1532,8 +1610,7 @@ mod tests {
         // substitutes, so the average is unchanged — but flagged.
         w.env.topo.partition(w.server, s2_mote);
         w.env.run_for(SimDuration::from_secs(5));
-        let (r, d) =
-            client::get_value_detailed(&mut w.env, w.client, &w.accessor, "Q").unwrap();
+        let (r, d) = client::get_value_detailed(&mut w.env, w.client, &w.accessor, "Q").unwrap();
         assert_eq!(r.value, 20.0, "last-known-good 30.0 substitutes for S2");
         assert!(!r.good, "degraded read must be flagged suspect");
         assert_eq!(d.substituted, vec!["S2".to_string()]);
@@ -1544,9 +1621,11 @@ mod tests {
         // Heal: the composite reconverges to clean on the next read.
         w.env.topo.heal(w.server, s2_mote);
         w.env.run_for(SimDuration::from_secs(5));
-        let (r, d) =
-            client::get_value_detailed(&mut w.env, w.client, &w.accessor, "Q").unwrap();
-        assert!(r.good && !d.is_degraded(), "post-heal reads reconverge to clean");
+        let (r, d) = client::get_value_detailed(&mut w.env, w.client, &w.accessor, "Q").unwrap();
+        assert!(
+            r.good && !d.is_degraded(),
+            "post-heal reads reconverge to clean"
+        );
         assert_eq!(r.value, 20.0);
     }
 
@@ -1585,8 +1664,7 @@ mod tests {
         // S2 dies before the composite ever reads it.
         w.env.crash_host(mote);
         w.env.run_for(SimDuration::from_secs(5));
-        let (r, d) =
-            client::get_value_detailed(&mut w.env, w.client, &w.accessor, "Q").unwrap();
+        let (r, d) = client::get_value_detailed(&mut w.env, w.client, &w.accessor, "Q").unwrap();
         assert_eq!(r.value, 15.0, "average skips the missing child");
         assert!(!r.good);
         assert!(d.substituted.is_empty());
@@ -1603,16 +1681,16 @@ mod tests {
         // Long lease: the test waits out the LKG max_age, and the
         // composite itself must stay registered that long.
         cfg.lease = SimDuration::from_secs(300);
-        cfg.degradation =
-            DegradationPolicy::LastKnownGood { max_age: SimDuration::from_secs(120) };
+        cfg.degradation = DegradationPolicy::LastKnownGood {
+            max_age: SimDuration::from_secs(120),
+        };
         deploy_csp(&mut w.env, cfg).unwrap();
         client::get_value(&mut w.env, w.client, &w.accessor, "K").unwrap();
 
         w.env.crash_host(mote);
         w.env.run_for(SimDuration::from_secs(5));
         // Within max_age: substituted, flagged.
-        let (r, d) =
-            client::get_value_detailed(&mut w.env, w.client, &w.accessor, "K").unwrap();
+        let (r, d) = client::get_value_detailed(&mut w.env, w.client, &w.accessor, "K").unwrap();
         assert_eq!(r.value, 20.0);
         assert!(!r.good);
         assert_eq!(d.substituted, vec!["S1".to_string()]);
@@ -1664,10 +1742,13 @@ mod tests {
         let server = w.server;
         w.env.topo.partition(server, mote);
         let at = w.env.now() + SimDuration::from_secs(5);
-        w.env.schedule_at(at, move |env| env.topo.heal(server, mote));
-        let (r, d) =
-            client::get_value_detailed(&mut w.env, w.client, &w.accessor, "R").unwrap();
+        w.env
+            .schedule_at(at, move |env| env.topo.heal(server, mote));
+        let (r, d) = client::get_value_detailed(&mut w.env, w.client, &w.accessor, "R").unwrap();
         assert_eq!(r.value, 15.0);
-        assert!(r.good && !d.is_degraded(), "retried read is clean, not degraded");
+        assert!(
+            r.good && !d.is_degraded(),
+            "retried read is clean, not degraded"
+        );
     }
 }

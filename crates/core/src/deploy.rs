@@ -54,9 +54,14 @@ impl DeploymentConfig {
         DeploymentConfig {
             seed: 0x5E2509,
             group: "public".into(),
-            sensor_names: ["Neem-Sensor", "Jade-Sensor", "Coral-Sensor", "Diamond-Sensor"]
-                .map(String::from)
-                .to_vec(),
+            sensor_names: [
+                "Neem-Sensor",
+                "Jade-Sensor",
+                "Coral-Sensor",
+                "Diamond-Sensor",
+            ]
+            .map(String::from)
+            .to_vec(),
             cybernodes: 2,
             lease: SimDuration::from_secs(30),
             sample_every: Some(SimDuration::from_secs(5)),
@@ -125,9 +130,21 @@ pub fn standard_deployment(env: &mut Env, config: &DeploymentConfig) -> Deployme
     // paper's Fig. 2 shows (Transaction Manager, Lease Renewal Service,
     // Event Mailbox all appear in the Inca X service tree).
     for (name, iface, service) in [
-        ("Transaction Manager", sensorcer_registry::ids::interfaces::TRANSACTION_MANAGER, tm.service),
-        ("Lease Renewal Service", sensorcer_registry::ids::interfaces::LEASE_RENEWAL, renewal.service),
-        ("Event Mailbox", sensorcer_registry::ids::interfaces::EVENT_MAILBOX, mailbox.service),
+        (
+            "Transaction Manager",
+            sensorcer_registry::ids::interfaces::TRANSACTION_MANAGER,
+            tm.service,
+        ),
+        (
+            "Lease Renewal Service",
+            sensorcer_registry::ids::interfaces::LEASE_RENEWAL,
+            renewal.service,
+        ),
+        (
+            "Event Mailbox",
+            sensorcer_registry::ids::interfaces::EVENT_MAILBOX,
+            mailbox.service,
+        ),
     ] {
         let item = sensorcer_registry::item::ServiceItem::new(
             sensorcer_registry::ids::SvcUuid::NIL,
@@ -168,6 +185,7 @@ pub fn standard_deployment(env: &mut Env, config: &DeploymentConfig) -> Deployme
         env.with_service(monitor.service, |_e, m: &mut ProvisionMonitor| {
             m.register_cybernode(node)
         })
+        // lint:allow(unwrap): the monitor is deployed a few lines up
         .expect("monitor deployed above");
         cybernodes.push(node);
         cybernode_hosts.push(host);
@@ -196,8 +214,13 @@ pub fn standard_deployment(env: &mut Env, config: &DeploymentConfig) -> Deployme
     // --- Rendezvous + façade ----------------------------------------------
     let accessor = ServiceAccessor::new(vec![lus]);
     Jobber::deploy(env, lab, "Jobber", accessor.clone());
-    let facade =
-        SensorcerFacade::deploy(env, lab, "SenSORCER Facade", accessor.clone(), Some(monitor));
+    let facade = SensorcerFacade::deploy(
+        env,
+        lab,
+        "SenSORCER Facade",
+        accessor.clone(),
+        Some(monitor),
+    );
 
     Deployment {
         lab,
@@ -242,7 +265,10 @@ mod tests {
             "SenSORCER Facade",
             "Jobber",
         ] {
-            assert!(names.contains(&expected), "missing {expected}; have {names:?}");
+            assert!(
+                names.contains(&expected),
+                "missing {expected}; have {names:?}"
+            );
         }
         // The LUS itself registers? No — it *is* the registry; the browser
         // sees it because the facade lists it explicitly via its handle.
@@ -277,7 +303,10 @@ mod tests {
         let mut env = Env::with_seed(config.seed);
         let d = standard_deployment(&mut env, &config);
         assert_eq!(d.esps.len(), 10);
-        let r = d.facade.get_value(&mut env, d.workstation, "Sensor-007").unwrap();
+        let r = d
+            .facade
+            .get_value(&mut env, d.workstation, "Sensor-007")
+            .unwrap();
         assert!(r.value.is_finite());
     }
 }

@@ -96,7 +96,10 @@ impl ElementarySensorProvider {
                 // this is exactly why §III.B wants a local store.
                 match self.store.latest().copied() {
                     Some(m) => {
-                        let stale = Measurement { quality: Quality::Suspect, ..m };
+                        let stale = Measurement {
+                            quality: Quality::Suspect,
+                            ..m
+                        };
                         write_measurement(&mut task.context, &stale);
                         task.status = ExertionStatus::Done;
                     }
@@ -107,22 +110,28 @@ impl ElementarySensorProvider {
         }
         if let (Some(host), true) = (self.host, matches!(task.status, ExertionStatus::Done)) {
             let now_ns = env.now().as_nanos() as f64;
-            env.metrics.set_host_gauge(host, gauges::LAST_READ_NS, now_ns);
-            env.metrics.set_host_gauge(host, gauges::BATTERY, self.probe.battery_level());
+            env.metrics
+                .set_host_gauge(host, gauges::LAST_READ_NS, now_ns);
+            env.metrics
+                .set_host_gauge(host, gauges::BATTERY, self.probe.battery_level());
         }
     }
 
     fn handle_get_history(&mut self, task: &mut Task) {
         let count = task.context.get_f64("arg/count").unwrap_or(16.0).max(0.0) as usize;
         let recent = self.store.recent(count);
-        let values: Vec<sensorcer_expr::Value> =
-            recent.iter().map(|m| sensorcer_expr::Value::Float(m.value)).collect();
+        let values: Vec<sensorcer_expr::Value> = recent
+            .iter()
+            .map(|m| sensorcer_expr::Value::Float(m.value))
+            .collect();
         let times: Vec<sensorcer_expr::Value> = recent
             .iter()
             .map(|m| sensorcer_expr::Value::Int(m.at.as_nanos() as i64))
             .collect();
-        task.context.put("history/values", sensorcer_expr::Value::List(values));
-        task.context.put("history/times", sensorcer_expr::Value::List(times));
+        task.context
+            .put("history/values", sensorcer_expr::Value::List(values));
+        task.context
+            .put("history/times", sensorcer_expr::Value::List(times));
         task.status = ExertionStatus::Done;
     }
 
@@ -147,7 +156,10 @@ pub fn write_measurement(ctx: &mut Context, m: &Measurement) {
     ctx.put(paths::RESULT, m.value);
     ctx.put(paths::SENSOR_UNIT, m.unit.symbol());
     ctx.put(paths::SENSOR_AT, m.at.as_nanos() as f64);
-    ctx.put(paths::SENSOR_QUALITY, if m.is_good() { "good" } else { "suspect" });
+    ctx.put(
+        paths::SENSOR_QUALITY,
+        if m.is_good() { "good" } else { "suspect" },
+    );
 }
 
 impl Servicer for ElementarySensorProvider {
@@ -257,7 +269,11 @@ pub fn deploy_esp(env: &mut Env, config: EspConfig) -> EspHandle {
         Entry::ServiceType("ELEMENTARY".into()),
     ];
     if let Some((building, floor, room)) = config.location {
-        attributes.push(Entry::Location { building, floor, room });
+        attributes.push(Entry::Location {
+            building,
+            floor,
+            room,
+        });
     }
     if let Some(group) = config.equivalence_group {
         attributes.push(Entry::Custom {
@@ -269,10 +285,15 @@ pub fn deploy_esp(env: &mut Env, config: EspConfig) -> EspHandle {
         SvcUuid::NIL,
         config.host,
         service,
-        vec![interfaces::SENSOR_DATA_ACCESSOR.into(), interfaces::SERVICER.into()],
+        vec![
+            interfaces::SENSOR_DATA_ACCESSOR.into(),
+            interfaces::SERVICER.into(),
+        ],
         attributes,
     );
-    let registration = config.lus.register(env, config.host, item, Some(config.lease));
+    let registration = config
+        .lus
+        .register(env, config.host, item, Some(config.lease));
     if let Ok(reg) = registration {
         let _ = env.with_service(service, |_env, sb: &mut ServicerBox| {
             if let Some(esp) = sb.downcast_mut::<ElementarySensorProvider>() {
@@ -295,7 +316,10 @@ pub fn deploy_esp(env: &mut Env, config: EspConfig) -> EspHandle {
         });
     }
 
-    EspHandle { service, host: config.host }
+    EspHandle {
+        service,
+        host: config.host,
+    }
 }
 
 #[cfg(test)]
@@ -328,7 +352,13 @@ mod tests {
             SimDuration::from_millis(500),
         );
         let accessor = ServiceAccessor::new(vec![lus]);
-        World { env, client, mote, lus, accessor }
+        World {
+            env,
+            client,
+            mote,
+            lus,
+            accessor,
+        }
     }
 
     fn scripted(values: Vec<f64>) -> Box<dyn SensorProbe> {
@@ -342,11 +372,15 @@ mod tests {
             &mut w.env,
             EspConfig::new(w.mote, "Neem-Sensor", scripted(vec![21.25]), w.lus),
         );
-        let reading =
-            client::get_value(&mut w.env, w.client, &w.accessor, "Neem-Sensor").unwrap();
+        let reading = client::get_value(&mut w.env, w.client, &w.accessor, "Neem-Sensor").unwrap();
         assert_eq!(
             reading,
-            SensorReading { value: 21.25, unit: "°C".into(), at_ns: reading.at_ns, good: true }
+            SensorReading {
+                value: 21.25,
+                unit: "°C".into(),
+                at_ns: reading.at_ns,
+                good: true
+            }
         );
     }
 
@@ -381,13 +415,20 @@ mod tests {
         let hist =
             client::get_history(&mut w.env, w.client, &w.accessor, "Neem-Sensor", 3).unwrap();
         assert_eq!(hist.len(), 3);
-        assert_eq!(hist, vec![3.0, 1.0, 2.0], "cycling script, last 3 of 5 samples");
+        assert_eq!(
+            hist,
+            vec![3.0, 1.0, 2.0],
+            "cycling script, last 3 of 5 samples"
+        );
     }
 
     #[test]
     fn unknown_selector_fails() {
         let mut w = setup();
-        deploy_esp(&mut w.env, EspConfig::new(w.mote, "N", scripted(vec![1.0]), w.lus));
+        deploy_esp(
+            &mut w.env,
+            EspConfig::new(w.mote, "N", scripted(vec![1.0]), w.lus),
+        );
         let task = Task::new(
             "bad",
             Signature::new(interfaces::SENSOR_DATA_ACCESSOR, "selfDestruct").on("N"),
@@ -405,8 +446,14 @@ mod tests {
             Signal::Constant(20.0),
             SimRng::new(9),
         )
-        .with_faults(FaultInjector::new(FaultModel { dropout_prob: 0.0, ..Default::default() }));
-        deploy_esp(&mut w.env, EspConfig::new(w.mote, "D", Box::new(probe), w.lus));
+        .with_faults(FaultInjector::new(FaultModel {
+            dropout_prob: 0.0,
+            ..Default::default()
+        }));
+        deploy_esp(
+            &mut w.env,
+            EspConfig::new(w.mote, "D", Box::new(probe), w.lus),
+        );
         // First read fills the store.
         let r1 = client::get_value(&mut w.env, w.client, &w.accessor, "D").unwrap();
         assert!(r1.good);
@@ -442,7 +489,10 @@ mod tests {
             SimRng::new(3),
         )
         .with_battery(Battery::new(10.0, 50.0, 1.0)); // dies on first sample
-        deploy_esp(&mut w.env, EspConfig::new(w.mote, "B", Box::new(probe), w.lus));
+        deploy_esp(
+            &mut w.env,
+            EspConfig::new(w.mote, "B", Box::new(probe), w.lus),
+        );
         let err = client::get_value(&mut w.env, w.client, &w.accessor, "B").unwrap_err();
         assert!(err.contains("battery"), "{err}");
     }
@@ -459,16 +509,20 @@ mod tests {
         );
         assert!(client::get_value(&mut w.env, w.client, &w.accessor, "Ephemeral").is_ok());
         w.env.run_for(SimDuration::from_secs(10));
-        let err =
-            client::get_value(&mut w.env, w.client, &w.accessor, "Ephemeral").unwrap_err();
+        let err = client::get_value(&mut w.env, w.client, &w.accessor, "Ephemeral").unwrap_err();
         assert!(err.contains("no provider"), "{err}");
     }
 
     #[test]
     fn renewal_keeps_esp_bound() {
         let mut w = setup();
-        let renewal_host =
-            w.env.topo.group_members("public").first().copied().unwrap_or(HostId(0));
+        let renewal_host = w
+            .env
+            .topo
+            .group_members("public")
+            .first()
+            .copied()
+            .unwrap_or(HostId(0));
         let renewal = sensorcer_registry::renewal::LeaseRenewalService::deploy(
             &mut w.env,
             renewal_host,
@@ -489,7 +543,10 @@ mod tests {
     #[test]
     fn esp_rejects_jobs() {
         let mut w = setup();
-        let h = deploy_esp(&mut w.env, EspConfig::new(w.mote, "N", scripted(vec![1.0]), w.lus));
+        let h = deploy_esp(
+            &mut w.env,
+            EspConfig::new(w.mote, "N", scripted(vec![1.0]), w.lus),
+        );
         let job = Job::new("j", ControlStrategy::sequence());
         let done = exert_on(&mut w.env, w.client, h.service, job.into(), None).unwrap();
         assert!(done.status().is_failed());

@@ -86,7 +86,13 @@ impl SensorcerFacade {
         accessor: ServiceAccessor,
         monitor: Option<MonitorHandle>,
     ) -> Self {
-        SensorcerFacade { name: name.into(), host, accessor, monitor, requests_total: 0 }
+        SensorcerFacade {
+            name: name.into(),
+            host,
+            accessor,
+            monitor,
+            requests_total: 0,
+        }
     }
 
     /// Deploy a façade and register it with every LUS the accessor knows.
@@ -105,7 +111,10 @@ impl SensorcerFacade {
                 SvcUuid::NIL,
                 host,
                 service,
-                vec![interfaces::SENSORCER_FACADE.into(), interfaces::SERVICER.into()],
+                vec![
+                    interfaces::SENSORCER_FACADE.into(),
+                    interfaces::SERVICER.into(),
+                ],
                 vec![
                     Entry::Name(name.to_string()),
                     Entry::ServiceType("FACADE".into()),
@@ -172,7 +181,8 @@ impl SensorcerFacade {
             let substituted = services
                 .iter()
                 .map(|s| {
-                    env.metrics.get_labeled(crate::csp::keys::SUBSTITUTED_CHILDREN, s)
+                    env.metrics
+                        .get_labeled(crate::csp::keys::SUBSTITUTED_CHILDREN, s)
                 })
                 .sum();
             rows.push(HostHealth {
@@ -228,15 +238,10 @@ impl SensorcerFacade {
                         m.insert("alive".to_string(), Value::Bool(r.alive));
                         m.insert(
                             "services".to_string(),
-                            Value::List(
-                                r.services.iter().cloned().map(Value::Str).collect(),
-                            ),
+                            Value::List(r.services.iter().cloned().map(Value::Str).collect()),
                         );
                         if let Some(age) = r.last_read_age_ns {
-                            m.insert(
-                                "last_read_age_ns".to_string(),
-                                Value::Int(age as i64),
-                            );
+                            m.insert("last_read_age_ns".to_string(), Value::Int(age as i64));
                         }
                         if let Some(b) = r.battery {
                             m.insert("battery".to_string(), Value::Float(b));
@@ -249,10 +254,7 @@ impl SensorcerFacade {
                             "retry_exhausted".to_string(),
                             Value::Int(r.retry_exhausted as i64),
                         );
-                        m.insert(
-                            "substituted".to_string(),
-                            Value::Int(r.substituted as i64),
-                        );
+                        m.insert("substituted".to_string(), Value::Int(r.substituted as i64));
                         Value::Map(m)
                     })
                     .collect();
@@ -405,8 +407,7 @@ impl Servicer for SensorcerFacade {
     fn service(&mut self, env: &mut Env, exertion: &mut Exertion, _txn: Option<TxnId>) {
         let Exertion::Task(task) = exertion else {
             if let Exertion::Job(job) = exertion {
-                job.status =
-                    ExertionStatus::Failed("the facade executes tasks, not jobs".into());
+                job.status = ExertionStatus::Failed("the facade executes tasks, not jobs".into());
             }
             return;
         };
@@ -463,7 +464,11 @@ impl FacadeHandle {
     }
 
     /// "Get Sensor List".
-    pub fn list_services(&self, env: &mut Env, from: HostId) -> Result<Vec<(String, String)>, String> {
+    pub fn list_services(
+        &self,
+        env: &mut Env,
+        from: HostId,
+    ) -> Result<Vec<(String, String)>, String> {
         let ctx = self.run(env, from, ops::LIST_SERVICES, Context::new())?;
         match ctx.get("services/list") {
             Some(Value::List(xs)) => Ok(xs
@@ -482,11 +487,7 @@ impl FacadeHandle {
 
     /// Federation health snapshot, one row per host (the browser-side view
     /// of [`SensorcerFacade::network_health`]).
-    pub fn network_health(
-        &self,
-        env: &mut Env,
-        from: HostId,
-    ) -> Result<Vec<HostHealth>, String> {
+    pub fn network_health(&self, env: &mut Env, from: HostId) -> Result<Vec<HostHealth>, String> {
         let ctx = self.run(env, from, ops::NETWORK_HEALTH, Context::new())?;
         let Some(Value::List(xs)) = ctx.get("health/hosts") else {
             return Ok(Vec::new());
@@ -548,7 +549,12 @@ impl FacadeHandle {
         from: HostId,
         service: &str,
     ) -> Result<(SensorReading, crate::accessor::DegradedInfo), String> {
-        let ctx = self.run(env, from, ops::GET_VALUE, Context::new().with("arg/service", service))?;
+        let ctx = self.run(
+            env,
+            from,
+            ops::GET_VALUE,
+            Context::new().with("arg/service", service),
+        )?;
         SensorReading::from_context(&ctx)
             .map(|r| (r, crate::accessor::DegradedInfo::from_context(&ctx)))
             .ok_or_else(|| "no reading returned".to_string())
@@ -566,7 +572,9 @@ impl FacadeHandle {
             env,
             from,
             ops::GET_HISTORY,
-            Context::new().with("arg/service", service).with("arg/count", count as i64),
+            Context::new()
+                .with("arg/service", service)
+                .with("arg/count", count as i64),
         )?;
         match ctx.get("history/values") {
             Some(Value::List(xs)) => Ok(xs.iter().filter_map(Value::as_f64).collect()),
@@ -575,8 +583,18 @@ impl FacadeHandle {
     }
 
     /// Sensor Service Information panel.
-    pub fn get_info(&self, env: &mut Env, from: HostId, service: &str) -> Result<SensorInfo, String> {
-        let ctx = self.run(env, from, ops::GET_INFO, Context::new().with("arg/service", service))?;
+    pub fn get_info(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        service: &str,
+    ) -> Result<SensorInfo, String> {
+        let ctx = self.run(
+            env,
+            from,
+            ops::GET_INFO,
+            Context::new().with("arg/service", service),
+        )?;
         SensorInfo::from_context(&ctx).ok_or_else(|| "no info returned".to_string())
     }
 
@@ -594,7 +612,9 @@ impl FacadeHandle {
             env,
             from,
             ops::COMPOSE_SERVICE,
-            Context::new().with("arg/composite", composite).with("arg/children", list),
+            Context::new()
+                .with("arg/composite", composite)
+                .with("arg/children", list),
         )?;
         match ctx.get("mgmt/variables") {
             Some(Value::List(xs)) => Ok(xs.iter().map(ToString::to_string).collect()),
@@ -614,7 +634,9 @@ impl FacadeHandle {
             env,
             from,
             ops::ADD_EXPRESSION,
-            Context::new().with("arg/service", service).with("arg/expression", expression),
+            Context::new()
+                .with("arg/service", service)
+                .with("arg/expression", expression),
         )
         .map(|_| ())
     }
@@ -653,7 +675,9 @@ impl FacadeHandle {
             env,
             from,
             ops::REMOVE_SERVICE,
-            Context::new().with("arg/composite", composite).with("arg/service", service),
+            Context::new()
+                .with("arg/composite", composite)
+                .with("arg/service", service),
         )
         .map(|_| ())
     }
@@ -689,9 +713,13 @@ mod tests {
             SimDuration::from_millis(500),
         );
         let accessor = ServiceAccessor::new(vec![lus]);
-        let facade =
-            SensorcerFacade::deploy(&mut env, lab, "SenSORCER Facade", accessor, None);
-        World { env, client, lus, facade }
+        let facade = SensorcerFacade::deploy(&mut env, lab, "SenSORCER Facade", accessor, None);
+        World {
+            env,
+            client,
+            lus,
+            facade,
+        }
     }
 
     fn add_esp(w: &mut World, name: &str, value: f64) {
@@ -726,7 +754,10 @@ mod tests {
     fn get_value_through_facade() {
         let mut w = setup();
         add_esp(&mut w, "Neem-Sensor", 21.5);
-        let r = w.facade.get_value(&mut w.env, w.client, "Neem-Sensor").unwrap();
+        let r = w
+            .facade
+            .get_value(&mut w.env, w.client, "Neem-Sensor")
+            .unwrap();
         assert_eq!(r.value, 21.5);
         assert!(w.facade.get_value(&mut w.env, w.client, "Ghost").is_err());
     }
@@ -756,10 +787,16 @@ mod tests {
         w.facade
             .add_expression(&mut w.env, w.client, "Composite-Service", "(a + b + c)/3")
             .unwrap();
-        let r = w.facade.get_value(&mut w.env, w.client, "Composite-Service").unwrap();
+        let r = w
+            .facade
+            .get_value(&mut w.env, w.client, "Composite-Service")
+            .unwrap();
         assert_eq!(r.value, 23.0);
 
-        let info = w.facade.get_info(&mut w.env, w.client, "Composite-Service").unwrap();
+        let info = w
+            .facade
+            .get_info(&mut w.env, w.client, "Composite-Service")
+            .unwrap();
         assert_eq!(info.expression.as_deref(), Some("(a + b + c)/3"));
         assert_eq!(info.contained.len(), 3);
 
@@ -767,7 +804,10 @@ mod tests {
         w.facade
             .remove_service(&mut w.env, w.client, "Composite-Service", "Jade-Sensor")
             .unwrap();
-        let info = w.facade.get_info(&mut w.env, w.client, "Composite-Service").unwrap();
+        let info = w
+            .facade
+            .get_info(&mut w.env, w.client, "Composite-Service")
+            .unwrap();
         assert_eq!(info.contained.len(), 2);
         assert_eq!(info.expression, None);
     }
@@ -783,7 +823,10 @@ mod tests {
         let hist = w.facade.get_history(&mut w.env, w.client, "H", 10).unwrap();
         assert_eq!(hist.len(), 3);
         assert!(hist.iter().all(|v| *v == 21.0));
-        assert!(w.facade.get_history(&mut w.env, w.client, "Ghost", 5).is_err());
+        assert!(w
+            .facade
+            .get_history(&mut w.env, w.client, "Ghost", 5)
+            .is_err());
     }
 
     #[test]
@@ -791,7 +834,9 @@ mod tests {
         let mut w = setup();
         add_esp(&mut w, "Neem-Sensor", 20.0);
         add_esp(&mut w, "Jade-Sensor", 22.0);
-        w.facade.get_value(&mut w.env, w.client, "Neem-Sensor").unwrap();
+        w.facade
+            .get_value(&mut w.env, w.client, "Neem-Sensor")
+            .unwrap();
         w.env.run_for(SimDuration::from_secs(2));
 
         let rows = w.facade.network_health(&mut w.env, w.client).unwrap();
@@ -804,8 +849,13 @@ mod tests {
         assert!(neem.alive);
         assert_eq!(neem.kind, "SensorMote");
         assert_eq!(neem.services, vec!["Neem-Sensor".to_string()]);
-        let age = neem.last_read_age_ns.expect("read was served from this mote");
-        assert!(age >= SimDuration::from_secs(2).as_nanos(), "age counts from the read");
+        let age = neem
+            .last_read_age_ns
+            .expect("read was served from this mote");
+        assert!(
+            age >= SimDuration::from_secs(2).as_nanos(),
+            "age counts from the read"
+        );
         assert!(neem.battery.unwrap_or(0.0) > 0.0);
 
         let jade = by_name(&rows, "Jade-Sensor-mote");
@@ -832,13 +882,24 @@ mod tests {
     #[test]
     fn facade_rejects_unknown_op_and_bad_args() {
         let mut w = setup();
-        let err = w.facade.run(&mut w.env, w.client, "selfDestruct", Context::new()).unwrap_err();
+        let err = w
+            .facade
+            .run(&mut w.env, w.client, "selfDestruct", Context::new())
+            .unwrap_err();
         assert!(err.contains("no operation"));
-        let err = w.facade.run(&mut w.env, w.client, ops::GET_VALUE, Context::new()).unwrap_err();
+        let err = w
+            .facade
+            .run(&mut w.env, w.client, ops::GET_VALUE, Context::new())
+            .unwrap_err();
         assert!(err.contains("arg/service"));
         let err = w
             .facade
-            .run(&mut w.env, w.client, ops::COMPOSE_SERVICE, Context::new().with("arg/composite", "X"))
+            .run(
+                &mut w.env,
+                w.client,
+                ops::COMPOSE_SERVICE,
+                Context::new().with("arg/composite", "X"),
+            )
             .unwrap_err();
         assert!(err.contains("children"));
     }

@@ -36,6 +36,7 @@
 //! assert!((10.0..35.0).contains(&r.value));
 //! ```
 
+#![forbid(unsafe_code)]
 // Boxed-closure callback signatures (event sinks, 2PC participants,
 // simulated parallel branches) trip this lint; the types are the API.
 #![allow(clippy::type_complexity)]

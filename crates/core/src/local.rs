@@ -9,8 +9,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use sensorcer_runtime::sync::Mutex;
 use sensorcer_expr::{Program, Scope};
+use sensorcer_runtime::sync::Mutex;
 use sensorcer_runtime::ThreadPool;
 use sensorcer_sensors::probe::{ProbeError, SensorProbe};
 use sensorcer_sim::time::SimTime;
@@ -20,10 +20,17 @@ use crate::csp::variable_for;
 /// A node in a local composite tree.
 pub enum LocalNode {
     /// A leaf sensor: a live probe behind a lock (probes are stateful).
-    Sensor { name: String, probe: Mutex<Box<dyn SensorProbe + Send>> },
+    Sensor {
+        name: String,
+        probe: Mutex<Box<dyn SensorProbe + Send>>,
+    },
     /// An inner composite: children plus an optional compute expression
     /// over variables `a`, `b`, … (position order, like the CSP).
-    Composite { name: String, children: Vec<Arc<LocalNode>>, expression: Option<Program> },
+    Composite {
+        name: String,
+        children: Vec<Arc<LocalNode>>,
+        expression: Option<Program>,
+    },
 }
 
 /// Errors from a local read.
@@ -53,7 +60,10 @@ impl std::error::Error for LocalReadError {}
 impl LocalNode {
     /// Leaf constructor.
     pub fn sensor(name: impl Into<String>, probe: Box<dyn SensorProbe + Send>) -> Arc<LocalNode> {
-        Arc::new(LocalNode::Sensor { name: name.into(), probe: Mutex::new(probe) })
+        Arc::new(LocalNode::Sensor {
+            name: name.into(),
+            probe: Mutex::new(probe),
+        })
     }
 
     /// Composite constructor; `expression` over `a`, `b`, … in child
@@ -80,7 +90,11 @@ impl LocalNode {
             }
             None => None,
         };
-        Ok(Arc::new(LocalNode::Composite { name, children, expression: program }))
+        Ok(Arc::new(LocalNode::Composite {
+            name,
+            children,
+            expression: program,
+        }))
     }
 
     pub fn name(&self) -> &str {
@@ -93,9 +107,7 @@ impl LocalNode {
     pub fn leaf_count(&self) -> usize {
         match self {
             LocalNode::Sensor { .. } => 1,
-            LocalNode::Composite { children, .. } => {
-                children.iter().map(|c| c.leaf_count()).sum()
-            }
+            LocalNode::Composite { children, .. } => children.iter().map(|c| c.leaf_count()).sum(),
         }
     }
 
@@ -103,9 +115,15 @@ impl LocalNode {
     pub fn read_sequential(&self, at: SimTime) -> Result<f64, LocalReadError> {
         match self {
             LocalNode::Sensor { name, probe } => sample(name, probe, at),
-            LocalNode::Composite { name, children, expression } => {
+            LocalNode::Composite {
+                name,
+                children,
+                expression,
+            } => {
                 if children.is_empty() {
-                    return Err(LocalReadError::EmptyComposite { composite: name.clone() });
+                    return Err(LocalReadError::EmptyComposite {
+                        composite: name.clone(),
+                    });
                 }
                 let mut values = Vec::with_capacity(children.len());
                 for child in children {
@@ -121,9 +139,15 @@ impl LocalNode {
     pub fn read_parallel(&self, pool: &ThreadPool, at: SimTime) -> Result<f64, LocalReadError> {
         match self {
             LocalNode::Sensor { name, probe } => sample(name, probe, at),
-            LocalNode::Composite { name, children, expression } => {
+            LocalNode::Composite {
+                name,
+                children,
+                expression,
+            } => {
                 if children.is_empty() {
-                    return Err(LocalReadError::EmptyComposite { composite: name.clone() });
+                    return Err(LocalReadError::EmptyComposite {
+                        composite: name.clone(),
+                    });
                 }
                 let results = pool.par_map(children.iter().collect::<Vec<_>>(), |child| {
                     child.read_parallel(pool, at)
@@ -147,9 +171,10 @@ fn sample(
         Ok(m) => Ok(m.value),
         Err(e @ ProbeError::Dropout)
         | Err(e @ ProbeError::BatteryDead)
-        | Err(e @ ProbeError::TooFast) => {
-            Err(LocalReadError::Probe { sensor: name.to_string(), error: e.to_string() })
-        }
+        | Err(e @ ProbeError::TooFast) => Err(LocalReadError::Probe {
+            sensor: name.to_string(),
+            error: e.to_string(),
+        }),
     }
 }
 
@@ -191,7 +216,11 @@ pub struct LocalFederation {
 
 impl LocalFederation {
     pub fn new(root: Arc<LocalNode>) -> LocalFederation {
-        LocalFederation { root, clock_ns: AtomicU64::new(0), tick_ns: 1_000_000_000 }
+        LocalFederation {
+            root,
+            clock_ns: AtomicU64::new(0),
+            tick_ns: 1_000_000_000,
+        }
     }
 
     pub fn root(&self) -> &Arc<LocalNode> {
@@ -236,7 +265,11 @@ impl BusyProbe {
             min_sample_interval_ns: 0,
             technology: "synthetic".into(),
         };
-        BusyProbe { teds, value, work_iters }
+        BusyProbe {
+            teds,
+            value,
+            work_iters,
+        }
     }
 }
 
@@ -302,6 +335,7 @@ pub fn synthetic_tree_with_work(
                 c
             })
             .collect();
+        // lint:allow(unwrap): composite without an expression never fails validation
         LocalNode::composite(format!("node{path}"), children, None).expect("no expression")
     }
     let mut path = String::new();
@@ -353,7 +387,11 @@ mod tests {
         let outer =
             LocalNode::composite("net", vec![inner, leaf("c", 25.0)], Some("(a + b)/2")).unwrap();
         let fed = LocalFederation::new(outer);
-        assert_eq!(fed.read_sequential().unwrap(), 24.0, "the paper's Fig. 3 numbers");
+        assert_eq!(
+            fed.read_sequential().unwrap(),
+            24.0,
+            "the paper's Fig. 3 numbers"
+        );
     }
 
     #[test]
@@ -383,12 +421,9 @@ mod tests {
             SimRng::new(1),
         )
         .with_battery(Battery::new(1.0, 100.0, 0.0));
-        let tree = LocalNode::composite(
-            "c",
-            vec![LocalNode::sensor("dying", Box::new(probe))],
-            None,
-        )
-        .unwrap();
+        let tree =
+            LocalNode::composite("c", vec![LocalNode::sensor("dying", Box::new(probe))], None)
+                .unwrap();
         let fed = LocalFederation::new(tree);
         match fed.read_sequential().unwrap_err() {
             LocalReadError::Probe { sensor, .. } => assert_eq!(sensor, "dying"),
@@ -406,7 +441,10 @@ mod tests {
         let tree = LocalNode::sensor("s", Box::new(probe));
         let fed = LocalFederation::new(tree);
         for _ in 0..100 {
-            assert!(fed.read_sequential().is_ok(), "ticks must outpace the 10ms minimum");
+            assert!(
+                fed.read_sequential().is_ok(),
+                "ticks must outpace the 10ms minimum"
+            );
         }
     }
 

@@ -38,28 +38,29 @@ pub mod config_keys {
 
 /// Build the composite-sensor factory. `renewal`, when given, keeps the
 /// provisioned service's registration alive.
-pub fn composite_factory(
-    lus: LusHandle,
-    renewal: Option<RenewalHandle>,
-) -> Rc<dyn ServiceFactory> {
-    Rc::new(FnFactory(move |env: &mut Env, host: HostId, element: &ServiceElement, instance: &str| {
-        let mut cfg = CspConfig::new(host, instance, lus);
-        cfg.renewal = renewal;
-        if let Some(children) = element.config.get(config_keys::CHILDREN) {
-            cfg.children = children
-                .split(',')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .map(str::to_string)
-                .collect();
-        }
-        cfg.expression = element.config.get(config_keys::EXPRESSION).cloned();
-        if let Some(secs) = element.config.get(config_keys::LEASE_SECS) {
-            let secs: u64 = secs.parse().map_err(|_| format!("bad lease-secs: {secs}"))?;
-            cfg.lease = SimDuration::from_secs(secs);
-        }
-        deploy_csp(env, cfg).map(|h| h.service)
-    }))
+pub fn composite_factory(lus: LusHandle, renewal: Option<RenewalHandle>) -> Rc<dyn ServiceFactory> {
+    Rc::new(FnFactory(
+        move |env: &mut Env, host: HostId, element: &ServiceElement, instance: &str| {
+            let mut cfg = CspConfig::new(host, instance, lus);
+            cfg.renewal = renewal;
+            if let Some(children) = element.config.get(config_keys::CHILDREN) {
+                cfg.children = children
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            cfg.expression = element.config.get(config_keys::EXPRESSION).cloned();
+            if let Some(secs) = element.config.get(config_keys::LEASE_SECS) {
+                let secs: u64 = secs
+                    .parse()
+                    .map_err(|_| format!("bad lease-secs: {secs}"))?;
+                cfg.lease = SimDuration::from_secs(secs);
+            }
+            deploy_csp(env, cfg).map(|h| h.service)
+        },
+    ))
 }
 
 /// Request parameters for provisioning one composite sensor service.
@@ -73,7 +74,11 @@ pub struct CompositeSpec {
 
 impl CompositeSpec {
     pub fn named(name: impl Into<String>) -> CompositeSpec {
-        CompositeSpec { name: name.into(), qos: QosRequirements::modest(), ..Default::default() }
+        CompositeSpec {
+            name: name.into(),
+            qos: QosRequirements::modest(),
+            ..Default::default()
+        }
     }
 
     pub fn with_children<I: IntoIterator<Item = S>, S: Into<String>>(mut self, c: I) -> Self {
@@ -88,8 +93,8 @@ impl CompositeSpec {
 
     /// The operational string realizing this spec.
     pub fn to_opstring(&self) -> OperationalString {
-        let mut element =
-            ServiceElement::singleton(self.name.clone(), COMPOSITE_TYPE_KEY).with_qos(self.qos.clone());
+        let mut element = ServiceElement::singleton(self.name.clone(), COMPOSITE_TYPE_KEY)
+            .with_qos(self.qos.clone());
         if !self.children.is_empty() {
             element = element.with_config(config_keys::CHILDREN, self.children.join(","));
         }
@@ -183,7 +188,15 @@ mod tests {
             node_hosts.push(h);
         }
         let accessor = ServiceAccessor::new(vec![lus]);
-        World { env, client, lus, monitor, accessor, node_hosts, renewal }
+        World {
+            env,
+            client,
+            lus,
+            monitor,
+            accessor,
+            node_hosts,
+            renewal,
+        }
     }
 
     fn add_esp(w: &mut World, name: &str, value: f64) {
@@ -211,7 +224,10 @@ mod tests {
             .with_children(["Composite-A", "Coral-Sensor"])
             .with_expression("(a + b)/2");
         let placed_on = provision_composite(&mut w.env, w.client, w.monitor, &spec).unwrap();
-        assert!(w.node_hosts.contains(&placed_on), "must land on a cybernode");
+        assert!(
+            w.node_hosts.contains(&placed_on),
+            "must land on a cybernode"
+        );
         let r = client::get_value(&mut w.env, w.client, &w.accessor, "New-Composite").unwrap();
         assert_eq!(r.value, 24.0);
         // Its registration is renewed: still resolvable much later.
@@ -268,8 +284,9 @@ mod tests {
     fn bad_lease_secs_config_fails_factory() {
         let mut w = setup(1);
         let mut os = CompositeSpec::named("X").to_opstring();
-        os.elements[0] =
-            os.elements[0].clone().with_config(config_keys::LEASE_SECS, "not-a-number");
+        os.elements[0] = os.elements[0]
+            .clone()
+            .with_config(config_keys::LEASE_SECS, "not-a-number");
         let res = w.monitor.deploy_opstring(&mut w.env, w.client, os).unwrap();
         assert!(res.is_err());
     }

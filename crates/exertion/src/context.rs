@@ -141,7 +141,12 @@ pub fn value_wire_size(v: &Value) -> usize {
         Value::Int(_) | Value::Float(_) => 9,
         Value::Str(s) => 5 + s.len(),
         Value::List(xs) => 5 + xs.iter().map(value_wire_size).sum::<usize>(),
-        Value::Map(m) => 5 + m.iter().map(|(k, v)| 4 + k.len() + value_wire_size(v)).sum::<usize>(),
+        Value::Map(m) => {
+            5 + m
+                .iter()
+                .map(|(k, v)| 4 + k.len() + value_wire_size(v))
+                .sum::<usize>()
+        }
     }
 }
 
@@ -162,7 +167,8 @@ mod tests {
     #[test]
     fn put_get_remove() {
         let mut ctx = Context::new();
-        ctx.put(paths::SENSOR_VALUE, 21.5).put(paths::SENSOR_UNIT, "°C");
+        ctx.put(paths::SENSOR_VALUE, 21.5)
+            .put(paths::SENSOR_UNIT, "°C");
         assert_eq!(ctx.get_f64(paths::SENSOR_VALUE), Some(21.5));
         assert_eq!(ctx.get_str(paths::SENSOR_UNIT), Some("°C"));
         assert_eq!(ctx.len(), 2);
@@ -223,7 +229,9 @@ mod tests {
     fn wire_size_grows_with_content() {
         let empty = Context::new();
         let small = Context::new().with("v", 1.0);
-        let big = small.clone().with("long/path/to/value", "some string content here");
+        let big = small
+            .clone()
+            .with("long/path/to/value", "some string content here");
         assert!(empty.wire_size() < small.wire_size());
         assert!(small.wire_size() < big.wire_size());
     }

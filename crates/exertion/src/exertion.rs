@@ -22,7 +22,11 @@ pub struct Signature {
 
 impl Signature {
     pub fn new(interface: impl Into<String>, selector: impl Into<String>) -> Signature {
-        Signature { interface: interface.into(), selector: selector.into(), provider_name: None }
+        Signature {
+            interface: interface.into(),
+            selector: selector.into(),
+            provider_name: None,
+        }
     }
 
     /// Pin the signature to a named provider.
@@ -100,11 +104,17 @@ pub struct ControlStrategy {
 
 impl ControlStrategy {
     pub fn sequence() -> ControlStrategy {
-        ControlStrategy { flow: Flow::Sequence, access: Access::Push }
+        ControlStrategy {
+            flow: Flow::Sequence,
+            access: Access::Push,
+        }
     }
 
     pub fn parallel() -> ControlStrategy {
-        ControlStrategy { flow: Flow::Parallel, access: Access::Push }
+        ControlStrategy {
+            flow: Flow::Parallel,
+            access: Access::Push,
+        }
     }
 
     pub fn pull(mut self) -> ControlStrategy {
@@ -139,7 +149,8 @@ impl Task {
     /// Mark failed with a reason (also records it in the context).
     pub fn fail(&mut self, reason: impl Into<String>) {
         let reason = reason.into();
-        self.context.put(crate::context::paths::ERROR, reason.clone());
+        self.context
+            .put(crate::context::paths::ERROR, reason.clone());
         self.status = ExertionStatus::Failed(reason);
     }
 
@@ -180,7 +191,11 @@ impl Job {
     pub fn wire_size(&self) -> usize {
         24 + self.name.len()
             + self.context.wire_size()
-            + self.exertions.iter().map(Exertion::wire_size).sum::<usize>()
+            + self
+                .exertions
+                .iter()
+                .map(Exertion::wire_size)
+                .sum::<usize>()
     }
 }
 
@@ -285,7 +300,10 @@ mod tests {
         t.fail("battery dead");
         assert!(t.status.is_failed());
         assert!(!t.status.is_done());
-        assert_eq!(t.context.get_str(crate::context::paths::ERROR), Some("battery dead"));
+        assert_eq!(
+            t.context.get_str(crate::context::paths::ERROR),
+            Some("battery dead")
+        );
     }
 
     #[test]

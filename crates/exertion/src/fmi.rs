@@ -38,7 +38,9 @@ impl ServiceAccessor {
 
     /// Build from multicast discovery of `group`.
     pub fn from_discovery(env: &mut Env, from: HostId, group: &str) -> ServiceAccessor {
-        ServiceAccessor { lus: sensorcer_registry::discovery::discover(env, from, group) }
+        ServiceAccessor {
+            lus: sensorcer_registry::discovery::discover(env, from, group),
+        }
     }
 
     pub fn lus_handles(&self) -> &[LusHandle] {
@@ -154,11 +156,14 @@ impl Coordinator<'_> {
                     }
                     let mut child = std::mem::replace(
                         &mut job.exertions[i],
-                        Exertion::Task(Task::new("placeholder", crate::exertion::Signature::new("", ""), Default::default())),
+                        Exertion::Task(Task::new(
+                            "placeholder",
+                            crate::exertion::Signature::new("", ""),
+                            Default::default(),
+                        )),
                     );
                     self.run_exertion(env, &mut child, txn);
-                    prev_result =
-                        child.context().get(crate::context::paths::RESULT).cloned();
+                    prev_result = child.context().get(crate::context::paths::RESULT).cloned();
                     job.exertions[i] = child;
                     if job.exertions[i].status().is_failed() {
                         break;
@@ -228,20 +233,17 @@ impl Coordinator<'_> {
                             }
                             self.tasks_dispatched.set(self.tasks_dispatched.get() + 1);
                             match space.write(env, self.host, t.clone()) {
-                                Ok(id) => {
-                                    match self.await_result(env, space, id) {
-                                        Some(done) => *t = done,
-                                        None => t.fail(
-                                            "no provider took the task from the space in time",
-                                        ),
+                                Ok(id) => match self.await_result(env, space, id) {
+                                    Some(done) => *t = done,
+                                    None => {
+                                        t.fail("no provider took the task from the space in time")
                                     }
-                                }
+                                },
                                 Err(e) => t.fail(format!("space write failed: {e}")),
                             }
                         }
                     }
-                    prev_result =
-                        child.context().get(crate::context::paths::RESULT).cloned();
+                    prev_result = child.context().get(crate::context::paths::RESULT).cloned();
                     if child.status().is_failed() {
                         break;
                     }
@@ -317,7 +319,11 @@ impl Coordinator<'_> {
         self.tasks_dispatched.set(self.tasks_dispatched.get() + 1);
         let sent = std::mem::replace(
             task,
-            Task::new("placeholder", crate::exertion::Signature::new("", ""), Default::default()),
+            Task::new(
+                "placeholder",
+                crate::exertion::Signature::new("", ""),
+                Default::default(),
+            ),
         );
         match exert_on_retry(env, self.host, item.service, sent.into(), txn, &self.retry) {
             Ok(Exertion::Task(done)) => *task = done,
@@ -361,7 +367,11 @@ impl Jobber {
         accessor: ServiceAccessor,
     ) -> sensorcer_sim::env::ServiceId {
         let lus_list = accessor.lus_handles().to_vec();
-        let service = env.deploy(host, name, ServicerBox::new(Jobber::new(name, host, accessor)));
+        let service = env.deploy(
+            host,
+            name,
+            ServicerBox::new(Jobber::new(name, host, accessor)),
+        );
         for lus in lus_list {
             let item = ServiceItem::new(
                 sensorcer_registry::ids::SvcUuid::NIL,
@@ -458,8 +468,11 @@ impl Spacer {
         space: SpaceHandle,
     ) -> sensorcer_sim::env::ServiceId {
         let lus_list = accessor.lus_handles().to_vec();
-        let service =
-            env.deploy(host, name, ServicerBox::new(Spacer::new(name, host, accessor, space)));
+        let service = env.deploy(
+            host,
+            name,
+            ServicerBox::new(Spacer::new(name, host, accessor, space)),
+        );
         for lus in lus_list {
             let item = ServiceItem::new(
                 sensorcer_registry::ids::SvcUuid::NIL,
@@ -648,7 +661,12 @@ mod tests {
             SimDuration::from_millis(500),
         );
         let accessor = ServiceAccessor::new(vec![lus]);
-        World { env, client, accessor, lus }
+        World {
+            env,
+            client,
+            accessor,
+            lus,
+        }
     }
 
     fn deploy_math(w: &mut World, name: &str, factor: f64) {
@@ -684,7 +702,13 @@ mod tests {
     fn bare_task_binds_through_accessor() {
         let mut w = setup();
         deploy_math(&mut w, "Doubler", 2.0);
-        let done = exert(&mut w.env, w.client, scale_task("t", None, 21.0).into(), &w.accessor, None);
+        let done = exert(
+            &mut w.env,
+            w.client,
+            scale_task("t", None, 21.0).into(),
+            &w.accessor,
+            None,
+        );
         assert!(done.status().is_done(), "{:?}", done.status());
         assert_eq!(done.context().get_f64(paths::RESULT), Some(42.0));
     }
@@ -744,7 +768,11 @@ mod tests {
             .with(stage2);
         let done = exert(&mut w.env, w.client, job.into(), &w.accessor, None);
         assert!(done.status().is_done(), "{:?}", done.status());
-        assert_eq!(done.context().get_f64("again/result/value"), Some(20.0), "5·2·2");
+        assert_eq!(
+            done.context().get_f64("again/result/value"),
+            Some(20.0),
+            "5·2·2"
+        );
     }
 
     #[test]
@@ -777,17 +805,35 @@ mod tests {
         Jobber::deploy(&mut w.env, jh, "Jobber", w.accessor.clone());
 
         let make_job = |flow| {
-            let mut job = Job::new("j", ControlStrategy { flow, access: Access::Push });
+            let mut job = Job::new(
+                "j",
+                ControlStrategy {
+                    flow,
+                    access: Access::Push,
+                },
+            );
             for (i, name) in ["M1", "M2", "M3", "M4"].iter().enumerate() {
                 job = job.with(scale_task(&format!("t{i}"), Some(name), 1.0));
             }
             Exertion::Job(job)
         };
         let t0 = w.env.now();
-        let seq = exert(&mut w.env, w.client, make_job(Flow::Sequence), &w.accessor, None);
+        let seq = exert(
+            &mut w.env,
+            w.client,
+            make_job(Flow::Sequence),
+            &w.accessor,
+            None,
+        );
         let seq_time = w.env.now() - t0;
         let t1 = w.env.now();
-        let par = exert(&mut w.env, w.client, make_job(Flow::Parallel), &w.accessor, None);
+        let par = exert(
+            &mut w.env,
+            w.client,
+            make_job(Flow::Parallel),
+            &w.accessor,
+            None,
+        );
         let par_time = w.env.now() - t1;
         assert!(seq.status().is_done() && par.status().is_done());
         assert!(
@@ -834,7 +880,11 @@ mod tests {
             .with(stage2);
         let done = exert(&mut w.env, w.client, job.into(), &w.accessor, None);
         assert!(done.status().is_done(), "{:?}", done.status());
-        assert_eq!(done.context().get_f64("again/result/value"), Some(20.0), "5·2·2");
+        assert_eq!(
+            done.context().get_f64("again/result/value"),
+            Some(20.0),
+            "5·2·2"
+        );
     }
 
     #[test]
@@ -859,7 +909,8 @@ mod tests {
     fn job_without_rendezvous_fails_gracefully() {
         let mut w = setup();
         deploy_math(&mut w, "Doubler", 2.0);
-        let job = Job::new("nojobber", ControlStrategy::parallel()).with(scale_task("a", None, 1.0));
+        let job =
+            Job::new("nojobber", ControlStrategy::parallel()).with(scale_task("a", None, 1.0));
         let done = exert(&mut w.env, w.client, job.into(), &w.accessor, None);
         match done.status() {
             ExertionStatus::Failed(msg) => assert!(msg.contains("rendezvous"), "{msg}"),
@@ -895,7 +946,11 @@ mod tests {
         assert_eq!(accessor.lus_handles().len(), 1);
         let items = accessor.list(&mut w.env, w.client, "Math");
         assert_eq!(items.len(), 2);
-        assert!(accessor.bind(&mut w.env, w.client, "Math", Some("Doubler")).is_some());
-        assert!(accessor.bind(&mut w.env, w.client, "NoIface", None).is_none());
+        assert!(accessor
+            .bind(&mut w.env, w.client, "Math", Some("Doubler"))
+            .is_some());
+        assert!(accessor
+            .bind(&mut w.env, w.client, "NoIface", None)
+            .is_none());
     }
 }

@@ -41,6 +41,7 @@
 //! assert_eq!(done.context().get_f64("result/value"), Some(42.0));
 //! ```
 
+#![forbid(unsafe_code)]
 // Boxed-closure callback signatures (event sinks, 2PC participants,
 // simulated parallel branches) trip this lint; the types are the API.
 #![allow(clippy::type_complexity)]

@@ -123,7 +123,8 @@ pub fn exert_on_retry(
                     attempt >= policy.attempts || env.now() - start >= policy.deadline;
                 if !RetryPolicy::retryable(e) || out_of_budget {
                     if RetryPolicy::retryable(e) {
-                        env.metrics.add_host(provider_host, keys::RETRY_EXHAUSTED, 1);
+                        env.metrics
+                            .add_host(provider_host, keys::RETRY_EXHAUSTED, 1);
                         env.metrics.add_labeled(keys::RETRY_EXHAUSTED, label, 1);
                         let cur = env.current_span();
                         if cur.is_valid() {
@@ -149,9 +150,7 @@ pub fn exert_on_retry(
                         vec![("attempt", attempt.into()), ("error", e.to_string().into())],
                     );
                 }
-                env.debug_with(|| {
-                    format!("retry: attempt {attempt} against {provider} after {e}")
-                });
+                env.debug_with(|| format!("retry: attempt {attempt} against {provider} after {e}"));
                 // Exponential backoff against sim time; scheduled events
                 // (heals, restarts, renewals) fire during the wait.
                 env.run_for(policy.backoff * 2u64.pow(attempt - 1));
@@ -198,8 +197,15 @@ mod tests {
         env.schedule(SimDuration::from_millis(150), move |env| {
             env.topo.heal(client, host);
         });
-        let done = exert_on_retry(&mut env, client, svc, add_task(), None, &RetryPolicy::transient())
-            .expect("read survives the partition window");
+        let done = exert_on_retry(
+            &mut env,
+            client,
+            svc,
+            add_task(),
+            None,
+            &RetryPolicy::transient(),
+        )
+        .expect("read survives the partition window");
         assert!(done.status().is_done());
         assert_eq!(done.context().get_f64(paths::RESULT), Some(5.0));
         assert!(env.metrics.get(keys::RETRY_ATTEMPTS) >= 1);
@@ -228,10 +234,21 @@ mod tests {
     fn budget_exhausts_against_a_permanent_partition() {
         let (mut env, host, client, svc) = adder_world();
         env.topo.partition(client, host);
-        let err = exert_on_retry(&mut env, client, svc, add_task(), None, &RetryPolicy::transient())
-            .unwrap_err();
+        let err = exert_on_retry(
+            &mut env,
+            client,
+            svc,
+            add_task(),
+            None,
+            &RetryPolicy::transient(),
+        )
+        .unwrap_err();
         assert_eq!(err, NetError::Partitioned);
-        assert_eq!(env.metrics.get(keys::RETRY_ATTEMPTS), 3, "attempts - 1 retries");
+        assert_eq!(
+            env.metrics.get(keys::RETRY_ATTEMPTS),
+            3,
+            "attempts - 1 retries"
+        );
         assert_eq!(env.metrics.get(keys::RETRY_EXHAUSTED), 1);
         assert_eq!(env.metrics.get(keys::RETRY_SUCCESS), 0);
     }
@@ -242,8 +259,15 @@ mod tests {
         env.topo.partition(client, host);
         env.enable_tracing(64);
         let root = env.span_start("read", "test", client);
-        let err = exert_on_retry(&mut env, client, svc, add_task(), None, &RetryPolicy::transient())
-            .unwrap_err();
+        let err = exert_on_retry(
+            &mut env,
+            client,
+            svc,
+            add_task(),
+            None,
+            &RetryPolicy::transient(),
+        )
+        .unwrap_err();
         env.span_end(root, Outcome::Error);
         assert_eq!(err, NetError::Partitioned);
         // Global totals unchanged from the unattributed counters...
@@ -259,7 +283,11 @@ mod tests {
         let rec = env.disable_tracing().unwrap();
         let root_span = rec.spans().find(|s| s.name == "read").expect("root span");
         assert_eq!(
-            root_span.events.iter().filter(|e| e.name == "retry.attempt").count(),
+            root_span
+                .events
+                .iter()
+                .filter(|e| e.name == "retry.attempt")
+                .count(),
             3
         );
         assert!(root_span.has_event("retry.exhausted"));
@@ -278,7 +306,11 @@ mod tests {
         };
         let err = exert_on_retry(&mut env, client, svc, add_task(), None, &policy).unwrap_err();
         assert_eq!(err, NetError::Partitioned);
-        assert_eq!(env.metrics.get(keys::RETRY_ATTEMPTS), 0, "deadline beat the attempts");
+        assert_eq!(
+            env.metrics.get(keys::RETRY_ATTEMPTS),
+            0,
+            "deadline beat the attempts"
+        );
         assert_eq!(env.metrics.get(keys::RETRY_EXHAUSTED), 1);
     }
 
@@ -287,11 +319,21 @@ mod tests {
         let (mut env, host, client, svc) = adder_world();
         env.topo.partition(client, host);
         let t0 = env.now();
-        let err =
-            exert_on_retry(&mut env, client, svc, add_task(), None, &RetryPolicy::none())
-                .unwrap_err();
+        let err = exert_on_retry(
+            &mut env,
+            client,
+            svc,
+            add_task(),
+            None,
+            &RetryPolicy::none(),
+        )
+        .unwrap_err();
         assert_eq!(err, NetError::Partitioned);
-        assert_eq!(env.now() - t0, env.config.call_timeout, "exactly one try's cost");
+        assert_eq!(
+            env.now() - t0,
+            env.config.call_timeout,
+            "exactly one try's cost"
+        );
         assert_eq!(env.metrics.get(keys::RETRY_ATTEMPTS), 0);
         assert!(RetryPolicy::default().is_none());
     }

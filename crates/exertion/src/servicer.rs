@@ -48,7 +48,9 @@ pub struct ServicerBox {
 
 impl ServicerBox {
     pub fn new(servicer: impl Servicer) -> ServicerBox {
-        ServicerBox { inner: Box::new(servicer) }
+        ServicerBox {
+            inner: Box::new(servicer),
+        }
     }
 
     pub fn provider_name(&self) -> &str {
@@ -71,7 +73,9 @@ impl ServicerBox {
 
 impl std::fmt::Debug for ServicerBox {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServicerBox").field("provider", &self.provider_name()).finish()
+        f.debug_struct("ServicerBox")
+            .field("provider", &self.provider_name())
+            .finish()
     }
 }
 
@@ -94,12 +98,17 @@ pub fn exert_on(
         env.span_field(span, "from_host", from.0);
         env.span_field(span, "bytes.req", req as u64);
     }
-    let result =
-        env.call(from, provider, ProtocolStack::Tcp, req, move |env, sb: &mut ServicerBox| {
+    let result = env.call(
+        from,
+        provider,
+        ProtocolStack::Tcp,
+        req,
+        move |env, sb: &mut ServicerBox| {
             sb.service(env, &mut exertion, txn);
             let resp = exertion.wire_size();
             (exertion, resp)
-        });
+        },
+    );
     if span.is_valid() {
         match &result {
             Ok(exerted) => {
@@ -250,7 +259,10 @@ mod tests {
 
         let result = exert_on(&mut env, client, svc, add_task(2.0, 3.0).into(), None).unwrap();
         assert!(result.status().is_done());
-        assert_eq!(result.context().get_f64(crate::context::paths::RESULT), Some(5.0));
+        assert_eq!(
+            result.context().get_f64(crate::context::paths::RESULT),
+            Some(5.0)
+        );
         match &result {
             Exertion::Task(t) => assert_eq!(t.trace, vec!["exerted by Adder"]),
             _ => panic!(),
@@ -263,7 +275,11 @@ mod tests {
         let host = env.add_host("h", HostKind::Server);
         let svc = env.deploy(host, "Adder", ServicerBox::new(adder()));
 
-        let t = Task::new("mul", Signature::new("Arithmetic", "multiply"), Context::new());
+        let t = Task::new(
+            "mul",
+            Signature::new("Arithmetic", "multiply"),
+            Context::new(),
+        );
         let r = exert_on(&mut env, host, svc, t.into(), None).unwrap();
         assert!(r.status().is_failed());
 
@@ -280,7 +296,10 @@ mod tests {
         let t = Task::new("add", Signature::new("Arithmetic", "add"), Context::new());
         let r = exert_on(&mut env, host, svc, t.into(), None).unwrap();
         assert!(r.status().is_failed());
-        assert_eq!(r.context().get_str(crate::context::paths::ERROR), Some("missing arg/a"));
+        assert_eq!(
+            r.context().get_str(crate::context::paths::ERROR),
+            Some("missing arg/a")
+        );
     }
 
     #[test]

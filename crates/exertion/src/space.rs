@@ -56,7 +56,8 @@ impl ExertionSpace {
         let reap_every = SimDuration::from_secs(1);
         env.schedule_every(reap_every, reap_every, move |env| {
             let now = env.now();
-            env.with_service(service, |_e, sp: &mut ExertionSpace| sp.reap(now)).is_ok()
+            env.with_service(service, |_e, sp: &mut ExertionSpace| sp.reap(now))
+                .is_ok()
         });
         SpaceHandle { service, host }
     }
@@ -138,10 +139,16 @@ impl SpaceHandle {
         ttl: SimDuration,
     ) -> Result<EntryId, NetError> {
         let req = task.wire_size();
-        env.call(from, self.service, ProtocolStack::Tcp, req, move |env, sp: &mut ExertionSpace| {
-            let expires = env.now() + ttl;
-            (sp.write(task, expires), 16)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            req,
+            move |env, sp: &mut ExertionSpace| {
+                let expires = env.now() + ttl;
+                (sp.write(task, expires), 16)
+            },
+        )
     }
 
     /// Take (destructively) the oldest entry whose signature interface is
@@ -153,11 +160,17 @@ impl SpaceHandle {
         interface: &str,
     ) -> Result<Option<(EntryId, Task)>, NetError> {
         let interface = interface.to_string();
-        env.call(from, self.service, ProtocolStack::Tcp, 48, move |_env, sp: &mut ExertionSpace| {
-            let taken = sp.take_matching(&interface);
-            let resp = taken.as_ref().map_or(8, |(_, t)| t.wire_size() + 16);
-            (taken, resp)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            48,
+            move |_env, sp: &mut ExertionSpace| {
+                let taken = sp.take_matching(&interface);
+                let resp = taken.as_ref().map_or(8, |(_, t)| t.wire_size() + 16);
+                (taken, resp)
+            },
+        )
     }
 
     /// Write back a completed task.
@@ -169,11 +182,17 @@ impl SpaceHandle {
         task: Task,
     ) -> Result<(), NetError> {
         let req = task.wire_size() + 16;
-        env.call(from, self.service, ProtocolStack::Tcp, req, move |env, sp: &mut ExertionSpace| {
-            let expires = env.now() + DEFAULT_ENTRY_TTL;
-            sp.put_result(id, task, expires);
-            ((), 8)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            req,
+            move |env, sp: &mut ExertionSpace| {
+                let expires = env.now() + DEFAULT_ENTRY_TTL;
+                sp.put_result(id, task, expires);
+                ((), 8)
+            },
+        )
     }
 
     /// Collect a result if ready.
@@ -183,11 +202,17 @@ impl SpaceHandle {
         from: HostId,
         id: EntryId,
     ) -> Result<Option<Task>, NetError> {
-        env.call(from, self.service, ProtocolStack::Tcp, 24, move |_env, sp: &mut ExertionSpace| {
-            let t = sp.take_result(id);
-            let resp = t.as_ref().map_or(8, Task::wire_size);
-            (t, resp)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            24,
+            move |_env, sp: &mut ExertionSpace| {
+                let t = sp.take_result(id);
+                let resp = t.as_ref().map_or(8, Task::wire_size);
+                (t, resp)
+            },
+        )
     }
 }
 
@@ -206,7 +231,9 @@ pub fn attach_worker(
 ) -> RepeatHandle {
     let interface_host = env.service_host(provider);
     env.schedule_every(poll, poll, move |env| {
-        let Some(host) = interface_host else { return false };
+        let Some(host) = interface_host else {
+            return false;
+        };
         // Stop polling if the provider is gone; pause while its host is
         // down (the entry stays in the space for someone else).
         if env.service_host(provider).is_none() {
@@ -222,7 +249,9 @@ pub fn attach_worker(
         }) else {
             return false;
         };
-        let Some(interface) = interface else { return false };
+        let Some(interface) = interface else {
+            return false;
+        };
         match space.take_matching(env, host, &interface) {
             Ok(Some((id, task))) => {
                 let name = task.name.clone();
@@ -269,15 +298,21 @@ mod tests {
     use sensorcer_sim::prelude::*;
 
     fn doubler(name: &str) -> ServicerBox {
-        ServicerBox::new(Tasker::new(name, "Math").on("double", |_env, ctx: &mut Context| {
-            let x = ctx.get_f64("arg/x").ok_or("missing arg/x")?;
-            ctx.put(paths::RESULT, 2.0 * x);
-            Ok(())
-        }))
+        ServicerBox::new(
+            Tasker::new(name, "Math").on("double", |_env, ctx: &mut Context| {
+                let x = ctx.get_f64("arg/x").ok_or("missing arg/x")?;
+                ctx.put(paths::RESULT, 2.0 * x);
+                Ok(())
+            }),
+        )
     }
 
     fn double_task(name: &str, x: f64) -> Task {
-        Task::new(name, Signature::new("Math", "double"), Context::new().with("arg/x", x))
+        Task::new(
+            name,
+            Signature::new("Math", "double"),
+            Context::new().with("arg/x", x),
+        )
     }
 
     #[test]
@@ -306,7 +341,9 @@ mod tests {
         let h = env.add_host("h", HostKind::Server);
         let space = ExertionSpace::deploy(&mut env, h, "space");
         space.write(&mut env, h, double_task("first", 1.0)).unwrap();
-        space.write(&mut env, h, double_task("second", 2.0)).unwrap();
+        space
+            .write(&mut env, h, double_task("second", 2.0))
+            .unwrap();
         let (_, t) = space.take_matching(&mut env, h, "Math").unwrap().unwrap();
         assert_eq!(t.name, "first");
     }
@@ -322,11 +359,18 @@ mod tests {
         attach_worker(&mut env, provider, space, SimDuration::from_millis(50));
 
         let ids: Vec<EntryId> = (0..4)
-            .map(|i| space.write(&mut env, client, double_task(&format!("t{i}"), i as f64)).unwrap())
+            .map(|i| {
+                space
+                    .write(&mut env, client, double_task(&format!("t{i}"), i as f64))
+                    .unwrap()
+            })
             .collect();
         env.run_for(SimDuration::from_secs(2));
         for (i, id) in ids.iter().enumerate() {
-            let done = space.take_result(&mut env, client, *id).unwrap().expect("result ready");
+            let done = space
+                .take_result(&mut env, client, *id)
+                .unwrap()
+                .expect("result ready");
             assert!(done.status.is_done());
             assert_eq!(done.context.get_f64(paths::RESULT), Some(2.0 * i as f64));
         }
@@ -351,7 +395,15 @@ mod tests {
             providers.push(p);
         }
         let ids: Vec<EntryId> = (0..10)
-            .map(|i| space.write(&mut env, space_host, double_task(&format!("t{i}"), i as f64)).unwrap())
+            .map(|i| {
+                space
+                    .write(
+                        &mut env,
+                        space_host,
+                        double_task(&format!("t{i}"), i as f64),
+                    )
+                    .unwrap()
+            })
             .collect();
         env.run_for(SimDuration::from_secs(5));
         let mut served = [0u64; 2];
@@ -363,9 +415,15 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(served[0] + served[1], 10, "all entries executed");
-        assert!(served[0] > 0 && served[1] > 0, "both workers participate: {served:?}");
+        assert!(
+            served[0] > 0 && served[1] > 0,
+            "both workers participate: {served:?}"
+        );
         for id in ids {
-            assert!(space.take_result(&mut env, space_host, id).unwrap().is_some());
+            assert!(space
+                .take_result(&mut env, space_host, id)
+                .unwrap()
+                .is_some());
         }
     }
 
@@ -379,15 +437,23 @@ mod tests {
         attach_worker(&mut env, provider, space, SimDuration::from_millis(50));
 
         env.crash_host(worker_host);
-        let id = space.write(&mut env, space_host, double_task("t", 3.0)).unwrap();
+        let id = space
+            .write(&mut env, space_host, double_task("t", 3.0))
+            .unwrap();
         env.run_for(SimDuration::from_secs(2));
         assert!(
-            space.take_result(&mut env, space_host, id).unwrap().is_none(),
+            space
+                .take_result(&mut env, space_host, id)
+                .unwrap()
+                .is_none(),
             "no one should have taken the entry"
         );
         env.restart_host(worker_host);
         env.run_for(SimDuration::from_secs(2));
-        let done = space.take_result(&mut env, space_host, id).unwrap().expect("after restart");
+        let done = space
+            .take_result(&mut env, space_host, id)
+            .unwrap()
+            .expect("after restart");
         assert!(done.status.is_done());
     }
 
@@ -410,19 +476,34 @@ mod tests {
         env.run_for(SimDuration::from_secs(1));
         let stalls = env.metrics.get_host(worker_host, keys::SPACE_UNREACHABLE);
         assert!(stalls > 0, "stalled polls must be counted");
-        assert_eq!(env.metrics.get(keys::SPACE_UNREACHABLE), stalls, "global mirror");
+        assert_eq!(
+            env.metrics.get(keys::SPACE_UNREACHABLE),
+            stalls,
+            "global mirror"
+        );
         assert!(
-            lines.borrow().iter().any(|l| l.contains("space unreachable")),
+            lines
+                .borrow()
+                .iter()
+                .any(|l| l.contains("space unreachable")),
             "stalled polls must be traceable: {:?}",
             lines.borrow()
         );
 
         // Healed: the worker resumes and the counter stops climbing.
         env.topo.heal(worker_host, space_host);
-        let id = space.write(&mut env, space_host, double_task("t", 2.0)).unwrap();
+        let id = space
+            .write(&mut env, space_host, double_task("t", 2.0))
+            .unwrap();
         env.run_for(SimDuration::from_secs(1));
-        assert_eq!(env.metrics.get_host(worker_host, keys::SPACE_UNREACHABLE), stalls);
-        assert!(space.take_result(&mut env, space_host, id).unwrap().is_some());
+        assert_eq!(
+            env.metrics.get_host(worker_host, keys::SPACE_UNREACHABLE),
+            stalls
+        );
+        assert!(space
+            .take_result(&mut env, space_host, id)
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -444,7 +525,12 @@ mod tests {
         let h = env.add_host("h", HostKind::Server);
         let space = ExertionSpace::deploy(&mut env, h, "space");
         let id = space
-            .write_with_ttl(&mut env, h, double_task("t", 1.0), SimDuration::from_secs(5))
+            .write_with_ttl(
+                &mut env,
+                h,
+                double_task("t", 1.0),
+                SimDuration::from_secs(5),
+            )
             .unwrap();
         env.run_for(SimDuration::from_secs(3));
         env.with_service(space.service, |_e, sp: &mut ExertionSpace| {

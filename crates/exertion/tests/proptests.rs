@@ -174,7 +174,11 @@ fn signature_display() {
     run_cases("signature_display", 96, |g| {
         let iface = g.alpha_string(1, 16);
         let sel = g.alpha_string(1, 16).to_ascii_lowercase();
-        let pin = if g.bool() { Some(g.alpha_string(1, 16)) } else { None };
+        let pin = if g.bool() {
+            Some(g.alpha_string(1, 16))
+        } else {
+            None
+        };
         let mut sig = Signature::new(iface.clone(), sel.clone());
         if let Some(p) = &pin {
             sig = sig.on(p.clone());

@@ -195,7 +195,11 @@ mod tests {
     fn free_vars_deduplicate_in_order() {
         let e = Expr::Binary(
             BinOp::Add,
-            Box::new(Expr::Binary(BinOp::Add, Box::new(var("b")), Box::new(var("a")))),
+            Box::new(Expr::Binary(
+                BinOp::Add,
+                Box::new(var("b")),
+                Box::new(var("a")),
+            )),
             Box::new(var("b")),
         );
         assert_eq!(e.free_vars(), vec!["b", "a"]);
@@ -205,8 +209,15 @@ mod tests {
     fn script_free_vars_skip_locals() {
         let script = Script {
             stmts: vec![
-                Stmt::Assign("t".into(), Expr::Binary(BinOp::Add, Box::new(var("a")), Box::new(var("b")))),
-                Stmt::Expr(Expr::Binary(BinOp::Div, Box::new(var("t")), Box::new(var("c")))),
+                Stmt::Assign(
+                    "t".into(),
+                    Expr::Binary(BinOp::Add, Box::new(var("a")), Box::new(var("b"))),
+                ),
+                Stmt::Expr(Expr::Binary(
+                    BinOp::Div,
+                    Box::new(var("t")),
+                    Box::new(var("c")),
+                )),
             ],
         };
         assert_eq!(script.free_vars(), vec!["a", "b", "c"]);
@@ -214,7 +225,11 @@ mod tests {
 
     #[test]
     fn node_count() {
-        let e = Expr::Binary(BinOp::Add, Box::new(var("a")), Box::new(Expr::Lit(Value::Int(1))));
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(var("a")),
+            Box::new(Expr::Lit(Value::Int(1))),
+        );
         assert_eq!(e.node_count(), 3);
     }
 

@@ -21,10 +21,18 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Option<Result<Value, ExprErro
         }),
         "sum" => reduce_numeric(name, args, |xs| Ok(Value::Float(xs.iter().sum::<f64>()))),
         "min" => reduce_numeric(name, args, |xs| {
-            xs.iter().copied().reduce(f64::min).map(Value::Float).ok_or_else(|| empty_args(name))
+            xs.iter()
+                .copied()
+                .reduce(f64::min)
+                .map(Value::Float)
+                .ok_or_else(|| empty_args(name))
         }),
         "max" => reduce_numeric(name, args, |xs| {
-            xs.iter().copied().reduce(f64::max).map(Value::Float).ok_or_else(|| empty_args(name))
+            xs.iter()
+                .copied()
+                .reduce(f64::max)
+                .map(Value::Float)
+                .ok_or_else(|| empty_args(name))
         }),
         "median" => reduce_numeric(name, args, |xs| {
             if xs.is_empty() {
@@ -33,7 +41,11 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Option<Result<Value, ExprErro
             let mut v = xs.to_vec();
             v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             let n = v.len();
-            Ok(Value::Float(if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 }))
+            Ok(Value::Float(if n % 2 == 1 {
+                v[n / 2]
+            } else {
+                (v[n / 2 - 1] + v[n / 2]) / 2.0
+            }))
         }),
         "stddev" => reduce_numeric(name, args, |xs| {
             if xs.len() < 2 {
@@ -70,9 +82,7 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Option<Result<Value, ExprErro
                 Err(arity(name, "3", args.len()))
             } else {
                 match (args[0].as_f64(), args[1].as_f64(), args[2].as_f64()) {
-                    (Some(x), Some(lo), Some(hi)) if lo <= hi => {
-                        Ok(Value::Float(x.clamp(lo, hi)))
-                    }
+                    (Some(x), Some(lo), Some(hi)) if lo <= hi => Ok(Value::Float(x.clamp(lo, hi))),
                     (Some(_), Some(lo), Some(hi)) => Err(ExprError::TypeMismatch {
                         op: "clamp".into(),
                         detail: format!("lo ({lo}) must not exceed hi ({hi})"),
@@ -104,10 +114,14 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Option<Result<Value, ExprErro
                 Err(arity(name, "1", args.len()))
             } else {
                 match &args[0] {
-                    Value::List(xs) if !xs.is_empty() => {
-                        Ok(if name == "first" { xs[0].clone() } else { xs[xs.len() - 1].clone() })
-                    }
-                    Value::List(_) => Err(ExprError::BadIndex { detail: "empty list".into() }),
+                    Value::List(xs) if !xs.is_empty() => Ok(if name == "first" {
+                        xs[0].clone()
+                    } else {
+                        xs[xs.len() - 1].clone()
+                    }),
+                    Value::List(_) => Err(ExprError::BadIndex {
+                        detail: "empty list".into(),
+                    }),
                     v => Err(ExprError::TypeMismatch {
                         op: name.into(),
                         detail: format!("expected a list, got {}", v.type_name()),
@@ -177,7 +191,11 @@ pub const BUILTIN_NAMES: &[&str] = &[
 ];
 
 fn arity(name: &str, expected: &str, got: usize) -> ExprError {
-    ExprError::BadArity { name: name.into(), expected: expected.into(), got }
+    ExprError::BadArity {
+        name: name.into(),
+        expected: expected.into(),
+        got,
+    }
 }
 
 fn empty_args(name: &str) -> ExprError {
@@ -257,18 +275,33 @@ mod tests {
 
     #[test]
     fn reductions_accept_varargs_and_lists() {
-        assert_eq!(call("avg", &nums(&[1.0, 2.0, 3.0])).unwrap(), Value::Float(2.0));
+        assert_eq!(
+            call("avg", &nums(&[1.0, 2.0, 3.0])).unwrap(),
+            Value::Float(2.0)
+        );
         let list = Value::List(nums(&[1.0, 2.0, 3.0]));
         assert_eq!(call("avg", &[list]).unwrap(), Value::Float(2.0));
         assert_eq!(call("sum", &nums(&[1.5, 2.5])).unwrap(), Value::Float(4.0));
-        assert_eq!(call("min", &nums(&[3.0, 1.0, 2.0])).unwrap(), Value::Float(1.0));
-        assert_eq!(call("max", &nums(&[3.0, 1.0, 2.0])).unwrap(), Value::Float(3.0));
+        assert_eq!(
+            call("min", &nums(&[3.0, 1.0, 2.0])).unwrap(),
+            Value::Float(1.0)
+        );
+        assert_eq!(
+            call("max", &nums(&[3.0, 1.0, 2.0])).unwrap(),
+            Value::Float(3.0)
+        );
     }
 
     #[test]
     fn median_even_and_odd() {
-        assert_eq!(call("median", &nums(&[3.0, 1.0, 2.0])).unwrap(), Value::Float(2.0));
-        assert_eq!(call("median", &nums(&[4.0, 1.0, 2.0, 3.0])).unwrap(), Value::Float(2.5));
+        assert_eq!(
+            call("median", &nums(&[3.0, 1.0, 2.0])).unwrap(),
+            Value::Float(2.0)
+        );
+        assert_eq!(
+            call("median", &nums(&[4.0, 1.0, 2.0, 3.0])).unwrap(),
+            Value::Float(2.5)
+        );
     }
 
     #[test]
@@ -301,8 +334,14 @@ mod tests {
     #[test]
     fn len_of_everything() {
         assert_eq!(call("len", &[Value::from("héllo")]).unwrap(), Value::Int(5));
-        assert_eq!(call("len", &[Value::from(vec![1i64, 2])]).unwrap(), Value::Int(2));
-        assert_eq!(call("size", &[Value::Map(Default::default())]).unwrap(), Value::Int(0));
+        assert_eq!(
+            call("len", &[Value::from(vec![1i64, 2])]).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            call("size", &[Value::Map(Default::default())]).unwrap(),
+            Value::Int(0)
+        );
         assert!(call("len", &[Value::Int(3)]).is_err());
     }
 
@@ -312,13 +351,19 @@ mod tests {
         assert_eq!(call("int", &[Value::from(" 42 ")]).unwrap(), Value::Int(42));
         assert!(call("int", &[Value::from("x")]).is_err());
         assert_eq!(call("float", &[Value::Int(2)]).unwrap(), Value::Float(2.0));
-        assert_eq!(call("str", &[Value::Float(2.5)]).unwrap(), Value::from("2.5"));
+        assert_eq!(
+            call("str", &[Value::Float(2.5)]).unwrap(),
+            Value::from("2.5")
+        );
     }
 
     #[test]
     fn first_and_last() {
         let l = Value::from(vec![1i64, 2, 3]);
-        assert_eq!(call("first", std::slice::from_ref(&l)).unwrap(), Value::Int(1));
+        assert_eq!(
+            call("first", std::slice::from_ref(&l)).unwrap(),
+            Value::Int(1)
+        );
         assert_eq!(call("last", &[l]).unwrap(), Value::Int(3));
         assert!(call("first", &[Value::List(vec![])]).is_err());
     }

@@ -95,7 +95,12 @@ impl CompiledScript {
                 }
             }
         }
-        CompiledScript { stmts, slot_names, n_inputs, stored_slots }
+        CompiledScript {
+            stmts,
+            slot_names,
+            n_inputs,
+            stored_slots,
+        }
     }
 
     /// Total slot count (inputs + locals).
@@ -126,13 +131,14 @@ impl CompiledScript {
     /// Evaluate against a slot frame. `frame` must hold exactly
     /// [`CompiledScript::n_slots`] entries; unbound inputs are `None` and
     /// error only if actually read (matching the interpreter).
-    pub fn eval_slots(
-        &self,
-        frame: &mut [Option<Value>],
-        budget: u64,
-    ) -> Result<Value, ExprError> {
+    pub fn eval_slots(&self, frame: &mut [Option<Value>], budget: u64) -> Result<Value, ExprError> {
         debug_assert_eq!(frame.len(), self.n_slots());
-        let mut ev = SlotEval { frame, names: &self.slot_names, steps_left: budget, budget };
+        let mut ev = SlotEval {
+            frame,
+            names: &self.slot_names,
+            steps_left: budget,
+            budget,
+        };
         let mut last = Value::Null;
         for stmt in &self.stmts {
             last = match stmt {
@@ -184,17 +190,12 @@ fn intern(slots: &mut BTreeMap<String, u32>, names: &mut Vec<String>, name: &str
     i
 }
 
-fn lower_expr(
-    e: &Expr,
-    slots: &mut BTreeMap<String, u32>,
-    names: &mut Vec<String>,
-) -> CExpr {
+fn lower_expr(e: &Expr, slots: &mut BTreeMap<String, u32>, names: &mut Vec<String>) -> CExpr {
     match e {
         Expr::Lit(v) => CExpr::Lit(v.clone()),
         Expr::Var(name) => CExpr::Slot(intern(slots, names, name)),
         Expr::ListLit(items) => {
-            let lowered: Vec<CExpr> =
-                items.iter().map(|e| lower_expr(e, slots, names)).collect();
+            let lowered: Vec<CExpr> = items.iter().map(|e| lower_expr(e, slots, names)).collect();
             if let Some(vals) = all_lits(&lowered) {
                 CExpr::Lit(Value::List(vals))
             } else {
@@ -257,8 +258,7 @@ fn lower_expr(
             CExpr::Elvis(Box::new(a), Box::new(b))
         }
         Expr::Call(name, args) => {
-            let lowered: Vec<CExpr> =
-                args.iter().map(|e| lower_expr(e, slots, names)).collect();
+            let lowered: Vec<CExpr> = args.iter().map(|e| lower_expr(e, slots, names)).collect();
             // Builtins are pure; a literal-argument call can fold — but
             // only on success, so bad calls still error at run time.
             if let Some(vals) = all_lits(&lowered) {
@@ -317,10 +317,22 @@ fn fold_binary(op: BinOp, a: CExpr, b: CExpr) -> CExpr {
             Pow => va.pow(vb).ok(),
             Eq => Some(Value::Bool(va.loose_eq(vb))),
             Ne => Some(Value::Bool(!va.loose_eq(vb))),
-            Lt => va.compare(vb).ok().map(|o| Value::Bool(o == std::cmp::Ordering::Less)),
-            Le => va.compare(vb).ok().map(|o| Value::Bool(o != std::cmp::Ordering::Greater)),
-            Gt => va.compare(vb).ok().map(|o| Value::Bool(o == std::cmp::Ordering::Greater)),
-            Ge => va.compare(vb).ok().map(|o| Value::Bool(o != std::cmp::Ordering::Less)),
+            Lt => va
+                .compare(vb)
+                .ok()
+                .map(|o| Value::Bool(o == std::cmp::Ordering::Less)),
+            Le => va
+                .compare(vb)
+                .ok()
+                .map(|o| Value::Bool(o != std::cmp::Ordering::Greater)),
+            Gt => va
+                .compare(vb)
+                .ok()
+                .map(|o| Value::Bool(o == std::cmp::Ordering::Greater)),
+            Ge => va
+                .compare(vb)
+                .ok()
+                .map(|o| Value::Bool(o != std::cmp::Ordering::Less)),
             And => Some(Value::Bool(vb.truthy())),
             Or => Some(Value::Bool(vb.truthy())),
         };
@@ -351,9 +363,13 @@ impl SlotEval<'_> {
         self.tick()?;
         match expr {
             CExpr::Lit(v) => Ok(v.clone()),
-            CExpr::Slot(i) => self.frame[*i as usize].clone().ok_or_else(|| {
-                ExprError::UndefinedVariable { name: self.names[*i as usize].clone() }
-            }),
+            CExpr::Slot(i) => {
+                self.frame[*i as usize]
+                    .clone()
+                    .ok_or_else(|| ExprError::UndefinedVariable {
+                        name: self.names[*i as usize].clone(),
+                    })
+            }
             CExpr::ListLit(items) => {
                 let mut out = Vec::with_capacity(items.len());
                 for e in items {
@@ -506,7 +522,10 @@ mod tests {
             eval_bound("true && 1/0", &[]),
             Err(ExprError::DivisionByZero)
         ));
-        assert!(matches!(eval_bound("1/0", &[]), Err(ExprError::DivisionByZero)));
+        assert!(matches!(
+            eval_bound("1/0", &[]),
+            Err(ExprError::DivisionByZero)
+        ));
     }
 
     #[test]
@@ -521,7 +540,11 @@ mod tests {
     fn slot_evaluation_matches_paper_average() {
         let v = eval_bound(
             "(a + b + c)/3",
-            &[("a", Value::Float(20.0)), ("b", Value::Float(22.0)), ("c", Value::Float(27.0))],
+            &[
+                ("a", Value::Float(20.0)),
+                ("b", Value::Float(22.0)),
+                ("c", Value::Float(27.0)),
+            ],
         )
         .unwrap();
         assert_eq!(v, Value::Float(23.0));

@@ -47,7 +47,11 @@ pub enum ExprError {
     /// A numeric literal did not parse.
     BadNumber { text: String, pos: Pos },
     /// Parser met a token it did not expect.
-    UnexpectedToken { found: String, expected: &'static str, pos: Pos },
+    UnexpectedToken {
+        found: String,
+        expected: &'static str,
+        pos: Pos,
+    },
     /// Input ended while a construct was still open.
     UnexpectedEof { expected: &'static str },
     /// A variable was referenced but never bound.
@@ -59,7 +63,11 @@ pub enum ExprError {
     /// Division or modulo by zero.
     DivisionByZero,
     /// A builtin was called with the wrong number or kind of arguments.
-    BadArity { name: String, expected: String, got: usize },
+    BadArity {
+        name: String,
+        expected: String,
+        got: usize,
+    },
     /// Index out of bounds or bad key.
     BadIndex { detail: String },
     /// Evaluation exceeded the configured step budget (runaway expression).
@@ -80,7 +88,11 @@ impl fmt::Display for ExprError {
             ExprError::BadNumber { text, pos } => {
                 write!(f, "malformed number {text:?} at {pos}")
             }
-            ExprError::UnexpectedToken { found, expected, pos } => {
+            ExprError::UnexpectedToken {
+                found,
+                expected,
+                pos,
+            } => {
                 write!(f, "expected {expected}, found {found} at {pos}")
             }
             ExprError::UnexpectedEof { expected } => {
@@ -92,7 +104,11 @@ impl fmt::Display for ExprError {
                 write!(f, "type mismatch in {op}: {detail}")
             }
             ExprError::DivisionByZero => write!(f, "division by zero"),
-            ExprError::BadArity { name, expected, got } => {
+            ExprError::BadArity {
+                name,
+                expected,
+                got,
+            } => {
                 write!(f, "{name}() expects {expected} argument(s), got {got}")
             }
             ExprError::BadIndex { detail } => write!(f, "bad index: {detail}"),
@@ -113,17 +129,49 @@ mod tests {
     #[test]
     fn pos_computes_lines_and_columns() {
         let src = "ab\ncd\nef";
-        assert_eq!(Pos::at(src, 0), Pos { offset: 0, line: 1, col: 1 });
-        assert_eq!(Pos::at(src, 1), Pos { offset: 1, line: 1, col: 2 });
-        assert_eq!(Pos::at(src, 3), Pos { offset: 3, line: 2, col: 1 });
-        assert_eq!(Pos::at(src, 7), Pos { offset: 7, line: 3, col: 2 });
+        assert_eq!(
+            Pos::at(src, 0),
+            Pos {
+                offset: 0,
+                line: 1,
+                col: 1
+            }
+        );
+        assert_eq!(
+            Pos::at(src, 1),
+            Pos {
+                offset: 1,
+                line: 1,
+                col: 2
+            }
+        );
+        assert_eq!(
+            Pos::at(src, 3),
+            Pos {
+                offset: 3,
+                line: 2,
+                col: 1
+            }
+        );
+        assert_eq!(
+            Pos::at(src, 7),
+            Pos {
+                offset: 7,
+                line: 3,
+                col: 2
+            }
+        );
     }
 
     #[test]
     fn errors_render_human_readable() {
         let e = ExprError::UndefinedVariable { name: "a".into() };
         assert_eq!(e.to_string(), "undefined variable 'a'");
-        let e = ExprError::BadArity { name: "avg".into(), expected: "1+".into(), got: 0 };
+        let e = ExprError::BadArity {
+            name: "avg".into(),
+            expected: "1+".into(),
+            got: 0,
+        };
         assert!(e.to_string().contains("avg()"));
     }
 }

@@ -83,7 +83,11 @@ pub fn eval_script_with_budget(
     scope: &mut Scope,
     budget: u64,
 ) -> Result<Value, ExprError> {
-    let mut ev = Evaluator { scope, steps_left: budget, budget };
+    let mut ev = Evaluator {
+        scope,
+        steps_left: budget,
+        budget,
+    };
     let mut last = Value::Null;
     for stmt in &script.stmts {
         last = match stmt {
@@ -100,7 +104,11 @@ pub fn eval_script_with_budget(
 
 /// Evaluate a single expression against a scope.
 pub fn eval_expr(expr: &Expr, scope: &mut Scope) -> Result<Value, ExprError> {
-    let mut ev = Evaluator { scope, steps_left: DEFAULT_STEP_BUDGET, budget: DEFAULT_STEP_BUDGET };
+    let mut ev = Evaluator {
+        scope,
+        steps_left: DEFAULT_STEP_BUDGET,
+        budget: DEFAULT_STEP_BUDGET,
+    };
     ev.eval(expr)
 }
 
@@ -269,7 +277,11 @@ mod tests {
         assert_eq!(eval("(1 + 2) * 3"), Value::Int(9));
         assert_eq!(eval("2 ** 3 ** 2"), Value::Int(512));
         assert_eq!(eval("10 % 3"), Value::Int(1));
-        assert_eq!(eval("-2 ** 2"), Value::Int(4), "unary binds tighter: (-2)**2");
+        assert_eq!(
+            eval("-2 ** 2"),
+            Value::Int(4),
+            "unary binds tighter: (-2)**2"
+        );
     }
 
     #[test]
@@ -338,8 +350,14 @@ mod tests {
 
     #[test]
     fn undefined_names_error() {
-        assert!(matches!(eval_err("nope"), ExprError::UndefinedVariable { .. }));
-        assert!(matches!(eval_err("nope()"), ExprError::UndefinedFunction { .. }));
+        assert!(matches!(
+            eval_err("nope"),
+            ExprError::UndefinedVariable { .. }
+        ));
+        assert!(matches!(
+            eval_err("nope()"),
+            ExprError::UndefinedFunction { .. }
+        ));
     }
 
     #[test]

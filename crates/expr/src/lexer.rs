@@ -113,7 +113,8 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ExprError> {
         }
 
         let start = i;
-        let push = |out: &mut Vec<SpannedTok>, tok: Tok| out.push(SpannedTok { tok, offset: start });
+        let push =
+            |out: &mut Vec<SpannedTok>, tok: Tok| out.push(SpannedTok { tok, offset: start });
 
         match c {
             '0'..='9' => {
@@ -185,7 +186,9 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ExprError> {
                 let mut s = String::new();
                 loop {
                     if j >= bytes.len() {
-                        return Err(ExprError::UnterminatedString { pos: Pos::at(src, i) });
+                        return Err(ExprError::UnterminatedString {
+                            pos: Pos::at(src, i),
+                        });
                     }
                     if bytes[j] == quote {
                         j += 1;
@@ -194,6 +197,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ExprError> {
                     if bytes[j] == b'\\' && j + 1 < bytes.len() {
                         // The escaped character may be multi-byte: decode a
                         // whole char, not a byte.
+                        // lint:allow(unwrap): escape branch checked j + 1 is in bounds
                         let esc = src[j + 1..].chars().next().expect("in-bounds char");
                         s.push(match esc {
                             'n' => '\n',
@@ -209,6 +213,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ExprError> {
                     }
                     // Multi-byte chars: copy the full char.
                     let ch_start = j;
+                    // lint:allow(unwrap): ch_start is an in-bounds char boundary
                     let ch = src[ch_start..].chars().next().expect("in-bounds char");
                     s.push(ch);
                     j += ch.len_utf8();
@@ -282,7 +287,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ExprError> {
                     push(&mut out, Tok::AndAnd);
                     i += 2;
                 } else {
-                    return Err(ExprError::UnexpectedChar { ch: '&', pos: Pos::at(src, i) });
+                    return Err(ExprError::UnexpectedChar {
+                        ch: '&',
+                        pos: Pos::at(src, i),
+                    });
                 }
             }
             '|' => {
@@ -290,7 +298,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ExprError> {
                     push(&mut out, Tok::OrOr);
                     i += 2;
                 } else {
-                    return Err(ExprError::UnexpectedChar { ch: '|', pos: Pos::at(src, i) });
+                    return Err(ExprError::UnexpectedChar {
+                        ch: '|',
+                        pos: Pos::at(src, i),
+                    });
                 }
             }
             '?' => {
@@ -331,7 +342,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ExprError> {
                 i += 1;
             }
             other => {
-                return Err(ExprError::UnexpectedChar { ch: other, pos: Pos::at(src, i) });
+                return Err(ExprError::UnexpectedChar {
+                    ch: other,
+                    pos: Pos::at(src, i),
+                });
             }
         }
     }
@@ -382,7 +396,10 @@ mod tests {
         assert_eq!(toks(r#""a\nb""#), vec![Tok::Str("a\nb".into())]);
         assert_eq!(toks(r#"'q\'s'"#), vec![Tok::Str("q's".into())]);
         assert_eq!(toks("'héllo'"), vec![Tok::Str("héllo".into())]);
-        assert!(matches!(lex("'open"), Err(ExprError::UnterminatedString { .. })));
+        assert!(matches!(
+            lex("'open"),
+            Err(ExprError::UnterminatedString { .. })
+        ));
     }
 
     #[test]
@@ -419,7 +436,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("1 // ignored\n+ 2"), vec![Tok::Int(1), Tok::Plus, Tok::Int(2)]);
+        assert_eq!(
+            toks("1 // ignored\n+ 2"),
+            vec![Tok::Int(1), Tok::Plus, Tok::Int(2)]
+        );
     }
 
     #[test]

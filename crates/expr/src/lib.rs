@@ -26,6 +26,7 @@
 //! ([`builtins::BUILTIN_NAMES`]). Evaluation is budgeted so a hostile
 //! expression cannot hang a provider.
 
+#![forbid(unsafe_code)]
 pub mod ast;
 pub mod builtins;
 pub mod compiled;

@@ -81,7 +81,11 @@ impl<'s> Parser<'s> {
     }
 
     fn unexpected(&self, found: Tok, expected: &'static str) -> ExprError {
-        ExprError::UnexpectedToken { found: found.to_string(), expected, pos: self.here() }
+        ExprError::UnexpectedToken {
+            found: found.to_string(),
+            expected,
+            pos: self.here(),
+        }
     }
 
     fn eof(&self, expected: &'static str) -> ExprError {
@@ -490,7 +494,10 @@ mod tests {
     #[test]
     fn equality_vs_assignment() {
         let s = parse("a == b").unwrap();
-        assert!(matches!(s.stmts[0], Stmt::Expr(Expr::Binary(BinOp::Eq, _, _))));
+        assert!(matches!(
+            s.stmts[0],
+            Stmt::Expr(Expr::Binary(BinOp::Eq, _, _))
+        ));
         let s = parse("a = b").unwrap();
         assert!(matches!(s.stmts[0], Stmt::Assign(_, _)));
     }
@@ -505,7 +512,10 @@ mod tests {
         assert!(parse("a ? b").is_err());
         assert!(parse("def = 3").is_err());
         assert!(parse("1 2").is_err(), "two expressions without separator");
-        assert!(parse_expr("a = 1").is_err(), "parse_expr rejects statements");
+        assert!(
+            parse_expr("a = 1").is_err(),
+            "parse_expr rejects statements"
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ impl Program {
     pub fn compile(source: &str) -> Result<Program, ExprError> {
         let script = parse(source)?;
         let compiled = CompiledScript::lower(&script);
-        Ok(Program { source: source.to_string(), script, compiled })
+        Ok(Program {
+            source: source.to_string(),
+            script,
+            compiled,
+        })
     }
 
     /// The original source text.
@@ -148,7 +152,9 @@ mod tests {
         assert_eq!(p.inputs(), vec!["a", "b", "c"]);
         let v1 = p.eval_with([("a", 1.0), ("b", 2.0), ("c", 3.0)]).unwrap();
         assert_eq!(v1, Value::Float(2.0));
-        let v2 = p.eval_with([("a", 10.0), ("b", 20.0), ("c", 30.0)]).unwrap();
+        let v2 = p
+            .eval_with([("a", 10.0), ("b", 20.0), ("c", 30.0)])
+            .unwrap();
         assert_eq!(v2, Value::Float(20.0));
     }
 
@@ -157,7 +163,10 @@ mod tests {
         let p = Program::compile("(a + b)/2").unwrap();
         assert!(p.missing_inputs(&["a", "b"]).is_empty());
         assert_eq!(p.missing_inputs(&["a"]), vec!["b".to_string()]);
-        assert_eq!(p.missing_inputs(&[]), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            p.missing_inputs(&[]),
+            vec!["a".to_string(), "b".to_string()]
+        );
     }
 
     #[test]

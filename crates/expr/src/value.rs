@@ -82,13 +82,20 @@ impl Value {
         }
     }
 
+    /// Float view for arithmetic arms whose guard already matched
+    /// `is_number()` on both operands. Propagates a type error rather
+    /// than panicking if that pairing is ever broken.
+    fn num(&self, op: &str, other: &Value) -> Result<f64, ExprError> {
+        self.as_f64().ok_or_else(|| Self::type_err(op, self, other))
+    }
+
     /// Addition: numeric promotion, string concatenation (either side),
     /// list concatenation.
     pub fn add(&self, other: &Value) -> Result<Value, ExprError> {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
             (a, b) if a.is_number() && b.is_number() => {
-                Ok(Value::Float(a.as_f64().unwrap() + b.as_f64().unwrap()))
+                Ok(Value::Float(a.num("+", b)? + b.num("+", a)?))
             }
             (Value::Str(a), b) => Ok(Value::Str(format!("{a}{b}"))),
             (a, Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
@@ -105,7 +112,7 @@ impl Value {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
             (a, b) if a.is_number() && b.is_number() => {
-                Ok(Value::Float(a.as_f64().unwrap() - b.as_f64().unwrap()))
+                Ok(Value::Float(a.num("-", b)? - b.num("-", a)?))
             }
             (a, b) => Err(Self::type_err("-", a, b)),
         }
@@ -116,7 +123,7 @@ impl Value {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
             (a, b) if a.is_number() && b.is_number() => {
-                Ok(Value::Float(a.as_f64().unwrap() * b.as_f64().unwrap()))
+                Ok(Value::Float(a.num("*", b)? * b.num("*", a)?))
             }
             (Value::Str(s), Value::Int(n)) | (Value::Int(n), Value::Str(s)) => {
                 if *n < 0 {
@@ -139,7 +146,7 @@ impl Value {
     pub fn div(&self, other: &Value) -> Result<Value, ExprError> {
         match (self, other) {
             (a, b) if a.is_number() && b.is_number() => {
-                let bf = b.as_f64().unwrap();
+                let bf = b.num("/", a)?;
                 if bf == 0.0 {
                     return Err(ExprError::DivisionByZero);
                 }
@@ -148,7 +155,7 @@ impl Value {
                         return Ok(Value::Int(x / y));
                     }
                 }
-                Ok(Value::Float(a.as_f64().unwrap() / bf))
+                Ok(Value::Float(a.num("/", b)? / bf))
             }
             (a, b) => Err(Self::type_err("/", a, b)),
         }
@@ -165,11 +172,11 @@ impl Value {
                 }
             }
             (a, b) if a.is_number() && b.is_number() => {
-                let bf = b.as_f64().unwrap();
+                let bf = b.num("%", a)?;
                 if bf == 0.0 {
                     Err(ExprError::DivisionByZero)
                 } else {
-                    Ok(Value::Float(a.as_f64().unwrap() % bf))
+                    Ok(Value::Float(a.num("%", b)? % bf))
                 }
             }
             (a, b) => Err(Self::type_err("%", a, b)),
@@ -187,7 +194,7 @@ impl Value {
                 }
             }
             (a, b) if a.is_number() && b.is_number() => {
-                Ok(Value::Float(a.as_f64().unwrap().powf(b.as_f64().unwrap())))
+                Ok(Value::Float(a.num("**", b)?.powf(b.num("**", a)?)))
             }
             (a, b) => Err(Self::type_err("**", a, b)),
         }
@@ -219,9 +226,8 @@ impl Value {
         use std::cmp::Ordering;
         match (self, other) {
             (a, b) if a.is_number() && b.is_number() => a
-                .as_f64()
-                .unwrap()
-                .partial_cmp(&b.as_f64().unwrap())
+                .num("comparison", b)?
+                .partial_cmp(&b.num("comparison", a)?)
                 .ok_or_else(|| ExprError::TypeMismatch {
                     op: "comparison".into(),
                     detail: "NaN is unordered".into(),
@@ -374,8 +380,14 @@ mod tests {
 
     #[test]
     fn float_contaminates() {
-        assert_eq!(Value::Int(1).add(&Value::Float(0.5)).unwrap(), Value::Float(1.5));
-        assert_eq!(Value::Float(2.0).mul(&Value::Int(3)).unwrap(), Value::Float(6.0));
+        assert_eq!(
+            Value::Int(1).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(1.5)
+        );
+        assert_eq!(
+            Value::Float(2.0).mul(&Value::Int(3)).unwrap(),
+            Value::Float(6.0)
+        );
     }
 
     #[test]
@@ -383,8 +395,14 @@ mod tests {
         // The paper's average: (20 + 21 + 23) / 3 must not truncate... but
         // when exact it stays integral.
         assert_eq!(Value::Int(64).div(&Value::Int(4)).unwrap(), Value::Int(16));
-        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
-        assert!(matches!(Value::Int(1).div(&Value::Int(0)), Err(ExprError::DivisionByZero)));
+        assert_eq!(
+            Value::Int(7).div(&Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
+        assert!(matches!(
+            Value::Int(1).div(&Value::Int(0)),
+            Err(ExprError::DivisionByZero)
+        ));
     }
 
     #[test]
@@ -397,7 +415,10 @@ mod tests {
             Value::Int(3).add(&Value::from("ab")).unwrap(),
             Value::from("3ab")
         );
-        assert_eq!(Value::from("ab").mul(&Value::Int(2)).unwrap(), Value::from("abab"));
+        assert_eq!(
+            Value::from("ab").mul(&Value::Int(2)).unwrap(),
+            Value::from("abab")
+        );
         assert!(Value::from("ab").mul(&Value::Int(-1)).is_err());
     }
 
@@ -410,10 +431,16 @@ mod tests {
 
     #[test]
     fn pow_integral_until_overflow() {
-        assert_eq!(Value::Int(2).pow(&Value::Int(10)).unwrap(), Value::Int(1024));
+        assert_eq!(
+            Value::Int(2).pow(&Value::Int(10)).unwrap(),
+            Value::Int(1024)
+        );
         let big = Value::Int(10).pow(&Value::Int(30)).unwrap();
         assert!(matches!(big, Value::Float(_)));
-        assert_eq!(Value::Int(2).pow(&Value::Float(0.5)).unwrap(), Value::Float(2f64.sqrt()));
+        assert_eq!(
+            Value::Int(2).pow(&Value::Float(0.5)).unwrap(),
+            Value::Float(2f64.sqrt())
+        );
     }
 
     #[test]
@@ -421,14 +448,20 @@ mod tests {
         assert!(Value::Int(1).loose_eq(&Value::Float(1.0)));
         assert!(!Value::Int(1).loose_eq(&Value::Float(1.5)));
         assert!(Value::from("a").loose_eq(&Value::from("a")));
-        assert!(!Value::from("1").loose_eq(&Value::Int(1)), "no string→number coercion");
+        assert!(
+            !Value::from("1").loose_eq(&Value::Int(1)),
+            "no string→number coercion"
+        );
     }
 
     #[test]
     fn comparison() {
         use std::cmp::Ordering::*;
         assert_eq!(Value::Int(1).compare(&Value::Float(1.5)).unwrap(), Less);
-        assert_eq!(Value::from("b").compare(&Value::from("a")).unwrap(), Greater);
+        assert_eq!(
+            Value::from("b").compare(&Value::from("a")).unwrap(),
+            Greater
+        );
         assert!(Value::Int(1).compare(&Value::from("a")).is_err());
         assert!(Value::Float(f64::NAN).compare(&Value::Int(1)).is_err());
     }

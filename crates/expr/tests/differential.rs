@@ -48,7 +48,9 @@ fn assert_agree(src: &str, bindings: &[(&str, Value)]) {
     match (&a, &b) {
         (Ok(x), Ok(y)) if same_value(x, y) => {}
         (Err(x), Err(y)) if x == y => {}
-        _ => panic!("paths diverge on {src:?} with {bindings:?}:\n  interp:   {a:?}\n  compiled: {b:?}"),
+        _ => panic!(
+            "paths diverge on {src:?} with {bindings:?}:\n  interp:   {a:?}\n  compiled: {b:?}"
+        ),
     }
 }
 
@@ -58,7 +60,10 @@ fn interp_test_corpus_agrees() {
     let i = |x: i64| Value::Int(x);
     // Every evaluation from interp.rs's unit tests, verbatim.
     let cases: &[(&str, &[(&str, Value)])] = &[
-        ("(a + b + c)/3", &[("a", f(20.0)), ("b", f(22.0)), ("c", f(27.0))]),
+        (
+            "(a + b + c)/3",
+            &[("a", f(20.0)), ("b", f(22.0)), ("c", f(27.0))],
+        ),
         ("(a + b)/2", &[("a", f(23.0)), ("b", f(25.0))]),
         ("1 + 2 * 3", &[]),
         ("(1 + 2) * 3", &[]),
@@ -208,11 +213,17 @@ fn gen_expr(g: &mut Gen, depth: usize) -> Expr {
             Box::new(gen_expr(g, depth - 1)),
             Box::new(gen_expr(g, depth - 1)),
         ),
-        5 => Expr::Elvis(Box::new(gen_expr(g, depth - 1)), Box::new(gen_expr(g, depth - 1))),
+        5 => Expr::Elvis(
+            Box::new(gen_expr(g, depth - 1)),
+            Box::new(gen_expr(g, depth - 1)),
+        ),
         6 => {
             let name = ["avg", "max", "min", "abs", "len"][g.usize_in(0, 5)];
             let n_args = g.usize_in(1, 3);
-            Expr::Call(name.to_string(), (0..n_args).map(|_| gen_expr(g, depth - 1)).collect())
+            Expr::Call(
+                name.to_string(),
+                (0..n_args).map(|_| gen_expr(g, depth - 1)).collect(),
+            )
         }
         _ => {
             let n = g.usize_in(0, 3);
@@ -258,7 +269,10 @@ fn render(e: &Expr) -> String {
         }
         Expr::Elvis(a, b) => format!("({} ?: {})", render(a), render(b)),
         Expr::Call(n, args) => {
-            format!("{n}({})", args.iter().map(render).collect::<Vec<_>>().join(", "))
+            format!(
+                "{n}({})",
+                args.iter().map(render).collect::<Vec<_>>().join(", ")
+            )
         }
         Expr::Index(b, i) => format!("{}[{}]", render(b), render(i)),
     }

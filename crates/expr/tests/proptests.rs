@@ -56,7 +56,10 @@ fn integer_algebra() {
         let b = g.i64_in(-1000, 1000);
         let c = g.i64_in(-1000, 1000);
         let ev = |src: &str| {
-            Program::compile(src).unwrap().eval_with([("a", a), ("b", b), ("c", c)]).unwrap()
+            Program::compile(src)
+                .unwrap()
+                .eval_with([("a", a), ("b", b), ("c", c)])
+                .unwrap()
         };
         assert_eq!(ev("a + b"), ev("b + a"));
         assert_eq!(ev("a * (b + c)"), ev("a*b + a*c"));
@@ -89,9 +92,16 @@ fn builtins_match_std() {
 fn avg_matches_mean() {
     run_cases("avg_matches_mean", 96, |g| {
         let xs = g.vec_of(1, 19, |g| g.f64_in(-1e4, 1e4));
-        let list = xs.iter().map(|x| format!("{x:?}")).collect::<Vec<_>>().join(", ");
+        let list = xs
+            .iter()
+            .map(|x| format!("{x:?}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         let src = format!("avg([{list}])");
-        let v = Program::compile(&src).unwrap().eval(&mut Scope::new()).unwrap();
+        let v = Program::compile(&src)
+            .unwrap()
+            .eval(&mut Scope::new())
+            .unwrap();
         let want = xs.iter().sum::<f64>() / xs.len() as f64;
         assert!((v.as_f64().unwrap() - want).abs() < 1e-6, "{v} vs {want}");
     });
@@ -103,7 +113,10 @@ fn avg_matches_mean() {
 fn budget_is_monotone() {
     run_cases("budget_is_monotone", 32, |g| {
         let n = g.usize_in(1, 20);
-        let src = (0..n).map(|i| i.to_string()).collect::<Vec<_>>().join(" + ");
+        let src = (0..n)
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(" + ");
         let script = parse(&src).unwrap();
         // Find the minimal budget by scanning.
         let need = (1..200)
@@ -123,8 +136,12 @@ fn budget_is_monotone() {
 #[test]
 fn string_concat_lengths() {
     run_cases("string_concat_lengths", 128, |g| {
-        let a: String = (0..g.usize_in(0, 21)).map(|_| (g.u64_in(0, 26) as u8 + b'a') as char).collect();
-        let b: String = (0..g.usize_in(0, 21)).map(|_| (g.u64_in(0, 26) as u8 + b'a') as char).collect();
+        let a: String = (0..g.usize_in(0, 21))
+            .map(|_| (g.u64_in(0, 26) as u8 + b'a') as char)
+            .collect();
+        let b: String = (0..g.usize_in(0, 21))
+            .map(|_| (g.u64_in(0, 26) as u8 + b'a') as char)
+            .collect();
         let p = Program::compile("len(a + b)").unwrap();
         let v = p.eval_with([("a", a.as_str()), ("b", b.as_str())]).unwrap();
         assert_eq!(v, Value::Int((a.len() + b.len()) as i64));
@@ -157,7 +174,12 @@ fn comparisons_coherent() {
     run_cases("comparisons_coherent", 128, |g| {
         let a = g.i64_in(-1000, 1000);
         let b = g.i64_in(-1000, 1000);
-        let ev = |src: &str| Program::compile(src).unwrap().eval_with([("a", a), ("b", b)]).unwrap();
+        let ev = |src: &str| {
+            Program::compile(src)
+                .unwrap()
+                .eval_with([("a", a), ("b", b)])
+                .unwrap()
+        };
         let lt = ev("a < b") == Value::Bool(true);
         let eq = ev("a == b") == Value::Bool(true);
         let gt = ev("a > b") == Value::Bool(true);

@@ -70,7 +70,13 @@ pub struct Cybernode {
 
 impl Cybernode {
     pub fn new(host: HostId, caps: QosCapabilities) -> Cybernode {
-        Cybernode { host, caps, reserved_mb: 0, hosted: BTreeMap::new(), instantiations_total: 0 }
+        Cybernode {
+            host,
+            caps,
+            reserved_mb: 0,
+            hosted: BTreeMap::new(),
+            instantiations_total: 0,
+        }
     }
 
     /// Deploy a cybernode on `host`; if `lus` is given, register it there
@@ -89,7 +95,10 @@ impl Cybernode {
                 host,
                 service,
                 vec![interfaces::CYBERNODE.into()],
-                vec![Entry::Name(name.to_string()), Entry::ServiceType("CYBERNODE".into())],
+                vec![
+                    Entry::Name(name.to_string()),
+                    Entry::ServiceType("CYBERNODE".into()),
+                ],
             );
             // Cybernodes are infrastructure: register with a long lease.
             let _ = lus.register(env, host, item, None);
@@ -107,7 +116,10 @@ impl Cybernode {
 
     /// Number of hosted instances of `element`.
     pub fn count_of(&self, element: &str) -> u32 {
-        self.hosted.values().filter(|h| h.element == element).count() as u32
+        self.hosted
+            .values()
+            .filter(|h| h.element == element)
+            .count() as u32
     }
 
     pub fn hosted(&self) -> impl Iterator<Item = &HostedInstance> {
@@ -156,7 +168,10 @@ impl Cybernode {
     }
 
     fn terminate(&mut self, env: &mut Env, instance: &str) -> Result<(), CybernodeError> {
-        let rec = self.hosted.remove(instance).ok_or(CybernodeError::UnknownInstance)?;
+        let rec = self
+            .hosted
+            .remove(instance)
+            .ok_or(CybernodeError::UnknownInstance)?;
         self.reserved_mb = self.reserved_mb.saturating_sub(rec.memory_mb);
         env.undeploy(rec.service);
         Ok(())
@@ -184,10 +199,21 @@ impl CybernodeHandle {
         let instance = instance.to_string();
         // The request carries the element descriptor (roughly its debug
         // size) — in Rio this is the serialized service bean config.
-        let req = 160 + element.config.iter().map(|(k, v)| k.len() + v.len()).sum::<usize>();
-        env.call(from, self.service, ProtocolStack::Tcp, req, move |env, node: &mut Cybernode| {
-            (node.instantiate(env, &element, &instance, factory), 64)
-        })
+        let req = 160
+            + element
+                .config
+                .iter()
+                .map(|(k, v)| k.len() + v.len())
+                .sum::<usize>();
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            req,
+            move |env, node: &mut Cybernode| {
+                (node.instantiate(env, &element, &instance, factory), 64)
+            },
+        )
     }
 
     /// Tear an instance down.
@@ -198,9 +224,13 @@ impl CybernodeHandle {
         instance: &str,
     ) -> Result<Result<(), CybernodeError>, NetError> {
         let instance = instance.to_string();
-        env.call(from, self.service, ProtocolStack::Tcp, 48, move |env, node: &mut Cybernode| {
-            (node.terminate(env, &instance), 8)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            48,
+            move |env, node: &mut Cybernode| (node.terminate(env, &instance), 8),
+        )
     }
 
     /// Fetch utilization for placement decisions.
@@ -209,27 +239,36 @@ impl CybernodeHandle {
         env: &mut Env,
         from: HostId,
     ) -> Result<(QosCapabilities, u32), NetError> {
-        env.call(from, self.service, ProtocolStack::Tcp, 16, |_env, node: &mut Cybernode| {
-            ((node.caps.clone(), node.reserved_mb), 96)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            16,
+            |_env, node: &mut Cybernode| ((node.caps.clone(), node.reserved_mb), 96),
+        )
     }
 
     /// Heartbeat: is the node reachable and responding?
     pub fn ping(&self, env: &mut Env, from: HostId) -> Result<(), NetError> {
-        env.call(from, self.service, ProtocolStack::Tcp, 8, |_env, _node: &mut Cybernode| ((), 8))
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            8,
+            |_env, _node: &mut Cybernode| ((), 8),
+        )
     }
 
     /// Per-element instance count (used by placement).
-    pub fn count_of(
-        &self,
-        env: &mut Env,
-        from: HostId,
-        element: &str,
-    ) -> Result<u32, NetError> {
+    pub fn count_of(&self, env: &mut Env, from: HostId, element: &str) -> Result<u32, NetError> {
         let element = element.to_string();
-        env.call(from, self.service, ProtocolStack::Tcp, 32, move |_env, node: &mut Cybernode| {
-            (node.count_of(&element), 8)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            32,
+            move |_env, node: &mut Cybernode| (node.count_of(&element), 8),
+        )
     }
 }
 
@@ -246,7 +285,13 @@ mod tests {
         let mut env = Env::with_seed(1);
         let monitor = env.add_host("monitor", HostKind::Server);
         let node_host = env.add_host("node", HostKind::Server);
-        let node = Cybernode::deploy(&mut env, node_host, "Cybernode", QosCapabilities::lab_server(), None);
+        let node = Cybernode::deploy(
+            &mut env,
+            node_host,
+            "Cybernode",
+            QosCapabilities::lab_server(),
+            None,
+        );
         let mut reg = FactoryRegistry::new();
         reg.register_fn("bean", |env, host, _el, instance| {
             Ok(env.deploy(host, instance.to_string(), Bean))
@@ -257,8 +302,10 @@ mod tests {
     #[test]
     fn instantiate_deploys_and_reserves() {
         let (mut env, monitor, node_host, node, reg) = setup();
-        let el = ServiceElement::singleton("svc", "bean")
-            .with_qos(QosRequirements { memory_mb: 100, ..Default::default() });
+        let el = ServiceElement::singleton("svc", "bean").with_qos(QosRequirements {
+            memory_mb: 100,
+            ..Default::default()
+        });
         let p = node
             .instantiate(&mut env, monitor, &el, "svc", reg.get("bean").unwrap())
             .unwrap()
@@ -292,7 +339,10 @@ mod tests {
         let (mut env, monitor, _nh, node, reg) = setup();
         let big = ServiceElement::singleton("fat", "bean")
             .with_max_per_node(10)
-            .with_qos(QosRequirements { memory_mb: 5000, ..Default::default() });
+            .with_qos(QosRequirements {
+                memory_mb: 5000,
+                ..Default::default()
+            });
         node.instantiate(&mut env, monitor, &big, "fat-1", reg.get("bean").unwrap())
             .unwrap()
             .unwrap();
@@ -300,14 +350,20 @@ mod tests {
             .instantiate(&mut env, monitor, &big, "fat-2", reg.get("bean").unwrap())
             .unwrap()
             .unwrap_err();
-        assert_eq!(err, CybernodeError::InsufficientCapacity, "8192 MB can't fit 2×5000");
+        assert_eq!(
+            err,
+            CybernodeError::InsufficientCapacity,
+            "8192 MB can't fit 2×5000"
+        );
     }
 
     #[test]
     fn terminate_releases_capacity_and_undeploys() {
         let (mut env, monitor, _nh, node, reg) = setup();
-        let el = ServiceElement::singleton("svc", "bean")
-            .with_qos(QosRequirements { memory_mb: 64, ..Default::default() });
+        let el = ServiceElement::singleton("svc", "bean").with_qos(QosRequirements {
+            memory_mb: 64,
+            ..Default::default()
+        });
         let p = node
             .instantiate(&mut env, monitor, &el, "svc", reg.get("bean").unwrap())
             .unwrap()
@@ -319,7 +375,10 @@ mod tests {
             assert_eq!(n.hosted().count(), 0);
         })
         .unwrap();
-        let err = node.terminate(&mut env, monitor, "svc").unwrap().unwrap_err();
+        let err = node
+            .terminate(&mut env, monitor, "svc")
+            .unwrap()
+            .unwrap_err();
         assert_eq!(err, CybernodeError::UnknownInstance);
     }
 
@@ -362,7 +421,13 @@ mod tests {
             sensorcer_registry::lease::LeasePolicy::default(),
             SimDuration::from_millis(500),
         );
-        Cybernode::deploy(&mut env, lab, "Cybernode", QosCapabilities::lab_server(), Some(lus));
+        Cybernode::deploy(
+            &mut env,
+            lab,
+            "Cybernode",
+            QosCapabilities::lab_server(),
+            Some(lus),
+        );
         let found = lus
             .lookup(
                 &mut env,

@@ -97,7 +97,9 @@ impl FactoryRegistry {
 
 impl std::fmt::Debug for FactoryRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FactoryRegistry").field("keys", &self.keys()).finish()
+        f.debug_struct("FactoryRegistry")
+            .field("keys", &self.keys())
+            .finish()
     }
 }
 
@@ -131,7 +133,11 @@ mod tests {
         let mut reg = FactoryRegistry::new();
         reg.register_fn("broken", |_env, _host, _el, _i| Err("nope".to_string()));
         let el = ServiceElement::singleton("svc", "broken");
-        let err = reg.get("broken").unwrap().create(&mut env, host, &el, "svc-1").unwrap_err();
+        let err = reg
+            .get("broken")
+            .unwrap()
+            .create(&mut env, host, &el, "svc-1")
+            .unwrap_err();
         assert_eq!(err, "nope");
     }
 

@@ -40,6 +40,7 @@
 //! assert_eq!(placed.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod cybernode;
 pub mod factory;
 pub mod monitor;

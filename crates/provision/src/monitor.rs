@@ -87,15 +87,16 @@ pub struct InstanceRecord {
     pub service: ServiceId,
 }
 
-/// A managed opstring.
+/// A managed opstring. Fields are private: the instance list and pending
+/// queue are state-machine state only `check`/`place` may move.
 #[derive(Debug)]
 pub struct Deployment {
-    pub opstring: OperationalString,
-    pub instances: Vec<InstanceRecord>,
+    opstring: OperationalString,
+    instances: Vec<InstanceRecord>,
     /// Instances planned but currently unplaced (retried each check),
     /// with the node that last hosted them so a rebooted node's stale
     /// copy can be cleaned up before re-placement.
-    pub pending: Vec<(String, Option<CybernodeHandle>)>,
+    pending: Vec<(String, Option<CybernodeHandle>)>,
 }
 
 impl Deployment {
@@ -112,9 +113,20 @@ impl Deployment {
     }
 }
 
+/// Lifecycle entity id for `opstring/instance` (FNV-1a, stable across
+/// runs so the verifier can correlate transitions).
+pub fn provision_entity(opstring: &str, instance: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in opstring.bytes().chain([b'/']).chain(instance.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
 /// The monitor service.
 pub struct ProvisionMonitor {
-    pub host: HostId,
+    host: HostId,
     policy: AllocationPolicy,
     factories: FactoryRegistry,
     cybernodes: Vec<CybernodeHandle>,
@@ -156,12 +168,16 @@ impl ProvisionMonitor {
                 host,
                 service,
                 vec![interfaces::PROVISION_MONITOR.into()],
-                vec![Entry::Name(name.to_string()), Entry::ServiceType("MONITOR".into())],
+                vec![
+                    Entry::Name(name.to_string()),
+                    Entry::ServiceType("MONITOR".into()),
+                ],
             );
             let _ = lus.register(env, host, item, None);
         }
         env.schedule_every(heartbeat, heartbeat, move |env| {
-            env.with_service(service, |env, m: &mut ProvisionMonitor| m.check(env)).is_ok()
+            env.with_service(service, |env, m: &mut ProvisionMonitor| m.check(env))
+                .is_ok()
         });
         MonitorHandle { service, host }
     }
@@ -176,11 +192,19 @@ impl ProvisionMonitor {
     /// Discover cybernodes from a lookup service and register them.
     pub fn discover_cybernodes(&mut self, env: &mut Env, lus: LusHandle) -> usize {
         let found = lus
-            .lookup(env, self.host, &ServiceTemplate::by_interface(interfaces::CYBERNODE), usize::MAX)
+            .lookup(
+                env,
+                self.host,
+                &ServiceTemplate::by_interface(interfaces::CYBERNODE),
+                usize::MAX,
+            )
             .unwrap_or_default();
         let mut added = 0;
         for item in found {
-            let handle = CybernodeHandle { service: item.service, host: item.host };
+            let handle = CybernodeHandle {
+                service: item.service,
+                host: item.host,
+            };
             if !self.cybernodes.contains(&handle) {
                 self.cybernodes.push(handle);
                 added += 1;
@@ -191,6 +215,11 @@ impl ProvisionMonitor {
 
     pub fn cybernode_count(&self) -> usize {
         self.cybernodes.len()
+    }
+
+    /// The host this monitor runs on.
+    pub fn host(&self) -> HostId {
+        self.host
     }
 
     pub fn policy(&self) -> AllocationPolicy {
@@ -230,7 +259,14 @@ impl ProvisionMonitor {
                 Err(e) => env.span_field(span, "error", e.to_string()),
             }
         }
-        env.span_end(span, if result.is_ok() { Outcome::Ok } else { Outcome::Error });
+        env.span_end(
+            span,
+            if result.is_ok() {
+                Outcome::Ok
+            } else {
+                Outcome::Error
+            },
+        );
         result
     }
 
@@ -247,7 +283,7 @@ impl ProvisionMonitor {
         let mut results = Vec::new();
         for element in &opstring.elements {
             if self.factories.get(&element.type_key).is_none() {
-                self.rollback(env, &placed);
+                self.rollback(env, &opstring.name, &placed);
                 return Err(ProvisionError::UnknownFactory(element.type_key.clone()));
             }
             for i in 0..element.planned {
@@ -258,6 +294,12 @@ impl ProvisionMonitor {
                 };
                 match self.place(env, &opstring.name, element, &instance) {
                     Some(p) => {
+                        env.lifecycle(
+                            "provision",
+                            provision_entity(&opstring.name, &instance),
+                            "deploy",
+                            p.host.0 as u64,
+                        );
                         placed.push(InstanceRecord {
                             element: element.name.clone(),
                             instance: instance.clone(),
@@ -270,14 +312,20 @@ impl ProvisionMonitor {
                         results.push(p);
                     }
                     None => {
-                        self.rollback(env, &placed);
+                        self.rollback(env, &opstring.name, &placed);
                         return Err(ProvisionError::NoCandidate(element.name.clone()));
                     }
                 }
             }
         }
-        self.deployments
-            .insert(opstring.name.clone(), Deployment { opstring, instances: placed, pending: Vec::new() });
+        self.deployments.insert(
+            opstring.name.clone(),
+            Deployment {
+                opstring,
+                instances: placed,
+                pending: Vec::new(),
+            },
+        );
         Ok(results)
     }
 
@@ -286,12 +334,19 @@ impl ProvisionMonitor {
             .iter()
             .find(|c| c.host == host)
             .map(|c| c.service)
+            // lint:allow(unwrap): cybernodes register before any placement
             .expect("placement only happens on registered cybernodes")
     }
 
-    fn rollback(&mut self, env: &mut Env, placed: &[InstanceRecord]) {
+    fn rollback(&mut self, env: &mut Env, opstring: &str, placed: &[InstanceRecord]) {
         for rec in placed {
             let _ = rec.node.terminate(env, self.host, &rec.instance);
+            env.lifecycle(
+                "provision",
+                provision_entity(opstring, &rec.instance),
+                "undeploy",
+                0,
+            );
         }
     }
 
@@ -308,27 +363,42 @@ impl ProvisionMonitor {
         // the network cost of the utilization calls).
         let mut candidates: Vec<Candidate<CybernodeHandle>> = Vec::new();
         for node in self.cybernodes.clone() {
-            let Ok((caps, reserved)) = node.utilization(env, self.host) else { continue };
+            let Ok((caps, reserved)) = node.utilization(env, self.host) else {
+                continue;
+            };
             if !element.qos.satisfied_by(&caps, reserved) {
                 continue;
             }
-            let Ok(count) = node.count_of(env, self.host, &element.name) else { continue };
+            let Ok(count) = node.count_of(env, self.host, &element.name) else {
+                continue;
+            };
             if count >= element.max_per_node {
                 continue;
             }
-            candidates.push(Candidate { node, caps, reserved_mb: reserved });
+            candidates.push(Candidate {
+                node,
+                caps,
+                reserved_mb: reserved,
+            });
         }
         while !candidates.is_empty() {
-            let idx = self.policy.select(&element.qos, &candidates, &mut self.rr_cursor)?;
+            let idx = self
+                .policy
+                .select(&element.qos, &candidates, &mut self.rr_cursor)?;
             let chosen = candidates.remove(idx);
-            match chosen.node.instantiate(env, self.host, element, instance, factory.clone()) {
+            match chosen
+                .node
+                .instantiate(env, self.host, element, instance, factory.clone())
+            {
                 Ok(Ok(p)) => {
                     self.events.push(ProvisionEvent {
                         at: env.now(),
                         opstring: opstring.to_string(),
                         element: element.name.clone(),
                         instance: instance.to_string(),
-                        kind: ProvisionEventKind::Deployed { node: chosen.node.host },
+                        kind: ProvisionEventKind::Deployed {
+                            node: chosen.node.host,
+                        },
                     });
                     return Some(p);
                 }
@@ -354,6 +424,12 @@ impl ProvisionMonitor {
                 instance: rec.instance.clone(),
                 kind: ProvisionEventKind::Undeployed,
             });
+            env.lifecycle(
+                "provision",
+                provision_entity(name, &rec.instance),
+                "undeploy",
+                0,
+            );
         }
         Ok(())
     }
@@ -364,7 +440,9 @@ impl ProvisionMonitor {
         let names: Vec<String> = self.deployments.keys().cloned().collect();
         for name in names {
             // Take the deployment out to sidestep aliasing with `self`.
-            let Some(mut dep) = self.deployments.remove(&name) else { continue };
+            let Some(mut dep) = self.deployments.remove(&name) else {
+                continue;
+            };
 
             // 1. Find dead instances.
             let mut survivors = Vec::new();
@@ -383,7 +461,9 @@ impl ProvisionMonitor {
             // terminate it first so placement isn't refused by the
             // per-node cap.
             for rec in dead {
-                let Some(element) = dep.element(&rec.element).cloned() else { continue };
+                let Some(element) = dep.element(&rec.element).cloned() else {
+                    continue;
+                };
                 // Each re-placement is a `provision.failover` span: the
                 // failed host, and where the instance landed (or pending).
                 let span = if env.tracing_enabled() {
@@ -407,8 +487,17 @@ impl ProvisionMonitor {
                             opstring: name.clone(),
                             element: rec.element.clone(),
                             instance: rec.instance.clone(),
-                            kind: ProvisionEventKind::Failover { from: rec.node.host, to: p.host },
+                            kind: ProvisionEventKind::Failover {
+                                from: rec.node.host,
+                                to: p.host,
+                            },
                         });
+                        env.lifecycle(
+                            "provision",
+                            provision_entity(&name, &rec.instance),
+                            "failover",
+                            p.host.0 as u64,
+                        );
                         dep.instances.push(InstanceRecord {
                             element: rec.element,
                             instance: rec.instance,
@@ -431,6 +520,12 @@ impl ProvisionMonitor {
                             instance: rec.instance.clone(),
                             kind: ProvisionEventKind::Pending,
                         });
+                        env.lifecycle(
+                            "provision",
+                            provision_entity(&name, &rec.instance),
+                            "pending",
+                            0,
+                        );
                         dep.pending.push((rec.instance, Some(rec.node)));
                     }
                 }
@@ -440,12 +535,20 @@ impl ProvisionMonitor {
             // node that has since rebooted.
             let pending = std::mem::take(&mut dep.pending);
             for (instance, last_node) in pending {
-                let Some(element) = dep.element_of_instance(&instance).cloned() else { continue };
+                let Some(element) = dep.element_of_instance(&instance).cloned() else {
+                    continue;
+                };
                 if let Some(node) = last_node {
                     let _ = node.terminate(env, self.host, &instance);
                 }
                 match self.place(env, &name, &element, &instance) {
                     Some(p) => {
+                        env.lifecycle(
+                            "provision",
+                            provision_entity(&name, &instance),
+                            "deploy",
+                            p.host.0 as u64,
+                        );
                         dep.instances.push(InstanceRecord {
                             element: element.name.clone(),
                             instance,
@@ -513,9 +616,13 @@ impl MonitorHandle {
                 .iter()
                 .map(|e| e.name.len() + e.type_key.len() + 64)
                 .sum::<usize>();
-        env.call(from, self.service, ProtocolStack::Tcp, req, move |env, m: &mut ProvisionMonitor| {
-            (m.deploy_opstring(env, opstring), 96)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            req,
+            move |env, m: &mut ProvisionMonitor| (m.deploy_opstring(env, opstring), 96),
+        )
     }
 
     /// Remote undeploy.
@@ -526,9 +633,13 @@ impl MonitorHandle {
         name: &str,
     ) -> Result<Result<(), ProvisionError>, NetError> {
         let name = name.to_string();
-        env.call(from, self.service, ProtocolStack::Tcp, 64, move |env, m: &mut ProvisionMonitor| {
-            (m.undeploy_opstring(env, &name), 8)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            64,
+            move |env, m: &mut ProvisionMonitor| (m.undeploy_opstring(env, &name), 8),
+        )
     }
 }
 
@@ -568,14 +679,25 @@ mod tests {
         let mut nodes = Vec::new();
         for i in 0..node_count {
             let h = env.add_host(format!("node{i}"), HostKind::Server);
-            let n = Cybernode::deploy(&mut env, h, &format!("Cybernode-{i}"), QosCapabilities::lab_server(), None);
+            let n = Cybernode::deploy(
+                &mut env,
+                h,
+                &format!("Cybernode-{i}"),
+                QosCapabilities::lab_server(),
+                None,
+            );
             env.with_service(monitor.service, |_e, m: &mut ProvisionMonitor| {
                 m.register_cybernode(n)
             })
             .unwrap();
             nodes.push(n);
         }
-        World { env, monitor, nodes, client }
+        World {
+            env,
+            monitor,
+            nodes,
+            client,
+        }
     }
 
     fn opstring(n_planned: u32) -> OperationalString {
@@ -583,7 +705,10 @@ mod tests {
             ServiceElement::singleton("svc", "bean")
                 .with_planned(n_planned)
                 .with_max_per_node(10)
-                .with_qos(QosRequirements { memory_mb: 64, ..Default::default() }),
+                .with_qos(QosRequirements {
+                    memory_mb: 64,
+                    ..Default::default()
+                }),
         )
     }
 
@@ -615,9 +740,15 @@ mod tests {
     fn max_per_node_forces_spread_even_with_best_fit() {
         let mut w = setup(3, AllocationPolicy::BestFit);
         let os = OperationalString::new("net").with_element(
-            ServiceElement::singleton("svc", "bean").with_planned(3).with_max_per_node(1),
+            ServiceElement::singleton("svc", "bean")
+                .with_planned(3)
+                .with_max_per_node(1),
         );
-        let placed = w.monitor.deploy_opstring(&mut w.env, w.client, os).unwrap().unwrap();
+        let placed = w
+            .monitor
+            .deploy_opstring(&mut w.env, w.client, os)
+            .unwrap()
+            .unwrap();
         let hosts: std::collections::BTreeSet<HostId> = placed.iter().map(|p| p.host).collect();
         assert_eq!(hosts.len(), 3);
     }
@@ -630,7 +761,11 @@ mod tests {
                 .with_planned(2)
                 .with_max_per_node(1), // second replica cannot fit anywhere
         );
-        let err = w.monitor.deploy_opstring(&mut w.env, w.client, os).unwrap().unwrap_err();
+        let err = w
+            .monitor
+            .deploy_opstring(&mut w.env, w.client, os)
+            .unwrap()
+            .unwrap_err();
         assert_eq!(err, ProvisionError::NoCandidate("svc".into()));
         // Rollback: the node hosts nothing.
         w.env
@@ -645,10 +780,20 @@ mod tests {
         let mut w = setup(1, AllocationPolicy::LeastUtilized);
         let os = OperationalString::new("net")
             .with_element(ServiceElement::singleton("svc", "no-such-factory"));
-        let err = w.monitor.deploy_opstring(&mut w.env, w.client, os).unwrap().unwrap_err();
-        assert_eq!(err, ProvisionError::UnknownFactory("no-such-factory".into()));
+        let err = w
+            .monitor
+            .deploy_opstring(&mut w.env, w.client, os)
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProvisionError::UnknownFactory("no-such-factory".into())
+        );
 
-        w.monitor.deploy_opstring(&mut w.env, w.client, opstring(1)).unwrap().unwrap();
+        w.monitor
+            .deploy_opstring(&mut w.env, w.client, opstring(1))
+            .unwrap()
+            .unwrap();
         let err = w
             .monitor
             .deploy_opstring(&mut w.env, w.client, opstring(1))
@@ -671,10 +816,15 @@ mod tests {
         w.env.run_for(SimDuration::from_secs(3));
         let instances = w
             .env
-            .with_service(w.monitor.service, |_e, m: &mut ProvisionMonitor| m.instances("net"))
+            .with_service(w.monitor.service, |_e, m: &mut ProvisionMonitor| {
+                m.instances("net")
+            })
             .unwrap();
         assert_eq!(instances.len(), 1);
-        assert_ne!(instances[0].node.host, original_host, "must move to the other node");
+        assert_ne!(
+            instances[0].node.host, original_host,
+            "must move to the other node"
+        );
         assert!(w.env.is_service_up(instances[0].service));
         w.env
             .with_service(w.monitor.service, |_e, m: &mut ProvisionMonitor| {
@@ -690,14 +840,20 @@ mod tests {
     #[test]
     fn unplaceable_failover_goes_pending_then_recovers() {
         let mut w = setup(1, AllocationPolicy::LeastUtilized);
-        w.monitor.deploy_opstring(&mut w.env, w.client, opstring(1)).unwrap().unwrap();
+        w.monitor
+            .deploy_opstring(&mut w.env, w.client, opstring(1))
+            .unwrap()
+            .unwrap();
         let node_host = w.nodes[0].host;
         w.env.crash_host(node_host);
         w.env.run_for(SimDuration::from_secs(3));
         w.env
             .with_service(w.monitor.service, |_e, m: &mut ProvisionMonitor| {
                 assert_eq!(m.instances("net").len(), 0);
-                assert!(m.events().iter().any(|e| e.kind == ProvisionEventKind::Pending));
+                assert!(m
+                    .events()
+                    .iter()
+                    .any(|e| e.kind == ProvisionEventKind::Pending));
             })
             .unwrap();
         // Node comes back: pending placement is retried. (The cybernode's
@@ -706,9 +862,15 @@ mod tests {
         w.env.run_for(SimDuration::from_secs(3));
         let instances = w
             .env
-            .with_service(w.monitor.service, |_e, m: &mut ProvisionMonitor| m.instances("net"))
+            .with_service(w.monitor.service, |_e, m: &mut ProvisionMonitor| {
+                m.instances("net")
+            })
             .unwrap();
-        assert_eq!(instances.len(), 1, "pending instance must be placed on recovery");
+        assert_eq!(
+            instances.len(),
+            1,
+            "pending instance must be placed on recovery"
+        );
     }
 
     #[test]
@@ -719,7 +881,10 @@ mod tests {
             .deploy_opstring(&mut w.env, w.client, opstring(2))
             .unwrap()
             .unwrap();
-        w.monitor.undeploy_opstring(&mut w.env, w.client, "net").unwrap().unwrap();
+        w.monitor
+            .undeploy_opstring(&mut w.env, w.client, "net")
+            .unwrap()
+            .unwrap();
         for p in placed {
             assert!(!w.env.is_service_up(p.service) || w.env.service_host(p.service).is_none());
         }
@@ -745,7 +910,13 @@ mod tests {
         );
         for i in 0..3 {
             let h = env.add_host(format!("n{i}"), HostKind::Server);
-            Cybernode::deploy(&mut env, h, &format!("Cyb-{i}"), QosCapabilities::lab_server(), Some(lus));
+            Cybernode::deploy(
+                &mut env,
+                h,
+                &format!("Cyb-{i}"),
+                QosCapabilities::lab_server(),
+                Some(lus),
+            );
         }
         let monitor = ProvisionMonitor::deploy(
             &mut env,

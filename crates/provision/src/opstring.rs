@@ -74,7 +74,10 @@ impl ServiceElement {
             return Err(format!("element '{}' plans zero instances", self.name));
         }
         if self.max_per_node == 0 {
-            return Err(format!("element '{}' allows zero instances per node", self.name));
+            return Err(format!(
+                "element '{}' allows zero instances per node",
+                self.name
+            ));
         }
         Ok(())
     }
@@ -89,7 +92,10 @@ pub struct OperationalString {
 
 impl OperationalString {
     pub fn new(name: impl Into<String>) -> OperationalString {
-        OperationalString { name: name.into(), elements: Vec::new() }
+        OperationalString {
+            name: name.into(),
+            elements: Vec::new(),
+        }
     }
 
     pub fn with_element(mut self, element: ServiceElement) -> Self {
@@ -141,7 +147,10 @@ mod tests {
 
     #[test]
     fn validation_failures() {
-        assert!(OperationalString::new("x").validate().is_err(), "no elements");
+        assert!(
+            OperationalString::new("x").validate().is_err(),
+            "no elements"
+        );
         assert!(OperationalString::new("")
             .with_element(ServiceElement::singleton("a", "t"))
             .validate()
@@ -152,7 +161,13 @@ mod tests {
         assert!(dup.validate().is_err());
         assert!(ServiceElement::singleton("", "t").validate().is_err());
         assert!(ServiceElement::singleton("a", "").validate().is_err());
-        assert!(ServiceElement::singleton("a", "t").with_planned(0).validate().is_err());
-        assert!(ServiceElement::singleton("a", "t").with_max_per_node(0).validate().is_err());
+        assert!(ServiceElement::singleton("a", "t")
+            .with_planned(0)
+            .validate()
+            .is_err());
+        assert!(ServiceElement::singleton("a", "t")
+            .with_max_per_node(0)
+            .validate()
+            .is_err());
     }
 }

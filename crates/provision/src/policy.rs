@@ -26,8 +26,11 @@ pub enum AllocationPolicy {
 }
 
 impl AllocationPolicy {
-    pub const ALL: [AllocationPolicy; 3] =
-        [AllocationPolicy::LeastUtilized, AllocationPolicy::RoundRobin, AllocationPolicy::BestFit];
+    pub const ALL: [AllocationPolicy; 3] = [
+        AllocationPolicy::LeastUtilized,
+        AllocationPolicy::RoundRobin,
+        AllocationPolicy::BestFit,
+    ];
 
     /// Human-readable name for reports.
     pub fn name(self) -> &'static str {
@@ -89,20 +92,28 @@ mod tests {
     fn cand(name: &str, memory_mb: u32, reserved: u32) -> Candidate<String> {
         Candidate {
             node: name.to_string(),
-            caps: QosCapabilities { memory_mb, ..QosCapabilities::lab_server() },
+            caps: QosCapabilities {
+                memory_mb,
+                ..QosCapabilities::lab_server()
+            },
             reserved_mb: reserved,
         }
     }
 
     fn req() -> QosRequirements {
-        QosRequirements { memory_mb: 100, ..Default::default() }
+        QosRequirements {
+            memory_mb: 100,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn least_utilized_prefers_headroom() {
         let cands = vec![cand("busy", 8192, 8000), cand("fresh", 8192, 0)];
         let mut rr = 0;
-        let idx = AllocationPolicy::LeastUtilized.select(&req(), &cands, &mut rr).unwrap();
+        let idx = AllocationPolicy::LeastUtilized
+            .select(&req(), &cands, &mut rr)
+            .unwrap();
         assert_eq!(cands[idx].node, "fresh");
     }
 
@@ -110,7 +121,9 @@ mod tests {
     fn best_fit_prefers_tightest() {
         let cands = vec![cand("huge", 8192, 0), cand("snug", 8192, 8000)];
         let mut rr = 0;
-        let idx = AllocationPolicy::BestFit.select(&req(), &cands, &mut rr).unwrap();
+        let idx = AllocationPolicy::BestFit
+            .select(&req(), &cands, &mut rr)
+            .unwrap();
         assert_eq!(cands[idx].node, "snug");
     }
 
@@ -120,7 +133,9 @@ mod tests {
         let mut rr = 0;
         let picks: Vec<String> = (0..6)
             .map(|_| {
-                let i = AllocationPolicy::RoundRobin.select(&req(), &cands, &mut rr).unwrap();
+                let i = AllocationPolicy::RoundRobin
+                    .select(&req(), &cands, &mut rr)
+                    .unwrap();
                 cands[i].node.clone()
             })
             .collect();
@@ -139,7 +154,9 @@ mod tests {
     fn ties_are_deterministic() {
         let cands = vec![cand("first", 1024, 0), cand("second", 1024, 0)];
         let mut rr = 0;
-        let idx = AllocationPolicy::LeastUtilized.select(&req(), &cands, &mut rr).unwrap();
+        let idx = AllocationPolicy::LeastUtilized
+            .select(&req(), &cands, &mut rr)
+            .unwrap();
         assert_eq!(cands[idx].node, "first");
     }
 

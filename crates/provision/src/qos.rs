@@ -64,7 +64,10 @@ pub struct QosRequirements {
 impl QosRequirements {
     /// No constraints beyond a nominal memory reservation.
     pub fn modest() -> QosRequirements {
-        QosRequirements { memory_mb: 64, ..Default::default() }
+        QosRequirements {
+            memory_mb: 64,
+            ..Default::default()
+        }
     }
 
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
@@ -115,15 +118,24 @@ mod tests {
 
     #[test]
     fn memory_reservation_counts() {
-        let req = QosRequirements { memory_mb: 512, ..Default::default() };
+        let req = QosRequirements {
+            memory_mb: 512,
+            ..Default::default()
+        };
         let caps = QosCapabilities::edge_box(); // 512 MB total
         assert!(req.satisfied_by(&caps, 0));
-        assert!(!req.satisfied_by(&caps, 1), "one MB reserved leaves too little");
+        assert!(
+            !req.satisfied_by(&caps, 1),
+            "one MB reserved leaves too little"
+        );
     }
 
     #[test]
     fn arch_and_labels_are_hard_constraints() {
-        let req = QosRequirements { arch: Some("x86_64".into()), ..Default::default() };
+        let req = QosRequirements {
+            arch: Some("x86_64".into()),
+            ..Default::default()
+        };
         assert!(req.satisfied_by(&QosCapabilities::lab_server(), 0));
         assert!(!req.satisfied_by(&QosCapabilities::edge_box(), 0));
 
@@ -135,14 +147,21 @@ mod tests {
 
     #[test]
     fn cpu_constraints() {
-        let req = QosRequirements { min_cores: 2, min_mhz: 1000, ..Default::default() };
+        let req = QosRequirements {
+            min_cores: 2,
+            min_mhz: 1000,
+            ..Default::default()
+        };
         assert!(req.satisfied_by(&QosCapabilities::lab_server(), 0));
         assert!(!req.satisfied_by(&QosCapabilities::edge_box(), 0));
     }
 
     #[test]
     fn headroom_orders_nodes() {
-        let req = QosRequirements { memory_mb: 100, ..Default::default() };
+        let req = QosRequirements {
+            memory_mb: 100,
+            ..Default::default()
+        };
         let caps = QosCapabilities::lab_server(); // 8192 MB
         let fresh = req.headroom(&caps, 0);
         let loaded = req.headroom(&caps, 6000);
@@ -153,7 +172,10 @@ mod tests {
 
     #[test]
     fn headroom_floors_at_zero() {
-        let req = QosRequirements { memory_mb: 100_000, ..Default::default() };
+        let req = QosRequirements {
+            memory_mb: 100_000,
+            ..Default::default()
+        };
         assert_eq!(req.headroom(&QosCapabilities::edge_box(), 0), 0.0);
     }
 }

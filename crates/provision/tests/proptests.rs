@@ -99,13 +99,19 @@ fn round_robin_is_fair() {
         let n = g.usize_in(1, 12);
         let cycles = g.usize_in(1, 4);
         let candidates: Vec<Candidate<usize>> = (0..n)
-            .map(|i| Candidate { node: i, caps: QosCapabilities::lab_server(), reserved_mb: 0 })
+            .map(|i| Candidate {
+                node: i,
+                caps: QosCapabilities::lab_server(),
+                reserved_mb: 0,
+            })
             .collect();
         let req = QosRequirements::modest();
         let mut cursor = 0;
         let mut counts = vec![0usize; n];
         for _ in 0..(n * cycles) {
-            let idx = AllocationPolicy::RoundRobin.select(&req, &candidates, &mut cursor).unwrap();
+            let idx = AllocationPolicy::RoundRobin
+                .select(&req, &candidates, &mut cursor)
+                .unwrap();
             counts[idx] += 1;
         }
         assert!(counts.iter().all(|&c| c == cycles), "{counts:?}");
@@ -118,7 +124,10 @@ fn round_robin_is_fair() {
 fn extremal_policies_are_extremal() {
     run_cases("extremal_policies_are_extremal", 128, |g| {
         let reservations = g.vec_of(1, 12, |g| g.u64_in(0, 8_192) as u32);
-        let req = QosRequirements { memory_mb: 10, ..Default::default() };
+        let req = QosRequirements {
+            memory_mb: 10,
+            ..Default::default()
+        };
         let candidates: Vec<Candidate<usize>> = reservations
             .iter()
             .enumerate()
@@ -128,11 +137,17 @@ fn extremal_policies_are_extremal() {
                 reserved_mb: r,
             })
             .collect();
-        let headrooms: Vec<f64> =
-            candidates.iter().map(|c| req.headroom(&c.caps, c.reserved_mb)).collect();
+        let headrooms: Vec<f64> = candidates
+            .iter()
+            .map(|c| req.headroom(&c.caps, c.reserved_mb))
+            .collect();
         let mut cursor = 0;
-        let lu = AllocationPolicy::LeastUtilized.select(&req, &candidates, &mut cursor).unwrap();
-        let bf = AllocationPolicy::BestFit.select(&req, &candidates, &mut cursor).unwrap();
+        let lu = AllocationPolicy::LeastUtilized
+            .select(&req, &candidates, &mut cursor)
+            .unwrap();
+        let bf = AllocationPolicy::BestFit
+            .select(&req, &candidates, &mut cursor)
+            .unwrap();
         let max = headrooms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = headrooms.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!((headrooms[lu] - max).abs() < 1e-12);

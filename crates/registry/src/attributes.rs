@@ -18,7 +18,11 @@ pub enum Entry {
     /// Free-form comment (Fig. 2 shows `Comment.comment = SenSORCER Facade`).
     Comment(String),
     /// Physical location (Fig. 2: building "CP TTU", floor "3", room "310").
-    Location { building: String, floor: String, room: String },
+    Location {
+        building: String,
+        floor: String,
+        room: String,
+    },
     /// SenSORCER service kind shown in the browser ("ELEMENTARY",
     /// "COMPOSITE", "FACADE", ...).
     ServiceType(String),
@@ -44,7 +48,11 @@ impl WireEncode for Entry {
         buf.extend_from_slice(&[self.tag()]);
         match self {
             Entry::Name(s) | Entry::Comment(s) | Entry::ServiceType(s) => s.encode(buf),
-            Entry::Location { building, floor, room } => {
+            Entry::Location {
+                building,
+                floor,
+                room,
+            } => {
                 building.encode(buf);
                 floor.encode(buf);
                 room.encode(buf);
@@ -69,8 +77,16 @@ impl WireDecode for Entry {
                 room: String::decode(buf)?,
             },
             3 => Entry::ServiceType(String::decode(buf)?),
-            4 => Entry::Custom { key: String::decode(buf)?, value: String::decode(buf)? },
-            tag => return Err(WireError::BadTag { context: "Entry", tag }),
+            4 => Entry::Custom {
+                key: String::decode(buf)?,
+                value: String::decode(buf)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "Entry",
+                    tag,
+                })
+            }
         })
     }
 }
@@ -84,9 +100,16 @@ pub enum AttrMatch {
     Any,
     Name(Option<String>),
     Comment(Option<String>),
-    Location { building: Option<String>, floor: Option<String>, room: Option<String> },
+    Location {
+        building: Option<String>,
+        floor: Option<String>,
+        room: Option<String>,
+    },
     ServiceType(Option<String>),
-    Custom { key: Option<String>, value: Option<String> },
+    Custom {
+        key: Option<String>,
+        value: Option<String>,
+    },
 }
 
 impl AttrMatch {
@@ -111,8 +134,16 @@ impl AttrMatch {
             (AttrMatch::Name(w), Entry::Name(h)) => field(w, h),
             (AttrMatch::Comment(w), Entry::Comment(h)) => field(w, h),
             (
-                AttrMatch::Location { building, floor, room },
-                Entry::Location { building: hb, floor: hf, room: hr },
+                AttrMatch::Location {
+                    building,
+                    floor,
+                    room,
+                },
+                Entry::Location {
+                    building: hb,
+                    floor: hf,
+                    room: hr,
+                },
             ) => field(building, hb) && field(floor, hf) && field(room, hr),
             (AttrMatch::ServiceType(w), Entry::ServiceType(h)) => field(w, h),
             (AttrMatch::Custom { key, value }, Entry::Custom { key: hk, value: hv }) => {
@@ -144,7 +175,11 @@ mod tests {
     use super::*;
 
     fn loc() -> Entry {
-        Entry::Location { building: "CP TTU".into(), floor: "3".into(), room: "310".into() }
+        Entry::Location {
+            building: "CP TTU".into(),
+            floor: "3".into(),
+            room: "310".into(),
+        }
     }
 
     #[test]
@@ -182,16 +217,34 @@ mod tests {
 
     #[test]
     fn custom_matching() {
-        let e = Entry::Custom { key: "zone".into(), value: "north".into() };
-        assert!(AttrMatch::Custom { key: Some("zone".into()), value: None }.matches(&e));
-        assert!(AttrMatch::Custom { key: None, value: Some("north".into()) }.matches(&e));
-        assert!(!AttrMatch::Custom { key: Some("region".into()), value: None }.matches(&e));
+        let e = Entry::Custom {
+            key: "zone".into(),
+            value: "north".into(),
+        };
+        assert!(AttrMatch::Custom {
+            key: Some("zone".into()),
+            value: None
+        }
+        .matches(&e));
+        assert!(AttrMatch::Custom {
+            key: None,
+            value: Some("north".into())
+        }
+        .matches(&e));
+        assert!(!AttrMatch::Custom {
+            key: Some("region".into()),
+            value: None
+        }
+        .matches(&e));
     }
 
     #[test]
     fn extraction_helpers() {
-        let entries =
-            vec![Entry::Comment("c".into()), Entry::Name("N".into()), Entry::ServiceType("ELEMENTARY".into())];
+        let entries = vec![
+            Entry::Comment("c".into()),
+            Entry::Name("N".into()),
+            Entry::ServiceType("ELEMENTARY".into()),
+        ];
         assert_eq!(name_of(&entries), Some("N"));
         assert_eq!(service_type_of(&entries), Some("ELEMENTARY"));
         assert_eq!(name_of(&[]), None);
@@ -204,7 +257,10 @@ mod tests {
             Entry::Comment("SenSORCER Facade".into()),
             loc(),
             Entry::ServiceType("COMPOSITE".into()),
-            Entry::Custom { key: "k".into(), value: "v".into() },
+            Entry::Custom {
+                key: "k".into(),
+                value: "v".into(),
+            },
         ] {
             let mut wire = entry.to_wire();
             assert_eq!(Entry::decode(&mut wire).unwrap(), entry);
@@ -214,6 +270,9 @@ mod tests {
     #[test]
     fn bad_tag_rejected() {
         let mut wire = Bytes::from_static(&[9, 0, 0, 0, 0]);
-        assert!(matches!(Entry::decode(&mut wire), Err(WireError::BadTag { .. })));
+        assert!(matches!(
+            Entry::decode(&mut wire),
+            Err(WireError::BadTag { .. })
+        ));
     }
 }

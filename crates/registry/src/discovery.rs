@@ -38,7 +38,10 @@ pub fn discover(env: &mut Env, from: HostId, group: &str) -> Vec<LusHandle> {
             if !serves {
                 continue;
             }
-            if env.send_oneway(host, from, ProtocolStack::Udp, ANNOUNCEMENT_BYTES).is_ok() {
+            if env
+                .send_oneway(host, from, ProtocolStack::Udp, ANNOUNCEMENT_BYTES)
+                .is_ok()
+            {
                 found.push(LusHandle { service: svc, host });
             }
         }
@@ -115,7 +118,11 @@ mod tests {
         env.crash_host(lab);
         assert_eq!(discover(&mut env, client, "public"), vec![]);
         env.restart_host(lab);
-        assert_eq!(discover(&mut env, client, "public").len(), 1, "plug-and-play return");
+        assert_eq!(
+            discover(&mut env, client, "public").len(),
+            1,
+            "plug-and-play return"
+        );
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub fn event_wire_size(ev: &ServiceEvent) -> usize {
     8 + 8 + 16 + 1 + ev.item.as_ref().map_or(0, |i| i.encoded_len())
 }
 
+/// Happens-before key for one mailbox's queue: writes at delivery into the
+/// box, reads at every remote pull.
+pub fn hb_mailbox_key(host: HostId) -> String {
+    format!("mailbox@{}", host.0)
+}
+
 /// Where events for one registration get delivered.
 ///
 /// The `deliver` closure plays the role of the remote listener proxy; the
@@ -100,7 +106,9 @@ impl EventSink {
 
 impl std::fmt::Debug for EventSink {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventSink").field("host", &self.host).finish_non_exhaustive()
+        f.debug_struct("EventSink")
+            .field("host", &self.host)
+            .finish_non_exhaustive()
     }
 }
 
@@ -123,7 +131,11 @@ impl EventMailbox {
     pub fn deploy(env: &mut Env, host: HostId, name: &str) -> MailboxHandle {
         let shared = std::rc::Rc::new(std::cell::RefCell::new(EventMailbox::new()));
         let id = env.deploy_shared(host, name, std::rc::Rc::clone(&shared));
-        MailboxHandle { service: id, host, shared }
+        MailboxHandle {
+            service: id,
+            host,
+            shared,
+        }
     }
 
     fn push(&mut self, ev: ServiceEvent) {
@@ -159,20 +171,40 @@ impl MailboxHandle {
     /// An [`EventSink`] that stores into this mailbox.
     pub fn sink(&self) -> EventSink {
         let shared = std::rc::Rc::clone(&self.shared);
+        let host = self.host;
         EventSink {
-            host: self.host,
-            deliver: Box::new(move |_env, ev| shared.borrow_mut().push(ev.clone())),
+            host,
+            deliver: Box::new(move |env, ev| {
+                shared.borrow_mut().push(ev.clone());
+                if env.hb_enabled() {
+                    env.hb_write(host, &hb_mailbox_key(host));
+                }
+            }),
         }
     }
 
     /// Pull the stored events from a remote requestor at `from`, paying
     /// the network cost.
-    pub fn pull(&self, env: &mut Env, from: HostId) -> Result<Vec<ServiceEvent>, sensorcer_sim::topology::NetError> {
-        env.call(from, self.service, ProtocolStack::Tcp, 32, |_env, mb: &mut EventMailbox| {
-            let evs = mb.drain();
-            let bytes: usize = evs.iter().map(event_wire_size).sum();
-            (evs, bytes.max(8))
-        })
+    pub fn pull(
+        &self,
+        env: &mut Env,
+        from: HostId,
+    ) -> Result<Vec<ServiceEvent>, sensorcer_sim::topology::NetError> {
+        let out = env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            32,
+            |_env, mb: &mut EventMailbox| {
+                let evs = mb.drain();
+                let bytes: usize = evs.iter().map(event_wire_size).sum();
+                (evs, bytes.max(8))
+            },
+        );
+        if out.is_ok() && env.hb_enabled() {
+            env.hb_read(from, &hb_mailbox_key(self.host));
+        }
+        out
     }
 }
 
@@ -222,7 +254,10 @@ mod tests {
         let a = env.add_host("a", HostKind::Server);
         let b = env.add_host("b", HostKind::Server);
         env.crash_host(b);
-        let mut sink = EventSink { host: b, deliver: Box::new(|_e, _ev| panic!("must not deliver")) };
+        let mut sink = EventSink {
+            host: b,
+            deliver: Box::new(|_e, _ev| panic!("must not deliver")),
+        };
         assert!(!sink.send(&mut env, a, &event(1)));
     }
 
@@ -234,7 +269,10 @@ mod tests {
         env.crash_host(b);
         env.enable_tracing(16);
         let root = env.span_start("notify", "test", a);
-        let mut sink = EventSink { host: b, deliver: Box::new(|_e, _ev| panic!("must not deliver")) };
+        let mut sink = EventSink {
+            host: b,
+            deliver: Box::new(|_e, _ev| panic!("must not deliver")),
+        };
         assert!(!sink.send(&mut env, a, &event(1)));
         env.span_end(root, Outcome::Ok);
 
@@ -246,7 +284,10 @@ mod tests {
         assert!(span.has_event("event.dropped"));
 
         // A reachable listener counts a delivery, not a drop.
-        let mut ok_sink = EventSink { host: a, deliver: Box::new(|_e, _ev| {}) };
+        let mut ok_sink = EventSink {
+            host: a,
+            deliver: Box::new(|_e, _ev| {}),
+        };
         assert!(ok_sink.send(&mut env, a, &event(2)));
         assert_eq!(env.metrics.get(keys::EVENTS_DELIVERED), 1);
         assert_eq!(env.metrics.get(keys::EVENTS_DROPPED), 1);
@@ -287,7 +328,13 @@ mod tests {
     fn event_wire_size_counts_item() {
         let bare = event(1);
         let with_item = ServiceEvent {
-            item: Some(ServiceItem::new(SvcUuid(1), HostId(0), ServiceId(0), vec![], vec![])),
+            item: Some(ServiceItem::new(
+                SvcUuid(1),
+                HostId(0),
+                ServiceId(0),
+                vec![],
+                vec![],
+            )),
             ..event(1)
         };
         assert!(event_wire_size(&with_item) > event_wire_size(&bare));

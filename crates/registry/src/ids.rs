@@ -1,7 +1,7 @@
 //! Identifiers used across the registry.
 
-use sensorcer_sim::wire::{Bytes, BytesMut};
 use sensorcer_sim::rng::SimRng;
+use sensorcer_sim::wire::{Bytes, BytesMut};
 use sensorcer_sim::wire::{WireDecode, WireEncode, WireError};
 
 /// A 128-bit universally unique service identifier, like Jini's
@@ -53,7 +53,10 @@ impl WireEncode for SvcUuid {
 impl WireDecode for SvcUuid {
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         if buf.remaining() < 16 {
-            return Err(WireError::Truncated { needed: 16, available: buf.remaining() });
+            return Err(WireError::Truncated {
+                needed: 16,
+                available: buf.remaining(),
+            });
         }
         Ok(SvcUuid(buf.get_u128()))
     }

@@ -1,8 +1,8 @@
 //! Service items and lookup templates.
 
-use sensorcer_sim::wire::{Bytes, BytesMut};
 use sensorcer_sim::env::ServiceId;
 use sensorcer_sim::topology::HostId;
+use sensorcer_sim::wire::{Bytes, BytesMut};
 use sensorcer_sim::wire::{WireDecode, WireEncode, WireError};
 
 use crate::attributes::{name_of, AttrMatch, Entry};
@@ -30,7 +30,13 @@ impl ServiceItem {
         interfaces: Vec<InterfaceId>,
         attributes: Vec<Entry>,
     ) -> ServiceItem {
-        ServiceItem { uuid, host, service, interfaces, attributes }
+        ServiceItem {
+            uuid,
+            host,
+            service,
+            interfaces,
+            attributes,
+        }
     }
 
     /// The `Name` attribute, if present (how the browser labels services).
@@ -86,17 +92,26 @@ impl ServiceTemplate {
 
     /// Template matching one interface.
     pub fn by_interface(iface: impl Into<InterfaceId>) -> ServiceTemplate {
-        ServiceTemplate { interfaces: vec![iface.into()], ..Default::default() }
+        ServiceTemplate {
+            interfaces: vec![iface.into()],
+            ..Default::default()
+        }
     }
 
     /// Template matching a service name (`Name` attribute).
     pub fn by_name(name: impl Into<String>) -> ServiceTemplate {
-        ServiceTemplate { attributes: vec![AttrMatch::name(name)], ..Default::default() }
+        ServiceTemplate {
+            attributes: vec![AttrMatch::name(name)],
+            ..Default::default()
+        }
     }
 
     /// Template matching a specific uuid.
     pub fn by_id(id: SvcUuid) -> ServiceTemplate {
-        ServiceTemplate { ids: vec![id], ..Default::default() }
+        ServiceTemplate {
+            ids: vec![id],
+            ..Default::default()
+        }
     }
 
     /// Add an interface requirement.
@@ -160,11 +175,18 @@ mod tests {
             SvcUuid(7),
             HostId(1),
             ServiceId(3),
-            vec![interfaces::SENSOR_DATA_ACCESSOR.into(), interfaces::SERVICER.into()],
+            vec![
+                interfaces::SENSOR_DATA_ACCESSOR.into(),
+                interfaces::SERVICER.into(),
+            ],
             vec![
                 Entry::Name("Neem-Sensor".into()),
                 Entry::ServiceType("ELEMENTARY".into()),
-                Entry::Location { building: "CP TTU".into(), floor: "3".into(), room: "310".into() },
+                Entry::Location {
+                    building: "CP TTU".into(),
+                    floor: "3".into(),
+                    room: "310".into(),
+                },
             ],
         )
     }
@@ -177,13 +199,17 @@ mod tests {
     #[test]
     fn interface_matching_requires_all() {
         assert!(ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR).matches(&item()));
-        assert!(ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR)
-            .and_interface(interfaces::SERVICER)
-            .matches(&item()));
+        assert!(
+            ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR)
+                .and_interface(interfaces::SERVICER)
+                .matches(&item())
+        );
         assert!(!ServiceTemplate::by_interface(interfaces::CYBERNODE).matches(&item()));
-        assert!(!ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR)
-            .and_interface(interfaces::CYBERNODE)
-            .matches(&item()));
+        assert!(
+            !ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR)
+                .and_interface(interfaces::CYBERNODE)
+                .matches(&item())
+        );
     }
 
     #[test]

@@ -82,7 +82,11 @@ pub struct LeaseTable<T> {
 
 impl<T> LeaseTable<T> {
     pub fn new(policy: LeasePolicy) -> LeaseTable<T> {
-        LeaseTable { policy, next: 1, entries: BTreeMap::new() }
+        LeaseTable {
+            policy,
+            next: 1,
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Grant a lease over `resource`. `requested` is clamped to the policy
@@ -113,12 +117,18 @@ impl<T> LeaseTable<T> {
             .unwrap_or(self.policy.default_duration)
             .min(self.policy.max_duration);
         entry.0 = now + dur;
-        Ok(Lease { id, expires: entry.0 })
+        Ok(Lease {
+            id,
+            expires: entry.0,
+        })
     }
 
     /// Cancel a lease, returning its resource.
     pub fn cancel(&mut self, id: LeaseId) -> Result<T, LeaseError> {
-        self.entries.remove(&id).map(|(_, r)| r).ok_or(LeaseError::Unknown)
+        self.entries
+            .remove(&id)
+            .map(|(_, r)| r)
+            .ok_or(LeaseError::Unknown)
     }
 
     /// Remove every lease expired at `now`, returning the reaped resources.
@@ -131,6 +141,7 @@ impl<T> LeaseTable<T> {
             .collect();
         dead.into_iter()
             .map(|id| {
+                // lint:allow(unwrap): id was collected from entries in the loop above
                 let (_, r) = self.entries.remove(&id).expect("id collected above");
                 (id, r)
             })
@@ -223,7 +234,10 @@ mod tests {
         let mut lt = table();
         let l = lt.grant(t(0), None, "a");
         assert_eq!(lt.renew(t(10), l.id, None), Err(LeaseError::Expired));
-        assert_eq!(lt.renew(t(99), LeaseId(999), None), Err(LeaseError::Unknown));
+        assert_eq!(
+            lt.renew(t(99), LeaseId(999), None),
+            Err(LeaseError::Unknown)
+        );
     }
 
     #[test]
@@ -266,7 +280,10 @@ mod tests {
 
     #[test]
     fn lease_helpers() {
-        let l = Lease { id: LeaseId(1), expires: t(10) };
+        let l = Lease {
+            id: LeaseId(1),
+            expires: t(10),
+        };
         assert!(!l.is_expired(t(9)));
         assert!(l.is_expired(t(10)));
         assert_eq!(l.remaining(t(4)), SimDuration::from_secs(6));

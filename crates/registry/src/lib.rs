@@ -36,6 +36,7 @@
 //! assert_eq!(hits.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 // Boxed-closure callback signatures (event sinks, 2PC participants,
 // simulated parallel branches) trip this lint; the types are the API.
 #![allow(clippy::type_complexity)]
@@ -60,7 +61,9 @@ pub mod prelude {
     pub use crate::lease::{Lease, LeaseError, LeaseId, LeasePolicy, LeaseTable};
     pub use crate::lus::{LookupService, LusHandle, ServiceRegistration};
     pub use crate::renewal::{LeaseRenewalService, RenewalHandle};
-    pub use crate::txn::{Participant, TmHandle, TransactionManager, TxnError, TxnId, TxnState, Vote};
+    pub use crate::txn::{
+        Participant, TmHandle, TransactionManager, TxnError, TxnId, TxnState, Vote,
+    };
 }
 
 pub use prelude::*;

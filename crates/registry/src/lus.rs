@@ -28,6 +28,13 @@ pub mod keys {
     pub const LEASES_REAPED: &str = "registry.leases.reaped";
 }
 
+/// Happens-before key for one LUS's registration state: every write to
+/// the item map (register / cancel / reap / attribute change) writes this
+/// key at the LUS host, every remote lookup reads it at the requestor.
+pub fn hb_items_key(host: HostId) -> String {
+    format!("lus@{}.items", host.0)
+}
+
 /// Result of registering a service.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServiceRegistration {
@@ -53,7 +60,7 @@ struct EventReg {
 /// uuid order, which keeps result sets byte-identical to a linear scan of
 /// the uuid-keyed item map.
 pub struct LookupService {
-    pub host: HostId,
+    host: HostId,
     group: String,
     items: BTreeMap<SvcUuid, Arc<ServiceItem>>,
     /// Interface name → uuids of the items implementing it.
@@ -82,10 +89,16 @@ impl LookupService {
 
     fn index_item(&mut self, item: &ServiceItem) {
         for iface in &item.interfaces {
-            self.by_interface.entry(iface.clone()).or_default().insert(item.uuid);
+            self.by_interface
+                .entry(iface.clone())
+                .or_default()
+                .insert(item.uuid);
         }
         if let Some(name) = item.name() {
-            self.by_name.entry(name.to_string()).or_default().insert(item.uuid);
+            self.by_name
+                .entry(name.to_string())
+                .or_default()
+                .insert(item.uuid);
         }
     }
 
@@ -147,8 +160,7 @@ impl LookupService {
             let lease = reg.lease.id;
             env.schedule_every(max / 2, max / 2, move |env| {
                 env.with_service(service, |env, lus: &mut LookupService| {
-                    let now = env.now();
-                    lus.renew(now, lease, None).is_ok()
+                    lus.renew(env, lease, None).is_ok()
                 })
                 .unwrap_or(false)
             });
@@ -159,6 +171,11 @@ impl LookupService {
     /// The discovery group this LUS serves.
     pub fn group(&self) -> &str {
         &self.group
+    }
+
+    /// The host this LUS runs on.
+    pub fn host(&self) -> HostId {
+        self.host
     }
 
     /// Register (or re-register) a service item. A nil uuid is assigned a
@@ -188,6 +205,10 @@ impl LookupService {
         self.index_item(&item);
         let lease = self.reg_leases.grant(now, duration, uuid);
         self.registrations_total += 1;
+        env.lifecycle("lease", lease.id.0, "grant", lease.expires.as_nanos());
+        if env.hb_enabled() {
+            env.hb_write(self.host, &hb_items_key(self.host));
+        }
         self.fire(env, now, uuid, old.as_deref(), Some(&item));
         if span.is_valid() {
             env.span_field(span, "uuid", uuid.to_string());
@@ -197,20 +218,29 @@ impl LookupService {
         ServiceRegistration { uuid, lease }
     }
 
-    /// Renew a registration lease.
+    /// Renew a registration lease. Takes the env so the successful
+    /// transition lands in the lifecycle stream (checked against the
+    /// lease state machine by `sensorcer-verify`).
     pub fn renew(
         &mut self,
-        now: SimTime,
+        env: &mut Env,
         lease: LeaseId,
         duration: Option<SimDuration>,
     ) -> Result<Lease, LeaseError> {
-        self.reg_leases.renew(now, lease, duration)
+        let now = env.now();
+        let renewed = self.reg_leases.renew(now, lease, duration)?;
+        env.lifecycle("lease", lease.0, "renew", renewed.expires.as_nanos());
+        Ok(renewed)
     }
 
     /// Cancel a registration, removing the item immediately.
     pub fn cancel(&mut self, env: &mut Env, lease: LeaseId) -> Result<(), LeaseError> {
         let uuid = self.reg_leases.cancel(lease)?;
         let now = env.now();
+        env.lifecycle("lease", lease.0, "cancel", 0);
+        if env.hb_enabled() {
+            env.hb_write(self.host, &hb_items_key(self.host));
+        }
         if let Some(old) = self.items.remove(&uuid) {
             self.unindex_item(&old);
             self.fire(env, now, uuid, Some(&old), None);
@@ -231,7 +261,9 @@ impl LookupService {
         attributes: Vec<crate::attributes::Entry>,
     ) -> bool {
         let now = env.now();
-        let Some(existing) = self.items.get(&uuid) else { return false };
+        let Some(existing) = self.items.get(&uuid) else {
+            return false;
+        };
         let has_listeners = self.event_regs.live(now).next().is_some();
         if has_listeners {
             let old = Arc::clone(existing);
@@ -243,6 +275,7 @@ impl LookupService {
             self.fire(env, now, uuid, Some(&old), Some(&new));
         } else {
             let old_name = existing.name().map(str::to_string);
+            // lint:allow(unwrap): uuid presence checked by the match above
             let item = self.items.get_mut(&uuid).expect("checked above");
             // Clones the item only if a lookup result still shares it.
             Arc::make_mut(item).attributes = attributes;
@@ -265,7 +298,10 @@ impl LookupService {
             }
         }
         if let Some(name) = new {
-            self.by_name.entry(name.to_string()).or_default().insert(uuid);
+            self.by_name
+                .entry(name.to_string())
+                .or_default()
+                .insert(uuid);
         }
     }
 
@@ -386,8 +422,16 @@ impl LookupService {
         sink: EventSink,
         duration: Option<SimDuration>,
     ) -> Lease {
-        self.event_regs
-            .grant(now, duration, EventReg { template, transitions, sink, seq: 0 })
+        self.event_regs.grant(
+            now,
+            duration,
+            EventReg {
+                template,
+                transitions,
+                sink,
+                seq: 0,
+            },
+        )
     }
 
     /// Cancel an event registration.
@@ -411,9 +455,14 @@ impl LookupService {
             SpanId::INVALID
         };
         if !reaped.is_empty() {
-            env.metrics.add_host(self.host, keys::LEASES_REAPED, reaped.len() as u64);
+            env.metrics
+                .add_host(self.host, keys::LEASES_REAPED, reaped.len() as u64);
+            if env.hb_enabled() {
+                env.hb_write(self.host, &hb_items_key(self.host));
+            }
         }
-        for (_, uuid) in reaped {
+        for (id, uuid) in reaped {
+            env.lifecycle("lease", id.0, "reap", now.as_nanos());
             if let Some(old) = self.items.remove(&uuid) {
                 self.unindex_item(&old);
                 self.fire(env, now, uuid, Some(&old), None);
@@ -446,7 +495,9 @@ impl LookupService {
         // to keep the borrow checker honest about `self`.
         let live_ids: Vec<LeaseId> = self.event_regs.live(now).map(|(id, _)| id).collect();
         for id in live_ids {
-            let Ok(reg) = self.event_regs.get_mut(now, id) else { continue };
+            let Ok(reg) = self.event_regs.get_mut(now, id) else {
+                continue;
+            };
             let was = old.is_some_and(|i| reg.template.matches(i));
             let is = new.is_some_and(|i| reg.template.matches(i));
             let transition = match (was, is) {
@@ -500,10 +551,16 @@ impl LusHandle {
         duration: Option<SimDuration>,
     ) -> Result<ServiceRegistration, NetError> {
         let req = item.encoded_len() + 16;
-        env.call(from, self.service, ProtocolStack::Tcp, req, |env, lus: &mut LookupService| {
-            let reg = lus.register(env, item, duration);
-            (reg, 40)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            req,
+            |env, lus: &mut LookupService| {
+                let reg = lus.register(env, item, duration);
+                (reg, 40)
+            },
+        )
     }
 
     /// Renew a registration lease from `from`.
@@ -514,10 +571,13 @@ impl LusHandle {
         lease: LeaseId,
         duration: Option<SimDuration>,
     ) -> Result<Result<Lease, LeaseError>, NetError> {
-        env.call(from, self.service, ProtocolStack::Tcp, 24, |env, lus: &mut LookupService| {
-            let now = env.now();
-            (lus.renew(now, lease, duration), 24)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            24,
+            |env, lus: &mut LookupService| (lus.renew(env, lease, duration), 24),
+        )
     }
 
     /// Cancel a registration from `from`.
@@ -527,9 +587,13 @@ impl LusHandle {
         from: HostId,
         lease: LeaseId,
     ) -> Result<Result<(), LeaseError>, NetError> {
-        env.call(from, self.service, ProtocolStack::Tcp, 16, |env, lus: &mut LookupService| {
-            (lus.cancel(env, lease), 8)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            16,
+            |env, lus: &mut LookupService| (lus.cancel(env, lease), 8),
+        )
     }
 
     /// Remote lookup. Matched items are cloned exactly once, here at the
@@ -543,16 +607,28 @@ impl LusHandle {
     ) -> Result<Vec<ServiceItem>, NetError> {
         let req = template.encoded_len() + 8;
         let template = template.clone();
-        env.call(from, self.service, ProtocolStack::Tcp, req, move |_env, lus: &mut LookupService| {
-            let mut found = Vec::new();
-            let mut resp = 0usize;
-            lus.lookup_visit(&template, max, |item| {
-                resp += item.encoded_len();
-                found.push((**item).clone());
-                true
-            });
-            (found, resp.max(8))
-        })
+        let out = env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            req,
+            move |_env, lus: &mut LookupService| {
+                let mut found = Vec::new();
+                let mut resp = 0usize;
+                lus.lookup_visit(&template, max, |item| {
+                    resp += item.encoded_len();
+                    found.push((**item).clone());
+                    true
+                });
+                (found, resp.max(8))
+            },
+        );
+        if out.is_ok() && env.hb_enabled() {
+            // The response edge has merged the LUS clock into `from`, so a
+            // clean tree reads as ordered here.
+            env.hb_read(from, &hb_items_key(self.host));
+        }
+        out
     }
 
     /// Remote single lookup.
@@ -578,18 +654,28 @@ impl LusHandle {
         let req = template.encoded_len() + 8;
         let template = template.clone();
         let exclude = exclude.map(str::to_string);
-        env.call(from, self.service, ProtocolStack::Tcp, req, move |_env, lus: &mut LookupService| {
-            let mut hit: Option<ServiceItem> = None;
-            lus.lookup_visit(&template, usize::MAX, |item| {
-                if exclude.as_deref().is_some_and(|x| item.name() == Some(x)) {
-                    return true;
-                }
-                hit = Some((**item).clone());
-                false
-            });
-            let resp = hit.as_ref().map_or(8, |i| i.encoded_len());
-            (hit, resp)
-        })
+        let out = env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            req,
+            move |_env, lus: &mut LookupService| {
+                let mut hit: Option<ServiceItem> = None;
+                lus.lookup_visit(&template, usize::MAX, |item| {
+                    if exclude.as_deref().is_some_and(|x| item.name() == Some(x)) {
+                        return true;
+                    }
+                    hit = Some((**item).clone());
+                    false
+                });
+                let resp = hit.as_ref().map_or(8, |i| i.encoded_len());
+                (hit, resp)
+            },
+        );
+        if out.is_ok() && env.hb_enabled() {
+            env.hb_read(from, &hb_items_key(self.host));
+        }
+        out
     }
 
     /// Register an event listener.
@@ -603,10 +689,16 @@ impl LusHandle {
         duration: Option<SimDuration>,
     ) -> Result<Lease, NetError> {
         let req = template.encoded_len() + 24;
-        env.call(from, self.service, ProtocolStack::Tcp, req, move |env, lus: &mut LookupService| {
-            let now = env.now();
-            (lus.notify(now, template, transitions, sink, duration), 24)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            req,
+            move |env, lus: &mut LookupService| {
+                let now = env.now();
+                (lus.notify(now, template, transitions, sink, duration), 24)
+            },
+        )
     }
 }
 
@@ -638,7 +730,10 @@ mod tests {
             host,
             ServiceId(svc),
             vec![interfaces::SENSOR_DATA_ACCESSOR.into()],
-            vec![Entry::Name(name.into()), Entry::ServiceType("ELEMENTARY".into())],
+            vec![
+                Entry::Name(name.into()),
+                Entry::ServiceType("ELEMENTARY".into()),
+            ],
         )
     }
 
@@ -650,7 +745,12 @@ mod tests {
             .unwrap();
         assert!(!reg.uuid.is_nil());
         let found = lus
-            .lookup(&mut env, client, &ServiceTemplate::by_name("Neem-Sensor"), 10)
+            .lookup(
+                &mut env,
+                client,
+                &ServiceTemplate::by_name("Neem-Sensor"),
+                10,
+            )
             .unwrap();
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].uuid, reg.uuid);
@@ -702,18 +802,33 @@ mod tests {
     fn renewal_keeps_service_alive() {
         let (mut env, lab, client, lus) = setup();
         let reg = lus
-            .register(&mut env, client, sensor_item("Neem", lab, 1), Some(SimDuration::from_secs(5)))
+            .register(
+                &mut env,
+                client,
+                sensor_item("Neem", lab, 1),
+                Some(SimDuration::from_secs(5)),
+            )
             .unwrap();
         for _ in 0..5 {
             env.run_for(SimDuration::from_secs(3));
-            lus.renew(&mut env, client, reg.lease.id, Some(SimDuration::from_secs(5)))
-                .unwrap()
-                .unwrap();
+            lus.renew(
+                &mut env,
+                client,
+                reg.lease.id,
+                Some(SimDuration::from_secs(5)),
+            )
+            .unwrap()
+            .unwrap();
         }
         assert_eq!(
-            lus.lookup(&mut env, client, &ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR), 10)
-                .unwrap()
-                .len(),
+            lus.lookup(
+                &mut env,
+                client,
+                &ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR),
+                10
+            )
+            .unwrap()
+            .len(),
             1
         );
     }
@@ -721,12 +836,19 @@ mod tests {
     #[test]
     fn cancel_removes_immediately() {
         let (mut env, lab, client, lus) = setup();
-        let reg = lus.register(&mut env, client, sensor_item("Neem", lab, 1), None).unwrap();
+        let reg = lus
+            .register(&mut env, client, sensor_item("Neem", lab, 1), None)
+            .unwrap();
         lus.cancel(&mut env, client, reg.lease.id).unwrap().unwrap();
         assert_eq!(
-            lus.lookup(&mut env, client, &ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR), 10)
-                .unwrap()
-                .len(),
+            lus.lookup(
+                &mut env,
+                client,
+                &ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR),
+                10
+            )
+            .unwrap()
+            .len(),
             0
         );
         // Double cancel is an application-level error, not a crash.
@@ -753,7 +875,12 @@ mod tests {
         .unwrap();
 
         let reg = lus
-            .register(&mut env, client, sensor_item("Neem", lab, 1), Some(SimDuration::from_secs(3)))
+            .register(
+                &mut env,
+                client,
+                sensor_item("Neem", lab, 1),
+                Some(SimDuration::from_secs(3)),
+            )
             .unwrap();
         assert_eq!(*seen.borrow(), vec![Transition::NoMatchToMatch]);
 
@@ -776,18 +903,25 @@ mod tests {
             client,
             ServiceTemplate::any(),
             vec![Transition::MatchToMatch],
-            EventSink { host: client, deliver: Box::new(move |_e, _ev| *seen2.borrow_mut() += 1) },
+            EventSink {
+                host: client,
+                deliver: Box::new(move |_e, _ev| *seen2.borrow_mut() += 1),
+            },
             None,
         )
         .unwrap();
-        let reg = lus.register(&mut env, client, sensor_item("Neem", lab, 1), None).unwrap();
+        let reg = lus
+            .register(&mut env, client, sensor_item("Neem", lab, 1), None)
+            .unwrap();
         env.with_service(lus.service, |env, l: &mut LookupService| {
             assert!(l.modify_attributes(env, reg.uuid, vec![Entry::Name("Renamed".into())]));
             assert!(!l.modify_attributes(env, SvcUuid(999), vec![]));
         })
         .unwrap();
         assert_eq!(*seen.borrow(), 1);
-        let found = lus.lookup_one(&mut env, client, &ServiceTemplate::by_name("Renamed")).unwrap();
+        let found = lus
+            .lookup_one(&mut env, client, &ServiceTemplate::by_name("Renamed"))
+            .unwrap();
         assert!(found.is_some());
     }
 
@@ -799,7 +933,10 @@ mod tests {
             client,
             ServiceTemplate::any(),
             vec![Transition::NoMatchToMatch],
-            EventSink { host: client, deliver: Box::new(|_e, _ev| panic!("unreachable listener")) },
+            EventSink {
+                host: client,
+                deliver: Box::new(|_e, _ev| panic!("unreachable listener")),
+            },
             None,
         )
         .unwrap();
@@ -815,8 +952,10 @@ mod tests {
     #[test]
     fn registry_stats() {
         let (mut env, lab, client, lus) = setup();
-        lus.register(&mut env, client, sensor_item("A", lab, 1), None).unwrap();
-        lus.register(&mut env, client, sensor_item("B", lab, 2), None).unwrap();
+        lus.register(&mut env, client, sensor_item("A", lab, 1), None)
+            .unwrap();
+        lus.register(&mut env, client, sensor_item("B", lab, 2), None)
+            .unwrap();
         env.with_service(lus.service, |_e, l: &mut LookupService| {
             // The LUS registers itself, plus the two sensors.
             assert_eq!(l.item_count(), 3);

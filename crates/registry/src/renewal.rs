@@ -74,8 +74,10 @@ impl RenewalHandle {
         // down, LUS briefly unreachable) still leaves a covering renewal
         // before expiry.
         let interval = SimDuration::from_nanos((duration.as_nanos() / 3).max(1));
-        env.with_service(me.service, |_env, s: &mut LeaseRenewalService| s.managed += 1)
-            .ok();
+        env.with_service(me.service, |_env, s: &mut LeaseRenewalService| {
+            s.managed += 1
+        })
+        .ok();
         let mut expires = lease.expires;
         env.schedule_every(interval, interval, move |env| {
             if !env.topo.is_alive(owner) {
@@ -140,7 +142,13 @@ mod tests {
     }
 
     fn item(host: HostId) -> ServiceItem {
-        ServiceItem::new(SvcUuid::NIL, host, ServiceId(5), vec![], vec![Entry::Name("N".into())])
+        ServiceItem::new(
+            SvcUuid::NIL,
+            host,
+            ServiceId(5),
+            vec![],
+            vec![Entry::Name("N".into())],
+        )
     }
 
     #[test]
@@ -150,7 +158,9 @@ mod tests {
         let reg = lus.register(&mut env, mote, item(mote), Some(dur)).unwrap();
         renewal.manage(&mut env, mote, lus, reg.lease, dur);
         env.run_for(SimDuration::from_secs(60));
-        let found = lus.lookup(&mut env, mote, &ServiceTemplate::by_name("N"), 10).unwrap();
+        let found = lus
+            .lookup(&mut env, mote, &ServiceTemplate::by_name("N"), 10)
+            .unwrap();
         assert_eq!(found.len(), 1, "renewals must keep the item registered");
         env.with_service(renewal.service, |_e, s: &mut LeaseRenewalService| {
             assert!(s.renewals_ok() >= 10);
@@ -168,8 +178,14 @@ mod tests {
         env.run_for(SimDuration::from_secs(10));
         env.crash_host(mote);
         env.run_for(SimDuration::from_secs(10));
-        let found = lus.lookup(&mut env, _lab, &ServiceTemplate::by_name("N"), 10).unwrap();
-        assert_eq!(found.len(), 0, "dead provider's registration must evaporate");
+        let found = lus
+            .lookup(&mut env, _lab, &ServiceTemplate::by_name("N"), 10)
+            .unwrap();
+        assert_eq!(
+            found.len(),
+            0,
+            "dead provider's registration must evaporate"
+        );
     }
 
     #[test]
@@ -181,7 +197,12 @@ mod tests {
         env.run_for(SimDuration::from_secs(10));
         handle.cancel();
         env.run_for(SimDuration::from_secs(10));
-        assert_eq!(lus.lookup(&mut env, lab, &ServiceTemplate::by_name("N"), 10).unwrap().len(), 0);
+        assert_eq!(
+            lus.lookup(&mut env, lab, &ServiceTemplate::by_name("N"), 10)
+                .unwrap()
+                .len(),
+            0
+        );
     }
 
     #[test]

@@ -67,7 +67,9 @@ pub struct Participant {
 
 impl std::fmt::Debug for Participant {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Participant").field("host", &self.host).finish_non_exhaustive()
+        f.debug_struct("Participant")
+            .field("host", &self.host)
+            .finish_non_exhaustive()
     }
 }
 
@@ -91,7 +93,13 @@ const CONTROL_MSG_BYTES: usize = 24;
 
 impl TransactionManager {
     pub fn new(host: HostId) -> TransactionManager {
-        TransactionManager { host, next: 1, txns: BTreeMap::new(), committed_total: 0, aborted_total: 0 }
+        TransactionManager {
+            host,
+            next: 1,
+            txns: BTreeMap::new(),
+            committed_total: 0,
+            aborted_total: 0,
+        }
     }
 
     /// Deploy on `host` with a reaper that aborts transactions that pass
@@ -99,7 +107,8 @@ impl TransactionManager {
     pub fn deploy(env: &mut Env, host: HostId, name: &str, reap_every: SimDuration) -> TmHandle {
         let service = env.deploy(host, name, TransactionManager::new(host));
         env.schedule_every(reap_every, reap_every, move |env| {
-            env.with_service(service, |env, tm: &mut TransactionManager| tm.reap(env)).is_ok()
+            env.with_service(service, |env, tm: &mut TransactionManager| tm.reap(env))
+                .is_ok()
         });
         TmHandle { service, host }
     }
@@ -110,7 +119,11 @@ impl TransactionManager {
         self.next += 1;
         self.txns.insert(
             id,
-            Txn { state: TxnState::Active, deadline: now + timeout, participants: Vec::new() },
+            Txn {
+                state: TxnState::Active,
+                deadline: now + timeout,
+                participants: Vec::new(),
+            },
         );
         id
     }
@@ -138,8 +151,9 @@ impl TransactionManager {
         // Phase 1: prepare.
         let mut all_prepared = true;
         for p in txn.participants.iter_mut() {
-            let reachable =
-                env.send_oneway(tm_host, p.host, ProtocolStack::Tcp, CONTROL_MSG_BYTES).is_ok();
+            let reachable = env
+                .send_oneway(tm_host, p.host, ProtocolStack::Tcp, CONTROL_MSG_BYTES)
+                .is_ok();
             if !reachable {
                 all_prepared = false;
                 break;
@@ -156,7 +170,10 @@ impl TransactionManager {
         // Phase 2: decision.
         if all_prepared {
             for p in txn.participants.iter_mut() {
-                if env.send_oneway(tm_host, p.host, ProtocolStack::Tcp, CONTROL_MSG_BYTES).is_ok() {
+                if env
+                    .send_oneway(tm_host, p.host, ProtocolStack::Tcp, CONTROL_MSG_BYTES)
+                    .is_ok()
+                {
                     (p.commit)(env, id);
                 }
             }
@@ -165,7 +182,10 @@ impl TransactionManager {
             Ok(())
         } else {
             for p in txn.participants.iter_mut() {
-                if env.send_oneway(tm_host, p.host, ProtocolStack::Tcp, CONTROL_MSG_BYTES).is_ok() {
+                if env
+                    .send_oneway(tm_host, p.host, ProtocolStack::Tcp, CONTROL_MSG_BYTES)
+                    .is_ok()
+                {
                     (p.abort)(env, id);
                 }
             }
@@ -183,7 +203,10 @@ impl TransactionManager {
         }
         let tm_host = self.host;
         for p in txn.participants.iter_mut() {
-            if env.send_oneway(tm_host, p.host, ProtocolStack::Tcp, CONTROL_MSG_BYTES).is_ok() {
+            if env
+                .send_oneway(tm_host, p.host, ProtocolStack::Tcp, CONTROL_MSG_BYTES)
+                .is_ok()
+            {
                 (p.abort)(env, id);
             }
         }
@@ -243,10 +266,16 @@ impl TmHandle {
         from: HostId,
         timeout: SimDuration,
     ) -> Result<TxnId, sensorcer_sim::topology::NetError> {
-        env.call(from, self.service, ProtocolStack::Tcp, 16, |env, tm: &mut TransactionManager| {
-            let now = env.now();
-            (tm.create(now, timeout), 16)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            16,
+            |env, tm: &mut TransactionManager| {
+                let now = env.now();
+                (tm.create(now, timeout), 16)
+            },
+        )
     }
 
     pub fn join(
@@ -256,9 +285,13 @@ impl TmHandle {
         id: TxnId,
         participant: Participant,
     ) -> Result<Result<(), TxnError>, sensorcer_sim::topology::NetError> {
-        env.call(from, self.service, ProtocolStack::Tcp, 64, move |_env, tm: &mut TransactionManager| {
-            (tm.join(id, participant), 8)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            64,
+            move |_env, tm: &mut TransactionManager| (tm.join(id, participant), 8),
+        )
     }
 
     pub fn commit(
@@ -267,9 +300,13 @@ impl TmHandle {
         from: HostId,
         id: TxnId,
     ) -> Result<Result<(), TxnError>, sensorcer_sim::topology::NetError> {
-        env.call(from, self.service, ProtocolStack::Tcp, 16, move |env, tm: &mut TransactionManager| {
-            (tm.commit(env, id), 8)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            16,
+            move |env, tm: &mut TransactionManager| (tm.commit(env, id), 8),
+        )
     }
 
     pub fn abort(
@@ -278,9 +315,13 @@ impl TmHandle {
         from: HostId,
         id: TxnId,
     ) -> Result<Result<(), TxnError>, sensorcer_sim::topology::NetError> {
-        env.call(from, self.service, ProtocolStack::Tcp, 16, move |env, tm: &mut TransactionManager| {
-            (tm.abort(env, id), 8)
-        })
+        env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            16,
+            move |env, tm: &mut TransactionManager| (tm.abort(env, id), 8),
+        )
     }
 }
 
@@ -323,18 +364,33 @@ mod tests {
         let tm_host = env.add_host("tm", HostKind::Server);
         let a = env.add_host("a", HostKind::Server);
         let b = env.add_host("b", HostKind::Server);
-        let tm = TransactionManager::deploy(&mut env, tm_host, "Transaction Manager", SimDuration::from_secs(1));
+        let tm = TransactionManager::deploy(
+            &mut env,
+            tm_host,
+            "Transaction Manager",
+            SimDuration::from_secs(1),
+        );
         (env, tm_host, a, b, tm)
     }
 
     #[test]
     fn successful_two_phase_commit() {
         let (mut env, _tmh, a, b, tm) = setup();
-        let la = Rc::new(RefCell::new(Ledger { staged: Some(10), ..Default::default() }));
-        let lb = Rc::new(RefCell::new(Ledger { staged: Some(20), ..Default::default() }));
+        let la = Rc::new(RefCell::new(Ledger {
+            staged: Some(10),
+            ..Default::default()
+        }));
+        let lb = Rc::new(RefCell::new(Ledger {
+            staged: Some(20),
+            ..Default::default()
+        }));
         let id = tm.create(&mut env, a, SimDuration::from_secs(30)).unwrap();
-        tm.join(&mut env, a, id, participant(a, &la)).unwrap().unwrap();
-        tm.join(&mut env, b, id, participant(b, &lb)).unwrap().unwrap();
+        tm.join(&mut env, a, id, participant(a, &la))
+            .unwrap()
+            .unwrap();
+        tm.join(&mut env, b, id, participant(b, &lb))
+            .unwrap()
+            .unwrap();
         tm.commit(&mut env, a, id).unwrap().unwrap();
         assert_eq!(la.borrow().value, 10);
         assert_eq!(lb.borrow().value, 20);
@@ -348,15 +404,22 @@ mod tests {
     #[test]
     fn abort_vote_rolls_everyone_back() {
         let (mut env, _tmh, a, b, tm) = setup();
-        let la = Rc::new(RefCell::new(Ledger { staged: Some(10), ..Default::default() }));
+        let la = Rc::new(RefCell::new(Ledger {
+            staged: Some(10),
+            ..Default::default()
+        }));
         let lb = Rc::new(RefCell::new(Ledger {
             staged: Some(20),
             vote: Some(Vote::Abort),
             ..Default::default()
         }));
         let id = tm.create(&mut env, a, SimDuration::from_secs(30)).unwrap();
-        tm.join(&mut env, a, id, participant(a, &la)).unwrap().unwrap();
-        tm.join(&mut env, b, id, participant(b, &lb)).unwrap().unwrap();
+        tm.join(&mut env, a, id, participant(a, &la))
+            .unwrap()
+            .unwrap();
+        tm.join(&mut env, b, id, participant(b, &lb))
+            .unwrap()
+            .unwrap();
         let err = tm.commit(&mut env, a, id).unwrap().unwrap_err();
         assert_eq!(err, TxnError::Aborted);
         assert_eq!(la.borrow().value, 0, "staged write must be rolled back");
@@ -367,11 +430,21 @@ mod tests {
     #[test]
     fn unreachable_participant_aborts() {
         let (mut env, _tmh, a, b, tm) = setup();
-        let la = Rc::new(RefCell::new(Ledger { staged: Some(10), ..Default::default() }));
-        let lb = Rc::new(RefCell::new(Ledger { staged: Some(20), ..Default::default() }));
+        let la = Rc::new(RefCell::new(Ledger {
+            staged: Some(10),
+            ..Default::default()
+        }));
+        let lb = Rc::new(RefCell::new(Ledger {
+            staged: Some(20),
+            ..Default::default()
+        }));
         let id = tm.create(&mut env, a, SimDuration::from_secs(30)).unwrap();
-        tm.join(&mut env, a, id, participant(a, &la)).unwrap().unwrap();
-        tm.join(&mut env, b, id, participant(b, &lb)).unwrap().unwrap();
+        tm.join(&mut env, a, id, participant(a, &la))
+            .unwrap()
+            .unwrap();
+        tm.join(&mut env, b, id, participant(b, &lb))
+            .unwrap()
+            .unwrap();
         env.crash_host(b);
         let err = tm.commit(&mut env, a, id).unwrap().unwrap_err();
         assert_eq!(err, TxnError::Aborted);
@@ -381,11 +454,19 @@ mod tests {
     #[test]
     fn double_commit_rejected() {
         let (mut env, _tmh, a, _b, tm) = setup();
-        let la = Rc::new(RefCell::new(Ledger { staged: Some(1), ..Default::default() }));
+        let la = Rc::new(RefCell::new(Ledger {
+            staged: Some(1),
+            ..Default::default()
+        }));
         let id = tm.create(&mut env, a, SimDuration::from_secs(30)).unwrap();
-        tm.join(&mut env, a, id, participant(a, &la)).unwrap().unwrap();
+        tm.join(&mut env, a, id, participant(a, &la))
+            .unwrap()
+            .unwrap();
         tm.commit(&mut env, a, id).unwrap().unwrap();
-        assert_eq!(tm.commit(&mut env, a, id).unwrap(), Err(TxnError::NotActive));
+        assert_eq!(
+            tm.commit(&mut env, a, id).unwrap(),
+            Err(TxnError::NotActive)
+        );
         assert_eq!(tm.abort(&mut env, a, id).unwrap(), Err(TxnError::NotActive));
         assert_eq!(
             tm.commit(&mut env, a, TxnId(999)).unwrap(),
@@ -396,24 +477,38 @@ mod tests {
     #[test]
     fn deadline_reaper_aborts_stale_transactions() {
         let (mut env, _tmh, a, _b, tm) = setup();
-        let la = Rc::new(RefCell::new(Ledger { staged: Some(1), ..Default::default() }));
+        let la = Rc::new(RefCell::new(Ledger {
+            staged: Some(1),
+            ..Default::default()
+        }));
         let id = tm.create(&mut env, a, SimDuration::from_secs(5)).unwrap();
-        tm.join(&mut env, a, id, participant(a, &la)).unwrap().unwrap();
+        tm.join(&mut env, a, id, participant(a, &la))
+            .unwrap()
+            .unwrap();
         env.run_for(SimDuration::from_secs(10));
         env.with_service(tm.service, |_e, t: &mut TransactionManager| {
             assert_eq!(t.state(id), Some(TxnState::Aborted));
             assert_eq!(t.aborted_total(), 1);
         })
         .unwrap();
-        assert_eq!(la.borrow().staged, None, "reaped abort reaches participants");
+        assert_eq!(
+            la.borrow().staged,
+            None,
+            "reaped abort reaches participants"
+        );
     }
 
     #[test]
     fn explicit_abort() {
         let (mut env, _tmh, a, _b, tm) = setup();
-        let la = Rc::new(RefCell::new(Ledger { staged: Some(1), ..Default::default() }));
+        let la = Rc::new(RefCell::new(Ledger {
+            staged: Some(1),
+            ..Default::default()
+        }));
         let id = tm.create(&mut env, a, SimDuration::from_secs(30)).unwrap();
-        tm.join(&mut env, a, id, participant(a, &la)).unwrap().unwrap();
+        tm.join(&mut env, a, id, participant(a, &la))
+            .unwrap()
+            .unwrap();
         tm.abort(&mut env, a, id).unwrap().unwrap();
         assert_eq!(la.borrow().staged, None);
     }

@@ -24,10 +24,18 @@ enum Op {
 
 fn gen_op(g: &mut Gen) -> Op {
     match g.u64_in(0, 5) {
-        0 => Op::Grant { dur_s: g.u64_in(1, 100) },
-        1 => Op::RenewNth { idx: g.usize_in(0, 16) },
-        2 => Op::CancelNth { idx: g.usize_in(0, 16) },
-        3 => Op::Advance { secs: g.u64_in(1, 50) },
+        0 => Op::Grant {
+            dur_s: g.u64_in(1, 100),
+        },
+        1 => Op::RenewNth {
+            idx: g.usize_in(0, 16),
+        },
+        2 => Op::CancelNth {
+            idx: g.usize_in(0, 16),
+        },
+        3 => Op::Advance {
+            secs: g.u64_in(1, 50),
+        },
         _ => Op::Reap,
     }
 }
@@ -231,7 +239,10 @@ fn indexed_lookup_matches_linear_scan() {
                     Transition::MatchToMatch,
                     Transition::MatchToNoMatch,
                 ],
-                EventSink { host: client, deliver: Box::new(|_e, _ev| {}) },
+                EventSink {
+                    host: client,
+                    deliver: Box::new(|_e, _ev| {}),
+                },
                 None,
             );
         }
@@ -295,8 +306,11 @@ fn indexed_lookup_matches_linear_scan() {
             // After every step, indexed lookup == linear scan of the model.
             let known: Vec<SvcUuid> = model.keys().copied().collect();
             for tpl in templates(g, &known) {
-                let indexed: Vec<SvcUuid> =
-                    lus.lookup(&tpl, usize::MAX).iter().map(|i| i.uuid).collect();
+                let indexed: Vec<SvcUuid> = lus
+                    .lookup(&tpl, usize::MAX)
+                    .iter()
+                    .map(|i| i.uuid)
+                    .collect();
                 let scanned: Vec<SvcUuid> = model
                     .values()
                     .filter(|i| tpl.matches(i))

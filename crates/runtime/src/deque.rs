@@ -32,7 +32,9 @@ pub struct Worker<T> {
 
 impl<T> Worker<T> {
     pub fn new_fifo() -> Self {
-        Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
     }
 
     pub fn push(&self, task: T) {
@@ -50,7 +52,9 @@ impl<T> Worker<T> {
 
     /// A handle other threads use to steal from this queue.
     pub fn stealer(&self) -> Stealer<T> {
-        Stealer { queue: Arc::clone(&self.queue) }
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
     }
 }
 
@@ -61,7 +65,9 @@ pub struct Stealer<T> {
 
 impl<T> Clone for Stealer<T> {
     fn clone(&self) -> Self {
-        Stealer { queue: Arc::clone(&self.queue) }
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
     }
 }
 
@@ -90,7 +96,9 @@ impl<T> Default for Injector<T> {
 
 impl<T> Injector<T> {
     pub fn new() -> Self {
-        Injector { queue: Mutex::new(VecDeque::new()) }
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
     }
 
     pub fn push(&self, task: T) {
@@ -174,6 +182,9 @@ mod tests {
     fn injector_empty_reports_empty() {
         let inj: Injector<u8> = Injector::new();
         assert!(matches!(inj.steal(), Steal::Empty));
-        assert!(matches!(inj.steal_batch_and_pop(&Worker::new_fifo()), Steal::Empty));
+        assert!(matches!(
+            inj.steal_batch_and_pop(&Worker::new_fifo()),
+            Steal::Empty
+        ));
     }
 }

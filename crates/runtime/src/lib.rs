@@ -15,6 +15,10 @@
 //! assert_eq!(squares[7], 49);
 //! ```
 
+// The one audited `unsafe` block in the workspace lives in `pool`
+// (lifetime erasure for scoped parallel jobs, see its SAFETY note);
+// every other crate is `#![forbid(unsafe_code)]`.
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod deque;
 pub mod pool;
 pub mod sync;

@@ -100,15 +100,22 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("sensorcer-worker-{index}"))
                     .spawn(move || worker_loop(shared, local, index))
+                    // lint:allow(unwrap): worker spawn failure at startup is unrecoverable
                     .expect("spawn worker thread")
             })
             .collect();
-        ThreadPool { shared, handles, threads }
+        ThreadPool {
+            shared,
+            handles,
+            threads,
+        }
     }
 
     /// A pool sized to the machine.
     pub fn with_default_parallelism() -> ThreadPool {
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         ThreadPool::new(n)
     }
 
@@ -145,6 +152,7 @@ impl ThreadPool {
         if n == 1 {
             // Cheaper than the whole latch machinery.
             let mut items = items;
+            // lint:allow(unwrap): len() == 1 checked on the line above
             return vec![f(items.pop().expect("len checked"))];
         }
 
@@ -169,7 +177,11 @@ impl ThreadPool {
                     if i >= self.items.len() {
                         break;
                     }
-                    let item = self.items[i].lock().take().expect("each index claimed once");
+                    // The counter hands each index to exactly one worker.
+                    let item = self.items[i]
+                        .lock()
+                        .take()
+                        .expect("each index claimed once"); // lint:allow(unwrap)
                     match std::panic::catch_unwind(AssertUnwindSafe(|| (self.f)(item))) {
                         Ok(r) => *self.results[i].lock() = Some(r),
                         Err(payload) => {
@@ -250,7 +262,8 @@ impl ThreadPool {
             if *done {
                 break;
             }
-            op.done.wait_for(&mut done, std::time::Duration::from_millis(1));
+            op.done
+                .wait_for(&mut done, std::time::Duration::from_millis(1));
         }
 
         // Wait until every helper job has dropped its Arc — including ones
@@ -269,10 +282,15 @@ impl ThreadPool {
         if let Some(payload) = op.panicked.lock().take() {
             std::panic::resume_unwind(payload);
         }
+        // lint:allow(unwrap): workers joined, Arc refcount is 1
         let op = Arc::into_inner(op).expect("exclusive ownership established above");
         op.results
             .into_iter()
-            .map(|m| m.into_inner().expect("all results written before done signal"))
+            // The done signal orders all result writes before this read.
+            .map(|m| {
+                m.into_inner()
+                    .expect("all results written before done signal") // lint:allow(unwrap)
+            })
             .collect()
     }
 
@@ -304,7 +322,9 @@ fn worker_loop(shared: Arc<Shared>, local: Worker<Job>, index: usize) {
         if shared.shutdown.load(Ordering::SeqCst) || !shared.injector.is_empty() {
             continue;
         }
-        shared.wake.wait_for(&mut guard, std::time::Duration::from_millis(50));
+        shared
+            .wake
+            .wait_for(&mut guard, std::time::Duration::from_millis(50));
     }
 }
 
@@ -384,7 +404,11 @@ mod tests {
             // Force enough dwell time that helpers get a slice.
             std::thread::sleep(std::time::Duration::from_millis(2));
         });
-        assert!(seen.lock().len() >= 2, "expected >=2 threads, got {}", seen.lock().len());
+        assert!(
+            seen.lock().len() >= 2,
+            "expected >=2 threads, got {}",
+            seen.lock().len()
+        );
     }
 
     #[test]

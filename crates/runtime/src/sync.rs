@@ -24,7 +24,9 @@ pub struct MutexGuard<'a, T> {
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     pub fn lock(&self) -> MutexGuard<'_, T> {
@@ -33,7 +35,9 @@ impl<T> Mutex<T> {
     }
 
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -44,12 +48,14 @@ impl<T> Mutex<T> {
 impl<T> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
+        // lint:allow(unwrap): guard invariant: inner is present outside wait()
         self.inner.as_ref().expect("guard present outside wait")
     }
 }
 
 impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
+        // lint:allow(unwrap): guard invariant: inner is present outside wait()
         self.inner.as_mut().expect("guard present outside wait")
     }
 }
@@ -62,7 +68,9 @@ pub struct Condvar {
 
 impl Condvar {
     pub const fn new() -> Self {
-        Condvar { inner: std::sync::Condvar::new() }
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
     }
 
     pub fn notify_all(&self) {
@@ -76,6 +84,7 @@ impl Condvar {
     /// Wait until notified or `timeout` elapses. Returns `true` if the
     /// wait timed out.
     pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        // lint:allow(unwrap): guard invariant: inner is present outside wait()
         let inner = guard.inner.take().expect("guard present outside wait");
         let (inner, result) = self
             .inner

@@ -14,7 +14,10 @@ fn par_map_matches_sequential() {
         let items = g.vec_of(0, 200, |g| g.i64());
         let threads = g.usize_in(1, 8);
         let pool = ThreadPool::new(threads);
-        let expected: Vec<i64> = items.iter().map(|x| x.wrapping_mul(3).wrapping_add(1)).collect();
+        let expected: Vec<i64> = items
+            .iter()
+            .map(|x| x.wrapping_mul(3).wrapping_add(1))
+            .collect();
         let got = pool.par_map(items, |x| x.wrapping_mul(3).wrapping_add(1));
         assert_eq!(got, expected);
     });

@@ -33,7 +33,12 @@ impl Battery {
     }
 
     pub fn new(capacity_uj: f64, sample_cost_uj: f64, tx_cost_per_byte_uj: f64) -> Battery {
-        Battery { charge_uj: capacity_uj, capacity_uj, sample_cost_uj, tx_cost_per_byte_uj }
+        Battery {
+            charge_uj: capacity_uj,
+            capacity_uj,
+            sample_cost_uj,
+            tx_cost_per_byte_uj,
+        }
     }
 
     /// Remaining fraction in `[0, 1]`.

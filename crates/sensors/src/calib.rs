@@ -6,8 +6,7 @@
 //! aggregated results, so the curve type is shared.
 
 /// A mapping from raw sensor output to calibrated engineering value.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub enum Calibration {
     /// `y = x` — already in engineering units.
     #[default]
@@ -81,7 +80,6 @@ impl Calibration {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,14 +87,19 @@ mod tests {
     #[test]
     fn identity_and_linear() {
         assert_eq!(Calibration::Identity.apply(3.5), 3.5);
-        let c = Calibration::Linear { gain: 2.0, offset: 1.0 };
+        let c = Calibration::Linear {
+            gain: 2.0,
+            offset: 1.0,
+        };
         assert_eq!(c.apply(4.0), 9.0);
     }
 
     #[test]
     fn polynomial_horner() {
         // y = 1 + 2x + 3x²
-        let c = Calibration::Polynomial { coeffs: vec![1.0, 2.0, 3.0] };
+        let c = Calibration::Polynomial {
+            coeffs: vec![1.0, 2.0, 3.0],
+        };
         assert_eq!(c.apply(0.0), 1.0);
         assert_eq!(c.apply(2.0), 1.0 + 4.0 + 12.0);
     }
@@ -116,7 +119,9 @@ mod tests {
 
     #[test]
     fn piecewise_degenerate_cases() {
-        let single = Calibration::PiecewiseLinear { points: vec![(1.0, 7.0)] };
+        let single = Calibration::PiecewiseLinear {
+            points: vec![(1.0, 7.0)],
+        };
         assert_eq!(single.apply(99.0), 7.0);
         let empty = Calibration::PiecewiseLinear { points: vec![] };
         assert_eq!(empty.apply(3.0), 3.0, "empty curve degrades to identity");
@@ -125,15 +130,25 @@ mod tests {
     #[test]
     fn validation() {
         assert!(Calibration::Identity.validate().is_ok());
-        assert!(Calibration::PiecewiseLinear { points: vec![] }.validate().is_err());
-        assert!(Calibration::PiecewiseLinear { points: vec![(0.0, 0.0), (0.0, 1.0)] }
+        assert!(Calibration::PiecewiseLinear { points: vec![] }
             .validate()
             .is_err());
-        assert!(Calibration::PiecewiseLinear { points: vec![(1.0, 0.0), (0.0, 1.0)] }
+        assert!(Calibration::PiecewiseLinear {
+            points: vec![(0.0, 0.0), (0.0, 1.0)]
+        }
+        .validate()
+        .is_err());
+        assert!(Calibration::PiecewiseLinear {
+            points: vec![(1.0, 0.0), (0.0, 1.0)]
+        }
+        .validate()
+        .is_err());
+        assert!(Calibration::Polynomial { coeffs: vec![] }
             .validate()
             .is_err());
-        assert!(Calibration::Polynomial { coeffs: vec![] }.validate().is_err());
-        assert!(Calibration::Polynomial { coeffs: vec![1.0] }.validate().is_ok());
+        assert!(Calibration::Polynomial { coeffs: vec![1.0] }
+            .validate()
+            .is_ok());
     }
 
     #[test]

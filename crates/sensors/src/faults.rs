@@ -59,7 +59,10 @@ pub struct FaultInjector {
 
 impl FaultInjector {
     pub fn new(model: FaultModel) -> Self {
-        FaultInjector { model, last_delivered: None }
+        FaultInjector {
+            model,
+            last_delivered: None,
+        }
     }
 
     /// A model that never faults.
@@ -102,13 +105,19 @@ mod tests {
         let mut inj = FaultInjector::none();
         let mut rng = SimRng::new(1);
         for i in 0..100 {
-            assert_eq!(inj.inject(i as f64, &mut rng), FaultOutcome::Clean(i as f64));
+            assert_eq!(
+                inj.inject(i as f64, &mut rng),
+                FaultOutcome::Clean(i as f64)
+            );
         }
     }
 
     #[test]
     fn full_dropout_delivers_nothing() {
-        let mut inj = FaultInjector::new(FaultModel { dropout_prob: 1.0, ..Default::default() });
+        let mut inj = FaultInjector::new(FaultModel {
+            dropout_prob: 1.0,
+            ..Default::default()
+        });
         let mut rng = SimRng::new(2);
         assert_eq!(inj.inject(5.0, &mut rng), FaultOutcome::Dropout);
         assert_eq!(FaultOutcome::Dropout.value(), None);
@@ -116,7 +125,10 @@ mod tests {
 
     #[test]
     fn stuck_repeats_last_delivered() {
-        let mut inj = FaultInjector::new(FaultModel { stuck_prob: 1.0, ..Default::default() });
+        let mut inj = FaultInjector::new(FaultModel {
+            stuck_prob: 1.0,
+            ..Default::default()
+        });
         let mut rng = SimRng::new(3);
         // First sample has no memory yet → delivered clean.
         assert_eq!(inj.inject(1.0, &mut rng), FaultOutcome::Clean(1.0));

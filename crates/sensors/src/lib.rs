@@ -21,6 +21,7 @@
 //! assert!((10.0..35.0).contains(&m.value));
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod battery;
 pub mod calib;
 pub mod faults;

@@ -112,6 +112,7 @@ impl SimulatedProbe {
     pub fn with_calibration(mut self, calibration: Calibration) -> Self {
         calibration
             .validate()
+            // lint:allow(unwrap): calibration curve validated at construction
             .expect("calibration curve must be valid");
         self.calibration = calibration;
         self
@@ -151,7 +152,9 @@ impl SensorProbe for SimulatedProbe {
         }
         self.last_sample_at = Some(now);
 
-        let truth = self.signal.value_at(now, &mut self.signal_state, &mut self.rng);
+        let truth = self
+            .signal
+            .value_at(now, &mut self.signal_state, &mut self.rng);
         let drift = self.drift_per_s * now.as_secs_f64();
         let noisy = truth + drift + self.rng.normal(0.0, self.noise_sd);
 
@@ -164,6 +167,7 @@ impl SensorProbe for SimulatedProbe {
         } else {
             Quality::Suspect
         };
+        // lint:allow(unwrap): non-dropout outcomes always carry a value
         let raw_value = raw.value().expect("non-dropout outcome has a value");
 
         // ADC quantization and range railing happen in raw space; the
@@ -172,7 +176,12 @@ impl SensorProbe for SimulatedProbe {
         let value = self.calibration.apply(railed);
 
         self.samples_taken += 1;
-        Ok(Measurement { value, unit: self.teds.unit, at: now, quality })
+        Ok(Measurement {
+            value,
+            unit: self.teds.unit,
+            at: now,
+            quality,
+        })
     }
 
     fn teds(&self) -> &Teds {
@@ -209,7 +218,10 @@ pub struct ScriptedProbe {
 
 impl ScriptedProbe {
     pub fn new(values: Vec<f64>, unit: Unit) -> ScriptedProbe {
-        assert!(!values.is_empty(), "scripted probe needs at least one value");
+        assert!(
+            !values.is_empty(),
+            "scripted probe needs at least one value"
+        );
         let teds = Teds {
             manufacturer: "test".into(),
             model: "scripted".into(),
@@ -221,7 +233,11 @@ impl ScriptedProbe {
             min_sample_interval_ns: 0,
             technology: "scripted".into(),
         };
-        ScriptedProbe { teds, values, next: 0 }
+        ScriptedProbe {
+            teds,
+            values,
+            next: 0,
+        }
     }
 }
 
@@ -270,7 +286,10 @@ mod tests {
         let vals: Vec<f64> = (1..200).map(|i| p.sample(t(i)).unwrap().value).collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         assert!((mean - 21.5).abs() < 0.1, "{mean}");
-        assert!(vals.iter().any(|v| (v - 21.5).abs() > 0.01), "noise must do something");
+        assert!(
+            vals.iter().any(|v| (v - 21.5).abs() > 0.01),
+            "noise must do something"
+        );
     }
 
     #[test]
@@ -307,8 +326,10 @@ mod tests {
 
     #[test]
     fn calibration_is_applied_after_quantization() {
-        let mut p = basic_probe(6)
-            .with_calibration(Calibration::Linear { gain: 2.0, offset: 1.0 });
+        let mut p = basic_probe(6).with_calibration(Calibration::Linear {
+            gain: 2.0,
+            offset: 1.0,
+        });
         let m = p.sample(t(1)).unwrap();
         assert_eq!(m.value, 2.0 * 21.5 + 1.0);
     }
@@ -316,8 +337,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "calibration curve must be valid")]
     fn invalid_calibration_panics_at_construction() {
-        let _ = basic_probe(6)
-            .with_calibration(Calibration::PiecewiseLinear { points: vec![] });
+        let _ = basic_probe(6).with_calibration(Calibration::PiecewiseLinear { points: vec![] });
     }
 
     #[test]
@@ -340,9 +360,10 @@ mod tests {
 
     #[test]
     fn dropouts_surface_as_errors() {
-        let mut p = basic_probe(9).with_faults(FaultInjector::new(
-            crate::faults::FaultModel { dropout_prob: 1.0, ..Default::default() },
-        ));
+        let mut p = basic_probe(9).with_faults(FaultInjector::new(crate::faults::FaultModel {
+            dropout_prob: 1.0,
+            ..Default::default()
+        }));
         assert_eq!(p.sample(t(1)).unwrap_err(), ProbeError::Dropout);
     }
 
@@ -351,7 +372,10 @@ mod tests {
         let mut p = basic_probe(10).with_drift(0.001);
         let early = p.sample(t(10)).unwrap().value;
         let late = p.sample(t(100_000)).unwrap().value;
-        assert!(late > early + 50.0 * 0.001, "drift should accumulate: {early} → {late}");
+        assert!(
+            late > early + 50.0 * 0.001,
+            "drift should accumulate: {early} → {late}"
+        );
     }
 
     #[test]

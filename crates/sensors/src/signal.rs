@@ -16,10 +16,20 @@ pub enum Signal {
     Constant(f64),
     /// A diurnal sinusoid: `mean + amplitude · sin(2π·(t - phase)/period)`.
     /// Default period is 24 h of virtual time — indoor temperature swings.
-    Diurnal { mean: f64, amplitude: f64, period_s: f64, phase_s: f64 },
+    Diurnal {
+        mean: f64,
+        amplitude: f64,
+        period_s: f64,
+        phase_s: f64,
+    },
     /// A bounded random walk: each sample moves by `N(0, step)`, reflected
     /// at `[min, max]` (occupancy-driven micro-climate, soil moisture).
-    RandomWalk { start: f64, step: f64, min: f64, max: f64 },
+    RandomWalk {
+        start: f64,
+        step: f64,
+        min: f64,
+        max: f64,
+    },
     /// Sum of two signals (e.g. diurnal + random walk).
     Sum(Box<Signal>, Box<Signal>),
 }
@@ -43,7 +53,12 @@ impl Signal {
                 period_s: 86_400.0,
                 phase_s: 0.0,
             }),
-            Box::new(Signal::RandomWalk { start: 0.0, step: 0.05, min: -1.0, max: 1.0 }),
+            Box::new(Signal::RandomWalk {
+                start: 0.0,
+                step: 0.05,
+                min: -1.0,
+                max: 1.0,
+            }),
         )
     }
 
@@ -51,11 +66,21 @@ impl Signal {
     pub fn value_at(&self, now: SimTime, state: &mut SignalState, rng: &mut SimRng) -> f64 {
         match self {
             Signal::Constant(v) => *v,
-            Signal::Diurnal { mean, amplitude, period_s, phase_s } => {
+            Signal::Diurnal {
+                mean,
+                amplitude,
+                period_s,
+                phase_s,
+            } => {
                 let t = now.as_secs_f64() - phase_s;
                 mean + amplitude * (std::f64::consts::TAU * t / period_s).sin()
             }
-            Signal::RandomWalk { start, step, min, max } => {
+            Signal::RandomWalk {
+                start,
+                step,
+                min,
+                max,
+            } => {
                 let cur = state.walk.get_or_insert(*start);
                 let mut next = *cur + rng.normal(0.0, *step);
                 // Reflect at the bounds to keep the walk inside them.
@@ -69,9 +94,9 @@ impl Signal {
                 *cur
             }
             Signal::Sum(a, b) => {
-                let (sa, sb) = &mut **state
-                    .child
-                    .get_or_insert_with(|| Box::new((SignalState::default(), SignalState::default())));
+                let (sa, sb) = &mut **state.child.get_or_insert_with(|| {
+                    Box::new((SignalState::default(), SignalState::default()))
+                });
                 a.value_at(now, sa, rng) + b.value_at(now, sb, rng)
             }
         }
@@ -96,7 +121,12 @@ mod tests {
 
     #[test]
     fn diurnal_peaks_quarter_period_in() {
-        let s = Signal::Diurnal { mean: 20.0, amplitude: 4.0, period_s: 86_400.0, phase_s: 0.0 };
+        let s = Signal::Diurnal {
+            mean: 20.0,
+            amplitude: 4.0,
+            period_s: 86_400.0,
+            phase_s: 0.0,
+        };
         let mut st = SignalState::default();
         let mut rng = SimRng::new(1);
         let quarter = SimTime::ZERO + SimDuration::from_secs(21_600);
@@ -108,7 +138,12 @@ mod tests {
 
     #[test]
     fn random_walk_stays_bounded() {
-        let s = Signal::RandomWalk { start: 0.0, step: 0.5, min: -1.0, max: 1.0 };
+        let s = Signal::RandomWalk {
+            start: 0.0,
+            step: 0.5,
+            min: -1.0,
+            max: 1.0,
+        };
         let mut st = SignalState::default();
         let mut rng = SimRng::new(7);
         for i in 0..5_000 {
@@ -120,7 +155,12 @@ mod tests {
 
     #[test]
     fn random_walk_actually_moves() {
-        let s = Signal::RandomWalk { start: 0.0, step: 0.1, min: -10.0, max: 10.0 };
+        let s = Signal::RandomWalk {
+            start: 0.0,
+            step: 0.1,
+            min: -10.0,
+            max: 10.0,
+        };
         let mut st = SignalState::default();
         let mut rng = SimRng::new(3);
         let first = s.value_at(SimTime::ZERO, &mut st, &mut rng);
@@ -132,7 +172,10 @@ mod tests {
 
     #[test]
     fn sum_composes() {
-        let s = Signal::Sum(Box::new(Signal::Constant(10.0)), Box::new(Signal::Constant(5.0)));
+        let s = Signal::Sum(
+            Box::new(Signal::Constant(10.0)),
+            Box::new(Signal::Constant(5.0)),
+        );
         let mut st = SignalState::default();
         let mut rng = SimRng::new(1);
         assert_eq!(s.value_at(SimTime::ZERO, &mut st, &mut rng), 15.0);

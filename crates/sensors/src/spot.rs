@@ -19,15 +19,19 @@ use crate::units::Unit;
 /// A SunSPOT temperature mote like the paper's testbed: lab-temperature
 /// signal, 0.1 °C noise, 0.25 °C ADC grid, AA batteries, light fault rates.
 pub fn sunspot_temperature(serial: &str, rng: SimRng) -> SimulatedProbe {
-    SimulatedProbe::new(Teds::sunspot_temperature(serial), Signal::lab_temperature(), rng)
-        .with_noise(0.1)
-        .with_battery(Battery::aa_pair())
-        .with_faults(FaultInjector::new(FaultModel {
-            dropout_prob: 0.002,
-            stuck_prob: 0.001,
-            spike_prob: 0.001,
-            spike_magnitude: 8.0,
-        }))
+    SimulatedProbe::new(
+        Teds::sunspot_temperature(serial),
+        Signal::lab_temperature(),
+        rng,
+    )
+    .with_noise(0.1)
+    .with_battery(Battery::aa_pair())
+    .with_faults(FaultInjector::new(FaultModel {
+        dropout_prob: 0.002,
+        stuck_prob: 0.001,
+        spike_prob: 0.001,
+        spike_magnitude: 8.0,
+    }))
 }
 
 /// A relative-humidity probe (capacitive element with a piecewise
@@ -47,8 +51,18 @@ pub fn humidity(serial: &str, rng: SimRng) -> SimulatedProbe {
     SimulatedProbe::new(
         teds,
         Signal::Sum(
-            Box::new(Signal::Diurnal { mean: 45.0, amplitude: 10.0, period_s: 86_400.0, phase_s: 43_200.0 }),
-            Box::new(Signal::RandomWalk { start: 0.0, step: 0.3, min: -5.0, max: 5.0 }),
+            Box::new(Signal::Diurnal {
+                mean: 45.0,
+                amplitude: 10.0,
+                period_s: 86_400.0,
+                phase_s: 43_200.0,
+            }),
+            Box::new(Signal::RandomWalk {
+                start: 0.0,
+                step: 0.3,
+                min: -5.0,
+                max: 5.0,
+            }),
         ),
         rng,
     )
@@ -75,7 +89,12 @@ pub fn pressure(serial: &str, rng: SimRng) -> SimulatedProbe {
     };
     SimulatedProbe::new(
         teds,
-        Signal::RandomWalk { start: 1013.0, step: 0.05, min: 980.0, max: 1040.0 },
+        Signal::RandomWalk {
+            start: 1013.0,
+            step: 0.05,
+            min: 980.0,
+            max: 1040.0,
+        },
         rng,
     )
     .with_noise(0.2)
@@ -97,7 +116,12 @@ pub fn soil_moisture(serial: &str, rng: SimRng) -> SimulatedProbe {
     };
     SimulatedProbe::new(
         teds,
-        Signal::RandomWalk { start: 22.0, step: 0.02, min: 5.0, max: 45.0 },
+        Signal::RandomWalk {
+            start: 22.0,
+            step: 0.02,
+            min: 5.0,
+            max: 45.0,
+        },
         rng,
     )
     .with_noise(0.4)
@@ -125,7 +149,12 @@ pub fn light(serial: &str, rng: SimRng) -> SimulatedProbe {
     };
     SimulatedProbe::new(
         teds,
-        Signal::Diurnal { mean: 5_000.0, amplitude: 5_000.0, period_s: 86_400.0, phase_s: 21_600.0 },
+        Signal::Diurnal {
+            mean: 5_000.0,
+            amplitude: 5_000.0,
+            period_s: 86_400.0,
+            phase_s: 21_600.0,
+        },
         rng,
     )
     .with_noise(50.0)

@@ -25,7 +25,11 @@ impl RingStore {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> RingStore {
         assert!(capacity > 0, "ring store capacity must be positive");
-        RingStore { buf: VecDeque::with_capacity(capacity), capacity, total_recorded: 0 }
+        RingStore {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            total_recorded: 0,
+        }
     }
 
     /// Record a measurement, evicting the oldest if full.
@@ -73,7 +77,12 @@ impl RingStore {
 
     /// Mean of all held good-quality values, if any exist.
     pub fn mean_good(&self) -> Option<f64> {
-        let good: Vec<f64> = self.buf.iter().filter(|m| m.is_good()).map(|m| m.value).collect();
+        let good: Vec<f64> = self
+            .buf
+            .iter()
+            .filter(|m| m.is_good())
+            .map(|m| m.value)
+            .collect();
         if good.is_empty() {
             None
         } else {
@@ -89,7 +98,11 @@ mod tests {
     use sensorcer_sim::time::SimDuration;
 
     fn m(v: f64, secs: u64) -> Measurement {
-        Measurement::good(v, Unit::Celsius, SimTime::ZERO + SimDuration::from_secs(secs))
+        Measurement::good(
+            v,
+            Unit::Celsius,
+            SimTime::ZERO + SimDuration::from_secs(secs),
+        )
     }
 
     #[test]
@@ -141,7 +154,10 @@ mod tests {
     fn mean_good_ignores_suspect() {
         let mut s = RingStore::new(10);
         s.push(m(10.0, 1));
-        s.push(Measurement { quality: Quality::Suspect, ..m(1000.0, 2) });
+        s.push(Measurement {
+            quality: Quality::Suspect,
+            ..m(1000.0, 2)
+        });
         s.push(m(20.0, 3));
         assert_eq!(s.mean_good(), Some(15.0));
         let empty = RingStore::new(2);

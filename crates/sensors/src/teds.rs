@@ -94,7 +94,10 @@ mod tests {
         let t = Teds::sunspot_temperature("x");
         assert_eq!(t.quantize(21.6), 21.5);
         assert_eq!(t.quantize(21.63), 21.75);
-        let exact = Teds { resolution: 0.0, ..t };
+        let exact = Teds {
+            resolution: 0.0,
+            ..t
+        };
         assert_eq!(exact.quantize(21.6), 21.6);
     }
 }

@@ -62,7 +62,12 @@ pub struct Measurement {
 
 impl Measurement {
     pub fn good(value: f64, unit: Unit, at: SimTime) -> Self {
-        Measurement { value, unit, at, quality: Quality::Good }
+        Measurement {
+            value,
+            unit,
+            at,
+            quality: Quality::Good,
+        }
     }
 
     pub fn is_good(&self) -> bool {
@@ -96,7 +101,10 @@ mod tests {
         let m = Measurement::good(21.537, Unit::Celsius, SimTime::ZERO);
         assert_eq!(m.to_string(), "21.54°C");
         assert!(m.is_good());
-        let s = Measurement { quality: Quality::Suspect, ..m };
+        let s = Measurement {
+            quality: Quality::Suspect,
+            ..m
+        };
         assert!(s.to_string().contains("suspect"));
         assert!(!s.is_good());
     }

@@ -38,10 +38,16 @@ fn piecewise_exact_at_knots_and_monotone() {
             return;
         }
         let points: Vec<(f64, f64)> = raw.iter().copied().zip(eng.iter().copied()).collect();
-        let c = Calibration::PiecewiseLinear { points: points.clone() };
+        let c = Calibration::PiecewiseLinear {
+            points: points.clone(),
+        };
         assert!(c.validate().is_ok());
         for &(x, y) in &points {
-            assert!((c.apply(x) - y).abs() < 1e-6, "knot ({x}, {y}) -> {}", c.apply(x));
+            assert!(
+                (c.apply(x) - y).abs() < 1e-6,
+                "knot ({x}, {y}) -> {}",
+                c.apply(x)
+            );
         }
         // Monotone outputs => monotone curve between the knots.
         let lo = raw[0];
@@ -65,7 +71,11 @@ fn ring_store_bounds() {
         let n = g.usize_in(0, 200);
         let mut store = RingStore::new(cap);
         for i in 0..n {
-            store.push(Measurement::good(i as f64, Unit::Celsius, SimTime(i as u64)));
+            store.push(Measurement::good(
+                i as f64,
+                Unit::Celsius,
+                SimTime(i as u64),
+            ));
         }
         assert!(store.len() <= cap);
         assert_eq!(store.len(), n.min(cap));
@@ -94,7 +104,11 @@ fn probe_determinism() {
             )
             .with_noise(0.25);
             (1..40)
-                .map(|i| p.sample(SimTime::ZERO + SimDuration::from_secs(i)).unwrap().value)
+                .map(|i| {
+                    p.sample(SimTime::ZERO + SimDuration::from_secs(i))
+                        .unwrap()
+                        .value
+                })
                 .collect()
         };
         assert_eq!(run(seed), run(seed));

@@ -29,7 +29,9 @@ impl BytesMut {
 
     #[inline]
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { buf: Vec::with_capacity(cap) }
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     #[inline]
@@ -67,7 +69,10 @@ impl BytesMut {
     /// Finish building and hand the bytes over to a reader.
     #[inline]
     pub fn freeze(self) -> Bytes {
-        Bytes { buf: self.buf, pos: 0 }
+        Bytes {
+            buf: self.buf,
+            pos: 0,
+        }
     }
 
     #[inline]
@@ -103,7 +108,10 @@ macro_rules! impl_get {
 impl Bytes {
     /// Wrap a static byte slice (test fixtures).
     pub fn from_static(src: &'static [u8]) -> Self {
-        Bytes { buf: src.to_vec(), pos: 0 }
+        Bytes {
+            buf: src.to_vec(),
+            pos: 0,
+        }
     }
 
     /// Bytes not yet consumed.
@@ -148,7 +156,10 @@ impl Bytes {
     /// A copy of a sub-range of the unconsumed bytes.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
         let base = self.pos;
-        Bytes { buf: self.buf[base + range.start..base + range.end].to_vec(), pos: 0 }
+        Bytes {
+            buf: self.buf[base + range.start..base + range.end].to_vec(),
+            pos: 0,
+        }
     }
 
     /// Copy the unconsumed bytes out.

@@ -50,7 +50,11 @@ pub enum ChaosEvent {
     /// Restart a crashed `host`.
     Restart { host: HostId },
     /// Override the `a`–`b` link with a degraded model (latency window).
-    SlowLink { a: HostId, b: HostId, model: LinkModel },
+    SlowLink {
+        a: HostId,
+        b: HostId,
+        model: LinkModel,
+    },
     /// Drop the `a`–`b` link override, reverting to kind defaults.
     RestoreLink { a: HostId, b: HostId },
 }
@@ -209,7 +213,14 @@ impl ChaosSchedule {
                     bandwidth_bps: 4_000.0,
                     ..env_default_link()
                 };
-                events.push((at, ChaosEvent::SlowLink { a: hub, b: target, model: slow }));
+                events.push((
+                    at,
+                    ChaosEvent::SlowLink {
+                        a: hub,
+                        b: target,
+                        model: slow,
+                    },
+                ));
                 events.push((end, ChaosEvent::RestoreLink { a: hub, b: target }));
             }
             at += cfg.period;
@@ -284,7 +295,10 @@ mod tests {
         let cfg = quick_cfg();
         let s1 = ChaosSchedule::generate(&mut SimRng::new(99), hub, &targets, SimTime::ZERO, &cfg);
         let s2 = ChaosSchedule::generate(&mut SimRng::new(99), hub, &targets, SimTime::ZERO, &cfg);
-        assert!(!s1.events.is_empty(), "a 2s period over 100s should draw faults");
+        assert!(
+            !s1.events.is_empty(),
+            "a 2s period over 100s should draw faults"
+        );
         assert_eq!(s1.events, s2.events);
         let s3 = ChaosSchedule::generate(&mut SimRng::new(100), hub, &targets, SimTime::ZERO, &cfg);
         assert_ne!(s1.events, s3.events, "different seeds should diverge");
@@ -310,7 +324,11 @@ mod tests {
                 inverses += 1;
             }
         }
-        assert_eq!(counts.total(), inverses, "each fault pairs with one inverse");
+        assert_eq!(
+            counts.total(),
+            inverses,
+            "each fault pairs with one inverse"
+        );
     }
 
     #[test]
@@ -331,7 +349,10 @@ mod tests {
         for &t in &targets {
             assert!(env.topo.is_alive(t), "{t} restarted by horizon");
             assert!(!env.topo.is_isolated(t), "{t} reconnected by horizon");
-            assert!(env.topo.check_path(hub, t).is_ok(), "{t} reachable by horizon");
+            assert!(
+                env.topo.check_path(hub, t).is_ok(),
+                "{t} reachable by horizon"
+            );
             // Slow-link overrides removed: back to the kind default.
             assert_eq!(
                 env.topo.link(hub, t).base_latency,

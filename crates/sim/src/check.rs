@@ -19,7 +19,9 @@ pub struct Gen {
 
 impl Gen {
     pub fn new(seed: u64) -> Self {
-        Gen { rng: SimRng::new(seed) }
+        Gen {
+            rng: SimRng::new(seed),
+        }
     }
 
     /// Direct access to the underlying stream for custom draws.
@@ -71,7 +73,9 @@ impl Gen {
     /// ASCII string over `[' ', '~']` with length in `[0, max_len]`.
     pub fn ascii_string(&mut self, max_len: usize) -> String {
         let len = self.usize_in(0, max_len + 1);
-        (0..len).map(|_| self.u64_in(0x20, 0x7F) as u8 as char).collect()
+        (0..len)
+            .map(|_| self.u64_in(0x20, 0x7F) as u8 as char)
+            .collect()
     }
 
     /// Alphabetic string with length in `[min_len, max_len]`.
@@ -80,7 +84,11 @@ impl Gen {
         (0..len)
             .map(|_| {
                 let i = self.u64_in(0, 52);
-                if i < 26 { (b'A' + i as u8) as char } else { (b'a' + (i - 26) as u8) as char }
+                if i < 26 {
+                    (b'A' + i as u8) as char
+                } else {
+                    (b'a' + (i - 26) as u8) as char
+                }
             })
             .collect()
     }
@@ -169,7 +177,10 @@ mod tests {
         let caught = std::panic::catch_unwind(|| {
             run_cases("always-fails", 3, |_g| panic!("boom"));
         });
-        let msg = *caught.unwrap_err().downcast::<String>().expect("string panic");
+        let msg = *caught
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("string panic");
         assert!(msg.contains("always-fails"), "{msg}");
         assert!(msg.contains("case 0"), "{msg}");
         assert!(msg.contains("boom"), "{msg}");

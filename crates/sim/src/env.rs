@@ -29,6 +29,7 @@ use std::rc::Rc;
 
 use sensorcer_trace::{FieldValue, FlightRecorder, Outcome, SpanId};
 
+use crate::hb::{HbTracker, HbViolation};
 use crate::metrics::{keys, Metrics};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -122,6 +123,24 @@ impl RepeatHandle {
     }
 }
 
+/// A lifecycle transition reported by instrumented middleware: the lease,
+/// provisioning and span state machines declared in `sensorcer-verify`
+/// receive these and check each transition against their tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LifecycleEvent {
+    /// Which state machine the entity belongs to (`"lease"`,
+    /// `"provision"`, …).
+    pub kind: &'static str,
+    /// Entity identity within the machine (lease id, hashed instance
+    /// name, …).
+    pub entity: u64,
+    /// The transition taken.
+    pub transition: &'static str,
+    /// Transition-specific payload (e.g. the new expiry in nanos for
+    /// lease grants/renewals; zero when unused).
+    pub info: u64,
+}
+
 /// The simulation world. See the module docs for the interaction model.
 pub struct Env {
     pub config: EnvConfig,
@@ -141,6 +160,18 @@ pub struct Env {
     /// Optional flight recorder for structured spans. Like the debug sink,
     /// absent by default so uninstrumented runs pay only a null check.
     recorder: Option<FlightRecorder>,
+    /// Optional happens-before tracker (vector clocks + write log); see
+    /// [`crate::hb`]. Absent by default.
+    hb: Option<Box<HbTracker>>,
+    /// Optional lifecycle sink: receives every [`LifecycleEvent`] emitted
+    /// by instrumented middleware. Absent by default.
+    lifecycle_sink: Option<Box<dyn FnMut(SimTime, LifecycleEvent)>>,
+    /// Optional schedule oracle: when ≥2 timers are co-scheduled at the
+    /// same deadline, picks which fires next (index into the seq-ordered
+    /// due set). `None` means FIFO by seq — the historical order. The
+    /// schedule explorer in `sensorcer-verify` installs this to permute
+    /// delivery order systematically.
+    tie_chooser: Option<Box<dyn FnMut(usize) -> usize>>,
 }
 
 impl Env {
@@ -158,12 +189,18 @@ impl Env {
             next_service: 0,
             debug_sink: None,
             recorder: None,
+            hb: None,
+            lifecycle_sink: None,
+            tie_chooser: None,
         }
     }
 
     /// A world with default configuration and the given seed.
     pub fn with_seed(seed: u64) -> Self {
-        Env::new(EnvConfig { seed, ..EnvConfig::default() })
+        Env::new(EnvConfig {
+            seed,
+            ..EnvConfig::default()
+        })
     }
 
     // ------------------------------------------------------------------
@@ -314,7 +351,9 @@ impl Env {
     /// The innermost open span (e.g. to annotate the enclosing operation
     /// from a lower layer), or `INVALID` when none.
     pub fn current_span(&self) -> SpanId {
-        self.recorder.as_ref().map_or(SpanId::INVALID, |r| r.current())
+        self.recorder
+            .as_ref()
+            .map_or(SpanId::INVALID, |r| r.current())
     }
 
     /// Close an open span with its outcome.
@@ -322,6 +361,135 @@ impl Env {
         if let Some(r) = self.recorder.as_mut() {
             let now = self.clock.as_nanos();
             r.span_end(id, now, outcome);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Happens-before tracking
+    // ------------------------------------------------------------------
+
+    /// Install a fresh [`HbTracker`]; message deliveries start carrying
+    /// vector clocks and `hb_read`/`hb_write` annotations are checked.
+    pub fn enable_hb(&mut self) {
+        self.hb = Some(Box::default());
+    }
+
+    /// Remove and return the tracker (hb tracking becomes free again).
+    pub fn disable_hb(&mut self) -> Option<Box<HbTracker>> {
+        self.hb.take()
+    }
+
+    /// Whether happens-before tracking is on.
+    #[inline]
+    pub fn hb_enabled(&self) -> bool {
+        self.hb.is_some()
+    }
+
+    /// Read-only access to the installed tracker.
+    pub fn hb(&self) -> Option<&HbTracker> {
+        self.hb.as_deref()
+    }
+
+    /// Record a message edge `from → to` (called by the delivery paths;
+    /// middleware normally never needs this directly).
+    #[inline]
+    fn hb_deliver(&mut self, from: HostId, to: HostId) {
+        if let Some(hb) = self.hb.as_mut() {
+            hb.deliver(from, to);
+        }
+    }
+
+    /// Annotate a write of shared federation state `key` by `host`.
+    #[inline]
+    pub fn hb_write(&mut self, host: HostId, key: &str) {
+        if let Some(hb) = self.hb.as_mut() {
+            hb.write(host, key);
+        }
+    }
+
+    /// Annotate a read of shared federation state `key` by `host`. A read
+    /// not ordered after the latest write is recorded on the tracker and,
+    /// with tracing on, surfaced as an `hb.violation` event on the
+    /// current span.
+    pub fn hb_read(&mut self, host: HostId, key: &str) {
+        let violation: Option<HbViolation> = match self.hb.as_mut() {
+            Some(hb) => hb.read(host, key),
+            None => None,
+        };
+        if let Some(v) = violation {
+            let span = self.current_span();
+            if span.is_valid() {
+                self.span_event(
+                    span,
+                    "hb.violation",
+                    vec![
+                        ("key", v.key.clone().into()),
+                        ("reader", (v.reader.0 as u64).into()),
+                        ("writer", (v.writer.0 as u64).into()),
+                    ],
+                );
+            }
+            self.debug_with(|| format!("hb.violation: {v}"));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle events
+    // ------------------------------------------------------------------
+
+    /// Install a sink receiving every lifecycle transition emitted by
+    /// instrumented middleware. Replaces any previous sink.
+    pub fn set_lifecycle_sink(&mut self, sink: impl FnMut(SimTime, LifecycleEvent) + 'static) {
+        self.lifecycle_sink = Some(Box::new(sink));
+    }
+
+    /// Remove the lifecycle sink.
+    pub fn clear_lifecycle_sink(&mut self) {
+        self.lifecycle_sink = None;
+    }
+
+    /// Whether a lifecycle sink is installed.
+    #[inline]
+    pub fn lifecycle_enabled(&self) -> bool {
+        self.lifecycle_sink.is_some()
+    }
+
+    /// Report a lifecycle transition. Goes to the sink when one is
+    /// installed and, with tracing on, mirrors onto the current span as a
+    /// `lifecycle` event — which is how the state-machine checkers in
+    /// `sensorcer-verify` see runtime transitions through the flight
+    /// recorder.
+    pub fn lifecycle(
+        &mut self,
+        kind: &'static str,
+        entity: u64,
+        transition: &'static str,
+        info: u64,
+    ) {
+        if self.lifecycle_sink.is_none() && self.recorder.is_none() {
+            return;
+        }
+        let ev = LifecycleEvent {
+            kind,
+            entity,
+            transition,
+            info,
+        };
+        if let Some(sink) = self.lifecycle_sink.as_mut() {
+            sink(self.clock, ev);
+        }
+        let span = self.current_span();
+        if span.is_valid() {
+            self.span_event(
+                span,
+                "lifecycle",
+                vec![
+                    ("kind", FieldValue::from(kind)),
+                    ("entity", entity.into()),
+                    ("transition", FieldValue::from(transition)),
+                    ("info", info.into()),
+                ],
+            );
         }
     }
 
@@ -368,7 +536,14 @@ impl Env {
     ) -> ServiceId {
         let id = ServiceId(self.next_service);
         self.next_service += 1;
-        self.services.insert(id, ServiceSlot { host, name: name.into(), obj });
+        self.services.insert(
+            id,
+            ServiceSlot {
+                host,
+                name: name.into(),
+                obj,
+            },
+        );
         id
     }
 
@@ -453,7 +628,8 @@ impl Env {
         let packets = stack.packets_for(payload);
         let wire = stack.bytes_on_wire(payload);
 
-        self.metrics.add_host(from, keys::BYTES_PAYLOAD, payload as u64);
+        self.metrics
+            .add_host(from, keys::BYTES_PAYLOAD, payload as u64);
         self.metrics.add_host(from, keys::BYTES_WIRE, wire as u64);
         self.metrics.add_host(from, keys::PACKETS, packets as u64);
 
@@ -534,6 +710,7 @@ impl Env {
             self.metrics.add(keys::CALLS_FAILED, 1);
             return Err(e);
         }
+        self.hb_deliver(from, dest);
 
         self.clock += self.config.dispatch_cost;
 
@@ -548,9 +725,9 @@ impl Env {
                     return Err(NetError::Busy);
                 }
             };
-            let typed = borrow.downcast_mut::<T>().unwrap_or_else(|| {
-                panic!("service {to} is not a {}", std::any::type_name::<T>())
-            });
+            let typed = borrow
+                .downcast_mut::<T>()
+                .unwrap_or_else(|| panic!("service {to} is not a {}", std::any::type_name::<T>()));
             f(self, typed)
         };
 
@@ -558,6 +735,7 @@ impl Env {
             self.metrics.add(keys::CALLS_FAILED, 1);
             return Err(e);
         }
+        self.hb_deliver(dest, from);
 
         self.metrics.add(keys::CALLS_OK, 1);
         Ok(value)
@@ -574,7 +752,9 @@ impl Env {
         payload: usize,
     ) -> Result<SimDuration, NetError> {
         self.topo.check_path(from, to)?;
-        self.transfer(from, to, stack, payload)
+        let dt = self.transfer(from, to, stack, payload)?;
+        self.hb_deliver(from, to);
+        Ok(dt)
     }
 
     /// One-to-group transmission (e.g. a multicast discovery request):
@@ -590,7 +770,8 @@ impl Env {
     ) -> Vec<HostId> {
         self.metrics.add(keys::MULTICASTS, 1);
         let wire = stack.bytes_on_wire(payload);
-        self.metrics.add_host(from, keys::BYTES_PAYLOAD, payload as u64);
+        self.metrics
+            .add_host(from, keys::BYTES_PAYLOAD, payload as u64);
         self.metrics.add_host(from, keys::BYTES_WIRE, wire as u64);
         self.metrics
             .add_host(from, keys::PACKETS, stack.packets_for(payload) as u64);
@@ -610,6 +791,9 @@ impl Env {
             max_delay = max_delay.max(link.delay(wire, &mut self.rng));
             delivered.push(m);
         }
+        for &m in &delivered {
+            self.hb_deliver(from, m);
+        }
         self.clock += max_delay;
         delivered
     }
@@ -624,7 +808,12 @@ impl Env {
         self.next_timer_seq += 1;
         let id = TimerId(seq);
         let at = at.max(self.clock);
-        self.timers.push(Reverse(TimerEntry { at, seq, id, callback: Box::new(f) }));
+        self.timers.push(Reverse(TimerEntry {
+            at,
+            seq,
+            id,
+            callback: Box::new(f),
+        }));
         id
     }
 
@@ -648,7 +837,10 @@ impl Env {
         interval: SimDuration,
         f: impl FnMut(&mut Env) -> bool + 'static,
     ) -> RepeatHandle {
-        assert!(!interval.is_zero(), "repeating timer needs a nonzero interval");
+        assert!(
+            !interval.is_zero(),
+            "repeating timer needs a nonzero interval"
+        );
         let alive = Rc::new(std::cell::Cell::new(true));
         let handle = RepeatHandle(Rc::clone(&alive));
         let f = Rc::new(RefCell::new(f));
@@ -683,9 +875,27 @@ impl Env {
             .count()
     }
 
+    /// Install a schedule oracle: whenever ≥2 timers are co-scheduled at
+    /// the same deadline, `f(k)` picks which of the `k` due timers
+    /// (presented FIFO by seq) fires next. Out-of-range picks are clamped.
+    /// The default (no oracle) fires FIFO — the historical deterministic
+    /// order. The schedule explorer in `sensorcer-verify` uses this to
+    /// permute delivery order systematically.
+    pub fn set_tie_chooser(&mut self, f: impl FnMut(usize) -> usize + 'static) {
+        self.tie_chooser = Some(Box::new(f));
+    }
+
+    /// Remove the schedule oracle, restoring FIFO tie-breaking.
+    pub fn clear_tie_chooser(&mut self) {
+        self.tie_chooser = None;
+    }
+
     /// Fire the next pending timer, if any, advancing the clock to its
     /// deadline. Returns whether a timer fired.
     pub fn step(&mut self) -> bool {
+        if self.tie_chooser.is_some() {
+            return self.step_chosen();
+        }
         while let Some(Reverse(entry)) = self.timers.pop() {
             if self.cancelled.remove(&entry.id) {
                 continue;
@@ -698,6 +908,52 @@ impl Env {
             return true;
         }
         false
+    }
+
+    /// `step` with a schedule oracle installed: gather every timer due at
+    /// the minimal deadline, let the oracle pick one, and put the rest
+    /// back (their seq keys keep relative FIFO order among themselves).
+    /// Only one timer fires per step, so timers the fired handler
+    /// co-schedules at the same instant join the next choice point.
+    fn step_chosen(&mut self) -> bool {
+        let mut due: Vec<TimerEntry> = Vec::new();
+        let mut min_at: Option<SimTime> = None;
+        while let Some(Reverse(head)) = self.timers.peek() {
+            if self.cancelled.contains(&head.id) {
+                if let Some(Reverse(e)) = self.timers.pop() {
+                    self.cancelled.remove(&e.id);
+                }
+                continue;
+            }
+            match min_at {
+                None => min_at = Some(head.at),
+                Some(t) if head.at == t => {}
+                Some(_) => break,
+            }
+            match self.timers.pop() {
+                Some(Reverse(e)) => due.push(e),
+                None => break,
+            }
+        }
+        let k = due.len();
+        if k == 0 {
+            return false;
+        }
+        let pick = if k == 1 {
+            0
+        } else {
+            match self.tie_chooser.as_mut() {
+                Some(f) => f(k).min(k - 1),
+                None => 0,
+            }
+        };
+        let entry = due.remove(pick);
+        for rest in due {
+            self.timers.push(Reverse(rest));
+        }
+        self.clock = self.clock.max(entry.at);
+        (entry.callback)(self);
+        true
     }
 
     /// Process every timer due up to `t`, then set the clock to at least `t`.
@@ -804,7 +1060,13 @@ mod tests {
     fn call_to_missing_service_fails_fast() {
         let (mut env, a, _) = two_host_env();
         let err = env
-            .call(a, ServiceId(42), ProtocolStack::Udp, 10, |_e, _x: &mut Echo| ((), 0))
+            .call(
+                a,
+                ServiceId(42),
+                ProtocolStack::Udp,
+                10,
+                |_e, _x: &mut Echo| ((), 0),
+            )
             .unwrap_err();
         assert_eq!(err, NetError::NoSuchService);
         assert_eq!(env.metrics.get(keys::CALLS_FAILED), 1);
@@ -823,7 +1085,9 @@ mod tests {
         assert_eq!(env.now() - t0, env.config.call_timeout);
         env.restart_host(b);
         assert!(env
-            .call(a, svc, ProtocolStack::Tcp, 10, |_e, x: &mut Echo| (x.hits, 0))
+            .call(a, svc, ProtocolStack::Tcp, 10, |_e, x: &mut Echo| (
+                x.hits, 0
+            ))
             .is_ok());
     }
 
@@ -965,7 +1229,8 @@ mod tests {
         let (mut env, _a, b) = two_host_env();
         let svc = env.deploy(b, "echo", Echo { hits: 0 });
         let t0 = env.now();
-        env.with_service(svc, |_env, e: &mut Echo| e.hits += 10).unwrap();
+        env.with_service(svc, |_env, e: &mut Echo| e.hits += 10)
+            .unwrap();
         assert_eq!(env.now(), t0);
         let hits = env.with_service(svc, |_env, e: &mut Echo| e.hits).unwrap();
         assert_eq!(hits, 10);
@@ -1005,7 +1270,10 @@ mod tests {
         env.topo.set_link(
             a,
             b,
-            crate::topology::LinkModel { loss: 1.0, ..crate::topology::LinkModel::lan() },
+            crate::topology::LinkModel {
+                loss: 1.0,
+                ..crate::topology::LinkModel::lan()
+            },
         );
         let err = env
             .call(a, svc, ProtocolStack::Udp, 10, |_e, _x: &mut Echo| ((), 0))
@@ -1021,7 +1289,10 @@ mod tests {
         env.topo.set_link(
             a,
             b,
-            crate::topology::LinkModel { loss: 0.3, ..crate::topology::LinkModel::lan() },
+            crate::topology::LinkModel {
+                loss: 0.3,
+                ..crate::topology::LinkModel::lan()
+            },
         );
         let mut ok = 0;
         for _ in 0..50 {
@@ -1150,6 +1421,114 @@ mod tests {
     }
 
     #[test]
+    fn tie_chooser_permutes_equal_deadline_timers() {
+        let mut env = Env::with_seed(2);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(vec![]));
+        for tag in 0..3u32 {
+            let log = Rc::clone(&log);
+            env.schedule(SimDuration::from_millis(10), move |_env| {
+                log.borrow_mut().push(tag);
+            });
+        }
+        // Always pick the last of the due set: reverses FIFO.
+        env.set_tie_chooser(|k| k - 1);
+        env.run_for(SimDuration::from_millis(10));
+        assert_eq!(*log.borrow(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn tie_chooser_clamps_and_respects_cancellation() {
+        let mut env = Env::with_seed(2);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(vec![]));
+        let mut ids = vec![];
+        for tag in 0..4u32 {
+            let log = Rc::clone(&log);
+            ids.push(env.schedule(SimDuration::from_millis(5), move |_env| {
+                log.borrow_mut().push(tag);
+            }));
+        }
+        env.cancel(ids[1]);
+        env.set_tie_chooser(|_k| usize::MAX); // clamped to the last choice
+        env.run_for(SimDuration::from_millis(5));
+        assert_eq!(
+            *log.borrow(),
+            vec![3, 2, 0],
+            "cancelled timer 1 never fires"
+        );
+    }
+
+    #[test]
+    fn clear_tie_chooser_restores_fifo() {
+        let mut env = Env::with_seed(2);
+        env.set_tie_chooser(|k| k - 1);
+        env.clear_tie_chooser();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(vec![]));
+        for tag in 0..3u32 {
+            let log = Rc::clone(&log);
+            env.schedule(SimDuration::from_millis(1), move |_env| {
+                log.borrow_mut().push(tag);
+            });
+        }
+        env.run_for(SimDuration::from_millis(1));
+        assert_eq!(*log.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn hb_tracks_call_edges_and_flags_unordered_reads() {
+        let (mut env, a, b) = two_host_env();
+        let svc = env.deploy(b, "echo", Echo { hits: 0 });
+        env.enable_hb();
+        assert!(env.hb_enabled());
+        // A write at b that a learns about through a call's response edge.
+        env.hb_write(b, "state");
+        env.call(a, svc, ProtocolStack::Tcp, 8, |_e, x: &mut Echo| {
+            x.hits += 1;
+            ((), 8)
+        })
+        .unwrap();
+        env.hb_read(a, "state");
+        // A write at a third host nobody heard from races every reader.
+        let c = env.add_host("c", HostKind::Server);
+        env.hb_write(c, "state");
+        env.hb_read(a, "state");
+        let hb = env.disable_hb().expect("tracker installed");
+        assert!(!env.hb_enabled());
+        assert_eq!(hb.violations().len(), 1);
+        assert_eq!(hb.violations()[0].writer, c);
+        assert_eq!(hb.violations()[0].reader, a);
+    }
+
+    #[test]
+    fn lifecycle_events_reach_sink_and_open_span() {
+        let mut env = Env::with_seed(3);
+        let h = env.add_host("h", HostKind::Server);
+        let seen: Rc<RefCell<Vec<(SimTime, LifecycleEvent)>>> = Rc::new(RefCell::new(vec![]));
+        let s2 = Rc::clone(&seen);
+        env.set_lifecycle_sink(move |at, ev| s2.borrow_mut().push((at, ev)));
+        assert!(env.lifecycle_enabled());
+        env.enable_tracing(16);
+        let span = env.span_start("op", "x", h);
+        env.lifecycle("lease", 7, "grant", 123);
+        env.span_end(span, Outcome::Ok);
+        env.clear_lifecycle_sink();
+        env.lifecycle("lease", 7, "renew", 0); // dropped by the sink, still mirrored
+        let rec = env.disable_tracing().expect("recorder");
+        let got = seen.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(
+            got[0].1,
+            LifecycleEvent {
+                kind: "lease",
+                entity: 7,
+                transition: "grant",
+                info: 123
+            }
+        );
+        let spans: Vec<_> = rec.spans().collect();
+        assert!(spans[0].has_event("lifecycle"));
+    }
+
+    #[test]
     fn reentrant_call_reports_busy_not_panic() {
         let mut env = Env::with_seed(10);
         let h = env.add_host("h", HostKind::Server);
@@ -1157,7 +1536,8 @@ mod tests {
             me: Option<ServiceId>,
         }
         let svc = env.deploy(h, "selfish", Selfish { me: None });
-        env.with_service(svc, |_e, s: &mut Selfish| s.me = Some(svc)).unwrap();
+        env.with_service(svc, |_e, s: &mut Selfish| s.me = Some(svc))
+            .unwrap();
         let result = env.call(h, svc, ProtocolStack::Tcp, 8, |env, s: &mut Selfish| {
             // Call back into ourselves while borrowed: must error cleanly.
             let me = s.me.expect("set above");

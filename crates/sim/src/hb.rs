@@ -1,0 +1,227 @@
+//! Deterministic happens-before tracking for the simulated federation.
+//!
+//! Every host carries a [`VectorClock`]; the clock ticks on each message
+//! send and merges on each delivery ([`crate::env::Env::call`],
+//! [`crate::env::Env::send_oneway`], [`crate::env::Env::multicast`]).
+//! Middleware annotates accesses to shared federation state (registry
+//! items, mailbox queues) with [`HbTracker::write`] / [`HbTracker::read`]
+//! on named keys; a read whose host has *not* observed the latest write —
+//! no chain of message deliveries orders the write before the read — is a
+//! race in the federation's ordering discipline and is recorded as a
+//! violation (and, with tracing on, surfaced as an `hb.violation` event on
+//! the open span).
+//!
+//! The simulation itself is single-threaded, so these are not data races;
+//! they are *protocol* races: state observed through a channel (e.g. a
+//! direct `with_service` poke) that no message edge justifies. On a clean
+//! tree the tracker stays silent across every explored schedule, which is
+//! what `harness verify` asserts.
+
+use std::collections::BTreeMap;
+
+use crate::topology::HostId;
+
+/// A classic vector clock over host ids. Sparse: hosts that never
+/// communicated are implicitly at zero.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct VectorClock {
+    ticks: BTreeMap<u32, u64>,
+}
+
+impl VectorClock {
+    pub fn new() -> VectorClock {
+        VectorClock::default()
+    }
+
+    /// This clock's component for `host`.
+    pub fn get(&self, host: HostId) -> u64 {
+        self.ticks.get(&host.0).copied().unwrap_or(0)
+    }
+
+    /// Advance `host`'s own component (a local event / message send).
+    pub fn tick(&mut self, host: HostId) {
+        *self.ticks.entry(host.0).or_insert(0) += 1;
+    }
+
+    /// Component-wise maximum (message receipt).
+    pub fn merge(&mut self, other: &VectorClock) {
+        for (&h, &t) in &other.ticks {
+            let e = self.ticks.entry(h).or_insert(0);
+            if *e < t {
+                *e = t;
+            }
+        }
+    }
+
+    /// `true` when every component of `other` is ≤ the matching component
+    /// here — i.e. `other` happened before (or equals) this clock.
+    pub fn dominates(&self, other: &VectorClock) -> bool {
+        other.ticks.iter().all(|(&h, &t)| self.get(HostId(h)) >= t)
+    }
+}
+
+/// One detected ordering violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HbViolation {
+    /// The shared-state key that was read.
+    pub key: String,
+    /// Host that performed the unordered read.
+    pub reader: HostId,
+    /// Host that performed the latest write.
+    pub writer: HostId,
+}
+
+impl std::fmt::Display for HbViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "read of '{}' at {} not ordered after write at {}",
+            self.key, self.reader, self.writer
+        )
+    }
+}
+
+/// The per-run happens-before state: host clocks, a last-write log per
+/// key, and the violations found. Installed on an
+/// [`Env`](crate::env::Env) via `enable_hb`; absent by default so
+/// uninstrumented runs pay only a null check.
+#[derive(Default, Debug)]
+pub struct HbTracker {
+    clocks: BTreeMap<u32, VectorClock>,
+    writes: BTreeMap<String, (HostId, VectorClock)>,
+    violations: Vec<HbViolation>,
+    deliveries: u64,
+    reads: u64,
+    writes_seen: u64,
+}
+
+impl HbTracker {
+    pub fn new() -> HbTracker {
+        HbTracker::default()
+    }
+
+    fn clock_mut(&mut self, host: HostId) -> &mut VectorClock {
+        self.clocks.entry(host.0).or_default()
+    }
+
+    /// A message edge `from → to`: the sender ticks, the receiver merges
+    /// the sender's clock and ticks its own component.
+    pub fn deliver(&mut self, from: HostId, to: HostId) {
+        self.deliveries += 1;
+        self.clock_mut(from).tick(from);
+        let snapshot = self.clock_mut(from).clone();
+        let rx = self.clock_mut(to);
+        rx.merge(&snapshot);
+        rx.tick(to);
+    }
+
+    /// Record a write of shared state `key` by `host`.
+    pub fn write(&mut self, host: HostId, key: &str) {
+        self.writes_seen += 1;
+        self.clock_mut(host).tick(host);
+        let snapshot = self.clock_mut(host).clone();
+        self.writes.insert(key.to_string(), (host, snapshot));
+    }
+
+    /// Record a read of shared state `key` by `host`; returns the
+    /// violation when the latest write is not ordered before this read.
+    pub fn read(&mut self, host: HostId, key: &str) -> Option<HbViolation> {
+        self.reads += 1;
+        let Some((writer, wclock)) = self.writes.get(key).cloned() else {
+            return None; // never written: trivially ordered
+        };
+        let ordered = self.clock_mut(host).dominates(&wclock);
+        if ordered {
+            return None;
+        }
+        let v = HbViolation {
+            key: key.to_string(),
+            reader: host,
+            writer,
+        };
+        self.violations.push(v.clone());
+        Some(v)
+    }
+
+    pub fn violations(&self) -> &[HbViolation] {
+        &self.violations
+    }
+
+    /// (deliveries, writes, reads) processed — lets harnesses prove the
+    /// checker was not vacuous.
+    pub fn activity(&self) -> (u64, u64, u64) {
+        (self.deliveries, self.writes_seen, self.reads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: HostId = HostId(1);
+    const B: HostId = HostId(2);
+    const C: HostId = HostId(3);
+
+    #[test]
+    fn clock_merge_and_dominate() {
+        let mut a = VectorClock::new();
+        a.tick(A);
+        a.tick(A);
+        let mut b = VectorClock::new();
+        b.tick(B);
+        assert!(!a.dominates(&b));
+        b.merge(&a);
+        assert!(b.dominates(&a));
+        assert_eq!(b.get(A), 2);
+        assert_eq!(b.get(B), 1);
+    }
+
+    #[test]
+    fn ordered_read_after_message_edge_is_clean() {
+        let mut hb = HbTracker::new();
+        hb.write(A, "reg.items");
+        // A tells B about it (any delivery chain works).
+        hb.deliver(A, B);
+        assert_eq!(hb.read(B, "reg.items"), None);
+        assert!(hb.violations().is_empty());
+    }
+
+    #[test]
+    fn unordered_read_is_flagged() {
+        let mut hb = HbTracker::new();
+        hb.write(A, "reg.items");
+        // B reads with no delivery from A: a protocol race.
+        let v = hb.read(B, "reg.items").expect("violation");
+        assert_eq!(v.writer, A);
+        assert_eq!(v.reader, B);
+        assert_eq!(hb.violations().len(), 1);
+    }
+
+    #[test]
+    fn transitive_delivery_orders_reads() {
+        let mut hb = HbTracker::new();
+        hb.write(A, "k");
+        hb.deliver(A, B);
+        hb.deliver(B, C);
+        assert_eq!(hb.read(C, "k"), None, "A→B→C carries the write");
+    }
+
+    #[test]
+    fn same_host_read_is_always_ordered() {
+        let mut hb = HbTracker::new();
+        hb.write(A, "k");
+        assert_eq!(hb.read(A, "k"), None);
+    }
+
+    #[test]
+    fn later_unrelated_write_re_races_the_reader() {
+        let mut hb = HbTracker::new();
+        hb.write(A, "k");
+        hb.deliver(A, B);
+        assert_eq!(hb.read(B, "k"), None);
+        hb.write(C, "k"); // C overwrites without telling B
+        assert!(hb.read(B, "k").is_some());
+        let (d, w, r) = hb.activity();
+        assert_eq!((d, w, r), (1, 2, 2));
+    }
+}

@@ -34,6 +34,7 @@
 //! assert!(env.now().as_nanos() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 // Boxed-closure callback signatures (event sinks, 2PC participants,
 // simulated parallel branches) trip this lint; the types are the API.
 #![allow(clippy::type_complexity)]
@@ -42,6 +43,7 @@ pub mod bytebuf;
 pub mod chaos;
 pub mod check;
 pub mod env;
+pub mod hb;
 pub mod metrics;
 pub mod rng;
 pub mod time;
@@ -59,7 +61,8 @@ pub mod prelude {
     };
 
     pub use crate::chaos::{ChaosConfig, ChaosCounts, ChaosEvent, ChaosSchedule};
-    pub use crate::env::{Env, EnvConfig, RepeatHandle, ServiceId, TimerId};
+    pub use crate::env::{Env, EnvConfig, LifecycleEvent, RepeatHandle, ServiceId, TimerId};
+    pub use crate::hb::{HbTracker, HbViolation, VectorClock};
     pub use crate::metrics::{keys as metric_keys, Metrics, Summary};
     pub use crate::rng::SimRng;
     pub use crate::time::{SimDuration, SimTime};

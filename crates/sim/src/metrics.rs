@@ -53,19 +53,28 @@ impl Metrics {
 
     /// Current per-host value of a counter.
     pub fn get_host(&self, host: HostId, key: &str) -> u64 {
-        self.per_host.get(&(host, key.to_string())).copied().unwrap_or(0)
+        self.per_host
+            .get(&(host, key.to_string()))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Add `n` to the counter `key` under a free-form `label` dimension
     /// (e.g. a servicer name). Labeled counts are a breakdown of their own;
     /// they do not feed the global counter.
     pub fn add_labeled(&mut self, key: &str, label: &str, n: u64) {
-        *self.labeled.entry((key.to_string(), label.to_string())).or_insert(0) += n;
+        *self
+            .labeled
+            .entry((key.to_string(), label.to_string()))
+            .or_insert(0) += n;
     }
 
     /// Current value of a labeled counter.
     pub fn get_labeled(&self, key: &str, label: &str) -> u64 {
-        self.labeled.get(&(key.to_string(), label.to_string())).copied().unwrap_or(0)
+        self.labeled
+            .get(&(key.to_string(), label.to_string()))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// All labels recorded for a key with their counts, in label order.
@@ -100,7 +109,10 @@ impl Metrics {
     /// Record one sample into the named series (latencies, sizes, ...).
     /// Storage is a bounded bucketed histogram: a soak can record forever.
     pub fn record(&mut self, key: &str, value: f64) {
-        self.samples.entry(key.to_string()).or_default().record(value);
+        self.samples
+            .entry(key.to_string())
+            .or_default()
+            .record(value);
     }
 
     /// Summary statistics over a recorded series, if any samples exist.
@@ -163,6 +175,7 @@ impl Summary {
             return None;
         }
         let mut sorted: Vec<f64> = xs.to_vec();
+        // lint:allow(unwrap): recorders never admit NaN samples
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("metrics must not record NaN"));
         let q = |p: f64| -> f64 {
             // Nearest-rank percentile.

@@ -279,7 +279,10 @@ mod tests {
     #[test]
     fn from_secs_f64_clamps_negative() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]
@@ -301,6 +304,9 @@ mod tests {
     #[test]
     fn saturating_add_never_wraps() {
         let t = SimTime::FAR_FUTURE;
-        assert_eq!(t.saturating_add(SimDuration::from_secs(1)), SimTime::FAR_FUTURE);
+        assert_eq!(
+            t.saturating_add(SimDuration::from_secs(1)),
+            SimTime::FAR_FUTURE
+        );
     }
 }

@@ -337,7 +337,11 @@ mod tests {
             loss: 0.5,
         };
         t.set_link(a, b, slow);
-        assert_eq!(t.link(b, a).loss, 0.5, "override applies in both directions");
+        assert_eq!(
+            t.link(b, a).loss,
+            0.5,
+            "override applies in both directions"
+        );
     }
 
     #[test]
@@ -468,14 +472,20 @@ mod tests {
     fn self_path_is_fine_even_when_partition_recorded() {
         let (mut t, a, _, _) = topo3();
         t.partition(a, a);
-        assert!(!t.is_partitioned(a, a), "a host is never partitioned from itself");
+        assert!(
+            !t.is_partitioned(a, a),
+            "a host is never partitioned from itself"
+        );
         assert!(t.check_path(a, a).is_ok());
     }
 
     #[test]
     fn delay_scales_with_bytes() {
         let mut rng = SimRng::new(1);
-        let link = LinkModel { jitter_frac: 0.0, ..LinkModel::lan() };
+        let link = LinkModel {
+            jitter_frac: 0.0,
+            ..LinkModel::lan()
+        };
         let small = link.delay(10, &mut rng);
         let big = link.delay(1_000_000, &mut rng);
         assert!(big > small);

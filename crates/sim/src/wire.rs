@@ -151,7 +151,10 @@ impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireError::Truncated { needed, available } => {
-                write!(f, "truncated wire data: needed {needed} bytes, had {available}")
+                write!(
+                    f,
+                    "truncated wire data: needed {needed} bytes, had {available}"
+                )
             }
             WireError::BadTag { context, tag } => write!(f, "bad tag {tag:#x} in {context}"),
             WireError::BadUtf8 => write!(f, "invalid UTF-8 in wire string"),
@@ -163,7 +166,10 @@ impl std::error::Error for WireError {}
 
 fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
     if buf.remaining() < n {
-        Err(WireError::Truncated { needed: n, available: buf.remaining() })
+        Err(WireError::Truncated {
+            needed: n,
+            available: buf.remaining(),
+        })
     } else {
         Ok(())
     }
@@ -215,7 +221,10 @@ impl WireDecode for bool {
         match buf.get_u8() {
             0 => Ok(false),
             1 => Ok(true),
-            tag => Err(WireError::BadTag { context: "bool", tag }),
+            tag => Err(WireError::BadTag {
+                context: "bool",
+                tag,
+            }),
         }
     }
 }
@@ -292,7 +301,10 @@ impl<T: WireDecode> WireDecode for Option<T> {
         match u8::decode(buf)? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(buf)?)),
-            tag => Err(WireError::BadTag { context: "Option", tag }),
+            tag => Err(WireError::BadTag {
+                context: "Option",
+                tag,
+            }),
         }
     }
 }
@@ -336,7 +348,10 @@ mod tests {
         let stack = ProtocolStack::Udp;
         let payload = DEFAULT_MTU * 3 + 1; // forces 4 packets
         assert_eq!(stack.packets_for(payload), 4);
-        assert_eq!(stack.bytes_on_wire(payload), payload + 4 * stack.header_bytes());
+        assert_eq!(
+            stack.bytes_on_wire(payload),
+            payload + 4 * stack.header_bytes()
+        );
     }
 
     #[test]
@@ -401,6 +416,9 @@ mod tests {
     #[test]
     fn bad_bool_tag_errors() {
         let mut buf = Bytes::from_static(&[7]);
-        assert!(matches!(bool::decode(&mut buf), Err(WireError::BadTag { .. })));
+        assert!(matches!(
+            bool::decode(&mut buf),
+            Err(WireError::BadTag { .. })
+        ));
     }
 }

@@ -59,10 +59,17 @@ fn truncated_decode_errors_not_panics() {
 fn bytes_on_wire_exceeds_payload() {
     run_cases("bytes_on_wire_exceeds_payload", 256, |g| {
         let payload = g.usize_in(0, 100_000);
-        for stack in [ProtocolStack::Tcp, ProtocolStack::Udp, ProtocolStack::Compact] {
+        for stack in [
+            ProtocolStack::Tcp,
+            ProtocolStack::Udp,
+            ProtocolStack::Compact,
+        ] {
             let wire = stack.bytes_on_wire(payload);
             assert!(wire > payload, "{stack:?} {payload}");
-            assert_eq!(wire, payload + stack.packets_for(payload) * stack.header_bytes());
+            assert_eq!(
+                wire,
+                payload + stack.packets_for(payload) * stack.header_bytes()
+            );
             // Fragmentation is exact.
             assert!(stack.packets_for(payload) >= 1);
             assert!(stack.packets_for(payload) <= payload / stack.mtu() + 1);
@@ -134,7 +141,9 @@ fn lossless_calls_always_complete() {
         struct S;
         let svc = env.deploy(b, "s", S);
         let t0 = env.now();
-        let out = env.call(a, svc, ProtocolStack::Tcp, req, move |_e, _s: &mut S| ((), resp));
+        let out = env.call(a, svc, ProtocolStack::Tcp, req, move |_e, _s: &mut S| {
+            ((), resp)
+        });
         assert!(out.is_ok());
         assert!(env.now() > t0);
     });

@@ -23,6 +23,7 @@
 //! workspace graph; hosts are therefore carried as raw integers and the
 //! simulator layers its typed ids on top.
 
+#![forbid(unsafe_code)]
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -210,7 +211,11 @@ impl Span {
     }
 
     fn write_json(&self, out: &mut String) {
-        let _ = write!(out, "{{\"id\": {}, \"trace\": {}, \"parent\": ", self.id.0, self.trace.0);
+        let _ = write!(
+            out,
+            "{{\"id\": {}, \"trace\": {}, \"parent\": ",
+            self.id.0, self.trace.0
+        );
         match self.parent {
             Some(p) => {
                 let _ = write!(out, "{}", p.0);
@@ -387,7 +392,11 @@ impl FlightRecorder {
         fields: Vec<(&'static str, FieldValue)>,
     ) {
         if let Some(s) = self.open_mut(id) {
-            s.events.push(SpanEvent { at_ns: now_ns, name, fields });
+            s.events.push(SpanEvent {
+                at_ns: now_ns,
+                name,
+                fields,
+            });
         }
     }
 
@@ -396,6 +405,7 @@ impl FlightRecorder {
     /// it into the bounded ring.
     pub fn span_end(&mut self, id: SpanId, now_ns: u64, outcome: Outcome) {
         let mut s = match self.open.last() {
+            // lint:allow(unwrap): pop follows the Some(last) match on the same deque
             Some(last) if last.id == id => self.open.pop().unwrap(),
             _ => match self.open.iter().position(|s| s.id == id) {
                 Some(i) => self.open.remove(i),
@@ -709,7 +719,10 @@ mod tests {
         r.span_end(s, 20, Outcome::Error);
         let sp = r.spans().next().unwrap();
         assert_eq!(sp.field("retries").and_then(|f| f.as_u64()), Some(2));
-        assert_eq!(sp.field("error").and_then(|f| f.as_str()), Some("timed out"));
+        assert_eq!(
+            sp.field("error").and_then(|f| f.as_str()),
+            Some("timed out")
+        );
         assert!(sp.has_event("retry.attempt"));
         assert_eq!(sp.host, 3);
     }
@@ -737,7 +750,10 @@ mod tests {
         // Forge an orphan by clearing the parent's record.
         r.closed.retain(|s| s.id != root);
         let problems = r.validate(true);
-        assert!(problems.iter().any(|p| p.contains("orphan")), "{problems:?}");
+        assert!(
+            problems.iter().any(|p| p.contains("orphan")),
+            "{problems:?}"
+        );
     }
 
     #[test]
@@ -774,7 +790,10 @@ mod tests {
         }
         let p50 = h.quantile(0.5);
         let exact = 1e6 + 4_999.0 * 100.0;
-        assert!((p50 - exact).abs() / exact < 0.01, "p50={p50} exact={exact}");
+        assert!(
+            (p50 - exact).abs() / exact < 0.01,
+            "p50={p50} exact={exact}"
+        );
     }
 
     #[test]

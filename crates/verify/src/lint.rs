@@ -1,0 +1,337 @@
+//! In-repo source lints for the workspace (`harness lint`).
+//!
+//! Three rules, all scoped to `crates/*/src`:
+//!
+//! * `unwrap-outside-tests` — `.unwrap()` / `.expect(` in production
+//!   code. Panicking on a fallible path contradicts the federation's
+//!   degrade-don't-die posture; tests, benches (the `bench` crate) and
+//!   `#[cfg(test)]` modules are exempt. A deliberate, justified panic
+//!   site is allowlisted with a `// lint:allow(unwrap): <why>` comment
+//!   on the same or the preceding line.
+//! * `wallclock-in-sim` — `SystemTime::now` / `Instant::now` in
+//!   deterministic code. Virtual time is the whole point of the sim;
+//!   only the `bench` crate (real measurements) and `runtime` (thread
+//!   pool) may read the wall clock. Allowlist: `lint:allow(wallclock)`.
+//! * `pub-field-on-state-machine` — `pub` fields on the lifecycle
+//!   state-machine types checked by this crate. Their invariants hold
+//!   only if every mutation goes through their methods.
+//!
+//! The scanner is deliberately line-based and dependency-free: it
+//! understands `//` comments, brace depth and `#[cfg(test)]` blocks,
+//! which is exactly enough for this repo's own style.
+
+use std::path::{Path, PathBuf};
+
+/// `(crate, type)` pairs whose fields must stay private (their
+/// transitions are checked against [`crate::lifecycle`] tables). Scoped
+/// by crate so unrelated types sharing a name — e.g. the federation
+/// deployment bundle in `core` — are not swept in.
+const STATE_MACHINE_TYPES: &[(&str, &str)] = &[
+    ("registry", "LeaseTable"),
+    ("registry", "LookupService"),
+    ("registry", "EventMailbox"),
+    ("provision", "ProvisionMonitor"),
+    ("provision", "Deployment"),
+    ("trace", "FlightRecorder"),
+];
+
+/// Crates allowed to use `.unwrap()`/`.expect()` freely (benchmarks).
+const UNWRAP_EXEMPT_CRATES: &[&str] = &["bench"];
+
+/// Crates allowed to read the wall clock.
+const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["bench", "runtime"];
+
+/// One lint hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: &'static str,
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule,
+            self.excerpt.trim()
+        )
+    }
+}
+
+/// Everything before a `//` comment (string-blind, which is fine for
+/// detection: a `//` inside a string literal only makes the check more
+/// lenient on that line, never a false positive about a comment).
+fn code_of(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn allows(raw: &str, prev: Option<&str>, marker: &str) -> bool {
+    let tag = format!("lint:allow({marker})");
+    raw.contains(&tag) || prev.is_some_and(|p| p.contains(&tag))
+}
+
+fn brace_delta(code: &str) -> i32 {
+    let mut d = 0;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Lint one file's source. `crate_name` decides rule applicability.
+fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    let check_unwrap = !UNWRAP_EXEMPT_CRATES.contains(&crate_name);
+    let check_wallclock = !WALLCLOCK_EXEMPT_CRATES.contains(&crate_name);
+
+    let mut depth: i32 = 0;
+    // Depth at which a `#[cfg(test)] mod` opened; everything inside it is
+    // exempt from the unwrap rule.
+    let mut test_block: Option<i32> = None;
+    let mut pending_cfg_test = false;
+    // Depth at which a guarded struct's body opened.
+    let mut struct_block: Option<i32> = None;
+    let mut prev_raw: Option<&str> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let code = code_of(raw);
+        let trimmed = code.trim_start();
+        let in_test = test_block.is_some();
+
+        if !in_test {
+            if raw.trim_start().starts_with("#[cfg(test)]") {
+                pending_cfg_test = true;
+            } else if pending_cfg_test && !raw.trim_start().starts_with("#[") {
+                if trimmed.contains("mod ") || trimmed.contains("fn ") {
+                    test_block = Some(depth);
+                }
+                if !raw.trim().is_empty() {
+                    pending_cfg_test = false;
+                }
+            }
+        }
+
+        let exempt = in_test || test_block.is_some();
+        if !exempt {
+            // `.expect("` (with the quote) keeps parser-combinator methods
+            // named `expect` — e.g. `self.expect(Tok::Colon, ..)` — out.
+            if check_unwrap
+                // lint:allow(unwrap): detection patterns, not calls
+                && (code.contains(".unwrap()") || code.contains(".expect(\""))
+                && !allows(raw, prev_raw, "unwrap")
+            {
+                findings.push(LintFinding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: "unwrap-outside-tests",
+                    excerpt: raw.trim().to_string(),
+                });
+            }
+            if check_wallclock
+                // lint:allow(wallclock): detection patterns, not calls
+                && (code.contains("SystemTime::now") || code.contains("Instant::now"))
+                && !allows(raw, prev_raw, "wallclock")
+            {
+                findings.push(LintFinding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: "wallclock-in-sim",
+                    excerpt: raw.trim().to_string(),
+                });
+            }
+
+            if struct_block.is_none()
+                && trimmed.contains("struct ")
+                && code.contains('{')
+                && STATE_MACHINE_TYPES
+                    .iter()
+                    .filter(|(c, _)| *c == crate_name)
+                    .any(|(_, t)| {
+                        code.split("struct ").nth(1).is_some_and(|rest| {
+                            rest.trim_start().starts_with(t)
+                                && !rest
+                                    .trim_start()
+                                    .as_bytes()
+                                    .get(t.len())
+                                    .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+                        })
+                    })
+            {
+                struct_block = Some(depth);
+            } else if let Some(open) = struct_block {
+                if depth > open
+                    && trimmed.starts_with("pub ")
+                    && !trimmed.starts_with("pub fn")
+                    && !trimmed.starts_with("pub const")
+                    && trimmed.contains(':')
+                {
+                    findings.push(LintFinding {
+                        file: rel_path.to_string(),
+                        line: line_no,
+                        rule: "pub-field-on-state-machine",
+                        excerpt: raw.trim().to_string(),
+                    });
+                }
+            }
+        }
+
+        depth += brace_delta(code);
+        if let Some(open) = test_block {
+            if depth <= open {
+                test_block = None;
+            }
+        }
+        if let Some(open) = struct_block {
+            if depth <= open {
+                struct_block = None;
+            }
+        }
+        prev_raw = Some(raw);
+    }
+    findings
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read entry in {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `crates/*/src/**/*.rs` under `root` (the workspace root).
+pub fn lint_tree(root: &Path) -> Result<Vec<LintFinding>, String> {
+    let crates_dir = root.join("crates");
+    let mut findings = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        walk(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let source = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .display()
+                .to_string();
+            findings.extend(lint_source(&crate_name, &rel, &source));
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unwrap_in_production_code() {
+        let src = "fn f() {\n    let x = g().unwrap();\n}\n";
+        let f = lint_source("core", "crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unwrap-outside-tests");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn cfg_test_blocks_and_bench_crate_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { g().unwrap(); }\n}\n";
+        assert!(lint_source("core", "x.rs", src).is_empty());
+        let src = "fn f() { g().unwrap(); }\n";
+        assert!(lint_source("bench", "x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_on_same_or_previous_line() {
+        let same = "fn f() { g().unwrap(); } // lint:allow(unwrap): invariant, g never fails\n";
+        assert!(lint_source("core", "x.rs", same).is_empty());
+        let prev = "// lint:allow(unwrap): checked above\nfn f() { g().unwrap(); }\n";
+        assert!(lint_source("core", "x.rs", prev).is_empty());
+    }
+
+    #[test]
+    fn comments_and_doc_examples_do_not_count() {
+        let src = "/// let x = y.unwrap();\n//! z.unwrap()\n// w.unwrap()\nfn f() {}\n";
+        assert!(lint_source("core", "x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wallclock_flagged_outside_bench_and_runtime() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(lint_source("sim", "x.rs", src).len(), 1);
+        assert!(lint_source("runtime", "x.rs", src).is_empty());
+        assert!(lint_source("bench", "x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pub_fields_on_state_machine_types_are_flagged() {
+        let src = "pub struct LookupService {\n    pub host: u32,\n    group: String,\n}\n";
+        let f = lint_source("registry", "x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "pub-field-on-state-machine");
+        // Other structs may expose fields freely.
+        let src = "pub struct LusHandle {\n    pub host: u32,\n}\n";
+        assert!(lint_source("registry", "x.rs", src).is_empty());
+        // Prefix names must not match (LookupServiceX is a different type).
+        let src = "pub struct LookupServiceStats {\n    pub hits: u64,\n}\n";
+        assert!(lint_source("registry", "x.rs", src).is_empty());
+        // Same name in another crate (core's deployment bundle) is fine.
+        let src = "pub struct Deployment {\n    pub lab: u32,\n}\n";
+        assert!(lint_source("core", "x.rs", src).is_empty());
+        assert_eq!(lint_source("provision", "x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn whole_tree_lints_clean() {
+        // CARGO_MANIFEST_DIR = crates/verify → workspace root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = lint_tree(&root).expect("walk the tree");
+        assert!(
+            findings.is_empty(),
+            "banned patterns in production code:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -49,9 +49,22 @@ fn main() {
     let fields = ["North", "Creek", "Hill"];
     for field in fields {
         for (kind, probe) in [
-            ("Soil", Box::new(soil_moisture(&format!("{field}-soil"), env.fork_rng())) as Box<dyn SensorProbe>),
-            ("Temp", Box::new(sunspot_temperature(&format!("{field}-temp"), env.fork_rng()))),
-            ("Hum", Box::new(humidity(&format!("{field}-hum"), env.fork_rng()))),
+            (
+                "Soil",
+                Box::new(soil_moisture(&format!("{field}-soil"), env.fork_rng()))
+                    as Box<dyn SensorProbe>,
+            ),
+            (
+                "Temp",
+                Box::new(sunspot_temperature(
+                    &format!("{field}-temp"),
+                    env.fork_rng(),
+                )),
+            ),
+            (
+                "Hum",
+                Box::new(humidity(&format!("{field}-hum"), env.fork_rng())),
+            ),
         ] {
             let mote = env.add_host(format!("{field}-{kind}-mote"), HostKind::SensorMote);
             deploy_esp(

@@ -43,7 +43,12 @@ fn main() {
 
     // Step 2
     d.facade
-        .add_expression(&mut env, d.workstation, "Composite-Service", "(a + b + c)/3")
+        .add_expression(
+            &mut env,
+            d.workstation,
+            "Composite-Service",
+            "(a + b + c)/3",
+        )
         .expect("step 2");
     println!("step 2: expression (a + b + c)/3 attached");
 
@@ -82,7 +87,9 @@ fn main() {
     // Render the browser the way Fig. 3 shows it: info panel of the
     // provisioned service plus the Sensor Value section.
     let mut model = BrowserModel::new();
-    model.refresh_services(&mut env, d.workstation, d.facade).expect("list");
+    model
+        .refresh_services(&mut env, d.workstation, d.facade)
+        .expect("list");
     model
         .select_service(&mut env, d.workstation, d.facade, "New-Composite")
         .expect("info");

@@ -53,7 +53,9 @@ fn main() {
                 lab,
                 converter,
                 vec!["UnitConversion".into(), interfaces::SERVICER.into()],
-                vec![sensorcer_registry::attributes::Entry::Name("Converter".into())],
+                vec![sensorcer_registry::attributes::Entry::Name(
+                    "Converter".into(),
+                )],
             ),
             None,
         )
@@ -84,8 +86,14 @@ fn main() {
         println!("  {path:<32} = {value}");
     }
 
-    let coral_c = done.context().get_f64("coral/sensor/value").expect("coral read");
-    let coral_f = done.context().get_f64("coral-F/result/value").expect("conversion");
+    let coral_c = done
+        .context()
+        .get_f64("coral/sensor/value")
+        .expect("coral read");
+    let coral_f = done
+        .context()
+        .get_f64("coral-F/result/value")
+        .expect("conversion");
     println!("\ncoral: {coral_c:.2}°C = {coral_f:.2}°F (via the federation's pipe)");
     assert!((coral_f - (coral_c * 1.8 + 32.0)).abs() < 1e-9);
 

@@ -19,7 +19,12 @@ use sensorcer_sim::prelude::*;
 
 fn read(env: &mut Env, d: &Deployment, name: &str) -> String {
     match d.facade.get_value(env, d.workstation, name) {
-        Ok(r) => format!("{:.2}{}{}", r.value, r.unit, if r.good { "" } else { " (suspect)" }),
+        Ok(r) => format!(
+            "{:.2}{}{}",
+            r.value,
+            r.unit,
+            if r.good { "" } else { " (suspect)" }
+        ),
         Err(e) => format!("<unavailable: {e}>"),
     }
 }
@@ -39,26 +44,44 @@ fn main() {
             Some("(a + b)/2"),
         )
         .expect("provisioned");
-    println!("t={} provisioned HA-Composite: {}", env.now(), read(&mut env, &d, "HA-Composite"));
+    println!(
+        "t={} provisioned HA-Composite: {}",
+        env.now(),
+        read(&mut env, &d, "HA-Composite")
+    );
 
     // --- Drill 1: cybernode crash → Rio failover -------------------------
     let hosting = env
         .find_service("HA-Composite")
         .and_then(|s| env.service_host(s))
         .expect("composite placed");
-    let node_name = env.topo.host(hosting).map(|h| h.name.clone()).unwrap_or_default();
+    let node_name = env
+        .topo
+        .host(hosting)
+        .map(|h| h.name.clone())
+        .unwrap_or_default();
     println!("\n[drill 1] crashing {node_name} (hosts HA-Composite)");
     env.crash_host(hosting);
     let crash_at = env.now();
-    println!("t={} immediately after crash: {}", env.now(), read(&mut env, &d, "HA-Composite"));
+    println!(
+        "t={} immediately after crash: {}",
+        env.now(),
+        read(&mut env, &d, "HA-Composite")
+    );
     // Recovery = heartbeat detection + re-instantiation + the stale LUS
     // registration lapsing (its renewal stops once the host is down).
     loop {
         env.run_for(SimDuration::from_secs(2));
-        if d.facade.get_value(&mut env, d.workstation, "HA-Composite").is_ok() {
+        if d.facade
+            .get_value(&mut env, d.workstation, "HA-Composite")
+            .is_ok()
+        {
             break;
         }
-        assert!(env.now() - crash_at < SimDuration::from_secs(120), "failover too slow");
+        assert!(
+            env.now() - crash_at < SimDuration::from_secs(120),
+            "failover too slow"
+        );
     }
     println!(
         "t={} recovered after {}: {}",
@@ -67,37 +90,55 @@ fn main() {
         read(&mut env, &d, "HA-Composite")
     );
     let instances = env
-        .with_service(d.monitor.service, |_e, m: &mut sensorcer_provision::monitor::ProvisionMonitor| {
-            m.instances("sensor-HA-Composite")
-        })
+        .with_service(
+            d.monitor.service,
+            |_e, m: &mut sensorcer_provision::monitor::ProvisionMonitor| {
+                m.instances("sensor-HA-Composite")
+            },
+        )
         .expect("monitor up");
     println!(
         "HA-Composite moved {} -> {}",
         node_name,
-        env.topo.host(instances[0].node.host).map(|h| h.name.clone()).unwrap_or_default()
+        env.topo
+            .host(instances[0].node.host)
+            .map(|h| h.name.clone())
+            .unwrap_or_default()
     );
 
     // --- Drill 2: network partition to a mote ----------------------------
     let neem_mote = d.mote_hosts[0];
     println!("\n[drill 2] partitioning Neem-Sensor's mote from the network");
     env.topo.isolate(neem_mote);
-    println!("t={} during partition: Neem = {}", env.now(), read(&mut env, &d, "Neem-Sensor"));
+    println!(
+        "t={} during partition: Neem = {}",
+        env.now(),
+        read(&mut env, &d, "Neem-Sensor")
+    );
     println!(
         "t={} during partition: HA-Composite = {}",
         env.now(),
         read(&mut env, &d, "HA-Composite")
     );
     env.topo.reconnect(neem_mote);
-    println!("t={} after heal:       Neem = {}", env.now(), read(&mut env, &d, "Neem-Sensor"));
+    println!(
+        "t={} after heal:       Neem = {}",
+        env.now(),
+        read(&mut env, &d, "Neem-Sensor")
+    );
 
     // --- Drill 3: permanent mote death → lease cleanup --------------------
     println!("\n[drill 3] Coral-Sensor's mote dies permanently");
     env.crash_host(d.mote_hosts[2]);
     let mut model = BrowserModel::new();
-    model.refresh_services(&mut env, d.workstation, d.facade).expect("list");
+    model
+        .refresh_services(&mut env, d.workstation, d.facade)
+        .expect("list");
     let before = model.of_type("ELEMENTARY").len();
     env.run_for(SimDuration::from_secs(90)); // > 2 lease periods
-    model.refresh_services(&mut env, d.workstation, d.facade).expect("list");
+    model
+        .refresh_services(&mut env, d.workstation, d.facade)
+        .expect("list");
     let after = model.of_type("ELEMENTARY").len();
     println!("elementary services listed: {before} before, {after} after lease cleanup");
     assert_eq!(after, before - 1, "the ghost registration must evaporate");

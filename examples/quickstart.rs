@@ -21,7 +21,10 @@ fn main() {
     // 2. Measure: read each elementary sensor through the façade (exactly
     //    the browser's "Get Value" button).
     for name in &config.sensor_names {
-        let r = d.facade.get_value(&mut env, d.workstation, name).expect("sensor answers");
+        let r = d
+            .facade
+            .get_value(&mut env, d.workstation, name)
+            .expect("sensor answers");
         println!("  {name:<16} {:.2}{}", r.value, r.unit);
     }
 
@@ -46,7 +49,12 @@ fn main() {
         .expect("compose");
     println!("composed subnet; children bound to variables {vars:?}");
     d.facade
-        .add_expression(&mut env, d.workstation, "Composite-Service", "(a + b + c)/3")
+        .add_expression(
+            &mut env,
+            d.workstation,
+            "Composite-Service",
+            "(a + b + c)/3",
+        )
         .expect("expression installs");
 
     // 4. Communicate: one federated read fans out to all three sensors in

@@ -13,6 +13,13 @@
 #                           on orphan/unclosed/duplicate spans or any
 #                           unexplained degraded read), plus a shape
 #                           check on the exported file
+#   scripts/ci.sh --lint    tier-1, then the static-analysis gate:
+#                           cargo clippy -D warnings across the whole
+#                           workspace, the in-repo `harness lint` banned
+#                           pattern scan, `harness verify` (schedule
+#                           exploration + mutation check, writes
+#                           VERIFY_1.json), and cargo fmt --check when
+#                           rustfmt is installed
 #
 # Everything runs offline against the vendored workspace; no network,
 # no external tools beyond cargo.
@@ -23,12 +30,14 @@ cd "$(dirname "$0")/.."
 smoke=0
 soak=0
 trace=0
+lint=0
 for arg in "$@"; do
     case "$arg" in
         --smoke) smoke=1 ;;
         --soak) soak=1 ;;
         --trace) trace=1 ;;
-        *) echo "usage: scripts/ci.sh [--smoke] [--soak] [--trace]" >&2; exit 2 ;;
+        --lint) lint=1 ;;
+        *) echo "usage: scripts/ci.sh [--smoke] [--soak] [--trace] [--lint]" >&2; exit 2 ;;
     esac
 done
 
@@ -63,6 +72,32 @@ if [ "$trace" -eq 1 ]; then
         echo "TRACE_1.json suspiciously small" >&2
         exit 1
     }
+fi
+
+if [ "$lint" -eq 1 ]; then
+    echo "== clippy (deny warnings) =="
+    cargo clippy --workspace --all-targets -q -- \
+        -D warnings -D clippy::dbg_macro -D clippy::todo -D clippy::unimplemented
+
+    echo "== source lints (harness lint) =="
+    cargo run --release -p sensorcer-bench --bin harness -- lint
+
+    echo "== schedule exploration (writes VERIFY_1.json) =="
+    cargo run --release -p sensorcer-bench --bin harness -- verify
+    # Shape check: the gate must have recorded real coverage.
+    for needle in '"distinct_schedules"' '"mutation"' '"passed": true'; do
+        grep -q "$needle" VERIFY_1.json || {
+            echo "VERIFY_1.json missing $needle" >&2
+            exit 1
+        }
+    done
+
+    if command -v rustfmt >/dev/null 2>&1; then
+        echo "== rustfmt --check =="
+        cargo fmt --check
+    else
+        echo "== rustfmt not installed; skipping format check =="
+    fi
 fi
 
 echo "ci: ok"

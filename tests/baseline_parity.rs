@@ -11,8 +11,14 @@ fn all_architectures_agree_on_the_average() {
         let want = expected_average(n);
         for mut s in all_scenarios(n, 1234) {
             let r = s.round();
-            let got = r.value.unwrap_or_else(|| panic!("{} produced nothing at n={n}", s.name));
-            assert!((got - want).abs() < 1e-9, "{} at n={n}: {got} != {want}", s.name);
+            let got = r
+                .value
+                .unwrap_or_else(|| panic!("{} produced nothing at n={n}", s.name));
+            assert!(
+                (got - want).abs() < 1e-9,
+                "{} at n={n}: {got} != {want}",
+                s.name
+            );
         }
     }
 }
@@ -55,7 +61,12 @@ fn cost_orderings_match_the_papers_story() {
     let surrogate = get("surrogate");
 
     // Latency: parallel federation beats sequential polling.
-    assert!(ours.1 < direct.1, "sensorcer {} vs direct {}", ours.1, direct.1);
+    assert!(
+        ours.1 < direct.1,
+        "sensorcer {} vs direct {}",
+        ours.1,
+        direct.1
+    );
     // Idle: only the surrogate architecture streams continuously.
     assert!(surrogate.3 > 0);
     assert_eq!(direct.3, 0);

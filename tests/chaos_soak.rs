@@ -22,8 +22,14 @@ fn chaos_soak_passes_for_all_pinned_seeds() {
             "seed {seed} violated invariants: {:#?}",
             report.violations
         );
-        assert!(report.reconverged, "seed {seed} did not reconverge post-heal");
-        assert!(report.injected.total() > 0, "seed {seed} injected no faults");
+        assert!(
+            report.reconverged,
+            "seed {seed} did not reconverge post-heal"
+        );
+        assert!(
+            report.injected.total() > 0,
+            "seed {seed} injected no faults"
+        );
         assert!(
             report.reads_total > 100,
             "seed {seed} soak too short: {} reads",
@@ -35,5 +41,9 @@ fn chaos_soak_passes_for_all_pinned_seeds() {
 #[test]
 fn chaos_soak_is_reproducible() {
     let cfg = SoakConfig::new(SEEDS[1]);
-    assert_eq!(run_soak(&cfg), run_soak(&cfg), "same seed, same world, same report");
+    assert_eq!(
+        run_soak(&cfg),
+        run_soak(&cfg),
+        "same seed, same world, same report"
+    );
 }

@@ -19,7 +19,14 @@ fn reads_succeed_over_lossy_radio_links() {
     // Degrade every mote link to 10% loss — a rainy day in the orchard.
     for &mote in &d.mote_hosts {
         for host in [d.lab, d.workstation] {
-            env.topo.set_link(mote, host, LinkModel { loss: 0.10, ..LinkModel::mote_radio() });
+            env.topo.set_link(
+                mote,
+                host,
+                LinkModel {
+                    loss: 0.10,
+                    ..LinkModel::mote_radio()
+                },
+            );
         }
     }
     let mut ok = 0;
@@ -34,8 +41,14 @@ fn reads_succeed_over_lossy_radio_links() {
         env.run_for(SimDuration::from_secs(1));
     }
     // TCP retransmission should carry nearly everything through.
-    assert!(ok as f64 >= total as f64 * 0.9, "{ok}/{total} reads survived 10% loss");
-    assert!(env.metrics.get(metric_keys::RETRANSMITS) > 0, "loss must actually have occurred");
+    assert!(
+        ok as f64 >= total as f64 * 0.9,
+        "{ok}/{total} reads survived 10% loss"
+    );
+    assert!(
+        env.metrics.get(metric_keys::RETRANSMITS) > 0,
+        "loss must actually have occurred"
+    );
 }
 
 #[test]
@@ -51,7 +64,9 @@ fn crash_restart_churn_keeps_the_network_consistent() {
         // Leases are 30 s and the outage 3 s: every registration survives,
         // and after restart every sensor answers again.
         let mut model = BrowserModel::new();
-        model.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+        model
+            .refresh_services(&mut env, d.workstation, d.facade)
+            .unwrap();
         assert_eq!(
             model.of_type("ELEMENTARY").len(),
             config.sensor_names.len(),
@@ -101,7 +116,10 @@ fn composite_read_with_flapping_children() {
             env.topo.reconnect(d.mote_hosts[0]);
         }
         env.run_for(SimDuration::from_millis(300));
-        if d.facade.get_value(&mut env, d.workstation, "Flappy").is_ok() {
+        if d.facade
+            .get_value(&mut env, d.workstation, "Flappy")
+            .is_ok()
+        {
             successes += 1;
         }
     }
@@ -116,7 +134,7 @@ fn facade_failure_is_not_a_data_plane_failure() {
     // keeps working when it dies (the paper's P2P claim in §VIII).
     let (mut env, d, _config) = world();
     env.crash_host(d.lab); // takes the façade AND the LUS down
-    // Requestors that already hold a binding can still reach providers.
+                           // Requestors that already hold a binding can still reach providers.
     let esp = d.esps[0];
     let direct = sensorcer_suite::exertion::exert_on(
         &mut env,

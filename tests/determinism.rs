@@ -35,7 +35,10 @@ fn failure_schedules_replay_exactly() {
         d.facade
             .create_service(&mut env, d.workstation, "HA", &["Neem-Sensor"], None)
             .unwrap();
-        let home = env.find_service("HA").and_then(|s| env.service_host(s)).unwrap();
+        let home = env
+            .find_service("HA")
+            .and_then(|s| env.service_host(s))
+            .unwrap();
         env.crash_host(home);
         // Poll to recovery; record the exact recovery instant and traffic.
         loop {
@@ -44,7 +47,11 @@ fn failure_schedules_replay_exactly() {
                 break;
             }
         }
-        (env.now(), env.metrics.get(metric_keys::BYTES_WIRE), env.metrics.get(metric_keys::CALLS_OK))
+        (
+            env.now(),
+            env.metrics.get(metric_keys::BYTES_WIRE),
+            env.metrics.get(metric_keys::CALLS_OK),
+        )
     };
     assert_eq!(run(), run(), "failover replay must be exact");
 }
@@ -77,7 +84,13 @@ fn metrics_account_conservation() {
     }
     let payload = env.metrics.get(metric_keys::BYTES_PAYLOAD);
     let wire = env.metrics.get(metric_keys::BYTES_WIRE);
-    assert!(wire > payload, "headers must cost something: {wire} vs {payload}");
+    assert!(
+        wire > payload,
+        "headers must cost something: {wire} vs {payload}"
+    );
     assert!(env.metrics.get(metric_keys::CALLS_OK) > 0);
-    assert!(env.metrics.get(metric_keys::CALLS_FAILED) > 0, "dead-mote reads must fail");
+    assert!(
+        env.metrics.get(metric_keys::CALLS_FAILED) > 0,
+        "dead-mote reads must fail"
+    );
 }

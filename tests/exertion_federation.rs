@@ -91,7 +91,9 @@ fn transactions_commit_across_providers() {
     let (mut env, d) = world();
     // Stage a calibration change on two participants; commit atomically.
     let staged: std::rc::Rc<std::cell::RefCell<Vec<&'static str>>> = Default::default();
-    let id = d.tm.create(&mut env, d.workstation, SimDuration::from_secs(30)).unwrap();
+    let id =
+        d.tm.create(&mut env, d.workstation, SimDuration::from_secs(30))
+            .unwrap();
     for (name, host) in [("a", d.mote_hosts[0]), ("b", d.mote_hosts[1])] {
         let s1 = std::rc::Rc::clone(&staged);
         let s2 = std::rc::Rc::clone(&staged);
@@ -117,16 +119,21 @@ fn transactions_commit_across_providers() {
     d.tm.commit(&mut env, d.workstation, id).unwrap().unwrap();
     let log = staged.borrow();
     assert_eq!(log.as_slice(), ["a", "b", "committed", "committed"]);
-    env.with_service(d.tm.service, |_e, tm: &mut sensorcer_suite::registry::txn::TransactionManager| {
-        assert_eq!(tm.state(id), Some(TxnState::Committed));
-    })
+    env.with_service(
+        d.tm.service,
+        |_e, tm: &mut sensorcer_suite::registry::txn::TransactionManager| {
+            assert_eq!(tm.state(id), Some(TxnState::Committed));
+        },
+    )
     .unwrap();
 }
 
 #[test]
 fn transaction_aborts_when_participant_host_dies() {
     let (mut env, d) = world();
-    let id = d.tm.create(&mut env, d.workstation, SimDuration::from_secs(30)).unwrap();
+    let id =
+        d.tm.create(&mut env, d.workstation, SimDuration::from_secs(30))
+            .unwrap();
     let aborted = std::rc::Rc::new(std::cell::Cell::new(false));
     let a2 = std::rc::Rc::clone(&aborted);
     d.tm.join(
@@ -156,7 +163,10 @@ fn transaction_aborts_when_participant_host_dies() {
     .unwrap()
     .unwrap();
     env.crash_host(d.mote_hosts[0]);
-    let err = d.tm.commit(&mut env, d.workstation, id).unwrap().unwrap_err();
+    let err =
+        d.tm.commit(&mut env, d.workstation, id)
+            .unwrap()
+            .unwrap_err();
     assert_eq!(err, sensorcer_suite::registry::txn::TxnError::Aborted);
     assert!(aborted.get(), "the reachable participant must roll back");
 }
@@ -173,7 +183,11 @@ fn exertion_trace_records_the_federation() {
     );
     match done {
         Exertion::Task(t) => {
-            assert!(t.trace.iter().any(|l| l.contains("Neem-Sensor")), "{:?}", t.trace);
+            assert!(
+                t.trace.iter().any(|l| l.contains("Neem-Sensor")),
+                "{:?}",
+                t.trace
+            );
         }
         _ => panic!("a task stays a task"),
     }

@@ -20,7 +20,10 @@ fn wait_until_up(env: &mut Env, d: &Deployment, name: &str, limit: SimDuration) 
         if d.facade.get_value(env, d.workstation, name).is_ok() {
             return env.now() - t0;
         }
-        assert!(env.now() - t0 < limit, "'{name}' did not recover within {limit}");
+        assert!(
+            env.now() - t0 < limit,
+            "'{name}' did not recover within {limit}"
+        );
     }
 }
 
@@ -49,10 +52,15 @@ fn provisioned_composite_survives_cybernode_crash() {
     assert!(recovery < SimDuration::from_secs(60), "{recovery}");
 
     let instances = env
-        .with_service(d.monitor.service, |_e, m: &mut ProvisionMonitor| m.instances("sensor-HA"))
+        .with_service(d.monitor.service, |_e, m: &mut ProvisionMonitor| {
+            m.instances("sensor-HA")
+        })
         .unwrap();
     assert_eq!(instances.len(), 1);
-    assert_ne!(instances[0].node.host, first_home, "must move to the survivor");
+    assert_ne!(
+        instances[0].node.host, first_home,
+        "must move to the survivor"
+    );
 }
 
 #[test]
@@ -81,10 +89,19 @@ fn partitioned_mote_degrades_loudly_and_heals() {
     let (mut env, d) = world();
     let neem_mote = d.mote_hosts[0];
     env.topo.isolate(neem_mote);
-    let err = d.facade.get_value(&mut env, d.workstation, "Neem-Sensor").unwrap_err();
-    assert!(err.contains("partition") || err.contains("unreachable"), "{err}");
+    let err = d
+        .facade
+        .get_value(&mut env, d.workstation, "Neem-Sensor")
+        .unwrap_err();
+    assert!(
+        err.contains("partition") || err.contains("unreachable"),
+        "{err}"
+    );
     env.topo.reconnect(neem_mote);
-    assert!(d.facade.get_value(&mut env, d.workstation, "Neem-Sensor").is_ok());
+    assert!(d
+        .facade
+        .get_value(&mut env, d.workstation, "Neem-Sensor")
+        .is_ok());
 }
 
 #[test]
@@ -95,7 +112,9 @@ fn dead_sensor_disappears_from_listing_and_restarts_rejoin() {
     env.run_for(SimDuration::from_secs(90)); // > 2 lease periods
 
     let mut model = BrowserModel::new();
-    model.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+    model
+        .refresh_services(&mut env, d.workstation, d.facade)
+        .unwrap();
     assert!(
         !model.services.iter().any(|(n, _)| n == "Coral-Sensor"),
         "ghost registration must evaporate"
@@ -121,18 +140,32 @@ fn dead_sensor_disappears_from_listing_and_restarts_rejoin() {
             )
         },
     );
-    model.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+    model
+        .refresh_services(&mut env, d.workstation, d.facade)
+        .unwrap();
     assert!(model.services.iter().any(|(n, _)| n == "Coral-Sensor"));
-    assert!(d.facade.get_value(&mut env, d.workstation, "Coral-Sensor").is_ok());
+    assert!(d
+        .facade
+        .get_value(&mut env, d.workstation, "Coral-Sensor")
+        .is_ok());
 }
 
 #[test]
 fn composite_over_dead_child_fails_with_named_culprit() {
     let (mut env, d) = world();
     d.facade
-        .create_service(&mut env, d.workstation, "Pair", &["Neem-Sensor", "Coral-Sensor"], None)
+        .create_service(
+            &mut env,
+            d.workstation,
+            "Pair",
+            &["Neem-Sensor", "Coral-Sensor"],
+            None,
+        )
         .unwrap();
     env.crash_host(d.mote_hosts[2]); // Coral
-    let err = d.facade.get_value(&mut env, d.workstation, "Pair").unwrap_err();
+    let err = d
+        .facade
+        .get_value(&mut env, d.workstation, "Pair")
+        .unwrap_err();
     assert!(err.contains("Coral-Sensor"), "culprit must be named: {err}");
 }

@@ -11,7 +11,9 @@ fn fig2_world_matches_the_papers_browser() {
     let d = standard_deployment(&mut env, &config);
 
     let mut model = BrowserModel::new();
-    model.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+    model
+        .refresh_services(&mut env, d.workstation, d.facade)
+        .unwrap();
 
     // The notable services of Fig. 2: Jini infrastructure, Rio
     // provisioning, four elementary sensors, the façade.
@@ -37,7 +39,9 @@ fn fig2_world_matches_the_papers_browser() {
     }
 
     // The info panel carries the fields the screenshot shows.
-    model.select_service(&mut env, d.workstation, d.facade, "Neem-Sensor").unwrap();
+    model
+        .select_service(&mut env, d.workstation, d.facade, "Neem-Sensor")
+        .unwrap();
     let info = model.info.clone().unwrap();
     assert_eq!(info.service_type, "ELEMENTARY");
     assert!(!info.uuid.is_empty(), "Service ID is displayed in Fig. 2");
@@ -60,7 +64,12 @@ fn fig2_world_is_deterministic_across_runs() {
         let d = standard_deployment(&mut env, &config);
         let mut out = Vec::new();
         for name in &config.sensor_names {
-            out.push(d.facade.get_value(&mut env, d.workstation, name).unwrap().value);
+            out.push(
+                d.facade
+                    .get_value(&mut env, d.workstation, name)
+                    .unwrap()
+                    .value,
+            );
         }
         (out, env.now())
     };
@@ -81,8 +90,11 @@ fn fig2_world_stays_healthy_for_a_virtual_day() {
         assert!(r.is_ok(), "hour {hour}: {r:?}");
     }
     // Lease renewals did real work over the day.
-    env.with_service(d.renewal.service, |_e, s: &mut sensorcer_suite::registry::renewal::LeaseRenewalService| {
-        assert!(s.renewals_ok() > 1000, "renewals: {}", s.renewals_ok());
-    })
+    env.with_service(
+        d.renewal.service,
+        |_e, s: &mut sensorcer_suite::registry::renewal::LeaseRenewalService| {
+            assert!(s.renewals_ok() > 1000, "renewals: {}", s.renewals_ok());
+        },
+    )
     .unwrap();
 }

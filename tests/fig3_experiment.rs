@@ -15,7 +15,10 @@ fn world() -> World {
     let d = standard_deployment(&mut env, &config);
     deploy_csp(
         &mut env,
-        CspConfig { renewal: Some(d.renewal), ..CspConfig::new(d.lab, "Composite-Service", d.lus) },
+        CspConfig {
+            renewal: Some(d.renewal),
+            ..CspConfig::new(d.lab, "Composite-Service", d.lus)
+        },
     )
     .unwrap();
     World { env, d }
@@ -40,7 +43,12 @@ fn steps_one_through_six() {
 
     // Step 2.
     d.facade
-        .add_expression(&mut env, d.workstation, "Composite-Service", "(a + b + c)/3")
+        .add_expression(
+            &mut env,
+            d.workstation,
+            "Composite-Service",
+            "(a + b + c)/3",
+        )
         .unwrap();
 
     // Step 3: provision New-Composite via Rio.
@@ -74,9 +82,18 @@ fn steps_one_through_six() {
 
     // Step 6: read the value and check the arithmetic against near-in-time
     // component reads (sensors drift slightly between reads).
-    let network = d.facade.get_value(&mut env, d.workstation, "New-Composite").unwrap();
-    let subnet = d.facade.get_value(&mut env, d.workstation, "Composite-Service").unwrap();
-    let coral = d.facade.get_value(&mut env, d.workstation, "Coral-Sensor").unwrap();
+    let network = d
+        .facade
+        .get_value(&mut env, d.workstation, "New-Composite")
+        .unwrap();
+    let subnet = d
+        .facade
+        .get_value(&mut env, d.workstation, "Composite-Service")
+        .unwrap();
+    let coral = d
+        .facade
+        .get_value(&mut env, d.workstation, "Coral-Sensor")
+        .unwrap();
     let expect = (subnet.value + coral.value) / 2.0;
     assert!(
         (network.value - expect).abs() < 0.5,
@@ -88,9 +105,15 @@ fn steps_one_through_six() {
     );
 
     // The info panel shows what Fig. 3 shows.
-    let info = d.facade.get_info(&mut env, d.workstation, "New-Composite").unwrap();
+    let info = d
+        .facade
+        .get_info(&mut env, d.workstation, "New-Composite")
+        .unwrap();
     assert_eq!(info.service_type, "COMPOSITE");
-    assert_eq!(info.contained, vec!["Composite-Service".to_string(), "Coral-Sensor".to_string()]);
+    assert_eq!(
+        info.contained,
+        vec!["Composite-Service".to_string(), "Coral-Sensor".to_string()]
+    );
     assert_eq!(info.expression.as_deref(), Some("(a + b)/2"));
     assert!(!info.uuid.is_empty());
 }
@@ -101,11 +124,22 @@ fn nested_reads_are_federated_not_cached() {
     // the composite federates on every request.
     let World { mut env, d } = world();
     d.facade
-        .compose_service(&mut env, d.workstation, "Composite-Service", &["Neem-Sensor"])
+        .compose_service(
+            &mut env,
+            d.workstation,
+            "Composite-Service",
+            &["Neem-Sensor"],
+        )
         .unwrap();
-    let r1 = d.facade.get_value(&mut env, d.workstation, "Composite-Service").unwrap();
+    let r1 = d
+        .facade
+        .get_value(&mut env, d.workstation, "Composite-Service")
+        .unwrap();
     env.run_for(SimDuration::from_secs(7200)); // let the diurnal signal move
-    let r2 = d.facade.get_value(&mut env, d.workstation, "Composite-Service").unwrap();
+    let r2 = d
+        .facade
+        .get_value(&mut env, d.workstation, "Composite-Service")
+        .unwrap();
     assert_ne!(r1.value, r2.value, "fresh federation per read");
     assert!(r2.at_ns > r1.at_ns);
 }
@@ -124,7 +158,10 @@ fn removing_a_sensor_from_the_network_reletters_variables() {
     d.facade
         .remove_service(&mut env, d.workstation, "Composite-Service", "Jade-Sensor")
         .unwrap();
-    let info = d.facade.get_info(&mut env, d.workstation, "Composite-Service").unwrap();
+    let info = d
+        .facade
+        .get_info(&mut env, d.workstation, "Composite-Service")
+        .unwrap();
     assert_eq!(
         info.contained,
         vec!["Neem-Sensor".to_string(), "Diamond-Sensor".to_string()]
@@ -133,5 +170,8 @@ fn removing_a_sensor_from_the_network_reletters_variables() {
     d.facade
         .add_expression(&mut env, d.workstation, "Composite-Service", "b - a")
         .unwrap();
-    assert!(d.facade.get_value(&mut env, d.workstation, "Composite-Service").is_ok());
+    assert!(d
+        .facade
+        .get_value(&mut env, d.workstation, "Composite-Service")
+        .is_ok());
 }

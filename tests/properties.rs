@@ -107,7 +107,9 @@ fn wire_round_trip_f64_vec() {
 fn expression_source_is_preserved() {
     run_cases("expression_source_is_preserved", 64, |g| {
         let n = g.usize_in(2, 8);
-        let vars: Vec<String> = (0..n).map(sensorcer_suite::core::csp::variable_for).collect();
+        let vars: Vec<String> = (0..n)
+            .map(sensorcer_suite::core::csp::variable_for)
+            .collect();
         let src = format!("({}) / {n}", vars.join(" + "));
         let p = Program::compile(&src).unwrap();
         assert_eq!(p.source(), src.as_str());
@@ -121,8 +123,10 @@ fn elvis_matches_ternary() {
     run_cases("elvis_matches_ternary", 256, |g| {
         let x = g.i64_in(-100, 100);
         let fallback = g.i64_in(-100, 100);
-        let elvis =
-            Program::compile("x ?: f").unwrap().eval_with([("x", x), ("f", fallback)]).unwrap();
+        let elvis = Program::compile("x ?: f")
+            .unwrap()
+            .eval_with([("x", x), ("f", fallback)])
+            .unwrap();
         let ternary = Program::compile("x != 0 ? x : f")
             .unwrap()
             .eval_with([("x", x), ("f", fallback)])

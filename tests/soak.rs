@@ -57,7 +57,11 @@ fn one_virtual_day_of_operations_leaks_nothing() {
                     &mut env,
                     d.workstation,
                     "Day-Composite",
-                    if hour % 16 == 5 { "max(a, b)" } else { "(a + b)/2" },
+                    if hour % 16 == 5 {
+                        "max(a, b)"
+                    } else {
+                        "(a + b)/2"
+                    },
                 )
                 .unwrap();
         }
@@ -75,14 +79,22 @@ fn one_virtual_day_of_operations_leaks_nothing() {
     // The day's tally: reads overwhelmingly succeed (brief crash windows
     // may eat a few), and the composite still answers correctly.
     assert!(reads_ok >= 110, "{reads_ok} ok / {reads_failed} failed");
-    assert!(reads_failed <= 10, "{reads_failed} failures in a day is too many");
-    let r = d.facade.get_value(&mut env, d.workstation, "Day-Composite").unwrap();
+    assert!(
+        reads_failed <= 10,
+        "{reads_failed} failures in a day is too many"
+    );
+    let r = d
+        .facade
+        .get_value(&mut env, d.workstation, "Day-Composite")
+        .unwrap();
     assert!((15.0..30.0).contains(&r.value));
 
     // Registry holds exactly the expected registrations — nothing
     // accumulated, nothing lost.
     let mut model = BrowserModel::new();
-    model.refresh_services(&mut env, d.workstation, d.facade).unwrap();
+    model
+        .refresh_services(&mut env, d.workstation, d.facade)
+        .unwrap();
     assert_eq!(model.of_type("ELEMENTARY").len(), 4);
     assert_eq!(model.of_type("COMPOSITE").len(), 1);
 

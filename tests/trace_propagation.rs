@@ -79,7 +79,10 @@ fn degraded_read_recorder(seed: u64) -> FlightRecorder {
     let (reading, degraded) =
         client::get_value_detailed(&mut env, workstation, &accessor, "Quorum-Read")
             .expect("quorum must still answer with one child gone");
-    assert!(degraded.is_degraded(), "read with a partitioned child must be degraded");
+    assert!(
+        degraded.is_degraded(),
+        "read with a partitioned child must be degraded"
+    );
     assert!(
         degraded.substituted.iter().any(|s| s == "S2"),
         "S2 must be substituted from last-known-good: {degraded:?}"
@@ -90,11 +93,7 @@ fn degraded_read_recorder(seed: u64) -> FlightRecorder {
 }
 
 /// All spans in `root`'s subtree (inclusive), by recorder order.
-fn subtree<'a>(
-    spans: &[&'a Span],
-    kids: &BTreeMap<u64, Vec<usize>>,
-    root: usize,
-) -> Vec<&'a Span> {
+fn subtree<'a>(spans: &[&'a Span], kids: &BTreeMap<u64, Vec<usize>>, root: usize) -> Vec<&'a Span> {
     let mut out = Vec::new();
     let mut stack = vec![root];
     while let Some(i) = stack.pop() {
@@ -110,7 +109,11 @@ fn subtree<'a>(
 fn degraded_quorum_read_leaves_a_complete_span_tree() {
     for seed in SEEDS {
         let rec = degraded_read_recorder(seed);
-        assert_eq!(rec.validate(true), Vec::<String>::new(), "seed {seed}: broken trace");
+        assert_eq!(
+            rec.validate(true),
+            Vec::<String>::new(),
+            "seed {seed}: broken trace"
+        );
 
         let spans: Vec<&Span> = rec.spans().collect();
         let kids = rec.children_index();
@@ -140,7 +143,10 @@ fn degraded_quorum_read_leaves_a_complete_span_tree() {
             .and_then(|v| v.as_str())
             .expect("substituted field");
         assert!(substituted.contains("S2"), "seed {seed}: {substituted}");
-        assert!(spans[parent].has_event("degradation.substitute"), "seed {seed}");
+        assert!(
+            spans[parent].has_event("degradation.substitute"),
+            "seed {seed}"
+        );
 
         // One csp.child per ESP directly under the degraded read.
         let children: Vec<&Span> = kids
@@ -179,7 +185,10 @@ fn trace_export_is_bit_for_bit_reproducible() {
     for seed in SEEDS {
         let a = degraded_read_recorder(seed).to_json();
         let b = degraded_read_recorder(seed).to_json();
-        assert_eq!(a, b, "seed {seed}: same seed must export the identical trace");
+        assert_eq!(
+            a, b,
+            "seed {seed}: same seed must export the identical trace"
+        );
         assert!(a.contains("csp.read"));
     }
 }
