@@ -4,7 +4,8 @@
 //! harness <experiment> [seed]
 //!   experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all
 //! harness smoke [out.json]
-//!   fast bounded pass over the read hot paths; writes BENCH_1.json
+//!   fast bounded pass over the read hot paths; writes the next free
+//!   BENCH_<n>.json so the committed baseline is never clobbered
 //! harness chaos [seed] [out.json]
 //!   seeded fault-injection soak over degraded-mode federated reads;
 //!   writes CHAOS_1.json and exits nonzero on any invariant violation
@@ -16,9 +17,17 @@
 //!   DPOR-lite schedule exploration over the clean federation scenarios
 //!   (happens-before + lifecycle state machines checked per schedule)
 //!   plus the buggy-reaper mutation check; writes VERIFY_1.json
+//! harness obs [seed] [out.json]
+//!   the federation health engine over the chaos soak: SLO burn-rate
+//!   alerting with trace exemplars (storm must page, clean must not),
+//!   anomaly detection on a burst leg; writes OBS_1.json
+//! harness bench-compare <old.json> <new.json> [threshold]
+//!   diff two smoke-bench JSON files; exits nonzero when any benchmark
+//!   regressed beyond the relative noise threshold (default 0.35)
 //! harness lint
 //!   in-repo source lints over crates/*/src (banned unwrap/expect,
 //!   wall-clock time in sim code, pub fields on state-machine types)
+//!   plus the runtime metric-name audit (subsystem.object.action)
 //! ```
 
 use sensorcer_bench::*;
@@ -28,11 +37,11 @@ type SeededRunner = fn(u64, &str) -> Result<String, String>;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: {})\n       harness chaos [seed] [out.json]   (default out: {})\n       harness trace [seed] [out.json]   (default out: {})\n       harness verify [seed] [out.json]  (default out: {})\n       harness lint",
-        smoke::DEFAULT_OUT,
+        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: next free BENCH_<n>.json)\n       harness chaos [seed] [out.json]   (default out: {})\n       harness trace [seed] [out.json]   (default out: {})\n       harness verify [seed] [out.json]  (default out: {})\n       harness obs [seed] [out.json]     (default out: {})\n       harness bench-compare <old.json> <new.json> [threshold]\n       harness lint",
         chaos::DEFAULT_OUT,
         trace::DEFAULT_OUT,
-        verify::DEFAULT_OUT
+        verify::DEFAULT_OUT,
+        obs::DEFAULT_OUT
     );
     std::process::exit(2);
 }
@@ -76,16 +85,60 @@ fn main() {
     // `smoke` takes an output path, not a seed — handle it before the
     // integer parse below.
     if which == "smoke" {
-        let out = args
-            .get(1)
-            .map(String::as_str)
-            .unwrap_or(smoke::DEFAULT_OUT);
-        match smoke::run(out) {
+        let out = match args.get(1) {
+            Some(path) => path.clone(),
+            None => {
+                let cwd = std::env::current_dir().unwrap_or_else(|e| {
+                    eprintln!("cannot resolve working directory: {e}");
+                    std::process::exit(1);
+                });
+                smoke::next_out_path(&cwd)
+            }
+        };
+        match smoke::run(&out) {
             Ok(transcript) => print!("{transcript}"),
             Err(e) => {
                 eprintln!("{e}");
                 std::process::exit(1);
             }
+        }
+        return;
+    }
+
+    // `bench-compare` takes two smoke-bench JSON paths and an optional
+    // relative noise threshold (default 0.35 — right for same-machine
+    // runs; pass something much wider, e.g. 4.0, when the baseline was
+    // measured on different hardware).
+    if which == "bench-compare" {
+        let (old_path, new_path) = match (args.get(1), args.get(2)) {
+            (Some(o), Some(n)) => (o, n),
+            _ => usage(),
+        };
+        let mut config = sensorcer_obs::CompareConfig::default();
+        if let Some(t) = args.get(3) {
+            config.threshold = t.parse().unwrap_or_else(|_| {
+                eprintln!("threshold must be a number, got '{t}'");
+                usage();
+            });
+        }
+        let read = |path: &str| {
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("bench-compare: cannot read {path}: {e}");
+                std::process::exit(1);
+            })
+        };
+        let parse = |path: &str, text: &str| {
+            sensorcer_obs::parse_bench_json(text).unwrap_or_else(|e| {
+                eprintln!("bench-compare: {path}: {e}");
+                std::process::exit(1);
+            })
+        };
+        let old = parse(old_path, &read(old_path));
+        let new = parse(new_path, &read(new_path));
+        let report = sensorcer_obs::compare(&old, &new, config);
+        print!("{}", report.render());
+        if !report.passed() {
+            std::process::exit(1);
         }
         return;
     }
@@ -96,28 +149,44 @@ fn main() {
             eprintln!("cannot resolve working directory: {e}");
             std::process::exit(1);
         });
+        let mut failed = false;
         match sensorcer_verify::lint::lint_tree(&root) {
-            Ok(findings) if findings.is_empty() => {
-                println!("lint: clean");
-            }
+            Ok(findings) if findings.is_empty() => {}
             Ok(findings) => {
                 for f in &findings {
                     eprintln!("{f}");
                 }
                 eprintln!("lint: {} banned pattern(s)", findings.len());
-                std::process::exit(1);
+                failed = true;
             }
             Err(e) => {
                 eprintln!("lint: {e} (run from the repo root)");
                 std::process::exit(1);
             }
         }
+        // Runtime metric-name audit: every name a soak registers must
+        // follow subsystem.object.action.
+        let name_violations = obs::lint_metric_names();
+        if !name_violations.is_empty() {
+            for v in &name_violations {
+                eprintln!("lint: metric name {v}");
+            }
+            eprintln!(
+                "lint: {} nonconforming metric name(s)",
+                name_violations.len()
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("lint: clean");
         return;
     }
 
-    // `chaos`, `trace` and `verify` take an optional seed then an output
-    // path.
-    if which == "chaos" || which == "trace" || which == "verify" {
+    // `chaos`, `trace`, `verify` and `obs` take an optional seed then an
+    // output path.
+    if which == "chaos" || which == "trace" || which == "verify" || which == "obs" {
         let seed = match args.get(1) {
             Some(s) => s.parse().unwrap_or_else(|_| {
                 eprintln!("seed must be an integer, got '{s}'");
@@ -128,6 +197,7 @@ fn main() {
         let (runner, default_out): (SeededRunner, &str) = match which {
             "chaos" => (chaos::run, chaos::DEFAULT_OUT),
             "trace" => (trace::run, trace::DEFAULT_OUT),
+            "obs" => (obs::run, obs::DEFAULT_OUT),
             _ => (verify::run, verify::DEFAULT_OUT),
         };
         let out = args.get(2).map(String::as_str).unwrap_or(default_out);

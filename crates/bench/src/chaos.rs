@@ -28,6 +28,7 @@ use std::fmt::Write as _;
 use sensorcer_core::csp::{self, DegradationPolicy};
 use sensorcer_core::prelude::*;
 use sensorcer_exertion::retry::{self, RetryPolicy};
+use sensorcer_obs::ReadOutcome;
 use sensorcer_registry::lease::LeasePolicy;
 use sensorcer_registry::lus::LookupService;
 use sensorcer_sensors::prelude::*;
@@ -85,7 +86,7 @@ pub struct SoakReport {
     pub retry_attempts: u64,
     /// `csp.failover.attempts` at the end of the run.
     pub failover_attempts: u64,
-    /// `chaos.events` actually applied (faults plus inverses).
+    /// `chaos.events.applied` — events actually applied (faults plus inverses).
     pub events_applied: u64,
     /// Invariant violations, empty on a passing run.
     pub violations: Vec<String>,
@@ -160,6 +161,62 @@ impl SoakReport {
     }
 }
 
+/// Passive spectator of a soak: sees every completed top-level read and
+/// every settled round, but only through `&Env` — the type system
+/// guarantees an observed soak is bit-identical to an unobserved one.
+/// This is how the health engine (`harness obs`) watches a run.
+pub trait SoakObserver {
+    /// One completed top-level read: which service, when it started
+    /// (virtual time), how it ended, and the age of the data served
+    /// (`None` when the read failed outright).
+    fn on_read(
+        &mut self,
+        env: &Env,
+        service: &str,
+        started: SimTime,
+        outcome: ReadOutcome,
+        data_age_ns: Option<u64>,
+    );
+
+    /// End of one read round — metrics are settled, a good moment to
+    /// sample counters and gauges.
+    fn on_round(&mut self, _env: &Env) {}
+}
+
+/// [`traced_read`] plus the observer callback.
+fn observed_read(
+    env: &mut Env,
+    from: HostId,
+    accessor: &sensorcer_exertion::ServiceAccessor,
+    name: &str,
+    obs: &mut Option<&mut dyn SoakObserver>,
+) -> Result<
+    (
+        sensorcer_core::accessor::SensorReading,
+        sensorcer_core::accessor::DegradedInfo,
+    ),
+    String,
+> {
+    let started = env.now();
+    let result = traced_read(env, from, accessor, name);
+    if let Some(o) = obs.as_deref_mut() {
+        let now = env.now();
+        let (outcome, age) = match &result {
+            Ok((r, d)) => (
+                if d.is_degraded() {
+                    ReadOutcome::Degraded
+                } else {
+                    ReadOutcome::Ok
+                },
+                Some(now.as_nanos().saturating_sub(r.at_ns)),
+            ),
+            Err(_) => (ReadOutcome::Error, None),
+        };
+        o.on_read(env, name, started, outcome, age);
+    }
+    result
+}
+
 /// One top-level federated read with a `soak.read` root span: every
 /// dispatch, retry, failover and substitution below it nests under this
 /// span, which is what makes a degraded read explainable from its trace.
@@ -211,6 +268,15 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
 /// Like [`run_soak`], returning the flight recorder too when
 /// `cfg.trace_capacity` is set — the substrate of `harness trace`.
 pub fn run_soak_traced(cfg: &SoakConfig) -> (SoakReport, Option<FlightRecorder>) {
+    run_soak_observed(cfg, None)
+}
+
+/// Like [`run_soak_traced`], with an optional [`SoakObserver`] riding
+/// along — the substrate of `harness obs`.
+pub fn run_soak_observed(
+    cfg: &SoakConfig,
+    mut obs: Option<&mut dyn SoakObserver>,
+) -> (SoakReport, Option<FlightRecorder>) {
     let mut env = Env::with_seed(cfg.seed);
     if let Some(capacity) = cfg.trace_capacity {
         env.enable_tracing(capacity);
@@ -297,7 +363,7 @@ pub fn run_soak_traced(cfg: &SoakConfig) -> (SoakReport, Option<FlightRecorder>)
     // caches before any fault lands.
     env.run_for(SimDuration::from_secs(1));
     for name in [QUORUM_COMPOSITE, LKG_COMPOSITE] {
-        match traced_read(&mut env, client, &accessor, name) {
+        match observed_read(&mut env, client, &accessor, name, &mut obs) {
             Ok((r, d)) if r.good && !d.is_degraded() => {}
             Ok(_) => violations.push(format!("priming read of {name} was degraded")),
             Err(e) => violations.push(format!("priming read of {name} failed: {e}")),
@@ -334,7 +400,7 @@ pub fn run_soak_traced(cfg: &SoakConfig) -> (SoakReport, Option<FlightRecorder>)
             .any(|&(at, _)| at >= t && at <= t + quiet_guard);
 
         reads_total += 2;
-        match traced_read(&mut env, client, &accessor, QUORUM_COMPOSITE) {
+        match observed_read(&mut env, client, &accessor, QUORUM_COMPOSITE, &mut obs) {
             Ok((r, d)) => {
                 reads_ok += 1;
                 if d.is_degraded() {
@@ -358,7 +424,7 @@ pub fn run_soak_traced(cfg: &SoakConfig) -> (SoakReport, Option<FlightRecorder>)
                 }
             }
         }
-        match traced_read(&mut env, client, &accessor, LKG_COMPOSITE) {
+        match observed_read(&mut env, client, &accessor, LKG_COMPOSITE, &mut obs) {
             Ok((r, d)) => {
                 reads_ok += 1;
                 if d.is_degraded() {
@@ -376,6 +442,9 @@ pub fn run_soak_traced(cfg: &SoakConfig) -> (SoakReport, Option<FlightRecorder>)
                 // its max_age dwarfs the whole chaos horizon.
                 violations.push(format!("t={t:?}: last-known-good read failed: {e}"));
             }
+        }
+        if let Some(o) = obs.as_deref_mut() {
+            o.on_round(&env);
         }
         env.run_for(cfg.read_period);
     }
@@ -396,7 +465,7 @@ pub fn run_soak_traced(cfg: &SoakConfig) -> (SoakReport, Option<FlightRecorder>)
         env.run_for(cfg.read_period);
         for name in [QUORUM_COMPOSITE, LKG_COMPOSITE] {
             reads_total += 1;
-            match traced_read(&mut env, client, &accessor, name) {
+            match observed_read(&mut env, client, &accessor, name, &mut obs) {
                 Ok((r, d)) if r.good && !d.is_degraded() => reads_ok += 1,
                 Ok(_) => {
                     reads_ok += 1;
@@ -409,6 +478,9 @@ pub fn run_soak_traced(cfg: &SoakConfig) -> (SoakReport, Option<FlightRecorder>)
                     violations.push(format!("post-heal read of {name} failed: {e}"));
                 }
             }
+        }
+        if let Some(o) = obs.as_deref_mut() {
+            o.on_round(&env);
         }
     }
     if !reconverged {

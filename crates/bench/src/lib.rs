@@ -36,6 +36,7 @@ pub mod chaos;
 pub mod figs;
 pub mod helpers;
 pub mod microbench;
+pub mod obs;
 pub mod smoke;
 pub mod table;
 pub mod trace;

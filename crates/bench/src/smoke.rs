@@ -17,8 +17,21 @@ use sensorcer_expr::{Program, Scope, SlotFrame, Value};
 use sensorcer_registry::ids::interfaces;
 use sensorcer_registry::item::ServiceTemplate;
 
-/// Where `harness smoke` writes by default.
+/// First index `harness smoke` tries when no output path is given.
 pub const DEFAULT_OUT: &str = "BENCH_1.json";
+
+/// The next free `BENCH_<n>.json` in `dir` — so repeated smoke runs
+/// version their output instead of clobbering the committed baseline
+/// (`BENCH_1.json` is what `harness bench-compare` diffs against).
+pub fn next_out_path(dir: &std::path::Path) -> String {
+    for n in 1u32.. {
+        let candidate = format!("BENCH_{n}.json");
+        if !dir.join(&candidate).exists() {
+            return candidate;
+        }
+    }
+    unreachable!("u32 space of bench indices exhausted")
+}
 
 /// Run the smoke pass and write JSON to `out_path`. Returns the
 /// transcript, or an error message if the output file could not be
@@ -133,6 +146,21 @@ pub fn run(out_path: &str) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn next_out_path_picks_first_free_index() {
+        let dir = std::env::temp_dir().join("sensorcer-smoke-version-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(next_out_path(&dir), "BENCH_1.json");
+        std::fs::write(dir.join("BENCH_1.json"), "[]").unwrap();
+        std::fs::write(dir.join("BENCH_2.json"), "[]").unwrap();
+        assert_eq!(next_out_path(&dir), "BENCH_3.json");
+        // Gaps are filled, not skipped past.
+        std::fs::remove_file(dir.join("BENCH_1.json")).unwrap();
+        assert_eq!(next_out_path(&dir), "BENCH_1.json");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn expression_rows_present_in_output() {

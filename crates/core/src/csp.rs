@@ -379,6 +379,7 @@ impl CompositeSensorProvider {
                         // One `csp.child` span per fan-out branch; the
                         // dispatch spans and retry events nest under it.
                         let span = env.span_start("csp.child", &plan.service_name, host);
+                        let child_start = env.now();
                         let name: &str = &plan.service_name;
                         let run = |env: &mut Env| -> Result<(f64, String, bool), String> {
                         let make_task = || {
@@ -482,10 +483,18 @@ impl CompositeSensorProvider {
                         if let Some(group) = plan.group.as_deref() {
                             env.metrics.add(keys::FAILOVER_ATTEMPTS, 1);
                             if span.is_valid() {
+                                // elapsed_ns: how much of this child's budget
+                                // the primary burned before we gave up on it.
                                 env.span_event(
                                     span,
                                     "failover.attempt",
-                                    vec![("group", group.into())],
+                                    vec![
+                                        ("group", group.into()),
+                                        (
+                                            "elapsed_ns",
+                                            (env.now() - child_start).as_nanos().into(),
+                                        ),
+                                    ],
                                 );
                             }
                             let primary = failure
@@ -523,10 +532,18 @@ impl CompositeSensorProvider {
                                                     env.span_event(
                                                         span,
                                                         "failover.success",
-                                                        vec![(
-                                                            "equivalent",
-                                                            eq.as_str().into(),
-                                                        )],
+                                                        vec![
+                                                            (
+                                                                "equivalent",
+                                                                eq.as_str().into(),
+                                                            ),
+                                                            (
+                                                                "elapsed_ns",
+                                                                (env.now() - child_start)
+                                                                    .as_nanos()
+                                                                    .into(),
+                                                            ),
+                                                        ],
                                                     );
                                                 }
                                                 // Deliberately not cached: the

@@ -26,9 +26,9 @@ use crate::accessor::{selectors, SensorInfo};
 /// facade's `network_health` snapshot.
 pub mod gauges {
     /// Sim-time (ns) of the last successfully served `getValue`.
-    pub const LAST_READ_NS: &str = "sensor.last_read_ns";
+    pub const LAST_READ_NS: &str = "sensor.read.last_ns";
     /// Battery level [0, 1] observed at the last served read.
-    pub const BATTERY: &str = "sensor.battery";
+    pub const BATTERY: &str = "sensor.battery.level";
 }
 
 /// The provider state.

@@ -12,6 +12,7 @@
 
 use sensorcer_exertion::prelude::*;
 use sensorcer_expr::Value;
+use sensorcer_obs::{AlertTransition, ReadOutcome, SloEngine, SloSpec};
 use sensorcer_provision::monitor::MonitorHandle;
 use sensorcer_registry::attributes::{name_of, service_type_of, Entry};
 use sensorcer_registry::ids::{interfaces, SvcUuid};
@@ -35,6 +36,7 @@ pub mod ops {
     pub const CREATE_SERVICE: &str = "createService";
     pub const REMOVE_SERVICE: &str = "removeService";
     pub const NETWORK_HEALTH: &str = "networkHealth";
+    pub const SLO_REPORT: &str = "sloReport";
 }
 
 /// One row of the browser's service list.
@@ -77,6 +79,9 @@ pub struct SensorcerFacade {
     accessor: ServiceAccessor,
     monitor: Option<MonitorHandle>,
     requests_total: u64,
+    /// Health engine, present once objectives have been installed. Every
+    /// `getValue` that flows through the façade feeds it.
+    slos: Option<SloEngine>,
 }
 
 impl SensorcerFacade {
@@ -92,7 +97,14 @@ impl SensorcerFacade {
             accessor,
             monitor,
             requests_total: 0,
+            slos: None,
         }
+    }
+
+    /// Install SLO objectives; subsequent `getValue` traffic is recorded
+    /// against them and `sloReport` serves the verdicts.
+    pub fn install_slos(&mut self, specs: Vec<SloSpec>) {
+        self.slos = Some(SloEngine::new(specs));
     }
 
     /// Deploy a façade and register it with every LUS the accessor knows.
@@ -103,8 +115,29 @@ impl SensorcerFacade {
         accessor: ServiceAccessor,
         monitor: Option<MonitorHandle>,
     ) -> FacadeHandle {
-        let lus_list: Vec<LusHandle> = accessor.lus_handles().to_vec();
         let facade = SensorcerFacade::new(name, host, accessor, monitor);
+        Self::deploy_built(env, facade)
+    }
+
+    /// Deploy a façade with SLO objectives pre-installed.
+    pub fn deploy_with_slos(
+        env: &mut Env,
+        host: HostId,
+        name: &str,
+        accessor: ServiceAccessor,
+        monitor: Option<MonitorHandle>,
+        specs: Vec<SloSpec>,
+    ) -> FacadeHandle {
+        let mut facade = SensorcerFacade::new(name, host, accessor, monitor);
+        facade.install_slos(specs);
+        Self::deploy_built(env, facade)
+    }
+
+    fn deploy_built(env: &mut Env, facade: SensorcerFacade) -> FacadeHandle {
+        let host = facade.host;
+        let name = facade.name.clone();
+        let name = name.as_str();
+        let lus_list: Vec<LusHandle> = facade.accessor.lus_handles().to_vec();
         let service = env.deploy(host, name, ServicerBox::new(facade));
         for lus in lus_list {
             let item = ServiceItem::new(
@@ -263,23 +296,63 @@ impl SensorcerFacade {
             }
             ops::GET_VALUE => match task.context.get_str("arg/service").map(str::to_string) {
                 Some(name) => {
-                    client::get_value_detailed(env, self.host, &self.accessor, &name).map(
-                        |(reading, degraded)| {
-                            task.context.put(paths::SENSOR_VALUE, reading.value);
-                            task.context.put(paths::RESULT, reading.value);
-                            task.context.put(paths::SENSOR_UNIT, reading.unit.as_str());
-                            task.context.put(paths::SENSOR_AT, reading.at_ns as f64);
-                            task.context.put(
-                                paths::SENSOR_QUALITY,
-                                if reading.good { "good" } else { "suspect" },
-                            );
-                            // Degraded-read detail rides along so browser
-                            // clients can see *which* children substituted.
-                            degraded.write_to(&mut task.context);
-                        },
-                    )
+                    let t0 = env.now();
+                    let res = client::get_value_detailed(env, self.host, &self.accessor, &name);
+                    if let Some(slos) = self.slos.as_mut() {
+                        let now = env.now();
+                        let latency_ns = (now - t0).as_nanos();
+                        match &res {
+                            Ok((reading, degraded)) => {
+                                let outcome = if degraded.is_degraded() {
+                                    ReadOutcome::Degraded
+                                } else {
+                                    ReadOutcome::Ok
+                                };
+                                slos.record_read(now, &name, outcome, latency_ns);
+                                // The reading's timestamp doubles as a
+                                // freshness check: how old is the data the
+                                // federation just served?
+                                slos.record_freshness(
+                                    now,
+                                    &name,
+                                    now.as_nanos().saturating_sub(reading.at_ns),
+                                );
+                            }
+                            Err(_) => slos.record_read(now, &name, ReadOutcome::Error, latency_ns),
+                        }
+                        let transitions = slos.evaluate(now);
+                        mirror_transitions(env, &transitions);
+                    }
+                    res.map(|(reading, degraded)| {
+                        task.context.put(paths::SENSOR_VALUE, reading.value);
+                        task.context.put(paths::RESULT, reading.value);
+                        task.context.put(paths::SENSOR_UNIT, reading.unit.as_str());
+                        task.context.put(paths::SENSOR_AT, reading.at_ns as f64);
+                        task.context.put(
+                            paths::SENSOR_QUALITY,
+                            if reading.good { "good" } else { "suspect" },
+                        );
+                        // Degraded-read detail rides along so browser
+                        // clients can see *which* children substituted.
+                        degraded.write_to(&mut task.context);
+                    })
                 }
                 None => Err("getValue needs arg/service".into()),
+            },
+            ops::SLO_REPORT => match self.slos.as_mut() {
+                Some(slos) => {
+                    let now = env.now();
+                    let transitions = slos.evaluate(now);
+                    mirror_transitions(env, &transitions);
+                    let report = slos.report(now);
+                    task.context
+                        .put("slo/healthy", Value::Bool(report.healthy()));
+                    task.context
+                        .put("slo/alerts", Value::Int(report.alerts.len() as i64));
+                    task.context.put("slo/report", report.to_json());
+                    Ok(())
+                }
+                None => Err("no SLOs installed on this facade".into()),
             },
             ops::GET_INFO => match task.context.get_str("arg/service").map(str::to_string) {
                 Some(name) => client::get_info(env, self.host, &self.accessor, &name)
@@ -396,6 +469,34 @@ impl SensorcerFacade {
             Ok(()) => task.status = ExertionStatus::Done,
             Err(e) => task.fail(e),
         }
+    }
+}
+
+/// Surface SLO state changes as flight-recorder events on the innermost
+/// open span (a no-op when tracing is off).
+fn mirror_transitions(env: &mut Env, transitions: &[AlertTransition]) {
+    if transitions.is_empty() {
+        return;
+    }
+    let cur = env.current_span();
+    if !cur.is_valid() {
+        return;
+    }
+    for tr in transitions {
+        env.span_event(
+            cur,
+            if tr.fired {
+                "slo.fired"
+            } else {
+                "slo.resolved"
+            },
+            vec![
+                ("slo", tr.slo.as_str().into()),
+                ("service", tr.service.as_str().into()),
+                ("burn_fast", tr.burn_fast.into()),
+                ("burn_slow", tr.burn_slow.into()),
+            ],
+        );
     }
 }
 
@@ -530,6 +631,19 @@ impl FacadeHandle {
                 })
             })
             .collect())
+    }
+
+    /// SLO verdict sheet from the façade's health engine: `(healthy,
+    /// alert count, report JSON)`. Errs when no SLOs are installed.
+    pub fn slo_report(&self, env: &mut Env, from: HostId) -> Result<(bool, u64, String), String> {
+        let ctx = self.run(env, from, ops::SLO_REPORT, Context::new())?;
+        let healthy = matches!(ctx.get("slo/healthy"), Some(Value::Bool(true)));
+        let alerts = match ctx.get("slo/alerts") {
+            Some(Value::Int(n)) => *n as u64,
+            _ => 0,
+        };
+        let json = ctx.get_str("slo/report").unwrap_or("{}").to_string();
+        Ok((healthy, alerts, json))
     }
 
     /// "Get Value".
@@ -867,6 +981,75 @@ mod tests {
         w.env.crash_host(dead);
         let rows = w.facade.network_health(&mut w.env, w.client).unwrap();
         assert!(!by_name(&rows, "Neem-Sensor-mote").alive);
+    }
+
+    #[test]
+    fn slo_report_through_the_facade() {
+        use sensorcer_obs::SloKind;
+        let mut env = Env::with_seed(3);
+        let lab = env.add_host("lab", HostKind::Server);
+        let client = env.add_host("client", HostKind::Workstation);
+        let lus = LookupService::deploy(
+            &mut env,
+            lab,
+            "LUS",
+            "public",
+            LeasePolicy::default(),
+            SimDuration::from_millis(500),
+        );
+        let accessor = ServiceAccessor::new(vec![lus]);
+        let facade = SensorcerFacade::deploy_with_slos(
+            &mut env,
+            lab,
+            "Facade",
+            accessor,
+            None,
+            vec![
+                SloSpec::new("t-avail", "T", SloKind::Availability { min_ratio: 0.9 }),
+                SloSpec::new(
+                    "t-fresh",
+                    "T",
+                    SloKind::Freshness {
+                        max_age_ns: SimDuration::from_secs(60).as_nanos(),
+                        min_ratio: 0.99,
+                    },
+                ),
+            ],
+        );
+        let mut w = World {
+            env,
+            client,
+            lus,
+            facade,
+        };
+        add_esp(&mut w, "T", 20.0);
+
+        // Clean traffic: both objectives met, zero alerts.
+        for _ in 0..5 {
+            w.facade.get_value(&mut w.env, w.client, "T").unwrap();
+        }
+        let (healthy, alerts, json) = w.facade.slo_report(&mut w.env, w.client).unwrap();
+        assert!(healthy, "{json}");
+        assert_eq!(alerts, 0);
+        assert!(json.contains("\"t-avail\""));
+        assert!(json.contains("\"t-fresh\""));
+        assert!(json.contains("\"total\": 5"));
+
+        // Failed reads are recorded as errors against availability.
+        w.env.crash_host(w.env.topo.hosts().last().unwrap().id);
+        for _ in 0..5 {
+            let _ = w.facade.get_value(&mut w.env, w.client, "T");
+        }
+        let (healthy, _, json) = w.facade.slo_report(&mut w.env, w.client).unwrap();
+        assert!(!healthy, "50% errors blow a 10% budget: {json}");
+        assert!(json.contains("\"met\": false"));
+    }
+
+    #[test]
+    fn slo_report_without_slos_fails_cleanly() {
+        let mut w = setup();
+        let err = w.facade.slo_report(&mut w.env, w.client).unwrap_err();
+        assert!(err.contains("no SLOs"), "{err}");
     }
 
     #[test]

@@ -134,6 +134,7 @@ pub fn exert_on_retry(
                                 vec![
                                     ("attempts", attempt.into()),
                                     ("error", e.to_string().into()),
+                                    ("elapsed_ns", (env.now() - start).as_nanos().into()),
                                 ],
                             );
                         }
@@ -142,18 +143,26 @@ pub fn exert_on_retry(
                 }
                 env.metrics.add_host(provider_host, keys::RETRY_ATTEMPTS, 1);
                 env.metrics.add_labeled(keys::RETRY_ATTEMPTS, label, 1);
+                let backoff = policy.backoff * 2u64.pow(attempt - 1);
                 let cur = env.current_span();
                 if cur.is_valid() {
+                    // Latency attribution: how long this dispatch has been
+                    // stuck so far, and how long it is about to sleep.
                     env.span_event(
                         cur,
                         "retry.attempt",
-                        vec![("attempt", attempt.into()), ("error", e.to_string().into())],
+                        vec![
+                            ("attempt", attempt.into()),
+                            ("error", e.to_string().into()),
+                            ("elapsed_ns", (env.now() - start).as_nanos().into()),
+                            ("backoff_ns", backoff.as_nanos().into()),
+                        ],
                     );
                 }
                 env.debug_with(|| format!("retry: attempt {attempt} against {provider} after {e}"));
                 // Exponential backoff against sim time; scheduled events
                 // (heals, restarts, renewals) fire during the wait.
-                env.run_for(policy.backoff * 2u64.pow(attempt - 1));
+                env.run_for(backoff);
             }
         }
     }

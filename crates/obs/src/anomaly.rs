@@ -1,0 +1,400 @@
+//! Streaming anomaly detection over the telemetry registry.
+//!
+//! Two classic detectors, both O(1)-ish per observation and fully
+//! deterministic (no randomness, no wall clock — same inputs, same
+//! flags):
+//!
+//! * [`EwmaDetector`] — exponentially-weighted moving average and
+//!   variance; flags an observation whose deviation from the running
+//!   mean exceeds `k` standard deviations. Fast to react, cheap, but
+//!   the variance estimate can be dragged by a slow drift.
+//! * [`MadDetector`] — median absolute deviation over a bounded sliding
+//!   window; robust to outliers in the baseline itself (a latency spike
+//!   does not poison the estimate the way it poisons a variance).
+//!
+//! An observation is only *flagged* when **both** detectors agree — the
+//! EWMA gives recency, the MAD robustness, and requiring agreement keeps
+//! a noisy counter from paging on every other round.
+//!
+//! [`AnomalyMonitor`] wires detectors to the [`Metrics`] registry: it
+//! watches named counters as per-interval deltas (drop-rate surges),
+//! named gauges as levels (per-host health excursions), and accepts
+//! direct samples (read latencies). Every flag carries the metric name,
+//! sim-timestamp, observed value and both scores.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use sensorcer_sim::metrics::Metrics;
+use sensorcer_sim::time::SimTime;
+
+/// Exponentially-weighted mean/variance detector.
+#[derive(Clone, Debug)]
+pub struct EwmaDetector {
+    alpha: f64,
+    k: f64,
+    mean: f64,
+    var: f64,
+    n: u64,
+    /// Observations before the detector starts judging.
+    warmup: u64,
+    /// Absolute sigma floor; see [`EwmaDetector::with_min_sigma`].
+    min_sigma: f64,
+}
+
+impl EwmaDetector {
+    pub fn new(alpha: f64, k: f64, warmup: u64) -> EwmaDetector {
+        EwmaDetector {
+            alpha,
+            k,
+            mean: 0.0,
+            var: 0.0,
+            n: 0,
+            warmup: warmup.max(2),
+            min_sigma: 0.0,
+        }
+    }
+
+    /// Set an absolute sigma floor. Essential for sparse count streams:
+    /// a mostly-zero delta series has variance ≈ 0, so without a floor a
+    /// single stray packet scores thousands of sigmas.
+    pub fn with_min_sigma(mut self, s: f64) -> EwmaDetector {
+        self.min_sigma = s;
+        self
+    }
+
+    /// Feed one observation; returns the z-score if it is anomalous.
+    /// The baseline is only updated by *non*-anomalous observations, so
+    /// a genuine excursion cannot absorb itself into the mean.
+    pub fn observe(&mut self, v: f64) -> Option<f64> {
+        if self.n >= self.warmup {
+            let sigma = self
+                .var
+                .sqrt()
+                .max(1e-9)
+                .max(self.mean.abs() * 0.01)
+                .max(self.min_sigma);
+            let z = (v - self.mean).abs() / sigma;
+            if z > self.k {
+                return Some(z);
+            }
+        }
+        let delta = v - self.mean;
+        self.mean += self.alpha * delta;
+        self.var = (1.0 - self.alpha) * (self.var + self.alpha * delta * delta);
+        self.n += 1;
+        None
+    }
+}
+
+/// Median-absolute-deviation detector over a bounded sliding window.
+#[derive(Clone, Debug)]
+pub struct MadDetector {
+    window: VecDeque<f64>,
+    cap: usize,
+    k: f64,
+    /// Absolute sigma floor; see [`MadDetector::with_min_sigma`].
+    min_sigma: f64,
+}
+
+impl MadDetector {
+    pub fn new(cap: usize, k: f64) -> MadDetector {
+        MadDetector {
+            window: VecDeque::new(),
+            cap: cap.max(4),
+            k,
+            min_sigma: 0.0,
+        }
+    }
+
+    /// Set an absolute sigma floor — same rationale as
+    /// [`EwmaDetector::with_min_sigma`]: the MAD of a mostly-constant
+    /// window is exactly zero.
+    pub fn with_min_sigma(mut self, s: f64) -> MadDetector {
+        self.min_sigma = s;
+        self
+    }
+
+    fn median(mut xs: Vec<f64>) -> f64 {
+        xs.sort_by(f64::total_cmp);
+        let n = xs.len();
+        if n % 2 == 1 {
+            xs[n / 2]
+        } else {
+            (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+        }
+    }
+
+    /// Feed one observation; returns the robust score if anomalous.
+    /// Scores use the scaled MAD (×1.4826 ≈ σ for normal data) with a
+    /// floor so an all-identical window doesn't divide by zero.
+    pub fn observe(&mut self, v: f64) -> Option<f64> {
+        let mut flagged = None;
+        if self.window.len() >= self.cap / 2 {
+            let xs: Vec<f64> = self.window.iter().copied().collect();
+            let med = Self::median(xs.clone());
+            let mad = Self::median(xs.iter().map(|x| (x - med).abs()).collect());
+            let sigma = (1.4826 * mad)
+                .max(1e-9)
+                .max(med.abs() * 0.01)
+                .max(self.min_sigma);
+            let score = (v - med).abs() / sigma;
+            if score > self.k {
+                flagged = Some(score);
+            }
+        }
+        // Anomalous observations stay out of the baseline window.
+        if flagged.is_none() {
+            if self.window.len() == self.cap {
+                self.window.pop_front();
+            }
+            self.window.push_back(v);
+        }
+        flagged
+    }
+}
+
+/// One flagged excursion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Anomaly {
+    pub at: SimTime,
+    /// The metric (or series) that flagged.
+    pub metric: String,
+    pub value: f64,
+    /// EWMA z-score and MAD robust score at the moment of flagging.
+    pub ewma_score: f64,
+    pub mad_score: f64,
+}
+
+struct Watched {
+    ewma: EwmaDetector,
+    mad: MadDetector,
+    /// Last absolute counter value, for delta streams.
+    last: f64,
+}
+
+/// Absolute sigma floor for counter-delta streams: with the default
+/// 6-sigma threshold, a per-round delta must move by more than ~6
+/// events before it can page — one stray retransmit against a quiet
+/// baseline never does, a retry burst from a real outage always does.
+const COUNTER_MIN_SIGMA: f64 = 1.0;
+
+/// Detector bank subscribed to a [`Metrics`] registry.
+pub struct AnomalyMonitor {
+    /// Counter keys watched as per-sample deltas.
+    counters: Vec<String>,
+    /// Gauge keys watched as levels.
+    gauges: Vec<String>,
+    streams: BTreeMap<String, Watched>,
+    anomalies: Vec<Anomaly>,
+    k_sigma: f64,
+    mad_window: usize,
+}
+
+impl AnomalyMonitor {
+    pub fn new() -> AnomalyMonitor {
+        AnomalyMonitor {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            streams: BTreeMap::new(),
+            anomalies: Vec::new(),
+            k_sigma: 6.0,
+            mad_window: 64,
+        }
+    }
+
+    /// Sigma multiplier both detectors must exceed (default 6).
+    pub fn with_threshold(mut self, k: f64) -> AnomalyMonitor {
+        self.k_sigma = k;
+        self
+    }
+
+    /// MAD sliding-window size (default 64). The detector only judges
+    /// once half the window is full, so low-rate streams — one sample
+    /// per soak round — want a smaller window or early excursions slip
+    /// past before the baseline exists.
+    pub fn with_mad_window(mut self, n: usize) -> AnomalyMonitor {
+        self.mad_window = n;
+        self
+    }
+
+    /// Watch a counter as a per-interval delta stream.
+    pub fn watch_counter(&mut self, key: impl Into<String>) {
+        self.counters.push(key.into());
+    }
+
+    /// Watch a gauge as a level stream.
+    pub fn watch_gauge(&mut self, key: impl Into<String>) {
+        self.gauges.push(key.into());
+    }
+
+    fn stream(&mut self, name: &str) -> &mut Watched {
+        let k = self.k_sigma;
+        let mad_window = self.mad_window;
+        // Counter deltas are count data: a swing of a couple of events
+        // per round is Poisson noise, not an excursion, even against a
+        // perfectly quiet baseline. Level/latency streams keep the
+        // relative floor only.
+        let min_sigma = if self.counters.iter().any(|c| c == name) {
+            COUNTER_MIN_SIGMA
+        } else {
+            0.0
+        };
+        self.streams
+            .entry(name.to_string())
+            .or_insert_with(|| Watched {
+                ewma: EwmaDetector::new(0.3, k, 8).with_min_sigma(min_sigma),
+                mad: MadDetector::new(mad_window, k).with_min_sigma(min_sigma),
+                last: 0.0,
+            })
+    }
+
+    fn feed(&mut self, at: SimTime, name: &str, v: f64) {
+        let s = self.stream(name);
+        let ewma = s.ewma.observe(v);
+        let mad = s.mad.observe(v);
+        if let (Some(e), Some(m)) = (ewma, mad) {
+            self.anomalies.push(Anomaly {
+                at,
+                metric: name.to_string(),
+                value: v,
+                ewma_score: e,
+                mad_score: m,
+            });
+        }
+    }
+
+    /// Take one sample of every watched metric at instant `t`. Counters
+    /// feed their delta since the previous sample; gauges feed their
+    /// level. Call once per round, at a steady cadence.
+    pub fn sample(&mut self, t: SimTime, metrics: &Metrics) {
+        for i in 0..self.counters.len() {
+            let key = self.counters[i].clone();
+            let now = metrics.get(&key) as f64;
+            let last = self.stream(&key).last;
+            self.stream(&key).last = now;
+            self.feed(t, &key, now - last);
+        }
+        for i in 0..self.gauges.len() {
+            let key = self.gauges[i].clone();
+            if let Some(v) = metrics.gauge(&key) {
+                self.feed(t, &key, v);
+            }
+        }
+    }
+
+    /// Feed one direct observation into a named series (e.g. a read
+    /// latency, keyed per service).
+    pub fn observe(&mut self, t: SimTime, series: &str, v: f64) {
+        self.feed(t, series, v);
+    }
+
+    pub fn anomalies(&self) -> &[Anomaly] {
+        &self.anomalies
+    }
+}
+
+impl Default for AnomalyMonitor {
+    fn default() -> Self {
+        AnomalyMonitor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    #[test]
+    fn steady_stream_never_flags() {
+        let mut m = AnomalyMonitor::new();
+        for i in 0..500u64 {
+            // Small deterministic wobble around 100.
+            let v = 100.0 + ((i * 7) % 5) as f64;
+            m.observe(t(i), "lat", v);
+        }
+        assert!(m.anomalies().is_empty(), "{:?}", m.anomalies());
+    }
+
+    #[test]
+    fn spike_flags_once_and_does_not_poison_baseline() {
+        let mut m = AnomalyMonitor::new();
+        for i in 0..100u64 {
+            m.observe(t(i), "lat", 100.0 + (i % 3) as f64);
+        }
+        m.observe(t(100), "lat", 5000.0);
+        assert_eq!(m.anomalies().len(), 1);
+        let a = &m.anomalies()[0];
+        assert_eq!(a.metric, "lat");
+        assert_eq!(a.value, 5000.0);
+        assert!(a.ewma_score > 6.0 && a.mad_score > 6.0);
+        // Baseline survives the spike: normal traffic stays clean.
+        for i in 101..150u64 {
+            m.observe(t(i), "lat", 100.0 + (i % 3) as f64);
+        }
+        assert_eq!(m.anomalies().len(), 1);
+    }
+
+    #[test]
+    fn counter_deltas_catch_a_drop_surge() {
+        let mut metrics = Metrics::new();
+        let mut m = AnomalyMonitor::new();
+        m.watch_counter("net.packets.lost");
+        // 60 rounds of ~2 losses per round, then a surge of 500.
+        for i in 0..60u64 {
+            metrics.add("net.packets.lost", 2 + (i % 2));
+            m.sample(t(i), &metrics);
+        }
+        assert!(m.anomalies().is_empty());
+        metrics.add("net.packets.lost", 500);
+        m.sample(t(60), &metrics);
+        assert_eq!(m.anomalies().len(), 1);
+        assert_eq!(m.anomalies()[0].metric, "net.packets.lost");
+        assert_eq!(m.anomalies()[0].value, 500.0);
+    }
+
+    #[test]
+    fn gauge_levels_catch_an_excursion() {
+        let mut metrics = Metrics::new();
+        let mut m = AnomalyMonitor::new();
+        m.watch_gauge("sim.queue.depth");
+        for i in 0..40u64 {
+            metrics.set_gauge("sim.queue.depth", 10.0 + (i % 4) as f64);
+            m.sample(t(i), &metrics);
+        }
+        assert!(m.anomalies().is_empty());
+        metrics.set_gauge("sim.queue.depth", 900.0);
+        m.sample(t(40), &metrics);
+        assert_eq!(m.anomalies().len(), 1);
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_flags() {
+        let run = || {
+            let mut m = AnomalyMonitor::new();
+            for i in 0..200u64 {
+                let v = if i == 150 {
+                    9999.0
+                } else {
+                    50.0 + (i % 7) as f64
+                };
+                m.observe(t(i), "x", v);
+            }
+            m.anomalies().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn warmup_suppresses_early_judgement() {
+        let mut m = AnomalyMonitor::new();
+        // Wild swings inside the warmup window: nothing may flag, because
+        // there is no baseline to deviate from yet.
+        for (i, v) in [1.0, 1000.0, 3.0, 800.0].iter().enumerate() {
+            m.observe(t(i as u64), "x", *v);
+        }
+        assert!(m.anomalies().is_empty());
+    }
+}

@@ -1,0 +1,467 @@
+//! The perf-regression gate: diff two `BENCH_*.json` runs.
+//!
+//! `harness smoke` writes an array of flat benchmark rows (see
+//! `microbench::results_to_json`). This module parses two such files —
+//! with a small hand-rolled reader, the workspace carries no serde —
+//! joins them on `(group, id)`, and classifies every pair under a noise
+//! threshold:
+//!
+//! * ratio within `1 ± threshold` → [`Verdict::Ok`] (jitter, ignore)
+//! * new median above `old × (1 + threshold)` → [`Verdict::Regressed`]
+//! * new median below `old × (1 - threshold)` → [`Verdict::Improved`]
+//!
+//! Rows present on only one side are reported (`OnlyOld` / `OnlyNew`)
+//! but never fail the gate — adding a benchmark must not break CI.
+//!
+//! The default threshold is ±35%: microbenchmarks on shared CI runners
+//! routinely wobble 10–25% run to run, and the gate's job is to catch
+//! the 2× cliff, not to litigate 10%. Sub-microsecond rows additionally
+//! need an absolute regression of at least [`CompareConfig::floor_ns`]
+//! so a 40 ns → 60 ns blip on a trivial bench cannot page anyone.
+
+use std::collections::BTreeMap;
+
+/// One benchmark row from a `BENCH_*.json` file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRow {
+    pub group: String,
+    pub id: String,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub samples: u64,
+    pub iters_per_sample: u64,
+}
+
+// --- minimal JSON reader for the flat bench-row array -----------------
+
+struct Cursor<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Cursor<'a> {
+        Cursor {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(got) if got == c => {
+                self.i += 1;
+                Ok(())
+            }
+            got => Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                c as char,
+                self.i,
+                got.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .s
+                .get(self.i)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .s
+                        .get(self.i)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.i += 4;
+                        }
+                        other => return Err(format!("unknown escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the raw bytes through.
+                    let start = self.i - 1;
+                    let mut end = self.i;
+                    while end < self.s.len() && self.s[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    let chunk =
+                        std::str::from_utf8(&self.s[start..end]).map_err(|e| e.to_string())?;
+                    out.push_str(chunk);
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.s.len()
+            && matches!(
+                self.s[self.i],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        let lit = std::str::from_utf8(&self.s[start..self.i]).map_err(|e| e.to_string())?;
+        lit.parse::<f64>()
+            .map_err(|e| format!("bad number '{lit}' at byte {start}: {e}"))
+    }
+}
+
+/// Parse the contents of a `BENCH_*.json` file.
+pub fn parse_bench_json(text: &str) -> Result<Vec<BenchRow>, String> {
+    let mut c = Cursor::new(text);
+    let mut rows = Vec::new();
+    c.expect(b'[')?;
+    if c.eat(b']') {
+        return Ok(rows);
+    }
+    loop {
+        c.expect(b'{')?;
+        let mut group = String::new();
+        let mut id = String::new();
+        let mut nums: BTreeMap<String, f64> = BTreeMap::new();
+        if !c.eat(b'}') {
+            loop {
+                let key = c.string()?;
+                c.expect(b':')?;
+                if c.peek() == Some(b'"') {
+                    let v = c.string()?;
+                    match key.as_str() {
+                        "group" => group = v,
+                        "id" => id = v,
+                        _ => {}
+                    }
+                } else {
+                    nums.insert(key, c.number()?);
+                }
+                if !c.eat(b',') {
+                    break;
+                }
+            }
+            c.expect(b'}')?;
+        }
+        if group.is_empty() && id.is_empty() {
+            return Err("bench row without group/id".to_string());
+        }
+        let num = |k: &str| nums.get(k).copied().unwrap_or(0.0);
+        rows.push(BenchRow {
+            group,
+            id,
+            median_ns: num("median_ns"),
+            mean_ns: num("mean_ns"),
+            min_ns: num("min_ns"),
+            samples: num("samples") as u64,
+            iters_per_sample: num("iters_per_sample") as u64,
+        });
+        if !c.eat(b',') {
+            break;
+        }
+    }
+    c.expect(b']')?;
+    Ok(rows)
+}
+
+/// How one benchmark moved between the two runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    Ok,
+    Improved,
+    Regressed,
+    /// Present only in the old run (benchmark removed).
+    OnlyOld,
+    /// Present only in the new run (benchmark added).
+    OnlyNew,
+}
+
+impl Verdict {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::OnlyOld => "only-old",
+            Verdict::OnlyNew => "only-new",
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct CompareConfig {
+    /// Relative noise threshold (0.35 = ±35% is jitter).
+    pub threshold: f64,
+    /// Minimum absolute delta (ns) before a relative regression counts.
+    pub floor_ns: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            threshold: 0.35,
+            floor_ns: 50.0,
+        }
+    }
+}
+
+/// One joined row of the diff.
+#[derive(Clone, Debug)]
+pub struct RowDelta {
+    pub group: String,
+    pub id: String,
+    pub old_median_ns: f64,
+    pub new_median_ns: f64,
+    /// new / old (1.0 when either side is missing).
+    pub ratio: f64,
+    pub verdict: Verdict,
+}
+
+/// The full diff of two bench runs.
+#[derive(Clone, Debug)]
+pub struct CompareReport {
+    pub rows: Vec<RowDelta>,
+    pub config: CompareConfig,
+}
+
+impl CompareReport {
+    /// The gate: true iff nothing regressed.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| r.verdict != Verdict::Regressed)
+    }
+
+    pub fn regressions(&self) -> impl Iterator<Item = &RowDelta> {
+        self.rows.iter().filter(|r| r.verdict == Verdict::Regressed)
+    }
+
+    /// Human-readable table plus the verdict line CI greps for.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench-compare (threshold ±{:.0}%, floor {:.0}ns)\n",
+            self.config.threshold * 100.0,
+            self.config.floor_ns
+        ));
+        out.push_str(&format!(
+            "{:<40} {:>12} {:>12} {:>8}  {}\n",
+            "benchmark", "old(ns)", "new(ns)", "ratio", "verdict"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<40} {:>12.1} {:>12.1} {:>8.3}  {}\n",
+                format!("{}/{}", r.group, r.id),
+                r.old_median_ns,
+                r.new_median_ns,
+                r.ratio,
+                r.verdict.as_str()
+            ));
+        }
+        let n_reg = self.regressions().count();
+        if n_reg == 0 {
+            out.push_str("PASS: no benchmark regressed beyond the noise threshold\n");
+        } else {
+            out.push_str(&format!("FAIL: {n_reg} benchmark(s) regressed\n"));
+        }
+        out
+    }
+}
+
+/// Join two runs on `(group, id)` and classify every pair.
+pub fn compare(old: &[BenchRow], new: &[BenchRow], config: CompareConfig) -> CompareReport {
+    let old_by: BTreeMap<(String, String), &BenchRow> = old
+        .iter()
+        .map(|r| ((r.group.clone(), r.id.clone()), r))
+        .collect();
+    let new_by: BTreeMap<(String, String), &BenchRow> = new
+        .iter()
+        .map(|r| ((r.group.clone(), r.id.clone()), r))
+        .collect();
+    let mut rows = Vec::new();
+    for (key, o) in &old_by {
+        match new_by.get(key) {
+            Some(n) => {
+                let ratio = if o.median_ns > 0.0 {
+                    n.median_ns / o.median_ns
+                } else {
+                    1.0
+                };
+                let delta = n.median_ns - o.median_ns;
+                let verdict = if ratio > 1.0 + config.threshold && delta > config.floor_ns {
+                    Verdict::Regressed
+                } else if ratio < 1.0 - config.threshold && -delta > config.floor_ns {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                };
+                rows.push(RowDelta {
+                    group: key.0.clone(),
+                    id: key.1.clone(),
+                    old_median_ns: o.median_ns,
+                    new_median_ns: n.median_ns,
+                    ratio,
+                    verdict,
+                });
+            }
+            None => rows.push(RowDelta {
+                group: key.0.clone(),
+                id: key.1.clone(),
+                old_median_ns: o.median_ns,
+                new_median_ns: 0.0,
+                ratio: 1.0,
+                verdict: Verdict::OnlyOld,
+            }),
+        }
+    }
+    for (key, n) in &new_by {
+        if !old_by.contains_key(key) {
+            rows.push(RowDelta {
+                group: key.0.clone(),
+                id: key.1.clone(),
+                old_median_ns: 0.0,
+                new_median_ns: n.median_ns,
+                ratio: 1.0,
+                verdict: Verdict::OnlyNew,
+            });
+        }
+    }
+    CompareReport { rows, config }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(group: &str, id: &str, median: f64) -> BenchRow {
+        BenchRow {
+            group: group.into(),
+            id: id.into(),
+            median_ns: median,
+            mean_ns: median,
+            min_ns: median,
+            samples: 10,
+            iters_per_sample: 100,
+        }
+    }
+
+    #[test]
+    fn parses_real_bench_output() {
+        let text = r#"[
+  {"group": "reads", "id": "quorum/4", "median_ns": 1234.5, "mean_ns": 1300.0, "min_ns": 1100.0, "samples": 10, "iters_per_sample": 50},
+  {"group": "g\"x", "id": "a/b", "median_ns": 1.5, "mean_ns": 2.0, "min_ns": 1.0, "samples": 3, "iters_per_sample": 7}
+]
+"#;
+        let rows = parse_bench_json(text).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].group, "reads");
+        assert_eq!(rows[0].id, "quorum/4");
+        assert_eq!(rows[0].median_ns, 1234.5);
+        assert_eq!(rows[0].samples, 10);
+        assert_eq!(rows[1].group, "g\"x");
+    }
+
+    #[test]
+    fn parses_empty_array_and_rejects_garbage() {
+        assert!(parse_bench_json("[]").unwrap().is_empty());
+        assert!(parse_bench_json("[\n]\n").unwrap().is_empty());
+        assert!(parse_bench_json("not json").is_err());
+        assert!(parse_bench_json("[{\"median_ns\": 1}]").is_err());
+    }
+
+    #[test]
+    fn self_compare_passes() {
+        let rows = vec![row("g", "a", 1000.0), row("g", "b", 5e6)];
+        let rep = compare(&rows, &rows, CompareConfig::default());
+        assert!(rep.passed());
+        assert!(rep.rows.iter().all(|r| r.verdict == Verdict::Ok));
+        assert!(rep.render().contains("PASS"));
+    }
+
+    #[test]
+    fn synthetic_2x_slowdown_is_flagged() {
+        let old = vec![row("g", "a", 1000.0), row("g", "b", 1000.0)];
+        let new = vec![row("g", "a", 2000.0), row("g", "b", 1000.0)];
+        let rep = compare(&old, &new, CompareConfig::default());
+        assert!(!rep.passed());
+        let regs: Vec<_> = rep.regressions().collect();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].id, "a");
+        assert!((regs[0].ratio - 2.0).abs() < 1e-12);
+        assert!(rep.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn jitter_under_threshold_is_ok_and_improvements_noted() {
+        let old = vec![row("g", "a", 1000.0), row("g", "b", 10_000.0)];
+        let new = vec![row("g", "a", 1200.0), row("g", "b", 4_000.0)];
+        let rep = compare(&old, &new, CompareConfig::default());
+        assert!(rep.passed());
+        assert_eq!(rep.rows[0].verdict, Verdict::Ok); // +20% < 35%
+        assert_eq!(rep.rows[1].verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn absolute_floor_mutes_nanosecond_blips() {
+        // 40ns -> 70ns is a 75% "regression" but only 30ns of it — below
+        // the 50ns floor, so the gate shrugs.
+        let old = vec![row("g", "tiny", 40.0)];
+        let new = vec![row("g", "tiny", 70.0)];
+        let rep = compare(&old, &new, CompareConfig::default());
+        assert!(rep.passed());
+        assert_eq!(rep.rows[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn added_and_removed_rows_never_fail_the_gate() {
+        let old = vec![row("g", "gone", 1000.0)];
+        let new = vec![row("g", "fresh", 1000.0)];
+        let rep = compare(&old, &new, CompareConfig::default());
+        assert!(rep.passed());
+        let verdicts: Vec<Verdict> = rep.rows.iter().map(|r| r.verdict).collect();
+        assert!(verdicts.contains(&Verdict::OnlyOld));
+        assert!(verdicts.contains(&Verdict::OnlyNew));
+    }
+}

@@ -1,0 +1,55 @@
+//! # sensorcer-obs
+//!
+//! The layer that turns recorded telemetry into *answers*. PR 3 gave the
+//! federation raw signals — spans in a flight recorder, a typed metrics
+//! registry — but nothing interpreted them: no notion of an objective
+//! being violated, no way to ask "why was this read slow", no gate that
+//! notices a benchmark quietly doubling. This crate closes the loop,
+//! in four pillars:
+//!
+//! * [`slo`] — declarative per-service objectives (availability, read
+//!   latency p99, data freshness, degraded-read ratio) evaluated over
+//!   sim-time sliding windows, with Google-SRE-style multi-window
+//!   burn-rate alerting and a firing → resolved state machine.
+//! * [`anomaly`] — streaming EWMA and MAD detectors subscribed to the
+//!   metrics registry; deterministic, seed-stable flagging of latency
+//!   spikes, drop-rate surges and per-host excursions.
+//! * [`analytics`] — a query layer over exported [`FlightRecorder`]
+//!   trees: filter by op/outcome/host, group-by aggregation into per-op
+//!   duration histograms, critical-path extraction, and exemplar
+//!   selection so every alert carries the trace ids of its slowest
+//!   offending spans.
+//! * [`compare`] — the perf-regression gate: parse two `BENCH_*.json`
+//!   runs and diff them under a noise threshold, so CI fails on a real
+//!   slowdown and shrugs at jitter.
+//!
+//! Plus [`naming`], the runtime metric-name auditor enforcing the one
+//! `subsystem.object.action` convention across every key the registry
+//! has ever seen.
+//!
+//! Everything here is pure interpretation: feeding the engines never
+//! mutates the simulation, so an observed run is bit-for-bit identical
+//! to an unobserved one.
+//!
+//! [`FlightRecorder`]: sensorcer_trace::FlightRecorder
+
+#![forbid(unsafe_code)]
+
+pub mod analytics;
+pub mod anomaly;
+pub mod compare;
+pub mod naming;
+pub mod slo;
+
+pub use analytics::{
+    critical_path, group_by_op, slowest_offenders, CriticalPath, OpStats, PathStep, SpanQuery,
+};
+pub use anomaly::{Anomaly, AnomalyMonitor, EwmaDetector, MadDetector};
+pub use compare::{
+    compare, parse_bench_json, BenchRow, CompareConfig, CompareReport, RowDelta, Verdict,
+};
+pub use naming::{check_name, check_names};
+pub use slo::{
+    Alert, AlertTransition, BurnRateWindows, ReadOutcome, SloEngine, SloKind, SloReport, SloSpec,
+    SloVerdict,
+};

@@ -23,15 +23,15 @@ use crate::topology::{HostId, LinkModel};
 /// Metric keys bumped by [`apply_event`].
 pub mod keys {
     /// Pairwise partitions injected.
-    pub const CHAOS_PARTITIONS: &str = "chaos.partitions";
+    pub const CHAOS_PARTITIONS: &str = "chaos.faults.partition";
     /// Host isolations injected.
-    pub const CHAOS_ISOLATES: &str = "chaos.isolates";
+    pub const CHAOS_ISOLATES: &str = "chaos.faults.isolate";
     /// Host crashes injected.
-    pub const CHAOS_CRASHES: &str = "chaos.crashes";
+    pub const CHAOS_CRASHES: &str = "chaos.faults.crash";
     /// Slow-link windows injected.
-    pub const CHAOS_SLOW_LINKS: &str = "chaos.slow_links";
+    pub const CHAOS_SLOW_LINKS: &str = "chaos.faults.slow_link";
     /// Total events applied (faults and inverses).
-    pub const CHAOS_EVENTS: &str = "chaos.events";
+    pub const CHAOS_EVENTS: &str = "chaos.events.applied";
 }
 
 /// One topology mutation at a point in virtual time.

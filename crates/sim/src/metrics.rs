@@ -96,7 +96,7 @@ impl Metrics {
         self.gauges.get(key).copied()
     }
 
-    /// Set a per-host gauge (e.g. `sensor.last_read_ns` on a mote).
+    /// Set a per-host gauge (e.g. `sensor.read.last_ns` on a mote).
     pub fn set_host_gauge(&mut self, host: HostId, key: &str, value: f64) {
         self.host_gauges.insert((host, key.to_string()), value);
     }
@@ -129,6 +129,38 @@ impl Metrics {
     /// All counter keys with their values, in key order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All global gauges with their last-written values, in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All per-host gauges, in (host, key) order.
+    pub fn host_gauges(&self) -> impl Iterator<Item = (HostId, &str, f64)> {
+        self.host_gauges
+            .iter()
+            .map(|((h, k), v)| (*h, k.as_str(), *v))
+    }
+
+    /// All recorded sample series with their histograms, in key order.
+    pub fn samples(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.samples.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// Every metric name this run has registered, across all five stores
+    /// (counters, per-host counters, labeled counters, gauges, per-host
+    /// gauges, sample series) — the raw material for the runtime naming
+    /// audit in `harness lint` and for observers that subscribe by key.
+    pub fn all_keys(&self) -> std::collections::BTreeSet<String> {
+        let mut keys = std::collections::BTreeSet::new();
+        keys.extend(self.counters.keys().cloned());
+        keys.extend(self.per_host.keys().map(|(_, k)| k.clone()));
+        keys.extend(self.labeled.keys().map(|(k, _)| k.clone()));
+        keys.extend(self.gauges.keys().cloned());
+        keys.extend(self.host_gauges.keys().map(|(_, k)| k.clone()));
+        keys.extend(self.samples.keys().cloned());
+        keys
     }
 
     /// Per-host counters for a key, in host order.
@@ -220,7 +252,7 @@ pub mod keys {
     /// Total bytes on the wire including all protocol headers.
     pub const BYTES_WIRE: &str = "net.bytes.wire";
     /// Data packets transmitted (after fragmentation).
-    pub const PACKETS: &str = "net.packets";
+    pub const PACKETS: &str = "net.packets.sent";
     /// Logical request/response calls completed successfully.
     pub const CALLS_OK: &str = "net.calls.ok";
     /// Logical calls that failed (loss, partition, crash, timeout).
@@ -228,9 +260,9 @@ pub mod keys {
     /// Packets dropped by the loss model.
     pub const PACKETS_LOST: &str = "net.packets.lost";
     /// Retransmitted packets (reliable stacks only).
-    pub const RETRANSMITS: &str = "net.retransmits";
+    pub const RETRANSMITS: &str = "net.packets.retransmitted";
     /// Multicast transmissions.
-    pub const MULTICASTS: &str = "net.multicasts";
+    pub const MULTICASTS: &str = "net.packets.multicast";
 }
 
 #[cfg(test)]
@@ -343,6 +375,24 @@ mod tests {
         m.set_host_gauge(h, "last_read", 99.0);
         assert_eq!(m.host_gauge(h, "last_read"), Some(99.0));
         assert!(m.host_gauge(HostId(5), "last_read").is_none());
+    }
+
+    #[test]
+    fn iteration_hooks_expose_every_registered_key() {
+        let mut m = Metrics::new();
+        m.add("a.b.c", 1);
+        m.add_host(HostId(1), "d.e.f", 2);
+        m.add_labeled("g.h.i", "L", 3);
+        m.set_gauge("j.k.l", 1.0);
+        m.set_host_gauge(HostId(2), "m.n.o", 2.0);
+        m.record("p.q.r", 3.0);
+        let keys = m.all_keys();
+        for k in ["a.b.c", "d.e.f", "g.h.i", "j.k.l", "m.n.o", "p.q.r"] {
+            assert!(keys.contains(k), "missing {k}");
+        }
+        assert_eq!(m.gauges().collect::<Vec<_>>(), vec![("j.k.l", 1.0)]);
+        assert_eq!(m.host_gauges().count(), 1);
+        assert_eq!(m.samples().count(), 1);
     }
 
     #[test]

@@ -206,6 +206,11 @@ impl Span {
         self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
     }
 
+    /// Virtual-time duration of the span.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
     pub fn has_event(&self, name: &str) -> bool {
         self.events.iter().any(|e| e.name == name)
     }
@@ -426,6 +431,17 @@ impl FlightRecorder {
         self.closed.iter()
     }
 
+    /// Closed root spans (no parent), oldest first — one per trace when
+    /// nothing has been evicted.
+    pub fn roots(&self) -> impl Iterator<Item = &Span> {
+        self.closed.iter().filter(|s| s.parent.is_none())
+    }
+
+    /// A closed span by id (linear scan; analytics passes index instead).
+    pub fn span_by_id(&self, id: SpanId) -> Option<&Span> {
+        self.closed.iter().find(|s| s.id == id)
+    }
+
     pub fn len(&self) -> usize {
         self.closed.len()
     }
@@ -605,21 +621,41 @@ impl Histogram {
         self.buckets.len()
     }
 
-    /// Nearest-rank quantile, `p` in (0, 1]. Returns the lower edge of the
-    /// bucket holding that rank — exact for integers ≤ 255.
+    /// Nearest-rank quantile, `p` in (0, 1]. Exact at the extremes — the
+    /// first rank returns `min`, the last returns `max` — which makes
+    /// single-sample and all-samples-equal histograms exact at every `p`.
+    /// Interior ranks return the lower edge of the bucket holding that
+    /// rank, clamped into `[min, max]` (exact for integers ≤ 255, < 0.8%
+    /// relative error otherwise). An empty histogram returns NaN: a loud
+    /// sentinel rather than a plausible-looking latency of 0.
     pub fn quantile(&self, p: f64) -> f64 {
+        self.try_quantile(p).unwrap_or(f64::NAN)
+    }
+
+    /// [`quantile`](Self::quantile) that makes the empty case a `None`
+    /// instead of a NaN sentinel.
+    pub fn try_quantile(&self, p: f64) -> Option<f64> {
         if self.count == 0 {
-            return 0.0;
+            return None;
         }
         let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are tracked exactly; answering them from
+        // `min`/`max` instead of a bucket edge keeps one-sample and
+        // one-bucket histograms free of reconstruction error.
+        if rank == 1 {
+            return Some(self.min);
+        }
+        if rank == self.count {
+            return Some(self.max);
+        }
         let mut seen = 0u64;
         for (key, n) in &self.buckets {
             seen += n;
             if seen >= rank {
-                return from_ordered_bits(key << SHIFT).clamp(self.min, self.max);
+                return Some(from_ordered_bits(key << SHIFT).clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
     pub fn clear(&mut self) {
@@ -794,6 +830,56 @@ mod tests {
             (p50 - exact).abs() / exact < 0.01,
             "p50={p50} exact={exact}"
         );
+    }
+
+    #[test]
+    fn histogram_empty_quantile_is_a_loud_sentinel() {
+        let h = Histogram::new();
+        assert!(h.quantile(0.5).is_nan(), "empty must not look like data");
+        assert!(h.quantile(0.99).is_nan());
+        assert_eq!(h.try_quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_single_sample_is_exact_at_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(123.456);
+        for p in [0.01, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(p), 123.456, "p={p}");
+        }
+    }
+
+    #[test]
+    fn histogram_one_bucket_is_exact_not_interpolated() {
+        // All samples identical: one bucket, every quantile exact.
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(7.25);
+        }
+        assert_eq!(h.bucket_count(), 1);
+        for p in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(p), 7.25, "p={p}");
+        }
+        // Two near-identical samples sharing a bucket: the extremes answer
+        // from the exact min/max, never a reconstructed bucket edge.
+        let mut h = Histogram::new();
+        h.record(1000.0);
+        h.record(1000.5);
+        assert_eq!(h.bucket_count(), 1);
+        assert_eq!(h.quantile(0.5), 1000.0);
+        assert_eq!(h.quantile(1.0), 1000.5);
+        assert_eq!(h.quantile(0.99), 1000.5, "last rank answers max exactly");
+    }
+
+    #[test]
+    fn histogram_extreme_ranks_are_exact() {
+        let mut h = Histogram::new();
+        for v in [3.1, 900.77, 12.0, 45.6] {
+            h.record(v);
+        }
+        // rank 1 (p small) and rank == count (p = 1.0) bypass the buckets.
+        assert_eq!(h.quantile(0.2), 3.1);
+        assert_eq!(h.quantile(1.0), 900.77);
     }
 
     #[test]

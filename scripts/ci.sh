@@ -3,7 +3,9 @@
 #
 #   scripts/ci.sh           tier-1: release build + full test suite
 #   scripts/ci.sh --smoke   tier-1, then the smoke bench pass writing
-#                           BENCH_1.json at the repo root
+#                           the next free BENCH_<n>.json at the repo
+#                           root (BENCH_1.json, the committed baseline,
+#                           is never clobbered)
 #   scripts/ci.sh --soak    tier-1, then the seeded chaos soak writing
 #                           CHAOS_1.json at the repo root (bounded,
 #                           deterministic; exits nonzero on any
@@ -20,6 +22,18 @@
 #                           exploration + mutation check, writes
 #                           VERIFY_1.json), and cargo fmt --check when
 #                           rustfmt is installed
+#   scripts/ci.sh --obs     tier-1, then the federation health engine:
+#                           `harness obs` (SLO burn-rate alerting over
+#                           the chaos soak; the storm must page with
+#                           trace exemplars, the clean run must not)
+#                           writing OBS_1.json plus a shape check, a
+#                           bench-compare self-check, and a smoke pass
+#                           diffed against the committed BENCH_1.json
+#                           baseline. Noise threshold for the baseline
+#                           diff: 4.0 (only a >5x blowup fails) because
+#                           the committed numbers come from different
+#                           hardware; same-machine diffs use the tight
+#                           0.35 default.
 #
 # Everything runs offline against the vendored workspace; no network,
 # no external tools beyond cargo.
@@ -31,13 +45,15 @@ smoke=0
 soak=0
 trace=0
 lint=0
+obs=0
 for arg in "$@"; do
     case "$arg" in
         --smoke) smoke=1 ;;
         --soak) soak=1 ;;
         --trace) trace=1 ;;
         --lint) lint=1 ;;
-        *) echo "usage: scripts/ci.sh [--smoke] [--soak] [--trace] [--lint]" >&2; exit 2 ;;
+        --obs) obs=1 ;;
+        *) echo "usage: scripts/ci.sh [--smoke] [--soak] [--trace] [--lint] [--obs]" >&2; exit 2 ;;
     esac
 done
 
@@ -98,6 +114,32 @@ if [ "$lint" -eq 1 ]; then
     else
         echo "== rustfmt not installed; skipping format check =="
     fi
+fi
+
+if [ "$obs" -eq 1 ]; then
+    echo "== health engine (writes OBS_1.json) =="
+    cargo run --release -p sensorcer-bench --bin harness -- obs
+    # Shape check: the export must carry the SLO verdicts, the alert
+    # history with exemplars, and a passing self-assessment.
+    for needle in '"storm_slos"' '"clean_slos"' '"alerts"' '"exemplars"' '"anomalies"' '"passed": true'; do
+        grep -q "$needle" OBS_1.json || {
+            echo "OBS_1.json missing $needle" >&2
+            exit 1
+        }
+    done
+
+    echo "== bench-compare self-check (must pass) =="
+    cargo run --release -p sensorcer-bench --bin harness -- \
+        bench-compare BENCH_1.json BENCH_1.json
+
+    echo "== perf gate vs committed baseline (noise threshold 4.0) =="
+    # The committed BENCH_1.json was measured on different hardware, so
+    # only an order-of-magnitude blowup (>5x) fails here; same-machine
+    # comparisons should use the tight 0.35 default instead.
+    cargo run --release -p sensorcer-bench --bin harness -- smoke BENCH_ci.json
+    cargo run --release -p sensorcer-bench --bin harness -- \
+        bench-compare BENCH_1.json BENCH_ci.json 4.0
+    rm -f BENCH_ci.json
 fi
 
 echo "ci: ok"
