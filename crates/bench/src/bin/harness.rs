@@ -21,6 +21,11 @@
 //!   the federation health engine over the chaos soak: SLO burn-rate
 //!   alerting with trace exemplars (storm must page, clean must not),
 //!   anomaly detection on a burst leg; writes OBS_1.json
+//! harness scale [seed] [out.json]
+//!   B9 scaling curve: lookup latency and event-engine throughput at
+//!   10³/10⁴/10⁵ motes (override the sweep with SENSORCER_SCALE_MOTES),
+//!   flat vs hierarchical registries and sequential vs sharded engine;
+//!   writes BENCH_2.json in the bench-compare JSON format
 //! harness bench-compare <old.json> <new.json> [threshold]
 //!   diff two smoke-bench JSON files; exits nonzero when any benchmark
 //!   regressed beyond the relative noise threshold (default 0.35)
@@ -37,11 +42,12 @@ type SeededRunner = fn(u64, &str) -> Result<String, String>;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: next free BENCH_<n>.json)\n       harness chaos [seed] [out.json]   (default out: {})\n       harness trace [seed] [out.json]   (default out: {})\n       harness verify [seed] [out.json]  (default out: {})\n       harness obs [seed] [out.json]     (default out: {})\n       harness bench-compare <old.json> <new.json> [threshold]\n       harness lint",
+        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: next free BENCH_<n>.json)\n       harness chaos [seed] [out.json]   (default out: {})\n       harness trace [seed] [out.json]   (default out: {})\n       harness verify [seed] [out.json]  (default out: {})\n       harness obs [seed] [out.json]     (default out: {})\n       harness scale [seed] [out.json]   (default out: {})\n       harness bench-compare <old.json> <new.json> [threshold]\n       harness lint",
         chaos::DEFAULT_OUT,
         trace::DEFAULT_OUT,
         verify::DEFAULT_OUT,
-        obs::DEFAULT_OUT
+        obs::DEFAULT_OUT,
+        b9_scale::DEFAULT_OUT
     );
     std::process::exit(2);
 }
@@ -184,9 +190,14 @@ fn main() {
         return;
     }
 
-    // `chaos`, `trace`, `verify` and `obs` take an optional seed then an
-    // output path.
-    if which == "chaos" || which == "trace" || which == "verify" || which == "obs" {
+    // `chaos`, `trace`, `verify`, `obs` and `scale` take an optional seed
+    // then an output path.
+    if which == "chaos"
+        || which == "trace"
+        || which == "verify"
+        || which == "obs"
+        || which == "scale"
+    {
         let seed = match args.get(1) {
             Some(s) => s.parse().unwrap_or_else(|_| {
                 eprintln!("seed must be an integer, got '{s}'");
@@ -198,6 +209,7 @@ fn main() {
             "chaos" => (chaos::run, chaos::DEFAULT_OUT),
             "trace" => (trace::run, trace::DEFAULT_OUT),
             "obs" => (obs::run, obs::DEFAULT_OUT),
+            "scale" => (b9_scale::run, b9_scale::DEFAULT_OUT),
             _ => (verify::run, verify::DEFAULT_OUT),
         };
         let out = args.get(2).map(String::as_str).unwrap_or(default_out);

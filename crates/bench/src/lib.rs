@@ -14,6 +14,7 @@
 //! | [`b6_expressions`]| B6  | §V.A sensor computation                    |
 //! | [`b7_baselines`]  | B7  | §III related-work comparison               |
 //! | [`b8_parallel`]   | B8  | local-mode parallel collection             |
+//! | [`b9_scale`]      | B9  | scaling curve: 10³–10⁵ motes, flat vs hier |
 //! | [`a1_ablation`]   | A1  | design-choice ablations (binding cache)    |
 //! | [`a2_energy`]     | A2  | mote energy per delivered reading          |
 //!
@@ -32,6 +33,7 @@ pub mod b5_discovery;
 pub mod b6_expressions;
 pub mod b7_baselines;
 pub mod b8_parallel;
+pub mod b9_scale;
 pub mod chaos;
 pub mod figs;
 pub mod helpers;

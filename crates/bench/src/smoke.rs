@@ -14,7 +14,7 @@ use crate::helpers::sensor_world;
 use crate::microbench::{results_to_json, BenchmarkId, Criterion};
 use crate::var;
 use sensorcer_expr::{Program, Scope, SlotFrame, Value};
-use sensorcer_registry::ids::interfaces;
+use sensorcer_registry::ids::{interfaces, InterfaceId};
 use sensorcer_registry::item::ServiceTemplate;
 
 /// First index `harness smoke` tries when no output path is given.
@@ -91,6 +91,23 @@ pub fn run(out_path: &str) -> Result<String, String> {
                     let tpl = ServiceTemplate::by_interface(interfaces::SENSOR_DATA_ACCESSOR);
                     b.iter(|| {
                         let all = lus.lookup(&mut w.env, w.client, &tpl, usize::MAX).unwrap();
+                        assert_eq!(all.len(), n);
+                    });
+                },
+            );
+            // The allocation-fixed path: the registry answers from a
+            // memoized `Arc<[SvcUuid]>` instead of cloning per call.
+            g.bench_with_input(
+                BenchmarkId::new("lookup_interface_uuids_arc", n),
+                &n,
+                |b, &n| {
+                    let mut w = sensor_world(n, 42);
+                    let lus = w.lus;
+                    let iface: InterfaceId = interfaces::SENSOR_DATA_ACCESSOR.into();
+                    b.iter(|| {
+                        let all = lus
+                            .lookup_interface_uuids(&mut w.env, w.client, &iface)
+                            .unwrap();
                         assert_eq!(all.len(), n);
                     });
                 },

@@ -44,6 +44,7 @@
 pub mod attributes;
 pub mod discovery;
 pub mod events;
+pub mod hier;
 pub mod ids;
 pub mod item;
 pub mod lease;
@@ -56,6 +57,7 @@ pub mod prelude {
     pub use crate::attributes::{name_of, service_type_of, AttrMatch, Entry};
     pub use crate::discovery::{discover, discover_one};
     pub use crate::events::{EventMailbox, EventSink, MailboxHandle, ServiceEvent, Transition};
+    pub use crate::hier::{CountingBloom, HierHandle, RootRegistry};
     pub use crate::ids::{interfaces, InterfaceId, SvcUuid};
     pub use crate::item::{ServiceItem, ServiceTemplate};
     pub use crate::lease::{Lease, LeaseError, LeaseId, LeasePolicy, LeaseTable};

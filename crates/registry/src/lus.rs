@@ -71,6 +71,16 @@ pub struct LookupService {
     reg_leases: LeaseTable<SvcUuid>,
     event_regs: LeaseTable<EventReg>,
     registrations_total: u64,
+    /// Memoized `Arc`'d uuid slice per interface: built lazily from the
+    /// posting set, shared by every caller until a registration or
+    /// departure touching that interface invalidates it. This is what
+    /// lets `lookup_all_by_interface`-style queries return without
+    /// cloning the posting `BTreeSet` per call.
+    iface_uuid_cache: BTreeMap<InterfaceId, Arc<[SvcUuid]>>,
+    /// Observer of posting-set deltas — the hierarchical root registry
+    /// installs one so its per-subnet summaries stay current. Called with
+    /// (interface, +1/-1) on every index/unindex.
+    summary_sink: Option<Box<dyn FnMut(&mut Env, &InterfaceId, i64)>>,
 }
 
 impl LookupService {
@@ -84,15 +94,25 @@ impl LookupService {
             reg_leases: LeaseTable::new(policy),
             event_regs: LeaseTable::new(policy),
             registrations_total: 0,
+            iface_uuid_cache: BTreeMap::new(),
+            summary_sink: None,
         }
     }
 
-    fn index_item(&mut self, item: &ServiceItem) {
+    fn index_item(&mut self, env: &mut Env, item: &ServiceItem) {
         for iface in &item.interfaces {
-            self.by_interface
+            let inserted = self
+                .by_interface
                 .entry(iface.clone())
                 .or_default()
                 .insert(item.uuid);
+            if inserted {
+                self.iface_uuid_cache.remove(iface);
+                if let Some(mut sink) = self.summary_sink.take() {
+                    sink(env, iface, 1);
+                    self.summary_sink = Some(sink);
+                }
+            }
         }
         if let Some(name) = item.name() {
             self.by_name
@@ -102,12 +122,19 @@ impl LookupService {
         }
     }
 
-    fn unindex_item(&mut self, item: &ServiceItem) {
+    fn unindex_item(&mut self, env: &mut Env, item: &ServiceItem) {
         for iface in &item.interfaces {
             if let Some(set) = self.by_interface.get_mut(iface) {
-                set.remove(&item.uuid);
+                let removed = set.remove(&item.uuid);
                 if set.is_empty() {
                     self.by_interface.remove(iface);
+                }
+                if removed {
+                    self.iface_uuid_cache.remove(iface);
+                    if let Some(mut sink) = self.summary_sink.take() {
+                        sink(env, iface, -1);
+                        self.summary_sink = Some(sink);
+                    }
                 }
             }
         }
@@ -119,6 +146,29 @@ impl LookupService {
                 }
             }
         }
+    }
+
+    /// Install an observer of posting-set deltas (see
+    /// [`crate::hier::RootRegistry`]); replaces any previous one.
+    pub fn set_summary_sink(&mut self, sink: impl FnMut(&mut Env, &InterfaceId, i64) + 'static) {
+        self.summary_sink = Some(Box::new(sink));
+    }
+
+    /// The uuids of every item implementing `iface`, in uuid order, as a
+    /// shared slice. The slice is memoized: repeated calls between index
+    /// changes hand out the same allocation, so the per-query cost is one
+    /// map probe and an `Arc` bump instead of a posting-set clone.
+    pub fn interface_uuids(&mut self, iface: &InterfaceId) -> Arc<[SvcUuid]> {
+        if let Some(hit) = self.iface_uuid_cache.get(iface) {
+            return Arc::clone(hit);
+        }
+        let uuids: Arc<[SvcUuid]> = match self.by_interface.get(iface) {
+            Some(set) => set.iter().copied().collect::<Vec<_>>().into(),
+            None => Vec::new().into(),
+        };
+        self.iface_uuid_cache
+            .insert(iface.clone(), Arc::clone(&uuids));
+        uuids
     }
 
     /// Deploy a LUS on `host`, join it to the discovery `group`, and start
@@ -200,9 +250,9 @@ impl LookupService {
         let item = Arc::new(item);
         let old = self.items.insert(uuid, Arc::clone(&item));
         if let Some(old) = &old {
-            self.unindex_item(old);
+            self.unindex_item(env, old);
         }
-        self.index_item(&item);
+        self.index_item(env, &item);
         let lease = self.reg_leases.grant(now, duration, uuid);
         self.registrations_total += 1;
         env.lifecycle("lease", lease.id.0, "grant", lease.expires.as_nanos());
@@ -242,7 +292,7 @@ impl LookupService {
             env.hb_write(self.host, &hb_items_key(self.host));
         }
         if let Some(old) = self.items.remove(&uuid) {
-            self.unindex_item(&old);
+            self.unindex_item(env, &old);
             self.fire(env, now, uuid, Some(&old), None);
         }
         Ok(())
@@ -464,12 +514,21 @@ impl LookupService {
         for (id, uuid) in reaped {
             env.lifecycle("lease", id.0, "reap", now.as_nanos());
             if let Some(old) = self.items.remove(&uuid) {
-                self.unindex_item(&old);
+                self.unindex_item(env, &old);
                 self.fire(env, now, uuid, Some(&old), None);
             }
         }
         env.span_end(span, Outcome::Ok);
         self.event_regs.reap(now);
+    }
+
+    /// Current posting-set sizes per interface — the seed snapshot the
+    /// hierarchical root registry takes when a subnet LUS attaches.
+    pub fn interface_counts(&self) -> Vec<(InterfaceId, u64)> {
+        self.by_interface
+            .iter()
+            .map(|(iface, set)| (iface.clone(), set.len() as u64))
+            .collect()
     }
 
     /// Number of live registered services.
@@ -626,6 +685,34 @@ impl LusHandle {
         if out.is_ok() && env.hb_enabled() {
             // The response edge has merged the LUS clock into `from`, so a
             // clean tree reads as ordered here.
+            env.hb_read(from, &hb_items_key(self.host));
+        }
+        out
+    }
+
+    /// Remote bulk uuid lookup by interface: the registry-side cost is a
+    /// cache probe and an `Arc` bump (no posting-set clone); the wire is
+    /// charged 16 bytes per uuid as if the slice were marshalled.
+    pub fn lookup_interface_uuids(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        iface: &InterfaceId,
+    ) -> Result<Arc<[SvcUuid]>, NetError> {
+        let req = iface.encoded_len() + 8;
+        let iface = iface.clone();
+        let out = env.call(
+            from,
+            self.service,
+            ProtocolStack::Tcp,
+            req,
+            move |_env, lus: &mut LookupService| {
+                let uuids = lus.interface_uuids(&iface);
+                let resp = (uuids.len() * 16).max(8);
+                (uuids, resp)
+            },
+        );
+        if out.is_ok() && env.hb_enabled() {
             env.hb_read(from, &hb_items_key(self.host));
         }
         out
@@ -947,6 +1034,91 @@ mod tests {
             l.register(env, sensor_item("Neem", lab, 1), None);
         })
         .unwrap();
+    }
+
+    #[test]
+    fn interface_uuids_shares_one_allocation_until_invalidated() {
+        let (mut env, lab, client, lus) = setup();
+        let reg_a = lus
+            .register(&mut env, client, sensor_item("A", lab, 1), None)
+            .unwrap();
+        let iface: InterfaceId = interfaces::SENSOR_DATA_ACCESSOR.into();
+        let first = lus
+            .lookup_interface_uuids(&mut env, client, &iface)
+            .unwrap();
+        let again = lus
+            .lookup_interface_uuids(&mut env, client, &iface)
+            .unwrap();
+        assert_eq!(first.len(), 1);
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "repeat queries share the memoized slice"
+        );
+
+        // A registration touching the interface invalidates the cache.
+        let reg_b = lus
+            .register(&mut env, client, sensor_item("B", lab, 2), None)
+            .unwrap();
+        let grown = lus
+            .lookup_interface_uuids(&mut env, client, &iface)
+            .unwrap();
+        assert_eq!(grown.len(), 2);
+        assert!(!Arc::ptr_eq(&first, &grown));
+        let mut expect = vec![reg_a.uuid, reg_b.uuid];
+        expect.sort_unstable();
+        assert_eq!(grown.as_ref(), expect.as_slice(), "uuid order preserved");
+
+        // Departure (cancel) also invalidates; unknown interfaces are an
+        // empty shared slice, not an error.
+        lus.cancel(&mut env, client, reg_a.lease.id)
+            .unwrap()
+            .unwrap();
+        let shrunk = lus
+            .lookup_interface_uuids(&mut env, client, &iface)
+            .unwrap();
+        assert_eq!(shrunk.as_ref(), &[reg_b.uuid]);
+        let none = lus
+            .lookup_interface_uuids(&mut env, client, &InterfaceId::new("NoSuch"))
+            .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn interface_uuids_cache_survives_unrelated_churn_and_expiry() {
+        let (mut env, lab, client, lus) = setup();
+        lus.register(&mut env, client, sensor_item("A", lab, 1), None)
+            .unwrap();
+        let iface: InterfaceId = interfaces::SENSOR_DATA_ACCESSOR.into();
+        let first = lus
+            .lookup_interface_uuids(&mut env, client, &iface)
+            .unwrap();
+        // Churn on a different interface must not invalidate this slice.
+        let other = ServiceItem::new(
+            SvcUuid::NIL,
+            lab,
+            ServiceId(7),
+            vec![interfaces::CYBERNODE.into()],
+            vec![Entry::Name("node".into())],
+        );
+        lus.register(&mut env, client, other, None).unwrap();
+        let again = lus
+            .lookup_interface_uuids(&mut env, client, &iface)
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+
+        // Lease expiry (reaper-driven removal) must invalidate.
+        lus.register(
+            &mut env,
+            client,
+            sensor_item("Fleeting", lab, 8),
+            Some(SimDuration::from_secs(2)),
+        )
+        .unwrap();
+        env.run_for(SimDuration::from_secs(4));
+        let after = lus
+            .lookup_interface_uuids(&mut env, client, &iface)
+            .unwrap();
+        assert_eq!(after.len(), 1, "expired registration dropped");
     }
 
     #[test]

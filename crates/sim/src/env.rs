@@ -23,17 +23,18 @@
 
 use std::any::Any;
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use sensorcer_runtime::ThreadPool;
 use sensorcer_trace::{FieldValue, FlightRecorder, Outcome, SpanId};
 
 use crate::hb::{HbTracker, HbViolation};
 use crate::metrics::{keys, Metrics};
 use crate::rng::SimRng;
+use crate::shard::{ShardStats, ShardedQueue, TimerCallback, TimerKey};
 use crate::time::{SimDuration, SimTime};
-use crate::topology::{HostId, HostKind, NetError, Topology};
+use crate::topology::{HostId, HostKind, NetError, SubnetId, Topology};
 use crate::wire::ProtocolStack;
 
 /// Identifier of a deployed service object.
@@ -82,31 +83,6 @@ struct ServiceSlot {
     obj: Rc<RefCell<dyn Any>>,
 }
 
-struct TimerEntry {
-    at: SimTime,
-    seq: u64,
-    id: TimerId,
-    callback: Box<dyn FnOnce(&mut Env)>,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Earlier deadline first; FIFO among equal deadlines via `seq`.
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// Handle to a repeating timer; dropping it does *not* cancel the timer,
 /// call [`RepeatHandle::cancel`] explicitly.
 #[derive(Clone, Debug)]
@@ -148,9 +124,20 @@ pub struct Env {
     pub metrics: Metrics,
     clock: SimTime,
     rng: SimRng,
-    timers: BinaryHeap<Reverse<TimerEntry>>,
+    /// The timer store: one heap when sequential, per-subnet shards once
+    /// [`Env::enable_sharding`] splits it. All access goes through the
+    /// shard API — `peek`/`pop` are global-minimum over every shard, so
+    /// firing order is identical either way.
+    timer_queue: ShardedQueue,
     cancelled: std::collections::HashSet<TimerId>,
     next_timer_seq: u64,
+    /// Subnet affinity of the currently-executing timer; timers scheduled
+    /// from inside a callback inherit it, so per-mote activity (renewal
+    /// chains, sampling loops) stays pinned to the mote's shard.
+    active_hint: SubnetId,
+    /// Worker pool for window-edge key migration in sharded mode; absent
+    /// means migration is serial (still correct, just unbatched).
+    pool: Option<ThreadPool>,
     services: BTreeMap<ServiceId, ServiceSlot>,
     next_service: u64,
     /// Optional debug-trace sink: receives timestamped one-line messages
@@ -182,9 +169,11 @@ impl Env {
             topo: Topology::new(),
             metrics: Metrics::new(),
             clock: SimTime::ZERO,
-            timers: BinaryHeap::new(),
+            timer_queue: ShardedQueue::new(),
             cancelled: std::collections::HashSet::new(),
             next_timer_seq: 0,
+            active_hint: SubnetId(0),
+            pool: None,
             services: BTreeMap::new(),
             next_service: 0,
             debug_sink: None,
@@ -802,19 +791,51 @@ impl Env {
     // Timers
     // ------------------------------------------------------------------
 
-    /// Schedule `f` to run at absolute time `at` (clamped to now).
+    /// Schedule `f` to run at absolute time `at` (clamped to now). The
+    /// timer inherits the subnet affinity of whatever timer is currently
+    /// executing (the root context is subnet 0); use
+    /// [`Env::schedule_at_on`] to pin it to a host's subnet explicitly.
     pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Env) + 'static) -> TimerId {
+        let hint = self.active_hint;
+        self.schedule_at_hinted(at, hint, f)
+    }
+
+    /// Schedule `f` at absolute time `at` with the subnet affinity of
+    /// `host` — the entry point used when deploying per-subnet activity,
+    /// so the timer (and everything it transitively schedules) lands on
+    /// that subnet's shard.
+    pub fn schedule_at_on(
+        &mut self,
+        host: HostId,
+        at: SimTime,
+        f: impl FnOnce(&mut Env) + 'static,
+    ) -> TimerId {
+        let hint = self.topo.subnet_of(host);
+        self.schedule_at_hinted(at, hint, f)
+    }
+
+    /// Schedule `f` to run `after` from now on `host`'s subnet shard.
+    pub fn schedule_on(
+        &mut self,
+        host: HostId,
+        after: SimDuration,
+        f: impl FnOnce(&mut Env) + 'static,
+    ) -> TimerId {
+        let at = self.clock + after;
+        self.schedule_at_on(host, at, f)
+    }
+
+    fn schedule_at_hinted(
+        &mut self,
+        at: SimTime,
+        hint: SubnetId,
+        f: impl FnOnce(&mut Env) + 'static,
+    ) -> TimerId {
         let seq = self.next_timer_seq;
         self.next_timer_seq += 1;
-        let id = TimerId(seq);
         let at = at.max(self.clock);
-        self.timers.push(Reverse(TimerEntry {
-            at,
-            seq,
-            id,
-            callback: Box::new(f),
-        }));
-        id
+        self.timer_queue.push(at, seq, hint, Box::new(f));
+        TimerId(seq)
     }
 
     /// Schedule `f` to run `after` from now.
@@ -869,10 +890,49 @@ impl Env {
 
     /// Number of pending (non-cancelled) timers.
     pub fn pending_timers(&self) -> usize {
-        self.timers
+        let dead = self
+            .cancelled
             .iter()
-            .filter(|Reverse(t)| !self.cancelled.contains(&t.id))
-            .count()
+            .filter(|id| self.timer_queue.contains(id.0))
+            .count();
+        self.timer_queue.len() - dead
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded execution
+    // ------------------------------------------------------------------
+
+    /// Split the timer queue into `shards` per-subnet shards (see
+    /// [`crate::shard`]). `run_until` switches to the conservative
+    /// time-window protocol: shards synchronize at window edges bounded
+    /// by the minimum cross-subnet link latency, and execution stays
+    /// bit-identical to the sequential engine for a given seed. Safe to
+    /// call mid-run; pending timers are redistributed by subnet.
+    pub fn enable_sharding(&mut self, shards: usize) {
+        self.timer_queue.set_shard_count(shards.max(1));
+    }
+
+    /// Collapse back to the single sequential heap.
+    pub fn disable_sharding(&mut self) {
+        self.timer_queue.set_shard_count(1);
+    }
+
+    /// Whether the timer queue is currently sharded.
+    pub fn is_sharded(&self) -> bool {
+        self.timer_queue.is_sharded()
+    }
+
+    /// Install a worker pool used to parallelize window-edge key
+    /// migration across shards. Optional: without it, sharded runs
+    /// migrate serially (identical results, no thread fan-out).
+    pub fn set_worker_pool(&mut self, pool: ThreadPool) {
+        self.pool = Some(pool);
+    }
+
+    /// Cumulative shard-sync counters (windows opened, keys migrated,
+    /// parallel migrations) for overhead reporting.
+    pub fn shard_stats(&self) -> ShardStats {
+        self.timer_queue.stats()
     }
 
     /// Install a schedule oracle: whenever ≥2 timers are co-scheduled at
@@ -896,15 +956,16 @@ impl Env {
         if self.tie_chooser.is_some() {
             return self.step_chosen();
         }
-        while let Some(Reverse(entry)) = self.timers.pop() {
-            if self.cancelled.remove(&entry.id) {
+        while let Some((key, callback)) = self.timer_queue.pop() {
+            if self.cancelled.remove(&TimerId(key.seq)) {
                 continue;
             }
             // Synchronous-call DES: handlers can push the clock past later
             // deadlines, in which case those fire "late" at the current
             // clock — never earlier than their scheduled time.
-            self.clock = self.clock.max(entry.at);
-            (entry.callback)(self);
+            self.clock = self.clock.max(key.at);
+            self.active_hint = key.hint;
+            callback(self);
             return true;
         }
         false
@@ -916,12 +977,12 @@ impl Env {
     /// Only one timer fires per step, so timers the fired handler
     /// co-schedules at the same instant join the next choice point.
     fn step_chosen(&mut self) -> bool {
-        let mut due: Vec<TimerEntry> = Vec::new();
+        let mut due: Vec<(TimerKey, TimerCallback)> = Vec::new();
         let mut min_at: Option<SimTime> = None;
-        while let Some(Reverse(head)) = self.timers.peek() {
-            if self.cancelled.contains(&head.id) {
-                if let Some(Reverse(e)) = self.timers.pop() {
-                    self.cancelled.remove(&e.id);
+        while let Some(head) = self.timer_queue.peek() {
+            if self.cancelled.contains(&TimerId(head.seq)) {
+                if let Some((k, _)) = self.timer_queue.pop() {
+                    self.cancelled.remove(&TimerId(k.seq));
                 }
                 continue;
             }
@@ -930,8 +991,8 @@ impl Env {
                 Some(t) if head.at == t => {}
                 Some(_) => break,
             }
-            match self.timers.pop() {
-                Some(Reverse(e)) => due.push(e),
+            match self.timer_queue.pop() {
+                Some(e) => due.push(e),
                 None => break,
             }
         }
@@ -947,23 +1008,67 @@ impl Env {
                 None => 0,
             }
         };
-        let entry = due.remove(pick);
-        for rest in due {
-            self.timers.push(Reverse(rest));
+        let (key, callback) = due.remove(pick);
+        for (rest_key, rest_cb) in due {
+            self.timer_queue.unpop(rest_key, rest_cb);
         }
-        self.clock = self.clock.max(entry.at);
-        (entry.callback)(self);
+        self.clock = self.clock.max(key.at);
+        self.active_hint = key.hint;
+        callback(self);
         true
     }
 
-    /// Process every timer due up to `t`, then set the clock to at least `t`.
+    /// Process every timer due up to `t`, then set the clock to at least
+    /// `t`. With sharding enabled this runs the conservative time-window
+    /// protocol (see [`Env::run_until_windowed`]); the set and order of
+    /// timers fired is identical either way.
     pub fn run_until(&mut self, t: SimTime) {
+        if self.timer_queue.is_sharded() {
+            self.run_until_windowed(t);
+            return;
+        }
         loop {
-            let due = matches!(self.timers.peek(), Some(Reverse(e)) if e.at <= t);
+            let due = self.timer_queue.peek().is_some_and(|k| k.at <= t);
             if !due {
                 break;
             }
             self.step();
+        }
+        self.clock = self.clock.max(t);
+    }
+
+    /// The conservative time-window protocol: find the earliest pending
+    /// deadline `t₀`, open a window `[t₀, min(t₀ + lookahead, t)]` where
+    /// the lookahead is the minimum cross-subnet link latency from the
+    /// topology (no cross-subnet influence can arrive sooner), migrate
+    /// every due key from the shard heaps into the merged hot heap — in
+    /// parallel on the worker pool when the backlog is large — then drain
+    /// the window in global (deadline, seq) order. The window edge is the
+    /// barrier at which all shards resynchronize.
+    ///
+    /// Because `pop` is always the global minimum and every timer keeps
+    /// the sequence number the sequential engine would have assigned,
+    /// the firing order is bit-identical to the sequential engine; the
+    /// window only controls how often shard heaps synchronize.
+    fn run_until_windowed(&mut self, t: SimTime) {
+        let lookahead = self
+            .topo
+            .min_cross_subnet_latency()
+            .unwrap_or(SimDuration::from_millis(1));
+        while let Some(next) = self.timer_queue.peek() {
+            if next.at > t {
+                break;
+            }
+            let horizon = (next.at + lookahead).min(t);
+            // The pool leaves `self` for the call so the queue can borrow
+            // it while `self` is mutably borrowed.
+            let pool = self.pool.take();
+            self.timer_queue.open_window(horizon, pool.as_ref());
+            self.pool = pool;
+            while self.timer_queue.peek().is_some_and(|k| k.at <= horizon) {
+                self.step();
+            }
+            self.timer_queue.close_window();
         }
         self.clock = self.clock.max(t);
     }
@@ -977,8 +1082,8 @@ impl Env {
     /// Run until no timers remain or the clock passes `limit`.
     pub fn run_until_idle(&mut self, limit: SimTime) {
         while self.clock < limit {
-            let next_at = match self.timers.peek() {
-                Some(Reverse(e)) => e.at,
+            let next_at = match self.timer_queue.peek() {
+                Some(k) => k.at,
                 None => break,
             };
             if next_at > limit {
@@ -986,7 +1091,7 @@ impl Env {
             }
             self.step();
         }
-        if self.clock < limit && self.timers.is_empty() {
+        if self.clock < limit && self.timer_queue.is_empty() {
             // Nothing left to do; stay at the current instant.
         }
     }
@@ -1019,7 +1124,8 @@ impl std::fmt::Debug for Env {
             .field("now", &self.clock)
             .field("hosts", &self.topo.host_count())
             .field("services", &self.services.len())
-            .field("pending_timers", &self.timers.len())
+            .field("pending_timers", &self.timer_queue.len())
+            .field("shards", &self.timer_queue.shard_count())
             .finish()
     }
 }
@@ -1526,6 +1632,119 @@ mod tests {
         );
         let spans: Vec<_> = rec.spans().collect();
         assert!(spans[0].has_event("lifecycle"));
+    }
+
+    /// Build a 3-subnet world with cross-scheduling timer chains and log
+    /// every firing as (time, tag); used to pin sharded ≡ sequential.
+    fn run_firing_log(shards: Option<usize>, pool: bool) -> (Vec<(u64, u32)>, Env) {
+        let mut env = Env::with_seed(42);
+        let mut hosts = Vec::new();
+        for i in 0..6u32 {
+            let h = env.add_host(format!("m{i}"), HostKind::SensorMote);
+            env.topo.set_subnet(h, SubnetId(i % 3));
+            hosts.push(h);
+        }
+        // A non-mote pair in different subnets drops the cross-subnet
+        // lookahead to the LAN latency — the tighter window case.
+        let s0 = env.add_host("gw0", HostKind::Server);
+        let s1 = env.add_host("gw1", HostKind::Server);
+        env.topo.set_subnet(s0, SubnetId(0));
+        env.topo.set_subnet(s1, SubnetId(1));
+        if let Some(n) = shards {
+            env.enable_sharding(n);
+            if pool {
+                env.set_worker_pool(ThreadPool::new(2));
+            }
+        }
+        let log: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(vec![]));
+        for (i, &h) in hosts.iter().enumerate() {
+            let log = Rc::clone(&log);
+            let peer = hosts[(i + 1) % hosts.len()];
+            env.schedule_on(
+                h,
+                SimDuration::from_millis(1 + i as u64),
+                move |env: &mut Env| {
+                    log.borrow_mut().push((env.now().as_nanos(), i as u32));
+                    // Cross-subnet reschedule: lands on the peer's shard
+                    // and must still fire in global order.
+                    let log2 = Rc::clone(&log);
+                    env.schedule_on(peer, SimDuration::from_millis(2), move |env: &mut Env| {
+                        log2.borrow_mut()
+                            .push((env.now().as_nanos(), 100 + i as u32));
+                    });
+                },
+            );
+        }
+        // Equal-deadline cluster across subnets exercises FIFO ties.
+        for (i, &h) in hosts.iter().enumerate() {
+            let log = Rc::clone(&log);
+            env.schedule_on(h, SimDuration::from_millis(10), move |env: &mut Env| {
+                log.borrow_mut()
+                    .push((env.now().as_nanos(), 200 + i as u32));
+            });
+        }
+        env.run_for(SimDuration::from_millis(50));
+        let out = log.borrow().clone();
+        (out, env)
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_sequential() {
+        let (seq_log, _) = run_firing_log(None, false);
+        for shards in [2usize, 3, 8] {
+            let (shard_log, env) = run_firing_log(Some(shards), false);
+            assert_eq!(shard_log, seq_log, "{shards}-shard run diverged");
+            assert!(env.shard_stats().windows > 0, "windows actually opened");
+        }
+        let (pooled_log, _) = run_firing_log(Some(3), true);
+        assert_eq!(pooled_log, seq_log, "pooled migration diverged");
+    }
+
+    #[test]
+    fn sharding_mid_run_redistributes_and_preserves_order() {
+        let mut env = Env::with_seed(7);
+        let a = env.add_host("a", HostKind::SensorMote);
+        let b = env.add_host("b", HostKind::SensorMote);
+        env.topo.set_subnet(b, SubnetId(1));
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(vec![]));
+        for (i, &h) in [a, b, a, b].iter().enumerate() {
+            let log = Rc::clone(&log);
+            env.schedule_on(h, SimDuration::from_millis(i as u64 + 1), move |_env| {
+                log.borrow_mut().push(i as u32);
+            });
+        }
+        env.run_for(SimDuration::from_millis(1));
+        env.enable_sharding(2);
+        assert!(env.is_sharded());
+        assert_eq!(env.pending_timers(), 3);
+        env.run_for(SimDuration::from_millis(10));
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3]);
+        env.disable_sharding();
+        assert!(!env.is_sharded());
+    }
+
+    #[test]
+    fn tie_chooser_sees_cross_shard_due_sets() {
+        let mut env = Env::with_seed(2);
+        let mut hosts = Vec::new();
+        for i in 0..3u32 {
+            let h = env.add_host(format!("m{i}"), HostKind::SensorMote);
+            env.topo.set_subnet(h, SubnetId(i));
+            hosts.push(h);
+        }
+        env.enable_sharding(3);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(vec![]));
+        for (tag, &h) in hosts.iter().enumerate() {
+            let log = Rc::clone(&log);
+            env.schedule_on(h, SimDuration::from_millis(10), move |_env| {
+                log.borrow_mut().push(tag as u32);
+            });
+        }
+        // Reverse-FIFO oracle must see all 3 equal-deadline timers even
+        // though they live on 3 different shards.
+        env.set_tie_chooser(|k| k - 1);
+        env.run_for(SimDuration::from_millis(10));
+        assert_eq!(*log.borrow(), vec![2, 1, 0]);
     }
 
     #[test]

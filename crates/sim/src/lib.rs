@@ -46,6 +46,7 @@ pub mod env;
 pub mod hb;
 pub mod metrics;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod topology;
 pub mod wire;
@@ -65,8 +66,9 @@ pub mod prelude {
     pub use crate::hb::{HbTracker, HbViolation, VectorClock};
     pub use crate::metrics::{keys as metric_keys, Metrics, Summary};
     pub use crate::rng::SimRng;
+    pub use crate::shard::ShardStats;
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::topology::{Host, HostId, HostKind, LinkModel, NetError, Topology};
+    pub use crate::topology::{Host, HostId, HostKind, LinkModel, NetError, SubnetId, Topology};
     pub use crate::wire::{ProtocolStack, WireDecode, WireEncode, WireError};
 }
 

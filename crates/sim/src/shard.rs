@@ -1,0 +1,381 @@
+//! Per-subnet event shards for the timer queue.
+//!
+//! The sequential engine keeps one global `BinaryHeap` of timers ordered
+//! by `(deadline, seq)`. At 10⁵ motes that heap is both the memory and
+//! the synchronization bottleneck, so [`ShardedQueue`] splits the *keys*
+//! (deadline + sequence number + subnet hint) into one min-heap per
+//! subnet shard, while the callbacks — `Box<dyn FnOnce(&mut Env)>`
+//! closures over `Rc`-shared service objects, which can never leave the
+//! coordinating thread — stay in a seq-keyed side table.
+//!
+//! ## The conservative time-window protocol
+//!
+//! `Env::run_until` in sharded mode executes *windows*: it finds the
+//! earliest pending deadline `t₀`, opens a window `[t₀, t₀ + lookahead]`
+//! where the lookahead is the minimum cross-subnet link latency from
+//! [`crate::topology::Topology::min_cross_subnet_latency`] (no
+//! cross-subnet influence can arrive sooner than that), and migrates
+//! every due key from the shard heaps into a merged `hot` heap — the only
+//! part that parallelizes, via [`sensorcer_runtime::ThreadPool::par_map`]
+//! over the `Send` key heaps. The window edge is the barrier: all shards
+//! synchronize before the next window opens.
+//!
+//! ## Determinism
+//!
+//! Execution order is **bit-identical to the sequential engine**: every
+//! timer carries the globally monotone sequence number the sequential
+//! engine would have given it, keys are totally ordered by
+//! `(deadline, seq)` (the shard id rides along for bookkeeping only — seq
+//! is already unique), and callbacks always run on the coordinating
+//! thread in that merged order. The window is therefore a *batching*
+//! lever: it bounds how often shard heaps synchronize, not which order
+//! events fire in, so DPOR schedule exploration and the happens-before
+//! checks from `sensorcer-verify` hold unchanged, and the parallel key
+//! migration cannot perturb a single result byte.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::env::Env;
+use crate::time::SimTime;
+use crate::topology::SubnetId;
+
+/// A scheduled callback. Not `Send` (it closes over `Rc`-shared service
+/// state), which is why only keys shard across threads.
+pub(crate) type TimerCallback = Box<dyn FnOnce(&mut Env)>;
+
+/// The `Send` part of a pending timer. Ordered by `(at, seq)` — exactly
+/// the sequential engine's deadline-then-FIFO order; `seq` is globally
+/// unique so the order is total and the subnet hint never influences it.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TimerKey {
+    pub at: SimTime,
+    pub seq: u64,
+    /// Subnet affinity at scheduling time; selects the shard heap.
+    pub hint: SubnetId,
+}
+
+impl PartialEq for TimerKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerKey {}
+impl PartialOrd for TimerKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Cumulative counters for honest shard-sync overhead reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Windows opened (each one is a full shard barrier).
+    pub windows: u64,
+    /// Keys migrated shard-heap → hot-heap across all windows.
+    pub keys_migrated: u64,
+    /// Windows whose key migration ran on the worker pool.
+    pub parallel_windows: u64,
+}
+
+/// Don't bother fanning a window's key migration out to worker threads
+/// unless at least this many keys are pending across all shards — below
+/// it the wake/steal round-trip costs more than the heap pops it saves.
+const PARALLEL_MIGRATION_THRESHOLD: usize = 4096;
+
+/// The sharded timer store. One per [`Env`]; starts with a single shard
+/// (the sequential engine, same heap discipline as before) until
+/// `Env::enable_sharding` splits it per subnet.
+pub(crate) struct ShardedQueue {
+    /// Per-shard min-heaps of timer keys; a key lives in
+    /// `shards[hint % shards.len()]` while outside the hot window.
+    shards: Vec<BinaryHeap<Reverse<TimerKey>>>,
+    /// The merged execution heap for the open window. Always participates
+    /// in `peek`/`pop`, so keys parked here between windows (e.g. after a
+    /// nested `run_until` widened the window) still fire in order.
+    hot: BinaryHeap<Reverse<TimerKey>>,
+    /// Upper edge of the open window; new keys at or below it go straight
+    /// into `hot` (they would fire inside this window sequentially too).
+    horizon: Option<SimTime>,
+    /// seq → callback for every pending timer, popped exactly once.
+    callbacks: HashMap<u64, TimerCallback>,
+    stats: ShardStats,
+}
+
+impl ShardedQueue {
+    pub fn new() -> ShardedQueue {
+        ShardedQueue {
+            shards: vec![BinaryHeap::new()],
+            hot: BinaryHeap::new(),
+            horizon: None,
+            callbacks: HashMap::new(),
+            stats: ShardStats::default(),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn is_sharded(&self) -> bool {
+        self.shards.len() > 1
+    }
+
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// Number of pending callbacks (cancelled-but-unfired ones included —
+    /// the caller nets those out, it owns the cancelled set).
+    pub fn len(&self) -> usize {
+        self.callbacks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.callbacks.is_empty()
+    }
+
+    /// Whether `seq` is still pending.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.callbacks.contains_key(&seq)
+    }
+
+    /// Re-shard to `n` heaps, redistributing every pending key by its
+    /// subnet hint. O(pending); called once at `enable_sharding`.
+    pub fn set_shard_count(&mut self, n: usize) {
+        let n = n.max(1);
+        let mut keys: Vec<TimerKey> = Vec::with_capacity(self.callbacks.len());
+        for heap in &mut self.shards {
+            keys.extend(heap.drain().map(|Reverse(k)| k));
+        }
+        keys.extend(self.hot.drain().map(|Reverse(k)| k));
+        self.shards = (0..n).map(|_| BinaryHeap::new()).collect();
+        for k in keys {
+            self.push_key(k);
+        }
+    }
+
+    fn shard_index(&self, hint: SubnetId) -> usize {
+        hint.0 as usize % self.shards.len()
+    }
+
+    fn push_key(&mut self, k: TimerKey) {
+        if self.horizon.is_some_and(|h| k.at <= h) {
+            self.hot.push(Reverse(k));
+        } else {
+            let i = self.shard_index(k.hint);
+            self.shards[i].push(Reverse(k));
+        }
+    }
+
+    /// Add a timer. `seq` must be fresh (globally monotone).
+    pub fn push(&mut self, at: SimTime, seq: u64, hint: SubnetId, cb: TimerCallback) {
+        self.callbacks.insert(seq, cb);
+        self.push_key(TimerKey { at, seq, hint });
+    }
+
+    /// Put back a key+callback popped but not executed (the tie-chooser
+    /// path gathers a due set and returns the losers).
+    pub fn unpop(&mut self, k: TimerKey, cb: TimerCallback) {
+        self.callbacks.insert(k.seq, cb);
+        self.push_key(k);
+    }
+
+    /// The globally minimal pending key, across hot and every shard.
+    pub fn peek(&self) -> Option<TimerKey> {
+        let mut best: Option<TimerKey> = self.hot.peek().map(|Reverse(k)| *k);
+        for heap in &self.shards {
+            if let Some(Reverse(k)) = heap.peek() {
+                match best {
+                    Some(b) if b <= *k => {}
+                    _ => best = Some(*k),
+                }
+            }
+        }
+        best
+    }
+
+    /// Pop the globally minimal pending timer.
+    pub fn pop(&mut self) -> Option<(TimerKey, TimerCallback)> {
+        let best = self.peek()?;
+        let from_hot = self.hot.peek().is_some_and(|Reverse(k)| *k == best);
+        let k = if from_hot {
+            // lint:allow(unwrap): peeked non-empty on the line above
+            self.hot.pop().expect("hot head peeked").0
+        } else {
+            let i = self.shard_index(best.hint);
+            // lint:allow(unwrap): `best` was peeked from this shard heap
+            self.shards[i].pop().expect("shard head peeked").0
+        };
+        let cb = self
+            .callbacks
+            .remove(&k.seq)
+            // lint:allow(unwrap): every key in a heap has its callback
+            .expect("pending key has a callback");
+        Some((k, cb))
+    }
+
+    /// Open a window: migrate every key with `at <= horizon` from the
+    /// shard heaps into `hot`, then record the horizon so same-window
+    /// newcomers join `hot` directly. The migration fans out to `pool`
+    /// when the backlog is large; the per-shard extractions touch only
+    /// `Send` keys and merge into one heap afterwards, so parallel and
+    /// serial migration are indistinguishable to the simulation.
+    pub fn open_window(&mut self, horizon: SimTime, pool: Option<&sensorcer_runtime::ThreadPool>) {
+        self.stats.windows += 1;
+        let pending: usize = self.shards.iter().map(BinaryHeap::len).sum();
+        let migrated: usize;
+        match pool {
+            Some(pool) if self.is_sharded() && pending >= PARALLEL_MIGRATION_THRESHOLD => {
+                self.stats.parallel_windows += 1;
+                let heaps: Vec<BinaryHeap<Reverse<TimerKey>>> =
+                    self.shards.iter_mut().map(std::mem::take).collect();
+                let done = pool.par_map(heaps, |mut heap| {
+                    let mut due = Vec::new();
+                    while heap.peek().is_some_and(|Reverse(k)| k.at <= horizon) {
+                        // lint:allow(unwrap): peeked non-empty on the line above
+                        due.push(heap.pop().expect("head peeked").0);
+                    }
+                    (heap, due)
+                });
+                let mut total = 0usize;
+                for (i, (heap, due)) in done.into_iter().enumerate() {
+                    self.shards[i] = heap;
+                    total += due.len();
+                    self.hot.extend(due.into_iter().map(Reverse));
+                }
+                migrated = total;
+            }
+            _ => {
+                let mut total = 0usize;
+                for heap in &mut self.shards {
+                    while heap.peek().is_some_and(|Reverse(k)| k.at <= horizon) {
+                        // lint:allow(unwrap): peeked non-empty on the line above
+                        self.hot.push(Reverse(heap.pop().expect("head peeked").0));
+                        total += 1;
+                    }
+                }
+                migrated = total;
+            }
+        }
+        self.stats.keys_migrated += migrated as u64;
+        // A nested run_until may have opened a wider window; never shrink
+        // it — keys already in hot were admitted against the wider edge.
+        self.horizon = Some(self.horizon.map_or(horizon, |h| h.max(horizon)));
+    }
+
+    /// Close the window (the barrier edge). Keys a nested, wider window
+    /// parked in `hot` simply stay there; `peek`/`pop` order is global so
+    /// they still fire at the right instant.
+    pub fn close_window(&mut self) {
+        self.horizon = None;
+    }
+}
+
+impl std::fmt::Debug for ShardedQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedQueue")
+            .field("shards", &self.shards.len())
+            .field("pending", &self.callbacks.len())
+            .field("hot", &self.hot.len())
+            .field("horizon", &self.horizon)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn nop() -> TimerCallback {
+        Box::new(|_env| {})
+    }
+
+    #[test]
+    fn pop_order_is_global_deadline_then_seq_across_shards() {
+        let mut q = ShardedQueue::new();
+        q.set_shard_count(4);
+        q.push(t(30), 0, SubnetId(3), nop());
+        q.push(t(10), 1, SubnetId(1), nop());
+        q.push(t(10), 2, SubnetId(2), nop());
+        q.push(t(20), 3, SubnetId(0), nop());
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(k, _)| k.seq)).collect();
+        assert_eq!(order, vec![1, 2, 3, 0]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn window_migration_preserves_order_and_counts_stats() {
+        let mut q = ShardedQueue::new();
+        q.set_shard_count(2);
+        for seq in 0..10u64 {
+            q.push(t(seq), seq, SubnetId(seq as u32), nop());
+        }
+        q.open_window(t(4), None);
+        assert_eq!(q.stats().windows, 1);
+        assert_eq!(q.stats().keys_migrated, 5);
+        // A key scheduled inside the open window joins the merge directly
+        // and still fires in global (deadline, seq) order; one past the
+        // horizon parks in its shard heap untouched.
+        q.push(t(3), 100, SubnetId(1), nop());
+        q.push(t(50), 101, SubnetId(1), nop());
+        let mut seqs = Vec::new();
+        while q.peek().is_some_and(|k| k.at <= t(4)) {
+            // lint:allow(unwrap): peeked non-empty on the line above
+            seqs.push(q.pop().expect("due key").0.seq);
+        }
+        q.close_window();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 100, 4]);
+        assert_eq!(q.len(), 6, "5 future keys plus the one past the horizon");
+    }
+
+    #[test]
+    fn parallel_and_serial_migration_agree() {
+        let pool = sensorcer_runtime::ThreadPool::new(4);
+        let build = |shards: usize| {
+            let mut q = ShardedQueue::new();
+            q.set_shard_count(shards);
+            for seq in 0..(2 * PARALLEL_MIGRATION_THRESHOLD as u64) {
+                q.push(t(seq % 97), seq, SubnetId(seq as u32 % 8), nop());
+            }
+            q
+        };
+        let drain = |mut q: ShardedQueue| {
+            let mut seqs = Vec::new();
+            while let Some((k, _)) = q.pop() {
+                seqs.push((k.at, k.seq));
+            }
+            seqs
+        };
+        let mut par = build(8);
+        par.open_window(t(96), Some(&pool));
+        assert_eq!(par.stats().parallel_windows, 1);
+        let mut ser = build(8);
+        ser.open_window(t(96), None);
+        assert_eq!(ser.stats().parallel_windows, 0);
+        assert_eq!(drain(par), drain(ser));
+    }
+
+    #[test]
+    fn reshard_redistributes_without_losing_keys() {
+        let mut q = ShardedQueue::new();
+        for seq in 0..100u64 {
+            q.push(t(seq), seq, SubnetId(seq as u32 % 16), nop());
+        }
+        q.set_shard_count(8);
+        assert_eq!(q.shard_count(), 8);
+        assert_eq!(q.len(), 100);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(k, _)| k.seq)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -42,6 +42,21 @@ pub struct Host {
     pub alive: bool,
     /// Multicast groups this host participates in (e.g. discovery groups).
     pub groups: BTreeSet<String>,
+    /// Federation subnet this host belongs to. Subnets are the sharding
+    /// unit of both the event engine and the hierarchical registry: hosts
+    /// in the same subnet share an event shard and a per-subnet LUS.
+    /// Defaults to 0 (one flat subnet) until assigned.
+    pub subnet: SubnetId,
+}
+
+/// Identifier of a federation subnet (a CSP-tree leaf domain).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SubnetId(pub u32);
+
+impl std::fmt::Display for SubnetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "subnet{}", self.0)
+    }
 }
 
 /// Link characteristics between a pair of host classes.
@@ -164,8 +179,66 @@ impl Topology {
             kind,
             alive: true,
             groups: BTreeSet::new(),
+            subnet: SubnetId(0),
         });
         id
+    }
+
+    /// Assign a host to a federation subnet (the sharding unit).
+    pub fn set_subnet(&mut self, id: HostId, subnet: SubnetId) {
+        if let Some(h) = self.host_mut(id) {
+            h.subnet = subnet;
+        }
+    }
+
+    /// The subnet a host belongs to (subnet 0 for unknown hosts, so
+    /// callers on the hot path never have to branch on `Option`).
+    pub fn subnet_of(&self, id: HostId) -> SubnetId {
+        self.host(id).map(|h| h.subnet).unwrap_or_default()
+    }
+
+    /// Number of distinct subnets currently assigned.
+    pub fn subnet_count(&self) -> usize {
+        self.hosts
+            .iter()
+            .map(|h| h.subnet)
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// The minimum one-way base latency of any link that crosses subnet
+    /// boundaries — the conservative lookahead bound of the sharded event
+    /// engine: no cross-subnet influence can arrive sooner than this.
+    ///
+    /// Computed in O(hosts + overrides): the kind-based default for a
+    /// cross-subnet pair is LAN unless an endpoint is a mote, so two
+    /// subnets that both hold a non-mote host can talk at LAN latency;
+    /// otherwise every cross-subnet hop is a mote radio hop. Explicit
+    /// per-pair overrides that cross subnets are folded in on top.
+    /// `None` when fewer than two subnets exist (nothing ever crosses).
+    pub fn min_cross_subnet_latency(&self) -> Option<SimDuration> {
+        let mut populated: BTreeSet<SubnetId> = BTreeSet::new();
+        let mut with_non_mote: BTreeSet<SubnetId> = BTreeSet::new();
+        for h in &self.hosts {
+            populated.insert(h.subnet);
+            if h.kind != HostKind::SensorMote {
+                with_non_mote.insert(h.subnet);
+            }
+        }
+        if populated.len() < 2 {
+            return None;
+        }
+        let mut min = if with_non_mote.len() >= 2 {
+            LinkModel::lan().base_latency
+        } else {
+            LinkModel::mote_radio().base_latency
+        };
+        for (&(a, b), link) in &self.link_overrides {
+            if self.subnet_of(a) != self.subnet_of(b) {
+                min = min.min(link.base_latency);
+            }
+        }
+        Some(min)
     }
 
     pub fn host(&self, id: HostId) -> Option<&Host> {
@@ -477,6 +550,49 @@ mod tests {
             "a host is never partitioned from itself"
         );
         assert!(t.check_path(a, a).is_ok());
+    }
+
+    #[test]
+    fn subnet_assignment_defaults_to_zero_and_sticks() {
+        let (mut t, a, b, c) = topo3();
+        assert_eq!(t.subnet_of(a), SubnetId(0));
+        assert_eq!(t.subnet_count(), 1);
+        t.set_subnet(b, SubnetId(2));
+        t.set_subnet(c, SubnetId(1));
+        assert_eq!(t.subnet_of(b), SubnetId(2));
+        assert_eq!(t.subnet_count(), 3);
+        // Unknown hosts fall back to subnet 0 instead of panicking.
+        assert_eq!(t.subnet_of(HostId(99)), SubnetId(0));
+    }
+
+    #[test]
+    fn min_cross_subnet_latency_tracks_kinds_and_overrides() {
+        let (mut t, a, b, c) = topo3();
+        // One subnet: nothing crosses.
+        assert_eq!(t.min_cross_subnet_latency(), None);
+        // Server and workstation in different subnets: LAN is reachable.
+        t.set_subnet(b, SubnetId(1));
+        assert_eq!(
+            t.min_cross_subnet_latency(),
+            Some(LinkModel::lan().base_latency)
+        );
+        // Only the mote in a foreign subnet: every crossing is a radio hop.
+        t.set_subnet(b, SubnetId(0));
+        t.set_subnet(c, SubnetId(1));
+        assert_eq!(
+            t.min_cross_subnet_latency(),
+            Some(LinkModel::mote_radio().base_latency)
+        );
+        // A faster explicit override crossing the boundary lowers the bound.
+        let fast = LinkModel {
+            base_latency: SimDuration::from_micros(50),
+            ..LinkModel::lan()
+        };
+        t.set_link(a, c, fast);
+        assert_eq!(
+            t.min_cross_subnet_latency(),
+            Some(SimDuration::from_micros(50))
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! In-repo source lints for the workspace (`harness lint`).
 //!
-//! Three rules, all scoped to `crates/*/src`:
+//! Four rules, all scoped to `crates/*/src`:
 //!
 //! * `unwrap-outside-tests` — `.unwrap()` / `.expect(` in production
 //!   code. Panicking on a fallible path contradicts the federation's
@@ -15,6 +15,11 @@
 //! * `pub-field-on-state-machine` — `pub` fields on the lifecycle
 //!   state-machine types checked by this crate. Their invariants hold
 //!   only if every mutation goes through their methods.
+//! * `direct-queue-access` — `timer_queue` touched from `sim` code other
+//!   than `env.rs`/`shard.rs`. The sharded engine's determinism rests on
+//!   every push and pop flowing through `Env`'s scheduling API (global
+//!   `(deadline, seq)` order, window migration); shard-local code going
+//!   around it can reorder timers. Allowlist: `lint:allow(queue)`.
 //!
 //! The scanner is deliberately line-based and dependency-free: it
 //! understands `//` comments, brace depth and `#[cfg(test)]` blocks,
@@ -97,6 +102,10 @@ fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<LintFindin
     let mut findings = Vec::new();
     let check_unwrap = !UNWRAP_EXEMPT_CRATES.contains(&crate_name);
     let check_wallclock = !WALLCLOCK_EXEMPT_CRATES.contains(&crate_name);
+    // Only the event engine itself may hold the queue; everything else in
+    // `sim` schedules through `Env`'s API.
+    let check_queue =
+        crate_name == "sim" && !rel_path.ends_with("env.rs") && !rel_path.ends_with("shard.rs");
 
     let mut depth: i32 = 0;
     // Depth at which a `#[cfg(test)] mod` opened; everything inside it is
@@ -151,6 +160,14 @@ fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<LintFindin
                     file: rel_path.to_string(),
                     line: line_no,
                     rule: "wallclock-in-sim",
+                    excerpt: raw.trim().to_string(),
+                });
+            }
+            if check_queue && code.contains("timer_queue") && !allows(raw, prev_raw, "queue") {
+                findings.push(LintFinding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: "direct-queue-access",
                     excerpt: raw.trim().to_string(),
                 });
             }
@@ -317,6 +334,26 @@ mod tests {
         let src = "pub struct Deployment {\n    pub lab: u32,\n}\n";
         assert!(lint_source("core", "x.rs", src).is_empty());
         assert_eq!(lint_source("provision", "x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn direct_queue_access_flagged_outside_engine_files() {
+        let src = "fn f(env: &mut Env) { env.timer_queue.pop(); }\n";
+        let f = lint_source("sim", "crates/sim/src/chaos.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "direct-queue-access");
+        // The engine itself owns the queue.
+        assert!(lint_source("sim", "crates/sim/src/env.rs", src).is_empty());
+        assert!(lint_source("sim", "crates/sim/src/shard.rs", src).is_empty());
+        // Other crates cannot reach the private field; the rule is scoped
+        // to `sim` so unrelated identifiers elsewhere never trip it.
+        assert!(lint_source("core", "crates/core/src/x.rs", src).is_empty());
+        // Comments don't count; a justified access is allowlisted.
+        let doc = "/// peeks `timer_queue` under the hood\nfn f() {}\n";
+        assert!(lint_source("sim", "crates/sim/src/chaos.rs", doc).is_empty());
+        let allowed = "// lint:allow(queue): test-only drain helper\n\
+                       fn f(env: &mut Env) { env.timer_queue.pop(); }\n";
+        assert!(lint_source("sim", "crates/sim/src/chaos.rs", allowed).is_empty());
     }
 
     #[test]

@@ -34,6 +34,14 @@
 #                           the committed numbers come from different
 #                           hardware; same-machine diffs use the tight
 #                           0.35 default.
+#   scripts/ci.sh --scale   tier-1, then the B9 scaling curve on a
+#                           reduced mote sweep (10³ only — the full
+#                           10³/10⁴/10⁵ curve is `harness scale` with no
+#                           SENSORCER_SCALE_MOTES override): shape-checks
+#                           the JSON rows, then diffs against the
+#                           committed BENCH_2.json baseline at the wide
+#                           4.0 cross-hardware threshold (rows only in
+#                           the baseline's larger sweep never fail)
 #
 # Everything runs offline against the vendored workspace; no network,
 # no external tools beyond cargo.
@@ -46,6 +54,7 @@ soak=0
 trace=0
 lint=0
 obs=0
+scale=0
 for arg in "$@"; do
     case "$arg" in
         --smoke) smoke=1 ;;
@@ -53,7 +62,8 @@ for arg in "$@"; do
         --trace) trace=1 ;;
         --lint) lint=1 ;;
         --obs) obs=1 ;;
-        *) echo "usage: scripts/ci.sh [--smoke] [--soak] [--trace] [--lint] [--obs]" >&2; exit 2 ;;
+        --scale) scale=1 ;;
+        *) echo "usage: scripts/ci.sh [--smoke] [--soak] [--trace] [--lint] [--obs] [--scale]" >&2; exit 2 ;;
     esac
 done
 
@@ -140,6 +150,32 @@ if [ "$obs" -eq 1 ]; then
     cargo run --release -p sensorcer-bench --bin harness -- \
         bench-compare BENCH_1.json BENCH_ci.json 4.0
     rm -f BENCH_ci.json
+fi
+
+if [ "$scale" -eq 1 ]; then
+    echo "== B9 scaling curve (reduced sweep, 10^3 motes) =="
+    # 6169865 = 0x5E2509, the harness default seed (the seed positional
+    # is required to reach the output-path positional).
+    SENSORCER_SCALE_MOTES=1000 \
+        cargo run --release -p sensorcer-bench --bin harness -- \
+        scale 6169865 BENCH_scale_ci.json
+    # Shape check: every benchmark family must have produced a row.
+    for needle in '"scale_b9"' 'flat_clone_scan/1000' 'flat_uuid_arc/1000' \
+        'hier_universal_query/1000' 'hier_rare_query/1000' \
+        'engine_timer_churn/1000' 'engine_timer_churn_sharded/1000' '"median_ns"'; do
+        grep -q "$needle" BENCH_scale_ci.json || {
+            echo "BENCH_scale_ci.json missing $needle" >&2
+            exit 1
+        }
+    done
+
+    echo "== scale perf gate vs committed baseline (noise threshold 4.0) =="
+    # Same cross-hardware threshold rationale as the --obs gate; the
+    # baseline's 10^4/10^5 rows have no counterpart in the reduced sweep
+    # and are reported as only-old, never a failure.
+    cargo run --release -p sensorcer-bench --bin harness -- \
+        bench-compare BENCH_2.json BENCH_scale_ci.json 4.0
+    rm -f BENCH_scale_ci.json
 fi
 
 echo "ci: ok"

@@ -1,0 +1,102 @@
+//! Sharded-engine equivalence gate: enabling per-subnet event shards is
+//! a performance lever, never a semantic one. For any seed, a soak run
+//! with sharding on (any shard count) must produce the *bit-identical*
+//! report — every read outcome, retry count and injected fault — and the
+//! bit-identical flight-recorder export, because the sharded queue still
+//! pops timers in global `(deadline, seq)` order; only the window
+//! bookkeeping differs.
+//!
+//! This is the PR-4 determinism story extended to the sharded engine:
+//! the DPOR/happens-before machinery explores schedules *within* the
+//! model, while this gate pins that the engine itself never reorders.
+
+use sensorcer_bench::chaos::{run_soak, run_soak_traced, SoakConfig};
+use sensorcer_bench::trace::TRACE_CAPACITY;
+use sensorcer_sim::chaos::ChaosConfig;
+use sensorcer_sim::prelude::*;
+
+/// Three distinct fault mixes, same spirit as `tests/chaos_soak.rs`.
+const SEEDS: [u64; 3] = [1, 42, 0x5E2509];
+
+/// The shard counts under test — including counts that don't divide the
+/// six-mote world evenly.
+const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+
+/// A bounded soak (the default horizon is for CI's soak gate, not a
+/// 12-run equivalence matrix).
+fn quick_cfg(seed: u64) -> SoakConfig {
+    SoakConfig {
+        chaos: ChaosConfig {
+            horizon: SimDuration::from_secs(180),
+            ..Default::default()
+        },
+        tail_reads: 5,
+        ..SoakConfig::new(seed)
+    }
+}
+
+/// The PR-2 chaos storm: aggressive pair-wide outages, recorder on.
+/// Mirrors the storm the trace analytics are validated against.
+fn storm_cfg(seed: u64) -> SoakConfig {
+    SoakConfig {
+        chaos: ChaosConfig {
+            horizon: SimDuration::from_secs(240),
+            period: SimDuration::from_secs(3),
+            partition_prob: 0.35,
+            isolate_prob: 0.30,
+            crash_prob: 0.30,
+            min_outage: SimDuration::from_secs(10),
+            max_outage: SimDuration::from_secs(40),
+            ..Default::default()
+        },
+        tail_reads: 5,
+        trace_capacity: Some(TRACE_CAPACITY),
+        ..SoakConfig::new(seed)
+    }
+}
+
+#[test]
+fn sharded_soak_reports_are_bit_identical_to_sequential() {
+    for seed in SEEDS {
+        let sequential = run_soak(&quick_cfg(seed));
+        assert!(
+            sequential.reads_total > 50,
+            "seed {seed}: soak too short to be a meaningful oracle"
+        );
+        for shards in SHARD_COUNTS {
+            let sharded = run_soak(&SoakConfig {
+                shards: Some(shards),
+                ..quick_cfg(seed)
+            });
+            assert_eq!(
+                sequential, sharded,
+                "seed {seed}, {shards} shards: report diverged from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_storm_trace_export_is_bit_identical() {
+    // The storm config is the hard case: dense fault/heal timer traffic,
+    // retries and failovers interleaving at equal deadlines, with the
+    // flight recorder capturing every span. One byte of reordering in
+    // the engine shows up in the JSON export.
+    let seed = SEEDS[1];
+    let (seq_report, seq_rec) = run_soak_traced(&storm_cfg(seed));
+    let (sh_report, sh_rec) = run_soak_traced(&SoakConfig {
+        shards: Some(4),
+        ..storm_cfg(seed)
+    });
+    assert_eq!(seq_report, sh_report, "storm report diverged under shards");
+    let seq_json = seq_rec.expect("recorder on").to_json();
+    let sh_json = sh_rec.expect("recorder on").to_json();
+    assert_eq!(
+        seq_json, sh_json,
+        "storm trace export diverged under shards"
+    );
+    assert!(
+        seq_report.reads_degraded > 0 || seq_report.reads_failed > 0,
+        "storm produced no degradation — equivalence check proved too little"
+    );
+}
