@@ -26,6 +26,12 @@
 //!   10³/10⁴/10⁵ motes (override the sweep with SENSORCER_SCALE_MOTES),
 //!   flat vs hierarchical registries and sequential vs sharded engine;
 //!   writes BENCH_2.json in the bench-compare JSON format
+//! harness storm [seed] [out.json]
+//!   tenant storm over the admission-controlled façade: a bulk tenant's
+//!   burst is shed with typed rejections while the critical tenant's SLO
+//!   holds, a mid-storm outage walks a circuit breaker through its full
+//!   lifecycle, and the SLO-driven autoscaler steps capacity up and back
+//!   down without flapping; writes STORM_1.json
 //! harness bench-compare <old.json> <new.json> [threshold]
 //!   diff two smoke-bench JSON files; exits nonzero when any benchmark
 //!   regressed beyond the relative noise threshold (default 0.35)
@@ -42,12 +48,13 @@ type SeededRunner = fn(u64, &str) -> Result<String, String>;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: next free BENCH_<n>.json)\n       harness chaos [seed] [out.json]   (default out: {})\n       harness trace [seed] [out.json]   (default out: {})\n       harness verify [seed] [out.json]  (default out: {})\n       harness obs [seed] [out.json]     (default out: {})\n       harness scale [seed] [out.json]   (default out: {})\n       harness bench-compare <old.json> <new.json> [threshold]\n       harness lint",
+        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: next free BENCH_<n>.json)\n       harness chaos [seed] [out.json]   (default out: {})\n       harness trace [seed] [out.json]   (default out: {})\n       harness verify [seed] [out.json]  (default out: {})\n       harness obs [seed] [out.json]     (default out: {})\n       harness scale [seed] [out.json]   (default out: {})\n       harness storm [seed] [out.json]   (default out: {})\n       harness bench-compare <old.json> <new.json> [threshold]\n       harness lint",
         chaos::DEFAULT_OUT,
         trace::DEFAULT_OUT,
         verify::DEFAULT_OUT,
         obs::DEFAULT_OUT,
-        b9_scale::DEFAULT_OUT
+        b9_scale::DEFAULT_OUT,
+        storm::DEFAULT_OUT
     );
     std::process::exit(2);
 }
@@ -190,13 +197,14 @@ fn main() {
         return;
     }
 
-    // `chaos`, `trace`, `verify`, `obs` and `scale` take an optional seed
-    // then an output path.
+    // `chaos`, `trace`, `verify`, `obs`, `scale` and `storm` take an
+    // optional seed then an output path.
     if which == "chaos"
         || which == "trace"
         || which == "verify"
         || which == "obs"
         || which == "scale"
+        || which == "storm"
     {
         let seed = match args.get(1) {
             Some(s) => s.parse().unwrap_or_else(|_| {
@@ -210,6 +218,7 @@ fn main() {
             "trace" => (trace::run, trace::DEFAULT_OUT),
             "obs" => (obs::run, obs::DEFAULT_OUT),
             "scale" => (b9_scale::run, b9_scale::DEFAULT_OUT),
+            "storm" => (storm::run, storm::DEFAULT_OUT),
             _ => (verify::run, verify::DEFAULT_OUT),
         };
         let out = args.get(2).map(String::as_str).unwrap_or(default_out);

@@ -40,6 +40,7 @@ pub mod helpers;
 pub mod microbench;
 pub mod obs;
 pub mod smoke;
+pub mod storm;
 pub mod table;
 pub mod trace;
 pub mod verify;

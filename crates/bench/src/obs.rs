@@ -159,6 +159,10 @@ pub fn runtime_metric_names() -> Vec<String> {
     cfg.trace_capacity = None;
     let mut kc = KeyCollector(Default::default());
     let _ = run_soak_observed(&cfg, Some(&mut kc));
+    // The tenant storm registers the overload-protection families the
+    // soak never touches: admission.*, breaker.*, autoscale.* and the
+    // burst gauges. Audit those under the same rule.
+    kc.0.extend(crate::storm::runtime_metric_names());
     kc.0.into_iter().collect()
 }
 
@@ -538,6 +542,14 @@ mod tests {
         let names = runtime_metric_names();
         assert!(names.iter().any(|n| n == metric_keys::PACKETS));
         assert!(names.iter().any(|n| n == retry::keys::RETRY_ATTEMPTS));
+        // The storm merge brought the overload families under the audit.
+        for key in [
+            sensorcer_core::admission::keys::SHED,
+            sensorcer_core::admission::keys::BREAKER_OPENED,
+            sensorcer_provision::autoscale::keys::ACTIONS_UP,
+        ] {
+            assert!(names.iter().any(|n| n == key), "audit missing {key}");
+        }
     }
 
     #[test]

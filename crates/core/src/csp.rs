@@ -144,6 +144,11 @@ pub struct CompositeSensorProvider {
     /// Retry budget applied to each child dispatch (primary bindings;
     /// the group-fallback hop stays single-shot to bound read latency).
     pub retry: RetryPolicy,
+    /// Per-servicer circuit breakers, consulted before every child
+    /// dispatch (primary, re-bind and failover hops alike): an open
+    /// breaker skips the target instead of burning the retry budget
+    /// against a host that keeps timing out.
+    pub breakers: Option<crate::admission::SharedBreakers>,
     /// Last clean reading per child, for degraded-mode substitution.
     /// Only mutated after the parallel fan-out returns.
     last_good: std::collections::BTreeMap<String, LastGood>,
@@ -169,6 +174,7 @@ impl CompositeSensorProvider {
             binding_cache_enabled: true,
             degradation: DegradationPolicy::Strict,
             retry: RetryPolicy::none(),
+            breakers: None,
             last_good: std::collections::BTreeMap::new(),
             reads_total: 0,
             bindings: std::cell::RefCell::new(std::collections::BTreeMap::new()),
@@ -369,12 +375,14 @@ impl CompositeSensorProvider {
         let cache_enabled = self.binding_cache_enabled;
         let host = self.host;
         let retry = self.retry;
+        let breakers = self.breakers.clone();
         let branches: Vec<Box<dyn FnOnce(&mut Env) -> (Arc<str>, Result<(f64, String, bool), String>) + '_>> =
             self.plans
                 .iter()
                 .map(|plan| {
                     let plan = Arc::clone(plan);
                     let visited = Arc::clone(&visited);
+                    let breakers = breakers.clone();
                     Box::new(move |env: &mut Env| {
                         // One `csp.child` span per fan-out branch; the
                         // dispatch spans and retry events nest under it.
@@ -418,20 +426,34 @@ impl CompositeSensorProvider {
                             None
                         };
                         if let Some(svc) = cached {
-                            match exert_on_retry(env, host, svc, make_task().into(), None, &retry)
+                            if breakers
+                                .as_ref()
+                                .is_some_and(|b| !b.borrow_mut().allow(env, svc))
                             {
-                                Ok(done) => match parse(&done, name) {
-                                    Ok(v) => return Ok(v),
-                                    // Answered but failed (dead transducer,
-                                    // expression error in a nested CSP, ...)
-                                    // — a fresh bind would reach the same
-                                    // provider, so skip straight to the
-                                    // group fallback.
-                                    Err(e) => failure = Some(e),
-                                },
-                                Err(_) => {
-                                    // Stale proxy: drop and re-bind below.
-                                    bindings.borrow_mut().remove(name);
+                                // Breaker open: a fresh bind would reach the
+                                // same tripped provider, so skip straight to
+                                // the group fallback without retrying.
+                                failure = Some(format!("'{name}': breaker open"));
+                            } else {
+                                let res =
+                                    exert_on_retry(env, host, svc, make_task().into(), None, &retry);
+                                if let Some(b) = breakers.as_ref() {
+                                    b.borrow_mut().record(env, svc, res.as_ref().err().copied());
+                                }
+                                match res {
+                                    Ok(done) => match parse(&done, name) {
+                                        Ok(v) => return Ok(v),
+                                        // Answered but failed (dead transducer,
+                                        // expression error in a nested CSP, ...)
+                                        // — a fresh bind would reach the same
+                                        // provider, so skip straight to the
+                                        // group fallback.
+                                        Err(e) => failure = Some(e),
+                                    },
+                                    Err(_) => {
+                                        // Stale proxy: drop and re-bind below.
+                                        bindings.borrow_mut().remove(name);
+                                    }
                                 }
                             }
                         }
@@ -443,20 +465,35 @@ impl CompositeSensorProvider {
                                 Some(name),
                             );
                             match bound {
+                                Some(item)
+                                    if breakers.as_ref().is_some_and(|b| {
+                                        !b.borrow_mut().allow(env, item.service)
+                                    }) =>
+                                {
+                                    failure = Some(format!("'{name}': breaker open"));
+                                }
                                 Some(item) => {
                                     if cache_enabled {
                                         bindings
                                             .borrow_mut()
                                             .insert(name.to_string(), item.service);
                                     }
-                                    match exert_on_retry(
+                                    let res = exert_on_retry(
                                         env,
                                         host,
                                         item.service,
                                         make_task().into(),
                                         None,
                                         &retry,
-                                    ) {
+                                    );
+                                    if let Some(b) = breakers.as_ref() {
+                                        b.borrow_mut().record(
+                                            env,
+                                            item.service,
+                                            res.as_ref().err().copied(),
+                                        );
+                                    }
+                                    match res {
                                         Ok(done) => match parse(&done, name) {
                                             Ok(v) => return Ok(v),
                                             Err(e) => failure = Some(e),
@@ -511,19 +548,36 @@ impl CompositeSensorProvider {
                                 Some(name),
                             );
                             match equivalent {
+                                Some(item)
+                                    if breakers.as_ref().is_some_and(|b| {
+                                        !b.borrow_mut().allow(env, item.service)
+                                    }) =>
+                                {
+                                    failure = Some(format!(
+                                        "{primary}; equivalent breaker open"
+                                    ));
+                                }
                                 Some(item) => {
                                     let eq =
                                         item.name().unwrap_or("equivalent").to_string();
                                     // The failover hop stays single-shot: the
                                     // retry budget was already spent on the
                                     // primary.
-                                    match exert_on(
+                                    let res = exert_on(
                                         env,
                                         host,
                                         item.service,
                                         make_task().into(),
                                         None,
-                                    ) {
+                                    );
+                                    if let Some(b) = breakers.as_ref() {
+                                        b.borrow_mut().record(
+                                            env,
+                                            item.service,
+                                            res.as_ref().err().copied(),
+                                        );
+                                    }
+                                    match res {
                                         Ok(done) => match parse(&done, &eq) {
                                             Ok(v) => {
                                                 env.metrics
@@ -915,6 +969,8 @@ pub struct CspConfig {
     pub degradation: DegradationPolicy,
     /// Retry budget for child dispatches (default: none — fail fast).
     pub retry: RetryPolicy,
+    /// Shared circuit-breaker registry (default: none — never skip).
+    pub breakers: Option<crate::admission::SharedBreakers>,
 }
 
 impl CspConfig {
@@ -929,6 +985,7 @@ impl CspConfig {
             expression: None,
             degradation: DegradationPolicy::Strict,
             retry: RetryPolicy::none(),
+            breakers: None,
         }
     }
 }
@@ -947,6 +1004,7 @@ pub fn deploy_csp(env: &mut Env, config: CspConfig) -> Result<CspHandle, String>
     let mut csp = CompositeSensorProvider::new(config.name.clone(), config.host, accessor);
     csp.degradation = config.degradation;
     csp.retry = config.retry;
+    csp.breakers = config.breakers;
     for child in &config.children {
         csp.add_service(child)?;
     }
@@ -1006,7 +1064,11 @@ mod tests {
     }
 
     fn setup() -> World {
-        let mut env = Env::with_seed(1);
+        setup_seeded(1)
+    }
+
+    fn setup_seeded(seed: u64) -> World {
+        let mut env = Env::with_seed(seed);
         let server = env.add_host("server", HostKind::Server);
         let client = env.add_host("client", HostKind::Workstation);
         let lus = LookupService::deploy(
@@ -1716,6 +1778,100 @@ mod tests {
         w.env.run_for(SimDuration::from_secs(200));
         let err = client::get_value(&mut w.env, w.client, &w.accessor, "K").unwrap_err();
         assert!(err.contains("last-known-good"), "{err}");
+    }
+
+    #[test]
+    fn breaker_open_child_degrades_quorum_not_fails() {
+        // A tripped circuit on one child must read exactly like an
+        // unreachable child: quorum holds, the last-known-good value
+        // substitutes, the read is flagged — never a hard failure, and
+        // never a retry burn against the breaker-open service.
+        for seed in [5u64, 6, 7] {
+            let mut w = setup_seeded(seed);
+            add_esp(&mut w, "S0", 10.0);
+            add_esp(&mut w, "S1", 20.0);
+            let s2_mote = w.env.add_host("S2-mote", HostKind::SensorMote);
+            let s2 = deploy_esp(
+                &mut w.env,
+                EspConfig::new(
+                    s2_mote,
+                    "S2",
+                    Box::new(ScriptedProbe::new(vec![30.0], Unit::Celsius)),
+                    w.lus,
+                ),
+            );
+            let breakers = crate::admission::shared_breakers(Default::default());
+            let mut cfg = CspConfig::new(w.server, "Q", w.lus);
+            cfg.children = vec!["S0".into(), "S1".into(), "S2".into()];
+            cfg.degradation = DegradationPolicy::Quorum(2);
+            cfg.retry = RetryPolicy::transient();
+            cfg.breakers = Some(breakers.clone());
+            deploy_csp(&mut w.env, cfg).unwrap();
+
+            // Prime: clean read fills the caches and binds the children.
+            let (r, d) =
+                client::get_value_detailed(&mut w.env, w.client, &w.accessor, "Q").unwrap();
+            assert!(r.good && !d.is_degraded(), "seed {seed}");
+
+            let now = w.env.now();
+            breakers.borrow_mut().trip(s2.service, now);
+            let retries_before = w
+                .env
+                .metrics
+                .get(sensorcer_exertion::retry::keys::RETRY_ATTEMPTS);
+            let (r, d) =
+                client::get_value_detailed(&mut w.env, w.client, &w.accessor, "Q").unwrap();
+            assert_eq!(r.value, 20.0, "seed {seed}: cached 30.0 substitutes");
+            assert!(!r.good, "seed {seed}: substitution must be flagged");
+            assert_eq!(d.substituted, vec!["S2".to_string()], "seed {seed}");
+            assert!(d.missing.is_empty(), "seed {seed}");
+            assert!(
+                w.env.metrics.get(crate::admission::keys::BREAKER_SKIPPED) >= 1,
+                "seed {seed}: the open breaker must skip the dispatch"
+            );
+            assert_eq!(
+                w.env
+                    .metrics
+                    .get(sensorcer_exertion::retry::keys::RETRY_ATTEMPTS),
+                retries_before,
+                "seed {seed}: a skipped child must not burn the retry budget"
+            );
+        }
+    }
+
+    #[test]
+    fn breaker_open_child_substitutes_under_last_known_good() {
+        for seed in [5u64, 6, 7] {
+            let mut w = setup_seeded(seed);
+            add_esp(&mut w, "S0", 10.0);
+            let s1_mote = w.env.add_host("S1-mote", HostKind::SensorMote);
+            let s1 = deploy_esp(
+                &mut w.env,
+                EspConfig::new(
+                    s1_mote,
+                    "S1",
+                    Box::new(ScriptedProbe::new(vec![30.0], Unit::Celsius)),
+                    w.lus,
+                ),
+            );
+            let breakers = crate::admission::shared_breakers(Default::default());
+            let mut cfg = CspConfig::new(w.server, "K", w.lus);
+            cfg.children = vec!["S0".into(), "S1".into()];
+            cfg.degradation = DegradationPolicy::LastKnownGood {
+                max_age: SimDuration::from_secs(120),
+            };
+            cfg.breakers = Some(breakers.clone());
+            deploy_csp(&mut w.env, cfg).unwrap();
+            client::get_value(&mut w.env, w.client, &w.accessor, "K").unwrap();
+
+            let now = w.env.now();
+            breakers.borrow_mut().trip(s1.service, now);
+            let (r, d) =
+                client::get_value_detailed(&mut w.env, w.client, &w.accessor, "K").unwrap();
+            assert_eq!(r.value, 20.0, "seed {seed}: cached 30.0 substitutes");
+            assert!(!r.good, "seed {seed}");
+            assert_eq!(d.substituted, vec!["S1".to_string()], "seed {seed}");
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ use sensorcer_sim::env::{Env, ServiceId};
 use sensorcer_sim::topology::HostId;
 
 use crate::accessor::{client, mgmt, SensorInfo, SensorReading};
+use crate::admission::{self, SharedAdmission};
 use crate::provisioner::{provision_composite, CompositeSpec};
 
 /// Façade operation selectors (the browser's buttons).
@@ -82,6 +83,10 @@ pub struct SensorcerFacade {
     /// Health engine, present once objectives have been installed. Every
     /// `getValue` that flows through the façade feeds it.
     slos: Option<SloEngine>,
+    /// Overload gate, present once admission control has been installed.
+    /// Every request is admitted, queued (in virtual time) or shed with a
+    /// typed rejection before any selector runs.
+    admission: Option<SharedAdmission>,
 }
 
 impl SensorcerFacade {
@@ -98,6 +103,7 @@ impl SensorcerFacade {
             monitor,
             requests_total: 0,
             slos: None,
+            admission: None,
         }
     }
 
@@ -105,6 +111,23 @@ impl SensorcerFacade {
     /// against them and `sloReport` serves the verdicts.
     pub fn install_slos(&mut self, specs: Vec<SloSpec>) {
         self.slos = Some(SloEngine::new(specs));
+    }
+
+    /// Install the overload gate. The caller keeps a clone of the shared
+    /// controller to retune tenant rates while the façade is live (the
+    /// autoscaling feedback path).
+    pub fn install_admission(&mut self, ctrl: SharedAdmission) {
+        self.admission = Some(ctrl);
+    }
+
+    /// Burn-rate snapshot from the installed health engine, as
+    /// `(service, burn_fast, burn_slow)` tuples — the tap the SLO-driven
+    /// autoscaler reads each control-loop pass. Empty without SLOs.
+    pub fn burn_rates(&self, now: sensorcer_sim::time::SimTime) -> Vec<(String, f64, f64)> {
+        self.slos
+            .as_ref()
+            .map(|s| s.burn_rates(now))
+            .unwrap_or_default()
     }
 
     /// Deploy a façade and register it with every LUS the accessor knows.
@@ -243,6 +266,40 @@ impl SensorcerFacade {
 
     fn handle(&mut self, env: &mut Env, task: &mut Task) {
         self.requests_total += 1;
+        let Some(ctrl) = self.admission.clone() else {
+            self.dispatch(env, task);
+            return;
+        };
+        let tenant = task
+            .context
+            .get_str("arg/tenant")
+            .unwrap_or("default")
+            .to_string();
+        match admission::admit(env, &ctrl, &tenant) {
+            Ok(()) => {
+                self.dispatch(env, task);
+                ctrl.borrow_mut().complete(&tenant);
+            }
+            Err(shed) => {
+                // A shed read still burns the target service's error
+                // budget: overload is an availability failure the health
+                // engine (and through it the autoscaler) must see.
+                if task.signature.selector == ops::GET_VALUE {
+                    if let Some(name) = task.context.get_str("arg/service").map(str::to_string) {
+                        if let Some(slos) = self.slos.as_mut() {
+                            let now = env.now();
+                            slos.record_read(now, &name, ReadOutcome::Error, 0);
+                            let transitions = slos.evaluate(now);
+                            mirror_transitions(env, &transitions);
+                        }
+                    }
+                }
+                task.fail(shed.rejection());
+            }
+        }
+    }
+
+    fn dispatch(&mut self, env: &mut Env, task: &mut Task) {
         let selector = task.signature.selector.clone();
         let outcome: Result<(), String> = match selector.as_str() {
             ops::LIST_SERVICES => {
@@ -554,6 +611,8 @@ impl FacadeHandle {
             Signature::new(interfaces::SENSORCER_FACADE, selector),
             args,
         );
+        // Admission is applied by the façade servicer on arrival:
+        // lint:allow(admission): this exertion targets the gate itself
         match exert_on(env, from, self.service, task.into(), None) {
             Ok(done) => match done.status() {
                 ExertionStatus::Done => Ok(done.context().clone()),
@@ -654,6 +713,27 @@ impl FacadeHandle {
         service: &str,
     ) -> Result<SensorReading, String> {
         self.get_value_detailed(env, from, service).map(|(r, _)| r)
+    }
+
+    /// "Get Value" on behalf of a named tenant: the request carries the
+    /// tenant identity through the façade's admission gate, so quota,
+    /// class budget and shed accounting apply to that tenant.
+    pub fn get_value_as(
+        &self,
+        env: &mut Env,
+        from: HostId,
+        tenant: &str,
+        service: &str,
+    ) -> Result<SensorReading, String> {
+        let ctx = self.run(
+            env,
+            from,
+            ops::GET_VALUE,
+            Context::new()
+                .with("arg/service", service)
+                .with("arg/tenant", tenant),
+        )?;
+        SensorReading::from_context(&ctx).ok_or_else(|| "no reading returned".to_string())
     }
 
     /// "Get Value", plus which composite children (if any) degraded.

@@ -42,6 +42,7 @@
 #![allow(clippy::type_complexity)]
 
 pub mod accessor;
+pub mod admission;
 pub mod browser;
 pub mod csp;
 pub mod deploy;
@@ -53,6 +54,11 @@ pub mod provisioner;
 /// One-stop imports.
 pub mod prelude {
     pub use crate::accessor::{client, mgmt, selectors, DegradedInfo, SensorInfo, SensorReading};
+    pub use crate::admission::{
+        admit, is_rejection, shared_admission, shared_breakers, AdmissionController, BreakerConfig,
+        BreakerRegistry, BreakerState, QosClass, SharedAdmission, SharedBreakers, Shed, ShedReason,
+        TenantPolicy,
+    };
     pub use crate::browser::{
         render_browser, render_info, render_services, render_values, BrowserModel,
     };

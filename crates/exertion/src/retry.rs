@@ -141,9 +141,33 @@ pub fn exert_on_retry(
                     }
                     return Err(e);
                 }
+                let backoff = policy.backoff * 2u64.pow(attempt - 1);
+                // An attempt must not be *launched* when the remaining
+                // deadline is smaller than the backoff it would first have
+                // to sleep: the wait would overshoot the deadline and the
+                // caller would see a late failure instead of an eager one.
+                let remaining = policy.deadline.saturating_sub(env.now() - start);
+                if remaining < backoff {
+                    env.metrics
+                        .add_host(provider_host, keys::RETRY_EXHAUSTED, 1);
+                    env.metrics.add_labeled(keys::RETRY_EXHAUSTED, label, 1);
+                    let cur = env.current_span();
+                    if cur.is_valid() {
+                        env.span_event(
+                            cur,
+                            "retry.deadline_exhausted",
+                            vec![
+                                ("attempts", attempt.into()),
+                                ("error", e.to_string().into()),
+                                ("remaining_ns", remaining.as_nanos().into()),
+                                ("backoff_ns", backoff.as_nanos().into()),
+                            ],
+                        );
+                    }
+                    return Err(NetError::DeadlineExhausted);
+                }
                 env.metrics.add_host(provider_host, keys::RETRY_ATTEMPTS, 1);
                 env.metrics.add_labeled(keys::RETRY_ATTEMPTS, label, 1);
-                let backoff = policy.backoff * 2u64.pow(attempt - 1);
                 let cur = env.current_span();
                 if cur.is_valid() {
                     // Latency attribution: how long this dispatch has been
@@ -321,6 +345,40 @@ mod tests {
             "deadline beat the attempts"
         );
         assert_eq!(env.metrics.get(keys::RETRY_EXHAUSTED), 1);
+    }
+
+    #[test]
+    fn backoff_never_overshoots_the_deadline() {
+        let (mut env, host, client, svc) = adder_world();
+        env.topo.partition(client, host);
+        env.enable_tracing(64);
+        let root = env.span_start("read", "test", client);
+        // First failed try costs call_timeout (2 s), leaving 1 s of the
+        // 3 s deadline — less than the 5 s backoff the retry would have
+        // to sleep. The wrapper must return eagerly at t=2 s instead of
+        // sleeping to t=7 s and dispatching again past the deadline.
+        let policy = RetryPolicy {
+            attempts: 10,
+            backoff: SimDuration::from_secs(5),
+            deadline: SimDuration::from_secs(3),
+        };
+        let t0 = env.now();
+        let err = exert_on_retry(&mut env, client, svc, add_task(), None, &policy).unwrap_err();
+        env.span_end(root, Outcome::Error);
+        assert_eq!(err, NetError::DeadlineExhausted);
+        assert_eq!(
+            env.now() - t0,
+            env.config.call_timeout,
+            "no sleep, no second dispatch: the failure is eager"
+        );
+        assert_eq!(env.metrics.get(keys::RETRY_ATTEMPTS), 0);
+        assert_eq!(env.metrics.get(keys::RETRY_EXHAUSTED), 1);
+        let rec = env.disable_tracing().unwrap();
+        let root_span = rec.spans().find(|s| s.name == "read").expect("root span");
+        assert!(
+            root_span.has_event("retry.deadline_exhausted"),
+            "eager exhaustion must be explainable from the trace"
+        );
     }
 
     #[test]

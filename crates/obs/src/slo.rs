@@ -486,6 +486,30 @@ impl SloEngine {
         &self.alerts
     }
 
+    /// Current burn rates per *service*, as `(service, burn_fast,
+    /// burn_slow)` tuples in first-seen spec order. A service tracked by
+    /// several objectives reports the worst (highest) burn of each
+    /// window, so a feedback consumer — the provision-side autoscaler —
+    /// reacts to whichever objective is bleeding fastest. Plain tuples by
+    /// design: this is the obs→provision hand-off and must not couple the
+    /// crates.
+    pub fn burn_rates(&self, t: SimTime) -> Vec<(String, f64, f64)> {
+        let mut out: Vec<(String, f64, f64)> = Vec::new();
+        for slo in &self.slos {
+            let w = slo.spec.windows;
+            let fast = slo.burn(t, w.fast);
+            let slow = slo.burn(t, w.slow);
+            match out.iter_mut().find(|(s, _, _)| s == &slo.spec.service) {
+                Some(entry) => {
+                    entry.1 = entry.1.max(fast);
+                    entry.2 = entry.2.max(slow);
+                }
+                None => out.push((slo.spec.service.clone(), fast, slow)),
+            }
+        }
+        out
+    }
+
     /// The verdict sheet at instant `t`. Does not advance the state
     /// machines — call [`evaluate`](Self::evaluate) for that.
     pub fn report(&self, t: SimTime) -> SloReport {

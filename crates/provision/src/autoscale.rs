@@ -1,0 +1,350 @@
+//! SLO-driven autoscaling: the obs→provision feedback loop.
+//!
+//! PR 5's health engine turned façade traffic into burn rates; this module
+//! turns burn rates back into deployment changes, closing the loop the
+//! dynamic-adaptation literature motivates — the monitor stops being a
+//! passive fault-healer and becomes an actuator. An [`AutoScaler`] watches
+//! one opstring element per SLO-tracked service and retargets its planned
+//! count through [`ProvisionMonitor::set_planned`]:
+//!
+//! * **up** when the fast-window burn rate crosses `up_burn` — the error
+//!   budget is being eaten faster than capacity can absorb;
+//! * **down** when the fast burn has fallen to `down_burn` or below — the
+//!   storm has passed and the surplus replicas are idle.
+//!
+//! Flapping is prevented three ways: the `up_burn`/`down_burn` gap is a
+//! hysteresis band where nothing happens, every target has a per-service
+//! cool-down between actions, and planned counts are clamped to
+//! `[min_planned, max_planned]`. All timing is virtual — the scaler only
+//! compares `env.now()` against sim-time stamps.
+
+use std::collections::BTreeMap;
+
+use sensorcer_sim::env::Env;
+use sensorcer_sim::time::{SimDuration, SimTime};
+
+use crate::monitor::{MonitorHandle, ProvisionMonitor};
+
+/// Metric keys exported by the autoscaler.
+pub mod keys {
+    /// Planned-count raises applied.
+    pub const ACTIONS_UP: &str = "autoscale.actions.up";
+    /// Planned-count cuts applied.
+    pub const ACTIONS_DOWN: &str = "autoscale.actions.down";
+    /// Evaluations that proposed a change the monitor refused.
+    pub const ACTIONS_REJECTED: &str = "autoscale.actions.rejected";
+}
+
+/// Scaling behaviour knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct AutoScalerConfig {
+    /// Never plan fewer instances than this (≥ 1).
+    pub min_planned: u32,
+    /// Never plan more instances than this.
+    pub max_planned: u32,
+    /// Scale up when the fast-window burn rate reaches this.
+    pub up_burn: f64,
+    /// Scale down when the fast-window burn rate falls to this or below.
+    /// Must sit strictly below `up_burn`; the gap is the hysteresis band.
+    pub down_burn: f64,
+    /// Minimum virtual time between actions on the same service.
+    pub cooldown: SimDuration,
+    /// Instances added/removed per action.
+    pub step: u32,
+}
+
+impl Default for AutoScalerConfig {
+    fn default() -> Self {
+        AutoScalerConfig {
+            min_planned: 1,
+            max_planned: 4,
+            up_burn: 2.0,
+            down_burn: 0.25,
+            cooldown: SimDuration::from_secs(45),
+            step: 1,
+        }
+    }
+}
+
+/// One applied planned-count change.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaleAction {
+    pub at: SimTime,
+    pub service: String,
+    pub opstring: String,
+    pub element: String,
+    pub from: u32,
+    pub to: u32,
+    pub burn_fast: f64,
+    pub burn_slow: f64,
+}
+
+impl ScaleAction {
+    pub fn is_up(&self) -> bool {
+        self.to > self.from
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Target {
+    opstring: String,
+    element: String,
+    last_action: Option<SimTime>,
+}
+
+/// The feedback controller. Deliberately decoupled from the SLO engine's
+/// types: it consumes plain `(service, burn_fast, burn_slow)` tuples (see
+/// `SloEngine::burn_rates` in `sensorcer-obs`) so obs and provision stay
+/// independent crates.
+#[derive(Debug)]
+pub struct AutoScaler {
+    config: AutoScalerConfig,
+    targets: BTreeMap<String, Target>,
+    actions: Vec<ScaleAction>,
+}
+
+impl AutoScaler {
+    pub fn new(config: AutoScalerConfig) -> AutoScaler {
+        assert!(config.min_planned >= 1, "an element needs one instance");
+        assert!(
+            config.max_planned >= config.min_planned,
+            "empty scale range"
+        );
+        assert!(
+            config.down_burn < config.up_burn,
+            "hysteresis band is empty: down_burn must sit below up_burn"
+        );
+        assert!(config.step >= 1, "a scaling step must change something");
+        AutoScaler {
+            config,
+            targets: BTreeMap::new(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// Bind an SLO-tracked service name to the opstring element whose
+    /// planned count serves it.
+    pub fn watch(
+        &mut self,
+        service: impl Into<String>,
+        opstring: impl Into<String>,
+        element: impl Into<String>,
+    ) {
+        self.targets.insert(
+            service.into(),
+            Target {
+                opstring: opstring.into(),
+                element: element.into(),
+                last_action: None,
+            },
+        );
+    }
+
+    /// Every action applied so far, in order.
+    pub fn actions(&self) -> &[ScaleAction] {
+        &self.actions
+    }
+
+    /// One control-loop pass: compare each watched service's burn rates
+    /// against the thresholds and retarget planned counts through the
+    /// monitor. Returns the actions applied this pass.
+    pub fn evaluate(
+        &mut self,
+        env: &mut Env,
+        monitor: MonitorHandle,
+        burns: &[(String, f64, f64)],
+    ) -> Vec<ScaleAction> {
+        let cfg = self.config;
+        let now = env.now();
+        let mut applied = Vec::new();
+        for (service, burn_fast, burn_slow) in burns {
+            let Some(target) = self.targets.get_mut(service) else {
+                continue;
+            };
+            if let Some(last) = target.last_action {
+                if now - last < cfg.cooldown {
+                    continue;
+                }
+            }
+            let Ok(Some(planned)) = env
+                .with_service(monitor.service, |_e, m: &mut ProvisionMonitor| {
+                    m.planned_of(&target.opstring, &target.element)
+                })
+            else {
+                continue;
+            };
+            let to = if *burn_fast >= cfg.up_burn {
+                planned.saturating_add(cfg.step).min(cfg.max_planned)
+            } else if *burn_fast <= cfg.down_burn {
+                planned.saturating_sub(cfg.step).max(cfg.min_planned)
+            } else {
+                continue; // inside the hysteresis band
+            };
+            if to == planned {
+                continue;
+            }
+            let opstring = target.opstring.clone();
+            let element = target.element.clone();
+            let outcome = env.with_service(monitor.service, |env, m: &mut ProvisionMonitor| {
+                m.set_planned(env, &opstring, &element, to)
+            });
+            match outcome {
+                Ok(Ok(())) => {
+                    let key = if to > planned {
+                        keys::ACTIONS_UP
+                    } else {
+                        keys::ACTIONS_DOWN
+                    };
+                    env.metrics.add(key, 1);
+                    env.metrics.add_labeled(key, service, 1);
+                    let cur = env.current_span();
+                    if cur.is_valid() {
+                        env.span_event(
+                            cur,
+                            "autoscale.action",
+                            vec![
+                                ("service", service.as_str().into()),
+                                ("from", u64::from(planned).into()),
+                                ("to", u64::from(to).into()),
+                                ("burn_fast", (*burn_fast).into()),
+                            ],
+                        );
+                    }
+                    target.last_action = Some(now);
+                    let action = ScaleAction {
+                        at: now,
+                        service: service.clone(),
+                        opstring,
+                        element,
+                        from: planned,
+                        to,
+                        burn_fast: *burn_fast,
+                        burn_slow: *burn_slow,
+                    };
+                    self.actions.push(action.clone());
+                    applied.push(action);
+                }
+                _ => {
+                    env.metrics.add(keys::ACTIONS_REJECTED, 1);
+                }
+            }
+        }
+        applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cybernode::{Cybernode, CybernodeHandle};
+    use crate::factory::FactoryRegistry;
+    use crate::opstring::{OperationalString, ServiceElement};
+    use crate::policy::AllocationPolicy;
+    use crate::qos::QosCapabilities;
+    use sensorcer_sim::prelude::*;
+
+    struct Bean;
+
+    fn world() -> (Env, MonitorHandle) {
+        let mut env = Env::with_seed(17);
+        let lab = env.add_host("lab", HostKind::Server);
+        let mut factories = FactoryRegistry::new();
+        factories.register_fn("bean", |env, host, _el, instance| {
+            Ok(env.deploy(host, instance.to_string(), Bean))
+        });
+        let monitor = ProvisionMonitor::deploy(
+            &mut env,
+            lab,
+            "Monitor",
+            AllocationPolicy::LeastUtilized,
+            factories,
+            None,
+            SimDuration::from_secs(1),
+        );
+        for i in 0..4 {
+            let h = env.add_host(format!("node{i}"), HostKind::Server);
+            let n: CybernodeHandle = Cybernode::deploy(
+                &mut env,
+                h,
+                &format!("Cyb-{i}"),
+                QosCapabilities::lab_server(),
+                None,
+            );
+            env.with_service(monitor.service, |_e, m: &mut ProvisionMonitor| {
+                m.register_cybernode(n)
+            })
+            .unwrap();
+        }
+        let os = OperationalString::new("net").with_element(
+            ServiceElement::singleton("svc", "bean")
+                .with_planned(1)
+                .with_max_per_node(4),
+        );
+        monitor.deploy_opstring(&mut env, lab, os).unwrap().unwrap();
+        (env, monitor)
+    }
+
+    fn planned(env: &mut Env, monitor: MonitorHandle) -> u32 {
+        env.with_service(monitor.service, |_e, m: &mut ProvisionMonitor| {
+            m.planned_of("net", "svc").unwrap()
+        })
+        .unwrap()
+    }
+
+    fn burns(f: f64) -> Vec<(String, f64, f64)> {
+        vec![("S".to_string(), f, f)]
+    }
+
+    #[test]
+    fn scales_up_on_burn_down_after_quiet_with_cooldown_and_bounds() {
+        let (mut env, monitor) = world();
+        let mut scaler = AutoScaler::new(AutoScalerConfig {
+            max_planned: 3,
+            cooldown: SimDuration::from_secs(30),
+            ..Default::default()
+        });
+        scaler.watch("S", "net", "svc");
+
+        // Hot: one step up, then the cooldown gates the next.
+        let acts = scaler.evaluate(&mut env, monitor, &burns(5.0));
+        assert_eq!(acts.len(), 1);
+        assert!(acts[0].is_up());
+        assert_eq!(planned(&mut env, monitor), 2);
+        assert!(scaler.evaluate(&mut env, monitor, &burns(5.0)).is_empty());
+
+        // Cooldown elapsed: second step, then clamped at max_planned.
+        env.run_for(SimDuration::from_secs(30));
+        assert_eq!(scaler.evaluate(&mut env, monitor, &burns(5.0)).len(), 1);
+        assert_eq!(planned(&mut env, monitor), 3);
+        env.run_for(SimDuration::from_secs(30));
+        assert!(scaler.evaluate(&mut env, monitor, &burns(5.0)).is_empty());
+        assert_eq!(env.metrics.get(keys::ACTIONS_UP), 2);
+
+        // Inside the hysteresis band: nothing moves either way.
+        env.run_for(SimDuration::from_secs(30));
+        assert!(scaler.evaluate(&mut env, monitor, &burns(1.0)).is_empty());
+
+        // Quiet: converge back down to min_planned, one step per cooldown.
+        assert_eq!(scaler.evaluate(&mut env, monitor, &burns(0.0)).len(), 1);
+        env.run_for(SimDuration::from_secs(30));
+        assert_eq!(scaler.evaluate(&mut env, monitor, &burns(0.0)).len(), 1);
+        assert_eq!(planned(&mut env, monitor), 1);
+        env.run_for(SimDuration::from_secs(30));
+        assert!(scaler.evaluate(&mut env, monitor, &burns(0.0)).is_empty());
+        assert_eq!(env.metrics.get(keys::ACTIONS_DOWN), 2);
+        assert_eq!(scaler.actions().len(), 4);
+    }
+
+    #[test]
+    fn unwatched_services_and_unknown_elements_are_ignored() {
+        let (mut env, monitor) = world();
+        let mut scaler = AutoScaler::new(AutoScalerConfig::default());
+        scaler.watch("S", "net", "ghost-element");
+        // Unknown element: planned_of is None → skipped, no panic.
+        assert!(scaler.evaluate(&mut env, monitor, &burns(9.0)).is_empty());
+        // Service never watched at all.
+        let other = vec![("other".to_string(), 9.0, 9.0)];
+        assert!(scaler.evaluate(&mut env, monitor, &other).is_empty());
+        assert_eq!(env.metrics.get(keys::ACTIONS_UP), 0);
+    }
+}

@@ -41,6 +41,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+pub mod autoscale;
 pub mod cybernode;
 pub mod factory;
 pub mod monitor;
@@ -50,6 +51,7 @@ pub mod qos;
 
 /// One-stop imports.
 pub mod prelude {
+    pub use crate::autoscale::{AutoScaler, AutoScalerConfig, ScaleAction};
     pub use crate::cybernode::{Cybernode, CybernodeError, CybernodeHandle, HostedInstance};
     pub use crate::factory::{FactoryRegistry, FnFactory, ProvisionedService, ServiceFactory};
     pub use crate::monitor::{

@@ -567,6 +567,135 @@ impl ProvisionMonitor {
         }
     }
 
+    /// The planned count of an element, if deployed.
+    pub fn planned_of(&self, opstring: &str, element: &str) -> Option<u32> {
+        self.deployments
+            .get(opstring)?
+            .element(element)
+            .map(|e| e.planned)
+    }
+
+    /// Retarget an element's planned count and converge immediately: a
+    /// raise places the new instances now (unplaceable ones go pending and
+    /// are retried each heartbeat), a cut terminates surplus instances
+    /// highest-index first. This is the autoscaler's actuator — the same
+    /// opstring mutation an operator would make, minus redeploying.
+    pub fn set_planned(
+        &mut self,
+        env: &mut Env,
+        opstring: &str,
+        element: &str,
+        planned: u32,
+    ) -> Result<(), ProvisionError> {
+        if planned == 0 {
+            return Err(ProvisionError::Invalid(format!(
+                "element '{element}' cannot plan zero instances"
+            )));
+        }
+        let Some(mut dep) = self.deployments.remove(opstring) else {
+            return Err(ProvisionError::UnknownOpstring(opstring.to_string()));
+        };
+        let Some(pos) = dep.opstring.elements.iter().position(|e| e.name == element) else {
+            let name = dep.opstring.name.clone();
+            self.deployments.insert(name, dep);
+            return Err(ProvisionError::Invalid(format!(
+                "opstring '{opstring}' has no element '{element}'"
+            )));
+        };
+        let old = dep.opstring.elements[pos].planned;
+        dep.opstring.elements[pos].planned = planned;
+        let el = dep.opstring.elements[pos].clone();
+
+        if planned > old {
+            for i in old..planned {
+                let instance = format!("{}-{}", el.name, i + 1);
+                match self.place(env, opstring, &el, &instance) {
+                    Some(p) => {
+                        env.lifecycle(
+                            "provision",
+                            provision_entity(opstring, &instance),
+                            "deploy",
+                            p.host.0 as u64,
+                        );
+                        dep.instances.push(InstanceRecord {
+                            element: el.name.clone(),
+                            instance,
+                            node: CybernodeHandle {
+                                service: self.node_service_for(p.host),
+                                host: p.host,
+                            },
+                            service: p.service,
+                        });
+                    }
+                    None => {
+                        self.events.push(ProvisionEvent {
+                            at: env.now(),
+                            opstring: opstring.to_string(),
+                            element: el.name.clone(),
+                            instance: instance.clone(),
+                            kind: ProvisionEventKind::Pending,
+                        });
+                        env.lifecycle(
+                            "provision",
+                            provision_entity(opstring, &instance),
+                            "pending",
+                            0,
+                        );
+                        dep.pending.push((instance, None));
+                    }
+                }
+            }
+        } else if planned < old {
+            // Surplus pending slots are free capacity: drop those first.
+            let mut surplus = (old - planned) as usize;
+            let belongs = |n: &str| n == el.name || n.starts_with(&format!("{}-", el.name));
+            while surplus > 0 {
+                let Some(idx) = dep.pending.iter().rposition(|(n, _)| belongs(n)) else {
+                    break;
+                };
+                dep.pending.remove(idx);
+                surplus -= 1;
+            }
+            // Then terminate live instances, highest index first (the bare
+            // `name` instance counts as index 1 and goes last).
+            let index_of = |n: &str| -> u32 {
+                n.rsplit('-')
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(1)
+            };
+            for _ in 0..surplus {
+                let Some(idx) = dep
+                    .instances
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.element == el.name)
+                    .max_by_key(|(_, r)| index_of(&r.instance))
+                    .map(|(i, _)| i)
+                else {
+                    break;
+                };
+                let rec = dep.instances.remove(idx);
+                let _ = rec.node.terminate(env, self.host, &rec.instance);
+                self.events.push(ProvisionEvent {
+                    at: env.now(),
+                    opstring: opstring.to_string(),
+                    element: rec.element.clone(),
+                    instance: rec.instance.clone(),
+                    kind: ProvisionEventKind::Undeployed,
+                });
+                env.lifecycle(
+                    "provision",
+                    provision_entity(opstring, &rec.instance),
+                    "undeploy",
+                    0,
+                );
+            }
+        }
+        self.deployments.insert(dep.opstring.name.clone(), dep);
+        Ok(())
+    }
+
     /// The live instances of an opstring.
     pub fn instances(&self, opstring: &str) -> Vec<InstanceRecord> {
         self.deployments
@@ -894,6 +1023,88 @@ mod tests {
             .unwrap()
             .unwrap_err();
         assert_eq!(err, ProvisionError::UnknownOpstring("net".into()));
+    }
+
+    #[test]
+    fn set_planned_scales_up_and_back_down() {
+        let mut w = setup(3, AllocationPolicy::LeastUtilized);
+        w.monitor
+            .deploy_opstring(&mut w.env, w.client, opstring(1))
+            .unwrap()
+            .unwrap();
+        w.env
+            .with_service(w.monitor.service, |env, m: &mut ProvisionMonitor| {
+                assert_eq!(m.planned_of("net", "svc"), Some(1));
+                m.set_planned(env, "net", "svc", 3).unwrap();
+                assert_eq!(m.planned_of("net", "svc"), Some(3));
+                let mut names: Vec<String> = m
+                    .instances("net")
+                    .iter()
+                    .map(|r| r.instance.clone())
+                    .collect();
+                names.sort();
+                assert_eq!(names, vec!["svc", "svc-2", "svc-3"]);
+
+                // Cut back: highest indices terminated first, the original
+                // singleton survives.
+                m.set_planned(env, "net", "svc", 1).unwrap();
+                let live = m.instances("net");
+                assert_eq!(live.len(), 1);
+                assert_eq!(live[0].instance, "svc");
+                assert!(m
+                    .events()
+                    .iter()
+                    .any(|e| e.kind == ProvisionEventKind::Undeployed && e.instance == "svc-3"));
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn set_planned_rejects_bad_targets_and_goes_pending_when_full() {
+        let mut w = setup(1, AllocationPolicy::LeastUtilized);
+        let os = OperationalString::new("net").with_element(
+            ServiceElement::singleton("svc", "bean")
+                .with_planned(1)
+                .with_max_per_node(1),
+        );
+        w.monitor
+            .deploy_opstring(&mut w.env, w.client, os)
+            .unwrap()
+            .unwrap();
+        w.env
+            .with_service(w.monitor.service, |env, m: &mut ProvisionMonitor| {
+                assert!(matches!(
+                    m.set_planned(env, "net", "svc", 0),
+                    Err(ProvisionError::Invalid(_))
+                ));
+                assert!(matches!(
+                    m.set_planned(env, "ghost", "svc", 2),
+                    Err(ProvisionError::UnknownOpstring(_))
+                ));
+                assert!(matches!(
+                    m.set_planned(env, "net", "ghost", 2),
+                    Err(ProvisionError::Invalid(_))
+                ));
+                // The single node is at its per-element cap: the raise
+                // sticks, but the extra instance parks as pending.
+                m.set_planned(env, "net", "svc", 2).unwrap();
+                assert_eq!(m.instances("net").len(), 1);
+                assert!(m
+                    .events()
+                    .iter()
+                    .any(|e| e.kind == ProvisionEventKind::Pending));
+                // Cutting back consumes the pending slot, not the live one.
+                m.set_planned(env, "net", "svc", 1).unwrap();
+                assert_eq!(m.instances("net").len(), 1);
+            })
+            .unwrap();
+        // A later heartbeat must not resurrect the cancelled pending slot.
+        w.env.run_for(SimDuration::from_secs(3));
+        w.env
+            .with_service(w.monitor.service, |_e, m: &mut ProvisionMonitor| {
+                assert_eq!(m.instances("net").len(), 1);
+            })
+            .unwrap();
     }
 
     #[test]

@@ -30,8 +30,17 @@ pub mod keys {
     pub const CHAOS_CRASHES: &str = "chaos.faults.crash";
     /// Slow-link windows injected.
     pub const CHAOS_SLOW_LINKS: &str = "chaos.faults.slow_link";
+    /// Tenant request-storm level changes above baseline injected.
+    pub const CHAOS_BURSTS: &str = "chaos.faults.burst";
     /// Total events applied (faults and inverses).
     pub const CHAOS_EVENTS: &str = "chaos.events.applied";
+}
+
+/// Gauge key for the live request-rate multiplier of one tenant storm
+/// (`1.0` = baseline). Written by [`apply_event`] so load generators can
+/// read the current level straight from the metrics registry.
+pub fn burst_gauge_key(tenant: u32) -> String {
+    format!("chaos.burst.level_t{tenant}")
 }
 
 /// One topology mutation at a point in virtual time.
@@ -57,6 +66,15 @@ pub enum ChaosEvent {
     },
     /// Drop the `a`–`b` link override, reverting to kind defaults.
     RestoreLink { a: HostId, b: HostId },
+    /// Set tenant `tenant`'s request-rate multiplier to
+    /// `level_x100 / 100` (100 = baseline). Overload as a first-class
+    /// injectable fault: a storm is a ramp of rising levels, a hold at
+    /// the peak, and a decay back to baseline — see
+    /// [`ChaosSchedule::generate_burst`]. Applying one only writes the
+    /// [`burst_gauge_key`] gauge; load generators poll it (or read the
+    /// schedule directly via [`ChaosSchedule::burst_level_at`]) to decide
+    /// how many requests to issue per round.
+    BurstLoad { tenant: u32, level_x100: u32 },
 }
 
 /// Apply one event to the world, with metrics and debug-trace accounting.
@@ -83,6 +101,13 @@ pub fn apply_event(env: &mut Env, ev: &ChaosEvent) {
             env.topo.set_link(a, b, model);
         }
         ChaosEvent::RestoreLink { a, b } => env.topo.clear_link(a, b),
+        ChaosEvent::BurstLoad { tenant, level_x100 } => {
+            if level_x100 > 100 {
+                env.metrics.add(keys::CHAOS_BURSTS, 1);
+            }
+            env.metrics
+                .set_gauge(&burst_gauge_key(tenant), level_x100 as f64 / 100.0);
+        }
     }
     env.debug_with(|| format!("chaos: {ev:?}"));
 }
@@ -137,11 +162,39 @@ pub struct ChaosCounts {
     pub isolates: u64,
     pub crashes: u64,
     pub slow_links: u64,
+    /// Burst steps above baseline (return-to-baseline steps not counted).
+    pub bursts: u64,
 }
 
 impl ChaosCounts {
     pub fn total(&self) -> u64 {
-        self.partitions + self.isolates + self.crashes + self.slow_links
+        self.partitions + self.isolates + self.crashes + self.slow_links + self.bursts
+    }
+}
+
+/// Shape of one tenant request storm: the level ramps from baseline to
+/// `peak_x100` over `ramp` in `steps` increments, holds at the peak for
+/// `hold`, then decays back down over `decay` in the same number of steps.
+#[derive(Clone, Copy, Debug)]
+pub struct BurstConfig {
+    pub ramp: SimDuration,
+    pub hold: SimDuration,
+    pub decay: SimDuration,
+    /// Peak request-rate multiplier ×100 (must be > 100).
+    pub peak_x100: u32,
+    /// Level increments per ramp/decay phase (≥ 1).
+    pub steps: u32,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        BurstConfig {
+            ramp: SimDuration::from_secs(30),
+            hold: SimDuration::from_secs(60),
+            decay: SimDuration::from_secs(30),
+            peak_x100: 800,
+            steps: 4,
+        }
     }
 }
 
@@ -230,6 +283,101 @@ impl ChaosSchedule {
         ChaosSchedule { events }
     }
 
+    /// Draw one seeded ramp/hold/decay request storm for `tenant`,
+    /// starting at `start`. Step firing times are jittered by up to a
+    /// quarter of the step interval so concurrent storms do not align,
+    /// but the sequence of levels is fixed by `cfg`: the final event
+    /// always returns the tenant to baseline (level 100) at
+    /// `start + ramp + hold + decay`.
+    pub fn generate_burst(
+        rng: &mut SimRng,
+        tenant: u32,
+        start: SimTime,
+        cfg: &BurstConfig,
+    ) -> Self {
+        assert!(cfg.peak_x100 > 100, "a burst must rise above baseline");
+        assert!(cfg.steps >= 1, "a burst needs at least one step");
+        let steps = cfg.steps as u64;
+        let rise = (cfg.peak_x100 - 100) as u64;
+        let jitter = |rng: &mut SimRng, span: SimDuration| {
+            let q = span.as_nanos() / (4 * steps);
+            SimDuration::from_nanos(if q == 0 { 0 } else { rng.range_u64(0, q) })
+        };
+
+        let mut events: Vec<(SimTime, ChaosEvent)> = Vec::new();
+        // Ramp: step i (1..=steps) fires at start + i·(ramp/steps) + jitter
+        // and raises the level toward the peak; the last step is pinned to
+        // exactly the peak so `hold` really holds at `peak_x100`.
+        for i in 1..=steps {
+            let at = start
+                + SimDuration::from_nanos(cfg.ramp.as_nanos() / steps * i)
+                + jitter(rng, cfg.ramp);
+            let level = 100 + (rise * i / steps) as u32;
+            events.push((
+                at,
+                ChaosEvent::BurstLoad {
+                    tenant,
+                    level_x100: level,
+                },
+            ));
+        }
+        // Decay mirrors the ramp downward; the final event lands exactly at
+        // the storm end with level 100 (no jitter) so callers can rely on
+        // the tenant being back at baseline from `start + ramp + hold + decay`.
+        let decay_start = start + cfg.ramp + cfg.hold;
+        for i in 1..=steps {
+            let (at, level) = if i == steps {
+                (decay_start + cfg.decay, 100)
+            } else {
+                (
+                    decay_start
+                        + SimDuration::from_nanos(cfg.decay.as_nanos() / steps * i)
+                        + jitter(rng, cfg.decay),
+                    100 + (rise * (steps - i) / steps) as u32,
+                )
+            };
+            events.push((
+                at,
+                ChaosEvent::BurstLoad {
+                    tenant,
+                    level_x100: level,
+                },
+            ));
+        }
+        events.sort_by_key(|&(t, _)| t);
+        ChaosSchedule { events }
+    }
+
+    /// The request-rate multiplier `tenant` is subject to at time `t`
+    /// under this schedule (1.0 = baseline): the level set by the last
+    /// `BurstLoad` event for the tenant at or before `t`.
+    pub fn burst_level_at(&self, tenant: u32, t: SimTime) -> f64 {
+        let mut level = 1.0;
+        for &(at, ev) in &self.events {
+            if at > t {
+                break;
+            }
+            if let ChaosEvent::BurstLoad {
+                tenant: tn,
+                level_x100,
+            } = ev
+            {
+                if tn == tenant {
+                    level = level_x100 as f64 / 100.0;
+                }
+            }
+        }
+        level
+    }
+
+    /// Combine two schedules into one time-sorted schedule (stable for
+    /// equal times, `self`'s events first).
+    pub fn merge(mut self, other: ChaosSchedule) -> Self {
+        self.events.extend(other.events);
+        self.events.sort_by_key(|&(t, _)| t);
+        self
+    }
+
     /// Fault-class totals (inverse events are not counted).
     pub fn counts(&self) -> ChaosCounts {
         let mut c = ChaosCounts::default();
@@ -239,6 +387,7 @@ impl ChaosSchedule {
                 ChaosEvent::Isolate { .. } => c.isolates += 1,
                 ChaosEvent::Crash { .. } => c.crashes += 1,
                 ChaosEvent::SlowLink { .. } => c.slow_links += 1,
+                ChaosEvent::BurstLoad { level_x100, .. } if *level_x100 > 100 => c.bursts += 1,
                 _ => {}
             }
         }
@@ -377,5 +526,85 @@ mod tests {
         assert!(env.topo.check_path(hub, t).is_ok());
         assert_eq!(env.metrics.get(keys::CHAOS_CRASHES), 2);
         assert_eq!(env.metrics.get(keys::CHAOS_EVENTS), 9);
+    }
+
+    #[test]
+    fn burst_schedule_is_deterministic_and_shaped() {
+        let cfg = BurstConfig {
+            ramp: SimDuration::from_secs(20),
+            hold: SimDuration::from_secs(40),
+            decay: SimDuration::from_secs(20),
+            peak_x100: 900,
+            steps: 4,
+        };
+        let start = SimTime::ZERO + SimDuration::from_secs(10);
+        let mut r1 = crate::rng::SimRng::new(7);
+        let mut r2 = crate::rng::SimRng::new(7);
+        let a = ChaosSchedule::generate_burst(&mut r1, 3, start, &cfg);
+        let b = ChaosSchedule::generate_burst(&mut r2, 3, start, &cfg);
+        assert_eq!(a.events, b.events, "same seed, same storm");
+
+        // 2·steps events; only the above-baseline ones count as faults.
+        assert_eq!(a.events.len(), 8);
+        assert_eq!(a.counts().bursts, 7, "final return-to-baseline not a fault");
+
+        // Baseline before, peak during hold, baseline at/after the end.
+        assert_eq!(a.burst_level_at(3, start), 1.0);
+        let mid_hold = start + cfg.ramp + SimDuration::from_secs(20);
+        assert_eq!(a.burst_level_at(3, mid_hold), 9.0);
+        let end = start + cfg.ramp + cfg.hold + cfg.decay;
+        assert_eq!(a.burst_level_at(3, end), 1.0);
+        assert_eq!(a.end(), Some(end), "last event pinned to the storm end");
+        // Another tenant is untouched by this storm.
+        assert_eq!(a.burst_level_at(4, mid_hold), 1.0);
+
+        // Levels are monotone up through the ramp, down through the decay.
+        let levels: Vec<u32> = a
+            .events
+            .iter()
+            .map(|&(_, ev)| match ev {
+                ChaosEvent::BurstLoad { level_x100, .. } => level_x100,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(levels, vec![300, 500, 700, 900, 700, 500, 300, 100]);
+    }
+
+    #[test]
+    fn applied_bursts_write_the_level_gauge() {
+        let (mut env, _hub, _targets) = world();
+        let cfg = BurstConfig::default();
+        let mut rng = env.fork_rng();
+        let start = env.now();
+        let s = ChaosSchedule::generate_burst(&mut rng, 0, start, &cfg);
+        let horizon = cfg.ramp + cfg.hold + cfg.decay;
+        let expected_bursts = s.counts().bursts;
+        let expected_events = s.events.len() as u64;
+        s.install(&mut env);
+        env.run_for(cfg.ramp + cfg.hold.mul_f64(0.5));
+        assert_eq!(
+            env.metrics.gauge(&burst_gauge_key(0)),
+            Some(8.0),
+            "holding at the peak mid-storm"
+        );
+        env.run_until(start + horizon);
+        assert_eq!(env.metrics.gauge(&burst_gauge_key(0)), Some(1.0));
+        assert_eq!(env.metrics.get(keys::CHAOS_BURSTS), expected_bursts);
+        assert_eq!(env.metrics.get(keys::CHAOS_EVENTS), expected_events);
+    }
+
+    #[test]
+    fn merged_schedules_stay_time_sorted() {
+        let (mut env, hub, targets) = world();
+        let cfg = quick_cfg();
+        let mut rng = env.fork_rng();
+        let faults = ChaosSchedule::generate(&mut rng, hub, &targets, env.now(), &cfg);
+        let storm = ChaosSchedule::generate_burst(&mut rng, 1, env.now(), &BurstConfig::default());
+        let fault_count = faults.counts();
+        let burst_count = storm.counts().bursts;
+        let merged = faults.merge(storm);
+        assert!(merged.events.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(merged.counts().bursts, burst_count);
+        assert_eq!(merged.counts().total(), fault_count.total() + burst_count);
     }
 }

@@ -131,6 +131,11 @@ pub enum NetError {
     /// this is the signature of a call cycle; a real deployment would
     /// deadlock or time out instead.
     Busy,
+    /// A retry budget refused to launch another attempt: the remaining
+    /// deadline was smaller than the backoff the next attempt would have
+    /// to wait, so sleeping would only overshoot. Returned eagerly by
+    /// `exert_on_retry`-style wrappers instead of a late `Timeout`.
+    DeadlineExhausted,
 }
 
 impl std::fmt::Display for NetError {
@@ -143,6 +148,7 @@ impl std::fmt::Display for NetError {
             NetError::Timeout => "timed out",
             NetError::NoSuchService => "no such service",
             NetError::Busy => "service busy (re-entrant call cycle)",
+            NetError::DeadlineExhausted => "retry deadline exhausted",
         };
         f.write_str(s)
     }

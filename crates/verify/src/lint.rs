@@ -1,6 +1,6 @@
 //! In-repo source lints for the workspace (`harness lint`).
 //!
-//! Four rules, all scoped to `crates/*/src`:
+//! Five rules, all scoped to `crates/*/src`:
 //!
 //! * `unwrap-outside-tests` — `.unwrap()` / `.expect(` in production
 //!   code. Panicking on a fallible path contradicts the federation's
@@ -20,6 +20,12 @@
 //!   every push and pop flowing through `Env`'s scheduling API (global
 //!   `(deadline, seq)` order, window migration); shard-local code going
 //!   around it can reorder timers. Allowlist: `lint:allow(queue)`.
+//! * `admission-bypass` — a raw `exert(`/`exert_on(` call in the façade
+//!   layer (`core`'s `facade.rs`). Overload protection only holds if
+//!   every tenant-facing dispatch passes the admission gate; a direct
+//!   exertion from façade code skips the token buckets, QoS classing and
+//!   shedding entirely. The one legitimate site — the client-side call
+//!   *into* the gate itself — is allowlisted: `lint:allow(admission)`.
 //!
 //! The scanner is deliberately line-based and dependency-free: it
 //! understands `//` comments, brace depth and `#[cfg(test)]` blocks,
@@ -85,6 +91,27 @@ fn allows(raw: &str, prev: Option<&str>, marker: &str) -> bool {
     raw.contains(&tag) || prev.is_some_and(|p| p.contains(&tag))
 }
 
+/// Whether `code` contains a call to `exert(` or `exert_on(` — an
+/// identifier boundary check keeps wrappers like `admitted_exert(` (and
+/// any other `*exert` name) from matching.
+fn calls_exert(code: &str) -> bool {
+    for pat in ["exert(", "exert_on("] {
+        let mut from = 0;
+        while let Some(i) = code[from..].find(pat) {
+            let at = from + i;
+            let ident_before = code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+            if !ident_before {
+                return true;
+            }
+            from = at + pat.len();
+        }
+    }
+    false
+}
+
 fn brace_delta(code: &str) -> i32 {
     let mut d = 0;
     for c in code.chars() {
@@ -106,6 +133,9 @@ fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<LintFindin
     // `sim` schedules through `Env`'s API.
     let check_queue =
         crate_name == "sim" && !rel_path.ends_with("env.rs") && !rel_path.ends_with("shard.rs");
+    // The façade is the tenant-facing entry point: every dispatch it
+    // makes must flow through the admission gate, never a raw exertion.
+    let check_admission = crate_name == "core" && rel_path.ends_with("facade.rs");
 
     let mut depth: i32 = 0;
     // Depth at which a `#[cfg(test)] mod` opened; everything inside it is
@@ -168,6 +198,14 @@ fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<LintFindin
                     file: rel_path.to_string(),
                     line: line_no,
                     rule: "direct-queue-access",
+                    excerpt: raw.trim().to_string(),
+                });
+            }
+            if check_admission && calls_exert(code) && !allows(raw, prev_raw, "admission") {
+                findings.push(LintFinding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: "admission-bypass",
                     excerpt: raw.trim().to_string(),
                 });
             }
@@ -354,6 +392,29 @@ mod tests {
         let allowed = "// lint:allow(queue): test-only drain helper\n\
                        fn f(env: &mut Env) { env.timer_queue.pop(); }\n";
         assert!(lint_source("sim", "crates/sim/src/chaos.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn admission_bypass_flagged_in_facade_code_only() {
+        let src = "fn f(env: &mut Env) { exert_on(env, from, svc, task, None); }\n";
+        let f = lint_source("core", "crates/core/src/facade.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "admission-bypass");
+        // The exertion runtime and the CSP fan-out dispatch legitimately.
+        assert!(lint_source("exertion", "crates/exertion/src/exert.rs", src).is_empty());
+        assert!(lint_source("core", "crates/core/src/csp.rs", src).is_empty());
+        // Plain `exert(` is caught too; wrapper names are not.
+        let plain = "fn f() { exert(env, task); }\n";
+        assert_eq!(
+            lint_source("core", "crates/core/src/facade.rs", plain).len(),
+            1
+        );
+        let wrapper = "fn f() { admitted_exert(env, task); }\n";
+        assert!(lint_source("core", "crates/core/src/facade.rs", wrapper).is_empty());
+        // The call into the gate itself carries the justification marker.
+        let allowed = "// lint:allow(admission): this call targets the gate itself\n\
+                       fn f() { exert_on(env, from, svc, task, None); }\n";
+        assert!(lint_source("core", "crates/core/src/facade.rs", allowed).is_empty());
     }
 
     #[test]

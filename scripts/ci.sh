@@ -34,6 +34,13 @@
 #                           the committed numbers come from different
 #                           hardware; same-machine diffs use the tight
 #                           0.35 default.
+#   scripts/ci.sh --storm   tier-1, then the tenant storm writing
+#                           STORM_1.json at the repo root: a bulk-tenant
+#                           burst against the admission-controlled façade
+#                           (typed sheds only, critical SLO intact, full
+#                           circuit-breaker lifecycle, autoscaler up and
+#                           back down without flapping), plus a shape
+#                           check on the exported file
 #   scripts/ci.sh --scale   tier-1, then the B9 scaling curve on a
 #                           reduced mote sweep (10³ only — the full
 #                           10³/10⁴/10⁵ curve is `harness scale` with no
@@ -55,6 +62,7 @@ trace=0
 lint=0
 obs=0
 scale=0
+storm=0
 for arg in "$@"; do
     case "$arg" in
         --smoke) smoke=1 ;;
@@ -63,7 +71,8 @@ for arg in "$@"; do
         --lint) lint=1 ;;
         --obs) obs=1 ;;
         --scale) scale=1 ;;
-        *) echo "usage: scripts/ci.sh [--smoke] [--soak] [--trace] [--lint] [--obs] [--scale]" >&2; exit 2 ;;
+        --storm) storm=1 ;;
+        *) echo "usage: scripts/ci.sh [--smoke] [--soak] [--trace] [--lint] [--obs] [--scale] [--storm]" >&2; exit 2 ;;
     esac
 done
 
@@ -150,6 +159,19 @@ if [ "$obs" -eq 1 ]; then
     cargo run --release -p sensorcer-bench --bin harness -- \
         bench-compare BENCH_1.json BENCH_ci.json 4.0
     rm -f BENCH_ci.json
+fi
+
+if [ "$storm" -eq 1 ]; then
+    echo "== tenant storm (writes STORM_1.json) =="
+    cargo run --release -p sensorcer-bench --bin harness -- storm
+    # Shape check: the export must carry the per-class admission ledger,
+    # the breaker lifecycle, the scaling timeline and a passing verdict.
+    for needle in '"admission"' '"breaker"' '"scaling"' '"bulk"' '"critical"' '"passed": true'; do
+        grep -q "$needle" STORM_1.json || {
+            echo "STORM_1.json missing $needle" >&2
+            exit 1
+        }
+    done
 fi
 
 if [ "$scale" -eq 1 ]; then
