@@ -32,6 +32,11 @@
 //!   holds, a mid-storm outage walks a circuit breaker through its full
 //!   lifecycle, and the SLO-driven autoscaler steps capacity up and back
 //!   down without flapping; writes STORM_1.json
+//! harness perfetto [seed] [out.perfetto-trace]
+//!   the tenant storm with a 1 s telemetry sampler attached, exported as
+//!   a Perfetto protobuf trace (open it at https://ui.perfetto.dev);
+//!   round-trips the bytes through the in-repo decoder before writing,
+//!   and writes a PERFETTO_1.json summary next to the binary
 //! harness bench-compare <old.json> <new.json> [threshold]
 //!   diff two smoke-bench JSON files; exits nonzero when any benchmark
 //!   regressed beyond the relative noise threshold (default 0.35)
@@ -48,13 +53,15 @@ type SeededRunner = fn(u64, &str) -> Result<String, String>;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: next free BENCH_<n>.json)\n       harness chaos [seed] [out.json]   (default out: {})\n       harness trace [seed] [out.json]   (default out: {})\n       harness verify [seed] [out.json]  (default out: {})\n       harness obs [seed] [out.json]     (default out: {})\n       harness scale [seed] [out.json]   (default out: {})\n       harness storm [seed] [out.json]   (default out: {})\n       harness bench-compare <old.json> <new.json> [threshold]\n       harness lint",
+        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: next free BENCH_<n>.json)\n       harness chaos [seed] [out.json]   (default out: {})\n       harness trace [seed] [out.json]   (default out: {})\n       harness verify [seed] [out.json]  (default out: {})\n       harness obs [seed] [out.json]     (default out: {})\n       harness scale [seed] [out.json]   (default out: {})\n       harness storm [seed] [out.json]   (default out: {})\n       harness perfetto [seed] [out]     (default out: {}, summary: {})\n       harness bench-compare <old.json> <new.json> [threshold]\n       harness lint",
         chaos::DEFAULT_OUT,
         trace::DEFAULT_OUT,
         verify::DEFAULT_OUT,
         obs::DEFAULT_OUT,
         b9_scale::DEFAULT_OUT,
-        storm::DEFAULT_OUT
+        storm::DEFAULT_OUT,
+        perfetto::DEFAULT_OUT,
+        perfetto::DEFAULT_SUMMARY
     );
     std::process::exit(2);
 }
@@ -197,14 +204,15 @@ fn main() {
         return;
     }
 
-    // `chaos`, `trace`, `verify`, `obs`, `scale` and `storm` take an
-    // optional seed then an output path.
+    // `chaos`, `trace`, `verify`, `obs`, `scale`, `storm` and `perfetto`
+    // take an optional seed then an output path.
     if which == "chaos"
         || which == "trace"
         || which == "verify"
         || which == "obs"
         || which == "scale"
         || which == "storm"
+        || which == "perfetto"
     {
         let seed = match args.get(1) {
             Some(s) => s.parse().unwrap_or_else(|_| {
@@ -219,6 +227,7 @@ fn main() {
             "obs" => (obs::run, obs::DEFAULT_OUT),
             "scale" => (b9_scale::run, b9_scale::DEFAULT_OUT),
             "storm" => (storm::run, storm::DEFAULT_OUT),
+            "perfetto" => (perfetto::run, perfetto::DEFAULT_OUT),
             _ => (verify::run, verify::DEFAULT_OUT),
         };
         let out = args.get(2).map(String::as_str).unwrap_or(default_out);

@@ -39,6 +39,7 @@ pub mod figs;
 pub mod helpers;
 pub mod microbench;
 pub mod obs;
+pub mod perfetto;
 pub mod smoke;
 pub mod storm;
 pub mod table;

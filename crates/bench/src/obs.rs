@@ -163,6 +163,13 @@ pub fn runtime_metric_names() -> Vec<String> {
     // soak never touches: admission.*, breaker.*, autoscale.* and the
     // burst gauges. Audit those under the same rule.
     kc.0.extend(crate::storm::runtime_metric_names());
+    // The Perfetto exporter's bookkeeping counters live outside any Env
+    // (the export runs after the sim ends), so audit them statically.
+    kc.0.extend(
+        sensorcer_trace::perfetto::keys::ALL
+            .iter()
+            .map(|k| (*k).to_string()),
+    );
     kc.0.into_iter().collect()
 }
 
@@ -257,7 +264,8 @@ impl ObsReport {
         let mut j = String::new();
         let _ = write!(
             j,
-            "{{\n  \"seed\": {},\n  \"storm\": {{\"reads\": {}, \"ok\": {}, \"failed\": {}, \"degraded\": {}, \"faults\": {}}},\n",
+            "{{\n  \"schema_version\": {},\n  \"seed\": {},\n  \"storm\": {{\"reads\": {}, \"ok\": {}, \"failed\": {}, \"degraded\": {}, \"faults\": {}}},\n",
+            sensorcer_trace::EXPORT_SCHEMA_VERSION,
             self.seed,
             self.storm_soak.reads_total,
             self.storm_soak.reads_ok,
@@ -550,12 +558,24 @@ mod tests {
         ] {
             assert!(names.iter().any(|n| n == key), "audit missing {key}");
         }
+        // The Perfetto exporter and telemetry sampler families are audited
+        // too — statically and via the sampled storm, respectively.
+        for key in sensorcer_trace::perfetto::keys::ALL {
+            assert!(names.iter().any(|n| n == key), "audit missing {key}");
+        }
+        for key in sampler_keys::ALL {
+            assert!(names.iter().any(|n| n == key), "audit missing {key}");
+        }
     }
 
     #[test]
     fn json_shape_and_ops_populated() {
         let r = run_obs(3);
         let j = r.to_json();
+        assert!(j.contains(&format!(
+            "\"schema_version\": {}",
+            sensorcer_trace::EXPORT_SCHEMA_VERSION
+        )));
         assert!(j.contains("\"storm_slos\""));
         assert!(j.contains("\"clean_slos\""));
         assert!(j.contains("\"quorum-availability\""));

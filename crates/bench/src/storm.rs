@@ -177,7 +177,8 @@ impl StormReport {
         let mut j = String::new();
         let _ = write!(
             j,
-            "{{\n  \"seed\": {},\n  \"rounds\": {},\n  \"critical\": {{\"reads\": {}, \"ok\": {}, \"failed\": {}}},\n  \"bulk\": {{\"reads\": {}, \"ok\": {}, \"shed\": {}, \"failed_other\": {}}},\n  \"admission\": {{\"admitted\": {}, \"shed\": {}, \"queue_delays\": {}, \"shed_trace_events\": {}}},\n  \"breaker\": {{\"opened\": {}, \"skipped\": {}, \"half_open\": {}, \"closed\": {}}},\n  \"scaling\": {{\"up\": {}, \"down\": {}, \"max_planned\": {}, \"final_planned\": {}}},\n  \"max_critical_burn\": {:.3},\n  \"bursts_injected\": {},\n  \"violations\": [",
+            "{{\n  \"schema_version\": {},\n  \"seed\": {},\n  \"rounds\": {},\n  \"critical\": {{\"reads\": {}, \"ok\": {}, \"failed\": {}}},\n  \"bulk\": {{\"reads\": {}, \"ok\": {}, \"shed\": {}, \"failed_other\": {}}},\n  \"admission\": {{\"admitted\": {}, \"shed\": {}, \"queue_delays\": {}, \"shed_trace_events\": {}}},\n  \"breaker\": {{\"opened\": {}, \"skipped\": {}, \"half_open\": {}, \"closed\": {}}},\n  \"scaling\": {{\"up\": {}, \"down\": {}, \"max_planned\": {}, \"final_planned\": {}}},\n  \"max_critical_burn\": {:.3},\n  \"bursts_injected\": {},\n  \"violations\": [",
+            sensorcer_trace::EXPORT_SCHEMA_VERSION,
             self.seed,
             self.rounds,
             self.critical_reads,
@@ -239,6 +240,20 @@ impl StormReport {
     }
 }
 
+/// Everything a storm leaves behind beyond the scored report: the raw
+/// telemetry the Perfetto exporter feeds on. [`run_storm`] discards this;
+/// `harness perfetto` keeps it.
+pub struct StormRun {
+    pub report: StormReport,
+    /// The flight recorder, if the run was traced.
+    pub recorder: Option<FlightRecorder>,
+    /// `(host id, host name)` for every host in the topology, in id order —
+    /// the Perfetto process-track names.
+    pub hosts: Vec<(u64, String)>,
+    /// The façade's full SLO alert history (fired and resolved).
+    pub alerts: Vec<sensorcer_obs::Alert>,
+}
+
 /// One tenant-attributed read with a `storm.read` root span, so shed and
 /// breaker events below it stay explainable from the trace.
 fn traced_read(
@@ -268,8 +283,17 @@ fn traced_read(
 
 struct Bean;
 
-/// Run one storm to completion.
+/// Run one storm to completion, keeping only the scored report.
 pub fn run_storm(cfg: &StormConfig) -> StormReport {
+    run_storm_full(cfg, None).report
+}
+
+/// Run one storm to completion, optionally pumping a [`TelemetrySampler`]
+/// once per round, and return the report plus the raw telemetry
+/// ([`StormRun`]). The sampler only *reads* the registry (its own
+/// bookkeeping counters aside), so a sampled storm's report is identical
+/// to an unsampled one on the same seed, modulo `metric_keys`.
+pub fn run_storm_full(cfg: &StormConfig, mut sampler: Option<&mut TelemetrySampler>) -> StormRun {
     let mut env = Env::with_seed(cfg.seed);
     if let Some(capacity) = cfg.trace_capacity {
         env.enable_tracing(capacity);
@@ -465,6 +489,9 @@ pub fn run_storm(cfg: &StormConfig) -> StormReport {
     while env.now() < end {
         rounds += 1;
         let round_start = env.now();
+        if let Some(s) = sampler.as_mut() {
+            s.sample(&mut env);
+        }
 
         // Control loop: façade burn rates → scaler → planned count →
         // admitted token rate. The gate's capacity *is* the fleet's.
@@ -479,6 +506,12 @@ pub fn run_storm(cfg: &StormConfig) -> StormReport {
                 .expect("facade reachable");
             if let Some((_, fast, _)) = burns.iter().find(|(s, _, _)| s == CRITICAL_SERVICE) {
                 max_critical_burn = max_critical_burn.max(*fast);
+            }
+            // Mirror each service's fast burn into a gauge so the sampler
+            // can turn the control signal into a Perfetto counter track.
+            for (service, fast, _) in &burns {
+                let key = format!("slo.burn.{}", service.to_lowercase().replace('-', "_"));
+                env.metrics.set_gauge(&key, *fast);
             }
             scaler.evaluate(&mut env, monitor, &burns);
             let planned = env
@@ -600,6 +633,19 @@ pub fn run_storm(cfg: &StormConfig) -> StormReport {
         violations.push("the breaker never closed after the restart".into());
     }
 
+    let alerts = env
+        .with_service(facade.service, |_e, sb: &mut ServicerBox| {
+            sb.downcast_mut::<SensorcerFacade>()
+                .expect("facade")
+                .slo_alerts()
+        })
+        .expect("facade reachable");
+    let hosts: Vec<(u64, String)> = env
+        .topo
+        .hosts()
+        .map(|h| (u64::from(h.id.0), h.name.clone()))
+        .collect();
+
     let metric_keys: Vec<String> = env.metrics.all_keys().into_iter().collect();
     let recorder = env.disable_tracing();
     let mut shed_trace_events = 0u64;
@@ -617,7 +663,7 @@ pub fn run_storm(cfg: &StormConfig) -> StormReport {
         }
     }
 
-    StormReport {
+    let report = StormReport {
         seed: cfg.seed,
         rounds,
         critical_reads,
@@ -643,14 +689,26 @@ pub fn run_storm(cfg: &StormConfig) -> StormReport {
         bursts_injected,
         violations,
         metric_keys,
+    };
+    StormRun {
+        report,
+        recorder,
+        hosts,
+        alerts,
     }
 }
 
 /// Every metric key a representative storm registers at runtime — merged
 /// into the `harness lint` naming audit so the admission, breaker,
-/// autoscale and burst keys are all held to `subsystem.object.action`.
+/// autoscale, burst and sampler keys are all held to
+/// `subsystem.object.action`. Runs with a default sampler attached so the
+/// `sampler.*` bookkeeping keys register the way `harness perfetto` sees
+/// them.
 pub fn runtime_metric_names() -> Vec<String> {
-    run_storm(&StormConfig::new(1)).metric_keys
+    let mut sampler = TelemetrySampler::new(SamplerConfig::default());
+    run_storm_full(&StormConfig::new(1), Some(&mut sampler))
+        .report
+        .metric_keys
 }
 
 /// `harness storm` entry point: run one seed, write the JSON summary to
@@ -711,6 +769,10 @@ mod tests {
     fn report_json_shape() {
         let r = run_storm(&StormConfig::new(3));
         let j = r.to_json();
+        assert!(j.contains(&format!(
+            "\"schema_version\": {}",
+            sensorcer_trace::EXPORT_SCHEMA_VERSION
+        )));
         assert!(j.contains("\"seed\": 3"));
         assert!(j.contains("\"admission\""));
         assert!(j.contains("\"scaling\""));
@@ -731,8 +793,14 @@ mod tests {
             autoscale_keys::ACTIONS_DOWN,
             sensorcer_sim::chaos::keys::CHAOS_BURSTS,
             &burst_gauge_key(BULK_TENANT_ID),
+            sampler_keys::TICKS,
+            sampler_keys::POINTS,
         ] {
             assert!(names.iter().any(|n| n == key), "missing {key}");
         }
+        assert!(
+            names.iter().any(|n| n.starts_with("slo.burn.")),
+            "control loop must mirror burn rates into gauges"
+        );
     }
 }

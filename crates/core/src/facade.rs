@@ -130,6 +130,16 @@ impl SensorcerFacade {
             .unwrap_or_default()
     }
 
+    /// Structured alert history from the installed health engine, fired
+    /// and resolved alike, with exemplar trace ids attached — the tap the
+    /// Perfetto alert-timeline track reads. Empty without SLOs.
+    pub fn slo_alerts(&self) -> Vec<sensorcer_obs::Alert> {
+        self.slos
+            .as_ref()
+            .map(|s| s.alerts().to_vec())
+            .unwrap_or_default()
+    }
+
     /// Deploy a façade and register it with every LUS the accessor knows.
     pub fn deploy(
         env: &mut Env,

@@ -40,6 +40,7 @@ pub mod anomaly;
 pub mod compare;
 pub mod naming;
 pub mod slo;
+pub mod timeline;
 
 pub use analytics::{
     critical_path, group_by_op, slowest_offenders, CriticalPath, OpStats, PathStep, SpanQuery,
@@ -53,3 +54,4 @@ pub use slo::{
     Alert, AlertTransition, BurnRateWindows, ReadOutcome, SloEngine, SloKind, SloReport, SloSpec,
     SloVerdict,
 };
+pub use timeline::{alert_timeline, ALERT_TRACK};

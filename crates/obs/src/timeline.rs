@@ -1,0 +1,119 @@
+//! Alert/exemplar timeline: the health engine's [`Alert`] history
+//! rendered as a Perfetto [`InstantTrack`].
+//!
+//! Each alert contributes a `slo.alert.fired` instant (and a
+//! `slo.alert.resolved` instant when it resolved), plus one
+//! `slo.alert.exemplar` instant per attached exemplar. Exemplar instants
+//! carry the offending trace's id as their flow, so in ui.perfetto.dev an
+//! alert visually connects to the very slices that burned the budget —
+//! the export layer drops the flow silently if that trace was evicted
+//! from the recorder, keeping every emitted flow resolvable.
+
+use sensorcer_trace::perfetto::{InstantEvent, InstantTrack};
+
+use crate::slo::Alert;
+
+/// Name of the timeline track the obs layer contributes.
+pub const ALERT_TRACK: &str = "slo-alerts";
+
+/// Render an alert history as one Perfetto instant track, time-sorted.
+pub fn alert_timeline(alerts: &[Alert]) -> InstantTrack {
+    let mut events = Vec::with_capacity(alerts.len() * 3);
+    for a in alerts {
+        events.push(InstantEvent {
+            at_ns: a.fired_at.as_nanos(),
+            name: "slo.alert.fired".into(),
+            flow_trace: a.exemplars.first().map(|e| e.0),
+            args: vec![
+                ("slo".into(), a.slo.clone()),
+                ("service".into(), a.service.clone()),
+                ("burn_fast".into(), format!("{:.3}", a.burn_fast)),
+                ("burn_slow".into(), format!("{:.3}", a.burn_slow)),
+            ],
+        });
+        for (trace, span, duration_ns) in &a.exemplars {
+            events.push(InstantEvent {
+                at_ns: a.fired_at.as_nanos(),
+                name: "slo.alert.exemplar".into(),
+                flow_trace: Some(*trace),
+                args: vec![
+                    ("slo".into(), a.slo.clone()),
+                    ("trace".into(), trace.to_string()),
+                    ("span".into(), span.to_string()),
+                    ("duration_ns".into(), duration_ns.to_string()),
+                ],
+            });
+        }
+        if let Some(t) = a.resolved_at {
+            events.push(InstantEvent {
+                at_ns: t.as_nanos(),
+                name: "slo.alert.resolved".into(),
+                flow_trace: None,
+                args: vec![
+                    ("slo".into(), a.slo.clone()),
+                    ("service".into(), a.service.clone()),
+                ],
+            });
+        }
+    }
+    events.sort_by_key(|e| e.at_ns);
+    InstantTrack {
+        name: ALERT_TRACK.into(),
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorcer_sim::time::SimTime;
+
+    fn alert(fired_s: u64, resolved_s: Option<u64>, exemplars: Vec<(u64, u64, u64)>) -> Alert {
+        Alert {
+            slo: "availability".into(),
+            service: "Bulk-Feed".into(),
+            fired_at: SimTime(fired_s * 1_000_000_000),
+            resolved_at: resolved_s.map(|s| SimTime(s * 1_000_000_000)),
+            burn_fast: 3.2,
+            burn_slow: 1.1,
+            exemplars,
+        }
+    }
+
+    #[test]
+    fn fired_resolved_and_exemplars_become_instants() {
+        let track = alert_timeline(&[alert(10, Some(40), vec![(7, 3, 900), (9, 5, 700)])]);
+        assert_eq!(track.name, ALERT_TRACK);
+        assert_eq!(track.events.len(), 4);
+        let names: Vec<&str> = track.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "slo.alert.fired",
+                "slo.alert.exemplar",
+                "slo.alert.exemplar",
+                "slo.alert.resolved"
+            ]
+        );
+        // The fired instant joins the first exemplar's flow; each
+        // exemplar instant joins its own trace's flow.
+        assert_eq!(track.events[0].flow_trace, Some(7));
+        assert_eq!(track.events[1].flow_trace, Some(7));
+        assert_eq!(track.events[2].flow_trace, Some(9));
+        assert_eq!(track.events[3].flow_trace, None);
+    }
+
+    #[test]
+    fn unresolved_alert_has_no_resolved_instant_and_sorts_by_time() {
+        let track = alert_timeline(&[alert(50, None, vec![]), alert(10, Some(20), vec![])]);
+        let times: Vec<u64> = track.events.iter().map(|e| e.at_ns).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "timeline is time-ordered");
+        assert_eq!(track.events.len(), 3);
+        assert!(
+            track.events[0].flow_trace.is_none(),
+            "no exemplars, no flow"
+        );
+    }
+}

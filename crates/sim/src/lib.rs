@@ -64,7 +64,9 @@ pub mod prelude {
     pub use crate::chaos::{ChaosConfig, ChaosCounts, ChaosEvent, ChaosSchedule};
     pub use crate::env::{Env, EnvConfig, LifecycleEvent, RepeatHandle, ServiceId, TimerId};
     pub use crate::hb::{HbTracker, HbViolation, VectorClock};
-    pub use crate::metrics::{keys as metric_keys, Metrics, Summary};
+    pub use crate::metrics::{
+        keys as metric_keys, sampler_keys, Metrics, SamplerConfig, Summary, TelemetrySampler,
+    };
     pub use crate::rng::SimRng;
     pub use crate::shard::ShardStats;
     pub use crate::time::{SimDuration, SimTime};

@@ -265,6 +265,168 @@ pub mod keys {
     pub const MULTICASTS: &str = "net.packets.multicast";
 }
 
+/// Metric keys the telemetry sampler registers about itself, held to the
+/// same `subsystem.object.action` convention as everything it samples.
+pub mod sampler_keys {
+    /// Snapshot ticks actually taken (cadence hits, not calls).
+    pub const TICKS: &str = "sampler.ticks.taken";
+    /// Individual `(time, value)` points appended across all series.
+    pub const POINTS: &str = "sampler.points.recorded";
+
+    pub const ALL: &[&str] = &[TICKS, POINTS];
+}
+
+/// Synthetic gauge series name for the event engine's pending-timer
+/// backlog, sampled straight off the queue rather than the registry.
+pub const PENDING_TIMERS_SERIES: &str = "engine.timers.pending";
+
+/// Key specs select which registry entries a sampler snapshots: an exact
+/// key, or a `prefix.*` wildcard matching every key under the prefix.
+fn spec_matches(spec: &str, key: &str) -> bool {
+    match spec.strip_suffix('*') {
+        Some(prefix) => key.starts_with(prefix),
+        None => spec == key,
+    }
+}
+
+/// What a [`TelemetrySampler`] watches and how often.
+#[derive(Clone, Debug)]
+pub struct SamplerConfig {
+    /// Sim-time cadence between snapshots.
+    pub period: crate::time::SimDuration,
+    /// Counter keys (exact or `prefix.*`) snapshotted as cumulative
+    /// series — Perfetto counter tracks asserted non-decreasing.
+    pub counters: Vec<String>,
+    /// Gauge keys (exact or `prefix.*`) snapshotted as value series.
+    pub gauges: Vec<String>,
+    /// Also sample the engine's pending-timer backlog as
+    /// [`PENDING_TIMERS_SERIES`].
+    pub pending_timers: bool,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> SamplerConfig {
+        SamplerConfig {
+            period: crate::time::SimDuration::from_secs(1),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            pending_timers: true,
+        }
+    }
+}
+
+/// Continuous telemetry sampler: a sim-time cadence snapshotter that
+/// turns registry counters and gauges (admission depth, burst level,
+/// burn rate, timer backlog) into [`CounterSeries`] for the Perfetto
+/// export's counter tracks.
+///
+/// Drive it from a scenario loop — call [`sample`](Self::sample) once
+/// per round; it no-ops until the next cadence boundary, so call
+/// frequency does not change what gets recorded. Sampling reads the
+/// registry and appends to internal series only (plus its own
+/// `sampler.*` bookkeeping counters), so a sampled run's simulation
+/// results are identical to an unsampled one.
+///
+/// [`CounterSeries`]: sensorcer_trace::perfetto::CounterSeries
+#[derive(Debug)]
+pub struct TelemetrySampler {
+    cfg: SamplerConfig,
+    next_due: Option<crate::time::SimTime>,
+    ticks: u64,
+    counters: BTreeMap<String, Vec<(u64, f64)>>,
+    gauges: BTreeMap<String, Vec<(u64, f64)>>,
+}
+
+impl TelemetrySampler {
+    pub fn new(mut cfg: SamplerConfig) -> TelemetrySampler {
+        // A zero period would spin the catch-up loop forever.
+        if cfg.period.0 == 0 {
+            cfg.period = crate::time::SimDuration(1);
+        }
+        TelemetrySampler {
+            cfg,
+            next_due: None,
+            ticks: 0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+        }
+    }
+
+    /// Snapshot ticks taken so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Take a snapshot if the cadence is due (the first call anchors the
+    /// cadence at the current sim time). Safe to call every round.
+    pub fn sample(&mut self, env: &mut crate::env::Env) {
+        let now = env.now();
+        let due = *self.next_due.get_or_insert(now);
+        if now < due {
+            return;
+        }
+        // Catch up past gaps longer than one period so the cadence stays
+        // anchored to the original grid.
+        let mut next = due;
+        while next <= now {
+            next += self.cfg.period;
+        }
+        self.next_due = Some(next);
+        self.ticks += 1;
+
+        let t = now.as_nanos();
+        let mut points = 0u64;
+        for (key, v) in env.metrics.counters() {
+            if self.cfg.counters.iter().any(|s| spec_matches(s, key)) {
+                self.counters
+                    .entry(key.to_string())
+                    .or_default()
+                    .push((t, v as f64));
+                points += 1;
+            }
+        }
+        for (key, v) in env.metrics.gauges() {
+            if self.cfg.gauges.iter().any(|s| spec_matches(s, key)) {
+                self.gauges.entry(key.to_string()).or_default().push((t, v));
+                points += 1;
+            }
+        }
+        if self.cfg.pending_timers {
+            self.gauges
+                .entry(PENDING_TIMERS_SERIES.to_string())
+                .or_default()
+                .push((t, env.pending_timers() as f64));
+            points += 1;
+        }
+        env.metrics.add(sampler_keys::TICKS, 1);
+        env.metrics.add(sampler_keys::POINTS, points);
+    }
+
+    /// The recorded series as Perfetto counter-track inputs: counters as
+    /// cumulative `Count` series, gauges as free-moving `Value` series,
+    /// sorted by name.
+    pub fn into_series(self) -> Vec<sensorcer_trace::perfetto::CounterSeries> {
+        use sensorcer_trace::perfetto::{CounterSeries, CounterUnit};
+        let mut out = Vec::with_capacity(self.counters.len() + self.gauges.len());
+        for (name, points) in self.counters {
+            out.push(CounterSeries {
+                name,
+                unit: CounterUnit::Count,
+                points,
+            });
+        }
+        for (name, points) in self.gauges {
+            out.push(CounterSeries {
+                name,
+                unit: CounterUnit::Value,
+                points,
+            });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,5 +566,63 @@ mod tests {
         assert_eq!(m.delta("x", before), 6);
         m.clear();
         assert_eq!(m.get("x"), 0);
+    }
+
+    #[test]
+    fn sampler_snapshots_on_its_cadence_only() {
+        use crate::env::Env;
+        use crate::time::SimDuration;
+
+        let mut env = Env::with_seed(7);
+        let mut s = TelemetrySampler::new(SamplerConfig {
+            period: SimDuration::from_secs(2),
+            counters: vec!["admission.*".into()],
+            gauges: vec!["chaos.burst.level_t0".into()],
+            pending_timers: true,
+        });
+        for round in 0..10u64 {
+            env.metrics.add("admission.requests.shed", 1);
+            env.metrics.add("other.requests.served", 1);
+            env.metrics.set_gauge("chaos.burst.level_t0", round as f64);
+            s.sample(&mut env);
+            // Extra same-instant calls are no-ops: the cadence, not the
+            // call count, decides what gets recorded.
+            s.sample(&mut env);
+            env.run_for(SimDuration::from_secs(1));
+        }
+        // 10 virtual seconds at a 2 s period = ticks at t=0,2,4,6,8.
+        assert_eq!(s.ticks(), 5);
+        assert_eq!(env.metrics.get(sampler_keys::TICKS), 5);
+        assert!(env.metrics.get(sampler_keys::POINTS) >= 10);
+
+        let series = s.into_series();
+        let names: Vec<&str> = series.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"admission.requests.shed"));
+        assert!(names.contains(&"chaos.burst.level_t0"));
+        assert!(names.contains(&PENDING_TIMERS_SERIES));
+        assert!(!names.contains(&"other.requests.served"), "{names:?}");
+
+        let shed = series
+            .iter()
+            .find(|c| c.name == "admission.requests.shed")
+            .unwrap();
+        assert_eq!(shed.points.len(), 5);
+        assert!(matches!(
+            shed.unit,
+            sensorcer_trace::perfetto::CounterUnit::Count
+        ));
+        // Cumulative counter snapshots never decrease.
+        assert!(shed.points.windows(2).all(|w| w[0].1 <= w[1].1));
+        // Timestamps ride the virtual clock.
+        assert_eq!(shed.points[1].0 - shed.points[0].0, 2_000_000_000);
+    }
+
+    #[test]
+    fn sampler_wildcards_and_exact_keys() {
+        assert!(spec_matches("admission.*", "admission.requests.shed"));
+        assert!(spec_matches("a.b.c", "a.b.c"));
+        assert!(!spec_matches("a.b.c", "a.b.c.d"));
+        assert!(!spec_matches("admission.*", "breaker.calls.skipped"));
+        assert!(spec_matches("*", "anything.at.all"));
     }
 }

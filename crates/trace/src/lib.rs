@@ -28,6 +28,15 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+pub mod perfetto;
+
+/// Version stamped into every JSON export this workspace produces (TRACE,
+/// OBS, STORM). Version 1 was the unversioned shape; 2 adds the
+/// `schema_version` field itself plus the flight recorder's eviction
+/// markers. Bump on any breaking shape change so bench-compare and
+/// downstream tooling can detect drift.
+pub const EXPORT_SCHEMA_VERSION: u32 = 2;
+
 /// Identifies one logical end-to-end operation (e.g. a federated read).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TraceId(pub u64);
@@ -288,13 +297,34 @@ fn escape_into(s: &str, out: &mut String) {
     }
 }
 
+/// One ring-buffer eviction that happened while spans were still open —
+/// the moment an exported trace may start orphaning child slices. The
+/// Perfetto export renders these as instants on a `flight-recorder`
+/// track so truncation is visible instead of silent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictionMarker {
+    /// Virtual time of the `span_end` whose retirement forced the
+    /// eviction.
+    pub at_ns: u64,
+    /// The closed span that was pushed out of the ring.
+    pub evicted: SpanId,
+    /// How many spans were open at that moment (potential orphans).
+    pub open_at_eviction: usize,
+}
+
+/// Markers are bounded like everything else in the recorder; past this
+/// the count in [`FlightRecorder::dropped_while_open`] keeps the tally.
+const MAX_EVICTION_MARKERS: usize = 1024;
+
 /// Bounded ring buffer of spans with stack-discipline parenting.
 ///
 /// `span_start` makes the new span a child of the innermost open span and
 /// a member of its trace (or roots a fresh trace when the stack is empty);
 /// `span_end` retires it into the closed ring, evicting the oldest closed
-/// span once `capacity` is reached (evictions are counted, never silent).
-/// All operations on [`SpanId::INVALID`] are no-ops.
+/// span once `capacity` is reached (evictions are counted, never silent —
+/// and evictions that race still-open spans additionally record an
+/// [`EvictionMarker`], because those are the ones that can orphan child
+/// slices in an export). All operations on [`SpanId::INVALID`] are no-ops.
 #[derive(Debug)]
 pub struct FlightRecorder {
     capacity: usize,
@@ -310,6 +340,8 @@ pub struct FlightRecorder {
     labels: BTreeSet<Arc<str>>,
     closed: VecDeque<Span>,
     dropped: u64,
+    dropped_while_open: u64,
+    evictions: Vec<EvictionMarker>,
 }
 
 impl FlightRecorder {
@@ -325,6 +357,8 @@ impl FlightRecorder {
             // record path never stalls on a doubling copy.
             closed: VecDeque::with_capacity(capacity.min(65_536)),
             dropped: 0,
+            dropped_while_open: 0,
+            evictions: Vec::new(),
         }
     }
 
@@ -420,8 +454,23 @@ impl FlightRecorder {
         s.end_ns = now_ns;
         s.outcome = outcome;
         if self.closed.len() >= self.capacity {
-            self.closed.pop_front();
+            let evicted = self.closed.pop_front();
             self.dropped += 1;
+            // Wrapping while spans are still open is the case that can
+            // orphan child slices in an export — mark it explicitly so
+            // downstream consumers see truncation instead of inferring it.
+            if !self.open.is_empty() {
+                self.dropped_while_open += 1;
+                if self.evictions.len() < MAX_EVICTION_MARKERS {
+                    if let Some(old) = &evicted {
+                        self.evictions.push(EvictionMarker {
+                            at_ns: now_ns,
+                            evicted: old.id,
+                            open_at_eviction: self.open.len(),
+                        });
+                    }
+                }
+            }
         }
         self.closed.push_back(s);
     }
@@ -457,6 +506,19 @@ impl FlightRecorder {
     /// Closed spans evicted from the ring to honour `capacity`.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// The subset of [`dropped`](Self::dropped) evictions that happened
+    /// while spans were still open — each one a potential orphaned child
+    /// slice in an export.
+    pub fn dropped_while_open(&self) -> u64 {
+        self.dropped_while_open
+    }
+
+    /// Explicit markers for the first 1024 evictions that raced open
+    /// spans, in occurrence order.
+    pub fn evictions(&self) -> &[EvictionMarker] {
+        &self.evictions
     }
 
     /// Map from parent span id to the (closed) children's indices in
@@ -511,11 +573,24 @@ impl FlightRecorder {
         let mut j = String::with_capacity(128 + self.closed.len() * 160);
         let _ = write!(
             j,
-            "{{\n  \"spans_closed\": {},\n  \"spans_open\": {},\n  \"spans_dropped\": {},\n  \"spans\": [\n",
+            "{{\n  \"schema_version\": {},\n  \"spans_closed\": {},\n  \"spans_open\": {},\n  \"spans_dropped\": {},\n  \"spans_dropped_while_open\": {},\n  \"evictions\": [",
+            EXPORT_SCHEMA_VERSION,
             self.closed.len(),
             self.open.len(),
-            self.dropped
+            self.dropped,
+            self.dropped_while_open
         );
+        for (i, m) in self.evictions.iter().enumerate() {
+            let _ = write!(
+                j,
+                "{}{{\"at_ns\": {}, \"evicted\": {}, \"open\": {}}}",
+                if i == 0 { "" } else { ", " },
+                m.at_ns,
+                m.evicted.0,
+                m.open_at_eviction
+            );
+        }
+        j.push_str("],\n  \"spans\": [\n");
         for (i, s) in self.closed.iter().enumerate() {
             j.push_str("    ");
             s.write_json(&mut j);
@@ -891,5 +966,55 @@ mod tests {
         assert_eq!(h.min(), -5.0);
         assert_eq!(h.max(), 5.0);
         assert!(h.quantile(0.5) <= 0.0 && h.quantile(0.5) >= -1.0);
+    }
+
+    #[test]
+    fn json_export_carries_the_schema_version() {
+        let mut r = FlightRecorder::new(8);
+        let s = r.span_start("read", "svc", 1, 10);
+        r.span_end(s, 20, Outcome::Ok);
+        let j = r.to_json();
+        assert!(j.contains(&format!("\"schema_version\": {EXPORT_SCHEMA_VERSION}")));
+        assert!(j.contains("\"spans_dropped_while_open\": 0"));
+        assert!(j.contains("\"evictions\": []"));
+    }
+
+    #[test]
+    fn eviction_while_open_is_marked() {
+        let mut r = FlightRecorder::new(2);
+        let root = r.span_start("root", "svc", 1, 0);
+        for i in 0..5u64 {
+            let c = r.span_start("child", "svc", 1, i * 10);
+            r.span_end(c, i * 10 + 1, Outcome::Ok);
+        }
+        // Three children evicted while `root` was still open; each one
+        // recorded a marker naming the evicted span and the open depth.
+        assert_eq!(r.dropped(), 3);
+        assert_eq!(r.dropped_while_open(), 3);
+        assert_eq!(r.evictions().len(), 3);
+        for m in r.evictions() {
+            assert_eq!(m.open_at_eviction, 1);
+            assert!(m.evicted.is_valid());
+        }
+        let j = r.to_json();
+        assert!(j.contains("\"spans_dropped_while_open\": 3"));
+        assert!(j.contains("{\"at_ns\":"), "markers exported: {j}");
+        r.span_end(root, 100, Outcome::Ok);
+        // The final eviction happens with nothing open: counted in
+        // `dropped`, but no new while-open marker.
+        assert_eq!(r.dropped(), 4);
+        assert_eq!(r.dropped_while_open(), 3);
+    }
+
+    #[test]
+    fn eviction_with_nothing_open_is_not_marked() {
+        let mut r = FlightRecorder::new(1);
+        for i in 0..4u64 {
+            let s = r.span_start("read", "svc", 1, i * 10);
+            r.span_end(s, i * 10 + 1, Outcome::Ok);
+        }
+        assert_eq!(r.dropped(), 3);
+        assert_eq!(r.dropped_while_open(), 0);
+        assert!(r.evictions().is_empty());
     }
 }

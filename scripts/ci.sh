@@ -41,6 +41,17 @@
 #                           circuit-breaker lifecycle, autoscaler up and
 #                           back down without flapping), plus a shape
 #                           check on the exported file
+#   scripts/ci.sh --perfetto  tier-1, then the Perfetto export leg:
+#                           `harness perfetto` runs the tenant storm with
+#                           the telemetry sampler attached and writes the
+#                           binary trace (federation.perfetto-trace, not
+#                           committed) plus the PERFETTO_1.json summary;
+#                           checks the protobuf magic byte, asserts the
+#                           in-repo decoder validated the stream, re-runs
+#                           the export on the same seed and requires
+#                           bit-identical bytes, then runs the smoke
+#                           bench with the 4.0 cross-hardware gate so the
+#                           sampler can't quietly slow the hot paths
 #   scripts/ci.sh --scale   tier-1, then the B9 scaling curve on a
 #                           reduced mote sweep (10³ only — the full
 #                           10³/10⁴/10⁵ curve is `harness scale` with no
@@ -63,6 +74,7 @@ lint=0
 obs=0
 scale=0
 storm=0
+perfetto=0
 for arg in "$@"; do
     case "$arg" in
         --smoke) smoke=1 ;;
@@ -72,7 +84,8 @@ for arg in "$@"; do
         --obs) obs=1 ;;
         --scale) scale=1 ;;
         --storm) storm=1 ;;
-        *) echo "usage: scripts/ci.sh [--smoke] [--soak] [--trace] [--lint] [--obs] [--scale] [--storm]" >&2; exit 2 ;;
+        --perfetto) perfetto=1 ;;
+        *) echo "usage: scripts/ci.sh [--smoke] [--soak] [--trace] [--lint] [--obs] [--scale] [--storm] [--perfetto]" >&2; exit 2 ;;
     esac
 done
 
@@ -97,7 +110,7 @@ if [ "$trace" -eq 1 ]; then
     cargo run --release -p sensorcer-bench --bin harness -- trace
     # Shape check: the export is a span array with ids and names; an
     # empty or truncated file must fail even if the harness passed.
-    for needle in '"spans"' '"id"' '"name"' '"outcome"'; do
+    for needle in '"schema_version"' '"spans"' '"id"' '"name"' '"outcome"'; do
         grep -q "$needle" TRACE_1.json || {
             echo "TRACE_1.json missing $needle" >&2
             exit 1
@@ -140,7 +153,7 @@ if [ "$obs" -eq 1 ]; then
     cargo run --release -p sensorcer-bench --bin harness -- obs
     # Shape check: the export must carry the SLO verdicts, the alert
     # history with exemplars, and a passing self-assessment.
-    for needle in '"storm_slos"' '"clean_slos"' '"alerts"' '"exemplars"' '"anomalies"' '"passed": true'; do
+    for needle in '"schema_version"' '"storm_slos"' '"clean_slos"' '"alerts"' '"exemplars"' '"anomalies"' '"passed": true'; do
         grep -q "$needle" OBS_1.json || {
             echo "OBS_1.json missing $needle" >&2
             exit 1
@@ -166,12 +179,51 @@ if [ "$storm" -eq 1 ]; then
     cargo run --release -p sensorcer-bench --bin harness -- storm
     # Shape check: the export must carry the per-class admission ledger,
     # the breaker lifecycle, the scaling timeline and a passing verdict.
-    for needle in '"admission"' '"breaker"' '"scaling"' '"bulk"' '"critical"' '"passed": true'; do
+    for needle in '"schema_version"' '"admission"' '"breaker"' '"scaling"' '"bulk"' '"critical"' '"passed": true'; do
         grep -q "$needle" STORM_1.json || {
             echo "STORM_1.json missing $needle" >&2
             exit 1
         }
     done
+fi
+
+if [ "$perfetto" -eq 1 ]; then
+    echo "== perfetto export (writes federation.perfetto-trace + PERFETTO_1.json) =="
+    cargo run --release -p sensorcer-bench --bin harness -- perfetto
+    # The stream must open with the Trace.packet tag (field 1,
+    # length-delimited = 0x0a) or ui.perfetto.dev will reject it.
+    [ "$(head -c 1 federation.perfetto-trace | od -An -tx1 | tr -d ' \n')" = "0a" ] || {
+        echo "federation.perfetto-trace: bad protobuf magic byte" >&2
+        exit 1
+    }
+    # Shape check: the summary must carry the decoder's verdict and the
+    # determinism fingerprint.
+    for needle in '"schema_version"' '"fnv64"' '"tracks"' '"flows"' '"sampler_ticks"' '"passed": true'; do
+        grep -q "$needle" PERFETTO_1.json || {
+            echo "PERFETTO_1.json missing $needle" >&2
+            exit 1
+        }
+    done
+
+    echo "== perfetto determinism: same seed, bit-identical bytes =="
+    # 6169865 = 0x5E2509, the harness default seed (the seed positional
+    # is required to reach the output-path positional).
+    cargo run --release -p sensorcer-bench --bin harness -- \
+        perfetto 6169865 PERFETTO_ci.perfetto-trace
+    cmp federation.perfetto-trace PERFETTO_ci.perfetto-trace || {
+        echo "perfetto export is not bit-identical across runs on the same seed" >&2
+        exit 1
+    }
+    rm -f PERFETTO_ci.perfetto-trace PERFETTO_ci.perfetto-trace.summary.json
+
+    echo "== sampler overhead gate vs committed baseline (noise threshold 4.0) =="
+    # Same cross-hardware threshold rationale as the --obs gate: the
+    # smoke pass covers the B2/B5/B6 hot paths, so a sampler or exporter
+    # regression that leaks into the read path fails here.
+    cargo run --release -p sensorcer-bench --bin harness -- smoke BENCH_perfetto_ci.json
+    cargo run --release -p sensorcer-bench --bin harness -- \
+        bench-compare BENCH_1.json BENCH_perfetto_ci.json 4.0
+    rm -f BENCH_perfetto_ci.json
 fi
 
 if [ "$scale" -eq 1 ]; then
