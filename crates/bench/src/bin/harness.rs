@@ -37,6 +37,12 @@
 //!   a Perfetto protobuf trace (open it at https://ui.perfetto.dev);
 //!   round-trips the bytes through the in-repo decoder before writing,
 //!   and writes a PERFETTO_1.json summary next to the binary
+//! harness race [seed] [out.json]
+//!   FastTrack-lite shard-race detection under DPOR window permutation:
+//!   clean shard-local and barrier-handoff worlds (zero races on every
+//!   interleaving), the cross-subnet racy-map and hidden-race mutations
+//!   (must be caught), and a 16-shard B9 churn with measured detector
+//!   overhead; writes RACE_1.json
 //! harness bench-compare <old.json> <new.json> [threshold]
 //!   diff two smoke-bench JSON files; exits nonzero when any benchmark
 //!   regressed beyond the relative noise threshold (default 0.35)
@@ -53,7 +59,7 @@ type SeededRunner = fn(u64, &str) -> Result<String, String>;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: next free BENCH_<n>.json)\n       harness chaos [seed] [out.json]   (default out: {})\n       harness trace [seed] [out.json]   (default out: {})\n       harness verify [seed] [out.json]  (default out: {})\n       harness obs [seed] [out.json]     (default out: {})\n       harness scale [seed] [out.json]   (default out: {})\n       harness storm [seed] [out.json]   (default out: {})\n       harness perfetto [seed] [out]     (default out: {}, summary: {})\n       harness bench-compare <old.json> <new.json> [threshold]\n       harness lint",
+        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: next free BENCH_<n>.json)\n       harness chaos [seed] [out.json]   (default out: {})\n       harness trace [seed] [out.json]   (default out: {})\n       harness verify [seed] [out.json]  (default out: {})\n       harness obs [seed] [out.json]     (default out: {})\n       harness scale [seed] [out.json]   (default out: {})\n       harness storm [seed] [out.json]   (default out: {})\n       harness perfetto [seed] [out]     (default out: {}, summary: {})\n       harness race [seed] [out.json]    (default out: {})\n       harness bench-compare <old.json> <new.json> [threshold]\n       harness lint",
         chaos::DEFAULT_OUT,
         trace::DEFAULT_OUT,
         verify::DEFAULT_OUT,
@@ -61,7 +67,8 @@ fn usage() -> ! {
         b9_scale::DEFAULT_OUT,
         storm::DEFAULT_OUT,
         perfetto::DEFAULT_OUT,
-        perfetto::DEFAULT_SUMMARY
+        perfetto::DEFAULT_SUMMARY,
+        race::DEFAULT_OUT
     );
     std::process::exit(2);
 }
@@ -204,8 +211,8 @@ fn main() {
         return;
     }
 
-    // `chaos`, `trace`, `verify`, `obs`, `scale`, `storm` and `perfetto`
-    // take an optional seed then an output path.
+    // `chaos`, `trace`, `verify`, `obs`, `scale`, `storm`, `perfetto`
+    // and `race` take an optional seed then an output path.
     if which == "chaos"
         || which == "trace"
         || which == "verify"
@@ -213,6 +220,7 @@ fn main() {
         || which == "scale"
         || which == "storm"
         || which == "perfetto"
+        || which == "race"
     {
         let seed = match args.get(1) {
             Some(s) => s.parse().unwrap_or_else(|_| {
@@ -228,6 +236,7 @@ fn main() {
             "scale" => (b9_scale::run, b9_scale::DEFAULT_OUT),
             "storm" => (storm::run, storm::DEFAULT_OUT),
             "perfetto" => (perfetto::run, perfetto::DEFAULT_OUT),
+            "race" => (race::run, race::DEFAULT_OUT),
             _ => (verify::run, verify::DEFAULT_OUT),
         };
         let out = args.get(2).map(String::as_str).unwrap_or(default_out);

@@ -1,0 +1,567 @@
+//! `harness race`: the shard-race detection gate.
+//!
+//! Drives the FastTrack-lite shadow state from `sensorcer-sim` under the
+//! DPOR-lite window explorer from `sensorcer-verify`:
+//!
+//! * **Clean scenarios** — [`ShardLocalChurn`] (every shard touches only
+//!   its own per-subnet map) and [`BarrierHandoff`] (cross-shard
+//!   handoffs spaced strictly past the lookahead) are explored
+//!   *exhaustively* over every reachable window interleaving, then
+//!   sampled under three seeds derived from the CLI seed. They must
+//!   report zero races on every schedule, and the run must be provably
+//!   non-vacuous: real k≥2 window choice points, cells checked,
+//!   barriers joined.
+//! * **Mutations** — [`CrossSubnetRacyMap`] (two shards mutate one
+//!   cross-subnet route map in the same window, no barrier: a callback
+//!   mutating shared state without a window barrier) must be caught on
+//!   the canonical FIFO order, exhaustively, and under each pinned seed
+//!   in [`MUTATION_SEEDS`]. [`HiddenRace`] (a flag-guarded second writer
+//!   only the permuted window order sends to the map) must look clean
+//!   under FIFO and be caught by exploration — the detection only window
+//!   permutation provides.
+//! * **B9 churn** — a 16-shard, 16-subnet mote world fires
+//!   [`CHURN_EVENTS`] shard-local timers per pinned seed with the
+//!   detector installed: zero races, every callback attributed, and the
+//!   detector overhead is measured against an identical detector-off
+//!   run (the instrumentation hooks stay in place and early-return, so
+//!   the delta is the shadow-state cost itself).
+//!
+//! `harness race [seed] [out.json]` writes `RACE_1.json`
+//! (`schema_version` 1) and exits nonzero on any race in a clean world,
+//! a missed mutation, or a vacuous exploration; `scripts/ci.sh --race`
+//! shape-checks the JSON.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sensorcer_sim::prelude::*;
+use sensorcer_verify::explore::{
+    explore, run_one, ChoicePolicy, ExploreConfig, ExploreReport, Scenario,
+};
+use sensorcer_verify::scenarios::{
+    BarrierHandoff, CrossSubnetRacyMap, HiddenRace, ShardLocalChurn,
+};
+
+/// Where `harness race` writes by default.
+pub const DEFAULT_OUT: &str = "RACE_1.json";
+
+/// RACE_1.json schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Pinned seeds for the mutation and churn checks — fixed forever so a
+/// detection regression cannot hide behind seed drift.
+pub const MUTATION_SEEDS: [u64; 3] = [11, 23, 47];
+
+/// Distinct window interleavings the clean scenarios must reach in
+/// total (both trees are closed exhaustively: 36 + 16).
+pub const DISTINCT_FLOOR: usize = 40;
+
+/// Exhaustive budget per clean scenario — above both tree sizes, so
+/// truncation is a failure, not a cap.
+const EXHAUSTIVE_BUDGET: usize = 200;
+
+/// Sampled schedules per (scenario, derived seed) pass.
+const SAMPLE_BUDGET: usize = 40;
+
+/// Schedules a mutation check may spend per attempt.
+const MUTATION_BUDGET: usize = 64;
+
+/// Shards (= mote subnets) in the B9 churn world.
+pub const CHURN_SHARDS: usize = 16;
+
+/// Shard-local timers the churn fires per seed.
+pub const CHURN_EVENTS: usize = 30_000;
+
+/// One shard-local cell per churn subnet.
+const CHURN_CELLS: [&str; CHURN_SHARDS] = [
+    "fed.subnet0.services",
+    "fed.subnet1.services",
+    "fed.subnet2.services",
+    "fed.subnet3.services",
+    "fed.subnet4.services",
+    "fed.subnet5.services",
+    "fed.subnet6.services",
+    "fed.subnet7.services",
+    "fed.subnet8.services",
+    "fed.subnet9.services",
+    "fed.subnet10.services",
+    "fed.subnet11.services",
+    "fed.subnet12.services",
+    "fed.subnet13.services",
+    "fed.subnet14.services",
+    "fed.subnet15.services",
+];
+
+/// splitmix64 — derives per-pass sampling seeds from the CLI seed.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Exploration totals for one clean scenario: the exhaustive pass plus
+/// three sampled passes, distinct schedules unioned by hash.
+#[derive(Clone, Debug, Default)]
+pub struct ScenarioStats {
+    pub name: String,
+    pub schedules_run: usize,
+    pub distinct_schedules: usize,
+    pub max_width: usize,
+    /// Shadow-state cell accesses checked, summed over runs.
+    pub cells_checked: u64,
+    /// Window barriers the detector joined, summed over runs.
+    pub barriers: u64,
+    /// Races detected — must be zero for a clean scenario.
+    pub races: u64,
+    /// The exhaustive pass closed the whole window-interleaving tree.
+    pub exhaustive_complete: bool,
+    pub violations: Vec<String>,
+}
+
+impl ScenarioStats {
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+            && self.races == 0
+            && self.exhaustive_complete
+            && self.max_width >= 2
+            && self.cells_checked > 0
+            && self.barriers > 0
+    }
+}
+
+/// How one racy mutation fared under the detector.
+#[derive(Clone, Debug, Default)]
+pub struct MutationStats {
+    pub scenario: String,
+    /// Whether the canonical FIFO window order must already expose it
+    /// (true for the unconditional same-window mutation; false for the
+    /// hidden race only permutation reaches).
+    pub fifo_should_detect: bool,
+    pub fifo_detected: bool,
+    pub detected_exhaustive: bool,
+    /// Detection under each of [`MUTATION_SEEDS`].
+    pub detected_by_seed: Vec<(u64, bool)>,
+    /// First race report the exhaustive pass produced.
+    pub example: String,
+}
+
+impl MutationStats {
+    pub fn passed(&self) -> bool {
+        self.fifo_detected == self.fifo_should_detect
+            && self.detected_exhaustive
+            && !self.detected_by_seed.is_empty()
+            && self.detected_by_seed.iter().all(|&(_, d)| d)
+    }
+}
+
+/// One detector-on churn run plus its detector-off timing baseline.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnStats {
+    pub seed: u64,
+    pub shards: usize,
+    /// Callbacks the detector attributed to a lane.
+    pub callbacks: u64,
+    pub cells_written: u64,
+    pub barriers: u64,
+    /// Races — must be zero: every cell is shard-local.
+    pub races: u64,
+    /// Wall time of the identical run with the detector off (hooks in
+    /// place, early-returning).
+    pub base_ns: u64,
+    /// Wall time with the shadow state installed.
+    pub detector_ns: u64,
+}
+
+impl ChurnStats {
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.base_ns == 0 {
+            return 0.0;
+        }
+        self.detector_ns as f64 / self.base_ns as f64
+    }
+
+    pub fn passed(&self) -> bool {
+        self.races == 0 && self.callbacks as usize == CHURN_EVENTS && self.barriers > 0
+    }
+}
+
+/// The whole `harness race` result.
+#[derive(Clone, Debug, Default)]
+pub struct RaceHarnessReport {
+    pub seed: u64,
+    pub scenarios: Vec<ScenarioStats>,
+    pub mutations: Vec<MutationStats>,
+    pub churn: Vec<ChurnStats>,
+}
+
+impl RaceHarnessReport {
+    pub fn distinct_total(&self) -> usize {
+        self.scenarios.iter().map(|s| s.distinct_schedules).sum()
+    }
+
+    pub fn passed(&self) -> bool {
+        self.scenarios.iter().all(|s| s.passed())
+            && self.distinct_total() >= DISTINCT_FLOOR
+            && !self.mutations.is_empty()
+            && self.mutations.iter().all(|m| m.passed())
+            && !self.churn.is_empty()
+            && self.churn.iter().all(|c| c.passed())
+    }
+
+    /// JSON summary for CI tracking.
+    pub fn to_json(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut j = String::new();
+        let _ = write!(
+            j,
+            "{{\n  \"schema_version\": {},\n  \"seed\": {},\n  \"distinct_floor\": {},\n  \"distinct_schedules\": {},\n  \"scenarios\": [",
+            SCHEMA_VERSION,
+            self.seed,
+            DISTINCT_FLOOR,
+            self.distinct_total(),
+        );
+        for (i, s) in self.scenarios.iter().enumerate() {
+            let _ = write!(
+                j,
+                "{}\n    {{\"name\": \"{}\", \"schedules_run\": {}, \"distinct_schedules\": {}, \"max_width\": {}, \"cells_checked\": {}, \"barriers\": {}, \"races\": {}, \"exhaustive_complete\": {}, \"violations\": [",
+                if i == 0 { "" } else { "," },
+                esc(&s.name),
+                s.schedules_run,
+                s.distinct_schedules,
+                s.max_width,
+                s.cells_checked,
+                s.barriers,
+                s.races,
+                s.exhaustive_complete,
+            );
+            for (k, v) in s.violations.iter().enumerate() {
+                let _ = write!(j, "{}\"{}\"", if k == 0 { "" } else { ", " }, esc(v));
+            }
+            let _ = write!(j, "]}}");
+        }
+        let _ = write!(j, "\n  ],\n  \"mutations\": [");
+        for (i, m) in self.mutations.iter().enumerate() {
+            let _ = write!(
+                j,
+                "{}\n    {{\"scenario\": \"{}\", \"fifo_should_detect\": {}, \"fifo_detected\": {}, \"detected_exhaustive\": {}, \"detected_by_seed\": [",
+                if i == 0 { "" } else { "," },
+                esc(&m.scenario),
+                m.fifo_should_detect,
+                m.fifo_detected,
+                m.detected_exhaustive,
+            );
+            for (k, (seed, det)) in m.detected_by_seed.iter().enumerate() {
+                let _ = write!(
+                    j,
+                    "{}{{\"seed\": {seed}, \"detected\": {det}}}",
+                    if k == 0 { "" } else { ", " }
+                );
+            }
+            let _ = write!(j, "], \"example\": \"{}\"}}", esc(&m.example));
+        }
+        let _ = write!(j, "\n  ],\n  \"churn\": [");
+        for (i, c) in self.churn.iter().enumerate() {
+            let _ = write!(
+                j,
+                "{}\n    {{\"seed\": {}, \"shards\": {}, \"events\": {}, \"callbacks\": {}, \"cells_written\": {}, \"barriers\": {}, \"races\": {}, \"base_ns\": {}, \"detector_ns\": {}, \"overhead_ratio\": {:.4}}}",
+                if i == 0 { "" } else { "," },
+                c.seed,
+                c.shards,
+                CHURN_EVENTS,
+                c.callbacks,
+                c.cells_written,
+                c.barriers,
+                c.races,
+                c.base_ns,
+                c.detector_ns,
+                c.overhead_ratio(),
+            );
+        }
+        let _ = write!(j, "\n  ],\n  \"passed\": {}\n}}\n", self.passed());
+        j
+    }
+
+    /// Human transcript, one line per scenario/mutation/churn seed.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for s in &self.scenarios {
+            let _ = writeln!(
+                out,
+                "race {:<22} {:>3} schedules ({:>2} distinct, max width {}), {} cells, {} barriers — {}",
+                s.name,
+                s.schedules_run,
+                s.distinct_schedules,
+                s.max_width,
+                s.cells_checked,
+                s.barriers,
+                if s.races == 0 && s.violations.is_empty() {
+                    "0 races".to_string()
+                } else {
+                    format!("{} RACES / {} violations", s.races, s.violations.len())
+                }
+            );
+        }
+        for m in &self.mutations {
+            let _ = writeln!(
+                out,
+                "race mutation {:<22} fifo {}, exhaustive {}, seeds {} — {}",
+                m.scenario,
+                match (m.fifo_should_detect, m.fifo_detected) {
+                    (true, true) => "caught (as required)",
+                    (true, false) => "MISSED",
+                    (false, false) => "clean (as required)",
+                    (false, true) => "DIRTY",
+                },
+                if m.detected_exhaustive {
+                    "caught"
+                } else {
+                    "MISSED"
+                },
+                m.detected_by_seed
+                    .iter()
+                    .map(|(s, d)| format!("{s}:{}", if *d { "caught" } else { "MISSED" }))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                if m.passed() { "PASS" } else { "FAIL" }
+            );
+        }
+        for c in &self.churn {
+            let _ = writeln!(
+                out,
+                "race churn seed {:<3} {} shards, {} events: {} races, {} barriers, detector {:.2}x ({} ns vs {} ns)",
+                c.seed,
+                c.shards,
+                c.callbacks,
+                c.races,
+                c.barriers,
+                c.overhead_ratio(),
+                c.detector_ns,
+                c.base_ns,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "race total: {} distinct window interleavings (floor {}) — {}",
+            self.distinct_total(),
+            DISTINCT_FLOOR,
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+fn race_detected(report: &ExploreReport) -> bool {
+    report.races_detected > 0 || report.violations.iter().any(|v| v.contains("race: "))
+}
+
+fn explore_clean(scenario: &dyn Scenario, base_seed: u64) -> ScenarioStats {
+    let mut stats = ScenarioStats {
+        name: scenario.name().to_string(),
+        ..Default::default()
+    };
+    let mut union: BTreeSet<u64> = BTreeSet::new();
+    let exhaustive = explore(scenario, &ExploreConfig::exhaustive(EXHAUSTIVE_BUDGET));
+    stats.exhaustive_complete = !exhaustive.truncated;
+    let mut absorb = |report: ExploreReport| {
+        stats.schedules_run += report.schedules_run;
+        stats.max_width = stats.max_width.max(report.max_width);
+        stats.cells_checked += report.race_cells_checked;
+        stats.barriers += report.race_barriers;
+        stats.races += report.races_detected;
+        stats.violations.extend(report.violations);
+        union.extend(report.schedule_hashes);
+    };
+    absorb(exhaustive);
+    let mut seed = base_seed;
+    for _ in 0..3 {
+        seed = splitmix(seed);
+        absorb(explore(
+            scenario,
+            &ExploreConfig {
+                check_tracing: false,
+                ..ExploreConfig::sample(seed, SAMPLE_BUDGET)
+            },
+        ));
+    }
+    stats.distinct_schedules = union.len();
+    stats
+}
+
+fn check_mutation(scenario: &dyn Scenario, fifo_should_detect: bool) -> MutationStats {
+    let fifo = run_one(scenario, ChoicePolicy::Prefix(Vec::new()), false);
+    let exhaustive = explore(
+        scenario,
+        &ExploreConfig {
+            check_tracing: false,
+            ..ExploreConfig::exhaustive(MUTATION_BUDGET)
+        },
+    );
+    let detected_by_seed = MUTATION_SEEDS
+        .iter()
+        .map(|&s| {
+            let r = explore(
+                scenario,
+                &ExploreConfig {
+                    check_tracing: false,
+                    ..ExploreConfig::sample(s, MUTATION_BUDGET)
+                },
+            );
+            (s, race_detected(&r))
+        })
+        .collect();
+    MutationStats {
+        scenario: scenario.name().to_string(),
+        fifo_should_detect,
+        fifo_detected: fifo.violations.iter().any(|v| v.contains("race: ")),
+        detected_exhaustive: race_detected(&exhaustive),
+        detected_by_seed,
+        example: exhaustive
+            .violations
+            .iter()
+            .find(|v| v.contains("race: "))
+            .cloned()
+            .unwrap_or_default(),
+    }
+}
+
+/// Build the 16-subnet mote world and fire [`CHURN_EVENTS`] shard-local
+/// timers; returns the wall time of the run loop.
+fn churn_run(seed: u64, detector: bool) -> (std::time::Duration, Option<Box<ShadowState>>) {
+    let mut env = Env::with_seed(seed);
+    let mut hosts = Vec::with_capacity(CHURN_SHARDS);
+    for s in 0..CHURN_SHARDS {
+        let h = env.add_host(format!("m{s}"), HostKind::SensorMote);
+        env.topo.set_subnet(h, SubnetId(s as u32));
+        hosts.push(h);
+    }
+    env.enable_sharding(CHURN_SHARDS);
+    if detector {
+        env.enable_race_detector();
+    }
+    let spread = SimDuration::from_millis(100);
+    for i in 0..CHURN_EVENTS {
+        let at = env.now()
+            + SimDuration::from_nanos(1 + (i as u64 * spread.as_nanos()) / CHURN_EVENTS as u64);
+        let s = i % CHURN_SHARDS;
+        env.schedule_at_on(hosts[s], at, move |env| env.race_write(CHURN_CELLS[s]));
+    }
+    let t0 = Instant::now();
+    env.run_for(spread + SimDuration::from_millis(1));
+    let elapsed = t0.elapsed();
+    (elapsed, env.disable_race_detector())
+}
+
+fn check_churn(seed: u64) -> ChurnStats {
+    let (base, _) = churn_run(seed, false);
+    let (timed, shadow) = churn_run(seed, true);
+    let mut stats = ChurnStats {
+        seed,
+        shards: CHURN_SHARDS,
+        base_ns: base.as_nanos() as u64,
+        detector_ns: timed.as_nanos() as u64,
+        ..Default::default()
+    };
+    if let Some(sh) = shadow {
+        let a = sh.activity();
+        stats.callbacks = a.callbacks;
+        stats.cells_written = a.writes;
+        stats.barriers = a.barriers;
+        stats.races = a.races;
+    }
+    stats
+}
+
+/// Run the full shard-race pass.
+pub fn run_race(seed: u64) -> RaceHarnessReport {
+    let clean: [&dyn Scenario; 2] = [&ShardLocalChurn, &BarrierHandoff];
+    RaceHarnessReport {
+        seed,
+        scenarios: clean.iter().map(|s| explore_clean(*s, seed)).collect(),
+        mutations: vec![
+            check_mutation(&CrossSubnetRacyMap, true),
+            check_mutation(&HiddenRace, false),
+        ],
+        churn: MUTATION_SEEDS.iter().map(|&s| check_churn(s)).collect(),
+    }
+}
+
+/// CLI entry: run, write `out`, return the transcript (`Err` = exit 1).
+pub fn run(seed: u64, out: &str) -> Result<String, String> {
+    let report = run_race(seed);
+    std::fs::write(out, report.to_json())
+        .map_err(|e| format!("cannot write {out}: {e}\n{}", report.summary()))?;
+    let mut transcript = report.summary();
+    let _ = writeln!(transcript, "wrote {out}");
+    if report.passed() {
+        Ok(transcript)
+    } else {
+        for s in &report.scenarios {
+            for v in &s.violations {
+                let _ = writeln!(transcript, "  {}: {v}", s.name);
+            }
+        }
+        Err(transcript)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn race_pass_is_clean_catches_mutations_and_measures_overhead() {
+        let report = run_race(crate::DEFAULT_SEED);
+        for s in &report.scenarios {
+            assert!(s.passed(), "{s:?}");
+        }
+        assert!(
+            report.distinct_total() >= DISTINCT_FLOOR,
+            "only {} distinct window interleavings",
+            report.distinct_total()
+        );
+        for m in &report.mutations {
+            assert!(m.passed(), "{m:?}");
+        }
+        // The unconditional mutation is caught even under FIFO; the
+        // hidden one only under permutation.
+        assert!(report.mutations[0].fifo_detected);
+        assert!(!report.mutations[1].fifo_detected);
+        for c in &report.churn {
+            assert!(c.passed(), "{c:?}");
+            assert!(c.detector_ns > 0);
+        }
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let report = RaceHarnessReport {
+            seed: 1,
+            scenarios: vec![ScenarioStats {
+                name: "x".into(),
+                ..Default::default()
+            }],
+            mutations: vec![MutationStats {
+                scenario: "y".into(),
+                detected_by_seed: vec![(11, true)],
+                ..Default::default()
+            }],
+            churn: vec![ChurnStats::default()],
+        };
+        let json = report.to_json();
+        for needle in [
+            "\"schema_version\"",
+            "\"scenarios\"",
+            "\"mutations\"",
+            "\"churn\"",
+            "\"races\"",
+            "\"detected_by_seed\"",
+            "\"overhead_ratio\"",
+            "\"passed\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

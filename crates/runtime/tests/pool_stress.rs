@@ -1,0 +1,107 @@
+//! Pool stress tests: many threads hammering shared state through
+//! `spawn`/`par_map`/`wait_idle` and the sync primitives. These are the
+//! tests the `--tsan` CI leg compiles under `-Zsanitizer=thread` — the
+//! assertions pin exact counts (no lost updates), while TSan checks the
+//! orderings the counts alone can't see. Kept bounded so the plain
+//! tier-1 run stays fast.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sensorcer_runtime::sync::{Condvar, Mutex};
+use sensorcer_runtime::ThreadPool;
+
+/// A spawn storm across several pool sizes: every job lands exactly one
+/// increment, `wait_idle` is the barrier that makes them all visible.
+#[test]
+fn spawn_storm_loses_no_updates() {
+    for threads in [1, 2, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        let hits = Arc::new(AtomicU64::new(0));
+        const JOBS: u64 = 2_000;
+        for _ in 0..JOBS {
+            let hits = Arc::clone(&hits);
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(pool.inflight(), 0);
+        assert_eq!(hits.load(Ordering::SeqCst), JOBS, "{threads} threads");
+    }
+}
+
+/// par_map racing a background spawn storm on the same pool: the map
+/// result stays ordered and exact while the storm drains.
+#[test]
+fn par_map_is_correct_under_concurrent_spawns() {
+    let pool = Arc::new(ThreadPool::new(4));
+    let noise = Arc::new(AtomicU64::new(0));
+    const NOISE_JOBS: u64 = 500;
+    for _ in 0..NOISE_JOBS {
+        let noise = Arc::clone(&noise);
+        pool.spawn(move || {
+            noise.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    let got = pool.par_map((0..1_000u64).collect(), |x| x * 2 + 1);
+    let want: Vec<u64> = (0..1_000).map(|x| x * 2 + 1).collect();
+    assert_eq!(got, want);
+    pool.wait_idle();
+    assert_eq!(noise.load(Ordering::SeqCst), NOISE_JOBS);
+}
+
+/// The sync wrappers under contention: every job moves one unit through
+/// a mutex-guarded ledger and wakes a waiter; nothing is lost and the
+/// condvar sees the final state.
+#[test]
+fn contended_mutex_and_condvar_reach_the_exact_total() {
+    let pool = ThreadPool::new(8);
+    let ledger = Arc::new(Mutex::new(0u64));
+    let done = Arc::new(Condvar::new());
+    const JOBS: u64 = 1_000;
+    for _ in 0..JOBS {
+        let ledger = Arc::clone(&ledger);
+        let done = Arc::clone(&done);
+        pool.spawn(move || {
+            *ledger.lock() += 1;
+            done.notify_all();
+        });
+    }
+    let mut guard = ledger.lock();
+    while *guard < JOBS {
+        // Timed wait so a lost-wakeup bug shows as a slow loop, not a
+        // hung test; the count assertion below is the real oracle.
+        done.wait_for(&mut guard, Duration::from_millis(50));
+    }
+    assert_eq!(*guard, JOBS);
+    drop(guard);
+    pool.wait_idle();
+}
+
+/// Jobs spawning jobs: the inflight accounting survives re-entrant
+/// submission from worker threads and `wait_idle` still means empty.
+#[test]
+fn reentrant_spawns_drain_completely() {
+    let pool = Arc::new(ThreadPool::new(4));
+    let hits = Arc::new(AtomicU64::new(0));
+    const PARENTS: u64 = 200;
+    const CHILDREN: u64 = 5;
+    for _ in 0..PARENTS {
+        let pool2 = Arc::clone(&pool);
+        let hits = Arc::clone(&hits);
+        pool.spawn(move || {
+            hits.fetch_add(1, Ordering::Relaxed);
+            for _ in 0..CHILDREN {
+                let hits = Arc::clone(&hits);
+                pool2.spawn(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }
+    pool.wait_idle();
+    assert_eq!(pool.inflight(), 0);
+    assert_eq!(hits.load(Ordering::SeqCst), PARENTS * (1 + CHILDREN));
+}

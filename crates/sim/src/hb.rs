@@ -17,9 +17,14 @@
 //! tree the tracker stays silent across every explored schedule, which is
 //! what `harness verify` asserts.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::topology::HostId;
+
+/// Stored-violation cap: like the eviction markers, keep the first 1024
+/// distinct violations and only count the rest, so a long soak with a
+/// hot racy key cannot balloon memory.
+const MAX_VIOLATIONS: usize = 1024;
 
 /// A classic vector clock over host ids. Sparse: hosts that never
 /// communicated are implicitly at zero.
@@ -90,6 +95,11 @@ pub struct HbTracker {
     clocks: BTreeMap<u32, VectorClock>,
     writes: BTreeMap<String, (HostId, VectorClock)>,
     violations: Vec<HbViolation>,
+    /// `(key, writer, reader)` triples already stored once; repeats only
+    /// bump [`HbTracker::violations_total`].
+    seen: BTreeSet<(String, u32, u32)>,
+    violations_total: u64,
+    suppressed: u64,
     deliveries: u64,
     reads: u64,
     writes_seen: u64,
@@ -139,12 +149,32 @@ impl HbTracker {
             reader: host,
             writer,
         };
-        self.violations.push(v.clone());
+        // Dedupe on (key, writer, reader) and cap storage at the first
+        // 1024: every occurrence is still counted and returned to the
+        // caller (spans/debug fire per occurrence), but a hot racy key
+        // stores one entry, not millions.
+        self.violations_total += 1;
+        let sig = (v.key.clone(), v.writer.0, v.reader.0);
+        if self.seen.insert(sig) && self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(v.clone());
+        } else {
+            self.suppressed += 1;
+        }
         Some(v)
     }
 
     pub fn violations(&self) -> &[HbViolation] {
         &self.violations
+    }
+
+    /// Every violation detected, including deduped/capped repeats.
+    pub fn violations_total(&self) -> u64 {
+        self.violations_total
+    }
+
+    /// Violations dropped by dedupe or the storage cap.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
     }
 
     /// (deliveries, writes, reads) processed — lets harnesses prove the
@@ -223,5 +253,149 @@ mod tests {
         assert!(hb.read(B, "k").is_some());
         let (d, w, r) = hb.activity();
         assert_eq!((d, w, r), (1, 2, 2));
+    }
+
+    #[test]
+    fn repeated_violations_dedupe_on_key_writer_reader() {
+        let mut hb = HbTracker::new();
+        hb.write(A, "k");
+        for _ in 0..100 {
+            assert!(hb.read(B, "k").is_some(), "every occurrence is returned");
+        }
+        assert_eq!(hb.violations().len(), 1, "but only one is stored");
+        assert_eq!(hb.violations_total(), 100);
+        assert_eq!(hb.suppressed(), 99);
+        // A different triple (same key, different reader) stores anew.
+        assert!(hb.read(C, "k").is_some());
+        assert_eq!(hb.violations().len(), 2);
+    }
+
+    #[test]
+    fn stored_violations_cap_at_first_1024() {
+        let mut hb = HbTracker::new();
+        for i in 0..1500u64 {
+            let key = format!("cell.{i}");
+            hb.write(A, &key);
+            assert!(hb.read(B, &key).is_some());
+        }
+        assert_eq!(hb.violations().len(), 1024);
+        assert_eq!(hb.violations_total(), 1500);
+        assert_eq!(hb.suppressed(), 1500 - 1024);
+    }
+
+    // ------------------------------------------------------------------
+    // Vector-clock laws: property-style sweeps over seeded random clocks
+    // ------------------------------------------------------------------
+
+    /// A random sparse clock over hosts 0..6, built from real `tick`s.
+    fn random_clock(rng: &mut crate::rng::SimRng) -> VectorClock {
+        let mut c = VectorClock::new();
+        for h in 0..6u32 {
+            for _ in 0..rng.index(8) {
+                c.tick(HostId(h));
+            }
+        }
+        c
+    }
+
+    fn merged(a: &VectorClock, b: &VectorClock) -> VectorClock {
+        let mut m = a.clone();
+        m.merge(b);
+        m
+    }
+
+    #[test]
+    fn merge_is_commutative_associative_idempotent() {
+        let mut rng = crate::rng::SimRng::new(0x5E2509);
+        for _ in 0..200 {
+            let (a, b, c) = (
+                random_clock(&mut rng),
+                random_clock(&mut rng),
+                random_clock(&mut rng),
+            );
+            assert_eq!(merged(&a, &b), merged(&b, &a), "commutative");
+            assert_eq!(
+                merged(&merged(&a, &b), &c),
+                merged(&a, &merged(&b, &c)),
+                "associative"
+            );
+            assert_eq!(merged(&a, &a), a, "idempotent");
+            // The join is an upper bound of both operands.
+            let j = merged(&a, &b);
+            assert!(j.dominates(&a) && j.dominates(&b));
+        }
+    }
+
+    #[test]
+    fn dominates_is_a_partial_order() {
+        let mut rng = crate::rng::SimRng::new(42);
+        for _ in 0..200 {
+            let (a, b, c) = (
+                random_clock(&mut rng),
+                random_clock(&mut rng),
+                random_clock(&mut rng),
+            );
+            assert!(a.dominates(&a), "reflexive");
+            if a.dominates(&b) && b.dominates(&a) {
+                assert_eq!(a, b, "antisymmetric");
+            }
+            if a.dominates(&b) && b.dominates(&c) {
+                assert!(a.dominates(&c), "transitive");
+            }
+            // tick strictly increases: the ticked clock dominates the
+            // original and not vice versa.
+            let mut t = a.clone();
+            t.tick(HostId(0));
+            assert!(t.dominates(&a) && !a.dominates(&t));
+        }
+    }
+
+    /// `HbTracker::deliver` must be exactly tick-then-merge-then-tick on
+    /// the public `VectorClock` API: replay random op sequences against a
+    /// manual clock model and require identical read verdicts.
+    #[test]
+    fn deliver_round_trips_through_tick_and_merge() {
+        for seed in [1u64, 7, 23, 0x5E2509] {
+            let mut rng = crate::rng::SimRng::new(seed);
+            let mut hb = HbTracker::new();
+            let mut clocks: BTreeMap<u32, VectorClock> = BTreeMap::new();
+            let mut writes: BTreeMap<&'static str, VectorClock> = BTreeMap::new();
+            let keys = ["reg.items", "mail.queue", "fed.map"];
+            for _ in 0..400 {
+                let a = rng.index(5) as u32;
+                let b = rng.index(5) as u32;
+                match rng.index(3) {
+                    0 if a != b => {
+                        hb.deliver(HostId(a), HostId(b));
+                        // The model: sender ticks, receiver merges the
+                        // sender's snapshot and ticks its own component.
+                        clocks.entry(a).or_default().tick(HostId(a));
+                        let snap = clocks.entry(a).or_default().clone();
+                        let rx = clocks.entry(b).or_default();
+                        rx.merge(&snap);
+                        rx.tick(HostId(b));
+                    }
+                    1 => {
+                        let key = keys[rng.index(keys.len())];
+                        hb.write(HostId(a), key);
+                        clocks.entry(a).or_default().tick(HostId(a));
+                        writes.insert(key, clocks.entry(a).or_default().clone());
+                    }
+                    _ => {
+                        let key = keys[rng.index(keys.len())];
+                        let verdict = hb.read(HostId(a), key);
+                        let expect_clean = match writes.get(key) {
+                            None => true,
+                            Some(w) => clocks.entry(a).or_default().dominates(w),
+                        };
+                        assert_eq!(
+                            verdict.is_none(),
+                            expect_clean,
+                            "seed {seed}: tracker and clock model disagree on '{key}'"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,493 @@
+//! FastTrack-lite shadow-state data-race detection for shard-parallel
+//! execution.
+//!
+//! The conservative time-window protocol in [`crate::shard`] keeps the
+//! sharded engine bit-identical to the sequential one by firing callbacks
+//! on the coordinator in global `(deadline, seq)` order. The *next* step
+//! — executing callbacks on the worker pool, one lane per shard — is only
+//! sound if no two callbacks on different shards touch the same shared
+//! state within one window. This module makes that property checkable:
+//! it models each shard as a virtual executor with its own
+//! [`VectorClock`], treats every window edge as a full barrier (the join
+//! of all lane clocks), and keeps a FastTrack-style access history per
+//! declared shared-state cell — the last write as an epoch
+//! `(lane, tick)` plus a per-lane read map. An access whose lane clock
+//! has not observed a prior conflicting access's epoch is a data race
+//! under shard-parallel execution, even though the simulation itself ran
+//! it sequentially.
+//!
+//! Cells are named strings — the same keys the happens-before tracker
+//! annotates (LUS registries, per-subnet service maps, event mailboxes),
+//! fed automatically through [`Env::hb_read`](crate::env::Env::hb_read)
+//! / [`Env::hb_write`](crate::env::Env::hb_write), plus any cell a
+//! scenario declares directly via
+//! [`Env::race_read`](crate::env::Env::race_read) /
+//! [`Env::race_write`](crate::env::Env::race_write).
+//!
+//! "Lite" relative to full FastTrack: writes are epochs, reads keep a
+//! small per-lane map instead of the adaptive epoch/vector switch — lane
+//! counts are bounded by the shard count (≤ subnets), so the read map
+//! never grows past it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::hb::VectorClock;
+use crate::time::SimTime;
+use crate::topology::HostId;
+
+/// Metric keys the detector registers on the owning `Env`, audited by
+/// the `harness lint` naming rule like every other runtime family.
+pub mod keys {
+    pub const CELLS_READ: &str = "race.cells.read";
+    pub const CELLS_WRITTEN: &str = "race.cells.written";
+    pub const RACES_DETECTED: &str = "race.races.detected";
+    pub const BARRIERS_JOINED: &str = "race.barriers.joined";
+    pub const CALLBACKS_ATTRIBUTED: &str = "race.callbacks.attributed";
+
+    pub const ALL: &[&str] = &[
+        CELLS_READ,
+        CELLS_WRITTEN,
+        RACES_DETECTED,
+        BARRIERS_JOINED,
+        CALLBACKS_ATTRIBUTED,
+    ];
+}
+
+/// Keep at most this many distinct race reports; later ones only bump
+/// the suppressed counter (mirrors the eviction-marker cap, so a soak
+/// with a hot racy cell cannot balloon memory).
+const MAX_RACES: usize = 1024;
+
+/// What an access did to the cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOp {
+    Read,
+    Write,
+}
+
+impl AccessOp {
+    fn verb(self) -> &'static str {
+        match self {
+            AccessOp::Read => "read",
+            AccessOp::Write => "wrote",
+        }
+    }
+}
+
+/// One attributed access: which shard lane performed it, in which
+/// window, at what virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessSite {
+    /// Executor lane (shard index) the access ran on.
+    pub lane: u32,
+    /// Window ordinal at access time (barriers increment it).
+    pub window: u64,
+    /// Virtual time of the access.
+    pub at: SimTime,
+    pub op: AccessOp,
+}
+
+impl std::fmt::Display for AccessSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} {} in window {} @{}ns",
+            self.lane,
+            self.op.verb(),
+            self.window,
+            self.at.as_nanos()
+        )
+    }
+}
+
+/// The conflicting pair's shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RaceKind {
+    WriteWrite,
+    /// Earlier read, conflicting write.
+    ReadWrite,
+    /// Earlier write, conflicting read.
+    WriteRead,
+}
+
+impl RaceKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RaceKind::WriteWrite => "write-write",
+            RaceKind::ReadWrite => "read-write",
+            RaceKind::WriteRead => "write-read",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            RaceKind::WriteWrite => 0,
+            RaceKind::ReadWrite => 1,
+            RaceKind::WriteRead => 2,
+        }
+    }
+}
+
+/// One detected race: two conflicting accesses to `key` with no
+/// happens-before edge between them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaceReport {
+    pub key: String,
+    pub kind: RaceKind,
+    /// The access already in the cell's history.
+    pub prior: AccessSite,
+    /// The access that exposed the race.
+    pub current: AccessSite,
+}
+
+impl RaceReport {
+    /// The missing ordering edge, for the flight-recorder span: which
+    /// barrier would have separated the pair.
+    pub fn missing_edge(&self) -> String {
+        if self.prior.window == self.current.window {
+            format!(
+                "no window barrier between shard {} and shard {} inside window {}",
+                self.prior.lane, self.current.lane, self.current.window
+            )
+        } else {
+            // A barrier did pass but the prior epoch still wasn't joined —
+            // only possible when the access bypassed barrier attribution.
+            format!(
+                "no happens-before edge joins shard {}'s epoch into shard {} (windows {}→{})",
+                self.prior.lane, self.current.lane, self.prior.window, self.current.window
+            )
+        }
+    }
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} race on '{}': {}; {}; {}",
+            self.kind.as_str(),
+            self.key,
+            self.prior,
+            self.current,
+            self.missing_edge()
+        )
+    }
+}
+
+/// Detector activity counters — lets harnesses prove a zero-race run was
+/// not vacuous.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RaceActivity {
+    /// Callbacks attributed to a lane.
+    pub callbacks: u64,
+    /// Window barriers joined.
+    pub barriers: u64,
+    pub reads: u64,
+    pub writes: u64,
+    /// Races detected in total (stored + deduped/suppressed).
+    pub races: u64,
+}
+
+/// FastTrack-lite access history for one shared-state cell.
+#[derive(Debug, Default)]
+struct ShadowCell {
+    /// Last write as an epoch: the writing lane's own tick, plus the site
+    /// for reporting.
+    write: Option<(u64, AccessSite)>,
+    /// Reads since the last write: lane → (that lane's tick, site).
+    reads: BTreeMap<u32, (u64, AccessSite)>,
+}
+
+/// The shadow state for one run: per-lane vector clocks, per-cell access
+/// histories, and the races found. Installed on an
+/// [`Env`](crate::env::Env) via `enable_race_detector`; absent by
+/// default so uninstrumented runs pay only a null check.
+#[derive(Debug, Default)]
+pub struct ShadowState {
+    /// One clock per executor lane (shard index), grown on demand. Clock
+    /// components are keyed by lane id reusing [`VectorClock`]'s host-id
+    /// keying — a lane is a virtual host.
+    clocks: Vec<VectorClock>,
+    /// The last barrier's join. A lane whose first callback runs in a
+    /// later window starts from here, so idle-early shards are still
+    /// ordered after everything before the barrier.
+    joined: VectorClock,
+    cells: BTreeMap<String, ShadowCell>,
+    races: Vec<RaceReport>,
+    /// `(key, prior lane, current lane, kind)` already reported once.
+    seen: BTreeSet<(String, u32, u32, u8)>,
+    /// Reports dropped by dedupe or the [`MAX_RACES`] cap.
+    suppressed: u64,
+    window: u64,
+    activity: RaceActivity,
+}
+
+impl ShadowState {
+    pub fn new() -> ShadowState {
+        ShadowState::default()
+    }
+
+    fn ensure_lane(&mut self, lane: usize) {
+        if self.clocks.len() <= lane {
+            let base = self.joined.clone();
+            self.clocks.resize_with(lane + 1, || base.clone());
+        }
+    }
+
+    /// Number of lanes that have executed at least one callback.
+    pub fn lanes(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Current window ordinal (barriers increment it).
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// A callback starts executing on `lane`: tick the lane's own clock
+    /// component so every callback is a distinct epoch.
+    pub fn begin_callback(&mut self, lane: usize) {
+        self.ensure_lane(lane);
+        self.activity.callbacks += 1;
+        self.clocks[lane].tick(HostId(lane as u32));
+    }
+
+    /// The window edge: all shards synchronize, so every lane's clock
+    /// becomes the join of all lane clocks. Accesses in later windows are
+    /// ordered after everything before the barrier.
+    pub fn window_barrier(&mut self) {
+        self.activity.barriers += 1;
+        self.window += 1;
+        let mut join = self.joined.clone();
+        for c in &self.clocks {
+            join.merge(c);
+        }
+        for c in &mut self.clocks {
+            c.merge(&join);
+        }
+        self.joined = join;
+    }
+
+    /// Record a write of `key` by `lane`; returns freshly stored race
+    /// reports (deduped repeats return empty).
+    pub fn write(&mut self, lane: usize, key: &str, at: SimTime) -> Vec<RaceReport> {
+        self.ensure_lane(lane);
+        self.activity.writes += 1;
+        let site = AccessSite {
+            lane: lane as u32,
+            window: self.window,
+            at,
+            op: AccessOp::Write,
+        };
+        let clock = &self.clocks[lane];
+        let mut found = Vec::new();
+        let cell = self.cells.entry(key.to_string()).or_default();
+        if let Some((wtick, wsite)) = cell.write {
+            if wsite.lane != site.lane && clock.get(HostId(wsite.lane)) < wtick {
+                found.push(RaceReport {
+                    key: key.to_string(),
+                    kind: RaceKind::WriteWrite,
+                    prior: wsite,
+                    current: site,
+                });
+            }
+        }
+        for (&rlane, &(rtick, rsite)) in &cell.reads {
+            if rlane != site.lane && clock.get(HostId(rlane)) < rtick {
+                found.push(RaceReport {
+                    key: key.to_string(),
+                    kind: RaceKind::ReadWrite,
+                    prior: rsite,
+                    current: site,
+                });
+            }
+        }
+        // FastTrack write step: the cell's history collapses to this
+        // write's epoch; earlier reads are now ordered or already
+        // reported.
+        let tick = self.clocks[lane].get(HostId(lane as u32));
+        let cell = self.cells.entry(key.to_string()).or_default();
+        cell.write = Some((tick, site));
+        cell.reads.clear();
+        found.retain(|r| self.record(r.clone()));
+        found
+    }
+
+    /// Record a read of `key` by `lane`; returns the freshly stored race
+    /// report when the last write is unordered (deduped repeats return
+    /// `None`).
+    pub fn read(&mut self, lane: usize, key: &str, at: SimTime) -> Option<RaceReport> {
+        self.ensure_lane(lane);
+        self.activity.reads += 1;
+        let site = AccessSite {
+            lane: lane as u32,
+            window: self.window,
+            at,
+            op: AccessOp::Read,
+        };
+        let clock = &self.clocks[lane];
+        let mut found = None;
+        let cell = self.cells.entry(key.to_string()).or_default();
+        if let Some((wtick, wsite)) = cell.write {
+            if wsite.lane != site.lane && clock.get(HostId(wsite.lane)) < wtick {
+                found = Some(RaceReport {
+                    key: key.to_string(),
+                    kind: RaceKind::WriteRead,
+                    prior: wsite,
+                    current: site,
+                });
+            }
+        }
+        let tick = self.clocks[lane].get(HostId(lane as u32));
+        let cell = self.cells.entry(key.to_string()).or_default();
+        cell.reads.insert(site.lane, (tick, site));
+        found.filter(|r| self.record(r.clone()))
+    }
+
+    /// Dedupe + cap. Returns whether the report was stored (callers only
+    /// surface stored reports, so a hot racy cell produces one span, not
+    /// thousands).
+    fn record(&mut self, r: RaceReport) -> bool {
+        self.activity.races += 1;
+        let sig = (r.key.clone(), r.prior.lane, r.current.lane, r.kind.code());
+        if !self.seen.insert(sig) || self.races.len() >= MAX_RACES {
+            self.suppressed += 1;
+            return false;
+        }
+        self.races.push(r);
+        true
+    }
+
+    /// Stored (deduplicated, capped) race reports.
+    pub fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
+
+    /// Total races detected including deduped/capped repeats.
+    pub fn races_total(&self) -> u64 {
+        self.activity.races
+    }
+
+    /// Reports dropped by dedupe or the storage cap.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    pub fn activity(&self) -> RaceActivity {
+        self.activity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + crate::time::SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn same_lane_accesses_never_race() {
+        let mut rd = ShadowState::new();
+        rd.begin_callback(0);
+        assert!(rd.write(0, "k", t(1)).is_empty());
+        rd.begin_callback(0);
+        assert_eq!(rd.read(0, "k", t(2)), None);
+        assert!(rd.write(0, "k", t(3)).is_empty());
+        assert_eq!(rd.races_total(), 0);
+    }
+
+    #[test]
+    fn cross_lane_write_write_in_one_window_races() {
+        let mut rd = ShadowState::new();
+        rd.begin_callback(0);
+        assert!(rd.write(0, "fed.routes.map", t(1)).is_empty());
+        rd.begin_callback(1);
+        let races = rd.write(1, "fed.routes.map", t(1));
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::WriteWrite);
+        assert_eq!(races[0].prior.lane, 0);
+        assert_eq!(races[0].current.lane, 1);
+        assert!(races[0].missing_edge().contains("no window barrier"));
+    }
+
+    #[test]
+    fn window_barrier_orders_cross_lane_accesses() {
+        let mut rd = ShadowState::new();
+        rd.begin_callback(0);
+        assert!(rd.write(0, "k", t(1)).is_empty());
+        rd.window_barrier();
+        // Lane 1's first callback is *after* the barrier: still ordered,
+        // even though the lane didn't exist when the barrier joined.
+        rd.begin_callback(1);
+        assert_eq!(rd.read(1, "k", t(2)), None, "barrier separates the pair");
+        assert!(rd.write(1, "k", t(3)).is_empty());
+        assert_eq!(rd.races_total(), 0);
+        assert_eq!(rd.activity().barriers, 1);
+    }
+
+    #[test]
+    fn unordered_read_then_write_is_a_read_write_race() {
+        let mut rd = ShadowState::new();
+        rd.begin_callback(0);
+        assert_eq!(rd.read(0, "k", t(1)), None, "never-written cell is clean");
+        rd.begin_callback(1);
+        let races = rd.write(1, "k", t(2));
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::ReadWrite);
+    }
+
+    #[test]
+    fn unordered_write_then_read_is_a_write_read_race() {
+        let mut rd = ShadowState::new();
+        rd.begin_callback(0);
+        rd.write(0, "k", t(1));
+        rd.begin_callback(1);
+        let r = rd.read(1, "k", t(2)).expect("race");
+        assert_eq!(r.kind, RaceKind::WriteRead);
+    }
+
+    #[test]
+    fn repeats_dedupe_on_key_and_lane_pair() {
+        let mut rd = ShadowState::new();
+        for _ in 0..10 {
+            rd.begin_callback(0);
+            rd.write(0, "k", t(1));
+            rd.begin_callback(1);
+            rd.write(1, "k", t(1));
+        }
+        // First cross-lane conflict each direction is stored; the other
+        // 18 detections are suppressed.
+        assert_eq!(rd.races().len(), 2);
+        assert_eq!(rd.races_total(), 19);
+        assert_eq!(rd.suppressed(), 17);
+    }
+
+    #[test]
+    fn storage_caps_at_first_1024() {
+        let mut rd = ShadowState::new();
+        // Distinct keys so dedupe never kicks in; every detection is a
+        // candidate for storage.
+        for i in 0..1500u32 {
+            let key = format!("cell.{i}");
+            rd.begin_callback(0);
+            rd.write(0, &key, t(1));
+            rd.begin_callback(1);
+            rd.write(1, &key, t(1));
+        }
+        assert_eq!(rd.races().len(), 1024);
+        assert_eq!(rd.races_total(), 1500);
+        assert_eq!(rd.suppressed(), 1500 - 1024);
+    }
+
+    #[test]
+    fn metric_key_names_conform_to_the_naming_rule() {
+        for key in keys::ALL {
+            assert!(
+                key.split('.').count() >= 3,
+                "{key} must have ≥3 dot segments"
+            );
+            assert!(key.starts_with("race."));
+        }
+    }
+}

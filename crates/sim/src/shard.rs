@@ -160,7 +160,9 @@ impl ShardedQueue {
         }
     }
 
-    fn shard_index(&self, hint: SubnetId) -> usize {
+    /// The shard lane a subnet hint maps to — also the executor-lane id
+    /// the race detector attributes callbacks to.
+    pub(crate) fn shard_index(&self, hint: SubnetId) -> usize {
         hint.0 as usize % self.shards.len()
     }
 

@@ -1,6 +1,7 @@
 //! In-repo source lints for the workspace (`harness lint`).
 //!
-//! Five rules, all scoped to `crates/*/src`:
+//! Seven rules — six over `crates/*/src`, one over the `Cargo.toml`
+//! manifests:
 //!
 //! * `unwrap-outside-tests` — `.unwrap()` / `.expect(` in production
 //!   code. Panicking on a fallible path contradicts the federation's
@@ -26,10 +27,25 @@
 //!   exertion from façade code skips the token buckets, QoS classing and
 //!   shedding entirely. The one legitimate site — the client-side call
 //!   *into* the gate itself — is allowlisted: `lint:allow(admission)`.
+//! * `interior-mut-in-shard-callback` — a Send-audit for the
+//!   compute-spreading path: `Rc`/`RefCell`/`Cell`/`thread_local!`
+//!   captured by (or constructed inside) a closure passed to
+//!   `schedule_on`/`schedule_at_on`. Those closures are the shard-lane
+//!   surface; unsynchronized interior mutability shared across lanes is
+//!   exactly what the FastTrack-lite detector flags at runtime, and this
+//!   rule catches the idiom statically. A justified capture (explorer
+//!   bookkeeping, a deliberately racy fixture) is allowlisted with
+//!   `lint:allow(shard)`.
+//! * `no-external-deps` — every entry in a `[dependencies]`,
+//!   `[dev-dependencies]`, `[build-dependencies]` or
+//!   `[workspace.dependencies]` section of the root or a crate manifest
+//!   must be workspace-internal (`path = "…"` or `workspace = true`).
+//!   The reproduction's dependency-free invariant is what keeps it
+//!   buildable offline; this pins it. Escape: `lint:allow(deps)`.
 //!
 //! The scanner is deliberately line-based and dependency-free: it
-//! understands `//` comments, brace depth and `#[cfg(test)]` blocks,
-//! which is exactly enough for this repo's own style.
+//! understands `//` comments, brace/paren depth and `#[cfg(test)]`
+//! blocks, which is exactly enough for this repo's own style.
 
 use std::path::{Path, PathBuf};
 
@@ -91,11 +107,11 @@ fn allows(raw: &str, prev: Option<&str>, marker: &str) -> bool {
     raw.contains(&tag) || prev.is_some_and(|p| p.contains(&tag))
 }
 
-/// Whether `code` contains a call to `exert(` or `exert_on(` — an
-/// identifier boundary check keeps wrappers like `admitted_exert(` (and
-/// any other `*exert` name) from matching.
-fn calls_exert(code: &str) -> bool {
-    for pat in ["exert(", "exert_on("] {
+/// Whether `code` contains any of `pats` at an identifier boundary —
+/// the boundary check keeps wrapper names like `admitted_exert(` (and
+/// `ShadowCell<` for the `Cell<` pattern) from matching.
+fn calls_any(code: &str, pats: &[&str]) -> bool {
+    for pat in pats {
         let mut from = 0;
         while let Some(i) = code[from..].find(pat) {
             let at = from + i;
@@ -112,12 +128,46 @@ fn calls_exert(code: &str) -> bool {
     false
 }
 
+/// Whether `code` contains a call to `exert(` or `exert_on(`.
+fn calls_exert(code: &str) -> bool {
+    calls_any(code, &["exert(", "exert_on("])
+}
+
+/// The shard-lane scheduling entry points the Send-audit guards.
+const SHARD_SCHEDULE_CALLS: &[&str] = &["schedule_on(", "schedule_at_on("];
+
+/// How many preceding lines a `let x = Rc::clone(&y);`-style binding
+/// taints a `schedule_on`/`schedule_at_on` call — captures are cloned
+/// immediately before the call in this repo's idiom.
+const SHARD_CAPTURE_WINDOW: usize = 3;
+
+/// Interior-mutability tokens banned from shard callbacks.
+fn has_interior_mut(code: &str) -> bool {
+    calls_any(
+        code,
+        // lint:allow(shard): detection patterns, not captures
+        &["Rc::", "Rc<", "RefCell", "Cell::", "Cell<", "thread_local!"],
+    )
+}
+
 fn brace_delta(code: &str) -> i32 {
     let mut d = 0;
     for c in code.chars() {
         match c {
             '{' => d += 1,
             '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+fn paren_delta(code: &str) -> i32 {
+    let mut d = 0;
+    for c in code.chars() {
+        match c {
+            '(' => d += 1,
+            ')' => d -= 1,
             _ => {}
         }
     }
@@ -145,6 +195,12 @@ fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<LintFindin
     // Depth at which a guarded struct's body opened.
     let mut struct_block: Option<i32> = None;
     let mut prev_raw: Option<&str> = None;
+    // Paren depth, and the depth at which a multi-line
+    // `schedule_on(`/`schedule_at_on(` call opened (its closure body).
+    let mut paren: i32 = 0;
+    let mut shard_call: Option<i32> = None;
+    // Recent interior-mutability bindings: (line, carried an allow tag).
+    let mut recent_interior: Vec<(usize, bool)> = Vec::new();
 
     for (idx, raw) in source.lines().enumerate() {
         let line_no = idx + 1;
@@ -210,6 +266,38 @@ fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<LintFindin
                 });
             }
 
+            // Send-audit: interior mutability reaching a shard callback —
+            // either captured via a binding just before the call, on the
+            // call line itself, or constructed inside the closure body.
+            let interior = has_interior_mut(code);
+            let shard_allowed = allows(raw, prev_raw, "shard");
+            if shard_call.is_some() {
+                if interior && !shard_allowed {
+                    findings.push(LintFinding {
+                        file: rel_path.to_string(),
+                        line: line_no,
+                        rule: "interior-mut-in-shard-callback",
+                        excerpt: raw.trim().to_string(),
+                    });
+                }
+            } else if calls_any(code, SHARD_SCHEDULE_CALLS) {
+                let tainted = interior
+                    || recent_interior
+                        .iter()
+                        .any(|&(l, a)| !a && line_no - l <= SHARD_CAPTURE_WINDOW);
+                if tainted && !shard_allowed {
+                    findings.push(LintFinding {
+                        file: rel_path.to_string(),
+                        line: line_no,
+                        rule: "interior-mut-in-shard-callback",
+                        excerpt: raw.trim().to_string(),
+                    });
+                }
+            } else if interior {
+                recent_interior.push((line_no, shard_allowed));
+            }
+            recent_interior.retain(|&(l, _)| line_no.saturating_sub(l) <= SHARD_CAPTURE_WINDOW);
+
             if struct_block.is_none()
                 && trimmed.contains("struct ")
                 && code.contains('{')
@@ -246,6 +334,15 @@ fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<LintFindin
         }
 
         depth += brace_delta(code);
+        let paren_before = paren;
+        paren += paren_delta(code);
+        match shard_call {
+            Some(open) if paren <= open => shard_call = None,
+            None if paren > paren_before && calls_any(code, SHARD_SCHEDULE_CALLS) => {
+                shard_call = Some(paren_before)
+            }
+            _ => {}
+        }
         if let Some(open) = test_block {
             if depth <= open {
                 test_block = None;
@@ -258,6 +355,110 @@ fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<LintFindin
         }
         prev_raw = Some(raw);
     }
+    findings
+}
+
+/// Classify a TOML section header: `Some(false)` = a plain dependency
+/// section whose entries are audited per line, `Some(true)` = a dotted
+/// `[dependencies.<name>]` item table that must contain a `path` or
+/// `workspace` key, `None` = not a dependency section.
+fn dep_section(name: &str) -> Option<bool> {
+    for base in [
+        "dependencies",
+        "dev-dependencies",
+        "build-dependencies",
+        "workspace.dependencies",
+    ] {
+        if name == base {
+            return Some(false);
+        }
+        if let Some(rest) = name.strip_prefix(base) {
+            if rest.starts_with('.') {
+                return Some(true);
+            }
+        }
+    }
+    // `[target.'cfg(...)'.dependencies]` — audited like a plain section.
+    if name.starts_with("target.") && name.ends_with("dependencies") {
+        return Some(false);
+    }
+    None
+}
+
+/// Audit one `Cargo.toml` for the dependency-free invariant: every
+/// entry in a dependency section must resolve inside the workspace
+/// (`path = "…"` or `workspace = true`). Anything that would reach
+/// crates.io — a bare version, `git = `, a registry — is flagged.
+pub fn lint_manifest(rel_path: &str, source: &str) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    let mut in_dep_section = false;
+    // A dotted dep-item table awaiting its path/workspace key:
+    // (header line, header excerpt, satisfied).
+    let mut dotted: Option<(usize, String, bool)> = None;
+    let mut prev_raw: Option<&str> = None;
+
+    fn flush(
+        rel_path: &str,
+        findings: &mut Vec<LintFinding>,
+        dotted: &mut Option<(usize, String, bool)>,
+    ) {
+        if let Some((line, excerpt, ok)) = dotted.take() {
+            if !ok {
+                findings.push(LintFinding {
+                    file: rel_path.to_string(),
+                    line,
+                    rule: "no-external-deps",
+                    excerpt,
+                });
+            }
+        }
+    }
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let code = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let trimmed = code.trim();
+        if trimmed.starts_with('[') {
+            flush(rel_path, &mut findings, &mut dotted);
+            let name = trimmed.trim_start_matches('[').trim_end_matches(']').trim();
+            match dep_section(name) {
+                Some(false) => in_dep_section = true,
+                Some(true) => {
+                    in_dep_section = false;
+                    dotted = Some((
+                        line_no,
+                        raw.trim().to_string(),
+                        allows(raw, prev_raw, "deps"),
+                    ));
+                }
+                None => in_dep_section = false,
+            }
+        } else if let Some(d) = dotted.as_mut() {
+            if trimmed.contains("path") && trimmed.contains('=') && trimmed.contains('"')
+                || trimmed.contains("workspace") && trimmed.contains("true")
+            {
+                d.2 = true;
+            }
+        } else if in_dep_section && !trimmed.is_empty() {
+            let internal = trimmed.contains("path = \"")
+                || trimmed.contains("path=\"")
+                || trimmed.contains("workspace = true")
+                || trimmed.contains("workspace=true");
+            if !internal && !allows(raw, prev_raw, "deps") {
+                findings.push(LintFinding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: "no-external-deps",
+                    excerpt: raw.trim().to_string(),
+                });
+            }
+        }
+        prev_raw = Some(raw);
+    }
+    flush(rel_path, &mut findings, &mut dotted);
     findings
 }
 
@@ -276,7 +477,8 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// Lint every `crates/*/src/**/*.rs` under `root` (the workspace root).
+/// Lint every `crates/*/src/**/*.rs` under `root` (the workspace root),
+/// plus the root and per-crate `Cargo.toml` manifests.
 pub fn lint_tree(root: &Path) -> Result<Vec<LintFinding>, String> {
     let crates_dir = root.join("crates");
     let mut findings = Vec::new();
@@ -286,6 +488,21 @@ pub fn lint_tree(root: &Path) -> Result<Vec<LintFinding>, String> {
         .filter(|p| p.is_dir())
         .collect();
     crate_dirs.sort();
+    let mut manifests = vec![root.join("Cargo.toml")];
+    manifests.extend(crate_dirs.iter().map(|d| d.join("Cargo.toml")));
+    for manifest in manifests {
+        if !manifest.is_file() {
+            continue;
+        }
+        let source = std::fs::read_to_string(&manifest)
+            .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+        let rel = manifest
+            .strip_prefix(root)
+            .unwrap_or(&manifest)
+            .display()
+            .to_string();
+        findings.extend(lint_manifest(&rel, &source));
+    }
     for crate_dir in crate_dirs {
         let crate_name = crate_dir
             .file_name()
@@ -415,6 +632,85 @@ mod tests {
         let allowed = "// lint:allow(admission): this call targets the gate itself\n\
                        fn f() { exert_on(env, from, svc, task, None); }\n";
         assert!(lint_source("core", "crates/core/src/facade.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn interior_mut_captures_in_shard_callbacks_are_flagged() {
+        // The clone-just-before-the-call capture idiom.
+        let src = "fn f(env: &mut Env) {\n    \
+                   let l = Rc::clone(&log);\n    \
+                   env.schedule_at_on(h, at, move |env| { l.borrow_mut().push(1); });\n}\n";
+        let f = lint_source("core", "x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "interior-mut-in-shard-callback");
+        // Interior mutability constructed inside the closure body.
+        let src = "fn f(env: &mut Env) {\n    \
+                   env.schedule_on(h, d, move |env| {\n        \
+                   let c = RefCell::new(0);\n    });\n}\n";
+        assert_eq!(lint_source("core", "x.rs", src).len(), 1);
+        // `Cell` on the call line itself.
+        let src =
+            "fn f(env: &mut Env) { env.schedule_on(h, d, { let s = Rc::new(Cell::new(0)); move |_| s.get() }); }\n";
+        assert_eq!(lint_source("core", "x.rs", src).len(), 1);
+        // A clean closure is fine, as are wrapper-ish type names.
+        let src = "fn f(env: &mut Env) {\n    \
+                   let cell = ShadowCell::default();\n    \
+                   env.schedule_at_on(h, at, move |_env| {});\n}\n";
+        assert!(lint_source("core", "x.rs", src).is_empty());
+        // The sequential-only `schedule_at` surface is not covered.
+        let src = "fn f(env: &mut Env) {\n    \
+                   let l = Rc::clone(&log);\n    \
+                   env.schedule_at(at, move |env| { l.borrow_mut().push(1); });\n}\n";
+        assert!(lint_source("core", "x.rs", src).is_empty());
+        // `lint:allow(shard)` on the binding or the call escapes.
+        let src = "fn f(env: &mut Env) {\n    \
+                   // lint:allow(shard): bookkeeping\n    \
+                   let l = Rc::clone(&log);\n    \
+                   env.schedule_at_on(h, at, move |env| { l.borrow_mut().push(1); });\n}\n";
+        assert!(lint_source("core", "x.rs", src).is_empty());
+        // Tests are exempt like every other rule.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(env: &mut Env) {\n        \
+                   let l = Rc::clone(&log);\n        \
+                   env.schedule_at_on(h, at, move |env| { l.borrow_mut().push(1); });\n    }\n}\n";
+        assert!(lint_source("core", "x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn external_deps_are_flagged_in_manifests() {
+        let src = "[dependencies]\nrand = \"0.8\"\n";
+        let f = lint_manifest("crates/x/Cargo.toml", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-external-deps");
+        assert_eq!(f[0].line, 2);
+        // Workspace-internal forms pass, in every spelling the repo uses.
+        let src = "[dependencies]\nsensorcer-sim.workspace = true\n\
+                   foo = { path = \"../foo\" }\n";
+        assert!(lint_manifest("Cargo.toml", src).is_empty());
+        // Dev/build sections and the workspace table are audited too.
+        assert_eq!(
+            lint_manifest(
+                "Cargo.toml",
+                "[dev-dependencies]\nproptest = { version = \"1\" }\n"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            lint_manifest("Cargo.toml", "[workspace.dependencies]\nserde = \"1\"\n").len(),
+            1
+        );
+        // Dotted item tables: external flagged at the header, path ok.
+        assert_eq!(
+            lint_manifest("Cargo.toml", "[dependencies.rand]\nversion = \"0.8\"\n").len(),
+            1
+        );
+        assert!(lint_manifest("Cargo.toml", "[dependencies.sim]\npath = \"../sim\"\n").is_empty());
+        // Non-dependency sections are ignored.
+        let src = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n[profile.release]\ndebug = true\n";
+        assert!(lint_manifest("Cargo.toml", src).is_empty());
+        // A justified exception is allowlisted.
+        let src = "[dependencies]\n# lint:allow(deps): vendored locally\nrand = \"0.8\"\n";
+        assert!(lint_manifest("Cargo.toml", src).is_empty());
     }
 
     #[test]

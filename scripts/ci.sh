@@ -60,6 +60,22 @@
 #                           committed BENCH_2.json baseline at the wide
 #                           4.0 cross-hardware threshold (rows only in
 #                           the baseline's larger sweep never fail)
+#   scripts/ci.sh --race    tier-1, then the shard-race leg: `harness
+#                           race` explores the clean shard worlds (zero
+#                           races on every interleaving), must catch the
+#                           racy-map and hidden-race mutations, and
+#                           measures detector overhead on the 16-shard
+#                           churn; shape-checks RACE_1.json (clean
+#                           scenarios report "races": 0, the mutations
+#                           report detected_exhaustive, and the overall
+#                           verdict passes)
+#   scripts/ci.sh --tsan    tier-1, then ThreadSanitizer over the
+#                           sensorcer-runtime pool tests when a nightly
+#                           toolchain with rust-src is installed
+#                           (-Zsanitizer=thread needs -Zbuild-std);
+#                           degrades to a skipped-with-notice otherwise,
+#                           so the deterministic FastTrack-lite gate in
+#                           --race stays the portable race check
 #
 # Everything runs offline against the vendored workspace; no network,
 # no external tools beyond cargo.
@@ -75,6 +91,8 @@ obs=0
 scale=0
 storm=0
 perfetto=0
+race=0
+tsan=0
 for arg in "$@"; do
     case "$arg" in
         --smoke) smoke=1 ;;
@@ -85,7 +103,9 @@ for arg in "$@"; do
         --scale) scale=1 ;;
         --storm) storm=1 ;;
         --perfetto) perfetto=1 ;;
-        *) echo "usage: scripts/ci.sh [--smoke] [--soak] [--trace] [--lint] [--obs] [--scale] [--storm] [--perfetto]" >&2; exit 2 ;;
+        --race) race=1 ;;
+        --tsan) tsan=1 ;;
+        *) echo "usage: scripts/ci.sh [--smoke] [--soak] [--trace] [--lint] [--obs] [--scale] [--storm] [--perfetto] [--race] [--tsan]" >&2; exit 2 ;;
     esac
 done
 
@@ -250,6 +270,49 @@ if [ "$scale" -eq 1 ]; then
     cargo run --release -p sensorcer-bench --bin harness -- \
         bench-compare BENCH_2.json BENCH_scale_ci.json 4.0
     rm -f BENCH_scale_ci.json
+fi
+
+if [ "$race" -eq 1 ]; then
+    echo "== shard-race detection (writes RACE_1.json) =="
+    cargo run --release -p sensorcer-bench --bin harness -- race
+    # Shape check: the export must carry the clean-scenario race counts
+    # (zero), the mutation verdicts and a passing self-assessment.
+    for needle in '"schema_version"' '"scenarios"' '"races": 0' \
+        '"mutations"' '"detected_exhaustive": true' \
+        '"churn"' '"overhead_ratio"' '"passed": true'; do
+        grep -q "$needle" RACE_1.json || {
+            echo "RACE_1.json missing $needle" >&2
+            exit 1
+        }
+    done
+    # The clean scenarios and the churn must report zero races; any
+    # nonzero count in the harness's own verdict already failed above,
+    # but a schema drift that drops the field entirely must fail too.
+    if grep -q '"races": [1-9]' RACE_1.json; then
+        echo "RACE_1.json reports races outside the mutation legs" >&2
+        exit 1
+    fi
+    echo "== race metric-name audit (race.* under harness lint) =="
+    cargo run --release -p sensorcer-bench --bin harness -- lint
+fi
+
+if [ "$tsan" -eq 1 ]; then
+    # ThreadSanitizer needs nightly (-Zsanitizer) plus rust-src
+    # (-Zbuild-std rebuilds std with the sanitizer). Offline containers
+    # without the nightly toolchain skip with a notice rather than fail:
+    # the deterministic FastTrack-lite gate (--race) is the portable
+    # race check; TSan is the extra belt for the real thread pool.
+    if cargo +nightly --version >/dev/null 2>&1 \
+        && rustup component list --installed --toolchain nightly 2>/dev/null | grep -q '^rust-src'; then
+        echo "== thread sanitizer: sensorcer-runtime pool tests =="
+        host="$(rustc -vV | sed -n 's/^host: //p')"
+        RUSTFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -Zbuild-std -q \
+            -p sensorcer-runtime --target "$host"
+    else
+        echo "== tsan skipped: nightly toolchain with rust-src not installed =="
+        echo "   (rustup toolchain install nightly && rustup component add rust-src --toolchain nightly)"
+    fi
 fi
 
 echo "ci: ok"

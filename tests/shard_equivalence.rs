@@ -10,6 +10,9 @@
 //! the DPOR/happens-before machinery explores schedules *within* the
 //! model, while this gate pins that the engine itself never reorders.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use sensorcer_bench::chaos::{run_soak, run_soak_traced, SoakConfig};
 use sensorcer_bench::trace::TRACE_CAPACITY;
 use sensorcer_sim::chaos::ChaosConfig;
@@ -99,4 +102,121 @@ fn sharded_storm_trace_export_is_bit_identical() {
         seq_report.reads_degraded > 0 || seq_report.reads_failed > 0,
         "storm produced no degradation — equivalence check proved too little"
     );
+}
+
+/// The mote-radio cross-subnet latency — the conservative window
+/// lookahead for a mote-only multi-subnet world.
+const LOOKAHEAD: SimDuration = SimDuration::from_millis(5);
+
+/// Eight motes, one per subnet: every shard count under test gets at
+/// least one populated lane, and the lookahead is the 5 ms radio hop.
+fn mote_world(seed: u64) -> (Env, Vec<HostId>) {
+    let mut env = Env::with_seed(seed);
+    let hosts: Vec<HostId> = (0..8)
+        .map(|i| {
+            let h = env.add_host(format!("m{i}"), HostKind::SensorMote);
+            env.topo.set_subnet(h, SubnetId(i));
+            h
+        })
+        .collect();
+    (env, hosts)
+}
+
+/// A seed-salted first deadline, so the window edge under test never
+/// sits at a fixed absolute instant.
+fn t0_for(seed: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(1 + seed % 7)
+}
+
+/// Schedule the boundary probe: events inside the first window, an
+/// equal-deadline tie pair, one event at *exactly* `t0 + lookahead`
+/// (the inclusive window edge) and one a microsecond past it. Each
+/// callback appends `(label, fire_time)` to the shared log.
+fn schedule_boundary_probe(
+    env: &mut Env,
+    hosts: &[HostId],
+    t0: SimTime,
+) -> Rc<RefCell<Vec<(u32, SimTime)>>> {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let record = |env: &mut Env, host: usize, at: SimTime, label: u32| {
+        let log = Rc::clone(&log); // test-only shared log  lint:allow(shard)
+        env.schedule_at_on(hosts[host], at, move |env| {
+            log.borrow_mut().push((label, env.now()));
+        });
+    };
+    record(env, 0, t0, 0);
+    record(env, 7, t0 + SimDuration::from_millis(2), 1);
+    // Equal deadlines on different subnets: registration order breaks
+    // the tie identically on both engines.
+    record(env, 1, t0 + SimDuration::from_millis(1), 2);
+    record(env, 2, t0 + SimDuration::from_millis(1), 3);
+    // The event at exactly the horizon — the inclusive edge.
+    record(env, 3, t0 + LOOKAHEAD, 4);
+    // And one strictly past it, which must wait for the next window.
+    record(env, 5, t0 + LOOKAHEAD + SimDuration::from_micros(1), 5);
+    log
+}
+
+#[test]
+fn events_at_the_inclusive_window_edge_match_sequential() {
+    for seed in SEEDS {
+        let t0 = t0_for(seed);
+        // Sequential oracle: no windows, plain (deadline, seq) order.
+        let (mut env, hosts) = mote_world(seed);
+        let log = schedule_boundary_probe(&mut env, &hosts, t0);
+        env.run_until(t0 + SimDuration::from_millis(30));
+        let baseline = log.borrow().clone();
+        assert_eq!(
+            baseline.iter().map(|&(l, _)| l).collect::<Vec<_>>(),
+            vec![0, 2, 3, 1, 4, 5],
+            "seed {seed}: sequential firing order is the oracle"
+        );
+        for shards in SHARD_COUNTS {
+            let (mut env, hosts) = mote_world(seed);
+            env.enable_sharding(shards);
+            let log = schedule_boundary_probe(&mut env, &hosts, t0);
+            env.run_until(t0 + SimDuration::from_millis(30));
+            assert_eq!(
+                *log.borrow(),
+                baseline,
+                "seed {seed}, {shards} shards: boundary events diverged"
+            );
+            // The edge is inclusive: the event at exactly t0 + lookahead
+            // rides the first window; only the one strictly past it
+            // opens a second. Three windows would mean an exclusive edge.
+            assert_eq!(
+                env.shard_stats().windows,
+                2,
+                "seed {seed}, {shards} shards: wrong window count"
+            );
+        }
+    }
+}
+
+#[test]
+fn strictly_past_horizon_opens_a_new_window() {
+    for seed in SEEDS {
+        let t0 = t0_for(seed);
+        for (offset, want_windows) in [(LOOKAHEAD, 1), (LOOKAHEAD + SimDuration::from_micros(1), 2)]
+        {
+            for shards in SHARD_COUNTS {
+                let (mut env, hosts) = mote_world(seed);
+                env.enable_sharding(shards);
+                let fired = Rc::new(RefCell::new(0u32));
+                for (host, at) in [(0usize, t0), (4usize, t0 + offset)] {
+                    let fired = Rc::clone(&fired); // test-only counter  lint:allow(shard)
+                    env.schedule_at_on(hosts[host], at, move |_env| {
+                        *fired.borrow_mut() += 1;
+                    });
+                }
+                env.run_until(t0 + SimDuration::from_millis(30));
+                assert_eq!(*fired.borrow(), 2, "seed {seed}: both events fired");
+                assert_eq!(
+                    env.shard_stats().windows,
+                    want_windows,
+                    "seed {seed}, {shards} shards, offset {offset:?}"
+                );
+            }
+        }
+    }
 }
