@@ -1,75 +1,127 @@
 //! The experiment harness: regenerates every figure and claim table.
 //!
-//! ```text
-//! harness <experiment> [seed]
-//!   experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all
-//! harness smoke [out.json]
-//!   fast bounded pass over the read hot paths; writes the next free
-//!   BENCH_<n>.json so the committed baseline is never clobbered
-//! harness chaos [seed] [out.json]
-//!   seeded fault-injection soak over degraded-mode federated reads;
-//!   writes CHAOS_1.json and exits nonzero on any invariant violation
-//! harness trace [seed] [out.json]
-//!   the same soak with the flight recorder on; validates the trace
-//!   (unique ids, no orphans, every degraded read explainable) and
-//!   writes TRACE_1.json
-//! harness verify [seed] [out.json]
-//!   DPOR-lite schedule exploration over the clean federation scenarios
-//!   (happens-before + lifecycle state machines checked per schedule)
-//!   plus the buggy-reaper mutation check; writes VERIFY_1.json
-//! harness obs [seed] [out.json]
-//!   the federation health engine over the chaos soak: SLO burn-rate
-//!   alerting with trace exemplars (storm must page, clean must not),
-//!   anomaly detection on a burst leg; writes OBS_1.json
-//! harness scale [seed] [out.json]
-//!   B9 scaling curve: lookup latency and event-engine throughput at
-//!   10³/10⁴/10⁵ motes (override the sweep with SENSORCER_SCALE_MOTES),
-//!   flat vs hierarchical registries and sequential vs sharded engine;
-//!   writes BENCH_2.json in the bench-compare JSON format
-//! harness storm [seed] [out.json]
-//!   tenant storm over the admission-controlled façade: a bulk tenant's
-//!   burst is shed with typed rejections while the critical tenant's SLO
-//!   holds, a mid-storm outage walks a circuit breaker through its full
-//!   lifecycle, and the SLO-driven autoscaler steps capacity up and back
-//!   down without flapping; writes STORM_1.json
-//! harness perfetto [seed] [out.perfetto-trace]
-//!   the tenant storm with a 1 s telemetry sampler attached, exported as
-//!   a Perfetto protobuf trace (open it at https://ui.perfetto.dev);
-//!   round-trips the bytes through the in-repo decoder before writing,
-//!   and writes a PERFETTO_1.json summary next to the binary
-//! harness race [seed] [out.json]
-//!   FastTrack-lite shard-race detection under DPOR window permutation:
-//!   clean shard-local and barrier-handoff worlds (zero races on every
-//!   interleaving), the cross-subnet racy-map and hidden-race mutations
-//!   (must be caught), and a 16-shard B9 churn with measured detector
-//!   overhead; writes RACE_1.json
-//! harness bench-compare <old.json> <new.json> [threshold]
-//!   diff two smoke-bench JSON files; exits nonzero when any benchmark
-//!   regressed beyond the relative noise threshold (default 0.35)
-//! harness lint
-//!   in-repo source lints over crates/*/src (banned unwrap/expect,
-//!   wall-clock time in sim code, pub fields on state-machine types)
-//!   plus the runtime metric-name audit (subsystem.object.action)
-//! ```
+//! Run `harness` with no arguments (or any unknown verb) for the
+//! generated usage listing — the table below is the single source of
+//! truth for what exists, so the listing can never drift from the
+//! dispatcher.
+
+use std::fmt::Write as _;
 
 use sensorcer_bench::*;
 
 /// A seeded harness pass that writes a JSON report to its second arg.
 type SeededRunner = fn(u64, &str) -> Result<String, String>;
 
+/// Paper figures/claim tables dispatched through [`run_one`].
+const EXPERIMENTS: &[&str] = &[
+    "fig1", "fig2", "fig3", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8", "a1", "a2",
+];
+
+/// Seeded report-writing verbs: `harness <verb> [seed] [out]`.
+/// One row per verb: name, runner, default output path.
+const SEEDED: &[(&str, SeededRunner, &str)] = &[
+    ("chaos", chaos::run, chaos::DEFAULT_OUT),
+    ("trace", trace::run, trace::DEFAULT_OUT),
+    ("verify", verify::run, verify::DEFAULT_OUT),
+    ("obs", obs::run, obs::DEFAULT_OUT),
+    ("scale", b9_scale::run, b9_scale::DEFAULT_OUT),
+    ("storm", storm::run, storm::DEFAULT_OUT),
+    ("perfetto", perfetto::run, perfetto::DEFAULT_OUT),
+    (
+        "perfetto-scale",
+        perfetto_scale::run,
+        perfetto_scale::DEFAULT_OUT,
+    ),
+    ("race", race::run, race::DEFAULT_OUT),
+];
+
+/// Every subcommand with its argument shape and a one-line description —
+/// the usage listing is generated from this table.
+fn subcommands() -> Vec<(String, &'static str)> {
+    let row = |head: &str, desc: &'static str| (head.to_string(), desc);
+    let mut rows = vec![
+        row(
+            "<experiment> [seed]",
+            "regenerate one paper figure or claim table (fig1 fig2 fig3 b1-b8 a1 a2, or `all`)",
+        ),
+        row(
+            "smoke [out.json]",
+            "fast bounded pass over the read hot paths; writes the next free BENCH_<n>.json",
+        ),
+    ];
+    let seeded_desc: &[(&str, &'static str)] = &[
+        (
+            "chaos",
+            "seeded fault-injection soak over degraded-mode federated reads",
+        ),
+        (
+            "trace",
+            "the chaos soak with the flight recorder on, trace validated",
+        ),
+        (
+            "verify",
+            "DPOR-lite schedule exploration + buggy-reaper mutation check",
+        ),
+        (
+            "obs",
+            "SLO burn-rate alerting and anomaly detection over the chaos soak",
+        ),
+        (
+            "scale",
+            "B9 scaling curve: lookups and event engine at 10^3..10^5 motes",
+        ),
+        (
+            "storm",
+            "tenant storm: admission control, breaker lifecycle, autoscaler",
+        ),
+        (
+            "perfetto",
+            "the tenant storm exported as a Perfetto trace (buffered, validated)",
+        ),
+        (
+            "perfetto-scale",
+            "sharded 10^5-mote world streamed to disk under the encoder-memory ceiling",
+        ),
+        (
+            "race",
+            "FastTrack-lite shard-race detection under DPOR window permutation",
+        ),
+    ];
+    for (name, desc) in seeded_desc {
+        let default_out = SEEDED
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, out)| *out)
+            .unwrap_or("?");
+        rows.push((format!("{name} [seed] [out={default_out}]"), desc));
+    }
+    rows.push(row(
+        "bench-compare <old.json> <new.json> [threshold]",
+        "diff two smoke-bench JSONs; nonzero exit on regressions past the threshold",
+    ));
+    rows.push(row(
+        "lint",
+        "in-repo source lints plus the runtime metric-name audit",
+    ));
+    rows
+}
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: harness <experiment> [seed]\n  experiments: fig1 fig2 fig3 b1 b2 b3 b4 b5 b6 b7 b8 a1 a2 all\n       harness smoke [out.json]          (default out: next free BENCH_<n>.json)\n       harness chaos [seed] [out.json]   (default out: {})\n       harness trace [seed] [out.json]   (default out: {})\n       harness verify [seed] [out.json]  (default out: {})\n       harness obs [seed] [out.json]     (default out: {})\n       harness scale [seed] [out.json]   (default out: {})\n       harness storm [seed] [out.json]   (default out: {})\n       harness perfetto [seed] [out]     (default out: {}, summary: {})\n       harness race [seed] [out.json]    (default out: {})\n       harness bench-compare <old.json> <new.json> [threshold]\n       harness lint",
-        chaos::DEFAULT_OUT,
-        trace::DEFAULT_OUT,
-        verify::DEFAULT_OUT,
-        obs::DEFAULT_OUT,
-        b9_scale::DEFAULT_OUT,
-        storm::DEFAULT_OUT,
-        perfetto::DEFAULT_OUT,
+    let rows = subcommands();
+    let width = rows.iter().map(|(h, _)| h.len()).max().unwrap_or(0);
+    let mut out = String::from("usage: harness <subcommand> [args]\n\nsubcommands:\n");
+    for (head, desc) in &rows {
+        let _ = writeln!(out, "  {head:<width$}  {desc}");
+    }
+    let _ = write!(
+        out,
+        "\nnotes:\n  seeds default to {DEFAULT_SEED}; SENSORCER_SCALE_MOTES / \
+         SENSORCER_PERFETTO_MOTES bound the scale sweeps\n  `harness perfetto` also writes {}, \
+         `harness perfetto-scale` also writes {}\n",
         perfetto::DEFAULT_SUMMARY,
-        race::DEFAULT_OUT
+        perfetto_scale::DEFAULT_SUMMARY
     );
+    eprint!("{out}");
     std::process::exit(2);
 }
 
@@ -99,7 +151,7 @@ fn run_one(which: &str, seed: u64) {
         "a1" => print!("{}", a1_ablation::run(seed)),
         "a2" => print!("{}", a2_energy::run(seed)),
         other => {
-            eprintln!("unknown experiment '{other}'");
+            eprintln!("unknown experiment '{other}'\n");
             usage();
         }
     }
@@ -211,33 +263,15 @@ fn main() {
         return;
     }
 
-    // `chaos`, `trace`, `verify`, `obs`, `scale`, `storm`, `perfetto`
-    // and `race` take an optional seed then an output path.
-    if which == "chaos"
-        || which == "trace"
-        || which == "verify"
-        || which == "obs"
-        || which == "scale"
-        || which == "storm"
-        || which == "perfetto"
-        || which == "race"
-    {
+    // The seeded report-writers take an optional seed then an output
+    // path; defaults come from the SEEDED table.
+    if let Some((_, runner, default_out)) = SEEDED.iter().find(|(n, _, _)| *n == which) {
         let seed = match args.get(1) {
             Some(s) => s.parse().unwrap_or_else(|_| {
                 eprintln!("seed must be an integer, got '{s}'");
                 usage();
             }),
             None => DEFAULT_SEED,
-        };
-        let (runner, default_out): (SeededRunner, &str) = match which {
-            "chaos" => (chaos::run, chaos::DEFAULT_OUT),
-            "trace" => (trace::run, trace::DEFAULT_OUT),
-            "obs" => (obs::run, obs::DEFAULT_OUT),
-            "scale" => (b9_scale::run, b9_scale::DEFAULT_OUT),
-            "storm" => (storm::run, storm::DEFAULT_OUT),
-            "perfetto" => (perfetto::run, perfetto::DEFAULT_OUT),
-            "race" => (race::run, race::DEFAULT_OUT),
-            _ => (verify::run, verify::DEFAULT_OUT),
         };
         let out = args.get(2).map(String::as_str).unwrap_or(default_out);
         match runner(seed, out) {
@@ -250,6 +284,11 @@ fn main() {
         return;
     }
 
+    if which != "all" && !EXPERIMENTS.contains(&which) {
+        eprintln!("unknown subcommand '{which}'\n");
+        usage();
+    }
+
     let seed = match args.get(1) {
         Some(s) => s.parse().unwrap_or_else(|_| {
             eprintln!("seed must be an integer, got '{s}'");
@@ -259,9 +298,7 @@ fn main() {
     };
 
     if which == "all" {
-        for exp in [
-            "fig1", "fig2", "fig3", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8", "a1", "a2",
-        ] {
+        for exp in EXPERIMENTS {
             run_one(exp, seed);
             println!();
         }

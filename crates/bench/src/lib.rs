@@ -40,6 +40,7 @@ pub mod helpers;
 pub mod microbench;
 pub mod obs;
 pub mod perfetto;
+pub mod perfetto_scale;
 pub mod race;
 pub mod smoke;
 pub mod storm;

@@ -177,6 +177,15 @@ pub fn runtime_metric_names() -> Vec<String> {
             .iter()
             .map(|k| (*k).to_string()),
     );
+    // The sim-time profiler's family (including the per-lane counter
+    // tracks `harness perfetto-scale` emits) lives outside any Env as
+    // well; `stream.*` rides in via `perfetto::keys::ALL` above.
+    kc.0.extend(
+        sensorcer_trace::profile::keys::ALL
+            .iter()
+            .map(|k| (*k).to_string()),
+    );
+    kc.0.extend(crate::perfetto_scale::runtime_metric_names());
     kc.0.into_iter().collect()
 }
 

@@ -150,6 +150,50 @@ pub fn run(out_path: &str) -> Result<String, String> {
         g.finish();
     }
 
+    // Wire encoder: submessage framing by reserve-and-backpatch (the
+    // live `put_msg`) vs the old scratch-`Vec` per submessage — the
+    // before/after for the streaming exporter's allocation-churn fix.
+    // Body mirrors a span-end packet: nested messages either side of
+    // the 1-byte/2-byte length-prefix boundary.
+    {
+        use sensorcer_trace::perfetto::wire;
+        let mut g = c.benchmark_group("smoke_wire");
+        g.sample_size(5);
+        g.warm_up_time(Duration::from_millis(50));
+        g.measurement_time(Duration::from_millis(250));
+        fn packet_body(out: &mut Vec<u8>, put: fn(&mut Vec<u8>, u32, &[u8])) {
+            let small = [0x42u8; 40];
+            let large = [0x42u8; 200];
+            for _ in 0..16 {
+                put(out, 1, &small);
+                put(out, 11, &large);
+            }
+        }
+        fn via_backpatch(out: &mut Vec<u8>, field: u32, body: &[u8]) {
+            wire::put_msg(out, field, |b| b.extend_from_slice(body));
+        }
+        fn via_alloc(out: &mut Vec<u8>, field: u32, body: &[u8]) {
+            wire::put_msg_alloc(out, field, |b| b.extend_from_slice(body));
+        }
+        g.bench_function("put_msg_backpatch", |b| {
+            let mut out = Vec::with_capacity(8192);
+            b.iter(|| {
+                out.clear();
+                packet_body(&mut out, via_backpatch);
+                assert!(!out.is_empty());
+            });
+        });
+        g.bench_function("put_msg_alloc", |b| {
+            let mut out = Vec::with_capacity(8192);
+            b.iter(|| {
+                out.clear();
+                packet_body(&mut out, via_alloc);
+                assert!(!out.is_empty());
+            });
+        });
+        g.finish();
+    }
+
     let json = results_to_json(c.results());
     std::fs::write(out_path, &json)
         .map_err(|e| format!("smoke: failed to write {out_path}: {e}"))?;

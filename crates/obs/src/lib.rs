@@ -22,6 +22,9 @@
 //! * [`compare`] — the perf-regression gate: parse two `BENCH_*.json`
 //!   runs and diff them under a noise threshold, so CI fails on a real
 //!   slowdown and shrugs at jitter.
+//! * [`profile`] — hotspot ranking and flamegraph excerpts over the
+//!   sim-time profiler's collapsed-stack output, so scale runs report
+//!   *where* the virtual time went, not just how much there was.
 //!
 //! Plus [`naming`], the runtime metric-name auditor enforcing the one
 //! `subsystem.object.action` convention across every key the registry
@@ -39,6 +42,7 @@ pub mod analytics;
 pub mod anomaly;
 pub mod compare;
 pub mod naming;
+pub mod profile;
 pub mod slo;
 pub mod timeline;
 
@@ -50,6 +54,7 @@ pub use compare::{
     compare, parse_bench_json, BenchRow, CompareConfig, CompareReport, RowDelta, Verdict,
 };
 pub use naming::{check_name, check_names};
+pub use profile::{flame_excerpt, frame_totals, hotspots, Hotspot};
 pub use slo::{
     Alert, AlertTransition, BurnRateWindows, ReadOutcome, SloEngine, SloKind, SloReport, SloSpec,
     SloVerdict,

@@ -1,0 +1,185 @@
+//! Analytics over profiler output: hotspot ranking and flamegraph
+//! excerpts from collapsed-stack text.
+//!
+//! The sim-time profiler (`sensorcer_trace::profile`) emits the
+//! standard collapsed-stack format — one `root;child;leaf <self_ns>`
+//! line per distinct stack — which is the interchange point between
+//! measurement and interpretation. This module consumes that text, so
+//! it works identically on a live [`Profiler`] snapshot, a committed
+//! report artifact, or output from any external tool speaking the same
+//! format.
+//!
+//! * [`hotspots`] — distinct stacks ranked by self time, with each
+//!   stack's share of the total.
+//! * [`frame_totals`] — per-frame *inclusive* time (a frame is charged
+//!   every nanosecond of self time spent at or below it), the numbers a
+//!   flamegraph's box widths encode.
+//! * [`flame_excerpt`] — the top-N hotspots rendered as aligned text
+//!   with percentage shares, for transcripts and experiment notes.
+//!
+//! [`Profiler`]: sensorcer_trace::profile::Profiler
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One distinct stack with its exact self time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hotspot {
+    /// Full `root;...;leaf` stack.
+    pub stack: String,
+    /// The innermost frame — where the time was actually spent.
+    pub leaf: String,
+    /// Virtual nanoseconds of self time attributed to this stack.
+    pub self_ns: u64,
+    /// Fraction of the profile's total self time, in `[0, 1]`.
+    pub share: f64,
+}
+
+/// Parse collapsed-stack text into `(stack, self_ns)` pairs, merging
+/// duplicate stacks. Lines that don't parse (no trailing integer) are
+/// skipped rather than failing the whole profile — excerpts pasted into
+/// docs routinely pick up stray prose.
+pub fn parse_collapsed(folded: &str) -> BTreeMap<String, u64> {
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for line in folded.lines() {
+        let line = line.trim();
+        let Some((stack, count)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(ns) = count.parse::<u64>() else {
+            continue;
+        };
+        if stack.is_empty() {
+            continue;
+        }
+        *stacks.entry(stack.to_string()).or_insert(0) += ns;
+    }
+    stacks
+}
+
+/// The distinct stacks of `folded`, hottest first (ties broken by stack
+/// name for determinism), truncated to `top_n`. Shares are relative to
+/// the *whole* profile, so a truncated listing still reads correctly.
+pub fn hotspots(folded: &str, top_n: usize) -> Vec<Hotspot> {
+    let stacks = parse_collapsed(folded);
+    let total: u64 = stacks.values().sum();
+    let mut out: Vec<Hotspot> = stacks
+        .into_iter()
+        .map(|(stack, self_ns)| {
+            let leaf = stack.rsplit(';').next().unwrap_or(&stack).to_string();
+            let share = if total == 0 {
+                0.0
+            } else {
+                self_ns as f64 / total as f64
+            };
+            Hotspot {
+                stack,
+                leaf,
+                self_ns,
+                share,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.stack.cmp(&b.stack)));
+    out.truncate(top_n);
+    out
+}
+
+/// Per-frame inclusive time: each frame is charged the self time of
+/// every stack it appears on. The root frame's total equals the whole
+/// profile; a leaf-only frame's total equals its self time. These are
+/// the box widths a flamegraph renders.
+pub fn frame_totals(folded: &str) -> BTreeMap<String, u64> {
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for (stack, ns) in parse_collapsed(folded) {
+        // A frame repeated on one stack (recursion) must be charged once.
+        let mut seen: Vec<&str> = Vec::new();
+        for frame in stack.split(';') {
+            if seen.contains(&frame) {
+                continue;
+            }
+            seen.push(frame);
+            *totals.entry(frame.to_string()).or_insert(0) += ns;
+        }
+    }
+    totals
+}
+
+/// The top-N hotspots as aligned `  <pct>  <self_ns>  <stack>` lines —
+/// the excerpt experiment notes and harness transcripts embed.
+pub fn flame_excerpt(folded: &str, top_n: usize) -> String {
+    let hot = hotspots(folded, top_n);
+    let width = hot
+        .iter()
+        .map(|h| h.self_ns.to_string().len())
+        .max()
+        .unwrap_or(1);
+    let mut out = String::new();
+    for h in &hot {
+        let _ = writeln!(
+            out,
+            "  {:>5.1}%  {:>width$} ns  {}",
+            h.share * 100.0,
+            h.self_ns,
+            h.stack
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FOLDED: &str = "\
+scale.window;mote.sample 600
+scale.window;mote.sample;csp.read 100
+scale.window 300
+noise without a count
+scale.window;mote.sample 400
+";
+
+    #[test]
+    fn parsing_merges_duplicates_and_skips_noise() {
+        let stacks = parse_collapsed(FOLDED);
+        assert_eq!(stacks.len(), 3);
+        assert_eq!(stacks["scale.window;mote.sample"], 1_000);
+        assert_eq!(stacks["scale.window"], 300);
+    }
+
+    #[test]
+    fn hotspots_rank_by_self_time_with_whole_profile_shares() {
+        let hot = hotspots(FOLDED, 2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].stack, "scale.window;mote.sample");
+        assert_eq!(hot[0].leaf, "mote.sample");
+        assert_eq!(hot[0].self_ns, 1_000);
+        // Shares stay relative to the full 1400 ns even when truncated.
+        assert!((hot[0].share - 1_000.0 / 1_400.0).abs() < 1e-12);
+        assert_eq!(hot[1].stack, "scale.window");
+    }
+
+    #[test]
+    fn frame_totals_are_inclusive_and_recursion_safe() {
+        let totals = frame_totals(FOLDED);
+        // Root frame carries the whole profile.
+        assert_eq!(totals["scale.window"], 1_400);
+        assert_eq!(totals["mote.sample"], 1_100);
+        assert_eq!(totals["csp.read"], 100);
+        // Direct recursion charges the frame once per stack.
+        let rec = frame_totals("a;b;a 50\n");
+        assert_eq!(rec["a"], 50);
+        assert_eq!(rec["b"], 50);
+    }
+
+    #[test]
+    fn excerpt_lines_carry_share_time_and_stack() {
+        let text = flame_excerpt(FOLDED, 3);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("71.4%"));
+        assert!(lines[0].ends_with("scale.window;mote.sample"));
+        assert!(lines[2].contains("csp.read"));
+        assert_eq!(flame_excerpt("", 5), "");
+    }
+}

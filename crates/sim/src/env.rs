@@ -170,6 +170,27 @@ pub struct Env {
     /// canonical engine. The race explorer in `sensorcer-verify`
     /// installs this to permute window interleavings systematically.
     window_chooser: Option<Box<dyn FnMut(usize) -> usize>>,
+    /// Optional observer called at each conservative sync-window close
+    /// with the window's extent and fired-timer count — the feed for
+    /// window-occupancy profiling. Deliberately given no `Env` access,
+    /// so it cannot perturb the schedule.
+    window_observer: Option<Box<dyn FnMut(&WindowObservation)>>,
+    /// Conservative windows closed so far (sharded engine only).
+    windows_seen: u64,
+}
+
+/// One closed conservative sync window of the sharded engine, as
+/// reported to the observer installed with [`Env::set_window_observer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowObservation {
+    /// 0-based window ordinal since the environment was created.
+    pub index: u64,
+    /// The window's opening instant (earliest due deadline).
+    pub start: SimTime,
+    /// The window edge — the shard resynchronization barrier.
+    pub horizon: SimTime,
+    /// Timers fired inside the window.
+    pub fired: u64,
 }
 
 impl Env {
@@ -194,6 +215,8 @@ impl Env {
             lifecycle_sink: None,
             tie_chooser: None,
             window_chooser: None,
+            window_observer: None,
+            windows_seen: 0,
         }
     }
 
@@ -296,6 +319,14 @@ impl Env {
     /// Read-only access to the installed recorder.
     pub fn recorder(&self) -> Option<&FlightRecorder> {
         self.recorder.as_ref()
+    }
+
+    /// Mutable access to the installed recorder — the streaming drain
+    /// hook: callers pull retired spans and eviction markers with
+    /// [`FlightRecorder::drain_closed`] between runs while tracing stays
+    /// live.
+    pub fn recorder_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.recorder.as_mut()
     }
 
     /// Open a span as a child of the innermost open span (or as a new
@@ -1173,6 +1204,19 @@ impl Env {
         self.window_chooser = None;
     }
 
+    /// Install the window observer: called once per conservative sync
+    /// window as it closes, with the window's extent and fired count.
+    /// Purely passive — installing or removing it never changes the
+    /// schedule. Replaces any previous observer.
+    pub fn set_window_observer(&mut self, f: impl FnMut(&WindowObservation) + 'static) {
+        self.window_observer = Some(Box::new(f));
+    }
+
+    /// Remove the window observer.
+    pub fn clear_window_observer(&mut self) {
+        self.window_observer = None;
+    }
+
     /// `step` inside an open window with the window oracle installed:
     /// gather every timer due by `horizon`, group by shard lane, offer
     /// the earliest timer of each lane as the candidate set, fire the
@@ -1281,14 +1325,32 @@ impl Env {
             let pool = self.pool.take();
             self.timer_queue.open_window(horizon, pool.as_ref());
             self.pool = pool;
+            let mut fired = 0u64;
             while self.timer_queue.peek().is_some_and(|k| k.at <= horizon) {
-                if self.window_chooser.is_some() {
-                    self.step_window_chosen(horizon);
+                let did = if self.window_chooser.is_some() {
+                    self.step_window_chosen(horizon)
                 } else {
-                    self.step();
+                    self.step()
+                };
+                if did {
+                    fired += 1;
                 }
             }
             self.timer_queue.close_window();
+            let index = self.windows_seen;
+            self.windows_seen += 1;
+            // Take/call/put-back so the observer cannot re-enter `self`.
+            if let Some(mut obs) = self.window_observer.take() {
+                obs(&WindowObservation {
+                    index,
+                    start: next.at,
+                    horizon,
+                    fired,
+                });
+                if self.window_observer.is_none() {
+                    self.window_observer = Some(obs);
+                }
+            }
         }
         self.clock = self.clock.max(t);
     }
@@ -1918,6 +1980,64 @@ mod tests {
         }
         let (pooled_log, _) = run_firing_log(Some(3), true);
         assert_eq!(pooled_log, seq_log, "pooled migration diverged");
+    }
+
+    #[test]
+    fn window_observer_is_passive_and_accounts_every_firing() {
+        let (base_log, _) = run_firing_log(Some(3), false);
+        let mut env = Env::with_seed(42);
+        let mut hosts = Vec::new();
+        for i in 0..6u32 {
+            let h = env.add_host(format!("m{i}"), HostKind::SensorMote);
+            env.topo.set_subnet(h, SubnetId(i % 3));
+            hosts.push(h);
+        }
+        let s0 = env.add_host("gw0", HostKind::Server);
+        let s1 = env.add_host("gw1", HostKind::Server);
+        env.topo.set_subnet(s0, SubnetId(0));
+        env.topo.set_subnet(s1, SubnetId(1));
+        env.enable_sharding(3);
+        let obs: Rc<RefCell<Vec<WindowObservation>>> = Rc::new(RefCell::new(vec![]));
+        {
+            let obs = Rc::clone(&obs);
+            env.set_window_observer(move |w| obs.borrow_mut().push(*w));
+        }
+        let log: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(vec![]));
+        for (i, &h) in hosts.iter().enumerate() {
+            let log = Rc::clone(&log);
+            let peer = hosts[(i + 1) % hosts.len()];
+            env.schedule_on(
+                h,
+                SimDuration::from_millis(1 + i as u64),
+                move |env: &mut Env| {
+                    log.borrow_mut().push((env.now().as_nanos(), i as u32));
+                    let log2 = Rc::clone(&log);
+                    env.schedule_on(peer, SimDuration::from_millis(2), move |env: &mut Env| {
+                        log2.borrow_mut()
+                            .push((env.now().as_nanos(), 100 + i as u32));
+                    });
+                },
+            );
+        }
+        for (i, &h) in hosts.iter().enumerate() {
+            let log = Rc::clone(&log);
+            env.schedule_on(h, SimDuration::from_millis(10), move |env: &mut Env| {
+                log.borrow_mut()
+                    .push((env.now().as_nanos(), 200 + i as u32));
+            });
+        }
+        env.run_for(SimDuration::from_millis(50));
+        assert_eq!(*log.borrow(), base_log, "observer perturbed the schedule");
+        let obs = obs.borrow();
+        assert!(!obs.is_empty());
+        let fired: u64 = obs.iter().map(|w| w.fired).sum();
+        assert_eq!(fired, base_log.len() as u64, "every firing attributed");
+        for (i, w) in obs.iter().enumerate() {
+            assert_eq!(w.index, i as u64, "window ordinals are contiguous");
+            assert!(w.start <= w.horizon);
+        }
+        assert_eq!(obs.len() as u64, env.shard_stats().windows);
+        env.clear_window_observer();
     }
 
     #[test]

@@ -63,7 +63,9 @@ pub mod prelude {
     };
 
     pub use crate::chaos::{ChaosConfig, ChaosCounts, ChaosEvent, ChaosSchedule};
-    pub use crate::env::{Env, EnvConfig, LifecycleEvent, RepeatHandle, ServiceId, TimerId};
+    pub use crate::env::{
+        Env, EnvConfig, LifecycleEvent, RepeatHandle, ServiceId, TimerId, WindowObservation,
+    };
     pub use crate::hb::{HbTracker, HbViolation, VectorClock};
     pub use crate::metrics::{
         keys as metric_keys, sampler_keys, Metrics, SamplerConfig, Summary, TelemetrySampler,

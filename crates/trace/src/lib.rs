@@ -29,6 +29,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 pub mod perfetto;
+pub mod profile;
 
 /// Version stamped into every JSON export this workspace produces (TRACE,
 /// OBS, STORM). Version 1 was the unversioned shape; 2 adds the
@@ -316,6 +317,25 @@ pub struct EvictionMarker {
 /// the count in [`FlightRecorder::dropped_while_open`] keeps the tally.
 const MAX_EVICTION_MARKERS: usize = 1024;
 
+/// One element of the recorder's retirement stream: closed spans in the
+/// order they retired into the ring, with eviction markers interleaved
+/// at the exact position the eviction happened. Streaming consumers see
+/// markers *before* the span whose retirement forced them, so marker
+/// timestamps are ordered relative to already-streamed slice ends.
+#[derive(Debug, PartialEq)]
+pub enum StreamItem<'a> {
+    Span(&'a Span),
+    Eviction(&'a EvictionMarker),
+}
+
+/// Owned counterpart of [`StreamItem`], returned by
+/// [`FlightRecorder::drain_closed`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum DrainItem {
+    Span(Span),
+    Eviction(EvictionMarker),
+}
+
 /// Bounded ring buffer of spans with stack-discipline parenting.
 ///
 /// `span_start` makes the new span a child of the innermost open span and
@@ -342,6 +362,15 @@ pub struct FlightRecorder {
     dropped: u64,
     dropped_while_open: u64,
     evictions: Vec<EvictionMarker>,
+    /// Retirement sequence of each marker in `evictions` (parallel
+    /// vector; the marker precedes the span with that retirement index
+    /// in the stream). Kept out of the public `EvictionMarker` so the
+    /// pinned JSON export shape is untouched.
+    eviction_seqs: Vec<u64>,
+    /// Total spans ever retired into the ring (drains don't reset it),
+    /// numbering the retirement stream that `stream_items` /
+    /// `drain_closed` reconstruct.
+    retired: u64,
 }
 
 impl FlightRecorder {
@@ -359,6 +388,8 @@ impl FlightRecorder {
             dropped: 0,
             dropped_while_open: 0,
             evictions: Vec::new(),
+            eviction_seqs: Vec::new(),
+            retired: 0,
         }
     }
 
@@ -468,11 +499,14 @@ impl FlightRecorder {
                             evicted: old.id,
                             open_at_eviction: self.open.len(),
                         });
+                        // The marker precedes the span retiring right now.
+                        self.eviction_seqs.push(self.retired);
                     }
                 }
             }
         }
         self.closed.push_back(s);
+        self.retired += 1;
     }
 
     /// Closed spans, oldest first (in end order).
@@ -519,6 +553,64 @@ impl FlightRecorder {
     /// spans, in occurrence order.
     pub fn evictions(&self) -> &[EvictionMarker] {
         &self.evictions
+    }
+
+    /// The retirement stream still held by the ring: closed spans oldest
+    /// first with eviction markers interleaved at the retirement position
+    /// where each eviction happened. This is the canonical feed order for
+    /// the streaming Perfetto exporter — markers come out in timestamp
+    /// order relative to the slice-end packets around them instead of
+    /// being appended after everything else.
+    pub fn stream_items(&self) -> Vec<StreamItem<'_>> {
+        let mut items = Vec::with_capacity(self.closed.len() + self.evictions.len());
+        let first = self.retired - self.closed.len() as u64;
+        let mut mi = 0;
+        for (i, s) in self.closed.iter().enumerate() {
+            let seq = first + i as u64;
+            while mi < self.evictions.len() && self.eviction_seqs[mi] <= seq {
+                items.push(StreamItem::Eviction(&self.evictions[mi]));
+                mi += 1;
+            }
+            items.push(StreamItem::Span(s));
+        }
+        for m in &self.evictions[mi..] {
+            items.push(StreamItem::Eviction(m));
+        }
+        items
+    }
+
+    /// Drain mode: consume the retirement stream accumulated since the
+    /// last drain (same order as [`stream_items`](Self::stream_items))
+    /// and hand it to a subscriber, leaving the ring empty. A consumer
+    /// draining faster than the ring wraps turns the recorder into a
+    /// bounded pipe: nothing is ever evicted, so arbitrarily long runs
+    /// export completely in bounded memory. `dropped` /
+    /// `dropped_while_open` tallies and open spans are untouched.
+    pub fn drain_closed(&mut self) -> Vec<DrainItem> {
+        let first = self.retired - self.closed.len() as u64;
+        let seqs = std::mem::take(&mut self.eviction_seqs);
+        let markers = std::mem::take(&mut self.evictions);
+        let mut items = Vec::with_capacity(self.closed.len() + markers.len());
+        let mut mi = 0;
+        for (i, s) in std::mem::take(&mut self.closed).into_iter().enumerate() {
+            let seq = first + i as u64;
+            while mi < seqs.len() && seqs[mi] <= seq {
+                items.push(DrainItem::Eviction(markers[mi]));
+                mi += 1;
+            }
+            items.push(DrainItem::Span(s));
+        }
+        for &m in &markers[mi..] {
+            items.push(DrainItem::Eviction(m));
+        }
+        items
+    }
+
+    /// Earliest start among still-open spans — the safe watermark below
+    /// which no future retirement can begin. The streaming exporter uses
+    /// it to prune lane-assignment state without changing output bytes.
+    pub fn open_min_start_ns(&self) -> Option<u64> {
+        self.open.iter().map(|s| s.start_ns).min()
     }
 
     /// Map from parent span id to the (closed) children's indices in
@@ -1004,6 +1096,110 @@ mod tests {
         // `dropped`, but no new while-open marker.
         assert_eq!(r.dropped(), 4);
         assert_eq!(r.dropped_while_open(), 3);
+    }
+
+    #[test]
+    fn eviction_markers_stream_in_retirement_order_under_open_root() {
+        // The ring wraps while a root span stays open: markers must come
+        // out of the stream at the retirement position where the eviction
+        // happened — in timestamp order relative to the slice ends around
+        // them — not appended after everything else.
+        let mut r = FlightRecorder::new(2);
+        let _root = r.span_start("root", "svc", 1, 0); // id 1
+        for i in 1..=5u64 {
+            let c = r.span_start("child", "svc", 1, i * 10 - 5); // ids 2..=6
+            r.span_end(c, i * 10, Outcome::Ok);
+        }
+        assert_eq!(r.evictions().len(), 3);
+        let shape: Vec<String> = r
+            .stream_items()
+            .iter()
+            .map(|it| match it {
+                StreamItem::Span(s) => format!("span:{}", s.id.0),
+                StreamItem::Eviction(m) => format!("evict:{}", m.evicted.0),
+            })
+            .collect();
+        // Retiring c3 evicted c1 (id 2), c4 evicted c2 (id 3) — both
+        // positions already streamed past, so those markers lead. c5
+        // evicted c3 (id 4): that marker lands *between* c4 and c5.
+        assert_eq!(
+            shape,
+            vec!["evict:2", "evict:3", "span:5", "evict:4", "span:6"]
+        );
+        // And the interleaving is timestamp-ordered.
+        let mut last = 0u64;
+        for it in r.stream_items() {
+            let ts = match it {
+                StreamItem::Span(s) => s.end_ns,
+                StreamItem::Eviction(m) => m.at_ns,
+            };
+            assert!(ts >= last, "stream goes back in time: {ts} < {last}");
+            last = ts;
+        }
+        // Draining consumes the same interleaving.
+        let drained: Vec<String> = r
+            .drain_closed()
+            .iter()
+            .map(|it| match it {
+                DrainItem::Span(s) => format!("span:{}", s.id.0),
+                DrainItem::Eviction(m) => format!("evict:{}", m.evicted.0),
+            })
+            .collect();
+        assert_eq!(drained, shape);
+        assert!(r.is_empty());
+        assert!(r.evictions().is_empty());
+        assert_eq!(r.dropped(), 3, "drain keeps the tallies");
+        assert_eq!(r.open_count(), 1, "drain leaves open spans alone");
+    }
+
+    #[test]
+    fn drain_closed_in_pieces_matches_one_shot_stream() {
+        let stage1 = |r: &mut FlightRecorder| {
+            let _root = r.span_start("root", "svc", 1, 0);
+            for i in 1..=3u64 {
+                let c = r.span_start("child", "svc", 1, i * 10);
+                r.span_end(c, i * 10 + 5, Outcome::Ok);
+            }
+        };
+        let stage2 = |r: &mut FlightRecorder| {
+            for i in 4..=5u64 {
+                let c = r.span_start("child", "svc", 1, i * 10);
+                r.span_end(c, i * 10 + 5, Outcome::Ok);
+            }
+            let root = r.open.first().map_or(SpanId::INVALID, |s| s.id);
+            r.span_end(root, 100, Outcome::Ok);
+        };
+        let mut whole = FlightRecorder::new(64);
+        stage1(&mut whole);
+        stage2(&mut whole);
+        let reference: Vec<u64> = whole
+            .stream_items()
+            .iter()
+            .map(|it| match it {
+                StreamItem::Span(s) => s.id.0,
+                StreamItem::Eviction(_) => unreachable!("capacity 64 never evicts"),
+            })
+            .collect();
+
+        let mut piecewise = FlightRecorder::new(64);
+        stage1(&mut piecewise);
+        assert_eq!(piecewise.open_min_start_ns(), Some(0), "root still open");
+        let mut ids: Vec<u64> = Vec::new();
+        for it in piecewise.drain_closed() {
+            if let DrainItem::Span(s) = it {
+                ids.push(s.id.0);
+            }
+        }
+        assert_eq!(ids.len(), 3, "first drain hands over the closed prefix");
+        stage2(&mut piecewise);
+        for it in piecewise.drain_closed() {
+            if let DrainItem::Span(s) = it {
+                ids.push(s.id.0);
+            }
+        }
+        assert_eq!(ids, reference);
+        assert_eq!(piecewise.dropped(), 0, "a drained ring never wraps");
+        assert_eq!(piecewise.open_min_start_ns(), None);
     }
 
     #[test]

@@ -28,19 +28,38 @@
 //!   from caller-provided [`CounterSeries`] — the telemetry sampler's
 //!   registry snapshots.
 //!
-//! The output is deterministic byte-for-byte per recorder content: all
-//! grouping uses ordered maps, track uuids derive from host/subsystem
-//! order, and ties are broken by span id. A minimal [`decode`] /
-//! [`validate`] pair reads the wire format back for golden-byte and
-//! round-trip tests — and for CI, which refuses traces with unbalanced
-//! slices, dangling flows or non-monotonic counters.
+//! The encoder is **streaming-first**: [`StreamingExporter`] emits
+//! packets incrementally into a bounded scratch buffer as spans close
+//! (fed from the recorder's retirement stream — see
+//! [`FlightRecorder::drain_closed`]) and as counter samples arrive,
+//! carrying interning state and track descriptors across flushes to any
+//! [`PacketSink`] (an in-memory `Vec<u8>`, or [`FileSink`] with an
+//! incremental fnv64 fingerprint). Descriptors and interned names are
+//! emitted on first use; lane assignment keeps only a pruned list of
+//! covered intervals per lane, so encoder memory is bounded by the
+//! *open* span set and the flush threshold, not the trace length. The
+//! buffered [`export`] is a thin replay of the same exporter over the
+//! whole recorder — streaming output is byte-identical to buffered
+//! output by construction.
+//!
+//! The output is deterministic byte-for-byte per feed sequence: all
+//! grouping uses ordered maps, uuids/iids are assigned in first-use
+//! order, and the packet order is the retirement order the recorder
+//! replays. Perfetto sorts packets by timestamp on import, so packets
+//! are *not* globally time-ordered in the file; the [`validate`] pass
+//! instead checks per-track nesting feasibility after a stable sort. A
+//! minimal [`decode`] / [`validate`] pair reads the wire format back
+//! for golden-byte and round-trip tests — and for CI, which refuses
+//! traces with unbalanced slices, dangling flows or non-monotonic
+//! counters.
 //!
 //! [`FlightRecorder`]: crate::FlightRecorder
+//! [`FlightRecorder::drain_closed`]: crate::FlightRecorder::drain_closed
 //! [`EvictionMarker`]: crate::EvictionMarker
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::{FieldValue, FlightRecorder, Outcome, Span};
+use crate::{EvictionMarker, FieldValue, FlightRecorder, Outcome, Span, StreamItem};
 
 // ---------------------------------------------------------------------------
 // Wire format
@@ -125,9 +144,46 @@ pub mod wire {
         put_bytes(out, field, s.as_bytes());
     }
 
-    /// Tagged submessage built by `f` into a scratch buffer, then
-    /// length-prefixed into `out`.
+    /// Tagged submessage built by `f` **in place**, with the length
+    /// prefix backpatched afterwards: reserve one length byte (almost
+    /// every submessage in this vocabulary is < 128 bytes), encode the
+    /// body directly into `out`, then either patch the byte or shift the
+    /// body right for a multi-byte varint. No per-submessage scratch
+    /// allocation; nested calls compose because inner messages finish
+    /// before the outer length is computed. Produces minimal varints —
+    /// byte-identical to [`put_msg_alloc`].
     pub fn put_msg(out: &mut Vec<u8>, field: u32, f: impl FnOnce(&mut Vec<u8>)) {
+        put_tag(out, field, WT_LEN);
+        out.push(0); // one-byte length guess, backpatched below
+        let start = out.len();
+        f(out);
+        let len = out.len() - start;
+        if len < 0x80 {
+            out[start - 1] = len as u8;
+        } else {
+            let mut var = [0u8; 10];
+            let mut n = 0;
+            let mut v = len as u64;
+            loop {
+                var[n] = (v & 0x7f) as u8 | 0x80;
+                v >>= 7;
+                n += 1;
+                if v == 0 {
+                    break;
+                }
+            }
+            var[n - 1] &= 0x7f;
+            let extra = n - 1;
+            out.resize(start + len + extra, 0);
+            out.copy_within(start..start + len, start + extra);
+            out[start - 1..start - 1 + n].copy_from_slice(&var[..n]);
+        }
+    }
+
+    /// The allocating reference implementation of [`put_msg`] (build the
+    /// body in a scratch `Vec`, then length-prefix it). Kept for the
+    /// equivalence test and the `smoke_wire` before/after microbench.
+    pub fn put_msg_alloc(out: &mut Vec<u8>, field: u32, f: impl FnOnce(&mut Vec<u8>)) {
         let mut tmp = Vec::with_capacity(32);
         f(&mut tmp);
         put_bytes(out, field, &tmp);
@@ -344,11 +400,23 @@ pub mod keys {
     pub const TRACKS_CREATED: &str = "perfetto.tracks.created";
     pub const EVENTS_EMITTED: &str = "perfetto.events.emitted";
 
+    // Streaming-pipeline counters (the `stream.*` family).
+    pub const STREAM_BYTES_FLUSHED: &str = "stream.bytes.flushed";
+    pub const STREAM_PACKETS_EMITTED: &str = "stream.packets.emitted";
+    pub const STREAM_FLUSHES_TOTAL: &str = "stream.flushes.total";
+    pub const STREAM_SCRATCH_PEAK: &str = "stream.scratch.peak_bytes";
+    pub const STREAM_NAMES_INTERNED: &str = "stream.names.interned";
+
     pub const ALL: &[&str] = &[
         BYTES_WRITTEN,
         PACKETS_WRITTEN,
         TRACKS_CREATED,
         EVENTS_EMITTED,
+        STREAM_BYTES_FLUSHED,
+        STREAM_PACKETS_EMITTED,
+        STREAM_FLUSHES_TOTAL,
+        STREAM_SCRATCH_PEAK,
+        STREAM_NAMES_INTERNED,
     ];
 }
 
@@ -421,19 +489,6 @@ fn subsystem(name: &str) -> &str {
     name.split('.').next().unwrap_or(name)
 }
 
-/// One pending track event, pre-merge.
-struct PendingEvent {
-    ts: u64,
-    track: u64,
-    kind: u64,
-    /// Interned-name id; 0 = none (slice ends).
-    name_iid: u64,
-    flow: Option<u64>,
-    counter_i64: Option<i64>,
-    counter_f64: Option<f64>,
-    annotations: Vec<(String, Annotation)>,
-}
-
 enum Annotation {
     Str(String),
     Int(i64),
@@ -459,386 +514,256 @@ fn outcome_str(o: Outcome) -> &'static str {
     }
 }
 
-/// A track descriptor to emit.
-struct TrackDef {
-    uuid: u64,
-    name: String,
-    parent: Option<u64>,
-    process: Option<(i64, String)>,
-    thread: Option<(i64, i64, String)>,
-    counter_unit: Option<&'static str>,
+// ---------------------------------------------------------------------------
+// Packet sinks
+// ---------------------------------------------------------------------------
+
+/// Where flushed packet bytes go. The exporter only ever hands a sink
+/// whole packets (never a split packet), so any prefix of sink writes is
+/// itself a decodable `.perfetto-trace` stream.
+pub trait PacketSink {
+    fn write(&mut self, bytes: &[u8]) -> Result<(), String>;
 }
 
-/// Render the recorder (plus sampled counter series and caller timeline
-/// tracks) as one complete `.perfetto-trace` byte stream.
+/// The in-memory sink: flushing appends to the `Vec`. Never fails.
+impl PacketSink for Vec<u8> {
+    fn write(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.extend_from_slice(bytes);
+        Ok(())
+    }
+}
+
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv64_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
+/// A buffered file sink that fingerprints (FNV-1a 64) and counts every
+/// byte as it streams past, so scale runs get a determinism check
+/// without re-reading the file.
+pub struct FileSink {
+    file: std::io::BufWriter<std::fs::File>,
+    bytes: u64,
+    fnv: u64,
+}
+
+impl FileSink {
+    pub fn create(path: &str) -> Result<FileSink, String> {
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        Ok(FileSink {
+            file: std::io::BufWriter::new(file),
+            bytes: 0,
+            fnv: FNV64_OFFSET,
+        })
+    }
+
+    /// Bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Running FNV-1a 64 fingerprint of everything written so far —
+    /// equal to hashing the final file in one pass.
+    pub fn fnv64(&self) -> u64 {
+        self.fnv
+    }
+
+    /// Flush to disk and return `(bytes_written, fnv64)`.
+    pub fn finish(mut self) -> Result<(u64, u64), String> {
+        use std::io::Write as _;
+        self.file.flush().map_err(|e| format!("flush: {e}"))?;
+        Ok((self.bytes, self.fnv))
+    }
+}
+
+impl PacketSink for FileSink {
+    fn write(&mut self, bytes: &[u8]) -> Result<(), String> {
+        use std::io::Write as _;
+        self.file
+            .write_all(bytes)
+            .map_err(|e| format!("write: {e}"))?;
+        self.bytes += bytes.len() as u64;
+        self.fnv = fnv64_update(self.fnv, bytes);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming exporter
+// ---------------------------------------------------------------------------
+
+/// Scratch bytes the exporter accumulates before [`StreamingExporter::pump`]
+/// hands them to the sink.
+pub const DEFAULT_FLUSH_THRESHOLD: usize = 256 * 1024;
+
+/// Counters the exporter keeps while streaming; [`StreamingExporter::finish`]
+/// returns the final values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Spans fed (each expands to begin + instants + end packets).
+    pub spans: u64,
+    /// Trace packets emitted (descriptors + events).
+    pub packets: u64,
+    /// Track events emitted (slice begins/ends, instants, counter points).
+    pub events: u64,
+    /// Track descriptors emitted.
+    pub tracks: u64,
+    /// Event names interned into the sequence.
+    pub interned_names: u64,
+    /// Total encoded bytes (flushed + still buffered).
+    pub bytes_encoded: u64,
+    /// Bytes handed to the sink so far.
+    pub bytes_flushed: u64,
+    /// Sink writes performed.
+    pub flushes: u64,
+    /// High-water mark of the scratch buffer — the encoder's working-set
+    /// bound that `harness perfetto-scale` holds under its ceiling.
+    pub peak_buffered_bytes: usize,
+    /// High-water mark of retained lane-assignment intervals across all
+    /// `(host, subsystem)` groups — the only other state that could grow
+    /// with trace length, bounded by watermark pruning.
+    pub lane_state_peak: usize,
+}
+
+/// Per-`(host, subsystem)` lane state: for every lane, the extents of
+/// the spans placed on it, sorted by `(start, end)`. A lane can render
+/// a set of slices iff the set is laminar — every pair nested or
+/// disjoint — so a new span conflicts with a lane iff it *partially*
+/// overlaps any recorded extent. Spans may arrive with non-monotone
+/// `end_ns` (simulated parallelism rewinds branch clocks), so the check
+/// scans the lane's live extents; watermark pruning keeps that set
+/// small on long streams.
+#[derive(Default)]
+struct LaneGroup {
+    uuids: Vec<u64>,
+    covered: Vec<Vec<(u64, u64)>>,
+}
+
+/// Everything one emitted track-event packet needs.
+struct EventPacket<'a> {
+    ts: u64,
+    track: u64,
+    kind: u64,
+    /// 0 = no interned name (slice ends, counter points).
+    name_iid: u64,
+    flow: Option<u64>,
+    counter_i64: Option<i64>,
+    counter_f64: Option<f64>,
+    annotations: &'a [(String, Annotation)],
+}
+
+/// Incremental Perfetto encoder. Feed it the recorder's retirement
+/// stream ([`FlightRecorder::drain_closed`] /
+/// [`FlightRecorder::stream_items`]), timeline instants and counter
+/// samples in any interleaving; call [`pump`](Self::pump) between feeds
+/// to bound the scratch buffer. Track descriptors and interned names
+/// are emitted on first use and the interning table persists across
+/// flushes, so the concatenation of all sink writes is one valid trace.
 ///
-/// Deterministic: identical inputs produce identical bytes.
-pub fn export(
-    rec: &FlightRecorder,
-    counters: &[CounterSeries],
-    timelines: &[InstantTrack],
-    cfg: &ExportConfig,
-) -> Vec<u8> {
-    let spans: Vec<&Span> = rec.spans().collect();
+/// Feeding the same sequence always yields the same bytes, and the
+/// buffered [`export`] *is* this exporter replayed — so streaming and
+/// buffered output are byte-identical for any world that fits in
+/// memory.
+///
+/// Feed spans in the recorder's retirement order. End timestamps need
+/// not be globally monotone — simulated parallelism (`Env::parallel`)
+/// rewinds branch clocks, so a later-retired span can end earlier —
+/// and lane assignment handles any laminar-per-host history. Other
+/// feed kinds are unconstrained.
+pub struct StreamingExporter {
+    cfg: ExportConfig,
+    flow_names: BTreeSet<&'static str>,
+    flush_threshold: usize,
+    scratch: Vec<u8>,
+    first_packet: bool,
+    iid_of: BTreeMap<String, u64>,
+    /// Names interned since the last packet; attached to the next one.
+    pending_names: Vec<(u64, String)>,
+    described_hosts: BTreeSet<u64>,
+    groups: BTreeMap<(u64, &'static str), LaneGroup>,
+    /// Thread tracks created so far — uuid and tid source.
+    thread_lanes: u64,
+    counter_uuid: BTreeMap<String, u64>,
+    timeline_uuid: BTreeMap<String, u64>,
+    recorder_track: bool,
+    /// Traces that carry at least one chain event seen so far.
+    flow_traces: BTreeSet<u64>,
+    stats: StreamStats,
+}
 
-    // --- Flow analysis --------------------------------------------------
-    // A trace flows when it owns at least one chain event, or when an
-    // external timeline instant references it. The flow id is the trace
-    // id itself; it is attached to the trace's anchor slice (root if
-    // present, else its earliest surviving span), every chain instant,
-    // and every referencing timeline instant — so each emitted flow id
-    // resolves to >= 2 events by construction.
-    let flow_names: BTreeSet<&str> = cfg.flow_events.iter().copied().collect();
-    let mut anchor_of: BTreeMap<u64, usize> = BTreeMap::new();
-    for (i, s) in spans.iter().enumerate() {
-        let e = anchor_of.entry(s.trace.0).or_insert(i);
-        let cur = spans[*e];
-        let better = match (s.parent.is_none(), cur.parent.is_none()) {
-            (true, false) => true,
-            (false, true) => false,
-            _ => (s.start_ns, s.id.0) < (cur.start_ns, cur.id.0),
+impl StreamingExporter {
+    pub fn new(cfg: ExportConfig) -> StreamingExporter {
+        StreamingExporter::with_flush_threshold(cfg, DEFAULT_FLUSH_THRESHOLD)
+    }
+
+    pub fn with_flush_threshold(cfg: ExportConfig, flush_threshold: usize) -> StreamingExporter {
+        let flow_names = cfg.flow_events.iter().copied().collect();
+        StreamingExporter {
+            cfg,
+            flow_names,
+            flush_threshold: flush_threshold.max(1),
+            scratch: Vec::with_capacity(4096),
+            first_packet: true,
+            iid_of: BTreeMap::new(),
+            pending_names: Vec::new(),
+            described_hosts: BTreeSet::new(),
+            groups: BTreeMap::new(),
+            thread_lanes: 0,
+            counter_uuid: BTreeMap::new(),
+            timeline_uuid: BTreeMap::new(),
+            recorder_track: false,
+            flow_traces: BTreeSet::new(),
+            stats: StreamStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Bytes currently buffered in scratch (what the next flush writes).
+    pub fn buffered_bytes(&self) -> usize {
+        self.scratch.len()
+    }
+
+    fn intern(&mut self, name: &str) -> u64 {
+        if let Some(&iid) = self.iid_of.get(name) {
+            return iid;
+        }
+        let iid = self.iid_of.len() as u64 + 1;
+        self.iid_of.insert(name.to_string(), iid);
+        self.pending_names.push((iid, name.to_string()));
+        self.stats.interned_names += 1;
+        iid
+    }
+
+    /// Emit one trace packet into scratch: timestamp, sequence fields,
+    /// any pending interned names, then the payload (a track descriptor
+    /// or a track event).
+    fn packet(&mut self, ts: Option<u64>, payload: impl FnOnce(&mut Vec<u8>)) {
+        let pending = std::mem::take(&mut self.pending_names);
+        let flags = if self.first_packet {
+            SEQ_INCREMENTAL_STATE_CLEARED | SEQ_NEEDS_INCREMENTAL_STATE
+        } else {
+            SEQ_NEEDS_INCREMENTAL_STATE
         };
-        if better {
-            *e = i;
-        }
-    }
-    let mut flow_traces: BTreeSet<u64> = BTreeSet::new();
-    for s in &spans {
-        if s.events.iter().any(|e| flow_names.contains(e.name)) {
-            flow_traces.insert(s.trace.0);
-        }
-    }
-    for t in timelines {
-        for ev in &t.events {
-            if let Some(trace) = ev.flow_trace {
-                if anchor_of.contains_key(&trace) {
-                    flow_traces.insert(trace);
-                }
+        self.first_packet = false;
+        let before = self.scratch.len();
+        wire::put_msg(&mut self.scratch, fields::TRACE_PACKET, |p| {
+            if let Some(ts) = ts {
+                wire::put_uint(p, fields::packet::TIMESTAMP, ts);
             }
-        }
-    }
-
-    // --- Name interning --------------------------------------------------
-    let mut names: BTreeSet<String> = BTreeSet::new();
-    for s in &spans {
-        names.insert(s.name.to_string());
-        for e in &s.events {
-            names.insert(e.name.to_string());
-        }
-    }
-    for t in timelines {
-        for e in &t.events {
-            names.insert(e.name.clone());
-        }
-    }
-    if !rec.evictions().is_empty() {
-        names.insert("trace.eviction".to_string());
-    }
-    let iid_of: BTreeMap<&str, u64> = names
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (n.as_str(), i as u64 + 1))
-        .collect();
-
-    // --- Track layout -----------------------------------------------------
-    let hosts: BTreeSet<u64> = spans.iter().map(|s| s.host).collect();
-    let mut tracks: Vec<TrackDef> = Vec::new();
-    for &h in &hosts {
-        let name = cfg
-            .host_names
-            .get(&h)
-            .cloned()
-            .unwrap_or_else(|| format!("host-{h}"));
-        tracks.push(TrackDef {
-            uuid: UUID_PROCESS_BASE + h,
-            name: name.clone(),
-            parent: None,
-            process: Some((h as i64, name)),
-            thread: None,
-            counter_unit: None,
-        });
-    }
-
-    // Group span indices by (host, subsystem), then split each group into
-    // nesting lanes. `groups` iterates in key order, so lane/track
-    // numbering is deterministic.
-    let mut groups: BTreeMap<(u64, &str), Vec<usize>> = BTreeMap::new();
-    for (i, s) in spans.iter().enumerate() {
-        groups
-            .entry((s.host, subsystem(s.name)))
-            .or_default()
-            .push(i);
-    }
-
-    let mut events: Vec<PendingEvent> = Vec::new();
-    let mut next_tid: i64 = 1;
-    for ((host, sub), mut idxs) in groups {
-        idxs.sort_by_key(|&i| (spans[i].start_ns, spans[i].id.0));
-        // Each lane keeps a stack of still-open spans (indices). A new
-        // span goes to the first lane where, after closing everything
-        // that ended at or before its start, it either finds an empty
-        // stack or nests inside the top.
-        let mut lanes: Vec<Vec<usize>> = Vec::new();
-        let mut lane_streams: Vec<Vec<PendingEvent>> = Vec::new();
-        let mut lane_uuid: Vec<u64> = Vec::new();
-
-        let ensure_lane = |lanes: &mut Vec<Vec<usize>>,
-                           lane_streams: &mut Vec<Vec<PendingEvent>>,
-                           lane_uuid: &mut Vec<u64>,
-                           tracks: &mut Vec<TrackDef>,
-                           next_tid: &mut i64| {
-            let lane_no = lanes.len();
-            lanes.push(Vec::new());
-            lane_streams.push(Vec::new());
-            let uuid = UUID_THREAD_BASE + tracks.len() as u64;
-            lane_uuid.push(uuid);
-            let name = if lane_no == 0 {
-                sub.to_string()
-            } else {
-                format!("{sub}#{lane_no}")
-            };
-            tracks.push(TrackDef {
-                uuid,
-                name: name.clone(),
-                parent: None,
-                process: None,
-                thread: Some((host as i64, *next_tid, name)),
-                counter_unit: None,
-            });
-            *next_tid += 1;
-        };
-
-        let close_top = |stack: &mut Vec<usize>, stream: &mut Vec<PendingEvent>, track: u64| {
-            // lint:allow(unwrap): caller checks non-empty
-            let i = stack.pop().expect("non-empty lane stack");
-            let s = spans[i];
-            let mut annotations: Vec<(String, Annotation)> = vec![
-                ("label".into(), Annotation::Str(s.label.to_string())),
-                (
-                    "outcome".into(),
-                    Annotation::Str(outcome_str(s.outcome).into()),
-                ),
-                ("trace".into(), Annotation::Int(s.trace.0 as i64)),
-                ("span".into(), Annotation::Int(s.id.0 as i64)),
-            ];
-            for (k, v) in &s.fields {
-                annotations.push(((*k).to_string(), field_annotation(v)));
-            }
-            stream.push(PendingEvent {
-                ts: s.end_ns,
-                track,
-                kind: TYPE_SLICE_END,
-                name_iid: 0,
-                flow: None,
-                counter_i64: None,
-                counter_f64: None,
-                annotations,
-            });
-        };
-
-        for i in idxs {
-            let s = spans[i];
-            // Pick the first lane this span nests on.
-            let mut chosen = None;
-            for (l, stack) in lanes.iter().enumerate() {
-                let mut depth = stack.len();
-                while depth > 0 && spans[stack[depth - 1]].end_ns <= s.start_ns {
-                    depth -= 1;
-                }
-                if depth == 0 || spans[stack[depth - 1]].end_ns >= s.end_ns {
-                    chosen = Some(l);
-                    break;
-                }
-            }
-            let l = match chosen {
-                Some(l) => l,
-                None => {
-                    ensure_lane(
-                        &mut lanes,
-                        &mut lane_streams,
-                        &mut lane_uuid,
-                        &mut tracks,
-                        &mut next_tid,
-                    );
-                    lanes.len() - 1
-                }
-            };
-            let track = lane_uuid[l];
-            // Close everything on this lane that ended before (or at) the
-            // new span's start.
-            while let Some(&top) = lanes[l].last() {
-                if spans[top].end_ns <= s.start_ns {
-                    close_top(&mut lanes[l], &mut lane_streams[l], track);
-                } else {
-                    break;
-                }
-            }
-            // Slice begin, carrying the flow when this span anchors or
-            // participates in a flowing trace.
-            let has_chain = s.events.iter().any(|e| flow_names.contains(e.name));
-            let is_anchor = anchor_of.get(&s.trace.0) == Some(&i);
-            let flow =
-                (flow_traces.contains(&s.trace.0) && (has_chain || is_anchor)).then_some(s.trace.0);
-            lane_streams[l].push(PendingEvent {
-                ts: s.start_ns,
-                track,
-                kind: TYPE_SLICE_BEGIN,
-                name_iid: iid_of[s.name],
-                flow,
-                counter_i64: None,
-                counter_f64: None,
-                annotations: Vec::new(),
-            });
-            lanes[l].push(i);
-            // The span's recorded events become instants on the same lane.
-            for e in &s.events {
-                let flow = (flow_names.contains(e.name) && flow_traces.contains(&s.trace.0))
-                    .then_some(s.trace.0);
-                let annotations = e
-                    .fields
-                    .iter()
-                    .map(|(k, v)| ((*k).to_string(), field_annotation(v)))
-                    .collect();
-                lane_streams[l].push(PendingEvent {
-                    ts: e.at_ns,
-                    track,
-                    kind: TYPE_INSTANT,
-                    name_iid: iid_of[e.name],
-                    flow,
-                    counter_i64: None,
-                    counter_f64: None,
-                    annotations,
-                });
-            }
-        }
-        // Drain still-open lane stacks (innermost first).
-        for l in 0..lanes.len() {
-            while !lanes[l].is_empty() {
-                close_top(&mut lanes[l], &mut lane_streams[l], lane_uuid[l]);
-            }
-        }
-        for stream in lane_streams {
-            events.extend(stream);
-        }
-    }
-
-    // Ring-buffer eviction markers: a dedicated top-level track, so a
-    // truncated export is visible in the UI instead of silently orphaned.
-    if !rec.evictions().is_empty() {
-        tracks.push(TrackDef {
-            uuid: UUID_RECORDER,
-            name: "flight-recorder".into(),
-            parent: None,
-            process: None,
-            thread: None,
-            counter_unit: None,
-        });
-        for m in rec.evictions() {
-            events.push(PendingEvent {
-                ts: m.at_ns,
-                track: UUID_RECORDER,
-                kind: TYPE_INSTANT,
-                name_iid: iid_of["trace.eviction"],
-                flow: None,
-                counter_i64: None,
-                counter_f64: None,
-                annotations: vec![
-                    ("evicted_span".into(), Annotation::Int(m.evicted.0 as i64)),
-                    (
-                        "open_spans".into(),
-                        Annotation::Int(m.open_at_eviction as i64),
-                    ),
-                ],
-            });
-        }
-    }
-
-    // Caller timeline tracks (e.g. the SLO alert/exemplar timeline).
-    for (ti, t) in timelines.iter().enumerate() {
-        let uuid = UUID_INSTANT_BASE + ti as u64;
-        tracks.push(TrackDef {
-            uuid,
-            name: t.name.clone(),
-            parent: None,
-            process: None,
-            thread: None,
-            counter_unit: None,
-        });
-        for e in &t.events {
-            let flow = e
-                .flow_trace
-                .filter(|tr| anchor_of.contains_key(tr) && flow_traces.contains(tr));
-            let annotations = e
-                .args
-                .iter()
-                .map(|(k, v)| (k.clone(), Annotation::Str(v.clone())))
-                .collect();
-            events.push(PendingEvent {
-                ts: e.at_ns,
-                track: uuid,
-                kind: TYPE_INSTANT,
-                name_iid: iid_of[e.name.as_str()],
-                flow,
-                counter_i64: None,
-                counter_f64: None,
-                annotations,
-            });
-        }
-    }
-
-    // Counter tracks from the telemetry sampler.
-    for (ci, series) in counters.iter().enumerate() {
-        let uuid = UUID_COUNTER_BASE + ci as u64;
-        tracks.push(TrackDef {
-            uuid,
-            name: series.name.clone(),
-            parent: None,
-            process: None,
-            thread: None,
-            counter_unit: Some(match series.unit {
-                CounterUnit::Count => UNIT_COUNT,
-                CounterUnit::Value => UNIT_VALUE,
-            }),
-        });
-        for &(ts, v) in &series.points {
-            let (ci64, cf64) = match series.unit {
-                CounterUnit::Count => (Some(v as i64), None),
-                CounterUnit::Value => (None, Some(v)),
-            };
-            events.push(PendingEvent {
-                ts,
-                track: uuid,
-                kind: TYPE_COUNTER,
-                name_iid: 0,
-                flow: None,
-                counter_i64: ci64,
-                counter_f64: cf64,
-                annotations: Vec::new(),
-            });
-        }
-    }
-
-    // Global time order; the stable sort preserves each per-lane stream's
-    // carefully chosen begin/end tie order.
-    events.sort_by_key(|e| e.ts);
-
-    // --- Wire encoding ----------------------------------------------------
-    let mut out = Vec::with_capacity(64 + events.len() * 24);
-    let mut first = true;
-    for t in &tracks {
-        wire::put_msg(&mut out, fields::TRACE_PACKET, |p| {
             wire::put_uint(p, fields::packet::TRUSTED_SEQ, SEQ_ID);
-            if first {
-                // The sequence opens with a cleared incremental state and
-                // the full interning table; every later packet only needs
-                // the state to already exist.
-                wire::put_uint(
-                    p,
-                    fields::packet::SEQUENCE_FLAGS,
-                    SEQ_INCREMENTAL_STATE_CLEARED | SEQ_NEEDS_INCREMENTAL_STATE,
-                );
+            wire::put_uint(p, fields::packet::SEQUENCE_FLAGS, flags);
+            if !pending.is_empty() {
                 wire::put_msg(p, fields::packet::INTERNED_DATA, |d| {
-                    for (name, iid) in &iid_of {
+                    for (iid, name) in &pending {
                         wire::put_msg(d, fields::interned::EVENT_NAMES, |e| {
                             wire::put_uint(e, fields::event_name::IID, *iid);
                             wire::put_str(e, fields::event_name::NAME, name);
@@ -846,46 +771,18 @@ pub fn export(
                     }
                 });
             }
-            wire::put_msg(p, fields::packet::TRACK_DESCRIPTOR, |d| {
-                wire::put_uint(d, fields::track::UUID, t.uuid);
-                wire::put_str(d, fields::track::NAME, &t.name);
-                if let Some(parent) = t.parent {
-                    wire::put_uint(d, fields::track::PARENT_UUID, parent);
-                }
-                if let Some((pid, name)) = &t.process {
-                    wire::put_msg(d, fields::track::PROCESS, |m| {
-                        wire::put_int(m, fields::process::PID, *pid);
-                        wire::put_str(m, fields::process::NAME, name);
-                    });
-                }
-                if let Some((pid, tid, name)) = &t.thread {
-                    wire::put_msg(d, fields::track::THREAD, |m| {
-                        wire::put_int(m, fields::thread::PID, *pid);
-                        wire::put_int(m, fields::thread::TID, *tid);
-                        wire::put_str(m, fields::thread::NAME, name);
-                    });
-                }
-                if let Some(unit) = t.counter_unit {
-                    wire::put_msg(d, fields::track::COUNTER, |m| {
-                        wire::put_str(m, fields::counter::UNIT_NAME, unit);
-                    });
-                }
-            });
+            payload(p);
         });
-        first = false;
+        self.stats.packets += 1;
+        self.stats.bytes_encoded += (self.scratch.len() - before) as u64;
+        self.stats.peak_buffered_bytes = self.stats.peak_buffered_bytes.max(self.scratch.len());
     }
-    for e in &events {
-        wire::put_msg(&mut out, fields::TRACE_PACKET, |p| {
-            wire::put_uint(p, fields::packet::TIMESTAMP, e.ts);
-            wire::put_uint(p, fields::packet::TRUSTED_SEQ, SEQ_ID);
-            wire::put_uint(
-                p,
-                fields::packet::SEQUENCE_FLAGS,
-                SEQ_NEEDS_INCREMENTAL_STATE,
-            );
-            wire::put_msg(p, fields::packet::TRACK_EVENT, |ev| {
-                for (name, ann) in &e.annotations {
-                    wire::put_msg(ev, fields::event::DEBUG_ANNOTATIONS, |a| {
+
+    fn event_packet(&mut self, ev: EventPacket<'_>) {
+        self.packet(Some(ev.ts), |p| {
+            wire::put_msg(p, fields::packet::TRACK_EVENT, |e| {
+                for (name, ann) in ev.annotations {
+                    wire::put_msg(e, fields::event::DEBUG_ANNOTATIONS, |a| {
                         match ann {
                             Annotation::Str(s) => wire::put_str(a, fields::annotation::STR, s),
                             Annotation::Int(i) => wire::put_int(a, fields::annotation::INT, *i),
@@ -899,23 +796,411 @@ pub fn export(
                         wire::put_str(a, fields::annotation::NAME, name);
                     });
                 }
-                wire::put_uint(ev, fields::event::TYPE, e.kind);
-                if e.name_iid != 0 {
-                    wire::put_uint(ev, fields::event::NAME_IID, e.name_iid);
+                wire::put_uint(e, fields::event::TYPE, ev.kind);
+                if ev.name_iid != 0 {
+                    wire::put_uint(e, fields::event::NAME_IID, ev.name_iid);
                 }
-                wire::put_uint(ev, fields::event::TRACK_UUID, e.track);
-                if let Some(v) = e.counter_i64 {
-                    wire::put_int(ev, fields::event::COUNTER_I64, v);
+                wire::put_uint(e, fields::event::TRACK_UUID, ev.track);
+                if let Some(v) = ev.counter_i64 {
+                    wire::put_int(e, fields::event::COUNTER_I64, v);
                 }
-                if let Some(v) = e.counter_f64 {
-                    wire::put_double(ev, fields::event::COUNTER_F64, v);
+                if let Some(v) = ev.counter_f64 {
+                    wire::put_double(e, fields::event::COUNTER_F64, v);
                 }
-                if let Some(f) = e.flow {
-                    wire::put_fixed64(ev, fields::event::FLOW_IDS, f);
+                if let Some(f) = ev.flow {
+                    wire::put_fixed64(e, fields::event::FLOW_IDS, f);
                 }
             });
         });
+        self.stats.events += 1;
     }
+
+    /// Emit the process track descriptor for a host on first use.
+    fn process_track(&mut self, host: u64) {
+        if !self.described_hosts.insert(host) {
+            return;
+        }
+        let name = self
+            .cfg
+            .host_names
+            .get(&host)
+            .cloned()
+            .unwrap_or_else(|| format!("host-{host}"));
+        self.stats.tracks += 1;
+        self.packet(None, |p| {
+            wire::put_msg(p, fields::packet::TRACK_DESCRIPTOR, |d| {
+                wire::put_uint(d, fields::track::UUID, UUID_PROCESS_BASE + host);
+                wire::put_str(d, fields::track::NAME, &name);
+                wire::put_msg(d, fields::track::PROCESS, |m| {
+                    wire::put_int(m, fields::process::PID, host as i64);
+                    wire::put_str(m, fields::process::NAME, &name);
+                });
+            });
+        });
+    }
+
+    /// Emit a new thread-track descriptor (one nesting lane) and return
+    /// its uuid. Uuids and tids count up in creation order.
+    fn thread_track(&mut self, host: u64, sub: &str, lane_no: usize) -> u64 {
+        let uuid = UUID_THREAD_BASE + self.thread_lanes;
+        let tid = self.thread_lanes as i64 + 1;
+        self.thread_lanes += 1;
+        self.stats.tracks += 1;
+        let name = if lane_no == 0 {
+            sub.to_string()
+        } else {
+            format!("{sub}#{lane_no}")
+        };
+        self.packet(None, |p| {
+            wire::put_msg(p, fields::packet::TRACK_DESCRIPTOR, |d| {
+                wire::put_uint(d, fields::track::UUID, uuid);
+                wire::put_str(d, fields::track::NAME, &name);
+                wire::put_msg(d, fields::track::THREAD, |m| {
+                    wire::put_int(m, fields::thread::PID, host as i64);
+                    wire::put_int(m, fields::thread::TID, tid);
+                    wire::put_str(m, fields::thread::NAME, &name);
+                });
+            });
+        });
+        uuid
+    }
+
+    /// Pick (or create) the lane a closing span lands on, record its
+    /// extent, and return the lane's track uuid.
+    ///
+    /// A lane renders as one slice stack, so it can absorb the span iff
+    /// the result stays laminar: against every live extent the span is
+    /// either disjoint or nested (containment in either direction —
+    /// children retire before parents, parallel branches can retire
+    /// containers before their late siblings). Partial overlap spills
+    /// to the next lane. Equal extents count as nested.
+    fn lane_for(&mut self, host: u64, sub: &'static str, start: u64, end: u64) -> u64 {
+        let key = (host, sub);
+        self.groups.entry(key).or_default();
+        let mut chosen: Option<usize> = None;
+        if let Some(g) = self.groups.get(&key) {
+            'lanes: for (l, cov) in g.covered.iter().enumerate() {
+                for &(s0, e0) in cov {
+                    if s0 < end && e0 > start {
+                        let laminar = (s0 <= start && end <= e0) || (start <= s0 && e0 <= end);
+                        if !laminar {
+                            continue 'lanes; // partial overlap: spill
+                        }
+                    }
+                }
+                chosen = Some(l);
+                break;
+            }
+        }
+        let lane = match chosen {
+            Some(l) => l,
+            None => {
+                let lane_no = self.groups.get(&key).map_or(0, |g| g.covered.len());
+                let uuid = self.thread_track(host, sub, lane_no);
+                if let Some(g) = self.groups.get_mut(&key) {
+                    g.covered.push(Vec::new());
+                    g.uuids.push(uuid);
+                }
+                lane_no
+            }
+        };
+        let mut uuid = 0;
+        if let Some(g) = self.groups.get_mut(&key) {
+            uuid = g.uuids[lane];
+            let cov = &mut g.covered[lane];
+            let p = cov.partition_point(|iv| *iv < (start, end));
+            cov.insert(p, (start, end));
+        }
+        let total: usize = self
+            .groups
+            .values()
+            .map(|g| g.covered.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        self.stats.lane_state_peak = self.stats.lane_state_peak.max(total);
+        uuid
+    }
+
+    /// Stream one closed span: process/thread descriptors on first use,
+    /// slice begin (carrying the trace's flow when it chains or roots a
+    /// flowing trace), one instant per span event, slice end with the
+    /// label/outcome/ids/fields as debug annotations.
+    pub fn feed_span(&mut self, s: &Span) {
+        self.stats.spans += 1;
+        self.process_track(s.host);
+        let sub = subsystem(s.name);
+        let track = self.lane_for(s.host, sub, s.start_ns, s.end_ns);
+        let name_iid = self.intern(s.name);
+        let event_iids: Vec<u64> = s.events.iter().map(|e| self.intern(e.name)).collect();
+        let has_chain = s.events.iter().any(|e| self.flow_names.contains(e.name));
+        if has_chain {
+            self.flow_traces.insert(s.trace.0);
+        }
+        // A chain-carrying span always flows (begin + >= 1 chain instant
+        // resolve the flow to >= 2 events); a root of an already-flowing
+        // trace joins so the flow reaches the trace's top slice.
+        let flow = (self.flow_traces.contains(&s.trace.0) && (has_chain || s.parent.is_none()))
+            .then_some(s.trace.0);
+        self.event_packet(EventPacket {
+            ts: s.start_ns,
+            track,
+            kind: TYPE_SLICE_BEGIN,
+            name_iid,
+            flow,
+            counter_i64: None,
+            counter_f64: None,
+            annotations: &[],
+        });
+        for (e, iid) in s.events.iter().zip(event_iids) {
+            let eflow = (self.flow_names.contains(e.name) && self.flow_traces.contains(&s.trace.0))
+                .then_some(s.trace.0);
+            let annotations: Vec<(String, Annotation)> = e
+                .fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), field_annotation(v)))
+                .collect();
+            self.event_packet(EventPacket {
+                ts: e.at_ns,
+                track,
+                kind: TYPE_INSTANT,
+                name_iid: iid,
+                flow: eflow,
+                counter_i64: None,
+                counter_f64: None,
+                annotations: &annotations,
+            });
+        }
+        let mut annotations: Vec<(String, Annotation)> = vec![
+            ("label".into(), Annotation::Str(s.label.to_string())),
+            (
+                "outcome".into(),
+                Annotation::Str(outcome_str(s.outcome).into()),
+            ),
+            ("trace".into(), Annotation::Int(s.trace.0 as i64)),
+            ("span".into(), Annotation::Int(s.id.0 as i64)),
+        ];
+        for (k, v) in &s.fields {
+            annotations.push(((*k).to_string(), field_annotation(v)));
+        }
+        self.event_packet(EventPacket {
+            ts: s.end_ns,
+            track,
+            kind: TYPE_SLICE_END,
+            name_iid: 0,
+            flow: None,
+            counter_i64: None,
+            counter_f64: None,
+            annotations: &annotations,
+        });
+    }
+
+    /// Stream one ring-buffer eviction marker as an instant on the
+    /// dedicated `flight-recorder` track. Fed in retirement-stream
+    /// position, its packet lands in timestamp order relative to the
+    /// slice packets around it.
+    pub fn feed_eviction(&mut self, m: &EvictionMarker) {
+        if !self.recorder_track {
+            self.recorder_track = true;
+            self.stats.tracks += 1;
+            self.packet(None, |p| {
+                wire::put_msg(p, fields::packet::TRACK_DESCRIPTOR, |d| {
+                    wire::put_uint(d, fields::track::UUID, UUID_RECORDER);
+                    wire::put_str(d, fields::track::NAME, "flight-recorder");
+                });
+            });
+        }
+        let iid = self.intern("trace.eviction");
+        let annotations = vec![
+            ("evicted_span".into(), Annotation::Int(m.evicted.0 as i64)),
+            (
+                "open_spans".into(),
+                Annotation::Int(m.open_at_eviction as i64),
+            ),
+        ];
+        self.event_packet(EventPacket {
+            ts: m.at_ns,
+            track: UUID_RECORDER,
+            kind: TYPE_INSTANT,
+            name_iid: iid,
+            flow: None,
+            counter_i64: None,
+            counter_f64: None,
+            annotations: &annotations,
+        });
+    }
+
+    fn instant_track_uuid(&mut self, name: &str) -> u64 {
+        if let Some(&u) = self.timeline_uuid.get(name) {
+            return u;
+        }
+        let uuid = UUID_INSTANT_BASE + self.timeline_uuid.len() as u64;
+        self.timeline_uuid.insert(name.to_string(), uuid);
+        self.stats.tracks += 1;
+        let owned = name.to_string();
+        self.packet(None, |p| {
+            wire::put_msg(p, fields::packet::TRACK_DESCRIPTOR, |d| {
+                wire::put_uint(d, fields::track::UUID, uuid);
+                wire::put_str(d, fields::track::NAME, &owned);
+            });
+        });
+        uuid
+    }
+
+    /// Stream one caller-timeline instant (e.g. an SLO alert exemplar).
+    /// Its flow reference only *joins* a trace already known to flow —
+    /// an instant can never create a flow that would resolve to a single
+    /// event.
+    pub fn feed_instant(&mut self, track: &str, ev: &InstantEvent) {
+        let uuid = self.instant_track_uuid(track);
+        let iid = self.intern(&ev.name);
+        let flow = ev.flow_trace.filter(|tr| self.flow_traces.contains(tr));
+        let annotations: Vec<(String, Annotation)> = ev
+            .args
+            .iter()
+            .map(|(k, v)| (k.clone(), Annotation::Str(v.clone())))
+            .collect();
+        self.event_packet(EventPacket {
+            ts: ev.at_ns,
+            track: uuid,
+            kind: TYPE_INSTANT,
+            name_iid: iid,
+            flow,
+            counter_i64: None,
+            counter_f64: None,
+            annotations: &annotations,
+        });
+    }
+
+    /// Stream a whole timeline track (descriptor even when empty).
+    pub fn feed_instant_track(&mut self, t: &InstantTrack) {
+        self.instant_track_uuid(&t.name);
+        for ev in &t.events {
+            self.feed_instant(&t.name, ev);
+        }
+    }
+
+    fn counter_track_uuid(&mut self, name: &str, unit: CounterUnit) -> u64 {
+        if let Some(&u) = self.counter_uuid.get(name) {
+            return u;
+        }
+        let uuid = UUID_COUNTER_BASE + self.counter_uuid.len() as u64;
+        self.counter_uuid.insert(name.to_string(), uuid);
+        self.stats.tracks += 1;
+        let owned = name.to_string();
+        let unit_name = match unit {
+            CounterUnit::Count => UNIT_COUNT,
+            CounterUnit::Value => UNIT_VALUE,
+        };
+        self.packet(None, |p| {
+            wire::put_msg(p, fields::packet::TRACK_DESCRIPTOR, |d| {
+                wire::put_uint(d, fields::track::UUID, uuid);
+                wire::put_str(d, fields::track::NAME, &owned);
+                wire::put_msg(d, fields::track::COUNTER, |m| {
+                    wire::put_str(m, fields::counter::UNIT_NAME, unit_name);
+                });
+            });
+        });
+        uuid
+    }
+
+    /// Stream one counter sample. The track (keyed by name, uuid by
+    /// first appearance) is described on first use, so a sampler can
+    /// feed the same series incrementally across many pump cycles.
+    pub fn feed_counter_point(&mut self, name: &str, unit: CounterUnit, ts: u64, v: f64) {
+        let uuid = self.counter_track_uuid(name, unit);
+        let (ci64, cf64) = match unit {
+            CounterUnit::Count => (Some(v as i64), None),
+            CounterUnit::Value => (None, Some(v)),
+        };
+        self.event_packet(EventPacket {
+            ts,
+            track: uuid,
+            kind: TYPE_COUNTER,
+            name_iid: 0,
+            flow: None,
+            counter_i64: ci64,
+            counter_f64: cf64,
+            annotations: &[],
+        });
+    }
+
+    /// Stream a whole counter series (descriptor even when empty).
+    pub fn feed_counter_series(&mut self, s: &CounterSeries) {
+        self.counter_track_uuid(&s.name, s.unit);
+        for &(ts, v) in &s.points {
+            self.feed_counter_point(&s.name, s.unit, ts, v);
+        }
+    }
+
+    /// Prune lane-assignment intervals that end at or before `wm`. Safe
+    /// — and byte-neutral — whenever every span fed from now on starts
+    /// at or after `wm`; [`FlightRecorder::open_min_start_ns`] (falling
+    /// back to the current virtual time when nothing is open) is exactly
+    /// that bound. This is what keeps encoder state from growing with
+    /// trace length on long runs.
+    pub fn advance_watermark(&mut self, wm: u64) {
+        for g in self.groups.values_mut() {
+            for cov in &mut g.covered {
+                cov.retain(|iv| iv.1 > wm);
+            }
+        }
+    }
+
+    /// Flush scratch to the sink if it crossed the flush threshold.
+    pub fn pump(&mut self, sink: &mut dyn PacketSink) -> Result<(), String> {
+        if self.scratch.len() >= self.flush_threshold {
+            self.flush(sink)?;
+        }
+        Ok(())
+    }
+
+    /// Unconditionally hand buffered bytes to the sink.
+    pub fn flush(&mut self, sink: &mut dyn PacketSink) -> Result<(), String> {
+        if self.scratch.is_empty() {
+            return Ok(());
+        }
+        sink.write(&self.scratch)?;
+        self.stats.bytes_flushed += self.scratch.len() as u64;
+        self.stats.flushes += 1;
+        self.scratch.clear();
+        Ok(())
+    }
+
+    /// Final flush; returns the stream's stats.
+    pub fn finish(mut self, sink: &mut dyn PacketSink) -> Result<StreamStats, String> {
+        self.flush(sink)?;
+        Ok(self.stats)
+    }
+}
+
+/// Render the recorder (plus sampled counter series and caller timeline
+/// tracks) as one complete `.perfetto-trace` byte stream — a replay of
+/// [`StreamingExporter`] over the recorder's retirement stream, so
+/// buffered and streamed exports of the same content are byte-identical
+/// by construction.
+///
+/// Deterministic: identical inputs produce identical bytes.
+pub fn export(
+    rec: &FlightRecorder,
+    counters: &[CounterSeries],
+    timelines: &[InstantTrack],
+    cfg: &ExportConfig,
+) -> Vec<u8> {
+    let mut ex = StreamingExporter::new(cfg.clone());
+    for item in rec.stream_items() {
+        match item {
+            StreamItem::Span(s) => ex.feed_span(s),
+            StreamItem::Eviction(m) => ex.feed_eviction(m),
+        }
+    }
+    for t in timelines {
+        ex.feed_instant_track(t);
+    }
+    for c in counters {
+        ex.feed_counter_series(c);
+    }
+    let mut out = Vec::new();
+    // The Vec sink never fails.
+    let _ = ex.finish(&mut out);
     out
 }
 
@@ -1151,17 +1436,22 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedTrace, String> {
 /// perfetto` and CI hold every export to:
 ///
 /// * every event references a described track;
-/// * per track, slice begins/ends balance and never go negative;
-/// * event timestamps are globally non-decreasing (the encoder sorts);
+/// * per track, the *timestamp-sorted* slice events admit a balanced
+///   nesting: at any instant the ends can be paired against the open
+///   depth plus that instant's begins, and the track finishes at depth
+///   zero. (Packets are emitted in retirement order, not global time
+///   order — Perfetto sorts on import, so the validator checks the
+///   sorted feasibility rather than file order.)
 /// * every flow id resolves to at least two events;
 /// * counter events appear exactly on counter tracks, and cumulative
-///   (`count`-unit) counter tracks never decrease.
+///   (`count`-unit) counter tracks never decrease in time order.
 pub fn validate(t: &DecodedTrace) -> Vec<String> {
     let mut problems = Vec::new();
-    let mut depth: BTreeMap<u64, i64> = BTreeMap::new();
     let mut flow_count: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut last_counter: BTreeMap<u64, i64> = BTreeMap::new();
-    let mut last_ts = 0u64;
+    // Per-track (ts, is_end) slice events and (ts, value) count samples,
+    // collected in file order then stably sorted by timestamp.
+    let mut slices: BTreeMap<u64, Vec<(u64, bool)>> = BTreeMap::new();
+    let mut counts: BTreeMap<u64, Vec<(u64, i64)>> = BTreeMap::new();
     for (i, e) in t.events.iter().enumerate() {
         let track = match t.tracks.get(&e.track) {
             Some(track) => track,
@@ -1170,13 +1460,6 @@ pub fn validate(t: &DecodedTrace) -> Vec<String> {
                 continue;
             }
         };
-        if e.ts < last_ts {
-            problems.push(format!(
-                "event {i} goes back in time ({} < {last_ts})",
-                e.ts
-            ));
-        }
-        last_ts = e.ts;
         for f in &e.flows {
             *flow_count.entry(*f).or_insert(0) += 1;
         }
@@ -1188,17 +1471,10 @@ pub fn validate(t: &DecodedTrace) -> Vec<String> {
                 if e.name.is_none() {
                     problems.push(format!("slice begin without a name (event {i})"));
                 }
-                *depth.entry(e.track).or_insert(0) += 1;
+                slices.entry(e.track).or_default().push((e.ts, false));
             }
             TYPE_SLICE_END => {
-                let d = depth.entry(e.track).or_insert(0);
-                *d -= 1;
-                if *d < 0 {
-                    problems.push(format!(
-                        "slice end without a begin on track {} (event {i})",
-                        track.name
-                    ));
-                }
+                slices.entry(e.track).or_default().push((e.ts, true));
             }
             TYPE_INSTANT => {
                 if e.name.is_none() {
@@ -1213,29 +1489,63 @@ pub fn validate(t: &DecodedTrace) -> Vec<String> {
                     ));
                 }
                 if track.counter_unit.as_deref() == Some(UNIT_COUNT) {
-                    let v = e.counter_i64.unwrap_or(0);
-                    if let Some(prev) = last_counter.get(&e.track) {
-                        if v < *prev {
-                            problems.push(format!(
-                                "cumulative counter {} decreased ({prev} -> {v})",
-                                track.name
-                            ));
-                        }
-                    }
-                    last_counter.insert(e.track, v);
+                    counts
+                        .entry(e.track)
+                        .or_default()
+                        .push((e.ts, e.counter_i64.unwrap_or(0)));
                 }
             }
             other => problems.push(format!("unknown event type {other} (event {i})")),
         }
     }
-    for (track, d) in &depth {
-        if *d != 0 {
-            let name = t
-                .tracks
-                .get(track)
-                .map(|x| x.name.clone())
-                .unwrap_or_else(|| track.to_string());
-            problems.push(format!("track {name} ends with {d} unclosed slice(s)"));
+    let track_name = |uuid: &u64| {
+        t.tracks
+            .get(uuid)
+            .map(|x| x.name.clone())
+            .unwrap_or_else(|| uuid.to_string())
+    };
+    for (track, evs) in &mut slices {
+        evs.sort_by_key(|&(ts, _)| ts);
+        let mut depth: i64 = 0;
+        let mut i = 0;
+        while i < evs.len() {
+            let ts = evs[i].0;
+            let (mut begins, mut ends) = (0i64, 0i64);
+            while i < evs.len() && evs[i].0 == ts {
+                if evs[i].1 {
+                    ends += 1;
+                } else {
+                    begins += 1;
+                }
+                i += 1;
+            }
+            if ends > depth + begins {
+                problems.push(format!(
+                    "track {}: {ends} end(s) at t={ts} exceed {depth} open + {begins} begin(s)",
+                    track_name(track)
+                ));
+            }
+            depth += begins - ends;
+            depth = depth.max(0); // already reported; don't cascade
+        }
+        if depth != 0 {
+            problems.push(format!(
+                "track {} ends with {depth} unclosed slice(s)",
+                track_name(track)
+            ));
+        }
+    }
+    for (track, samples) in &mut counts {
+        samples.sort_by_key(|&(ts, _)| ts);
+        for w in samples.windows(2) {
+            if w[1].1 < w[0].1 {
+                problems.push(format!(
+                    "cumulative counter {} decreased ({} -> {})",
+                    track_name(track),
+                    w[0].1,
+                    w[1].1
+                ));
+            }
         }
     }
     for (flow, n) in &flow_count {
@@ -1354,9 +1664,13 @@ mod tests {
         assert_eq!(hex, GOLDEN_TWO_SPAN_HEX, "wire bytes drifted");
     }
 
-    // Generated once from the encoder and reviewed; see
-    // `two_span_trace_golden_bytes`.
-    const GOLDEN_TWO_SPAN_HEX: &str = "0a55500168036232120d080112096373702e6368696c6412110802120d72657472792e617474656d7074120e0803120a73746f726d2e72656164e2031a0881808080011206686f73742d311a0a08013206686f73742d310a1f5001e2031a0882808080011206686f73742d321a0a08023206686f73742d320a1f5001e2031a088280808002120573746f726d220b080110012a0573746f726d0a1b5001e2031608838080800212036373702209080210022a036373700a1d40e807500168025a1448015003588280808002f90201000000000000000a1d40b009500168025a1448015001588380808002f90201000000000000000a1d40940a500168025a1448035002588380808002f90201000000000000000a4a40880e500168025a412213320a437269746963616c2d4152056c6162656c220d32026f6b52076f7574636f6d6522092001520574726163652208200252047370616e48025883808080020a4d40d00f500168025a442216320d437269746963616c2d4665656452056c6162656c220d32026f6b52076f7574636f6d6522092001520574726163652208200152047370616e4802588280808002";
+    // Generated once from the encoder and reviewed (to regenerate,
+    // run the test and copy the `left` value); see
+    // `two_span_trace_golden_bytes`. Packets follow streaming order:
+    // descriptors appear at first use, spans at close (child before
+    // root), with interned names attached to the first packet that
+    // needs them.
+    const GOLDEN_TWO_SPAN_HEX: &str = "0a2150016803e2031a0882808080011206686f73742d321a0a08023206686f73742d320a1d50016802e2031608808080800212036373702209080210012a036373700a4140b009500168026222120d080112096373702e6368696c6412110802120d72657472792e617474656d70745a1448015001588080808002f90201000000000000000a1d40940a500168025a1448035002588080808002f90201000000000000000a4a40880e500168025a412213320a437269746963616c2d4152056c6162656c220d32026f6b52076f7574636f6d6522092001520574726163652208200252047370616e48025880808080020a2150016802e2031a0881808080011206686f73742d311a0a08013206686f73742d310a2150016802e2031a088180808002120573746f726d220b080110022a0573746f726d0a2f40e807500168026210120e0803120a73746f726d2e726561645a1448015003588180808002f90201000000000000000a4d40d00f500168025a442216320d437269746963616c2d4665656452056c6162656c220d32026f6b52076f7574636f6d6522092001520574726163652208200152047370616e4802588180808002";
 
     #[test]
     fn export_is_deterministic() {
@@ -1471,5 +1785,240 @@ mod tests {
             .count();
         assert_eq!(evictions, rec.evictions().len());
         assert!(dec.tracks.values().any(|t| t.name == "flight-recorder"));
+    }
+
+    #[test]
+    fn put_msg_backpatch_matches_alloc_at_length_boundaries() {
+        // Length-prefix sizes flip at 128 and 16384 — exercise both
+        // sides of each boundary, plus nesting.
+        for n in [0usize, 1, 127, 128, 129, 16_383, 16_384, 16_385] {
+            let mut fast = vec![0xfe]; // non-empty prefix must survive
+            let mut slow = vec![0xfe];
+            wire::put_msg(&mut fast, 7, |b| b.extend(std::iter::repeat_n(0xabu8, n)));
+            wire::put_msg_alloc(&mut slow, 7, |b| b.extend(std::iter::repeat_n(0xabu8, n)));
+            assert_eq!(fast, slow, "body len {n}");
+        }
+        // Nested: outer crosses 128 only because of the inner message.
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        for out in [&mut fast, &mut slow] {
+            out.clear();
+        }
+        wire::put_msg(&mut fast, 1, |b| {
+            wire::put_msg(b, 2, |inner| inner.extend(std::iter::repeat_n(0x55u8, 200)));
+            wire::put_uint(b, 3, 300);
+        });
+        wire::put_msg_alloc(&mut slow, 1, |b| {
+            wire::put_msg_alloc(b, 2, |inner| {
+                inner.extend(std::iter::repeat_n(0x55u8, 200));
+            });
+            wire::put_uint(b, 3, 300);
+        });
+        assert_eq!(fast, slow, "nested backpatch");
+    }
+
+    /// Replays the exact feed order [`export`] uses against a streaming
+    /// exporter flushed every `cadence` packets.
+    fn stream_with_cadence(
+        rec: &FlightRecorder,
+        counters: &[CounterSeries],
+        timelines: &[InstantTrack],
+        cadence: u64,
+    ) -> Vec<u8> {
+        let mut ex = StreamingExporter::new(ExportConfig::default());
+        let mut out = Vec::new();
+        let mut boundary = cadence;
+        let mut step = |ex: &mut StreamingExporter, out: &mut Vec<u8>| {
+            if ex.stats().packets >= boundary {
+                ex.flush(out).expect("vec flush");
+                boundary = ex.stats().packets + cadence;
+            }
+        };
+        for item in rec.stream_items() {
+            match item {
+                crate::StreamItem::Span(s) => ex.feed_span(s),
+                crate::StreamItem::Eviction(m) => ex.feed_eviction(m),
+            }
+            step(&mut ex, &mut out);
+        }
+        for t in timelines {
+            ex.feed_instant_track(t);
+            step(&mut ex, &mut out);
+        }
+        for c in counters {
+            ex.feed_counter_series(c);
+            step(&mut ex, &mut out);
+        }
+        ex.finish(&mut out).expect("finish");
+        out
+    }
+
+    #[test]
+    fn flush_cadence_never_changes_the_bytes() {
+        // Interning state must survive flushes: the concatenation of all
+        // sink writes equals the buffered export no matter where the
+        // packet stream is cut.
+        let mut rec = FlightRecorder::new(8);
+        let root = rec.span_start("storm.read", "svc", 1, 0);
+        for i in 0..6u64 {
+            let c = rec.span_start("csp.child", "svc", 1 + i % 3, i * 100);
+            rec.span_event(c, i * 100 + 10, "retry.attempt", vec![]);
+            rec.span_end(c, i * 100 + 50, Outcome::Ok);
+        }
+        rec.span_end(root, 1_000, Outcome::Ok);
+        let counters = vec![CounterSeries {
+            name: "admission.requests.shed".into(),
+            unit: CounterUnit::Count,
+            points: vec![(100, 1.0), (500, 4.0)],
+        }];
+        let timelines = vec![InstantTrack {
+            name: "slo-alerts".into(),
+            events: vec![InstantEvent {
+                at_ns: 700,
+                name: "slo.alert.fired".into(),
+                flow_trace: Some(1),
+                args: vec![],
+            }],
+        }];
+        let buffered = export(&rec, &counters, &timelines, &ExportConfig::default());
+        for cadence in [1u64, 7, 64] {
+            let streamed = stream_with_cadence(&rec, &counters, &timelines, cadence);
+            assert_eq!(streamed, buffered, "cadence {cadence}");
+        }
+        let dec = decode(&buffered).expect("decodes");
+        assert_eq!(validate(&dec), Vec::<String>::new());
+    }
+
+    #[test]
+    fn pumping_bounds_the_scratch_buffer() {
+        let threshold = 4_096usize;
+        let mut ex = StreamingExporter::with_flush_threshold(ExportConfig::default(), threshold);
+        let mut rec = FlightRecorder::new(4_096);
+        for i in 0..2_000u64 {
+            let s = rec.span_start("mote.sample", "m", i % 16, i * 10);
+            rec.span_end(s, i * 10 + 8, Outcome::Ok);
+        }
+        let mut out = Vec::new();
+        for s in rec.spans() {
+            ex.feed_span(s);
+            ex.pump(&mut out).expect("pump");
+        }
+        let stats = ex.finish(&mut out).expect("finish");
+        // One span never encodes to more than ~threshold bytes, so the
+        // scratch high-water mark stays within a packet of the limit.
+        assert!(
+            stats.peak_buffered_bytes < 2 * threshold,
+            "peak {} vs threshold {threshold}",
+            stats.peak_buffered_bytes
+        );
+        assert!(
+            stats.bytes_flushed > 8 * threshold as u64,
+            "stream actually exceeded the buffer many times over: {}",
+            stats.bytes_flushed
+        );
+        assert_eq!(stats.bytes_flushed, out.len() as u64);
+        let dec = decode(&out).expect("decodes");
+        assert_eq!(validate(&dec), Vec::<String>::new());
+    }
+
+    #[test]
+    fn watermark_pruning_is_byte_neutral_and_bounds_lane_state() {
+        let mut rec = FlightRecorder::new(4_096);
+        for i in 0..200u64 {
+            let s = rec.span_start("mote.sample", "m", 1, i * 100);
+            rec.span_end(s, i * 100 + 60, Outcome::Ok);
+        }
+        let feed = |prune: bool| {
+            let mut ex = StreamingExporter::new(ExportConfig::default());
+            for s in rec.spans() {
+                ex.feed_span(s);
+                if prune {
+                    // Everything up to this close is retired; no open
+                    // span can start earlier.
+                    ex.advance_watermark(s.end_ns);
+                }
+            }
+            let mut out = Vec::new();
+            let stats = ex.finish(&mut out).expect("finish");
+            (out, stats)
+        };
+        let (plain, plain_stats) = feed(false);
+        let (pruned, pruned_stats) = feed(true);
+        assert_eq!(plain, pruned, "pruning must not change emitted bytes");
+        assert_eq!(plain_stats.lane_state_peak, 200);
+        assert!(
+            pruned_stats.lane_state_peak <= 2,
+            "watermark keeps lane state O(open spans): {}",
+            pruned_stats.lane_state_peak
+        );
+    }
+
+    #[test]
+    fn file_sink_matches_vec_sink_and_fingerprints() {
+        let rec = two_span_recorder();
+        let bytes = export(&rec, &[], &[], &ExportConfig::default());
+        let mut expect_fnv = FNV64_OFFSET;
+        expect_fnv = fnv64_update(expect_fnv, &bytes);
+
+        let path = std::env::temp_dir().join(format!(
+            "sensorcer-filesink-{}.perfetto-trace",
+            std::process::id()
+        ));
+        let path_s = path.to_string_lossy().into_owned();
+        let mut sink = FileSink::create(&path_s).expect("create");
+        let mut ex = StreamingExporter::new(ExportConfig::default());
+        for item in rec.stream_items() {
+            match item {
+                crate::StreamItem::Span(s) => ex.feed_span(s),
+                crate::StreamItem::Eviction(m) => ex.feed_eviction(m),
+            }
+            ex.pump(&mut sink).expect("pump");
+        }
+        ex.finish(&mut sink).expect("finish stream");
+        let (written, fnv) = sink.finish().expect("finish sink");
+        assert_eq!(written, bytes.len() as u64);
+        assert_eq!(fnv, expect_fnv);
+        let on_disk = std::fs::read(&path).expect("read back");
+        assert_eq!(on_disk, bytes);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn eviction_instants_interleave_in_stream_order() {
+        // Ring capacity 2 under an open root: markers must land in the
+        // packet stream *between* the survivor spans they precede, not
+        // appended at the end.
+        let mut rec = FlightRecorder::new(2);
+        let _root = rec.span_start("storm.read", "svc", 1, 0);
+        for i in 1..=5u64 {
+            let c = rec.span_start("csp.child", "svc", 1, i * 10 - 5);
+            rec.span_end(c, i * 10, Outcome::Ok);
+        }
+        // Ring holds children 4 and 5; children 1-3 were evicted.
+        let mut ex = StreamingExporter::new(ExportConfig::default());
+        for item in rec.stream_items() {
+            match item {
+                crate::StreamItem::Span(s) => ex.feed_span(s),
+                crate::StreamItem::Eviction(m) => ex.feed_eviction(m),
+            }
+        }
+        let mut out = Vec::new();
+        ex.finish(&mut out).expect("finish");
+        let dec = decode(&out).expect("decodes");
+        let shape: Vec<(u64, u64)> = dec.events.iter().map(|e| (e.kind, e.ts)).collect();
+        assert_eq!(
+            shape,
+            vec![
+                (TYPE_INSTANT, 30),     // eviction of child 1
+                (TYPE_INSTANT, 40),     // eviction of child 2
+                (TYPE_SLICE_BEGIN, 35), // child 4
+                (TYPE_SLICE_END, 40),
+                (TYPE_INSTANT, 50),     // eviction of child 3
+                (TYPE_SLICE_BEGIN, 45), // child 5
+                (TYPE_SLICE_END, 50),
+            ],
+            "markers interleave at their retirement positions"
+        );
+        assert_eq!(validate(&dec), Vec::<String>::new());
     }
 }

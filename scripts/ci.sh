@@ -52,6 +52,17 @@
 #                           bit-identical bytes, then runs the smoke
 #                           bench with the 4.0 cross-hardware gate so the
 #                           sampler can't quietly slow the hot paths
+#   scripts/ci.sh --perfetto-scale  tier-1, then the streaming export
+#                           leg on a reduced world (10⁴ motes — the full
+#                           10⁵ federation is `harness perfetto-scale`
+#                           with no SENSORCER_PERFETTO_MOTES override):
+#                           the sharded world is streamed to disk
+#                           incrementally, self-validated by the in-repo
+#                           decoder, held under the documented encoder
+#                           memory ceiling, and checked bit-identical
+#                           across two runs on the same seed; the
+#                           profile.*/stream.* metric names ride the
+#                           `harness lint` audit
 #   scripts/ci.sh --scale   tier-1, then the B9 scaling curve on a
 #                           reduced mote sweep (10³ only — the full
 #                           10³/10⁴/10⁵ curve is `harness scale` with no
@@ -91,6 +102,7 @@ obs=0
 scale=0
 storm=0
 perfetto=0
+perfetto_scale=0
 race=0
 tsan=0
 for arg in "$@"; do
@@ -103,9 +115,10 @@ for arg in "$@"; do
         --scale) scale=1 ;;
         --storm) storm=1 ;;
         --perfetto) perfetto=1 ;;
+        --perfetto-scale) perfetto_scale=1 ;;
         --race) race=1 ;;
         --tsan) tsan=1 ;;
-        *) echo "usage: scripts/ci.sh [--smoke] [--soak] [--trace] [--lint] [--obs] [--scale] [--storm] [--perfetto] [--race] [--tsan]" >&2; exit 2 ;;
+        *) echo "usage: scripts/ci.sh [--smoke] [--soak] [--trace] [--lint] [--obs] [--scale] [--storm] [--perfetto] [--perfetto-scale] [--race] [--tsan]" >&2; exit 2 ;;
     esac
 done
 
@@ -244,6 +257,54 @@ if [ "$perfetto" -eq 1 ]; then
     cargo run --release -p sensorcer-bench --bin harness -- \
         bench-compare BENCH_1.json BENCH_perfetto_ci.json 4.0
     rm -f BENCH_perfetto_ci.json
+fi
+
+if [ "$perfetto_scale" -eq 1 ]; then
+    echo "== streaming perfetto export (reduced world, 10^4 motes) =="
+    # 6169865 = 0x5E2509, the harness default seed (the seed positional
+    # is required to reach the output-path positional). The run
+    # self-validates: decoder verdict, encoder-memory ceiling and the
+    # profiler's self-time/window-time identity are all folded into the
+    # summary's "passed" field.
+    SENSORCER_PERFETTO_MOTES=10000 \
+        cargo run --release -p sensorcer-bench --bin harness -- \
+        perfetto-scale 6169865 PERFETTO_scale_ci.perfetto-trace
+    [ "$(head -c 1 PERFETTO_scale_ci.perfetto-trace | od -An -tx1 | tr -d ' \n')" = "0a" ] || {
+        echo "PERFETTO_scale_ci.perfetto-trace: bad protobuf magic byte" >&2
+        exit 1
+    }
+    for needle in '"schema_version"' '"self_window_ratio_ppm"' '"fnv64"' \
+        '"peak_buffered_bytes"' '"lane_state_peak"' \
+        '"encoder_ceiling_bytes": 67108864' '"top_ops"' '"passed": true'; do
+        grep -q "$needle" PERFETTO_scale_ci.perfetto-trace.summary.json || {
+            echo "PERFETTO_scale_ci summary missing $needle" >&2
+            exit 1
+        }
+    done
+
+    echo "== streaming determinism: same seed, bit-identical bytes =="
+    SENSORCER_PERFETTO_MOTES=10000 \
+        cargo run --release -p sensorcer-bench --bin harness -- \
+        perfetto-scale 6169865 PERFETTO_scale_ci2.perfetto-trace
+    cmp PERFETTO_scale_ci.perfetto-trace PERFETTO_scale_ci2.perfetto-trace || {
+        echo "streaming export is not bit-identical across runs on the same seed" >&2
+        exit 1
+    }
+    rm -f PERFETTO_scale_ci.perfetto-trace PERFETTO_scale_ci.perfetto-trace.summary.json \
+        PERFETTO_scale_ci2.perfetto-trace PERFETTO_scale_ci2.perfetto-trace.summary.json
+
+    # The committed full-scale summary must keep its shape (field names
+    # only, so regenerating the artifact on other hardware stays green).
+    for needle in '"schema_version"' '"motes": 100000' '"self_window_ratio_ppm"' \
+        '"stream"' '"top_ops"' '"passed": true'; do
+        grep -q "$needle" PERFETTO_2.json || {
+            echo "PERFETTO_2.json missing $needle" >&2
+            exit 1
+        }
+    done
+
+    echo "== profile/stream metric-name audit (harness lint) =="
+    cargo run --release -p sensorcer-bench --bin harness -- lint
 fi
 
 if [ "$scale" -eq 1 ]; then
